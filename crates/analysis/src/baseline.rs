@@ -1,0 +1,287 @@
+//! Baseline detectors the perplexity IDS is compared against.
+//!
+//! The paper motivates anomaly detection over alternatives ("there do
+//! not exist databases of known attacks... insufficient accumulated
+//! experience to produce a collection of rules"). These baselines make
+//! that comparison concrete: a rule-based allowlist, a rare-command
+//! frequency detector, and a run-length heuristic — each evaluated
+//! under the same cross-validation protocol as the perplexity models.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::Hash;
+
+use rad_core::RadError;
+
+use crate::crossval::CrossValidation;
+use crate::metrics::ConfusionMatrix;
+
+/// A detector that trains on sequences and classifies whole runs.
+pub trait RunClassifier<T> {
+    /// Fits internal state on benign-majority training sequences.
+    fn fit(&mut self, training: &[Vec<T>]);
+
+    /// Whether a held-out run looks anomalous.
+    fn is_anomalous(&self, run: &[T]) -> bool;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Rule-based IDS: alarm on any transition (bigram) never seen in
+/// training. This is the "collection of rules" §I says is hard to
+/// curate by hand — here the rules are mined from the training set.
+#[derive(Debug, Clone, Default)]
+pub struct TransitionAllowlist<T> {
+    allowed: BTreeSet<(T, T)>,
+}
+
+impl<T: Clone + Ord> TransitionAllowlist<T> {
+    /// An empty allowlist (alarms on everything until fitted).
+    pub fn new() -> Self {
+        TransitionAllowlist {
+            allowed: BTreeSet::new(),
+        }
+    }
+
+    /// Number of distinct allowed transitions.
+    pub fn len(&self) -> usize {
+        self.allowed.len()
+    }
+
+    /// Whether no transitions are allowed yet.
+    pub fn is_empty(&self) -> bool {
+        self.allowed.is_empty()
+    }
+}
+
+impl<T: Clone + Ord + Hash> RunClassifier<T> for TransitionAllowlist<T> {
+    fn fit(&mut self, training: &[Vec<T>]) {
+        self.allowed.clear();
+        for seq in training {
+            for w in seq.windows(2) {
+                self.allowed.insert((w[0].clone(), w[1].clone()));
+            }
+        }
+    }
+
+    fn is_anomalous(&self, run: &[T]) -> bool {
+        run.windows(2)
+            .any(|w| !self.allowed.contains(&(w[0].clone(), w[1].clone())))
+    }
+
+    fn name(&self) -> &'static str {
+        "transition-allowlist"
+    }
+}
+
+/// Frequency baseline: alarm when a run's rarest command is rarer than
+/// `min_frequency` in the training corpus (unknown commands count as
+/// frequency zero).
+#[derive(Debug, Clone)]
+pub struct RareCommandDetector<T> {
+    min_frequency: f64,
+    frequencies: BTreeMap<T, f64>,
+}
+
+impl<T: Clone + Ord> RareCommandDetector<T> {
+    /// A detector alarming below `min_frequency` (a fraction of the
+    /// training corpus, e.g. `1e-4`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_frequency` is not in `(0, 1)`.
+    pub fn new(min_frequency: f64) -> Self {
+        assert!(
+            min_frequency > 0.0 && min_frequency < 1.0,
+            "min_frequency must be a fraction in (0, 1)"
+        );
+        RareCommandDetector {
+            min_frequency,
+            frequencies: BTreeMap::new(),
+        }
+    }
+}
+
+impl<T: Clone + Ord + Hash> RunClassifier<T> for RareCommandDetector<T> {
+    fn fit(&mut self, training: &[Vec<T>]) {
+        self.frequencies.clear();
+        let mut counts: BTreeMap<T, u64> = BTreeMap::new();
+        let mut total = 0u64;
+        for seq in training {
+            for t in seq {
+                *counts.entry(t.clone()).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        if total == 0 {
+            return;
+        }
+        for (t, c) in counts {
+            self.frequencies.insert(t, c as f64 / total as f64);
+        }
+    }
+
+    fn is_anomalous(&self, run: &[T]) -> bool {
+        run.iter()
+            .any(|t| self.frequencies.get(t).copied().unwrap_or(0.0) < self.min_frequency)
+    }
+
+    fn name(&self) -> &'static str {
+        "rare-command"
+    }
+}
+
+/// Length heuristic: alarm when a run's length deviates from the
+/// training mean by more than `z_threshold` standard deviations.
+/// Included as the strawman — truncated-but-benign runs (like run 18)
+/// wreck it.
+#[derive(Debug, Clone)]
+pub struct RunLengthDetector {
+    z_threshold: f64,
+    mean: f64,
+    std_dev: f64,
+}
+
+impl RunLengthDetector {
+    /// A detector alarming beyond `z_threshold` standard deviations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z_threshold` is not positive.
+    pub fn new(z_threshold: f64) -> Self {
+        assert!(z_threshold > 0.0, "z threshold must be positive");
+        RunLengthDetector {
+            z_threshold,
+            mean: 0.0,
+            std_dev: 1.0,
+        }
+    }
+}
+
+impl<T> RunClassifier<T> for RunLengthDetector {
+    fn fit(&mut self, training: &[Vec<T>]) {
+        let n = training.len() as f64;
+        if n == 0.0 {
+            return;
+        }
+        self.mean = training.iter().map(|s| s.len() as f64).sum::<f64>() / n;
+        let var = training
+            .iter()
+            .map(|s| {
+                let d = s.len() as f64 - self.mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        self.std_dev = var.sqrt().max(1.0);
+    }
+
+    fn is_anomalous(&self, run: &[T]) -> bool {
+        ((run.len() as f64 - self.mean) / self.std_dev).abs() > self.z_threshold
+    }
+
+    fn name(&self) -> &'static str {
+        "run-length"
+    }
+}
+
+/// Evaluates any [`RunClassifier`] under the paper's k-fold protocol,
+/// returning its confusion matrix — directly comparable with
+/// [`crate::PerplexityDetector::evaluate`]'s.
+///
+/// # Errors
+///
+/// Propagates fold-arithmetic failures.
+pub fn evaluate_classifier<T: Clone + Ord + Hash, C: RunClassifier<T>>(
+    classifier: &mut C,
+    labelled: &[(Vec<T>, bool)],
+    k: usize,
+    seed: u64,
+) -> Result<ConfusionMatrix, RadError> {
+    let cv = CrossValidation::new(labelled.len(), k, seed)?;
+    let mut cm = ConfusionMatrix::new();
+    for fold in cv.folds() {
+        let training: Vec<Vec<T>> = fold.train.iter().map(|&i| labelled[i].0.clone()).collect();
+        classifier.fit(&training);
+        for &i in &fold.test {
+            cm.record(labelled[i].1, classifier.is_anomalous(&labelled[i].0));
+        }
+    }
+    Ok(cm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labelled() -> Vec<(Vec<&'static str>, bool)> {
+        let mut out = Vec::new();
+        for i in 0..9 {
+            let mut seq = Vec::new();
+            for _ in 0..(10 + i % 3) {
+                seq.push("A");
+                seq.push("B");
+            }
+            out.push((seq, false));
+        }
+        // The anomaly has a *typical length* but an off-grammar token.
+        let mut weird = Vec::new();
+        for _ in 0..10 {
+            weird.push("A");
+            weird.push("B");
+        }
+        weird[7] = "X";
+        out.push((weird, true));
+        out
+    }
+
+    #[test]
+    fn allowlist_flags_novel_transitions() {
+        let mut det = TransitionAllowlist::new();
+        det.fit(std::slice::from_ref(&vec!["A", "B", "A"]));
+        assert_eq!(det.len(), 2);
+        assert!(!det.is_anomalous(&["A", "B", "A", "B"]));
+        assert!(det.is_anomalous(&["B", "B"]));
+    }
+
+    #[test]
+    fn rare_command_flags_unknown_tokens() {
+        let mut det = RareCommandDetector::new(0.01);
+        det.fit(&[vec!["A"; 99].into_iter().chain(["B"]).collect()]);
+        assert!(!det.is_anomalous(&["A", "A"]));
+        assert!(!det.is_anomalous(&["B"]), "B is exactly at 1%");
+        assert!(det.is_anomalous(&["C"]), "unknown command");
+    }
+
+    #[test]
+    fn run_length_flags_outliers() {
+        let mut det = RunLengthDetector::new(2.0);
+        let training: Vec<Vec<u8>> = (0..10).map(|i| vec![0u8; 100 + i]).collect();
+        RunClassifier::<u8>::fit(&mut det, &training);
+        assert!(!RunClassifier::<u8>::is_anomalous(&det, &[0u8; 104]));
+        assert!(RunClassifier::<u8>::is_anomalous(&det, &[0u8; 10]));
+        assert!(RunClassifier::<u8>::is_anomalous(&det, &vec![0u8; 500]));
+    }
+
+    #[test]
+    fn allowlist_catches_the_planted_anomaly_under_cv() {
+        let mut det = TransitionAllowlist::new();
+        let cm = evaluate_classifier(&mut det, &labelled(), 5, 0).unwrap();
+        assert_eq!(cm.true_positives(), 1);
+        assert_eq!(cm.false_negatives(), 0);
+    }
+
+    #[test]
+    fn length_baseline_misses_content_anomalies() {
+        // The planted anomaly has a typical length: the strawman fails.
+        let mut det = RunLengthDetector::new(2.0);
+        let cm = evaluate_classifier(&mut det, &labelled(), 5, 0).unwrap();
+        assert_eq!(cm.true_positives(), 0, "length alone cannot see the X");
+    }
+
+    #[test]
+    fn validation_panics() {
+        assert!(std::panic::catch_unwind(|| RareCommandDetector::<u8>::new(0.0)).is_err());
+        assert!(std::panic::catch_unwind(|| RunLengthDetector::new(-1.0)).is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! K-fold cross-validation (the 5-fold protocol of §V-B).
+//!
+//! The paper shuffles the 25 supervised runs, splits them into five
+//! groups of five, and rotates each group through the test-set role.
+//! [`CrossValidation`] reproduces that protocol deterministically: the
+//! shuffle derives from an explicit seed.
+
+use rad_core::RadError;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A reproducible k-fold splitter over item indices.
+///
+/// # Examples
+///
+/// ```
+/// use rad_analysis::CrossValidation;
+///
+/// let cv = CrossValidation::new(25, 5, 7)?;
+/// let folds: Vec<_> = cv.folds().collect();
+/// assert_eq!(folds.len(), 5);
+/// let total: usize = folds.iter().map(|f| f.test.len()).sum();
+/// assert_eq!(total, 25);
+/// # Ok::<(), rad_core::RadError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CrossValidation {
+    assignment: Vec<usize>,
+    k: usize,
+}
+
+/// One train/test split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Indices of the training items.
+    pub train: Vec<usize>,
+    /// Indices of the held-out test items.
+    pub test: Vec<usize>,
+}
+
+impl CrossValidation {
+    /// Plans a shuffled k-fold split of `n` items, seeded by `seed`.
+    ///
+    /// When `k` does not divide `n`, the first `n % k` folds get one
+    /// extra item (scikit-learn's convention).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadError::Analysis`] if `k < 2` or `n < k`.
+    pub fn new(n: usize, k: usize, seed: u64) -> Result<Self, RadError> {
+        if k < 2 {
+            return Err(RadError::Analysis("need at least two folds".into()));
+        }
+        if n < k {
+            return Err(RadError::Analysis(format!(
+                "cannot split {n} items into {k} folds"
+            )));
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
+        // assignment[i] = fold of item i.
+        let mut assignment = vec![0usize; n];
+        let base = n / k;
+        let extra = n % k;
+        let mut cursor = 0;
+        for fold in 0..k {
+            let size = base + usize::from(fold < extra);
+            for _ in 0..size {
+                assignment[order[cursor]] = fold;
+                cursor += 1;
+            }
+        }
+        Ok(CrossValidation { assignment, k })
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Whether the split is over zero items (never true by
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Iterates over the k train/test splits.
+    pub fn folds(&self) -> impl Iterator<Item = Fold> + '_ {
+        (0..self.k).map(move |fold| {
+            let mut train = Vec::new();
+            let mut test = Vec::new();
+            for (i, &f) in self.assignment.iter().enumerate() {
+                if f == fold {
+                    test.push(i);
+                } else {
+                    train.push(i);
+                }
+            }
+            Fold { train, test }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn folds_partition_all_items() {
+        let cv = CrossValidation::new(25, 5, 1).unwrap();
+        let mut seen = BTreeSet::new();
+        for fold in cv.folds() {
+            assert_eq!(fold.test.len(), 5);
+            assert_eq!(fold.train.len(), 20);
+            for i in &fold.test {
+                assert!(seen.insert(*i), "item {i} appears in two test folds");
+            }
+            let train: BTreeSet<_> = fold.train.iter().collect();
+            assert!(fold.test.iter().all(|i| !train.contains(i)));
+        }
+        assert_eq!(seen.len(), 25);
+    }
+
+    #[test]
+    fn uneven_splits_distribute_the_remainder() {
+        let cv = CrossValidation::new(23, 5, 2).unwrap();
+        let sizes: Vec<usize> = cv.folds().map(|f| f.test.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 23);
+        assert_eq!(*sizes.iter().max().unwrap(), 5);
+        assert_eq!(*sizes.iter().min().unwrap(), 4);
+    }
+
+    #[test]
+    fn same_seed_same_split_different_seed_different_split() {
+        let a: Vec<Fold> = CrossValidation::new(25, 5, 3).unwrap().folds().collect();
+        let b: Vec<Fold> = CrossValidation::new(25, 5, 3).unwrap().folds().collect();
+        let c: Vec<Fold> = CrossValidation::new(25, 5, 4).unwrap().folds().collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(CrossValidation::new(25, 1, 0).is_err());
+        assert!(CrossValidation::new(3, 5, 0).is_err());
+    }
+}

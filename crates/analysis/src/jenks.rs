@@ -1,0 +1,173 @@
+//! Jenks natural-breaks optimization (Fisher's exact algorithm).
+//!
+//! §V-B clusters perplexity scores "into two classes, anomalous and
+//! benign, using the Jenks natural breaks optimization technique".
+//! [`jenks_breaks`] implements the exact dynamic program (minimum
+//! within-class sum of squared deviations) for any class count;
+//! [`jenks_two_class`] is the two-class convenience the detector uses.
+
+use rad_core::RadError;
+
+/// Computes the optimal `k`-class natural-breaks partition of `values`.
+///
+/// Returns the sorted values and the break indices: `breaks[j]` is the
+/// index (into the sorted array) where class `j + 1` starts, so a
+/// result of `[3]` for k = 2 means classes `sorted[0..3]` and
+/// `sorted[3..]`.
+///
+/// # Errors
+///
+/// Returns [`RadError::Analysis`] if `k == 0`, `values.len() < k`, or
+/// any value is not finite.
+pub fn jenks_breaks(values: &[f64], k: usize) -> Result<(Vec<f64>, Vec<usize>), RadError> {
+    if k == 0 {
+        return Err(RadError::Analysis("class count must be positive".into()));
+    }
+    if values.len() < k {
+        return Err(RadError::Analysis(format!(
+            "cannot split {} values into {k} classes",
+            values.len()
+        )));
+    }
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err(RadError::Analysis("values must be finite".into()));
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    let n = sorted.len();
+
+    // Prefix sums for O(1) within-class SSD queries.
+    let mut prefix = vec![0.0; n + 1];
+    let mut prefix_sq = vec![0.0; n + 1];
+    for (i, v) in sorted.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + v;
+        prefix_sq[i + 1] = prefix_sq[i] + v * v;
+    }
+    // SSD of sorted[i..j] (half-open).
+    let ssd = |i: usize, j: usize| -> f64 {
+        let m = (j - i) as f64;
+        let sum = prefix[j] - prefix[i];
+        (prefix_sq[j] - prefix_sq[i]) - sum * sum / m
+    };
+
+    // dp[c][j] = minimal SSD splitting sorted[0..j] into c classes.
+    let inf = f64::INFINITY;
+    let mut dp = vec![vec![inf; n + 1]; k + 1];
+    let mut cut = vec![vec![0usize; n + 1]; k + 1];
+    dp[0][0] = 0.0;
+    for c in 1..=k {
+        for j in c..=n {
+            for i in (c - 1)..j {
+                if dp[c - 1][i] == inf {
+                    continue;
+                }
+                let cost = dp[c - 1][i] + ssd(i, j);
+                if cost < dp[c][j] {
+                    dp[c][j] = cost;
+                    cut[c][j] = i;
+                }
+            }
+        }
+    }
+
+    // Recover break indices.
+    let mut breaks = Vec::with_capacity(k - 1);
+    let mut j = n;
+    for c in (2..=k).rev() {
+        let i = cut[c][j];
+        breaks.push(i);
+        j = i;
+    }
+    breaks.reverse();
+    Ok((sorted, breaks))
+}
+
+/// Splits `values` into a low and a high class at the natural break,
+/// returning the threshold: the midpoint between the largest low value
+/// and the smallest high value. Values `> threshold` are the high
+/// (anomalous) class.
+///
+/// # Errors
+///
+/// Propagates [`jenks_breaks`]'s errors (needs at least two values).
+pub fn jenks_two_class(values: &[f64]) -> Result<f64, RadError> {
+    let (sorted, breaks) = jenks_breaks(values, 2)?;
+    let split = breaks[0];
+    if split == 0 || split >= sorted.len() {
+        // Degenerate (all values identical): threshold above everything.
+        return Ok(sorted[sorted.len() - 1]);
+    }
+    Ok((sorted[split - 1] + sorted[split]) / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_two_cluster_data_splits_at_the_gap() {
+        let values = [1.0, 1.2, 0.9, 1.1, 10.0, 10.5, 9.8];
+        let t = jenks_two_class(&values).unwrap();
+        assert!(t > 1.2 && t < 9.8, "threshold {t} falls in the gap");
+        let high: Vec<f64> = values.iter().copied().filter(|v| *v > t).collect();
+        assert_eq!(high.len(), 3);
+    }
+
+    #[test]
+    fn three_class_breaks_recover_three_clusters() {
+        let values = [0.0, 0.1, 0.2, 5.0, 5.1, 5.2, 10.0, 10.1, 10.2];
+        let (sorted, breaks) = jenks_breaks(&values, 3).unwrap();
+        assert_eq!(breaks, vec![3, 6]);
+        assert_eq!(sorted[3], 5.0);
+        assert_eq!(sorted[6], 10.0);
+    }
+
+    #[test]
+    fn single_class_has_no_breaks() {
+        let (_, breaks) = jenks_breaks(&[1.0, 2.0, 3.0], 1).unwrap();
+        assert!(breaks.is_empty());
+    }
+
+    #[test]
+    fn identical_values_do_not_flag_anything() {
+        let values = [2.0, 2.0, 2.0, 2.0];
+        let t = jenks_two_class(&values).unwrap();
+        assert!(
+            values.iter().all(|v| *v <= t),
+            "no value exceeds the threshold"
+        );
+    }
+
+    #[test]
+    fn one_outlier_is_isolated() {
+        let values = [1.0, 1.1, 0.95, 1.05, 42.0];
+        let t = jenks_two_class(&values).unwrap();
+        let high: Vec<f64> = values.iter().copied().filter(|v| *v > t).collect();
+        assert_eq!(high, vec![42.0]);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(jenks_breaks(&[1.0], 2).is_err());
+        assert!(jenks_breaks(&[1.0, 2.0], 0).is_err());
+        assert!(jenks_breaks(&[1.0, f64::NAN], 2).is_err());
+        assert!(jenks_breaks(&[1.0, f64::INFINITY], 2).is_err());
+    }
+
+    #[test]
+    fn dp_minimizes_within_class_variance() {
+        // Compare against brute force on a small input.
+        let values = [0.3, 1.0, 2.2, 2.4, 6.0, 6.1, 7.9];
+        let (sorted, breaks) = jenks_breaks(&values, 2).unwrap();
+        let split = breaks[0];
+        let ssd = |s: &[f64]| -> f64 {
+            let m = s.iter().sum::<f64>() / s.len() as f64;
+            s.iter().map(|v| (v - m) * (v - m)).sum()
+        };
+        let best = ssd(&sorted[..split]) + ssd(&sorted[split..]);
+        for other in 1..sorted.len() {
+            let cost = ssd(&sorted[..other]) + ssd(&sorted[other..]);
+            assert!(best <= cost + 1e-12, "split {other} beats dp split {split}");
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! N-gram language models and perplexity (§V-B, RQ2).
+//!
+//! Given training sequences, the model estimates
+//! `P(c_i | c_{i-n+1..i-1})` from n-gram and context counts, and scores
+//! a new sequence by perplexity — the geometric-mean inverse
+//! probability per transition. Lower perplexity means more typical;
+//! anomalies score high.
+//!
+//! The paper leaves smoothing implicit (its corpus covers every n-gram
+//! it scores); a reproduction cannot, so [`Smoothing`] makes the choice
+//! explicit and the ablation bench compares the variants.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use rad_core::RadError;
+
+/// How unseen n-grams are assigned probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Smoothing {
+    /// Unseen transitions get a fixed floor probability. Simple and
+    /// aggressive: one unseen transition dominates a short sequence's
+    /// score, which is exactly the behaviour an anomaly detector wants.
+    EpsilonFloor(f64),
+    /// Add-k (Laplace for k = 1) smoothing over the observed
+    /// vocabulary.
+    AddK(f64),
+}
+
+impl Default for Smoothing {
+    fn default() -> Self {
+        Smoothing::EpsilonFloor(1e-6)
+    }
+}
+
+/// A fitted n-gram language model over tokens of type `T`.
+///
+/// # Examples
+///
+/// ```
+/// use rad_analysis::{CommandLm, Smoothing};
+///
+/// let training = vec![vec!["A", "B", "A", "B", "A"], vec!["A", "B", "A"]];
+/// let lm = CommandLm::fit(2, &training, Smoothing::default())?;
+/// // "A B" is the dominant transition; "B B" was never seen.
+/// assert!(lm.probability(&["A"], &"B") > 0.9);
+/// assert!(lm.probability(&["B"], &"B") < 0.01);
+/// # Ok::<(), rad_core::RadError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CommandLm<T> {
+    n: usize,
+    ngram_counts: HashMap<Vec<T>, u64>,
+    context_counts: HashMap<Vec<T>, u64>,
+    vocabulary_size: usize,
+    smoothing: Smoothing,
+}
+
+impl<T: Clone + Eq + Hash + Ord> CommandLm<T> {
+    /// Fits an order-`n` model on `training` sequences.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadError::Analysis`] if `n < 2`, the training set is
+    /// empty, or no training sequence is at least `n` tokens long.
+    pub fn fit(n: usize, training: &[Vec<T>], smoothing: Smoothing) -> Result<Self, RadError> {
+        if n < 2 {
+            return Err(RadError::Analysis(
+                "language model order must be >= 2".into(),
+            ));
+        }
+        if training.is_empty() {
+            return Err(RadError::Analysis("empty training set".into()));
+        }
+        let mut ngram_counts: HashMap<Vec<T>, u64> = HashMap::new();
+        let mut context_counts: HashMap<Vec<T>, u64> = HashMap::new();
+        let mut vocabulary = std::collections::BTreeSet::new();
+        let mut usable = false;
+        for seq in training {
+            for t in seq {
+                vocabulary.insert(t.clone());
+            }
+            if seq.len() < n {
+                continue;
+            }
+            usable = true;
+            for window in seq.windows(n) {
+                *ngram_counts.entry(window.to_vec()).or_insert(0) += 1;
+                *context_counts.entry(window[..n - 1].to_vec()).or_insert(0) += 1;
+            }
+        }
+        if !usable {
+            return Err(RadError::Analysis(format!(
+                "no training sequence has at least {n} tokens"
+            )));
+        }
+        Ok(CommandLm {
+            n,
+            ngram_counts,
+            context_counts,
+            vocabulary_size: vocabulary.len(),
+            smoothing,
+        })
+    }
+
+    /// Model order (2 = bigram).
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Size of the training vocabulary.
+    pub fn vocabulary_size(&self) -> usize {
+        self.vocabulary_size
+    }
+
+    /// Number of times `context` was observed in training (zero for
+    /// unseen contexts). The program synthesizer uses this to detect
+    /// dead ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `context.len() != order - 1`.
+    pub fn context_count(&self, context: &[T]) -> u64 {
+        assert_eq!(
+            context.len(),
+            self.n - 1,
+            "context length must be order - 1"
+        );
+        self.context_counts.get(context).copied().unwrap_or(0)
+    }
+
+    /// `P(next | context)` under the fitted counts and smoothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `context.len() != order - 1`.
+    pub fn probability(&self, context: &[T], next: &T) -> f64 {
+        assert_eq!(
+            context.len(),
+            self.n - 1,
+            "context length must be order - 1"
+        );
+        let mut ngram: Vec<T> = context.to_vec();
+        ngram.push(next.clone());
+        let joint = self.ngram_counts.get(&ngram).copied().unwrap_or(0) as f64;
+        let ctx = self.context_counts.get(context).copied().unwrap_or(0) as f64;
+        match self.smoothing {
+            Smoothing::EpsilonFloor(eps) => {
+                if joint == 0.0 || ctx == 0.0 {
+                    eps
+                } else {
+                    joint / ctx
+                }
+            }
+            Smoothing::AddK(k) => {
+                let v = self.vocabulary_size as f64;
+                (joint + k) / (ctx + k * v)
+            }
+        }
+    }
+
+    /// Log-probability (natural log) of a sequence under the model:
+    /// the sum over its `len - n + 1` transitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadError::Analysis`] if `sequence` is shorter than the
+    /// model order (no transition to score).
+    pub fn log_probability(&self, sequence: &[T]) -> Result<f64, RadError> {
+        if sequence.len() < self.n {
+            return Err(RadError::Analysis(format!(
+                "sequence of {} tokens is shorter than model order {}",
+                sequence.len(),
+                self.n
+            )));
+        }
+        Ok(sequence
+            .windows(self.n)
+            .map(|w| self.probability(&w[..self.n - 1], &w[self.n - 1]).ln())
+            .sum())
+    }
+
+    /// Perplexity of a sequence: `exp(-logP / transitions)`, the
+    /// normalized inverse probability of §V-B. Lower is more typical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CommandLm::log_probability`]'s error on too-short
+    /// sequences.
+    pub fn perplexity(&self, sequence: &[T]) -> Result<f64, RadError> {
+        let transitions = (sequence.len() + 1 - self.n) as f64;
+        let logp = self.log_probability(sequence)?;
+        Ok((-logp / transitions).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab_training() -> Vec<Vec<&'static str>> {
+        vec![vec!["A", "B", "A", "B", "A", "B"], vec!["B", "A", "B", "A"]]
+    }
+
+    #[test]
+    fn probabilities_normalize_over_seen_vocabulary() {
+        // With add-k smoothing, sum over vocabulary must be exactly 1.
+        let lm = CommandLm::fit(2, &ab_training(), Smoothing::AddK(1.0)).unwrap();
+        let total: f64 = ["A", "B"].iter().map(|t| lm.probability(&["A"], t)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsmoothed_estimates_match_counts() {
+        let lm = CommandLm::fit(2, &ab_training(), Smoothing::EpsilonFloor(1e-9)).unwrap();
+        // After "A": always "B" (5 of 5 transitions).
+        assert!((lm.probability(&["A"], &"B") - 1.0).abs() < 1e-12);
+        assert_eq!(lm.probability(&["A"], &"A"), 1e-9);
+    }
+
+    #[test]
+    fn typical_sequences_score_lower_perplexity_than_anomalies() {
+        let lm = CommandLm::fit(2, &ab_training(), Smoothing::default()).unwrap();
+        let typical = lm.perplexity(&["A", "B", "A", "B"]).unwrap();
+        let weird = lm.perplexity(&["A", "A", "B", "B"]).unwrap();
+        assert!(weird > typical * 10.0, "typical {typical}, weird {weird}");
+    }
+
+    #[test]
+    fn perplexity_is_length_normalized() {
+        let lm = CommandLm::fit(2, &ab_training(), Smoothing::default()).unwrap();
+        let short = lm.perplexity(&["A", "B", "A"]).unwrap();
+        let long = lm.perplexity(&["A", "B", "A", "B", "A", "B", "A"]).unwrap();
+        assert!(
+            (short - long).abs() < 1e-9,
+            "pure repetitions of the same transition tie"
+        );
+    }
+
+    #[test]
+    fn trigram_model_uses_two_token_contexts() {
+        let training = vec![vec!["X", "Y", "Z", "X", "Y", "Z", "X", "Y", "Z"]];
+        let lm = CommandLm::fit(3, &training, Smoothing::default()).unwrap();
+        assert!(lm.probability(&["X", "Y"], &"Z") > 0.99);
+        assert!(lm.perplexity(&["X", "Y", "Z", "X", "Y"]).unwrap() < 1.1);
+    }
+
+    #[test]
+    fn fit_validates_inputs() {
+        assert!(CommandLm::<&str>::fit(1, &ab_training(), Smoothing::default()).is_err());
+        assert!(CommandLm::<&str>::fit(2, &[], Smoothing::default()).is_err());
+        assert!(CommandLm::fit(4, &[vec!["A", "B"]], Smoothing::default()).is_err());
+    }
+
+    #[test]
+    fn scoring_too_short_sequences_errors() {
+        let lm = CommandLm::fit(
+            3,
+            &[vec!["A", "B", "C", "A", "B", "C"]],
+            Smoothing::default(),
+        )
+        .unwrap();
+        assert!(lm.perplexity(&["A", "B"]).is_err());
+    }
+
+    #[test]
+    fn perplexity_matches_hand_computation() {
+        // Training: A->B 3 times, A->A 1 time (counts 3 and 1).
+        let training = vec![
+            vec!["A", "B"],
+            vec!["A", "B"],
+            vec!["A", "B"],
+            vec!["A", "A"],
+        ];
+        let lm = CommandLm::fit(2, &training, Smoothing::EpsilonFloor(1e-6)).unwrap();
+        // P(B|A) = 3/4, P(A|A) = 1/4.
+        let seq = ["A", "B"];
+        let expected = (0.75f64).powf(-1.0); // exp(-ln(0.75)/1)
+        assert!((lm.perplexity(&seq).unwrap() - expected).abs() < 1e-12);
+        let seq2 = ["A", "A", "B"];
+        // transitions: A->A (0.25), A->B (0.75); ppl = (0.25*0.75)^(-1/2)
+        let expected2 = (0.25f64 * 0.75).powf(-0.5);
+        assert!((lm.perplexity(&seq2).unwrap() - expected2).abs() < 1e-12);
+    }
+}

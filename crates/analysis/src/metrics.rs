@@ -1,0 +1,220 @@
+//! Classification metrics (Table I).
+//!
+//! Anomaly detection treats *anomalous* as the positive class. Table I
+//! reports accuracy, a weighted accuracy that counts true positives
+//! twice (catching a crash matters more than avoiding a false alarm),
+//! precision, recall, and F1, plus the raw confusion counts.
+
+use std::fmt;
+
+/// A binary confusion matrix with anomalous as the positive class.
+///
+/// # Examples
+///
+/// ```
+/// use rad_analysis::ConfusionMatrix;
+///
+/// let mut cm = ConfusionMatrix::new();
+/// cm.record(true, true);   // caught anomaly
+/// cm.record(false, false); // correctly quiet
+/// cm.record(false, true);  // false alarm
+/// assert_eq!(cm.true_positives(), 1);
+/// assert_eq!(cm.false_positives(), 1);
+/// assert!((cm.recall() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    tp: u64,
+    fp: u64,
+    tn: u64,
+    fn_: u64,
+}
+
+impl ConfusionMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        ConfusionMatrix::default()
+    }
+
+    /// Builds a matrix from raw counts `(tp, fp, tn, fn)`.
+    pub fn from_counts(tp: u64, fp: u64, tn: u64, fn_: u64) -> Self {
+        ConfusionMatrix { tp, fp, tn, fn_ }
+    }
+
+    /// Records one prediction.
+    pub fn record(&mut self, actual_anomalous: bool, predicted_anomalous: bool) {
+        match (actual_anomalous, predicted_anomalous) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fn_ += 1,
+            (false, true) => self.fp += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Merges another matrix into this one (fold accumulation).
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+
+    /// True positives (anomalies caught).
+    pub fn true_positives(&self) -> u64 {
+        self.tp
+    }
+
+    /// False positives (false alarms).
+    pub fn false_positives(&self) -> u64 {
+        self.fp
+    }
+
+    /// True negatives (benign passed through).
+    pub fn true_negatives(&self) -> u64 {
+        self.tn
+    }
+
+    /// False negatives (missed anomalies).
+    pub fn false_negatives(&self) -> u64 {
+        self.fn_
+    }
+
+    /// Total predictions recorded.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// `(tp + tn) / total`; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / self.total() as f64
+    }
+
+    /// Table I's weighted accuracy: true positives weighted 2× over
+    /// true negatives (footnote 3 of the paper).
+    pub fn weighted_accuracy(&self) -> f64 {
+        let denom = 2.0 * (self.tp + self.fn_) as f64 + (self.tn + self.fp) as f64;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        (2.0 * self.tp as f64 + self.tn as f64) / denom
+    }
+
+    /// `tp / (tp + fp)`; 0 when no positive predictions were made.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / denom as f64
+    }
+
+    /// `tp / (tp + fn)`; 0 when there are no positives.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / denom as f64
+    }
+
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tp={} fp={} tn={} fn={} acc={:.2}% wacc={:.2}% prec={:.2} rec={:.2} f1={:.2}",
+            self.tp,
+            self.fp,
+            self.tn,
+            self.fn_,
+            self.accuracy() * 100.0,
+            self.weighted_accuracy() * 100.0,
+            self.precision(),
+            self.recall(),
+            self.f1()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_trigram_row_reproduces() {
+        // Table I, trigram column: TP 3, TN 18, FP 4, FN 0.
+        let cm = ConfusionMatrix::from_counts(3, 4, 18, 0);
+        assert!((cm.accuracy() - 0.84).abs() < 0.005);
+        assert!((cm.weighted_accuracy() - 0.8571).abs() < 0.001);
+        assert!((cm.precision() - 3.0 / 7.0).abs() < 1e-12);
+        assert!((cm.recall() - 1.0).abs() < 1e-12);
+        assert!((cm.f1() - 0.6).abs() < 0.001);
+    }
+
+    #[test]
+    fn table_one_bigram_row_reproduces() {
+        // Table I, bigram column: TP 3, TN 13, FP 9, FN 0.
+        let cm = ConfusionMatrix::from_counts(3, 9, 13, 0);
+        assert!((cm.accuracy() - 0.64).abs() < 0.005);
+        assert!((cm.weighted_accuracy() - 0.6785).abs() < 0.001);
+        assert!((cm.precision() - 0.25).abs() < 1e-12);
+        assert!((cm.f1() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_routes_to_the_right_cell() {
+        let mut cm = ConfusionMatrix::new();
+        cm.record(true, true);
+        cm.record(true, false);
+        cm.record(false, true);
+        cm.record(false, false);
+        assert_eq!(
+            (
+                cm.true_positives(),
+                cm.false_negatives(),
+                cm.false_positives(),
+                cm.true_negatives()
+            ),
+            (1, 1, 1, 1)
+        );
+        assert_eq!(cm.total(), 4);
+    }
+
+    #[test]
+    fn merge_accumulates_folds() {
+        let mut total = ConfusionMatrix::new();
+        for _ in 0..5 {
+            total.merge(&ConfusionMatrix::from_counts(1, 2, 3, 0));
+        }
+        assert_eq!(total, ConfusionMatrix::from_counts(5, 10, 15, 0));
+    }
+
+    #[test]
+    fn empty_matrix_metrics_are_zero_not_nan() {
+        let cm = ConfusionMatrix::new();
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.weighted_accuracy(), 0.0);
+        assert_eq!(cm.precision(), 0.0);
+        assert_eq!(cm.recall(), 0.0);
+        assert_eq!(cm.f1(), 0.0);
+    }
+
+    #[test]
+    fn display_shows_all_cells() {
+        let s = ConfusionMatrix::from_counts(3, 4, 18, 0).to_string();
+        assert!(s.contains("tp=3") && s.contains("fp=4") && s.contains("tn=18"));
+    }
+}

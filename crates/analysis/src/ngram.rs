@@ -1,0 +1,162 @@
+//! N-gram frequency counting (Fig. 5b).
+//!
+//! An n-gram here is a contiguous run of `n` commands. The counter is
+//! generic over the token type: the paper's analysis uses bare
+//! [`rad_core::CommandType`] tokens, while the parameter-aware ablation
+//! uses `(command, bucketed-args)` strings.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Counts n-grams of a fixed order over one or more sequences.
+///
+/// # Examples
+///
+/// ```
+/// use rad_analysis::NgramCounter;
+///
+/// let mut bigrams = NgramCounter::new(2);
+/// bigrams.observe(&["Q", "Q", "Q", "A"]);
+/// assert_eq!(bigrams.count(&["Q", "Q"]), 2);
+/// assert_eq!(bigrams.count(&["Q", "A"]), 1);
+/// assert_eq!(bigrams.top_k(1)[0].0, vec!["Q", "Q"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NgramCounter<T> {
+    n: usize,
+    counts: HashMap<Vec<T>, u64>,
+    total: u64,
+}
+
+impl<T: Clone + Eq + Hash + Ord> NgramCounter<T> {
+    /// A counter for n-grams of order `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "n-gram order must be at least 1");
+        NgramCounter {
+            n,
+            counts: HashMap::new(),
+            total: 0,
+        }
+    }
+
+    /// The n-gram order.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Adds every n-gram of `sequence` to the counts. Sequences
+    /// shorter than `n` contribute nothing; n-grams never straddle two
+    /// `observe` calls (sentence boundaries are respected).
+    pub fn observe(&mut self, sequence: &[T]) {
+        if sequence.len() < self.n {
+            return;
+        }
+        for window in sequence.windows(self.n) {
+            *self.counts.entry(window.to_vec()).or_insert(0) += 1;
+            self.total += 1;
+        }
+    }
+
+    /// Count of one specific n-gram.
+    pub fn count(&self, ngram: &[T]) -> u64 {
+        self.counts.get(ngram).copied().unwrap_or(0)
+    }
+
+    /// Total number of n-gram occurrences observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct n-grams observed.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The `k` most frequent n-grams with their counts, most frequent
+    /// first; ties break lexicographically for determinism.
+    pub fn top_k(&self, k: usize) -> Vec<(Vec<T>, u64)> {
+        let mut entries: Vec<(Vec<T>, u64)> =
+            self.counts.iter().map(|(g, c)| (g.clone(), *c)).collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        entries.truncate(k);
+        entries
+    }
+
+    /// Relative frequency of one n-gram among all observed n-grams.
+    pub fn frequency(&self, ngram: &[T]) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.count(ngram) as f64 / self.total as f64
+    }
+
+    /// Iterates over all `(ngram, count)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<T>, u64)> {
+        self.counts.iter().map(|(g, c)| (g, *c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unigram_counts_are_token_counts() {
+        let mut c = NgramCounter::new(1);
+        c.observe(&[1, 1, 2, 3, 1]);
+        assert_eq!(c.count(&[1]), 3);
+        assert_eq!(c.count(&[2]), 1);
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.distinct(), 3);
+    }
+
+    #[test]
+    fn short_sequences_contribute_nothing() {
+        let mut c = NgramCounter::new(3);
+        c.observe(&[1, 2]);
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn ngrams_do_not_straddle_sentences() {
+        let mut c = NgramCounter::new(2);
+        c.observe(&[1, 2]);
+        c.observe(&[3, 4]);
+        assert_eq!(
+            c.count(&[2, 3]),
+            0,
+            "no bigram across the sentence boundary"
+        );
+        assert_eq!(c.total(), 2);
+    }
+
+    #[test]
+    fn top_k_orders_by_count_then_lexicographic() {
+        let mut c = NgramCounter::new(2);
+        c.observe(&["b", "b", "b", "a", "a", "a"]);
+        // bigrams: bb bb ba aa aa
+        let top = c.top_k(3);
+        assert_eq!(top[0], (vec!["a", "a"], 2));
+        assert_eq!(top[1], (vec!["b", "b"], 2));
+        assert_eq!(top[2], (vec!["b", "a"], 1));
+    }
+
+    #[test]
+    fn frequency_normalizes_by_total() {
+        let mut c = NgramCounter::new(1);
+        c.observe(&[7, 7, 8, 9]);
+        assert!((c.frequency(&[7]) - 0.5).abs() < 1e-12);
+        let empty: NgramCounter<i32> = NgramCounter::new(1);
+        assert_eq!(empty.frequency(&[7]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_order_is_rejected() {
+        let _ = NgramCounter::<u8>::new(0);
+    }
+}

@@ -1,0 +1,351 @@
+//! Specification mining and program synthesis over command traces.
+//!
+//! §V names two further use cases for RAD beyond intrusion detection:
+//! "program synthesis, generating a sequence of low-level commands
+//! from a high-level specification, and specification mining, deriving
+//! a high-level program specification from low-level commands". This
+//! module implements first-order versions of both:
+//!
+//! - [`MinedSpec`] — a per-procedure automaton mined from runs: the
+//!   observed command alphabet, the always-first / always-last
+//!   commands, the transition relation, and invariant orderings
+//!   (command a always precedes command b). This is the rule set a
+//!   human would write in a procedure SOP.
+//! - [`synthesize`] — samples a plausible command sequence from a
+//!   fitted [`CommandLm`], the generative reading of the language
+//!   model.
+
+use std::collections::BTreeSet;
+use std::hash::Hash;
+
+use rad_core::RadError;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::lm::CommandLm;
+
+/// A mined, human-readable specification of a procedure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinedSpec<T> {
+    alphabet: BTreeSet<T>,
+    first: BTreeSet<T>,
+    last: BTreeSet<T>,
+    transitions: BTreeSet<(T, T)>,
+    precedences: BTreeSet<(T, T)>,
+}
+
+impl<T: Clone + Ord + Hash> MinedSpec<T> {
+    /// Mines a specification from the runs of one procedure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadError::Analysis`] when `runs` is empty or contains
+    /// an empty run.
+    pub fn mine(runs: &[Vec<T>]) -> Result<Self, RadError> {
+        if runs.is_empty() {
+            return Err(RadError::Analysis(
+                "cannot mine a spec from zero runs".into(),
+            ));
+        }
+        if runs.iter().any(Vec::is_empty) {
+            return Err(RadError::Analysis(
+                "cannot mine a spec from an empty run".into(),
+            ));
+        }
+        let mut alphabet = BTreeSet::new();
+        let mut transitions = BTreeSet::new();
+        let mut first = BTreeSet::new();
+        let mut last = BTreeSet::new();
+        for run in runs {
+            alphabet.extend(run.iter().cloned());
+            first.insert(run[0].clone());
+            last.insert(run[run.len() - 1].clone());
+            for w in run.windows(2) {
+                transitions.insert((w[0].clone(), w[1].clone()));
+            }
+        }
+        // Precedence invariants: a < b iff in *every* run containing
+        // both, the first occurrence of a is before the first of b,
+        // and at least one run contains both.
+        let mut precedences = BTreeSet::new();
+        for a in &alphabet {
+            for b in &alphabet {
+                if a == b {
+                    continue;
+                }
+                let mut witnessed = false;
+                let mut holds = true;
+                for run in runs {
+                    let pa = run.iter().position(|t| t == a);
+                    let pb = run.iter().position(|t| t == b);
+                    if let (Some(pa), Some(pb)) = (pa, pb) {
+                        witnessed = true;
+                        if pa >= pb {
+                            holds = false;
+                            break;
+                        }
+                    }
+                }
+                if witnessed && holds {
+                    precedences.insert((a.clone(), b.clone()));
+                }
+            }
+        }
+        Ok(MinedSpec {
+            alphabet,
+            first,
+            last,
+            transitions,
+            precedences,
+        })
+    }
+
+    /// The observed command alphabet.
+    pub fn alphabet(&self) -> &BTreeSet<T> {
+        &self.alphabet
+    }
+
+    /// Commands that can start a run.
+    pub fn initial_commands(&self) -> &BTreeSet<T> {
+        &self.first
+    }
+
+    /// Commands that can end a run.
+    pub fn final_commands(&self) -> &BTreeSet<T> {
+        &self.last
+    }
+
+    /// Number of distinct observed transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Whether `a` always precedes `b` (first occurrences) in every
+    /// run that contains both.
+    pub fn always_precedes(&self, a: &T, b: &T) -> bool {
+        self.precedences.contains(&(a.clone(), b.clone()))
+    }
+
+    /// Checks a new run against the mined spec, returning every
+    /// violated rule — a rule-based IDS derived from data rather than
+    /// hand-written (§I's "insufficient accumulated experience to
+    /// produce a collection of rules").
+    pub fn check(&self, run: &[T]) -> Vec<SpecViolation<T>> {
+        let mut violations = Vec::new();
+        let Some(first) = run.first() else {
+            return violations;
+        };
+        if !self.first.contains(first) {
+            violations.push(SpecViolation::BadStart(first.clone()));
+        }
+        for t in run {
+            if !self.alphabet.contains(t) {
+                violations.push(SpecViolation::UnknownCommand(t.clone()));
+            }
+        }
+        for w in run.windows(2) {
+            if self.alphabet.contains(&w[0])
+                && self.alphabet.contains(&w[1])
+                && !self.transitions.contains(&(w[0].clone(), w[1].clone()))
+            {
+                violations.push(SpecViolation::NovelTransition(w[0].clone(), w[1].clone()));
+            }
+        }
+        for (a, b) in &self.precedences {
+            let pa = run.iter().position(|t| t == a);
+            let pb = run.iter().position(|t| t == b);
+            if let (Some(pa), Some(pb)) = (pa, pb) {
+                if pa >= pb {
+                    violations.push(SpecViolation::OrderInversion(a.clone(), b.clone()));
+                }
+            }
+        }
+        violations
+    }
+}
+
+/// One violated specification rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecViolation<T> {
+    /// The run starts with a command no training run started with.
+    BadStart(T),
+    /// A command outside the mined alphabet.
+    UnknownCommand(T),
+    /// A transition never observed in training.
+    NovelTransition(T, T),
+    /// `a` occurred at/after `b` although training always had `a`
+    /// strictly before `b`.
+    OrderInversion(T, T),
+}
+
+/// Samples a plausible command sequence of length `len` from a fitted
+/// language model, starting from `seed_context` — the generative /
+/// program-synthesis reading of the model.
+///
+/// # Errors
+///
+/// Returns [`RadError::Analysis`] if `seed_context` is shorter than
+/// `order - 1` or the vocabulary is empty.
+pub fn synthesize<T: Clone + Eq + Hash + Ord>(
+    lm: &CommandLm<T>,
+    vocabulary: &[T],
+    seed_context: &[T],
+    len: usize,
+    seed: u64,
+) -> Result<Vec<T>, RadError> {
+    let n = lm.order();
+    if seed_context.len() < n - 1 {
+        return Err(RadError::Analysis(format!(
+            "seed context needs at least {} tokens",
+            n - 1
+        )));
+    }
+    if vocabulary.is_empty() {
+        return Err(RadError::Analysis("empty vocabulary".into()));
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out: Vec<T> = seed_context.to_vec();
+    while out.len() < len {
+        let context = &out[out.len() - (n - 1)..];
+        if lm.context_count(context) == 0 {
+            // Dead end: the training corpus never continued from here
+            // (e.g. a terminal command). The program ends early rather
+            // than inventing transitions.
+            break;
+        }
+        // Sample from the conditional distribution over the vocabulary.
+        let weights: Vec<f64> = vocabulary
+            .iter()
+            .map(|t| lm.probability(context, t))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut pick = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+        let mut chosen = vocabulary.len() - 1;
+        for (i, w) in weights.iter().enumerate() {
+            if pick < *w {
+                chosen = i;
+                break;
+            }
+            pick -= w;
+        }
+        out.push(vocabulary[chosen].clone());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lm::Smoothing;
+
+    fn runs() -> Vec<Vec<&'static str>> {
+        vec![
+            vec!["init", "home", "dose", "stir", "spin", "park"],
+            vec!["init", "home", "dose", "stir", "stir", "spin", "park"],
+            vec!["init", "home", "stir", "dose", "spin", "park"],
+        ]
+    }
+
+    #[test]
+    fn mined_spec_captures_start_end_and_alphabet() {
+        let spec = MinedSpec::mine(&runs()).unwrap();
+        assert!(spec.initial_commands().contains("init"));
+        assert_eq!(spec.initial_commands().len(), 1);
+        assert!(spec.final_commands().contains("park"));
+        assert_eq!(spec.alphabet().len(), 6);
+    }
+
+    #[test]
+    fn precedence_invariants_are_mined() {
+        let spec = MinedSpec::mine(&runs()).unwrap();
+        assert!(spec.always_precedes(&"init", &"dose"));
+        assert!(spec.always_precedes(&"home", &"spin"));
+        // dose/stir order varies across runs: no invariant either way.
+        assert!(!spec.always_precedes(&"dose", &"stir"));
+        assert!(!spec.always_precedes(&"stir", &"dose"));
+    }
+
+    #[test]
+    fn check_flags_the_right_violations() {
+        let spec = MinedSpec::mine(&runs()).unwrap();
+        assert!(spec
+            .check(&["init", "home", "dose", "stir", "spin", "park"])
+            .is_empty());
+        let violations = spec.check(&["home", "init", "explode", "spin", "park"]);
+        assert!(violations.contains(&SpecViolation::BadStart("home")));
+        assert!(violations.contains(&SpecViolation::UnknownCommand("explode")));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, SpecViolation::OrderInversion("init", _))));
+    }
+
+    #[test]
+    fn novel_transitions_are_flagged() {
+        let spec = MinedSpec::mine(&runs()).unwrap();
+        let violations = spec.check(&["init", "spin", "park"]);
+        assert!(violations.contains(&SpecViolation::NovelTransition("init", "spin")));
+    }
+
+    #[test]
+    fn mining_rejects_degenerate_input() {
+        assert!(MinedSpec::<&str>::mine(&[]).is_err());
+        assert!(MinedSpec::mine(&[vec!["a"], vec![]]).is_err());
+    }
+
+    #[test]
+    fn synthesis_respects_the_training_grammar() {
+        let training = runs().iter().map(|r| r.to_vec()).collect::<Vec<_>>();
+        let lm = CommandLm::fit(2, &training, Smoothing::EpsilonFloor(1e-12)).unwrap();
+        let vocab: Vec<&str> = vec!["init", "home", "dose", "stir", "spin", "park"];
+        let program = synthesize(&lm, &vocab, &["init"], 12, 7).unwrap();
+        // Generation may stop early at a terminal command ("park" has
+        // no observed continuation), but never runs past `len`.
+        assert!(program.len() >= 2 && program.len() <= 12);
+        // With near-zero smoothing, sampled transitions are (almost
+        // surely) observed ones: the mined spec accepts the program's
+        // transitions.
+        let spec = MinedSpec::mine(&training).unwrap();
+        let novel = spec
+            .check(&program)
+            .into_iter()
+            .filter(|v| matches!(v, SpecViolation::NovelTransition(..)))
+            .count();
+        assert_eq!(
+            novel, 0,
+            "synthesized program uses only observed transitions"
+        );
+    }
+
+    #[test]
+    fn synthesis_is_deterministic_per_seed() {
+        let training = runs().iter().map(|r| r.to_vec()).collect::<Vec<_>>();
+        let lm = CommandLm::fit(2, &training, Smoothing::default()).unwrap();
+        let vocab: Vec<&str> = vec!["init", "home", "dose", "stir", "spin", "park"];
+        let a = synthesize(&lm, &vocab, &["init"], 10, 3).unwrap();
+        let b = synthesize(&lm, &vocab, &["init"], 10, 3).unwrap();
+        assert_eq!(a, b);
+        // Different seeds explore different branches (dose/stir order
+        // varies in training); allow rare collisions by checking a
+        // handful of seeds.
+        let distinct: std::collections::BTreeSet<Vec<&str>> = (0..8)
+            .map(|s| synthesize(&lm, &vocab, &["init"], 10, s).unwrap())
+            .collect();
+        assert!(distinct.len() > 1, "eight seeds should not all collide");
+    }
+
+    #[test]
+    fn synthesis_validates_inputs() {
+        let training = vec![vec!["a", "b", "a", "b"]];
+        let lm = CommandLm::fit(3, &training, Smoothing::default()).unwrap();
+        assert!(
+            synthesize(&lm, &["a", "b"], &["a"], 5, 0).is_err(),
+            "context too short"
+        );
+        let empty: Vec<&str> = vec![];
+        assert!(
+            synthesize(&lm, &empty, &["a", "b"], 5, 0).is_err(),
+            "empty vocabulary"
+        );
+    }
+}

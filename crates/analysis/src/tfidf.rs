@@ -1,0 +1,258 @@
+//! TF-IDF fingerprinting and cosine similarity (Fig. 6, RQ1).
+//!
+//! The paper's recipe, §V-A: (i) count each command per procedure run;
+//! (ii) normalize counts so each run sums to one; (iii) scale by IDF;
+//! (iv) compare runs with cosine similarity. IDF follows the
+//! scikit-learn convention the authors' open-source analysis uses:
+//! `idf(t) = ln((1 + N) / (1 + df(t))) + 1`, followed by L2
+//! normalization of each document vector (which makes the dot product
+//! the cosine similarity).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use rad_core::RadError;
+
+/// A fitted TF-IDF model over a corpus of token sequences.
+#[derive(Debug, Clone)]
+pub struct TfIdf<T> {
+    vocabulary: Vec<T>,
+    index: HashMap<T, usize>,
+    idf: Vec<f64>,
+    vectors: Vec<Vec<f64>>,
+}
+
+impl<T: Clone + Eq + Hash + Ord> TfIdf<T> {
+    /// Fits the model on `documents` and vectorizes each of them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadError::Analysis`] when `documents` is empty or any
+    /// document is empty (an empty run has no fingerprint).
+    pub fn fit(documents: &[Vec<T>]) -> Result<Self, RadError> {
+        if documents.is_empty() {
+            return Err(RadError::Analysis(
+                "tf-idf needs at least one document".into(),
+            ));
+        }
+        if let Some(i) = documents.iter().position(Vec::is_empty) {
+            return Err(RadError::Analysis(format!("document {i} is empty")));
+        }
+        // Stable vocabulary order for reproducibility.
+        let mut vocabulary: Vec<T> = documents
+            .iter()
+            .flat_map(|d| d.iter().cloned())
+            .collect::<std::collections::BTreeSet<T>>()
+            .into_iter()
+            .collect();
+        vocabulary.sort();
+        let index: HashMap<T, usize> = vocabulary
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, t)| (t, i))
+            .collect();
+
+        let n_docs = documents.len() as f64;
+        let mut df = vec![0u64; vocabulary.len()];
+        for doc in documents {
+            let mut seen = vec![false; vocabulary.len()];
+            for t in doc {
+                seen[index[t]] = true;
+            }
+            for (i, s) in seen.iter().enumerate() {
+                if *s {
+                    df[i] += 1;
+                }
+            }
+        }
+        let idf: Vec<f64> = df
+            .iter()
+            .map(|&d| ((1.0 + n_docs) / (1.0 + d as f64)).ln() + 1.0)
+            .collect();
+
+        let vectors = documents
+            .iter()
+            .map(|doc| {
+                let mut v = vec![0.0; vocabulary.len()];
+                for t in doc {
+                    v[index[t]] += 1.0;
+                }
+                let total: f64 = doc.len() as f64;
+                for (i, x) in v.iter_mut().enumerate() {
+                    *x = (*x / total) * idf[i];
+                }
+                l2_normalize(&mut v);
+                v
+            })
+            .collect();
+
+        Ok(TfIdf {
+            vocabulary,
+            index,
+            idf,
+            vectors,
+        })
+    }
+
+    /// The vocabulary, in vector-component order.
+    pub fn vocabulary(&self) -> &[T] {
+        &self.vocabulary
+    }
+
+    /// The fitted document vectors (unit length).
+    pub fn vectors(&self) -> &[Vec<f64>] {
+        &self.vectors
+    }
+
+    /// IDF weight of a token, if in vocabulary.
+    pub fn idf(&self, token: &T) -> Option<f64> {
+        self.index.get(token).map(|&i| self.idf[i])
+    }
+
+    /// Vectorizes an unseen document with the fitted vocabulary/IDF.
+    /// Out-of-vocabulary tokens are ignored.
+    pub fn transform(&self, document: &[T]) -> Vec<f64> {
+        let mut v = vec![0.0; self.vocabulary.len()];
+        if document.is_empty() {
+            return v;
+        }
+        for t in document {
+            if let Some(&i) = self.index.get(t) {
+                v[i] += 1.0;
+            }
+        }
+        let total = document.len() as f64;
+        for (i, x) in v.iter_mut().enumerate() {
+            *x = (*x / total) * self.idf[i];
+        }
+        l2_normalize(&mut v);
+        v
+    }
+
+    /// Cosine similarity between two fitted documents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn similarity(&self, a: usize, b: usize) -> f64 {
+        dot(&self.vectors[a], &self.vectors[b])
+    }
+
+    /// The full pairwise similarity matrix (Fig. 6 is this matrix for
+    /// the 25 supervised runs).
+    #[allow(clippy::needless_range_loop)] // symmetric fill reads best indexed
+    pub fn similarity_matrix(&self) -> Vec<Vec<f64>> {
+        let n = self.vectors.len();
+        let mut m = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in i..n {
+                let s = dot(&self.vectors[i], &self.vectors[j]);
+                m[i][j] = s;
+                m[j][i] = s;
+            }
+        }
+        m
+    }
+}
+
+/// Cosine similarity between two raw vectors (0 when either is zero).
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector lengths must match");
+    let na = dot(a, a).sqrt();
+    let nb = dot(b, b).sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot(a, b) / (na * nb)
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn l2_normalize(v: &mut [f64]) {
+    let norm = dot(v, v).sqrt();
+    if norm > 0.0 {
+        for x in v {
+            *x /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs() -> Vec<Vec<&'static str>> {
+        vec![
+            vec!["ARM", "MVNG", "MVNG", "ARM"],
+            vec!["ARM", "MVNG", "ARM", "MVNG"],
+            vec!["Q", "Q", "Q", "A", "V"],
+        ]
+    }
+
+    #[test]
+    fn identical_distributions_have_similarity_one() {
+        let model = TfIdf::fit(&docs()).unwrap();
+        // Docs 0 and 1 have identical bags of words.
+        assert!((model.similarity(0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_documents_have_similarity_zero() {
+        let model = TfIdf::fit(&docs()).unwrap();
+        assert!(model.similarity(0, 2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let model = TfIdf::fit(&docs()).unwrap();
+        let m = model.similarity_matrix();
+        for i in 0..m.len() {
+            assert!((m[i][i] - 1.0).abs() < 1e-12);
+            for j in 0..m.len() {
+                assert!((m[i][j] - m[j][i]).abs() < 1e-15);
+                assert!(m[i][j] >= -1e-12 && m[i][j] <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rare_tokens_get_higher_idf() {
+        let model = TfIdf::fit(&docs()).unwrap();
+        // "Q" appears in 1 of 3 documents, "ARM" in 2 of 3.
+        assert!(model.idf(&"Q").unwrap() > model.idf(&"ARM").unwrap());
+        assert_eq!(model.idf(&"NOPE"), None);
+    }
+
+    #[test]
+    fn transform_matches_fit_for_training_documents() {
+        let d = docs();
+        let model = TfIdf::fit(&d).unwrap();
+        let v = model.transform(&d[2]);
+        for (a, b) in v.iter().zip(&model.vectors()[2]) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transform_ignores_oov_tokens() {
+        let model = TfIdf::fit(&docs()).unwrap();
+        let v = model.transform(&["UNSEEN", "TOKENS"]);
+        assert!(v.iter().all(|x| *x == 0.0));
+    }
+
+    #[test]
+    fn empty_corpus_and_empty_documents_error() {
+        assert!(TfIdf::<&str>::fit(&[]).is_err());
+        assert!(TfIdf::fit(&[vec!["A"], vec![]]).is_err());
+    }
+
+    #[test]
+    fn cosine_handles_zero_vectors() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+    }
+}

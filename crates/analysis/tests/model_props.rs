@@ -1,0 +1,96 @@
+//! Property tests on the statistical models.
+
+#![allow(clippy::needless_range_loop)] // matrix checks read best indexed
+
+use proptest::prelude::*;
+use rad_analysis::{jenks_breaks, CommandLm, NgramCounter, Smoothing, TfIdf};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// N-gram totals equal the sum of per-sentence window counts.
+    #[test]
+    fn ngram_totals_are_window_counts(
+        sentences in proptest::collection::vec(
+            proptest::collection::vec(0u8..5, 0..30),
+            1..10,
+        ),
+        n in 1usize..5,
+    ) {
+        let mut counter = NgramCounter::new(n);
+        for s in &sentences {
+            counter.observe(s);
+        }
+        let expected: usize =
+            sentences.iter().map(|s| s.len().saturating_sub(n - 1)).sum();
+        prop_assert_eq!(counter.total() as usize, expected);
+    }
+
+    /// top_k never exceeds k and is sorted by descending count.
+    #[test]
+    fn top_k_is_sorted_and_bounded(
+        tokens in proptest::collection::vec(0u8..6, 2..80),
+        k in 1usize..20,
+    ) {
+        let mut counter = NgramCounter::new(2);
+        counter.observe(&tokens);
+        let top = counter.top_k(k);
+        prop_assert!(top.len() <= k);
+        for pair in top.windows(2) {
+            prop_assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+
+    /// Jenks classes are contiguous in sorted order and cover all
+    /// values: class boundaries are increasing indices.
+    #[test]
+    fn jenks_breaks_are_ordered_indices(
+        values in proptest::collection::vec(-1e3f64..1e3, 3..50),
+        k in 2usize..4,
+    ) {
+        prop_assume!(values.len() >= k);
+        let (sorted, breaks) = jenks_breaks(&values, k).unwrap();
+        prop_assert_eq!(breaks.len(), k - 1);
+        let mut prev = 0;
+        for b in &breaks {
+            prop_assert!(*b > prev || prev == 0, "breaks not increasing");
+            prop_assert!(*b >= 1 && *b < sorted.len());
+            prev = *b;
+        }
+    }
+
+    /// Splicing a never-seen token into a training-covered sequence
+    /// strictly increases its perplexity (the anomaly-detection core
+    /// property).
+    #[test]
+    fn unseen_tokens_strictly_raise_perplexity(
+        seq in proptest::collection::vec(0u8..4, 4..40),
+        at in 1usize..38,
+    ) {
+        let lm = CommandLm::fit(2, std::slice::from_ref(&seq), Smoothing::EpsilonFloor(1e-9)).unwrap();
+        let own = lm.perplexity(&seq).unwrap();
+        let mut poisoned = seq.clone();
+        let at = at.min(poisoned.len() - 1);
+        poisoned.insert(at, 99); // token 99 never occurs in training
+        let worse = lm.perplexity(&poisoned).unwrap();
+        prop_assert!(worse > own, "poisoned {worse} not above own {own}");
+    }
+
+    /// TF-IDF transform of a fitted document reproduces its fitted
+    /// vector.
+    #[test]
+    fn transform_is_consistent_with_fit(
+        docs in proptest::collection::vec(
+            proptest::collection::vec("[a-e]", 1..20),
+            1..8,
+        ),
+        pick in 0usize..8,
+    ) {
+        prop_assume!(pick < docs.len());
+        let model = TfIdf::fit(&docs).unwrap();
+        let v = model.transform(&docs[pick]);
+        for (a, b) in v.iter().zip(&model.vectors()[pick]) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

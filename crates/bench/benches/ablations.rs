@@ -1,0 +1,165 @@
+//! Ablation benches for the design choices DESIGN.md §5 calls out.
+//!
+//! Each bench compares design variants on the same workload so the
+//! cost/quality trade-offs are visible in one report:
+//!
+//! 1. token granularity — command-only vs parameter-aware tokens;
+//! 2. smoothing — epsilon floor vs add-k;
+//! 3. thresholding — Jenks natural breaks vs a fixed quantile;
+//! 4. latency model — log-normal + tail vs constant (Fig. 4 whiskers);
+//! 5. power model — full dynamics vs gravity-only.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rad_analysis::{jenks_two_class, PerplexityDetector, Smoothing};
+use rad_core::{CommandType, SimDuration, TraceMode};
+use rad_middlebox::LatencyModel;
+use rad_power::{TrajectorySegment, Ur3e, Ur3eDynamics};
+use rad_workloads::CampaignBuilder;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_token_granularity(c: &mut Criterion) {
+    let campaign = CampaignBuilder::new(42).supervised_only().build();
+    let command_only: Vec<(Vec<String>, bool)> = campaign
+        .command()
+        .supervised_sequences()
+        .into_iter()
+        .map(|(meta, seq)| {
+            (
+                seq.iter()
+                    .map(|ct: &CommandType| ct.mnemonic().to_owned())
+                    .collect(),
+                meta.label().is_anomalous(),
+            )
+        })
+        .collect();
+    // Parameter-aware tokens: mnemonic + bucketed argument tokens, the
+    // paper's "bring command arguments into the fold" future work.
+    let param_aware: Vec<(Vec<String>, bool)> = campaign
+        .command()
+        .supervised_runs()
+        .iter()
+        .map(|meta| {
+            let tokens = campaign
+                .command()
+                .traces()
+                .iter()
+                .filter(|t| t.run_id() == Some(meta.run_id()))
+                .map(|t| {
+                    let args: Vec<String> =
+                        t.command().args().iter().map(|v| v.param_token()).collect();
+                    format!("{}({})", t.command_type().mnemonic(), args.join(","))
+                })
+                .collect();
+            (tokens, meta.label().is_anomalous())
+        })
+        .collect();
+    let mut group = c.benchmark_group("ablation_param_tokens");
+    group.bench_function("command_only", |b| {
+        b.iter(|| {
+            PerplexityDetector::new(3)
+                .evaluate(&command_only, 5, 0)
+                .unwrap()
+        })
+    });
+    group.bench_function("parameter_aware", |b| {
+        b.iter(|| {
+            PerplexityDetector::new(3)
+                .evaluate(&param_aware, 5, 0)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_smoothing(c: &mut Criterion) {
+    let campaign = CampaignBuilder::new(42).supervised_only().build();
+    let labelled: Vec<(Vec<CommandType>, bool)> = campaign
+        .command()
+        .supervised_sequences()
+        .into_iter()
+        .map(|(meta, seq)| (seq, meta.label().is_anomalous()))
+        .collect();
+    let mut group = c.benchmark_group("ablation_smoothing");
+    for (name, smoothing) in [
+        ("epsilon_1e6", Smoothing::EpsilonFloor(1e-6)),
+        ("epsilon_1e3", Smoothing::EpsilonFloor(1e-3)),
+        ("add_k_1", Smoothing::AddK(1.0)),
+        ("add_k_0_1", Smoothing::AddK(0.1)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                PerplexityDetector::new(3)
+                    .with_smoothing(smoothing)
+                    .evaluate(&labelled, 5, 0)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_threshold(c: &mut Criterion) {
+    // Jenks vs a fixed 85th-percentile threshold over the same scores.
+    let scores: Vec<f64> = (0..200)
+        .map(|i| {
+            if i % 11 == 0 {
+                30.0 + (i % 5) as f64
+            } else {
+                2.0 + (i % 13) as f64 * 0.05
+            }
+        })
+        .collect();
+    let mut group = c.benchmark_group("ablation_threshold");
+    group.bench_function("jenks", |b| b.iter(|| jenks_two_class(&scores).unwrap()));
+    group.bench_function("fixed_quantile", |b| {
+        b.iter(|| {
+            let mut sorted = scores.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted[(sorted.len() as f64 * 0.85) as usize]
+        })
+    });
+    group.finish();
+}
+
+fn bench_latency_model_fidelity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_latency_model");
+    let lognormal = LatencyModel::for_mode(TraceMode::Remote);
+    let constant = LatencyModel::Constant(SimDuration::from_millis(6));
+    for (name, model) in [("lognormal_tail", &lognormal), ("constant", &constant)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(1);
+                (0..1000).map(|_| model.sample(&mut rng).as_micros()).max()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_power_terms(c: &mut Criterion) {
+    let seg = TrajectorySegment::joint_move(Ur3e::named_pose(0), Ur3e::named_pose(2), 1.0);
+    let full = Ur3e::new();
+    let mut gravity_params = Ur3eDynamics::new();
+    gravity_params.inertial_term = false;
+    gravity_params.friction_term = false;
+    let gravity_only = Ur3e::with_dynamics(gravity_params);
+    let mut group = c.benchmark_group("ablation_power_terms");
+    group.bench_function("full_dynamics", |b| {
+        b.iter(|| full.current_profile(std::slice::from_ref(&seg), 0.5, 3))
+    });
+    group.bench_function("gravity_only", |b| {
+        b.iter(|| gravity_only.current_profile(std::slice::from_ref(&seg), 0.5, 3))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_token_granularity,
+    bench_smoothing,
+    bench_threshold,
+    bench_latency_model_fidelity,
+    bench_power_terms
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benches for the analysis pipeline: TF-IDF fitting, n-gram
+//! language-model fitting and scoring, Jenks clustering, and the full
+//! Table I evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rad_analysis::{jenks_two_class, CommandLm, PerplexityDetector, Smoothing, TfIdf};
+use rad_core::CommandType;
+use rad_workloads::CampaignBuilder;
+
+fn supervised() -> Vec<(Vec<CommandType>, bool)> {
+    CampaignBuilder::new(42)
+        .supervised_only()
+        .build()
+        .command()
+        .supervised_sequences()
+        .into_iter()
+        .map(|(meta, seq)| (seq, meta.label().is_anomalous()))
+        .collect()
+}
+
+fn bench_tfidf(c: &mut Criterion) {
+    let labelled = supervised();
+    let docs: Vec<Vec<CommandType>> = labelled.iter().map(|(s, _)| s.clone()).collect();
+    c.bench_function("tfidf_fit_25_runs", |b| {
+        b.iter(|| TfIdf::fit(&docs).unwrap())
+    });
+    let model = TfIdf::fit(&docs).unwrap();
+    c.bench_function("tfidf_similarity_matrix_25x25", |b| {
+        b.iter(|| model.similarity_matrix())
+    });
+}
+
+fn bench_lm(c: &mut Criterion) {
+    let labelled = supervised();
+    let docs: Vec<Vec<CommandType>> = labelled.iter().map(|(s, _)| s.clone()).collect();
+    c.bench_function("lm_fit_trigram", |b| {
+        b.iter(|| CommandLm::fit(3, &docs, Smoothing::default()).unwrap())
+    });
+    let lm = CommandLm::fit(3, &docs, Smoothing::default()).unwrap();
+    let longest = docs.iter().max_by_key(|d| d.len()).unwrap();
+    c.bench_function("lm_perplexity_longest_run", |b| {
+        b.iter(|| lm.perplexity(longest).unwrap())
+    });
+}
+
+fn bench_jenks(c: &mut Criterion) {
+    let values: Vec<f64> = (0..200)
+        .map(|i| {
+            if i % 9 == 0 {
+                40.0 + i as f64 * 0.01
+            } else {
+                2.0 + (i % 7) as f64 * 0.1
+            }
+        })
+        .collect();
+    c.bench_function("jenks_two_class_200", |b| {
+        b.iter(|| jenks_two_class(&values).unwrap())
+    });
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let labelled = supervised();
+    c.bench_function("table1_full_evaluation_trigram", |b| {
+        b.iter(|| {
+            PerplexityDetector::new(3)
+                .evaluate(&labelled, 5, 0)
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_tfidf, bench_lm, bench_jenks, bench_table1);
+criterion_main!(benches);

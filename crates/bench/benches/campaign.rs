@@ -1,0 +1,64 @@
+//! Criterion benches for dataset synthesis and the guard layer: how
+//! fast the three-month campaign regenerates, and what the middlebox
+//! policy check costs per command.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rad_core::{Command, CommandType};
+use rad_middlebox::{GuardPolicy, GuardedMiddlebox, Middlebox};
+use rad_workloads::CampaignBuilder;
+
+fn bench_campaign_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_synthesis");
+    group.sample_size(10);
+    group.bench_function("supervised_only_25_runs", |b| {
+        b.iter(|| CampaignBuilder::new(42).supervised_only().build())
+    });
+    group.bench_function("scale_0_10_13k_traces", |b| {
+        b.iter(|| {
+            CampaignBuilder::new(42)
+                .scale(0.1)
+                .power_experiments(false)
+                .build()
+        })
+    });
+    group.finish();
+}
+
+fn bench_guard_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("guard_overhead");
+    let query = Command::nullary(CommandType::Mvng);
+    group.bench_function("bare_middlebox_issue", |b| {
+        b.iter_batched(
+            || {
+                let mut mb = Middlebox::new(0);
+                mb.issue(&Command::nullary(CommandType::InitC9)).unwrap();
+                mb
+            },
+            |mut mb| {
+                for _ in 0..100 {
+                    mb.issue(&query).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("guarded_middlebox_issue", |b| {
+        b.iter_batched(
+            || {
+                let mut mb = GuardedMiddlebox::new(Middlebox::new(0), GuardPolicy::recommended());
+                mb.issue(&Command::nullary(CommandType::InitC9)).unwrap();
+                mb
+            },
+            |mut mb| {
+                for _ in 0..100 {
+                    mb.issue(&query).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign_synthesis, bench_guard_overhead);
+criterion_main!(benches);

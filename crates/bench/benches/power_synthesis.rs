@@ -1,0 +1,57 @@
+//! Criterion benches for the power substrate: trajectory sampling,
+//! dynamics evaluation, 25 Hz profile synthesis, and the signal
+//! analyses of §VI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rad_power::{signal, TrajectorySegment, Ur3e, Ur3eDynamics};
+
+fn leg() -> TrajectorySegment {
+    TrajectorySegment::joint_move(Ur3e::named_pose(0), Ur3e::named_pose(2), 1.0)
+}
+
+fn bench_trajectory(c: &mut Criterion) {
+    let seg = leg();
+    c.bench_function("trajectory_sample_25hz", |b| b.iter(|| seg.sample_at(0.04)));
+}
+
+fn bench_dynamics(c: &mut Criterion) {
+    let seg = leg();
+    let points = seg.sample_at(0.04);
+    let dynamics = Ur3eDynamics::new();
+    c.bench_function("dynamics_currents_per_tick", |b| {
+        b.iter(|| {
+            points
+                .iter()
+                .map(|p| dynamics.currents(p, 0.5)[1])
+                .sum::<f64>()
+        })
+    });
+}
+
+fn bench_profile(c: &mut Criterion) {
+    let arm = Ur3e::new();
+    c.bench_function("current_profile_one_leg", |b| {
+        b.iter(|| arm.current_profile(&[leg()], 0.5, 7))
+    });
+}
+
+fn bench_signal(c: &mut Criterion) {
+    let arm = Ur3e::new();
+    let a = arm.current_profile(&[leg()], 0.0, 1).joint_current(1);
+    let b2 = arm.current_profile(&[leg()], 0.0, 2).joint_current(1);
+    c.bench_function("pearson_correlation", |b| {
+        b.iter(|| signal::pearson(&a, &b2).unwrap())
+    });
+    c.bench_function("shape_correlation_resampled", |b| {
+        b.iter(|| signal::shape_correlation(&a, &b2).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_trajectory,
+    bench_dynamics,
+    bench_profile,
+    bench_signal
+);
+criterion_main!(benches);

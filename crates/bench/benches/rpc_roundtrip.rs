@@ -1,0 +1,70 @@
+//! Criterion benches for the RPC substrate: framing, end-to-end
+//! round trips against a live server thread, and latency-model
+//! sampling throughput (the machinery behind Fig. 4).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rad_core::{Command, CommandType, TraceMode};
+use rad_devices::LabRig;
+use rad_middlebox::rpc::{Duplex, FrameCodec, RpcClient, RpcServer};
+use rad_middlebox::LatencyModel;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_framing(c: &mut Criterion) {
+    let payload = vec![0xabu8; 512];
+    c.bench_function("frame_encode_decode_512B", |b| {
+        b.iter(|| {
+            let framed = FrameCodec::encode(&payload);
+            let mut codec = FrameCodec::new();
+            codec.push(&framed);
+            codec.next_frame().unwrap().unwrap()
+        })
+    });
+}
+
+fn bench_rpc_roundtrip(c: &mut Criterion) {
+    let (client_side, server_side) = Duplex::pair();
+    let _server = RpcServer::spawn(LabRig::new(0), server_side);
+    let mut client = RpcClient::new(client_side);
+    client
+        .call(
+            &Command::nullary(CommandType::InitIka),
+            Duration::from_secs(1),
+        )
+        .unwrap();
+    let query = Command::nullary(CommandType::IkaReadRatedSpeed);
+    c.bench_function("rpc_roundtrip_query", |b| {
+        b.iter(|| client.call(&query, Duration::from_secs(1)).unwrap())
+    });
+}
+
+fn bench_latency_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("latency_sample");
+    for mode in [TraceMode::Direct, TraceMode::Remote, TraceMode::Cloud] {
+        let model = LatencyModel::for_mode(mode);
+        group.bench_function(mode.to_string(), |b| {
+            b.iter_batched(
+                || ChaCha8Rng::seed_from_u64(7),
+                |mut rng| {
+                    let mut acc = 0u64;
+                    for _ in 0..100 {
+                        acc += model.sample(&mut rng).as_micros();
+                    }
+                    acc
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_framing,
+    bench_rpc_roundtrip,
+    bench_latency_models
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Extension: every detector in the workspace on the Table I task.
+//!
+//! The paper evaluates only its perplexity models; this harness puts
+//! the whole zoo side by side under the identical 5-fold protocol —
+//! the three n-gram orders, the parameter-aware variant (future work:
+//! "bring command arguments into the fold"), a from-scratch HMM
+//! (future work: sequence models beyond n-grams), and the three
+//! baselines. The ordering, not the absolute numbers, is the result —
+//! see the closing commentary the binary prints.
+
+use rad_analysis::{
+    evaluate_classifier, labelled_runs, CommandTokenizer, HmmDetector, ParamTokenizer,
+    PerplexityDetector, RareCommandDetector, RunLengthDetector, TransitionAllowlist,
+};
+use rad_core::CommandType;
+use rad_workloads::CampaignBuilder;
+
+fn main() {
+    println!("Detector comparison on the 25 supervised runs (5-fold CV, seed 0)");
+    let campaign = CampaignBuilder::new(42).supervised_only().build();
+    let command_runs: Vec<(Vec<CommandType>, bool)> =
+        labelled_runs(campaign.command(), &CommandTokenizer);
+    let param_runs: Vec<(Vec<String>, bool)> = labelled_runs(campaign.command(), &ParamTokenizer);
+
+    println!();
+    println!(
+        "{:<26} {:>7} {:>9} {:>10} {:>6} {:>12}",
+        "detector", "recall", "accuracy", "precision", "F1", "TP/FP/TN/FN"
+    );
+    let mut rows: Vec<(String, rad_analysis::ConfusionMatrix)> = Vec::new();
+
+    for n in [2usize, 3, 4] {
+        let report = PerplexityDetector::new(n)
+            .evaluate(&command_runs, 5, 0)
+            .expect("evaluation runs clean");
+        rows.push((format!("perplexity {n}-gram"), report.confusion));
+    }
+    let report = PerplexityDetector::new(3)
+        .evaluate(&param_runs, 5, 0)
+        .expect("evaluation runs clean");
+    rows.push(("perplexity 3-gram+params".into(), report.confusion));
+
+    let mut hmm = HmmDetector::new(6, 30, 2.0);
+    rows.push((
+        "hmm (6 states)".into(),
+        evaluate_classifier(&mut hmm, &command_runs, 5, 0).expect("evaluation runs clean"),
+    ));
+    let mut allow = TransitionAllowlist::new();
+    rows.push((
+        "transition allowlist".into(),
+        evaluate_classifier(&mut allow, &command_runs, 5, 0).expect("evaluation runs clean"),
+    ));
+    let mut rare = RareCommandDetector::new(1e-4);
+    rows.push((
+        "rare-command".into(),
+        evaluate_classifier(&mut rare, &command_runs, 5, 0).expect("evaluation runs clean"),
+    ));
+    let mut length = RunLengthDetector::new(2.0);
+    rows.push((
+        "run-length".into(),
+        evaluate_classifier(&mut length, &command_runs, 5, 0).expect("evaluation runs clean"),
+    ));
+
+    for (name, cm) in &rows {
+        println!(
+            "{:<26} {:>6.0}% {:>8.0}% {:>10.2} {:>6.2} {:>4}/{}/{}/{}",
+            name,
+            cm.recall() * 100.0,
+            cm.accuracy() * 100.0,
+            cm.precision(),
+            cm.f1(),
+            cm.true_positives(),
+            cm.false_positives(),
+            cm.true_negatives(),
+            cm.false_negatives(),
+        );
+    }
+    println!();
+    println!("reading: the n-gram perplexity family keeps perfect recall at");
+    println!("every order. The parameter-aware variant collapses on 20 training");
+    println!("runs (nearly every argument bucket is out-of-vocabulary, so all");
+    println!("runs look equally alien) — the paper's future-work item needs a");
+    println!("much larger corpus. The HMM underfits this corpus; rare-command");
+    println!("and run-length miss content anomalies. The mined allowlist ties");
+    println!("perplexity *here* because synthetic benign runs are uniform, but");
+    println!("over-alarms badly on adversarial traffic (see attack_benchmark).");
+}

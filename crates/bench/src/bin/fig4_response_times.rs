@@ -1,0 +1,69 @@
+//! Fig. 4 — response-time box plots for the N9 `ARM` command.
+//!
+//! Six joystick button-press sequences are replayed in each deployment
+//! mode. The paper reports: DIRECT and REMOTE both under 10 ms on
+//! average, REMOTE ≈ DIRECT + ~2 ms with occasional spikes past 30 ms,
+//! and the Azure CLOUD replay (footnote 1) around 60 ms — an order of
+//! magnitude above local modes, an order of magnitude below robot
+//! motion times.
+
+use rad_bench::BoxStats;
+use rad_core::{CommandType, TraceMode};
+use rad_middlebox::{Middlebox, ModeConfig};
+use rad_workloads::{procedures, Session};
+
+fn arm_response_times_ms(mode: TraceMode, sequence: usize) -> Vec<f64> {
+    let seed = 1000 + sequence as u64;
+    let middlebox = Middlebox::new(seed).with_modes(ModeConfig::all(mode));
+    let mut session = Session::with_middlebox(middlebox, seed);
+    procedures::joystick_session(&mut session, 12 + sequence * 2)
+        .expect("joystick sequences run clean");
+    let (dataset, _) = session.finish();
+    dataset
+        .traces()
+        .iter()
+        .filter(|t| t.command_type() == CommandType::Arm)
+        .map(|t| t.response_time().as_millis_f64())
+        .collect()
+}
+
+fn main() {
+    println!("Fig. 4 reproduction: N9 ARM response times (ms) per joystick sequence");
+    println!(
+        "{:<10} {:<4} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>9}",
+        "mode", "seq", "min", "q1", "med", "q3", "max", "mean", ">30ms"
+    );
+    let mut means = std::collections::BTreeMap::new();
+    for mode in [TraceMode::Direct, TraceMode::Remote, TraceMode::Cloud] {
+        let mut all = Vec::new();
+        for sequence in 0..6 {
+            let samples = arm_response_times_ms(mode, sequence);
+            let stats = BoxStats::from(&samples);
+            let spikes = samples.iter().filter(|v| **v > 30.0).count();
+            println!(
+                "{:<10} {:<4} {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>9}",
+                mode.to_string(),
+                sequence,
+                stats.min,
+                stats.q1,
+                stats.median,
+                stats.q3,
+                stats.max,
+                stats.mean,
+                spikes
+            );
+            all.extend(samples);
+        }
+        means.insert(mode.to_string(), BoxStats::from(&all).mean);
+    }
+    let direct = means["DIRECT"];
+    let remote = means["REMOTE"];
+    let cloud = means["CLOUD"];
+    println!();
+    println!("overall means: DIRECT {direct:.2} ms, REMOTE {remote:.2} ms, CLOUD {cloud:.2} ms");
+    println!("REMOTE - DIRECT = {:.2} ms (paper: ~2 ms)", remote - direct);
+    println!(
+        "CLOUD / local ≈ {:.1}x (paper: ~an order of magnitude, ~60 ms)",
+        cloud / remote
+    );
+}

@@ -1,0 +1,61 @@
+//! Fig. 5(b) — the top ten bigrams, trigrams, four-grams and
+//! five-grams of the command dataset.
+//!
+//! The paper's headline n-grams are C9 polling patterns
+//! (`ARM MVNG`, `MVNG MVNG`, `CURR MOVE`, ...) and Tecan `Q` runs —
+//! both artifacts of the Hein stack's busy-wait loops, which the
+//! simulated workloads reproduce.
+
+use rad_analysis::NgramCounter;
+use rad_workloads::CampaignBuilder;
+
+fn main() {
+    println!("Fig. 5(b) reproduction: synthesizing the campaign corpus...");
+    // A 25%-scale campaign has the same n-gram mix at a quarter the
+    // wall-clock; pass --full for the whole corpus.
+    let full = std::env::args().any(|a| a == "--full");
+    let scale = if full { 1.0 } else { 0.25 };
+    let campaign = CampaignBuilder::new(42).scale(scale).build();
+
+    // Per-run sentences: n-grams must not straddle two lab sessions.
+    let command = campaign.command();
+    let mut sentences: Vec<Vec<&'static str>> = Vec::new();
+    let mut current: Vec<&'static str> = Vec::new();
+    let mut last_ts = None;
+    for trace in command.traces() {
+        // A gap of more than 30 simulated minutes starts a new session.
+        if let Some(prev) = last_ts {
+            if trace
+                .timestamp()
+                .saturating_duration_since(prev)
+                .as_secs_f64()
+                > 1800.0
+            {
+                sentences.push(std::mem::take(&mut current));
+            }
+        }
+        current.push(trace.command_type().mnemonic());
+        last_ts = Some(trace.timestamp());
+    }
+    sentences.push(current);
+    println!(
+        "{} sessions, {} commands total",
+        sentences.len(),
+        command.len()
+    );
+
+    for n in 2..=5 {
+        let mut counter = NgramCounter::new(n);
+        for sentence in &sentences {
+            counter.observe(sentence);
+        }
+        println!();
+        println!(
+            "== top 10 {n}-grams (of {} distinct) ==",
+            counter.distinct()
+        );
+        for (gram, count) in counter.top_k(10) {
+            println!("  {:<52} {count:>8}", gram.join(" "));
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Fig. 6 — pairwise TF-IDF cosine similarity of the 25 supervised
+//! runs.
+//!
+//! The paper's block structure to reproduce:
+//! - ids 0–11 (P4, joystick) mutually very similar;
+//! - run 12 (a P1) closer to the joystick runs than to other P1 runs
+//!   (it used the joystick heavily and never reached the
+//!   Quantos/Tecan phase);
+//! - runs 13–16 (P1) mutually similar, mostly above 0.8 — including
+//!   the anomalous run 16, which crashed only after dosing began;
+//! - runs 17–18 (both truncated P2 runs) similar to each other but
+//!   dissimilar from the complete runs 19–20;
+//! - runs 21–24 (P3) mutually similar in the 0.9–0.99 band, including
+//!   the anomalous run 22 (crash at the very end).
+
+use rad_analysis::TfIdf;
+use rad_core::CommandType;
+use rad_workloads::CampaignBuilder;
+
+fn shade(v: f64) -> char {
+    match v {
+        v if v >= 0.9 => '█',
+        v if v >= 0.8 => '▓',
+        v if v >= 0.65 => '▒',
+        v if v >= 0.5 => '░',
+        _ => '·',
+    }
+}
+
+fn block_stats(
+    m: &[Vec<f64>],
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> (f64, f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    let mut n = 0.0;
+    for i in rows {
+        for j in cols.clone() {
+            if i == j {
+                continue;
+            }
+            lo = lo.min(m[i][j]);
+            hi = hi.max(m[i][j]);
+            sum += m[i][j];
+            n += 1.0;
+        }
+    }
+    (lo, sum / n, hi)
+}
+
+fn main() {
+    println!("Fig. 6 reproduction: 25x25 TF-IDF cosine similarity");
+    let campaign = CampaignBuilder::new(42).supervised_only().build();
+    let sequences = campaign.command().supervised_sequences();
+    let documents: Vec<Vec<CommandType>> = sequences.iter().map(|(_, s)| s.clone()).collect();
+    let model = TfIdf::fit(&documents).expect("25 non-empty documents");
+    let m = model.similarity_matrix();
+
+    println!();
+    println!(
+        "     {}",
+        (0..25)
+            .map(|j| format!("{:>2}", j % 10))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    for (i, row) in m.iter().enumerate() {
+        let cells: Vec<String> = row.iter().map(|v| format!(" {}", shade(*v))).collect();
+        let label = sequences[i].0.kind().paper_id();
+        println!("{i:>2} {label:<3}{}", cells.join(" "));
+    }
+
+    println!();
+    println!("block summaries (min / mean / max off-diagonal):");
+    let p4 = block_stats(&m, 0..12, 0..12);
+    println!(
+        "  P4 joystick block (0-11):      {:.2} / {:.2} / {:.2}  (paper: all quite similar)",
+        p4.0, p4.1, p4.2
+    );
+    let r12_joy: f64 = (0..12).map(|j| m[12][j]).sum::<f64>() / 12.0;
+    let r12_p1: f64 = (13..17).map(|j| m[12][j]).sum::<f64>() / 4.0;
+    println!(
+        "  run 12 vs P4 mean {:.2}, vs other P1 mean {:.2}  (paper: joystick-like)",
+        r12_joy, r12_p1
+    );
+    let p1 = block_stats(&m, 13..17, 13..17);
+    println!(
+        "  P1 block (13-16):              {:.2} / {:.2} / {:.2}  (paper: mostly above 0.8)",
+        p1.0, p1.1, p1.2
+    );
+    println!(
+        "  17 vs 18: {:.2}  (paper: > 0.9, both truncated)",
+        m[17][18]
+    );
+    println!(
+        "  17/18 vs 19/20: {:.2} {:.2} {:.2} {:.2}  (paper: ~0.58)",
+        m[17][19], m[17][20], m[18][19], m[18][20]
+    );
+    println!(
+        "  19 vs 20: {:.2}  (paper: complete normal executions)",
+        m[19][20]
+    );
+    let p3 = block_stats(&m, 21..25, 21..25);
+    println!(
+        "  P3 block (21-24):              {:.2} / {:.2} / {:.2}  (paper: 0.9-0.99)",
+        p3.0, p3.1, p3.2
+    );
+}

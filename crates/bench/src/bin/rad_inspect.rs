@@ -1,0 +1,163 @@
+//! `rad_inspect` — explore an exported RAD bundle from the command
+//! line, the downstream-user tool for the open-sourced dataset.
+//!
+//! ```sh
+//! cargo run -p rad-bench --release --bin rad_inspect -- <dir> <subcommand>
+//! ```
+//!
+//! Subcommands:
+//! - `summary`          counts per device, procedure, and label
+//! - `runs`             the supervised-run table
+//! - `ngrams [n]`       top 10 n-grams of the corpus (default n = 2)
+//! - `score <run_id>`   leave-one-out perplexity of one run + anomaly
+//!   localization (the three least-probable transitions)
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use rad_analysis::{NgramCounter, PerplexityDetector};
+use rad_core::{CommandType, RunId};
+use rad_store::import_commands;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: rad_inspect <bundle-dir> summary|runs|ngrams [n]|score <run_id>");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (dir, rest) = match args.split_first() {
+        Some((dir, rest)) if !rest.is_empty() => (dir.clone(), rest.to_vec()),
+        _ => return usage(),
+    };
+    let dataset = match import_commands(Path::new(&dir)) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("failed to read bundle at {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match rest[0].as_str() {
+        "summary" => {
+            println!(
+                "{} trace objects, {} registered runs",
+                dataset.len(),
+                dataset.runs().len()
+            );
+            println!("\nper device:");
+            for (device, count) in dataset.device_histogram() {
+                println!("  {device:<8} {count:>8}");
+            }
+            let mut per_procedure = std::collections::BTreeMap::new();
+            for t in dataset.traces() {
+                *per_procedure
+                    .entry(t.procedure().paper_id())
+                    .or_insert(0u64) += 1;
+            }
+            println!("\nper procedure:");
+            for (p, count) in per_procedure {
+                println!("  {p:<8} {count:>8}");
+            }
+            let exceptions = dataset
+                .traces()
+                .iter()
+                .filter(|t| t.exception().is_some())
+                .count();
+            println!("\nexceptions logged: {exceptions}");
+            ExitCode::SUCCESS
+        }
+        "runs" => {
+            println!(
+                "{:<8} {:<4} {:<32} {:>9} note",
+                "run", "proc", "label", "commands"
+            );
+            for run in dataset.runs() {
+                let len = dataset.run_sequence(run.run_id()).len();
+                println!(
+                    "{:<8} {:<4} {:<32} {:>9} {}",
+                    run.run_id().0,
+                    run.kind().paper_id(),
+                    run.label().to_string(),
+                    len,
+                    run.operator_note().unwrap_or("")
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "ngrams" => {
+            let n: usize = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+            if n == 0 || n > 8 {
+                eprintln!("n must be in 1..=8");
+                return ExitCode::FAILURE;
+            }
+            let mut counter = NgramCounter::new(n);
+            // One sentence per run; unsupervised traffic forms its own
+            // stream.
+            let mut unknown: Vec<&str> = Vec::new();
+            for run in dataset.runs() {
+                let seq: Vec<&str> = dataset
+                    .run_sequence(run.run_id())
+                    .iter()
+                    .map(|c| c.mnemonic())
+                    .collect();
+                counter.observe(&seq);
+            }
+            for t in dataset.traces().iter().filter(|t| t.run_id().is_none()) {
+                unknown.push(t.command_type().mnemonic());
+            }
+            counter.observe(&unknown);
+            println!("top 10 {n}-grams ({} distinct):", counter.distinct());
+            for (gram, count) in counter.top_k(10) {
+                println!("  {:<50} {count:>8}", gram.join(" "));
+            }
+            ExitCode::SUCCESS
+        }
+        "score" => {
+            let Some(run_id) = rest.get(1).and_then(|s| s.parse().ok()).map(RunId) else {
+                return usage();
+            };
+            let target = dataset.run_sequence(run_id);
+            if target.len() < 3 {
+                eprintln!("{run_id} has too few commands to score");
+                return ExitCode::FAILURE;
+            }
+            // Leave-one-out: train on every other supervised run.
+            let training: Vec<Vec<CommandType>> = dataset
+                .supervised_runs()
+                .iter()
+                .filter(|r| r.run_id() != run_id)
+                .map(|r| dataset.run_sequence(r.run_id()))
+                .filter(|s| s.len() >= 3)
+                .collect();
+            if training.is_empty() {
+                eprintln!("no other supervised runs to train on");
+                return ExitCode::FAILURE;
+            }
+            let detector = PerplexityDetector::new(3)
+                .fit(&training, &training)
+                .expect("training corpus is non-degenerate");
+            let score = detector.score(&target).expect("run is long enough");
+            let alarm = score > detector.threshold();
+            println!(
+                "{run_id}: perplexity {score:.2} vs threshold {:.2} -> {}",
+                detector.threshold(),
+                if alarm { "ANOMALOUS" } else { "benign" }
+            );
+            println!("\nleast probable transitions:");
+            for (index, p) in detector.localize(&target, 3).expect("run is long enough") {
+                let ctx_start = index.saturating_sub(2);
+                let window: Vec<&str> = target[ctx_start..=index]
+                    .iter()
+                    .map(|c| c.mnemonic())
+                    .collect();
+                println!(
+                    "  at command {index:>4}: {:<40} p = {p:.2e}",
+                    window.join(" ")
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,157 @@
+//! The RAD benchmark harness.
+//!
+//! One binary per table/figure of the paper (see `src/bin/`):
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `fig4_response_times` | Fig. 4 — N9 `ARM` response-time box plots (DIRECT/REMOTE/CLOUD) |
+//! | `fig5a_command_distribution` | Fig. 5(a) — command-wise trace counts |
+//! | `fig5b_top_ngrams` | Fig. 5(b) — top-10 2/3/4/5-grams |
+//! | `fig6_tfidf_similarity` | Fig. 6 — 25×25 TF-IDF cosine-similarity matrix |
+//! | `table1_perplexity_ids` | Table I — perplexity IDS metrics (bigram/trigram/four-gram) |
+//! | `fig7a_segment_profiles` | Fig. 7(a) — per-leg joint-current signatures |
+//! | `fig7b_solids_invariance` | Fig. 7(b) — current invariance across solids |
+//! | `fig7c_velocity_sweep` | Fig. 7(c) — velocity sweep |
+//! | `fig7d_payload_sweep` | Fig. 7(d) — payload sweep |
+//!
+//! Criterion benches (`benches/`) cover the RPC substrate, the
+//! analysis pipeline, power synthesis, and the DESIGN.md ablations.
+//!
+//! This library hosts the small statistics/rendering helpers the
+//! binaries share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Five-number summary of a sample (the box-plot numbers of Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// Minimum value.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Count of points above `q3 + 1.5 * iqr` (upper outliers).
+    pub upper_outliers: usize,
+}
+
+impl BoxStats {
+    /// Computes box-plot statistics of `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn from(values: &[f64]) -> BoxStats {
+        assert!(!values.is_empty(), "need at least one value");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let q = |p: f64| -> f64 {
+            let pos = p * (sorted.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        };
+        let q1 = q(0.25);
+        let q3 = q(0.75);
+        let iqr = q3 - q1;
+        let fence = q3 + 1.5 * iqr;
+        BoxStats {
+            min: sorted[0],
+            q1,
+            median: q(0.5),
+            q3,
+            max: *sorted.last().expect("non-empty"),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            upper_outliers: sorted.iter().filter(|v| **v > fence).count(),
+        }
+    }
+}
+
+/// Renders a numeric series as a one-line unicode sparkline — the
+/// terminal stand-in for the figure curves.
+pub fn sparkline(series: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if series.is_empty() {
+        return String::new();
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in series {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    series
+        .iter()
+        .map(|v| {
+            let idx = (((v - lo) / span) * 7.0).round() as usize;
+            BARS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Downsamples a series to at most `max_len` points by striding (for
+/// printable sparklines).
+pub fn downsample(series: &[f64], max_len: usize) -> Vec<f64> {
+    assert!(max_len > 0, "max_len must be positive");
+    if series.len() <= max_len {
+        return series.to_vec();
+    }
+    let stride = series.len() as f64 / max_len as f64;
+    (0..max_len)
+        .map(|i| series[(i as f64 * stride) as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_stats_of_a_known_sample() {
+        let values = [1.0, 2.0, 3.0, 4.0, 100.0];
+        let s = BoxStats::from(&values);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.upper_outliers, 1, "100 sits far above the upper fence");
+        assert!((s.mean - 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quartiles_interpolate() {
+        let values = [10.0, 20.0, 30.0, 40.0];
+        let s = BoxStats::from(&values);
+        assert!((s.q1 - 17.5).abs() < 1e-12);
+        assert!((s.q3 - 32.5).abs() < 1e-12);
+        assert!((s.median - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparkline_spans_the_range() {
+        let line = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert!(line.starts_with('▁'));
+        assert!(line.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn downsample_preserves_short_series() {
+        let s = [1.0, 2.0, 3.0];
+        assert_eq!(downsample(&s, 10), s.to_vec());
+        assert_eq!(downsample(&s, 2).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_sample_panics() {
+        let _ = BoxStats::from(&[]);
+    }
+}

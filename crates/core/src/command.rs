@@ -1,0 +1,379 @@
+//! The 52-command vocabulary of the RAD command dataset.
+//!
+//! Fig. 5(a) of the paper enumerates 52 command types across the five
+//! logical devices. [`CommandType`] reconstructs that vocabulary: each
+//! variant knows its owning [`DeviceKind`], its wire mnemonic (the short
+//! token that appears on the serial/TCP link, e.g. `"Q"` for the Tecan
+//! status poll), a human-readable name, and a coarse [`CommandCategory`]
+//! used by the device simulators to decide execution semantics.
+//!
+//! A [`Command`] is a concrete invocation: a command type plus its
+//! positional arguments.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceKind;
+use crate::error::RadError;
+use crate::value::Value;
+
+/// Coarse behavioural class of a command, used by the simulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommandCategory {
+    /// Constructor / connection setup (`__init__` in the Python stack).
+    Init,
+    /// Pure read of device state; never changes state.
+    Query,
+    /// Robot-arm or axis motion; takes simulated time proportional to the
+    /// move and can collide.
+    Motion,
+    /// Non-motion actuation (start/stop heater, toggle centrifuge, dose,
+    /// dispense, grip).
+    Actuation,
+    /// Configuration write (set speed, set velocity, set home position).
+    Config,
+}
+
+impl fmt::Display for CommandCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CommandCategory::Init => "init",
+            CommandCategory::Query => "query",
+            CommandCategory::Motion => "motion",
+            CommandCategory::Actuation => "actuation",
+            CommandCategory::Config => "config",
+        };
+        f.write_str(s)
+    }
+}
+
+macro_rules! command_types {
+    ($( $variant:ident => ($device:ident, $mnemonic:literal, $readable:literal, $category:ident) ),+ $(,)?) => {
+        /// One of the 52 command types observed in the RAD command dataset.
+        ///
+        /// # Examples
+        ///
+        /// ```
+        /// use rad_core::{CommandType, DeviceKind, CommandCategory};
+        ///
+        /// let ct = CommandType::TecanGetStatus;
+        /// assert_eq!(ct.device(), DeviceKind::Tecan);
+        /// assert_eq!(ct.mnemonic(), "Q");
+        /// assert_eq!(ct.readable(), "get_status");
+        /// assert_eq!(ct.category(), CommandCategory::Query);
+        /// ```
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+        pub enum CommandType {
+            $(
+                #[doc = concat!("`", $mnemonic, "` (", $readable, ") on the ", stringify!($device), ".")]
+                $variant,
+            )+
+        }
+
+        impl CommandType {
+            /// Every command type, in Fig. 5(a) order (grouped by device).
+            pub const fn all() -> &'static [CommandType] {
+                &[ $( CommandType::$variant, )+ ]
+            }
+
+            /// The device this command type is addressed to.
+            pub const fn device(self) -> DeviceKind {
+                match self {
+                    $( CommandType::$variant => DeviceKind::$device, )+
+                }
+            }
+
+            /// Wire mnemonic: the token that appears on the transport
+            /// (serial opcode, method name, or NAMUR command).
+            pub const fn mnemonic(self) -> &'static str {
+                match self {
+                    $( CommandType::$variant => $mnemonic, )+
+                }
+            }
+
+            /// Human-readable name, as given in parentheses in Fig. 5(a).
+            pub const fn readable(self) -> &'static str {
+                match self {
+                    $( CommandType::$variant => $readable, )+
+                }
+            }
+
+            /// Coarse behavioural category.
+            pub const fn category(self) -> CommandCategory {
+                match self {
+                    $( CommandType::$variant => CommandCategory::$category, )+
+                }
+            }
+        }
+    };
+}
+
+command_types! {
+    // ---- UR3e (6) -------------------------------------------------------
+    MoveJoints       => (Ur3e, "move_joints", "move_joints", Motion),
+    MoveToLocation   => (Ur3e, "move_to_location", "move_to_location", Motion),
+    OpenGripper      => (Ur3e, "open_gripper", "open_gripper", Actuation),
+    InitUr3Arm       => (Ur3e, "__init__(UR3Arm)", "init_ur3_arm", Init),
+    CloseGripper     => (Ur3e, "close_gripper", "close_gripper", Actuation),
+    MoveCircular     => (Ur3e, "move_circular", "move_circular", Motion),
+
+    // ---- Tecan Cavro XLP 6000 (11) --------------------------------------
+    TecanGetStatus        => (Tecan, "Q", "get_status", Query),
+    TecanSetDistance      => (Tecan, "P", "set_distance", Config),
+    TecanSetVelocity      => (Tecan, "V", "set_velocity", Config),
+    TecanSetValvePosition => (Tecan, "I", "set_valve_position", Actuation),
+    TecanSetPosition      => (Tecan, "A", "set_position", Motion),
+    InitTecan             => (Tecan, "__init__(Tecan)", "init_tecan", Init),
+    TecanStopBatch        => (Tecan, "G", "stop_batch_command", Actuation),
+    TecanStartBatch       => (Tecan, "g", "start_batch_command", Actuation),
+    TecanSetDeadVolume    => (Tecan, "k", "set_dead_volume", Config),
+    TecanSetSlopeCode     => (Tecan, "L", "set_slope_code", Config),
+    TecanSetHomePosition  => (Tecan, "Z", "set_home_position", Config),
+
+    // ---- IKA C-Mag HS 7 (13) --------------------------------------------
+    IkaReadStirringSpeed  => (Ika, "IN_PV_4", "read_stirring_speed", Query),
+    IkaReadRatedSpeed     => (Ika, "IN_SP_4", "read_rated_speed", Query),
+    IkaReadDeviceName     => (Ika, "IN_NAME", "read_device_name", Query),
+    IkaReadRatedTemp      => (Ika, "IN_SP_1", "read_rated_temperature", Query),
+    IkaStopMotor          => (Ika, "STOP_4", "stop_the_motor", Actuation),
+    IkaStopHeater         => (Ika, "STOP_1", "stop_the_heater", Actuation),
+    IkaReadExternalSensor => (Ika, "IN_PV_1", "read_external_sensor", Query),
+    IkaReadHotplateSensor => (Ika, "IN_PV_2", "read_hotplate_sensor", Query),
+    InitIka               => (Ika, "__init__(IKA)", "init_ika", Init),
+    IkaSetSpeed           => (Ika, "OUT_SP_4", "set_speed", Config),
+    IkaStartMotor         => (Ika, "START_4", "start_the_motor", Actuation),
+    IkaStartHeater        => (Ika, "START_1", "start_the_heater", Actuation),
+    IkaSetTemperature     => (Ika, "OUT_SP_1", "set_temperature", Config),
+
+    // ---- C9: N9 arm + centrifuge through the N9 controller (12) ---------
+    Mvng      => (C9, "MVNG", "get_axes_moving_states", Query),
+    Outp      => (C9, "OUTP", "toggle_centrifuge", Actuation),
+    Arm       => (C9, "ARM", "move_arm", Motion),
+    Bias      => (C9, "BIAS", "set_elbow_bias", Config),
+    Curr      => (C9, "CURR", "get_axis_current", Query),
+    Sped      => (C9, "SPED", "set_speed", Config),
+    InitC9    => (C9, "__init__(C9)", "init_c9", Init),
+    Home      => (C9, "HOME", "home_n9", Motion),
+    Jlen      => (C9, "JLEN", "set_joint_length", Config),
+    Move      => (C9, "MOVE", "move_axis", Motion),
+    Grip      => (C9, "GRIP", "toggle_gripper", Actuation),
+    Temp      => (C9, "TEMP", "read_controller_temperature", Query),
+
+    // ---- Quantos (incl. Arduino z-stepper) (10) --------------------------
+    InitQuantos           => (Quantos, "__init__(Quantos)", "init_quantos", Init),
+    FrontDoorPosition     => (Quantos, "front_door_position", "front_door_position", Actuation),
+    HomeZStage            => (Quantos, "home_z_stage", "home_z_stage", Motion),
+    ZeroBalance           => (Quantos, "zero", "zero_balance_reading", Actuation),
+    SetHomeDirection      => (Quantos, "set_home_direction", "set_home_direction", Config),
+    StartDosing           => (Quantos, "start_dosing", "start_dosing", Actuation),
+    TargetMass            => (Quantos, "target_mass", "target_mass", Config),
+    MoveZStage            => (Quantos, "move_z_stage", "move_z_stage", Motion),
+    LockDosingPin         => (Quantos, "lock_dosing_pin_position", "lock_dosing_pin_position", Actuation),
+    UnlockDosingPin       => (Quantos, "unlock_dosing_pin_position", "unlock_dosing_pin_position", Actuation),
+}
+
+impl CommandType {
+    /// All command types belonging to `device`, in Fig. 5(a) order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rad_core::{CommandType, DeviceKind};
+    ///
+    /// assert_eq!(CommandType::for_device(DeviceKind::Ur3e).len(), 6);
+    /// assert_eq!(CommandType::for_device(DeviceKind::Ika).len(), 13);
+    /// ```
+    pub fn for_device(device: DeviceKind) -> Vec<CommandType> {
+        CommandType::all()
+            .iter()
+            .copied()
+            .filter(|c| c.device() == device)
+            .collect()
+    }
+
+    /// Whether this is a constructor (`__init__`) token.
+    pub const fn is_init(self) -> bool {
+        matches!(self.category(), CommandCategory::Init)
+    }
+
+    /// Stable index of this command type within [`CommandType::all`],
+    /// usable as a dense token id by the language models.
+    pub fn token_id(self) -> usize {
+        CommandType::all()
+            .iter()
+            .position(|c| *c == self)
+            .expect("command type is in `all()` by construction")
+    }
+
+    /// Inverse of [`CommandType::token_id`].
+    ///
+    /// Returns `None` if `id` is out of range.
+    pub fn from_token_id(id: usize) -> Option<CommandType> {
+        CommandType::all().get(id).copied()
+    }
+}
+
+impl fmt::Display for CommandType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+impl FromStr for CommandType {
+    type Err = RadError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        // Mnemonics are unique per device but `set_speed`-style readable
+        // names are not globally unique, so parsing goes via mnemonic only.
+        CommandType::all()
+            .iter()
+            .copied()
+            .find(|c| c.mnemonic() == s)
+            .ok_or_else(|| RadError::UnknownCommand(s.to_owned()))
+    }
+}
+
+/// A concrete command invocation: a [`CommandType`] plus positional
+/// arguments.
+///
+/// # Examples
+///
+/// ```
+/// use rad_core::{Command, CommandType, Value};
+///
+/// let cmd = Command::new(CommandType::TecanSetVelocity, vec![Value::Int(900)]);
+/// assert_eq!(cmd.args().len(), 1);
+/// assert_eq!(cmd.to_string(), "V(900)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Command {
+    command_type: CommandType,
+    args: Vec<Value>,
+}
+
+impl Command {
+    /// Creates a command with positional arguments.
+    pub fn new(command_type: CommandType, args: Vec<Value>) -> Self {
+        Command { command_type, args }
+    }
+
+    /// Creates an argument-less command.
+    pub fn nullary(command_type: CommandType) -> Self {
+        Command::new(command_type, Vec::new())
+    }
+
+    /// The command type.
+    pub fn command_type(&self) -> CommandType {
+        self.command_type
+    }
+
+    /// Positional arguments.
+    pub fn args(&self) -> &[Value] {
+        &self.args
+    }
+
+    /// The device this command is addressed to.
+    pub fn device(&self) -> DeviceKind {
+        self.command_type.device()
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.command_type)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl From<CommandType> for Command {
+    fn from(command_type: CommandType) -> Self {
+        Command::nullary(command_type)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_52_command_types() {
+        assert_eq!(CommandType::all().len(), 52);
+    }
+
+    #[test]
+    fn per_device_counts_match_design() {
+        assert_eq!(CommandType::for_device(DeviceKind::Ur3e).len(), 6);
+        assert_eq!(CommandType::for_device(DeviceKind::Tecan).len(), 11);
+        assert_eq!(CommandType::for_device(DeviceKind::Ika).len(), 13);
+        assert_eq!(CommandType::for_device(DeviceKind::C9).len(), 12);
+        assert_eq!(CommandType::for_device(DeviceKind::Quantos).len(), 10);
+    }
+
+    #[test]
+    fn mnemonics_are_globally_unique() {
+        let all = CommandType::all();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.mnemonic(), b.mnemonic(), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_device_has_exactly_one_init() {
+        for device in DeviceKind::all() {
+            let inits = CommandType::for_device(device)
+                .into_iter()
+                .filter(|c| c.is_init())
+                .count();
+            assert_eq!(inits, 1, "{device}");
+        }
+    }
+
+    #[test]
+    fn token_ids_round_trip() {
+        for &ct in CommandType::all() {
+            assert_eq!(CommandType::from_token_id(ct.token_id()), Some(ct));
+        }
+        assert_eq!(CommandType::from_token_id(52), None);
+    }
+
+    #[test]
+    fn from_str_round_trips_mnemonics() {
+        for &ct in CommandType::all() {
+            let parsed: CommandType = ct.mnemonic().parse().unwrap();
+            assert_eq!(parsed, ct);
+        }
+    }
+
+    #[test]
+    fn from_str_rejects_unknown() {
+        assert!("SELF_DESTRUCT".parse::<CommandType>().is_err());
+    }
+
+    #[test]
+    fn command_display_shows_args() {
+        let cmd = Command::new(
+            CommandType::Arm,
+            vec![Value::Float(1.5), Value::Str("fast".into())],
+        );
+        assert_eq!(cmd.to_string(), "ARM(1.5, \"fast\")");
+        assert_eq!(Command::nullary(CommandType::Mvng).to_string(), "MVNG()");
+    }
+
+    #[test]
+    fn tecan_status_is_a_query_named_q() {
+        // Fig. 5(b) calls out Q-runs (Q_Q, QQQ, ...) as the top Tecan n-grams.
+        let q = CommandType::TecanGetStatus;
+        assert_eq!(q.mnemonic(), "Q");
+        assert_eq!(q.category(), CommandCategory::Query);
+    }
+}

@@ -1,0 +1,247 @@
+//! The five automation devices traced by RATracer.
+//!
+//! The Hein Lab rig described in §III of the paper spans six physical
+//! devices, but the paper folds the N9 robot arm and the Fisherbrand
+//! centrifuge into a single logical device (both are controlled through
+//! the N9's controller box) called the **C9**, and folds the Arduino
+//! stepper used for Quantos z-axis control into **Quantos**. That leaves
+//! the five logical devices enumerated by [`DeviceKind`].
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::RadError;
+
+/// A logical automation device in the simulated Hein Lab.
+///
+/// # Examples
+///
+/// ```
+/// use rad_core::DeviceKind;
+///
+/// let all = DeviceKind::all();
+/// assert_eq!(all.len(), 5);
+/// assert_eq!(DeviceKind::Ur3e.to_string(), "UR3e");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// North Robotics N9 four-axis robot arm plus the Fisherbrand
+    /// mini-centrifuge, both driven through the N9 controller box.
+    C9,
+    /// Universal Robots UR3e six-axis robot arm.
+    Ur3e,
+    /// IKA C-Mag HS 7 magnetic stirrer and heater.
+    Ika,
+    /// Tecan Cavro XLP 6000 syringe pump.
+    Tecan,
+    /// Mettler Toledo Quantos solid-dosing balance, including the
+    /// Arduino-controlled z-axis stepper motor.
+    Quantos,
+}
+
+impl DeviceKind {
+    /// All five logical devices, in the order used by Fig. 5(a).
+    pub const fn all() -> [DeviceKind; 5] {
+        [
+            DeviceKind::C9,
+            DeviceKind::Ur3e,
+            DeviceKind::Ika,
+            DeviceKind::Tecan,
+            DeviceKind::Quantos,
+        ]
+    }
+
+    /// Human-readable device name as printed in the paper.
+    pub const fn name(self) -> &'static str {
+        match self {
+            DeviceKind::C9 => "C9",
+            DeviceKind::Ur3e => "UR3e",
+            DeviceKind::Ika => "IKA",
+            DeviceKind::Tecan => "Tecan",
+            DeviceKind::Quantos => "Quantos",
+        }
+    }
+
+    /// The transport that connects the physical device to the lab
+    /// computer in the real deployment (Fig. 2). The middlebox crate
+    /// uses this to pick a latency profile per device.
+    pub const fn transport(self) -> Transport {
+        match self {
+            DeviceKind::C9 => Transport::FtdiSerial,
+            DeviceKind::Ur3e => Transport::Ethernet,
+            DeviceKind::Ika => Transport::Serial,
+            DeviceKind::Tecan => Transport::Serial,
+            DeviceKind::Quantos => Transport::Ethernet,
+        }
+    }
+
+    /// Number of trace objects Fig. 5(a) reports for this device.
+    ///
+    /// The UR3e count is not printed in the legend; it is derived as the
+    /// remainder of the 128,785 total.
+    pub const fn paper_trace_count(self) -> u64 {
+        match self {
+            DeviceKind::C9 => 93_231,
+            DeviceKind::Ur3e => 5_460,
+            DeviceKind::Ika => 11_448,
+            DeviceKind::Tecan => 16_279,
+            DeviceKind::Quantos => 2_367,
+        }
+    }
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for DeviceKind {
+    type Err = RadError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "C9" => Ok(DeviceKind::C9),
+            "UR3e" => Ok(DeviceKind::Ur3e),
+            "IKA" => Ok(DeviceKind::Ika),
+            "Tecan" => Ok(DeviceKind::Tecan),
+            "Quantos" => Ok(DeviceKind::Quantos),
+            other => Err(RadError::UnknownDevice(other.to_owned())),
+        }
+    }
+}
+
+/// Physical transport between the lab computer (or middlebox) and a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Transport {
+    /// Raw RS-232/RS-485 serial line (pySerial in the original stack).
+    Serial,
+    /// Serial over an FTDI USB cable through the Windows FTD2XX driver
+    /// (`class FtdiDevice` in the original stack).
+    FtdiSerial,
+    /// TCP over Ethernet (Python `socket`, `urx`).
+    Ethernet,
+}
+
+impl fmt::Display for Transport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Transport::Serial => "serial",
+            Transport::FtdiSerial => "ftdi-serial",
+            Transport::Ethernet => "ethernet",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Identifier of a concrete device instance within a lab rig.
+///
+/// A rig normally hosts exactly one instance of each [`DeviceKind`], but
+/// the type keeps an instance index so tests can build rigs with several
+/// arms (the paper's future-work section anticipates scaling from five to
+/// fifty devices).
+///
+/// # Examples
+///
+/// ```
+/// use rad_core::{DeviceId, DeviceKind};
+///
+/// let id = DeviceId::primary(DeviceKind::Tecan);
+/// assert_eq!(id.kind(), DeviceKind::Tecan);
+/// assert_eq!(id.index(), 0);
+/// assert_eq!(id.to_string(), "Tecan#0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceId {
+    kind: DeviceKind,
+    index: u16,
+}
+
+impl DeviceId {
+    /// Identifier of the single (index 0) instance of `kind`.
+    pub const fn primary(kind: DeviceKind) -> Self {
+        DeviceId { kind, index: 0 }
+    }
+
+    /// Identifier of the `index`-th instance of `kind`.
+    pub const fn new(kind: DeviceKind, index: u16) -> Self {
+        DeviceId { kind, index }
+    }
+
+    /// The device kind this instance belongs to.
+    pub const fn kind(self) -> DeviceKind {
+        self.kind
+    }
+
+    /// Instance index within the rig (0 for the primary instance).
+    pub const fn index(self) -> u16 {
+        self.index
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.kind, self.index)
+    }
+}
+
+impl From<DeviceKind> for DeviceId {
+    fn from(kind: DeviceKind) -> Self {
+        DeviceId::primary(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_devices_are_distinct() {
+        let all = DeviceKind::all();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        for kind in DeviceKind::all() {
+            let parsed: DeviceKind = kind.to_string().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+    }
+
+    #[test]
+    fn unknown_device_is_an_error() {
+        let err = "Roomba".parse::<DeviceKind>().unwrap_err();
+        assert!(err.to_string().contains("Roomba"));
+    }
+
+    #[test]
+    fn paper_trace_counts_sum_to_total() {
+        let total: u64 = DeviceKind::all()
+            .iter()
+            .map(|d| d.paper_trace_count())
+            .sum();
+        assert_eq!(total, 128_785);
+    }
+
+    #[test]
+    fn device_id_display_includes_index() {
+        let id = DeviceId::new(DeviceKind::Ur3e, 3);
+        assert_eq!(id.to_string(), "UR3e#3");
+    }
+
+    #[test]
+    fn primary_is_index_zero() {
+        assert_eq!(DeviceId::primary(DeviceKind::Ika).index(), 0);
+        assert_eq!(
+            DeviceId::from(DeviceKind::Ika),
+            DeviceId::primary(DeviceKind::Ika)
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Error types shared across the workspace.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceKind;
+
+/// Top-level error type of the RAD workspace.
+///
+/// # Examples
+///
+/// ```
+/// use rad_core::RadError;
+///
+/// let err = RadError::UnknownCommand("FOO".into());
+/// assert_eq!(err.to_string(), "unknown command mnemonic `FOO`");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RadError {
+    /// A device name failed to parse.
+    UnknownDevice(String),
+    /// A command mnemonic failed to parse.
+    UnknownCommand(String),
+    /// A command was sent to a device that does not implement it.
+    WrongDevice {
+        /// The device the command was sent to.
+        sent_to: DeviceKind,
+        /// The device that owns the command.
+        owner: DeviceKind,
+        /// The command mnemonic.
+        mnemonic: &'static str,
+    },
+    /// A device rejected or failed a command.
+    Device(DeviceFault),
+    /// The RPC layer failed (connection closed, timeout, framing error).
+    Rpc(String),
+    /// A dataset/store operation failed.
+    Store(String),
+    /// An analysis precondition was violated (empty corpus, mismatched
+    /// lengths, ...).
+    Analysis(String),
+}
+
+impl fmt::Display for RadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RadError::UnknownDevice(name) => write!(f, "unknown device `{name}`"),
+            RadError::UnknownCommand(name) => write!(f, "unknown command mnemonic `{name}`"),
+            RadError::WrongDevice {
+                sent_to,
+                owner,
+                mnemonic,
+            } => write!(
+                f,
+                "command `{mnemonic}` belongs to {owner} but was sent to {sent_to}"
+            ),
+            RadError::Device(fault) => write!(f, "device fault: {fault}"),
+            RadError::Rpc(msg) => write!(f, "rpc failure: {msg}"),
+            RadError::Store(msg) => write!(f, "store failure: {msg}"),
+            RadError::Analysis(msg) => write!(f, "analysis precondition violated: {msg}"),
+        }
+    }
+}
+
+impl StdError for RadError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            RadError::Device(fault) => Some(fault),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceFault> for RadError {
+    fn from(fault: DeviceFault) -> Self {
+        RadError::Device(fault)
+    }
+}
+
+/// A fault raised by a simulated device while executing a command.
+///
+/// These map onto the exception strings logged in RAD trace objects.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum DeviceFault {
+    /// Command arguments were malformed or out of range.
+    InvalidArgument {
+        /// What was wrong.
+        reason: String,
+    },
+    /// The command is not valid in the device's current state
+    /// (e.g. `start_dosing` with the front door open).
+    InvalidState {
+        /// What the device was doing instead.
+        reason: String,
+    },
+    /// A motion command caused a physical collision. This is the event
+    /// that turns a run anomalous.
+    Collision {
+        /// What the moving part hit.
+        obstacle: String,
+    },
+    /// The device stopped responding (unplugged cable, crashed firmware).
+    Timeout,
+    /// An emergency stop (operator or protective) aborted the command.
+    EmergencyStop,
+}
+
+impl fmt::Display for DeviceFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceFault::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
+            DeviceFault::InvalidState { reason } => write!(f, "invalid state: {reason}"),
+            DeviceFault::Collision { obstacle } => write!(f, "collision with {obstacle}"),
+            DeviceFault::Timeout => f.write_str("device timed out"),
+            DeviceFault::EmergencyStop => f.write_str("emergency stop"),
+        }
+    }
+}
+
+impl StdError for DeviceFault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_unpunctuated() {
+        let messages = [
+            RadError::UnknownDevice("X".into()).to_string(),
+            RadError::Rpc("connection reset".into()).to_string(),
+            RadError::Device(DeviceFault::Timeout).to_string(),
+        ];
+        for msg in messages {
+            assert!(!msg.ends_with('.'), "{msg}");
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+        }
+    }
+
+    #[test]
+    fn device_fault_is_source_of_rad_error() {
+        let err = RadError::from(DeviceFault::EmergencyStop);
+        assert!(err.source().is_some());
+        assert!(RadError::Rpc("x".into()).source().is_none());
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RadError>();
+        assert_send_sync::<DeviceFault>();
+    }
+
+    #[test]
+    fn wrong_device_message_names_both_devices() {
+        let err = RadError::WrongDevice {
+            sent_to: DeviceKind::Ika,
+            owner: DeviceKind::Tecan,
+            mnemonic: "Q",
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("IKA") && msg.contains("Tecan") && msg.contains('Q'));
+    }
+}

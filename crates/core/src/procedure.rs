@@ -1,0 +1,374 @@
+//! The supervised procedure taxonomy of §IV.
+//!
+//! RAD labels 25 supervised runs across four procedure types (P1–P4),
+//! plus two controlled power-experiment procedures (P5, P6). Everything
+//! else in the three-month campaign is labeled *unknown procedure*.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::RadError;
+
+use crate::time::SimInstant;
+
+/// A procedure type from §IV of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use rad_core::ProcedureKind;
+///
+/// assert_eq!(ProcedureKind::JoystickMovements.paper_id(), "P4");
+/// assert_eq!(ProcedureKind::supervised().len(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ProcedureKind {
+    /// P1: Automated Solubility with N9 (5 supervised runs).
+    AutomatedSolubilityN9,
+    /// P2: Automated Solubility with N9 and UR3e (4 supervised runs).
+    AutomatedSolubilityN9Ur3e,
+    /// P3: Crystal Solubility (4 supervised runs).
+    CrystalSolubility,
+    /// P4: Joystick Movements (12 supervised runs).
+    JoystickMovements,
+    /// P5: UR3e movements with different velocities (power experiments).
+    VelocitySweep,
+    /// P6: UR3e movements with different payload weights (power experiments).
+    PayloadSweep,
+    /// Unsupervised lab activity ("unknown procedure" label in RAD).
+    Unknown,
+}
+
+impl ProcedureKind {
+    /// The paper's identifier (`"P1"`..`"P6"`, or `"unknown"`).
+    pub const fn paper_id(self) -> &'static str {
+        match self {
+            ProcedureKind::AutomatedSolubilityN9 => "P1",
+            ProcedureKind::AutomatedSolubilityN9Ur3e => "P2",
+            ProcedureKind::CrystalSolubility => "P3",
+            ProcedureKind::JoystickMovements => "P4",
+            ProcedureKind::VelocitySweep => "P5",
+            ProcedureKind::PayloadSweep => "P6",
+            ProcedureKind::Unknown => "unknown",
+        }
+    }
+
+    /// Long name as used in §IV.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ProcedureKind::AutomatedSolubilityN9 => "Automated Solubility with N9",
+            ProcedureKind::AutomatedSolubilityN9Ur3e => "Automated Solubility with N9 and UR3e",
+            ProcedureKind::CrystalSolubility => "Crystal Solubility",
+            ProcedureKind::JoystickMovements => "Joystick Movements",
+            ProcedureKind::VelocitySweep => "UR3e Movements with Different Velocities",
+            ProcedureKind::PayloadSweep => "UR3e Movements with Different Payload Weights",
+            ProcedureKind::Unknown => "Unknown Procedure",
+        }
+    }
+
+    /// The four procedure types with supervised runs in the command
+    /// dataset (P1–P4), in Fig. 6 block order: P4 first (ids 0–11), then
+    /// P1 (12–16), P2 (17–20), P3 (21–24).
+    pub const fn supervised() -> [ProcedureKind; 4] {
+        [
+            ProcedureKind::JoystickMovements,
+            ProcedureKind::AutomatedSolubilityN9,
+            ProcedureKind::AutomatedSolubilityN9Ur3e,
+            ProcedureKind::CrystalSolubility,
+        ]
+    }
+
+    /// Number of supervised runs §IV reports for this procedure type
+    /// (zero for P5/P6/unknown, which are not in the 25-run set).
+    pub const fn supervised_run_count(self) -> usize {
+        match self {
+            ProcedureKind::AutomatedSolubilityN9 => 5,
+            ProcedureKind::AutomatedSolubilityN9Ur3e => 4,
+            ProcedureKind::CrystalSolubility => 4,
+            ProcedureKind::JoystickMovements => 12,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for ProcedureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_id())
+    }
+}
+
+impl FromStr for ProcedureKind {
+    type Err = RadError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "P1" => Ok(ProcedureKind::AutomatedSolubilityN9),
+            "P2" => Ok(ProcedureKind::AutomatedSolubilityN9Ur3e),
+            "P3" => Ok(ProcedureKind::CrystalSolubility),
+            "P4" => Ok(ProcedureKind::JoystickMovements),
+            "P5" => Ok(ProcedureKind::VelocitySweep),
+            "P6" => Ok(ProcedureKind::PayloadSweep),
+            "unknown" => Ok(ProcedureKind::Unknown),
+            other => Err(RadError::Store(format!("unknown procedure id `{other}`"))),
+        }
+    }
+}
+
+/// Ground-truth label of a procedure run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Label {
+    /// Run completed successfully or was stopped intentionally by the
+    /// operator; no physical incident.
+    Benign,
+    /// Run ended in a crash between a robot arm and another device.
+    Anomalous(AnomalyCause),
+    /// Unsupervised run; no ground truth.
+    Unknown,
+}
+
+impl Label {
+    /// Whether the run is labeled anomalous.
+    pub const fn is_anomalous(self) -> bool {
+        matches!(self, Label::Anomalous(_))
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::Benign => f.write_str("benign"),
+            Label::Anomalous(cause) => write!(f, "anomalous({cause})"),
+            Label::Unknown => f.write_str("unknown"),
+        }
+    }
+}
+
+impl FromStr for Label {
+    type Err = RadError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "benign" => Ok(Label::Benign),
+            "unknown" => Ok(Label::Unknown),
+            "anomalous(quantos-door-vs-n9)" => Ok(Label::Anomalous(AnomalyCause::QuantosDoorVsN9)),
+            "anomalous(quantos-door-vs-ur3e)" => {
+                Ok(Label::Anomalous(AnomalyCause::QuantosDoorVsUr3e))
+            }
+            "anomalous(arm-vs-tecan)" => Ok(Label::Anomalous(AnomalyCause::ArmVsTecan)),
+            other => Err(RadError::Store(format!("unknown label `{other}`"))),
+        }
+    }
+}
+
+/// Why a supervised run was labeled anomalous.
+///
+/// §V narrates three anomalies among the 25 supervised runs; these cover
+/// the crash geometries it describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AnomalyCause {
+    /// The Quantos front door crashed into the N9 robot arm
+    /// (procedure run 16, a P1 run).
+    QuantosDoorVsN9,
+    /// The Quantos front door crashed into the UR3e
+    /// (procedure run 17, a P2 run).
+    QuantosDoorVsUr3e,
+    /// The robot arm crashed into the Tecan at the end of the experiment
+    /// (procedure run 22, a P3 run).
+    ArmVsTecan,
+}
+
+impl fmt::Display for AnomalyCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AnomalyCause::QuantosDoorVsN9 => "quantos-door-vs-n9",
+            AnomalyCause::QuantosDoorVsUr3e => "quantos-door-vs-ur3e",
+            AnomalyCause::ArmVsTecan => "arm-vs-tecan",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Identifier of a procedure run within a dataset.
+///
+/// Supervised runs use ids 0–24 in Fig. 6 order; unsupervised runs get
+/// ids from 1000 upward.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct RunId(pub u32);
+
+impl fmt::Display for RunId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "run-{}", self.0)
+    }
+}
+
+/// Metadata recorded for every procedure run in the dataset.
+///
+/// # Examples
+///
+/// ```
+/// use rad_core::{Label, ProcedureKind, RunId, RunMetadata, SimInstant};
+///
+/// let meta = RunMetadata::new(RunId(12), ProcedureKind::AutomatedSolubilityN9, SimInstant::EPOCH)
+///     .with_label(Label::Benign)
+///     .with_note("used joystick to position N9; stopped midway (solid shortage)");
+/// assert!(!meta.label().is_anomalous());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMetadata {
+    run_id: RunId,
+    kind: ProcedureKind,
+    started_at: SimInstant,
+    label: Label,
+    operator_note: Option<String>,
+}
+
+impl RunMetadata {
+    /// Creates metadata for a run with label [`Label::Unknown`].
+    pub fn new(run_id: RunId, kind: ProcedureKind, started_at: SimInstant) -> Self {
+        RunMetadata {
+            run_id,
+            kind,
+            started_at,
+            label: Label::Unknown,
+            operator_note: None,
+        }
+    }
+
+    /// Sets the ground-truth label.
+    #[must_use]
+    pub fn with_label(mut self, label: Label) -> Self {
+        self.label = label;
+        self
+    }
+
+    /// Attaches a free-form operator note (the paper's "metadata").
+    #[must_use]
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.operator_note = Some(note.into());
+        self
+    }
+
+    /// Run identifier.
+    pub fn run_id(&self) -> RunId {
+        self.run_id
+    }
+
+    /// Procedure type.
+    pub fn kind(&self) -> ProcedureKind {
+        self.kind
+    }
+
+    /// Simulated start time.
+    pub fn started_at(&self) -> SimInstant {
+        self.started_at
+    }
+
+    /// Ground-truth label.
+    pub fn label(&self) -> Label {
+        self.label
+    }
+
+    /// Operator note, if any.
+    pub fn operator_note(&self) -> Option<&str> {
+        self.operator_note.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supervised_runs_total_25() {
+        let total: usize = ProcedureKind::supervised()
+            .iter()
+            .map(|p| p.supervised_run_count())
+            .sum();
+        assert_eq!(total, 25);
+    }
+
+    #[test]
+    fn paper_ids_are_unique() {
+        let kinds = [
+            ProcedureKind::AutomatedSolubilityN9,
+            ProcedureKind::AutomatedSolubilityN9Ur3e,
+            ProcedureKind::CrystalSolubility,
+            ProcedureKind::JoystickMovements,
+            ProcedureKind::VelocitySweep,
+            ProcedureKind::PayloadSweep,
+            ProcedureKind::Unknown,
+        ];
+        for (i, a) in kinds.iter().enumerate() {
+            for b in &kinds[i + 1..] {
+                assert_ne!(a.paper_id(), b.paper_id());
+            }
+        }
+    }
+
+    #[test]
+    fn labels_report_anomaly_status() {
+        assert!(!Label::Benign.is_anomalous());
+        assert!(!Label::Unknown.is_anomalous());
+        assert!(Label::Anomalous(AnomalyCause::ArmVsTecan).is_anomalous());
+    }
+
+    #[test]
+    fn metadata_builder_sets_fields() {
+        let meta = RunMetadata::new(
+            RunId(7),
+            ProcedureKind::CrystalSolubility,
+            SimInstant::EPOCH,
+        )
+        .with_label(Label::Anomalous(AnomalyCause::ArmVsTecan))
+        .with_note("crash at end");
+        assert_eq!(meta.run_id(), RunId(7));
+        assert_eq!(meta.kind(), ProcedureKind::CrystalSolubility);
+        assert!(meta.label().is_anomalous());
+        assert_eq!(meta.operator_note(), Some("crash at end"));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(RunId(3).to_string(), "run-3");
+        assert_eq!(
+            Label::Anomalous(AnomalyCause::QuantosDoorVsUr3e).to_string(),
+            "anomalous(quantos-door-vs-ur3e)"
+        );
+    }
+
+    #[test]
+    fn procedure_ids_round_trip_through_from_str() {
+        for kind in [
+            ProcedureKind::AutomatedSolubilityN9,
+            ProcedureKind::AutomatedSolubilityN9Ur3e,
+            ProcedureKind::CrystalSolubility,
+            ProcedureKind::JoystickMovements,
+            ProcedureKind::VelocitySweep,
+            ProcedureKind::PayloadSweep,
+            ProcedureKind::Unknown,
+        ] {
+            let parsed: ProcedureKind = kind.paper_id().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert!("P9".parse::<ProcedureKind>().is_err());
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_str() {
+        for label in [
+            Label::Benign,
+            Label::Unknown,
+            Label::Anomalous(AnomalyCause::QuantosDoorVsN9),
+            Label::Anomalous(AnomalyCause::QuantosDoorVsUr3e),
+            Label::Anomalous(AnomalyCause::ArmVsTecan),
+        ] {
+            let parsed: Label = label.to_string().parse().unwrap();
+            assert_eq!(parsed, label);
+        }
+        assert!("sus".parse::<Label>().is_err());
+    }
+}

@@ -1,0 +1,334 @@
+//! Deterministic simulated time.
+//!
+//! All timestamps in the synthetic RAD dataset come from a [`SimClock`],
+//! a logical clock counting microseconds since the start of the
+//! simulated three-month collection campaign. Using simulated rather
+//! than wall-clock time keeps dataset synthesis deterministic and lets
+//! the benchmark harness replay months of lab activity in milliseconds.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A span of simulated time, with microsecond resolution.
+///
+/// # Examples
+///
+/// ```
+/// use rad_core::SimDuration;
+///
+/// let d = SimDuration::from_millis(1500);
+/// assert_eq!(d.as_secs_f64(), 1.5);
+/// assert_eq!(d + SimDuration::from_micros(500), SimDuration::from_micros(1_500_500));
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimDuration {
+    micros: u64,
+}
+
+impl SimDuration {
+    /// The zero duration.
+    pub const ZERO: SimDuration = SimDuration { micros: 0 };
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration { micros }
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration {
+            micros: millis * 1_000,
+        }
+    }
+
+    /// Creates a duration from seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration {
+            micros: secs * 1_000_000,
+        }
+    }
+
+    /// Creates a duration from fractional seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be finite and non-negative"
+        );
+        SimDuration {
+            micros: (secs * 1e6).round() as u64,
+        }
+    }
+
+    /// Total microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.micros
+    }
+
+    /// Total milliseconds (fractional).
+    pub fn as_millis_f64(self) -> f64 {
+        self.micros as f64 / 1e3
+    }
+
+    /// Total seconds (fractional).
+    pub fn as_secs_f64(self) -> f64 {
+        self.micros as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration {
+            micros: self.micros.saturating_sub(rhs.micros),
+        }
+    }
+
+    /// Scales the duration by a non-negative factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative"
+        );
+        SimDuration {
+            micros: (self.micros as f64 * factor).round() as u64,
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration {
+            micros: self.micros + rhs.micros,
+        }
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.micros += rhs.micros;
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.micros < 1_000 {
+            write!(f, "{}us", self.micros)
+        } else if self.micros < 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+/// An instant on the simulated campaign timeline.
+///
+/// Instant zero is the start of the simulated three-month collection
+/// period.
+///
+/// # Examples
+///
+/// ```
+/// use rad_core::{SimDuration, SimInstant};
+///
+/// let t0 = SimInstant::EPOCH;
+/// let t1 = t0 + SimDuration::from_secs(60);
+/// assert_eq!(t1.duration_since(t0), SimDuration::from_secs(60));
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimInstant {
+    micros_since_epoch: u64,
+}
+
+impl SimInstant {
+    /// Start of the simulated campaign.
+    pub const EPOCH: SimInstant = SimInstant {
+        micros_since_epoch: 0,
+    };
+
+    /// Creates an instant from microseconds since the epoch.
+    pub const fn from_micros(micros_since_epoch: u64) -> Self {
+        SimInstant { micros_since_epoch }
+    }
+
+    /// Microseconds since the epoch.
+    pub const fn as_micros(self) -> u64 {
+        self.micros_since_epoch
+    }
+
+    /// Elapsed time since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: SimInstant) -> SimDuration {
+        assert!(
+            earlier.micros_since_epoch <= self.micros_since_epoch,
+            "`earlier` must not be later than `self`"
+        );
+        SimDuration::from_micros(self.micros_since_epoch - earlier.micros_since_epoch)
+    }
+
+    /// Like [`SimInstant::duration_since`] but saturating to zero.
+    pub fn saturating_duration_since(self, earlier: SimInstant) -> SimDuration {
+        SimDuration::from_micros(
+            self.micros_since_epoch
+                .saturating_sub(earlier.micros_since_epoch),
+        )
+    }
+}
+
+impl Add<SimDuration> for SimInstant {
+    type Output = SimInstant;
+
+    fn add(self, rhs: SimDuration) -> SimInstant {
+        SimInstant {
+            micros_since_epoch: self.micros_since_epoch + rhs.as_micros(),
+        }
+    }
+}
+
+impl Sub<SimInstant> for SimInstant {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimInstant) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl fmt::Display for SimInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.6}s", self.micros_since_epoch as f64 / 1e6)
+    }
+}
+
+/// A monotonically advancing simulated clock.
+///
+/// The clock is advanced explicitly by the simulation driver; reading it
+/// never advances it. This is the only source of timestamps in the
+/// workspace, which is what makes campaign synthesis reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use rad_core::{SimClock, SimDuration};
+///
+/// let mut clock = SimClock::new();
+/// let before = clock.now();
+/// clock.advance(SimDuration::from_millis(40));
+/// assert_eq!(clock.now().duration_since(before), SimDuration::from_millis(40));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimClock {
+    now: SimInstant,
+}
+
+impl SimClock {
+    /// A clock at the campaign epoch.
+    pub fn new() -> Self {
+        SimClock {
+            now: SimInstant::EPOCH,
+        }
+    }
+
+    /// A clock starting at `start`.
+    pub fn starting_at(start: SimInstant) -> Self {
+        SimClock { now: start }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimInstant {
+        self.now
+    }
+
+    /// Advances the clock by `delta` and returns the new time.
+    pub fn advance(&mut self, delta: SimDuration) -> SimInstant {
+        self.now = self.now + delta;
+        self.now
+    }
+
+    /// Advances the clock to `target` if it is in the future; a no-op
+    /// otherwise. Returns the (possibly unchanged) current time.
+    pub fn advance_to(&mut self, target: SimInstant) -> SimInstant {
+        if target > self.now {
+            self.now = target;
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_conversions_agree() {
+        let d = SimDuration::from_secs(2);
+        assert_eq!(d, SimDuration::from_millis(2_000));
+        assert_eq!(d, SimDuration::from_micros(2_000_000));
+        assert_eq!(d, SimDuration::from_secs_f64(2.0));
+    }
+
+    #[test]
+    fn duration_display_picks_sensible_units() {
+        assert_eq!(SimDuration::from_micros(250).to_string(), "250us");
+        assert_eq!(SimDuration::from_millis(42).to_string(), "42.000ms");
+        assert_eq!(SimDuration::from_secs(3).to_string(), "3.000s");
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_zero() {
+        let small = SimDuration::from_millis(1);
+        let big = SimDuration::from_millis(2);
+        assert_eq!(small.saturating_sub(big), SimDuration::ZERO);
+        assert_eq!(big.saturating_sub(small), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be later")]
+    fn duration_since_panics_on_reversed_order() {
+        let t0 = SimInstant::EPOCH;
+        let t1 = t0 + SimDuration::from_secs(1);
+        let _ = t0.duration_since(t1);
+    }
+
+    #[test]
+    fn saturating_duration_since_clamps() {
+        let t0 = SimInstant::EPOCH;
+        let t1 = t0 + SimDuration::from_secs(1);
+        assert_eq!(t0.saturating_duration_since(t1), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn advance_to_never_moves_backwards() {
+        let mut clock = SimClock::new();
+        clock.advance(SimDuration::from_secs(10));
+        let now = clock.now();
+        clock.advance_to(SimInstant::EPOCH + SimDuration::from_secs(5));
+        assert_eq!(clock.now(), now);
+        clock.advance_to(SimInstant::EPOCH + SimDuration::from_secs(15));
+        assert_eq!(clock.now(), SimInstant::EPOCH + SimDuration::from_secs(15));
+    }
+
+    #[test]
+    fn mul_f64_scales() {
+        assert_eq!(
+            SimDuration::from_millis(100).mul_f64(2.5),
+            SimDuration::from_millis(250)
+        );
+    }
+}

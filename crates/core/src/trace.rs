@@ -1,0 +1,310 @@
+//! The trace-object schema of the RAD command dataset.
+//!
+//! Each [`TraceObject`] corresponds to one intercepted command instance:
+//! RATracer logs the timestamp, intercepted function, arguments, return
+//! value, and exception (Fig. 3 of the paper), and the curated dataset
+//! additionally carries the procedure-run labels of §IV.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::command::{Command, CommandType};
+use crate::device::DeviceId;
+use crate::procedure::{Label, ProcedureKind, RunId};
+use crate::time::{SimDuration, SimInstant};
+use crate::value::Value;
+
+/// Monotonic identifier of a trace object within a dataset.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct TraceId(pub u64);
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace-{}", self.0)
+    }
+}
+
+/// Which RATracer mode captured a trace object.
+///
+/// In DIRECT mode the middlebox only collects trace data while the lab
+/// computer talks to the device directly; in REMOTE mode every command is
+/// relayed through the middlebox; CLOUD is the Azure replay configuration
+/// of the paper's footnote 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceMode {
+    /// Middlebox traces passively; lab computer talks to the device.
+    Direct,
+    /// Middlebox relays commands between lab computer and device.
+    Remote,
+    /// Commands replayed against a cloud-hosted middlebox (footnote 1).
+    Cloud,
+}
+
+impl fmt::Display for TraceMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceMode::Direct => "DIRECT",
+            TraceMode::Remote => "REMOTE",
+            TraceMode::Cloud => "CLOUD",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One intercepted command instance, as logged by the middlebox.
+///
+/// Construct with [`TraceObject::builder`].
+///
+/// # Examples
+///
+/// ```
+/// use rad_core::{Command, CommandType, DeviceId, DeviceKind, SimInstant, TraceId, TraceMode,
+///                TraceObject, Value};
+///
+/// let trace = TraceObject::builder(
+///         TraceId(0),
+///         SimInstant::EPOCH,
+///         DeviceId::primary(DeviceKind::Tecan),
+///         Command::nullary(CommandType::TecanGetStatus),
+///     )
+///     .mode(TraceMode::Remote)
+///     .return_value(Value::Str("idle".into()))
+///     .build();
+/// assert!(trace.exception().is_none());
+/// assert_eq!(trace.command_type(), CommandType::TecanGetStatus);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceObject {
+    id: TraceId,
+    timestamp: SimInstant,
+    device: DeviceId,
+    command: Command,
+    mode: TraceMode,
+    return_value: Value,
+    exception: Option<String>,
+    response_time: SimDuration,
+    procedure: ProcedureKind,
+    run_id: Option<RunId>,
+    label: Label,
+}
+
+impl TraceObject {
+    /// Starts building a trace object for `command` on `device` at
+    /// `timestamp`.
+    pub fn builder(
+        id: TraceId,
+        timestamp: SimInstant,
+        device: DeviceId,
+        command: Command,
+    ) -> TraceObjectBuilder {
+        TraceObjectBuilder {
+            inner: TraceObject {
+                id,
+                timestamp,
+                device,
+                command,
+                mode: TraceMode::Direct,
+                return_value: Value::Unit,
+                exception: None,
+                response_time: SimDuration::ZERO,
+                procedure: ProcedureKind::Unknown,
+                run_id: None,
+                label: Label::Unknown,
+            },
+        }
+    }
+
+    /// Dataset-wide identifier.
+    pub fn id(&self) -> TraceId {
+        self.id
+    }
+
+    /// Simulated time at which the command was issued.
+    pub fn timestamp(&self) -> SimInstant {
+        self.timestamp
+    }
+
+    /// Target device instance.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// The intercepted command (type + arguments).
+    pub fn command(&self) -> &Command {
+        &self.command
+    }
+
+    /// Shorthand for `self.command().command_type()`.
+    pub fn command_type(&self) -> CommandType {
+        self.command.command_type()
+    }
+
+    /// Capture mode.
+    pub fn mode(&self) -> TraceMode {
+        self.mode
+    }
+
+    /// Logged return value ([`Value::Unit`] when the call returned
+    /// nothing or raised).
+    pub fn return_value(&self) -> &Value {
+        &self.return_value
+    }
+
+    /// Logged exception message, if the call raised.
+    pub fn exception(&self) -> Option<&str> {
+        self.exception.as_deref()
+    }
+
+    /// End-to-end response time observed by the lab computer.
+    pub fn response_time(&self) -> SimDuration {
+        self.response_time
+    }
+
+    /// Procedure type this command belongs to (`Unknown` for
+    /// unsupervised activity).
+    pub fn procedure(&self) -> ProcedureKind {
+        self.procedure
+    }
+
+    /// Supervised run id, if the command belongs to a supervised run.
+    pub fn run_id(&self) -> Option<RunId> {
+        self.run_id
+    }
+
+    /// Ground-truth label inherited from the run.
+    pub fn label(&self) -> Label {
+        self.label
+    }
+}
+
+/// Builder for [`TraceObject`].
+#[derive(Debug, Clone)]
+pub struct TraceObjectBuilder {
+    inner: TraceObject,
+}
+
+impl TraceObjectBuilder {
+    /// Sets the capture mode (default [`TraceMode::Direct`]).
+    #[must_use]
+    pub fn mode(mut self, mode: TraceMode) -> Self {
+        self.inner.mode = mode;
+        self
+    }
+
+    /// Sets the logged return value (default [`Value::Unit`]).
+    #[must_use]
+    pub fn return_value(mut self, value: Value) -> Self {
+        self.inner.return_value = value;
+        self
+    }
+
+    /// Records an exception raised by the call.
+    #[must_use]
+    pub fn exception(mut self, message: impl Into<String>) -> Self {
+        self.inner.exception = Some(message.into());
+        self
+    }
+
+    /// Sets the observed response time (default zero).
+    #[must_use]
+    pub fn response_time(mut self, rt: SimDuration) -> Self {
+        self.inner.response_time = rt;
+        self
+    }
+
+    /// Attributes the command to a supervised procedure run.
+    #[must_use]
+    pub fn run(mut self, procedure: ProcedureKind, run_id: RunId, label: Label) -> Self {
+        self.inner.procedure = procedure;
+        self.inner.run_id = Some(run_id);
+        self.inner.label = label;
+        self
+    }
+
+    /// Finalizes the trace object.
+    pub fn build(self) -> TraceObject {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceKind;
+
+    fn sample() -> TraceObject {
+        TraceObject::builder(
+            TraceId(42),
+            SimInstant::EPOCH + SimDuration::from_secs(5),
+            DeviceId::primary(DeviceKind::C9),
+            Command::new(CommandType::Arm, vec![Value::Int(3)]),
+        )
+        .mode(TraceMode::Remote)
+        .return_value(Value::Bool(true))
+        .response_time(SimDuration::from_millis(6))
+        .run(ProcedureKind::JoystickMovements, RunId(1), Label::Benign)
+        .build()
+    }
+
+    #[test]
+    fn builder_populates_all_fields() {
+        let t = sample();
+        assert_eq!(t.id(), TraceId(42));
+        assert_eq!(t.device().kind(), DeviceKind::C9);
+        assert_eq!(t.command_type(), CommandType::Arm);
+        assert_eq!(t.mode(), TraceMode::Remote);
+        assert_eq!(t.return_value(), &Value::Bool(true));
+        assert_eq!(t.response_time(), SimDuration::from_millis(6));
+        assert_eq!(t.procedure(), ProcedureKind::JoystickMovements);
+        assert_eq!(t.run_id(), Some(RunId(1)));
+        assert_eq!(t.label(), Label::Benign);
+        assert!(t.exception().is_none());
+    }
+
+    #[test]
+    fn defaults_are_direct_unknown_unit() {
+        let t = TraceObject::builder(
+            TraceId(0),
+            SimInstant::EPOCH,
+            DeviceId::primary(DeviceKind::Ika),
+            Command::nullary(CommandType::IkaReadDeviceName),
+        )
+        .build();
+        assert_eq!(t.mode(), TraceMode::Direct);
+        assert_eq!(t.procedure(), ProcedureKind::Unknown);
+        assert_eq!(t.run_id(), None);
+        assert_eq!(t.label(), Label::Unknown);
+        assert_eq!(t.return_value(), &Value::Unit);
+    }
+
+    #[test]
+    fn exceptions_are_recorded() {
+        let t = TraceObject::builder(
+            TraceId(1),
+            SimInstant::EPOCH,
+            DeviceId::primary(DeviceKind::Quantos),
+            Command::nullary(CommandType::StartDosing),
+        )
+        .exception("DosingHeadEmpty")
+        .build();
+        assert_eq!(t.exception(), Some("DosingHeadEmpty"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = sample();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: TraceObject = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn mode_display_matches_paper() {
+        assert_eq!(TraceMode::Direct.to_string(), "DIRECT");
+        assert_eq!(TraceMode::Remote.to_string(), "REMOTE");
+        assert_eq!(TraceMode::Cloud.to_string(), "CLOUD");
+    }
+}

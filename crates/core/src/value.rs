@@ -1,0 +1,280 @@
+//! Dynamically-typed argument and return values.
+//!
+//! The original RATracer logs Python call arguments and return values,
+//! which are dynamically typed. [`Value`] is the Rust stand-in: a small
+//! JSON-like algebraic type with a few robotics-specific additions
+//! (3-D locations and 6-D joint vectors) so that the workload generators
+//! and the parameter-aware IDS ablation can speak about command
+//! arguments without stringly-typed encodings.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A dynamically-typed value logged in a trace object.
+///
+/// # Examples
+///
+/// ```
+/// use rad_core::Value;
+///
+/// let v = Value::List(vec![Value::Int(1), Value::Bool(true)]);
+/// assert_eq!(v.to_string(), "[1, true]");
+/// assert_eq!(Value::Unit.to_string(), "None");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Python `None` / procedure returned nothing.
+    #[default]
+    Unit,
+    /// Boolean flag.
+    Bool(bool),
+    /// Signed integer (device counts, stepper positions, plunger steps).
+    Int(i64),
+    /// IEEE-754 double (velocities, masses, temperatures).
+    Float(f64),
+    /// UTF-8 string (status strings, device names).
+    Str(String),
+    /// Heterogeneous list.
+    List(Vec<Value>),
+    /// Cartesian location in the lab frame, in millimetres.
+    Location {
+        /// X coordinate (mm).
+        x: f64,
+        /// Y coordinate (mm).
+        y: f64,
+        /// Z coordinate (mm).
+        z: f64,
+    },
+    /// Six joint angles of the UR3e, in radians, base to wrist-3.
+    Joints([f64; 6]),
+}
+
+impl Value {
+    /// Returns the integer payload if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload, widening an [`Value::Int`] if needed.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// A short, stable token describing this value for the
+    /// parameter-aware language model ablation. Numeric values are
+    /// bucketed so the token vocabulary stays finite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rad_core::Value;
+    ///
+    /// assert_eq!(Value::Int(7).param_token(), "i:7");
+    /// assert_eq!(Value::Float(123.4).param_token(), "f:1e2");
+    /// assert_eq!(Value::Float(450.0).param_token(), "f:1e2.5");
+    /// assert_eq!(Value::Str("vial".into()).param_token(), "s:vial");
+    /// ```
+    pub fn param_token(&self) -> String {
+        match self {
+            Value::Unit => "none".to_owned(),
+            Value::Bool(b) => format!("b:{b}"),
+            Value::Int(i) => format!("i:{i}"),
+            Value::Float(f) => {
+                if *f == 0.0 {
+                    "f:0".to_owned()
+                } else {
+                    // Half-decade buckets: fine enough to separate a
+                    // 150 mm/s setpoint from a 450 mm/s speed attack,
+                    // coarse enough to keep the vocabulary finite.
+                    let half = (f.abs().log10() * 2.0).floor() / 2.0;
+                    let sign = if *f < 0.0 { "-" } else { "" };
+                    format!("f:{sign}1e{half}")
+                }
+            }
+            Value::Str(s) => format!("s:{s}"),
+            Value::List(items) => format!("l:{}", items.len()),
+            Value::Location { x, y, z } => {
+                // 10 mm grid: close locations share a token.
+                format!(
+                    "loc:{}:{}:{}",
+                    (x / 10.0).round(),
+                    (y / 10.0).round(),
+                    (z / 10.0).round()
+                )
+            }
+            Value::Joints(q) => {
+                let mut t = String::from("j");
+                for angle in q {
+                    // 0.1 rad grid.
+                    t.push(':');
+                    t.push_str(&format!("{}", (angle * 10.0).round()));
+                }
+                t
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => f.write_str("None"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::List(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Location { x, y, z } => write!(f, "({x}, {y}, {z})"),
+            Value::Joints(q) => {
+                f.write_str("joints[")?;
+                for (i, angle) in q.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{angle:.3}")?;
+                }
+                f.write_str("]")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_return_expected_payloads() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Unit.as_int(), None);
+        assert_eq!(Value::Str("x".into()).as_float(), None);
+    }
+
+    #[test]
+    fn display_is_python_flavoured() {
+        assert_eq!(Value::Unit.to_string(), "None");
+        assert_eq!(
+            Value::Location {
+                x: 1.0,
+                y: 2.0,
+                z: 3.0
+            }
+            .to_string(),
+            "(1, 2, 3)"
+        );
+    }
+
+    #[test]
+    fn param_tokens_bucket_nearby_locations_together() {
+        let a = Value::Location {
+            x: 100.0,
+            y: 50.0,
+            z: 20.0,
+        };
+        let b = Value::Location {
+            x: 102.0,
+            y: 48.0,
+            z: 21.0,
+        };
+        let c = Value::Location {
+            x: 300.0,
+            y: 50.0,
+            z: 20.0,
+        };
+        assert_eq!(a.param_token(), b.param_token());
+        assert_ne!(a.param_token(), c.param_token());
+    }
+
+    #[test]
+    fn param_tokens_bucket_floats_by_half_decade() {
+        assert_eq!(
+            Value::Float(150.0).param_token(),
+            Value::Float(250.0).param_token()
+        );
+        assert_ne!(
+            Value::Float(150.0).param_token(),
+            Value::Float(450.0).param_token()
+        );
+        assert_ne!(
+            Value::Float(15.0).param_token(),
+            Value::Float(150.0).param_token()
+        );
+        assert_eq!(Value::Float(-250.0).param_token(), "f:-1e2");
+        assert_eq!(Value::Float(450.0).param_token(), "f:1e2.5");
+        assert_eq!(Value::Float(0.0).param_token(), "f:0");
+    }
+
+    #[test]
+    fn conversions_from_primitives() {
+        assert_eq!(Value::from(4i64), Value::Int(4));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests on the core vocabulary.
+
+use proptest::prelude::*;
+use rad_core::{CommandType, SimDuration, SimInstant, Value};
+
+fn arb_duration() -> impl Strategy<Value = SimDuration> {
+    (0u64..1_000_000_000).prop_map(SimDuration::from_micros)
+}
+
+proptest! {
+    /// Duration addition is commutative and associative.
+    #[test]
+    fn duration_addition_laws(a in arb_duration(), b in arb_duration(), c in arb_duration()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    /// `saturating_sub` never underflows and inverts addition.
+    #[test]
+    fn duration_saturating_sub(a in arb_duration(), b in arb_duration()) {
+        let sum = a + b;
+        prop_assert_eq!(sum.saturating_sub(b), a);
+        prop_assert_eq!(SimDuration::ZERO.saturating_sub(a), SimDuration::ZERO);
+    }
+
+    /// Instant arithmetic round-trips: (t + d) - t == d.
+    #[test]
+    fn instant_round_trip(start in 0u64..1_000_000_000, d in arb_duration()) {
+        let t0 = SimInstant::from_micros(start);
+        let t1 = t0 + d;
+        prop_assert_eq!(t1.duration_since(t0), d);
+        prop_assert_eq!(t1.saturating_duration_since(t0), d);
+        prop_assert_eq!(t0.saturating_duration_since(t1), SimDuration::ZERO);
+    }
+
+    /// Token ids form a bijection over the 52 command types.
+    #[test]
+    fn token_ids_are_bijective(id in 0usize..52) {
+        let ct = CommandType::from_token_id(id).unwrap();
+        prop_assert_eq!(ct.token_id(), id);
+        prop_assert!(CommandType::all().contains(&ct));
+    }
+
+    /// Mnemonic parsing round-trips for every command type.
+    #[test]
+    fn mnemonics_round_trip(id in 0usize..52) {
+        let ct = CommandType::from_token_id(id).unwrap();
+        let parsed: CommandType = ct.mnemonic().parse().unwrap();
+        prop_assert_eq!(parsed, ct);
+    }
+
+    /// `param_token` is a pure function: equal values, equal tokens —
+    /// and it never panics on any float.
+    #[test]
+    fn param_token_is_total_and_deterministic(f in proptest::num::f64::ANY) {
+        prop_assume!(f.is_finite());
+        let a = Value::Float(f).param_token();
+        let b = Value::Float(f).param_token();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Serde round trip for values.
+    #[test]
+    fn value_serde_round_trip(i in any::<i64>(), s in "[a-z]{0,12}", b in any::<bool>()) {
+        for v in [Value::Int(i), Value::Str(s.clone()), Value::Bool(b), Value::Unit] {
+            let json = serde_json::to_string(&v).unwrap();
+            let back: Value = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(back, v);
+        }
+    }
+}

@@ -1,0 +1,538 @@
+//! The C9: North Robotics N9 four-axis arm plus the Fisherbrand
+//! mini-centrifuge, both driven through the N9 controller box.
+//!
+//! The controller speaks a terse four-letter serial protocol (`ARM`,
+//! `MVNG`, `CURR`, ...; see Fig. 5(a)). The simulator reproduces the
+//! protocol semantics that matter for the dataset:
+//!
+//! - `ARM`/`MOVE`/`HOME` are motions: they take simulated time
+//!   proportional to distance over the configured speed, move the shared
+//!   [`LabState::n9_position`], and can collide.
+//! - `MVNG` is the completion poll. The Hein Lab software busy-waits on
+//!   it after issuing a motion, which is what produces the
+//!   `ARM MVNG MVNG ...` n-grams of Fig. 5(b). The simulator reproduces
+//!   this by answering `true` for a number of polls proportional to the
+//!   duration of the last motion.
+//! - `OUTP` toggles the centrifuge; `GRIP` toggles the gripper.
+
+use rad_core::{Command, CommandType, DeviceFault, DeviceId, DeviceKind, SimDuration, Value};
+use rand::Rng;
+use rand::RngCore;
+
+use crate::geometry::{deck, LabState, Location};
+use crate::{check_routing, Device, Outcome};
+
+/// Default N9 linear speed, mm/s.
+const DEFAULT_SPEED: f64 = 150.0;
+/// Maximum accepted speed, mm/s.
+const MAX_SPEED: f64 = 500.0;
+/// How many `MVNG` polls a motion of one second keeps answering `true`.
+const POLLS_PER_SECOND: f64 = 2.0;
+
+/// Simulated C9 (N9 arm + centrifuge).
+///
+/// # Examples
+///
+/// ```
+/// use rad_core::{Command, CommandType, Value};
+/// use rad_devices::{Device, LabState, C9};
+/// use rand::SeedableRng;
+///
+/// let mut c9 = C9::new();
+/// let mut lab = LabState::new();
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// c9.execute(&Command::nullary(CommandType::InitC9), &mut lab, &mut rng)?;
+/// let homed = c9.execute(&Command::nullary(CommandType::Home), &mut lab, &mut rng)?;
+/// assert!(homed.busy_for.as_secs_f64() > 0.0);
+/// # Ok::<(), rad_core::DeviceFault>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct C9 {
+    id: DeviceId,
+    initialized: bool,
+    homed: bool,
+    speed_mm_s: f64,
+    elbow_bias: i64,
+    joint_length_mm: f64,
+    gripper_closed: bool,
+    centrifuge_on: bool,
+    mvng_polls_remaining: u32,
+    axis_targets: [f64; 4],
+}
+
+impl C9 {
+    /// A powered-on but uninitialized C9.
+    pub fn new() -> Self {
+        C9 {
+            id: DeviceId::primary(DeviceKind::C9),
+            initialized: false,
+            homed: false,
+            speed_mm_s: DEFAULT_SPEED,
+            elbow_bias: 0,
+            joint_length_mm: 170.0,
+            gripper_closed: false,
+            centrifuge_on: false,
+            mvng_polls_remaining: 0,
+            axis_targets: [0.0; 4],
+        }
+    }
+
+    /// Whether the arm has been homed since power-on.
+    pub fn is_homed(&self) -> bool {
+        self.homed
+    }
+
+    /// Whether the centrifuge output is currently on.
+    pub fn centrifuge_on(&self) -> bool {
+        self.centrifuge_on
+    }
+
+    /// Whether the gripper is closed.
+    pub fn gripper_closed(&self) -> bool {
+        self.gripper_closed
+    }
+
+    /// Configured linear speed in mm/s.
+    pub fn speed(&self) -> f64 {
+        self.speed_mm_s
+    }
+
+    fn require_init(&self) -> Result<(), DeviceFault> {
+        if self.initialized {
+            Ok(())
+        } else {
+            Err(DeviceFault::InvalidState {
+                reason: "c9 controller not initialized".into(),
+            })
+        }
+    }
+
+    fn require_homed(&self) -> Result<(), DeviceFault> {
+        self.require_init()?;
+        if self.homed {
+            Ok(())
+        } else {
+            Err(DeviceFault::InvalidState {
+                reason: "n9 arm not homed".into(),
+            })
+        }
+    }
+
+    fn start_motion(&mut self, duration: SimDuration) {
+        self.mvng_polls_remaining =
+            (duration.as_secs_f64() * POLLS_PER_SECOND).ceil().max(1.0) as u32;
+    }
+
+    fn move_to(
+        &mut self,
+        lab: &mut LabState,
+        target: Location,
+    ) -> Result<SimDuration, DeviceFault> {
+        if let Some(obstacle) = lab.collision_on_path(lab.n9_position, target) {
+            // The arm stops where it hit; the controller raises a
+            // protective stop.
+            lab.n9_position = lab.n9_position.lerp(target, 0.5);
+            return Err(DeviceFault::Collision {
+                obstacle: obstacle.to_owned(),
+            });
+        }
+        let distance = lab.n9_position.distance_to(target);
+        lab.n9_position = target;
+        let duration = SimDuration::from_secs_f64(distance / self.speed_mm_s);
+        self.start_motion(duration);
+        Ok(duration)
+    }
+
+    fn location_arg(command: &Command) -> Result<Location, DeviceFault> {
+        match command.args().first() {
+            Some(Value::Location { x, y, z }) => {
+                crate::geometry::validate_workspace(Location::new(*x, *y, *z))
+            }
+            other => Err(DeviceFault::InvalidArgument {
+                reason: format!("expected location argument, got {other:?}"),
+            }),
+        }
+    }
+}
+
+impl Default for C9 {
+    fn default() -> Self {
+        C9::new()
+    }
+}
+
+impl Device for C9 {
+    fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    fn execute(
+        &mut self,
+        command: &Command,
+        lab: &mut LabState,
+        rng: &mut dyn RngCore,
+    ) -> Result<Outcome, DeviceFault> {
+        check_routing(self.id, command)?;
+        match command.command_type() {
+            CommandType::InitC9 => {
+                self.initialized = true;
+                Ok(Outcome::new(Value::Unit, SimDuration::from_millis(300)))
+            }
+            CommandType::Home => {
+                self.require_init()?;
+                let duration = self.move_to(lab, deck::N9_HOME)?;
+                self.homed = true;
+                self.axis_targets = [0.0; 4];
+                // Homing runs each axis to its limit switch: slower than
+                // the plain travel time.
+                Ok(Outcome::new(
+                    Value::Unit,
+                    duration + SimDuration::from_secs(3),
+                ))
+            }
+            CommandType::Arm => {
+                self.require_homed()?;
+                let target = Self::location_arg(command)?;
+                let duration = self.move_to(lab, target)?;
+                Ok(Outcome::new(Value::Unit, duration))
+            }
+            CommandType::Move => {
+                self.require_homed()?;
+                let axis = command
+                    .args()
+                    .first()
+                    .and_then(Value::as_int)
+                    .ok_or_else(|| DeviceFault::InvalidArgument {
+                        reason: "MOVE needs an axis index".into(),
+                    })?;
+                if !(0..4).contains(&axis) {
+                    return Err(DeviceFault::InvalidArgument {
+                        reason: format!("axis {axis} out of range 0..4"),
+                    });
+                }
+                let target = command
+                    .args()
+                    .get(1)
+                    .and_then(Value::as_float)
+                    .ok_or_else(|| DeviceFault::InvalidArgument {
+                        reason: "MOVE needs a target value".into(),
+                    })?;
+                if !target.is_finite() || target.abs() > 1e4 {
+                    return Err(DeviceFault::InvalidArgument {
+                        reason: format!("axis target {target} out of range"),
+                    });
+                }
+                let delta = (target - self.axis_targets[axis as usize]).abs();
+                self.axis_targets[axis as usize] = target;
+                let duration = SimDuration::from_secs_f64(delta / self.speed_mm_s);
+                self.start_motion(duration);
+                Ok(Outcome::new(Value::Unit, duration))
+            }
+            CommandType::Mvng => {
+                self.require_init()?;
+                let moving = self.mvng_polls_remaining > 0;
+                self.mvng_polls_remaining = self.mvng_polls_remaining.saturating_sub(1);
+                Ok(Outcome::instant(Value::Bool(moving)))
+            }
+            CommandType::Curr => {
+                self.require_init()?;
+                // Holding current plus a little measurement noise; the
+                // detailed current model lives in `rad-power`.
+                let base = if self.mvng_polls_remaining > 0 {
+                    1.2
+                } else {
+                    0.15
+                };
+                let noise = rng.gen_range(-0.02..0.02);
+                Ok(Outcome::instant(Value::Float(base + noise)))
+            }
+            CommandType::Sped => {
+                self.require_init()?;
+                let speed = command
+                    .args()
+                    .first()
+                    .and_then(Value::as_float)
+                    .ok_or_else(|| DeviceFault::InvalidArgument {
+                        reason: "SPED needs a speed".into(),
+                    })?;
+                if !(1.0..=MAX_SPEED).contains(&speed) {
+                    return Err(DeviceFault::InvalidArgument {
+                        reason: format!("speed {speed} outside 1..={MAX_SPEED} mm/s"),
+                    });
+                }
+                self.speed_mm_s = speed;
+                Ok(Outcome::instant(Value::Unit))
+            }
+            CommandType::Bias => {
+                self.require_init()?;
+                let bias = command
+                    .args()
+                    .first()
+                    .and_then(Value::as_int)
+                    .ok_or_else(|| DeviceFault::InvalidArgument {
+                        reason: "BIAS needs an integer".into(),
+                    })?;
+                if !(-1..=1).contains(&bias) {
+                    return Err(DeviceFault::InvalidArgument {
+                        reason: format!("elbow bias {bias} must be -1, 0, or 1"),
+                    });
+                }
+                self.elbow_bias = bias;
+                Ok(Outcome::instant(Value::Unit))
+            }
+            CommandType::Jlen => {
+                self.require_init()?;
+                let len = command
+                    .args()
+                    .first()
+                    .and_then(Value::as_float)
+                    .ok_or_else(|| DeviceFault::InvalidArgument {
+                        reason: "JLEN needs a length".into(),
+                    })?;
+                if !(50.0..=400.0).contains(&len) {
+                    return Err(DeviceFault::InvalidArgument {
+                        reason: format!("joint length {len} outside 50..=400 mm"),
+                    });
+                }
+                self.joint_length_mm = len;
+                Ok(Outcome::instant(Value::Unit))
+            }
+            CommandType::Outp => {
+                self.require_init()?;
+                let on = command
+                    .args()
+                    .first()
+                    .and_then(Value::as_bool)
+                    .unwrap_or(!self.centrifuge_on);
+                self.centrifuge_on = on;
+                Ok(Outcome::new(Value::Bool(on), SimDuration::from_millis(50)))
+            }
+            CommandType::Grip => {
+                self.require_init()?;
+                let close = command
+                    .args()
+                    .first()
+                    .and_then(Value::as_bool)
+                    .unwrap_or(!self.gripper_closed);
+                self.gripper_closed = close;
+                Ok(Outcome::new(
+                    Value::Bool(close),
+                    SimDuration::from_millis(400),
+                ))
+            }
+            CommandType::Temp => {
+                self.require_init()?;
+                let temp = 31.0 + rng.gen_range(-0.5..0.5);
+                Ok(Outcome::instant(Value::Float(temp)))
+            }
+            other => Err(DeviceFault::InvalidState {
+                reason: format!("unroutable command {other} reached c9"),
+            }),
+        }
+    }
+
+    fn reset(&mut self) {
+        *self = C9 {
+            id: self.id,
+            ..C9::new()
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (C9, LabState, ChaCha8Rng) {
+        let mut c9 = C9::new();
+        let mut lab = LabState::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        c9.execute(&Command::nullary(CommandType::InitC9), &mut lab, &mut rng)
+            .unwrap();
+        c9.execute(&Command::nullary(CommandType::Home), &mut lab, &mut rng)
+            .unwrap();
+        (c9, lab, rng)
+    }
+
+    fn arm_to(x: f64, y: f64, z: f64) -> Command {
+        Command::new(CommandType::Arm, vec![Value::Location { x, y, z }])
+    }
+
+    #[test]
+    fn motion_requires_homing() {
+        let mut c9 = C9::new();
+        let mut lab = LabState::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        c9.execute(&Command::nullary(CommandType::InitC9), &mut lab, &mut rng)
+            .unwrap();
+        let err = c9
+            .execute(&arm_to(100.0, 0.0, 100.0), &mut lab, &mut rng)
+            .unwrap_err();
+        assert!(err.to_string().contains("not homed"));
+    }
+
+    #[test]
+    fn everything_requires_init() {
+        let mut c9 = C9::new();
+        let mut lab = LabState::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let err = c9
+            .execute(&Command::nullary(CommandType::Mvng), &mut lab, &mut rng)
+            .unwrap_err();
+        assert!(err.to_string().contains("not initialized"));
+    }
+
+    #[test]
+    fn motion_duration_scales_with_distance_and_speed() {
+        let (mut c9, mut lab, mut rng) = setup();
+        let o1 = c9
+            .execute(&arm_to(0.0, 150.0, 200.0), &mut lab, &mut rng)
+            .unwrap();
+        assert!(
+            (o1.busy_for.as_secs_f64() - 1.0).abs() < 1e-6,
+            "150mm at 150mm/s"
+        );
+
+        c9.execute(
+            &Command::new(CommandType::Sped, vec![Value::Float(300.0)]),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        let o2 = c9
+            .execute(&arm_to(0.0, 0.0, 200.0), &mut lab, &mut rng)
+            .unwrap();
+        assert!(
+            (o2.busy_for.as_secs_f64() - 0.5).abs() < 1e-6,
+            "150mm at 300mm/s"
+        );
+    }
+
+    #[test]
+    fn mvng_polls_true_while_moving_then_false() {
+        let (mut c9, mut lab, mut rng) = setup();
+        c9.execute(&arm_to(0.0, 300.0, 200.0), &mut lab, &mut rng)
+            .unwrap();
+        let mvng = Command::nullary(CommandType::Mvng);
+        let mut saw_true = 0;
+        loop {
+            let o = c9.execute(&mvng, &mut lab, &mut rng).unwrap();
+            match o.return_value {
+                Value::Bool(true) => saw_true += 1,
+                Value::Bool(false) => break,
+                other => panic!("MVNG returned {other}"),
+            }
+        }
+        assert!(
+            saw_true >= 2,
+            "a 2s motion answers several polls, saw {saw_true}"
+        );
+    }
+
+    #[test]
+    fn arm_updates_shared_position() {
+        let (mut c9, mut lab, mut rng) = setup();
+        c9.execute(&arm_to(250.0, 150.0, 60.0), &mut lab, &mut rng)
+            .unwrap();
+        assert_eq!(lab.n9_position, Location::new(250.0, 150.0, 60.0));
+    }
+
+    #[test]
+    fn driving_into_closed_quantos_is_a_collision() {
+        let (mut c9, mut lab, mut rng) = setup();
+        let err = c9
+            .execute(&arm_to(650.0, 280.0, 100.0), &mut lab, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, DeviceFault::Collision { .. }), "{err}");
+    }
+
+    #[test]
+    fn speed_validation_rejects_out_of_range() {
+        let (mut c9, mut lab, mut rng) = setup();
+        for bad in [0.0, -10.0, 1000.0] {
+            let err = c9
+                .execute(
+                    &Command::new(CommandType::Sped, vec![Value::Float(bad)]),
+                    &mut lab,
+                    &mut rng,
+                )
+                .unwrap_err();
+            assert!(matches!(err, DeviceFault::InvalidArgument { .. }));
+        }
+    }
+
+    #[test]
+    fn outp_and_grip_toggle_without_args() {
+        let (mut c9, mut lab, mut rng) = setup();
+        assert!(!c9.centrifuge_on());
+        c9.execute(&Command::nullary(CommandType::Outp), &mut lab, &mut rng)
+            .unwrap();
+        assert!(c9.centrifuge_on());
+        c9.execute(&Command::nullary(CommandType::Outp), &mut lab, &mut rng)
+            .unwrap();
+        assert!(!c9.centrifuge_on());
+
+        c9.execute(
+            &Command::new(CommandType::Grip, vec![Value::Bool(true)]),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(c9.gripper_closed());
+    }
+
+    #[test]
+    fn move_axis_validates_axis_index() {
+        let (mut c9, mut lab, mut rng) = setup();
+        let err = c9
+            .execute(
+                &Command::new(CommandType::Move, vec![Value::Int(7), Value::Float(10.0)]),
+                &mut lab,
+                &mut rng,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn reset_returns_to_power_on_state() {
+        let (mut c9, mut lab, mut rng) = setup();
+        c9.execute(&Command::nullary(CommandType::Outp), &mut lab, &mut rng)
+            .unwrap();
+        c9.reset();
+        assert!(!c9.is_homed());
+        assert!(!c9.centrifuge_on());
+        assert!(c9
+            .execute(&Command::nullary(CommandType::Mvng), &mut lab, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn curr_reflects_motion_state() {
+        let (mut c9, mut lab, mut rng) = setup();
+        // Drain the homing completion polls so the arm reads as idle.
+        while c9
+            .execute(&Command::nullary(CommandType::Mvng), &mut lab, &mut rng)
+            .unwrap()
+            .return_value
+            == Value::Bool(true)
+        {}
+        let idle = c9
+            .execute(&Command::nullary(CommandType::Curr), &mut lab, &mut rng)
+            .unwrap()
+            .return_value
+            .as_float()
+            .unwrap();
+        c9.execute(&arm_to(0.0, 300.0, 200.0), &mut lab, &mut rng)
+            .unwrap();
+        let moving = c9
+            .execute(&Command::nullary(CommandType::Curr), &mut lab, &mut rng)
+            .unwrap()
+            .return_value
+            .as_float()
+            .unwrap();
+        assert!(moving > idle, "current is higher while moving");
+    }
+}

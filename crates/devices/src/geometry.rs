@@ -1,0 +1,387 @@
+//! Lab-deck geometry shared between the devices.
+//!
+//! The Hein Lab bench hosts the two robot arms and the stationary
+//! devices in fixed positions. Collisions — the anomalies of §IV — are
+//! geometric events: a moving arm entering the swept volume of the open
+//! Quantos front door, or overshooting into the Tecan's dock. This
+//! module models the deck as a set of named axis-aligned boxes
+//! ([`Zone`]) and tracks the dynamic state shared between devices in
+//! [`LabState`].
+//!
+//! Coordinates are millimetres in a lab frame whose origin sits at the
+//! N9 base; +x runs along the bench toward the UR3e, +y away from the
+//! operator, +z up.
+
+use std::fmt;
+
+/// A point on the lab deck, in millimetres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Location {
+    /// X coordinate (mm).
+    pub x: f64,
+    /// Y coordinate (mm).
+    pub y: f64,
+    /// Z coordinate (mm).
+    pub z: f64,
+}
+
+impl Location {
+    /// Creates a location from coordinates.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Location { x, y, z }
+    }
+
+    /// Euclidean distance to `other`, in millimetres.
+    pub fn distance_to(self, other: Location) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+
+    /// Linear interpolation from `self` toward `other`; `t` is clamped
+    /// to `[0, 1]`.
+    pub fn lerp(self, other: Location, t: f64) -> Location {
+        let t = t.clamp(0.0, 1.0);
+        Location {
+            x: self.x + (other.x - self.x) * t,
+            y: self.y + (other.y - self.y) * t,
+            z: self.z + (other.z - self.z) * t,
+        }
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1}, {:.1})", self.x, self.y, self.z)
+    }
+}
+
+impl From<Location> for rad_core::Value {
+    fn from(l: Location) -> Self {
+        rad_core::Value::Location {
+            x: l.x,
+            y: l.y,
+            z: l.z,
+        }
+    }
+}
+
+/// A named axis-aligned box on the deck.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zone {
+    /// Human-readable zone name (used in collision fault messages).
+    pub name: &'static str,
+    min: Location,
+    max: Location,
+}
+
+impl Zone {
+    /// Creates a zone from two opposite corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `min` coordinate exceeds the matching `max`.
+    pub fn new(name: &'static str, min: Location, max: Location) -> Self {
+        assert!(
+            min.x <= max.x && min.y <= max.y && min.z <= max.z,
+            "zone corners must be ordered min <= max"
+        );
+        Zone { name, min, max }
+    }
+
+    /// Whether `p` lies inside (or on the boundary of) the zone.
+    pub fn contains(&self, p: Location) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// Whether the straight segment from `a` to `b` intersects the zone,
+    /// sampled at millimetre resolution (fine enough for bench-scale
+    /// moves; the longest bench move is under two metres).
+    pub fn intersects_segment(&self, a: Location, b: Location) -> bool {
+        let length = a.distance_to(b);
+        let steps = (length.ceil() as usize).max(1);
+        (0..=steps).any(|i| self.contains(a.lerp(b, i as f64 / steps as f64)))
+    }
+
+    /// Geometric centre of the zone.
+    pub fn center(&self) -> Location {
+        self.min.lerp(self.max, 0.5)
+    }
+}
+
+/// Fixed deck layout used by all rigs.
+///
+/// The absolute coordinates are invented (the paper does not publish
+/// bench measurements) but the *topology* matters: the Quantos dock is
+/// reachable by both arms, its open front door sweeps into the shared
+/// approach corridor, and the Tecan sits beside the N9's vial rack.
+pub mod deck {
+    use super::{Location, Zone};
+
+    /// N9 home (carriage parked over its base).
+    pub const N9_HOME: Location = Location::new(0.0, 0.0, 200.0);
+    /// UR3e home pose tool position.
+    pub const UR3E_HOME: Location = Location::new(900.0, 0.0, 300.0);
+    /// Centre of the vial storage rack.
+    pub const VIAL_RACK: Location = Location::new(250.0, 150.0, 60.0);
+    /// Vial slot in front of the IKA stirrer plate.
+    pub const IKA_PLATE: Location = Location::new(420.0, 220.0, 80.0);
+    /// The Tecan's dispensing nozzle.
+    pub const TECAN_NOZZLE: Location = Location::new(150.0, 320.0, 120.0);
+    /// Loading pan inside the Quantos.
+    pub const QUANTOS_PAN: Location = Location::new(650.0, 280.0, 100.0);
+    /// Centrifuge bucket position (clear of the Tecan's corridor).
+    pub const CENTRIFUGE: Location = Location::new(450.0, 450.0, 70.0);
+
+    /// Swept volume of the Quantos front door when open.
+    pub fn quantos_door_sweep() -> Zone {
+        Zone::new(
+            "quantos front door",
+            Location::new(540.0, 170.0, 0.0),
+            Location::new(760.0, 290.0, 350.0),
+        )
+    }
+
+    /// The Tecan body and tubing.
+    pub fn tecan_body() -> Zone {
+        Zone::new(
+            "tecan syringe pump",
+            Location::new(100.0, 350.0, 0.0),
+            Location::new(210.0, 450.0, 260.0),
+        )
+    }
+
+    /// Interior of the Quantos (reachable only through the open door).
+    pub fn quantos_interior() -> Zone {
+        Zone::new(
+            "quantos interior",
+            Location::new(600.0, 230.0, 0.0),
+            Location::new(720.0, 330.0, 300.0),
+        )
+    }
+}
+
+/// Validates that a commanded location is finite and within the
+/// bench-scale workspace (|coordinate| <= 10 m). Real controllers
+/// reject such targets at the kinematic layer; the simulators reject
+/// them here so hostile arguments (NaN, infinities) surface as typed
+/// faults instead of panics.
+///
+/// # Errors
+///
+/// Returns [`rad_core::DeviceFault::InvalidArgument`] for non-finite
+/// or out-of-workspace coordinates.
+pub fn validate_workspace(l: Location) -> Result<Location, rad_core::DeviceFault> {
+    const LIMIT_MM: f64 = 10_000.0;
+    let ok = [l.x, l.y, l.z]
+        .iter()
+        .all(|c| c.is_finite() && c.abs() <= LIMIT_MM);
+    if ok {
+        Ok(l)
+    } else {
+        Err(rad_core::DeviceFault::InvalidArgument {
+            reason: format!("location {l} outside the reachable workspace"),
+        })
+    }
+}
+
+/// Dynamic state shared between devices on one rig.
+///
+/// Devices read and write this during [`crate::Device::execute`]; it is
+/// how a Quantos door opening can collide with an arm that another
+/// device moved earlier.
+#[derive(Debug, Clone)]
+pub struct LabState {
+    /// Whether the Quantos front door is currently open.
+    pub quantos_door_open: bool,
+    /// Current N9 gripper position.
+    pub n9_position: Location,
+    /// Current UR3e tool position.
+    pub ur3e_position: Location,
+    /// When `true`, collision checks are suppressed (used to model the
+    /// operator physically removing obstacles during prototyping).
+    pub collision_checks_disabled: bool,
+}
+
+impl LabState {
+    /// Lab state with both arms at home and the Quantos door closed.
+    pub fn new() -> Self {
+        LabState {
+            quantos_door_open: false,
+            n9_position: deck::N9_HOME,
+            ur3e_position: deck::UR3E_HOME,
+            collision_checks_disabled: false,
+        }
+    }
+
+    /// Checks a straight-line arm move from `from` to `to` against the
+    /// static obstacles and the door state. Returns the name of the
+    /// obstacle hit, or `None` if the path is clear.
+    pub fn collision_on_path(&self, from: Location, to: Location) -> Option<&'static str> {
+        if self.collision_checks_disabled {
+            return None;
+        }
+        if self.quantos_door_open && deck::quantos_door_sweep().intersects_segment(from, to) {
+            // Moving through the door sweep while the door is open:
+            // allowed only for a deliberate load/unload through the
+            // doorway, i.e. a move that ends or begins inside the
+            // Quantos.
+            let interior = deck::quantos_interior();
+            if !interior.contains(to) && !interior.contains(from) {
+                return Some("quantos front door");
+            }
+        }
+        if !self.quantos_door_open && deck::quantos_interior().intersects_segment(from, to) {
+            return Some("quantos closed door");
+        }
+        let tecan = deck::tecan_body();
+        if tecan.intersects_segment(from, to) && !tecan.contains(to) {
+            // Passing *through* the Tecan is a crash; ending at the
+            // nozzle (inside the zone) is a normal approach.
+            return Some("tecan syringe pump");
+        }
+        None
+    }
+
+    /// Checks whether opening the Quantos door right now would strike an
+    /// arm parked in its sweep. Returns the arm's name if so.
+    pub fn door_strikes_arm(&self) -> Option<&'static str> {
+        if self.collision_checks_disabled {
+            return None;
+        }
+        let sweep = deck::quantos_door_sweep();
+        if sweep.contains(self.n9_position) {
+            Some("n9 arm")
+        } else if sweep.contains(self.ur3e_position) {
+            Some("ur3e arm")
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for LabState {
+    fn default() -> Self {
+        LabState::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_and_lerp_are_consistent() {
+        let a = Location::new(0.0, 0.0, 0.0);
+        let b = Location::new(100.0, 0.0, 0.0);
+        assert_eq!(a.distance_to(b), 100.0);
+        assert_eq!(a.lerp(b, 0.5), Location::new(50.0, 0.0, 0.0));
+        assert_eq!(a.lerp(b, 2.0), b, "lerp clamps t");
+    }
+
+    #[test]
+    fn zone_contains_boundary_points() {
+        let z = Zone::new(
+            "z",
+            Location::new(0.0, 0.0, 0.0),
+            Location::new(10.0, 10.0, 10.0),
+        );
+        assert!(z.contains(Location::new(0.0, 0.0, 0.0)));
+        assert!(z.contains(Location::new(10.0, 10.0, 10.0)));
+        assert!(!z.contains(Location::new(10.1, 5.0, 5.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn zone_rejects_inverted_corners() {
+        let _ = Zone::new(
+            "bad",
+            Location::new(1.0, 0.0, 0.0),
+            Location::new(0.0, 1.0, 1.0),
+        );
+    }
+
+    #[test]
+    fn segment_intersection_detects_pass_through() {
+        let z = Zone::new(
+            "wall",
+            Location::new(40.0, -10.0, -10.0),
+            Location::new(60.0, 10.0, 10.0),
+        );
+        let a = Location::new(0.0, 0.0, 0.0);
+        let b = Location::new(100.0, 0.0, 0.0);
+        assert!(z.intersects_segment(a, b));
+        let c = Location::new(0.0, 50.0, 0.0);
+        let d = Location::new(100.0, 50.0, 0.0);
+        assert!(!z.intersects_segment(c, d));
+    }
+
+    #[test]
+    fn closed_door_blocks_quantos_interior() {
+        let lab = LabState::new();
+        let hit = lab.collision_on_path(deck::VIAL_RACK, deck::QUANTOS_PAN);
+        assert_eq!(hit, Some("quantos closed door"));
+    }
+
+    #[test]
+    fn open_door_allows_deliberate_load() {
+        let mut lab = LabState::new();
+        lab.quantos_door_open = true;
+        assert_eq!(
+            lab.collision_on_path(deck::VIAL_RACK, deck::QUANTOS_PAN),
+            None
+        );
+    }
+
+    #[test]
+    fn open_door_blocks_pass_by() {
+        let mut lab = LabState::new();
+        lab.quantos_door_open = true;
+        // A move that crosses the door sweep but does not end inside the
+        // Quantos is a crash.
+        let past_quantos = Location::new(760.0, 230.0, 100.0);
+        let start = Location::new(500.0, 230.0, 100.0);
+        assert_eq!(
+            lab.collision_on_path(start, past_quantos),
+            Some("quantos front door")
+        );
+    }
+
+    #[test]
+    fn door_strike_detects_parked_arm() {
+        let mut lab = LabState::new();
+        assert_eq!(lab.door_strikes_arm(), None);
+        lab.ur3e_position = deck::quantos_door_sweep().center();
+        assert_eq!(lab.door_strikes_arm(), Some("ur3e arm"));
+        lab.ur3e_position = deck::UR3E_HOME;
+        lab.n9_position = deck::quantos_door_sweep().center();
+        assert_eq!(lab.door_strikes_arm(), Some("n9 arm"));
+    }
+
+    #[test]
+    fn disabled_checks_suppress_all_collisions() {
+        let mut lab = LabState::new();
+        lab.collision_checks_disabled = true;
+        assert_eq!(
+            lab.collision_on_path(deck::VIAL_RACK, deck::QUANTOS_PAN),
+            None
+        );
+        lab.n9_position = deck::quantos_door_sweep().center();
+        assert_eq!(lab.door_strikes_arm(), None);
+    }
+
+    #[test]
+    fn approaching_tecan_nozzle_is_not_a_crash() {
+        let lab = LabState::new();
+        assert_eq!(
+            lab.collision_on_path(deck::VIAL_RACK, deck::TECAN_NOZZLE),
+            None
+        );
+    }
+}

@@ -1,0 +1,503 @@
+//! The IKA C-Mag HS 7 magnetic stirrer and heater.
+//!
+//! The C-Mag speaks the NAMUR serial protocol: `IN_*` reads, `OUT_SP_*`
+//! setpoint writes, `START_*`/`STOP_*` channel controls, where channel 1
+//! is the heater and channel 4 the stirrer motor. The simulator keeps
+//! first-order thermal and rotational dynamics: each process-value read
+//! advances the plant a small step toward its setpoint, so a polling
+//! loop in a workload observes a realistic ramp.
+
+use rad_core::{Command, CommandType, DeviceFault, DeviceId, DeviceKind, SimDuration, Value};
+use rand::Rng;
+use rand::RngCore;
+
+use crate::geometry::LabState;
+use crate::{check_routing, Device, Outcome};
+
+/// Ambient lab temperature, °C.
+const AMBIENT_C: f64 = 21.0;
+/// Maximum plate temperature setpoint, °C.
+const MAX_TEMP_C: f64 = 340.0;
+/// Maximum stirring speed, rpm.
+const MAX_SPEED_RPM: f64 = 1500.0;
+/// Fraction of the remaining gap closed per process-value poll.
+const THERMAL_ALPHA: f64 = 0.08;
+/// Stirrer response is much faster than the hotplate's.
+const STIR_ALPHA: f64 = 0.5;
+/// Serial round trip for a NAMUR exchange.
+const SERIAL_RTT: SimDuration = SimDuration::from_millis(60);
+
+/// Simulated IKA C-Mag HS 7.
+///
+/// # Examples
+///
+/// ```
+/// use rad_core::{Command, CommandType, Value};
+/// use rad_devices::{Device, Ika, LabState};
+/// use rand::SeedableRng;
+///
+/// let mut ika = Ika::new();
+/// let mut lab = LabState::new();
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// ika.execute(&Command::nullary(CommandType::InitIka), &mut lab, &mut rng)?;
+/// let name = ika.execute(&Command::nullary(CommandType::IkaReadDeviceName), &mut lab, &mut rng)?;
+/// assert_eq!(name.return_value, Value::Str("C-MAG HS 7".into()));
+/// # Ok::<(), rad_core::DeviceFault>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ika {
+    id: DeviceId,
+    initialized: bool,
+    heater_on: bool,
+    motor_on: bool,
+    temp_setpoint_c: f64,
+    speed_setpoint_rpm: f64,
+    plate_temp_c: f64,
+    external_temp_c: f64,
+    stir_speed_rpm: f64,
+}
+
+impl Ika {
+    /// A powered-on C-Mag at ambient temperature, everything off.
+    pub fn new() -> Self {
+        Ika {
+            id: DeviceId::primary(DeviceKind::Ika),
+            initialized: false,
+            heater_on: false,
+            motor_on: false,
+            temp_setpoint_c: AMBIENT_C,
+            speed_setpoint_rpm: 0.0,
+            plate_temp_c: AMBIENT_C,
+            external_temp_c: AMBIENT_C,
+            stir_speed_rpm: 0.0,
+        }
+    }
+
+    /// Whether the heater channel is enabled.
+    pub fn heater_on(&self) -> bool {
+        self.heater_on
+    }
+
+    /// Whether the stirrer motor channel is enabled.
+    pub fn motor_on(&self) -> bool {
+        self.motor_on
+    }
+
+    /// Current hotplate temperature, °C.
+    pub fn plate_temp_c(&self) -> f64 {
+        self.plate_temp_c
+    }
+
+    /// Current stirring speed, rpm.
+    pub fn stir_speed_rpm(&self) -> f64 {
+        self.stir_speed_rpm
+    }
+
+    fn require_init(&self) -> Result<(), DeviceFault> {
+        if self.initialized {
+            Ok(())
+        } else {
+            Err(DeviceFault::InvalidState {
+                reason: "ika serial port not opened".into(),
+            })
+        }
+    }
+
+    /// Advances the plant one poll step.
+    fn step_plant(&mut self, rng: &mut dyn RngCore) {
+        let temp_target = if self.heater_on {
+            self.temp_setpoint_c
+        } else {
+            AMBIENT_C
+        };
+        self.plate_temp_c +=
+            (temp_target - self.plate_temp_c) * THERMAL_ALPHA + rng.gen_range(-0.05..0.05);
+        // The external (in-solution) probe lags the plate.
+        self.external_temp_c += (self.plate_temp_c - self.external_temp_c) * (THERMAL_ALPHA * 0.5)
+            + rng.gen_range(-0.05..0.05);
+        let speed_target = if self.motor_on {
+            self.speed_setpoint_rpm
+        } else {
+            0.0
+        };
+        self.stir_speed_rpm += (speed_target - self.stir_speed_rpm) * STIR_ALPHA
+            + if self.motor_on {
+                rng.gen_range(-2.0..2.0)
+            } else {
+                0.0
+            };
+        if self.stir_speed_rpm < 0.0 {
+            self.stir_speed_rpm = 0.0;
+        }
+    }
+
+    fn float_arg(command: &Command) -> Result<f64, DeviceFault> {
+        command
+            .args()
+            .first()
+            .and_then(Value::as_float)
+            .ok_or_else(|| DeviceFault::InvalidArgument {
+                reason: format!("{} needs a numeric argument", command.command_type()),
+            })
+    }
+}
+
+impl Default for Ika {
+    fn default() -> Self {
+        Ika::new()
+    }
+}
+
+impl Device for Ika {
+    fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    fn execute(
+        &mut self,
+        command: &Command,
+        _lab: &mut LabState,
+        rng: &mut dyn RngCore,
+    ) -> Result<Outcome, DeviceFault> {
+        check_routing(self.id, command)?;
+        match command.command_type() {
+            CommandType::InitIka => {
+                self.initialized = true;
+                Ok(Outcome::new(Value::Unit, SimDuration::from_millis(200)))
+            }
+            CommandType::IkaReadDeviceName => {
+                self.require_init()?;
+                Ok(Outcome::new(Value::Str("C-MAG HS 7".into()), SERIAL_RTT))
+            }
+            CommandType::IkaSetTemperature => {
+                self.require_init()?;
+                let t = Self::float_arg(command)?;
+                if !(0.0..=MAX_TEMP_C).contains(&t) {
+                    return Err(DeviceFault::InvalidArgument {
+                        reason: format!("temperature {t} outside 0..={MAX_TEMP_C} C"),
+                    });
+                }
+                self.temp_setpoint_c = t;
+                Ok(Outcome::new(Value::Unit, SERIAL_RTT))
+            }
+            CommandType::IkaSetSpeed => {
+                self.require_init()?;
+                let s = Self::float_arg(command)?;
+                if !(0.0..=MAX_SPEED_RPM).contains(&s) {
+                    return Err(DeviceFault::InvalidArgument {
+                        reason: format!("speed {s} outside 0..={MAX_SPEED_RPM} rpm"),
+                    });
+                }
+                self.speed_setpoint_rpm = s;
+                Ok(Outcome::new(Value::Unit, SERIAL_RTT))
+            }
+            CommandType::IkaStartHeater => {
+                self.require_init()?;
+                self.heater_on = true;
+                Ok(Outcome::new(Value::Unit, SERIAL_RTT))
+            }
+            CommandType::IkaStopHeater => {
+                self.require_init()?;
+                self.heater_on = false;
+                Ok(Outcome::new(Value::Unit, SERIAL_RTT))
+            }
+            CommandType::IkaStartMotor => {
+                self.require_init()?;
+                if self.speed_setpoint_rpm <= 0.0 {
+                    return Err(DeviceFault::InvalidState {
+                        reason: "stirrer started with zero speed setpoint".into(),
+                    });
+                }
+                self.motor_on = true;
+                Ok(Outcome::new(Value::Unit, SERIAL_RTT))
+            }
+            CommandType::IkaStopMotor => {
+                self.require_init()?;
+                self.motor_on = false;
+                Ok(Outcome::new(Value::Unit, SERIAL_RTT))
+            }
+            CommandType::IkaReadStirringSpeed => {
+                self.require_init()?;
+                self.step_plant(rng);
+                Ok(Outcome::new(Value::Float(self.stir_speed_rpm), SERIAL_RTT))
+            }
+            CommandType::IkaReadRatedSpeed => {
+                self.require_init()?;
+                Ok(Outcome::new(
+                    Value::Float(self.speed_setpoint_rpm),
+                    SERIAL_RTT,
+                ))
+            }
+            CommandType::IkaReadRatedTemp => {
+                self.require_init()?;
+                Ok(Outcome::new(Value::Float(self.temp_setpoint_c), SERIAL_RTT))
+            }
+            CommandType::IkaReadExternalSensor => {
+                self.require_init()?;
+                self.step_plant(rng);
+                Ok(Outcome::new(Value::Float(self.external_temp_c), SERIAL_RTT))
+            }
+            CommandType::IkaReadHotplateSensor => {
+                self.require_init()?;
+                self.step_plant(rng);
+                Ok(Outcome::new(Value::Float(self.plate_temp_c), SERIAL_RTT))
+            }
+            other => Err(DeviceFault::InvalidState {
+                reason: format!("unroutable command {other} reached ika"),
+            }),
+        }
+    }
+
+    fn reset(&mut self) {
+        *self = Ika {
+            id: self.id,
+            ..Ika::new()
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (Ika, LabState, ChaCha8Rng) {
+        let mut ika = Ika::new();
+        let mut lab = LabState::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        ika.execute(&Command::nullary(CommandType::InitIka), &mut lab, &mut rng)
+            .unwrap();
+        (ika, lab, rng)
+    }
+
+    fn set(ct: CommandType, v: f64) -> Command {
+        Command::new(ct, vec![Value::Float(v)])
+    }
+
+    #[test]
+    fn heating_ramps_toward_setpoint_on_polls() {
+        let (mut ika, mut lab, mut rng) = setup();
+        ika.execute(
+            &set(CommandType::IkaSetTemperature, 80.0),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        ika.execute(
+            &Command::nullary(CommandType::IkaStartHeater),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        let mut last = AMBIENT_C;
+        for _ in 0..60 {
+            let v = ika
+                .execute(
+                    &Command::nullary(CommandType::IkaReadHotplateSensor),
+                    &mut lab,
+                    &mut rng,
+                )
+                .unwrap()
+                .return_value
+                .as_float()
+                .unwrap();
+            last = v;
+        }
+        assert!(
+            last > 70.0,
+            "after 60 polls the plate should be near 80C, got {last}"
+        );
+    }
+
+    #[test]
+    fn stopping_heater_cools_back_down() {
+        let (mut ika, mut lab, mut rng) = setup();
+        ika.execute(
+            &set(CommandType::IkaSetTemperature, 100.0),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        ika.execute(
+            &Command::nullary(CommandType::IkaStartHeater),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        for _ in 0..50 {
+            ika.execute(
+                &Command::nullary(CommandType::IkaReadHotplateSensor),
+                &mut lab,
+                &mut rng,
+            )
+            .unwrap();
+        }
+        let hot = ika.plate_temp_c();
+        ika.execute(
+            &Command::nullary(CommandType::IkaStopHeater),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        for _ in 0..80 {
+            ika.execute(
+                &Command::nullary(CommandType::IkaReadHotplateSensor),
+                &mut lab,
+                &mut rng,
+            )
+            .unwrap();
+        }
+        assert!(
+            ika.plate_temp_c() < hot - 30.0,
+            "plate should cool after STOP_1"
+        );
+    }
+
+    #[test]
+    fn stirrer_cannot_start_with_zero_setpoint() {
+        let (mut ika, mut lab, mut rng) = setup();
+        let err = ika
+            .execute(
+                &Command::nullary(CommandType::IkaStartMotor),
+                &mut lab,
+                &mut rng,
+            )
+            .unwrap_err();
+        assert!(matches!(err, DeviceFault::InvalidState { .. }));
+    }
+
+    #[test]
+    fn stirrer_reaches_speed_quickly() {
+        let (mut ika, mut lab, mut rng) = setup();
+        ika.execute(&set(CommandType::IkaSetSpeed, 600.0), &mut lab, &mut rng)
+            .unwrap();
+        ika.execute(
+            &Command::nullary(CommandType::IkaStartMotor),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        for _ in 0..10 {
+            ika.execute(
+                &Command::nullary(CommandType::IkaReadStirringSpeed),
+                &mut lab,
+                &mut rng,
+            )
+            .unwrap();
+        }
+        assert!((ika.stir_speed_rpm() - 600.0).abs() < 20.0);
+    }
+
+    #[test]
+    fn setpoint_reads_do_not_advance_the_plant() {
+        let (mut ika, mut lab, mut rng) = setup();
+        ika.execute(
+            &set(CommandType::IkaSetTemperature, 200.0),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        ika.execute(
+            &Command::nullary(CommandType::IkaStartHeater),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        let before = ika.plate_temp_c();
+        for _ in 0..20 {
+            let sp = ika
+                .execute(
+                    &Command::nullary(CommandType::IkaReadRatedTemp),
+                    &mut lab,
+                    &mut rng,
+                )
+                .unwrap()
+                .return_value
+                .as_float()
+                .unwrap();
+            assert_eq!(sp, 200.0);
+        }
+        assert_eq!(
+            ika.plate_temp_c(),
+            before,
+            "IN_SP_1 is a pure setpoint read"
+        );
+    }
+
+    #[test]
+    fn argument_validation() {
+        let (mut ika, mut lab, mut rng) = setup();
+        assert!(ika
+            .execute(
+                &set(CommandType::IkaSetTemperature, 900.0),
+                &mut lab,
+                &mut rng
+            )
+            .is_err());
+        assert!(ika
+            .execute(&set(CommandType::IkaSetSpeed, -5.0), &mut lab, &mut rng)
+            .is_err());
+        assert!(ika
+            .execute(
+                &Command::nullary(CommandType::IkaSetSpeed),
+                &mut lab,
+                &mut rng
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn uninitialized_reads_fail() {
+        let mut ika = Ika::new();
+        let mut lab = LabState::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert!(ika
+            .execute(
+                &Command::nullary(CommandType::IkaReadDeviceName),
+                &mut lab,
+                &mut rng
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn external_probe_lags_plate() {
+        let (mut ika, mut lab, mut rng) = setup();
+        ika.execute(
+            &set(CommandType::IkaSetTemperature, 150.0),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        ika.execute(
+            &Command::nullary(CommandType::IkaStartHeater),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        for _ in 0..15 {
+            ika.execute(
+                &Command::nullary(CommandType::IkaReadHotplateSensor),
+                &mut lab,
+                &mut rng,
+            )
+            .unwrap();
+        }
+        let plate = ika.plate_temp_c();
+        let external = ika
+            .execute(
+                &Command::nullary(CommandType::IkaReadExternalSensor),
+                &mut lab,
+                &mut rng,
+            )
+            .unwrap()
+            .return_value
+            .as_float()
+            .unwrap();
+        assert!(
+            external < plate,
+            "solution probe lags the hotplate during a ramp"
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Simulators for the five Hein Lab CPS devices.
+//!
+//! The paper's analyses consume *traces* of the communication between
+//! the lab computer and the devices; this crate provides the devices
+//! themselves as faithful state machines so the rest of the workspace
+//! can regenerate RAD-shaped traces without the physical lab.
+//!
+//! Each device implements [`Device`]: it accepts a [`rad_core::Command`]
+//! addressed to it, validates arguments against its grammar, advances
+//! its internal state, and reports an [`Outcome`] — the logged return
+//! value plus how long the command occupies the device in simulated
+//! time. Motion commands additionally interact with the shared
+//! [`LabState`] geometry, which is how crashes (the anomalies of §IV)
+//! arise: e.g. an arm moving into the Quantos dock while the Quantos
+//! front door is open raises [`rad_core::DeviceFault::Collision`].
+//!
+//! # Examples
+//!
+//! ```
+//! use rad_core::{Command, CommandType, Value};
+//! use rad_devices::LabRig;
+//!
+//! let mut rig = LabRig::new(42);
+//! rig.execute(&Command::nullary(CommandType::InitIka))
+//!     .expect("connecting to an idle IKA succeeds");
+//! let outcome = rig
+//!     .execute(&Command::nullary(CommandType::IkaReadDeviceName))
+//!     .expect("query cannot fail once connected");
+//! assert_eq!(outcome.return_value, Value::Str("C-MAG HS 7".into()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod c9;
+pub mod geometry;
+pub mod ika;
+pub mod quantos;
+pub mod rig;
+pub mod tecan;
+pub mod ur3e;
+
+use rad_core::{Command, DeviceFault, DeviceId, SimDuration, Value};
+use rand::RngCore;
+
+pub use c9::C9;
+pub use geometry::{LabState, Location, Zone};
+pub use ika::Ika;
+pub use quantos::Quantos;
+pub use rig::LabRig;
+pub use tecan::Tecan;
+pub use ur3e::Ur3eDevice;
+
+/// Result of successfully executing one command on a device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// The value the device returned (logged in the trace object).
+    pub return_value: Value,
+    /// How long the device is busy executing the command. Queries are
+    /// near-instant; arm motions take seconds.
+    pub busy_for: SimDuration,
+}
+
+impl Outcome {
+    /// An outcome returning `value` after `busy_for` of device time.
+    pub fn new(return_value: Value, busy_for: SimDuration) -> Self {
+        Outcome {
+            return_value,
+            busy_for,
+        }
+    }
+
+    /// A near-instant outcome returning `value` (used by queries; the
+    /// transport latency is added separately by the middlebox).
+    pub fn instant(return_value: Value) -> Self {
+        Outcome {
+            return_value,
+            busy_for: SimDuration::ZERO,
+        }
+    }
+}
+
+/// A simulated CPS device.
+///
+/// Implementations are sequential: the caller (the [`LabRig`] or the
+/// middlebox server loop) serializes command execution, mirroring the
+/// single RPC server thread of the original RATracer deployment.
+pub trait Device: Send {
+    /// Identity of this device instance.
+    fn id(&self) -> DeviceId;
+
+    /// Executes `command`, mutating device state and the shared lab
+    /// geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeviceFault`] when the command is malformed, invalid
+    /// in the current state, or causes a collision. The fault string is
+    /// what RATracer would log as the exception.
+    fn execute(
+        &mut self,
+        command: &Command,
+        lab: &mut LabState,
+        rng: &mut dyn RngCore,
+    ) -> Result<Outcome, DeviceFault>;
+
+    /// Restores the device to its power-on state. Does not touch the
+    /// shared lab geometry.
+    fn reset(&mut self);
+}
+
+/// Validates that `command` is addressed to device `id`, returning the
+/// canonical wrong-device fault otherwise.
+///
+/// # Errors
+///
+/// Returns [`DeviceFault::InvalidState`] naming both devices when the
+/// command belongs to a different device.
+pub fn check_routing(id: DeviceId, command: &Command) -> Result<(), DeviceFault> {
+    if command.device() == id.kind() {
+        Ok(())
+    } else {
+        Err(DeviceFault::InvalidState {
+            reason: format!(
+                "command {} belongs to {} but reached {}",
+                command.command_type(),
+                command.device(),
+                id.kind()
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rad_core::{CommandType, DeviceKind};
+
+    #[test]
+    fn check_routing_accepts_own_commands() {
+        let id = DeviceId::primary(DeviceKind::Tecan);
+        assert!(check_routing(id, &Command::nullary(CommandType::TecanGetStatus)).is_ok());
+    }
+
+    #[test]
+    fn check_routing_rejects_foreign_commands() {
+        let id = DeviceId::primary(DeviceKind::Ika);
+        let err = check_routing(id, &Command::nullary(CommandType::TecanGetStatus)).unwrap_err();
+        assert!(err.to_string().contains("Tecan"));
+    }
+
+    #[test]
+    fn outcome_instant_is_zero_duration() {
+        let o = Outcome::instant(Value::Unit);
+        assert_eq!(o.busy_for, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,471 @@
+//! The Mettler Toledo Quantos solid-dosing balance.
+//!
+//! The Quantos doses powders to a target mass inside a draft-shielded
+//! enclosure whose motorized front door opens toward the robot arms —
+//! which is exactly how two of the paper's three anomalies happened
+//! ("the Quantos front door crashed with the robot"). The Hein Lab
+//! augments the unit with an Arduino-driven z-axis stepper for the
+//! dosing head, which the paper folds into the Quantos; `home_z_stage` /
+//! `move_z_stage` drive it.
+//!
+//! The simulator models the door (including door-vs-arm collisions via
+//! the shared [`LabState`]), the z stage, the dosing-pin interlock, and
+//! a gravimetric dosing loop with realistic tolerance.
+
+use rad_core::{Command, CommandType, DeviceFault, DeviceId, DeviceKind, SimDuration, Value};
+use rand::Rng;
+use rand::RngCore;
+
+use crate::geometry::LabState;
+use crate::{check_routing, Device, Outcome};
+
+/// Z-stage travel, in stepper steps.
+const Z_MAX: i64 = 4000;
+/// Largest dosable mass, mg.
+const MAX_TARGET_MG: f64 = 5000.0;
+/// Relative dosing tolerance (the QB1 head doses within ~0.5 %).
+const DOSE_TOLERANCE: f64 = 0.005;
+
+/// Simulated Quantos (balance + door + Arduino z-stepper).
+///
+/// # Examples
+///
+/// ```
+/// use rad_core::{Command, CommandType, Value};
+/// use rad_devices::{Device, LabState, Quantos};
+/// use rand::SeedableRng;
+///
+/// let mut q = Quantos::new();
+/// let mut lab = LabState::new();
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// q.execute(&Command::nullary(CommandType::InitQuantos), &mut lab, &mut rng)?;
+/// let door = Command::new(CommandType::FrontDoorPosition, vec![Value::Str("open".into())]);
+/// q.execute(&door, &mut lab, &mut rng)?;
+/// assert!(lab.quantos_door_open);
+/// # Ok::<(), rad_core::DeviceFault>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Quantos {
+    id: DeviceId,
+    initialized: bool,
+    z_homed: bool,
+    z_position: i64,
+    home_direction_up: bool,
+    pin_locked: bool,
+    target_mass_mg: Option<f64>,
+    balance_tare_mg: f64,
+    last_dosed_mg: Option<f64>,
+}
+
+impl Quantos {
+    /// A powered-on Quantos with the door closed and the pin unlocked.
+    pub fn new() -> Self {
+        Quantos {
+            id: DeviceId::primary(DeviceKind::Quantos),
+            initialized: false,
+            z_homed: false,
+            z_position: 0,
+            home_direction_up: true,
+            pin_locked: false,
+            target_mass_mg: None,
+            balance_tare_mg: 0.0,
+            last_dosed_mg: None,
+        }
+    }
+
+    /// Whether the z stage has been homed.
+    pub fn z_homed(&self) -> bool {
+        self.z_homed
+    }
+
+    /// Current z-stage position in steps.
+    pub fn z_position(&self) -> i64 {
+        self.z_position
+    }
+
+    /// Whether the dosing pin is locked (head secured).
+    pub fn pin_locked(&self) -> bool {
+        self.pin_locked
+    }
+
+    /// Configured target mass in milligrams, if any.
+    pub fn target_mass_mg(&self) -> Option<f64> {
+        self.target_mass_mg
+    }
+
+    /// Mass dispensed by the most recent dose, in milligrams.
+    pub fn last_dosed_mg(&self) -> Option<f64> {
+        self.last_dosed_mg
+    }
+
+    fn require_init(&self) -> Result<(), DeviceFault> {
+        if self.initialized {
+            Ok(())
+        } else {
+            Err(DeviceFault::InvalidState {
+                reason: "quantos not connected".into(),
+            })
+        }
+    }
+
+    fn door_arg(command: &Command) -> Result<bool, DeviceFault> {
+        match command.args().first() {
+            Some(Value::Str(s)) if s == "open" => Ok(true),
+            Some(Value::Str(s)) if s == "close" => Ok(false),
+            Some(Value::Bool(b)) => Ok(*b),
+            other => Err(DeviceFault::InvalidArgument {
+                reason: format!("front_door_position expects \"open\"/\"close\", got {other:?}"),
+            }),
+        }
+    }
+}
+
+impl Default for Quantos {
+    fn default() -> Self {
+        Quantos::new()
+    }
+}
+
+impl Device for Quantos {
+    fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    fn execute(
+        &mut self,
+        command: &Command,
+        lab: &mut LabState,
+        rng: &mut dyn RngCore,
+    ) -> Result<Outcome, DeviceFault> {
+        check_routing(self.id, command)?;
+        match command.command_type() {
+            CommandType::InitQuantos => {
+                self.initialized = true;
+                Ok(Outcome::new(Value::Unit, SimDuration::from_millis(600)))
+            }
+            CommandType::FrontDoorPosition => {
+                self.require_init()?;
+                let open = Self::door_arg(command)?;
+                if open && !lab.quantos_door_open {
+                    if let Some(arm) = lab.door_strikes_arm() {
+                        // The door motor stalls against the arm; this is
+                        // the crash geometry of supervised runs 16 / 17.
+                        lab.quantos_door_open = true;
+                        return Err(DeviceFault::Collision {
+                            obstacle: arm.to_owned(),
+                        });
+                    }
+                }
+                lab.quantos_door_open = open;
+                Ok(Outcome::new(Value::Unit, SimDuration::from_secs(2)))
+            }
+            CommandType::HomeZStage => {
+                self.require_init()?;
+                let travel = self.z_position.unsigned_abs();
+                self.z_position = 0;
+                self.z_homed = true;
+                Ok(Outcome::new(
+                    Value::Unit,
+                    SimDuration::from_secs_f64(1.5 + travel as f64 / 2000.0),
+                ))
+            }
+            CommandType::MoveZStage => {
+                self.require_init()?;
+                if !self.z_homed {
+                    return Err(DeviceFault::InvalidState {
+                        reason: "z stage not homed".into(),
+                    });
+                }
+                let target = command
+                    .args()
+                    .first()
+                    .and_then(Value::as_int)
+                    .ok_or_else(|| DeviceFault::InvalidArgument {
+                        reason: "move_z_stage needs a position".into(),
+                    })?;
+                if !(0..=Z_MAX).contains(&target) {
+                    return Err(DeviceFault::InvalidArgument {
+                        reason: format!("z position {target} outside 0..={Z_MAX}"),
+                    });
+                }
+                let delta = (target - self.z_position).unsigned_abs();
+                self.z_position = target;
+                Ok(Outcome::new(
+                    Value::Unit,
+                    SimDuration::from_secs_f64(delta as f64 / 2000.0),
+                ))
+            }
+            CommandType::SetHomeDirection => {
+                self.require_init()?;
+                let up = match command.args().first() {
+                    Some(Value::Str(s)) if s == "up" => true,
+                    Some(Value::Str(s)) if s == "down" => false,
+                    other => {
+                        return Err(DeviceFault::InvalidArgument {
+                            reason: format!(
+                                "set_home_direction expects \"up\"/\"down\", got {other:?}"
+                            ),
+                        })
+                    }
+                };
+                self.home_direction_up = up;
+                Ok(Outcome::instant(Value::Unit))
+            }
+            CommandType::ZeroBalance => {
+                self.require_init()?;
+                self.balance_tare_mg = rng.gen_range(-0.02..0.02);
+                Ok(Outcome::new(
+                    Value::Float(self.balance_tare_mg),
+                    SimDuration::from_secs(1),
+                ))
+            }
+            CommandType::TargetMass => {
+                self.require_init()?;
+                let mg = command
+                    .args()
+                    .first()
+                    .and_then(Value::as_float)
+                    .ok_or_else(|| DeviceFault::InvalidArgument {
+                        reason: "target_mass needs a mass in mg".into(),
+                    })?;
+                if !(0.1..=MAX_TARGET_MG).contains(&mg) {
+                    return Err(DeviceFault::InvalidArgument {
+                        reason: format!("target mass {mg} outside 0.1..={MAX_TARGET_MG} mg"),
+                    });
+                }
+                self.target_mass_mg = Some(mg);
+                Ok(Outcome::instant(Value::Unit))
+            }
+            CommandType::LockDosingPin => {
+                self.require_init()?;
+                self.pin_locked = true;
+                Ok(Outcome::new(Value::Unit, SimDuration::from_millis(300)))
+            }
+            CommandType::UnlockDosingPin => {
+                self.require_init()?;
+                self.pin_locked = false;
+                Ok(Outcome::new(Value::Unit, SimDuration::from_millis(300)))
+            }
+            CommandType::StartDosing => {
+                self.require_init()?;
+                if lab.quantos_door_open {
+                    return Err(DeviceFault::InvalidState {
+                        reason: "cannot dose with the front door open".into(),
+                    });
+                }
+                if !self.pin_locked {
+                    return Err(DeviceFault::InvalidState {
+                        reason: "dosing pin not locked".into(),
+                    });
+                }
+                let target = self
+                    .target_mass_mg
+                    .ok_or_else(|| DeviceFault::InvalidState {
+                        reason: "no target mass configured".into(),
+                    })?;
+                let dosed = target * (1.0 + rng.gen_range(-DOSE_TOLERANCE..DOSE_TOLERANCE));
+                self.last_dosed_mg = Some(dosed);
+                // Dosing time grows sublinearly with mass: head taps
+                // faster once the coarse phase is done.
+                let duration = SimDuration::from_secs_f64(4.0 + (target / 50.0).sqrt());
+                Ok(Outcome::new(
+                    Value::Float(dosed - self.balance_tare_mg),
+                    duration,
+                ))
+            }
+            other => Err(DeviceFault::InvalidState {
+                reason: format!("unroutable command {other} reached quantos"),
+            }),
+        }
+    }
+
+    fn reset(&mut self) {
+        *self = Quantos {
+            id: self.id,
+            ..Quantos::new()
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::deck;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (Quantos, LabState, ChaCha8Rng) {
+        let mut q = Quantos::new();
+        let mut lab = LabState::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        q.execute(
+            &Command::nullary(CommandType::InitQuantos),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        (q, lab, rng)
+    }
+
+    fn door(open: bool) -> Command {
+        Command::new(
+            CommandType::FrontDoorPosition,
+            vec![Value::Str(if open { "open" } else { "close" }.into())],
+        )
+    }
+
+    fn dose_ready(q: &mut Quantos, lab: &mut LabState, rng: &mut ChaCha8Rng, mg: f64) {
+        q.execute(&Command::nullary(CommandType::HomeZStage), lab, rng)
+            .unwrap();
+        q.execute(&Command::nullary(CommandType::LockDosingPin), lab, rng)
+            .unwrap();
+        q.execute(
+            &Command::new(CommandType::TargetMass, vec![Value::Float(mg)]),
+            lab,
+            rng,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn door_updates_shared_state() {
+        let (mut q, mut lab, mut rng) = setup();
+        q.execute(&door(true), &mut lab, &mut rng).unwrap();
+        assert!(lab.quantos_door_open);
+        q.execute(&door(false), &mut lab, &mut rng).unwrap();
+        assert!(!lab.quantos_door_open);
+    }
+
+    #[test]
+    fn door_opening_into_parked_arm_is_a_collision() {
+        let (mut q, mut lab, mut rng) = setup();
+        lab.ur3e_position = deck::quantos_door_sweep().center();
+        let err = q.execute(&door(true), &mut lab, &mut rng).unwrap_err();
+        assert!(matches!(err, DeviceFault::Collision { .. }), "{err}");
+        assert!(
+            lab.quantos_door_open,
+            "the door is jammed against the arm, not closed"
+        );
+    }
+
+    #[test]
+    fn dosing_happy_path_hits_tolerance() {
+        let (mut q, mut lab, mut rng) = setup();
+        dose_ready(&mut q, &mut lab, &mut rng, 200.0);
+        let o = q
+            .execute(
+                &Command::nullary(CommandType::StartDosing),
+                &mut lab,
+                &mut rng,
+            )
+            .unwrap();
+        let dosed = o.return_value.as_float().unwrap();
+        assert!(
+            (dosed - 200.0).abs() < 200.0 * 0.01,
+            "dosed {dosed} mg for a 200 mg target"
+        );
+        assert!(o.busy_for.as_secs_f64() > 4.0);
+    }
+
+    #[test]
+    fn dosing_with_open_door_is_rejected() {
+        let (mut q, mut lab, mut rng) = setup();
+        dose_ready(&mut q, &mut lab, &mut rng, 100.0);
+        q.execute(&door(true), &mut lab, &mut rng).unwrap();
+        let err = q
+            .execute(
+                &Command::nullary(CommandType::StartDosing),
+                &mut lab,
+                &mut rng,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("door open"));
+    }
+
+    #[test]
+    fn dosing_needs_pin_and_target() {
+        let (mut q, mut lab, mut rng) = setup();
+        let err = q
+            .execute(
+                &Command::nullary(CommandType::StartDosing),
+                &mut lab,
+                &mut rng,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("pin"));
+        q.execute(
+            &Command::nullary(CommandType::LockDosingPin),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        let err = q
+            .execute(
+                &Command::nullary(CommandType::StartDosing),
+                &mut lab,
+                &mut rng,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("target mass"));
+    }
+
+    #[test]
+    fn z_stage_requires_homing_before_moves() {
+        let (mut q, mut lab, mut rng) = setup();
+        let mv = Command::new(CommandType::MoveZStage, vec![Value::Int(1000)]);
+        assert!(q.execute(&mv, &mut lab, &mut rng).is_err());
+        q.execute(
+            &Command::nullary(CommandType::HomeZStage),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        q.execute(&mv, &mut lab, &mut rng).unwrap();
+        assert_eq!(q.z_position(), 1000);
+    }
+
+    #[test]
+    fn z_stage_range_is_validated() {
+        let (mut q, mut lab, mut rng) = setup();
+        q.execute(
+            &Command::nullary(CommandType::HomeZStage),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        let mv = Command::new(CommandType::MoveZStage, vec![Value::Int(Z_MAX + 1)]);
+        assert!(q.execute(&mv, &mut lab, &mut rng).is_err());
+    }
+
+    #[test]
+    fn target_mass_range_is_validated() {
+        let (mut q, mut lab, mut rng) = setup();
+        for bad in [0.0, -5.0, 9999.0] {
+            let c = Command::new(CommandType::TargetMass, vec![Value::Float(bad)]);
+            assert!(q.execute(&c, &mut lab, &mut rng).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn home_direction_parses_up_down_only() {
+        let (mut q, mut lab, mut rng) = setup();
+        let up = Command::new(CommandType::SetHomeDirection, vec![Value::Str("up".into())]);
+        assert!(q.execute(&up, &mut lab, &mut rng).is_ok());
+        let bad = Command::new(CommandType::SetHomeDirection, vec![Value::Int(1)]);
+        assert!(q.execute(&bad, &mut lab, &mut rng).is_err());
+    }
+
+    #[test]
+    fn zero_returns_small_tare() {
+        let (mut q, mut lab, mut rng) = setup();
+        let o = q
+            .execute(
+                &Command::nullary(CommandType::ZeroBalance),
+                &mut lab,
+                &mut rng,
+            )
+            .unwrap();
+        let tare = o.return_value.as_float().unwrap();
+        assert!(tare.abs() < 0.05);
+    }
+}

@@ -1,0 +1,222 @@
+//! The assembled lab rig: one of each device plus the shared geometry.
+//!
+//! [`LabRig`] is the single entry point the middlebox and the workload
+//! generators use: it routes each command to the owning device, threads
+//! the shared [`LabState`] through, and owns the deterministic RNG that
+//! gives devices their measurement noise.
+
+use rad_core::{Command, DeviceFault, DeviceKind};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{Device, Ika, LabState, Outcome, Quantos, Tecan, Ur3eDevice, C9};
+
+/// A complete simulated Hein Lab bench.
+///
+/// # Examples
+///
+/// ```
+/// use rad_core::{Command, CommandType};
+/// use rad_devices::LabRig;
+///
+/// let mut rig = LabRig::new(7);
+/// rig.execute(&Command::nullary(CommandType::InitC9))?;
+/// rig.execute(&Command::nullary(CommandType::Home))?;
+/// assert!(rig.c9().is_homed());
+/// # Ok::<(), rad_core::DeviceFault>(())
+/// ```
+#[derive(Debug)]
+pub struct LabRig {
+    lab: LabState,
+    rng: ChaCha8Rng,
+    c9: C9,
+    ur3e: Ur3eDevice,
+    ika: Ika,
+    tecan: Tecan,
+    quantos: Quantos,
+}
+
+impl LabRig {
+    /// Builds a rig whose measurement noise derives from `seed`.
+    pub fn new(seed: u64) -> Self {
+        LabRig {
+            lab: LabState::new(),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            c9: C9::new(),
+            ur3e: Ur3eDevice::new(),
+            ika: Ika::new(),
+            tecan: Tecan::new(),
+            quantos: Quantos::new(),
+        }
+    }
+
+    /// Executes `command` on the owning device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the device's [`DeviceFault`]; the rig itself never
+    /// fails routing because every [`rad_core::CommandType`] has an
+    /// owning device.
+    pub fn execute(&mut self, command: &Command) -> Result<Outcome, DeviceFault> {
+        let lab = &mut self.lab;
+        let rng = &mut self.rng;
+        match command.device() {
+            DeviceKind::C9 => self.c9.execute(command, lab, rng),
+            DeviceKind::Ur3e => self.ur3e.execute(command, lab, rng),
+            DeviceKind::Ika => self.ika.execute(command, lab, rng),
+            DeviceKind::Tecan => self.tecan.execute(command, lab, rng),
+            DeviceKind::Quantos => self.quantos.execute(command, lab, rng),
+        }
+    }
+
+    /// Shared deck geometry and dynamic state.
+    pub fn lab(&self) -> &LabState {
+        &self.lab
+    }
+
+    /// Mutable access to the shared state (used by workloads to stage
+    /// anomaly scenarios, e.g. parking an arm in the door sweep).
+    pub fn lab_mut(&mut self) -> &mut LabState {
+        &mut self.lab
+    }
+
+    /// The C9 (N9 arm + centrifuge).
+    pub fn c9(&self) -> &C9 {
+        &self.c9
+    }
+
+    /// The UR3e arm.
+    pub fn ur3e(&self) -> &Ur3eDevice {
+        &self.ur3e
+    }
+
+    /// Mutable UR3e access (payload staging for the power experiments).
+    pub fn ur3e_mut(&mut self) -> &mut Ur3eDevice {
+        &mut self.ur3e
+    }
+
+    /// The IKA stirrer/heater.
+    pub fn ika(&self) -> &Ika {
+        &self.ika
+    }
+
+    /// The Tecan syringe pump.
+    pub fn tecan(&self) -> &Tecan {
+        &self.tecan
+    }
+
+    /// The Quantos balance.
+    pub fn quantos(&self) -> &Quantos {
+        &self.quantos
+    }
+
+    /// Power-cycles every device and restores the deck to its initial
+    /// state. The RNG stream is left where it was so repeated procedure
+    /// runs on one rig see fresh noise.
+    pub fn reset(&mut self) {
+        self.lab = LabState::new();
+        self.c9.reset();
+        self.ur3e.reset();
+        self.ika.reset();
+        self.tecan.reset();
+        self.quantos.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rad_core::{CommandType, Value};
+
+    #[test]
+    fn rig_routes_to_every_device() {
+        let mut rig = LabRig::new(1);
+        for init in [
+            CommandType::InitC9,
+            CommandType::InitUr3Arm,
+            CommandType::InitIka,
+            CommandType::InitTecan,
+            CommandType::InitQuantos,
+        ] {
+            rig.execute(&Command::nullary(init)).unwrap();
+        }
+        // One follow-up command per device proves the init landed on the
+        // right instance.
+        rig.execute(&Command::nullary(CommandType::Home)).unwrap();
+        rig.execute(&Command::nullary(CommandType::IkaReadDeviceName))
+            .unwrap();
+        rig.execute(&Command::nullary(CommandType::TecanSetHomePosition))
+            .unwrap();
+        rig.execute(&Command::nullary(CommandType::HomeZStage))
+            .unwrap();
+        assert!(rig.c9().is_homed());
+        assert!(rig.tecan().is_homed());
+        assert!(rig.quantos().z_homed());
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_noise() {
+        let run = |seed: u64| -> Vec<f64> {
+            let mut rig = LabRig::new(seed);
+            rig.execute(&Command::nullary(CommandType::InitC9)).unwrap();
+            (0..5)
+                .map(|_| {
+                    rig.execute(&Command::nullary(CommandType::Temp))
+                        .unwrap()
+                        .return_value
+                        .as_float()
+                        .unwrap()
+                })
+                .collect()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn cross_device_crash_scenario_door_vs_arm() {
+        // Reproduces the §V narrative of run 17: the UR3e parks at the
+        // Quantos while the door opens into it.
+        let mut rig = LabRig::new(2);
+        rig.execute(&Command::nullary(CommandType::InitUr3Arm))
+            .unwrap();
+        rig.execute(&Command::nullary(CommandType::InitQuantos))
+            .unwrap();
+        // Drive the UR3e into the door sweep (door is closed, so the
+        // approach itself is fine as long as it stays out of the
+        // interior).
+        let park = Command::new(
+            CommandType::MoveToLocation,
+            vec![Value::Location {
+                x: 750.0,
+                y: 200.0,
+                z: 150.0,
+            }],
+        );
+        rig.execute(&park).unwrap();
+        let open = Command::new(
+            CommandType::FrontDoorPosition,
+            vec![Value::Str("open".into())],
+        );
+        let err = rig.execute(&open).unwrap_err();
+        assert!(matches!(err, DeviceFault::Collision { .. }), "{err}");
+    }
+
+    #[test]
+    fn reset_restores_deck_and_devices() {
+        let mut rig = LabRig::new(3);
+        rig.execute(&Command::nullary(CommandType::InitQuantos))
+            .unwrap();
+        rig.execute(&Command::new(
+            CommandType::FrontDoorPosition,
+            vec![Value::Str("open".into())],
+        ))
+        .unwrap();
+        assert!(rig.lab().quantos_door_open);
+        rig.reset();
+        assert!(!rig.lab().quantos_door_open);
+        assert!(rig
+            .execute(&Command::nullary(CommandType::HomeZStage))
+            .is_err());
+    }
+}

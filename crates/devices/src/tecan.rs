@@ -1,0 +1,584 @@
+//! The Tecan Cavro XLP 6000 syringe pump.
+//!
+//! The XLP speaks the Cavro OEM protocol: terse single-letter commands
+//! (`A` absolute plunger move, `P` relative pickup, `I` valve switch,
+//! `V` top velocity, `Q` status poll, ...). The Hein Lab's
+//! `TecanCavro` wrapper polls `Q` until the pump reports idle after
+//! every motion, which is why `Q` dominates the Tecan share of the
+//! command dataset and why `Q Q`, `Q Q Q`, ... appear among the top
+//! n-grams of Fig. 5(b). The simulator reproduces the busy/idle status
+//! machine, plunger/valve state, and batch (`g`/`G`) execution.
+
+use rad_core::{Command, CommandType, DeviceFault, DeviceId, DeviceKind, SimDuration, Value};
+use rand::RngCore;
+
+use crate::geometry::LabState;
+use crate::{check_routing, Device, Outcome};
+
+/// Full plunger stroke, in half-steps.
+const MAX_POSITION: i64 = 6000;
+/// Number of valve ports on the lab's distribution head.
+const VALVE_PORTS: i64 = 6;
+/// Velocity limits, half-steps per second.
+const MIN_VELOCITY: i64 = 5;
+/// Upper velocity limit, half-steps per second.
+const MAX_VELOCITY: i64 = 6000;
+/// Serial round trip for one OEM-protocol exchange.
+const SERIAL_RTT: SimDuration = SimDuration::from_millis(25);
+/// Status polls that report busy per second of plunger motion.
+const POLLS_PER_SECOND: f64 = 4.0;
+
+/// Simulated Cavro XLP 6000.
+///
+/// # Examples
+///
+/// ```
+/// use rad_core::{Command, CommandType, Value};
+/// use rad_devices::{Device, LabState, Tecan};
+/// use rand::SeedableRng;
+///
+/// let mut pump = Tecan::new();
+/// let mut lab = LabState::new();
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// pump.execute(&Command::nullary(CommandType::InitTecan), &mut lab, &mut rng)?;
+/// pump.execute(&Command::nullary(CommandType::TecanSetHomePosition), &mut lab, &mut rng)?;
+/// let status = pump.execute(&Command::nullary(CommandType::TecanGetStatus), &mut lab, &mut rng)?;
+/// assert_eq!(status.return_value, Value::Str("busy".into())); // still homing
+/// # Ok::<(), rad_core::DeviceFault>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tecan {
+    id: DeviceId,
+    initialized: bool,
+    homed: bool,
+    plunger_position: i64,
+    valve_position: i64,
+    velocity: i64,
+    dead_volume: i64,
+    slope_code: i64,
+    busy_polls_remaining: u32,
+    batch: Option<Vec<Command>>,
+}
+
+impl Tecan {
+    /// A powered-on, unhomed pump.
+    pub fn new() -> Self {
+        Tecan {
+            id: DeviceId::primary(DeviceKind::Tecan),
+            initialized: false,
+            homed: false,
+            plunger_position: 0,
+            valve_position: 1,
+            velocity: 1400,
+            dead_volume: 0,
+            slope_code: 14,
+            busy_polls_remaining: 0,
+            batch: None,
+        }
+    }
+
+    /// Current absolute plunger position in half-steps.
+    pub fn plunger_position(&self) -> i64 {
+        self.plunger_position
+    }
+
+    /// Current valve port (1-based).
+    pub fn valve_position(&self) -> i64 {
+        self.valve_position
+    }
+
+    /// Whether the plunger has been homed since power-on.
+    pub fn is_homed(&self) -> bool {
+        self.homed
+    }
+
+    /// Whether a batch (`g`...`G`) is currently being recorded.
+    pub fn in_batch(&self) -> bool {
+        self.batch.is_some()
+    }
+
+    fn require_init(&self) -> Result<(), DeviceFault> {
+        if self.initialized {
+            Ok(())
+        } else {
+            Err(DeviceFault::InvalidState {
+                reason: "tecan serial port not opened".into(),
+            })
+        }
+    }
+
+    fn require_homed(&self) -> Result<(), DeviceFault> {
+        self.require_init()?;
+        if self.homed {
+            Ok(())
+        } else {
+            Err(DeviceFault::InvalidState {
+                reason: "plunger not initialized (send Z first)".into(),
+            })
+        }
+    }
+
+    fn start_motion(&mut self, duration: SimDuration) {
+        self.busy_polls_remaining = self
+            .busy_polls_remaining
+            .max((duration.as_secs_f64() * POLLS_PER_SECOND).ceil() as u32);
+    }
+
+    fn int_arg(command: &Command) -> Result<i64, DeviceFault> {
+        command
+            .args()
+            .first()
+            .and_then(Value::as_int)
+            .ok_or_else(|| DeviceFault::InvalidArgument {
+                reason: format!("{} needs an integer argument", command.command_type()),
+            })
+    }
+
+    /// Executes one motion/config command, assuming validation of
+    /// batch recording has already happened.
+    fn run_single(&mut self, command: &Command) -> Result<Outcome, DeviceFault> {
+        match command.command_type() {
+            CommandType::TecanSetHomePosition => {
+                self.require_init()?;
+                let travel = self.plunger_position;
+                self.plunger_position = 0;
+                self.homed = true;
+                let duration =
+                    SimDuration::from_secs_f64(1.0 + travel as f64 / self.velocity as f64);
+                self.start_motion(duration);
+                Ok(Outcome::new(Value::Unit, duration))
+            }
+            CommandType::TecanSetPosition => {
+                self.require_homed()?;
+                let target = Self::int_arg(command)?;
+                if !(0..=MAX_POSITION).contains(&target) {
+                    return Err(DeviceFault::InvalidArgument {
+                        reason: format!("plunger position {target} outside 0..={MAX_POSITION}"),
+                    });
+                }
+                let delta = (target - self.plunger_position).unsigned_abs();
+                self.plunger_position = target;
+                let duration = SimDuration::from_secs_f64(delta as f64 / self.velocity as f64);
+                self.start_motion(duration);
+                Ok(Outcome::new(Value::Unit, duration))
+            }
+            CommandType::TecanSetDistance => {
+                self.require_homed()?;
+                let steps = Self::int_arg(command)?;
+                let target = self.plunger_position + steps;
+                if !(0..=MAX_POSITION).contains(&target) {
+                    return Err(DeviceFault::InvalidArgument {
+                        reason: format!(
+                            "relative move of {steps} from {} overtravels the stroke",
+                            self.plunger_position
+                        ),
+                    });
+                }
+                self.plunger_position = target;
+                let duration =
+                    SimDuration::from_secs_f64(steps.unsigned_abs() as f64 / self.velocity as f64);
+                self.start_motion(duration);
+                Ok(Outcome::new(Value::Unit, duration))
+            }
+            CommandType::TecanSetValvePosition => {
+                self.require_init()?;
+                let port = Self::int_arg(command)?;
+                if !(1..=VALVE_PORTS).contains(&port) {
+                    return Err(DeviceFault::InvalidArgument {
+                        reason: format!("valve port {port} outside 1..={VALVE_PORTS}"),
+                    });
+                }
+                self.valve_position = port;
+                let duration = SimDuration::from_millis(300);
+                self.start_motion(duration);
+                Ok(Outcome::new(Value::Unit, duration))
+            }
+            CommandType::TecanSetVelocity => {
+                self.require_init()?;
+                let v = Self::int_arg(command)?;
+                if !(MIN_VELOCITY..=MAX_VELOCITY).contains(&v) {
+                    return Err(DeviceFault::InvalidArgument {
+                        reason: format!("velocity {v} outside {MIN_VELOCITY}..={MAX_VELOCITY}"),
+                    });
+                }
+                self.velocity = v;
+                Ok(Outcome::new(Value::Unit, SERIAL_RTT))
+            }
+            CommandType::TecanSetDeadVolume => {
+                self.require_init()?;
+                let k = Self::int_arg(command)?;
+                if !(0..=100).contains(&k) {
+                    return Err(DeviceFault::InvalidArgument {
+                        reason: format!("dead volume {k} outside 0..=100"),
+                    });
+                }
+                self.dead_volume = k;
+                Ok(Outcome::new(Value::Unit, SERIAL_RTT))
+            }
+            CommandType::TecanSetSlopeCode => {
+                self.require_init()?;
+                let l = Self::int_arg(command)?;
+                if !(1..=20).contains(&l) {
+                    return Err(DeviceFault::InvalidArgument {
+                        reason: format!("slope code {l} outside 1..=20"),
+                    });
+                }
+                self.slope_code = l;
+                Ok(Outcome::new(Value::Unit, SERIAL_RTT))
+            }
+            other => Err(DeviceFault::InvalidState {
+                reason: format!("command {other} cannot run inside the pump executor"),
+            }),
+        }
+    }
+}
+
+impl Default for Tecan {
+    fn default() -> Self {
+        Tecan::new()
+    }
+}
+
+impl Device for Tecan {
+    fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    fn execute(
+        &mut self,
+        command: &Command,
+        _lab: &mut LabState,
+        _rng: &mut dyn RngCore,
+    ) -> Result<Outcome, DeviceFault> {
+        check_routing(self.id, command)?;
+        match command.command_type() {
+            CommandType::InitTecan => {
+                self.initialized = true;
+                Ok(Outcome::new(Value::Unit, SimDuration::from_millis(150)))
+            }
+            CommandType::TecanGetStatus => {
+                self.require_init()?;
+                let busy = self.busy_polls_remaining > 0;
+                self.busy_polls_remaining = self.busy_polls_remaining.saturating_sub(1);
+                Ok(Outcome::new(
+                    Value::Str(if busy { "busy".into() } else { "idle".into() }),
+                    SERIAL_RTT,
+                ))
+            }
+            CommandType::TecanStartBatch => {
+                self.require_init()?;
+                if self.batch.is_some() {
+                    return Err(DeviceFault::InvalidState {
+                        reason: "batch already being recorded".into(),
+                    });
+                }
+                self.batch = Some(Vec::new());
+                Ok(Outcome::new(Value::Unit, SERIAL_RTT))
+            }
+            CommandType::TecanStopBatch => {
+                self.require_init()?;
+                let recorded = self.batch.take().ok_or_else(|| DeviceFault::InvalidState {
+                    reason: "G without a matching g".into(),
+                })?;
+                let mut total = SERIAL_RTT;
+                for cmd in &recorded {
+                    total += self.run_single(cmd)?.busy_for;
+                }
+                Ok(Outcome::new(Value::Int(recorded.len() as i64), total))
+            }
+            ct if self.batch.is_some() => {
+                // Motion/config commands issued during batch recording
+                // are queued, not executed.
+                if matches!(
+                    ct,
+                    CommandType::TecanSetPosition
+                        | CommandType::TecanSetDistance
+                        | CommandType::TecanSetValvePosition
+                        | CommandType::TecanSetVelocity
+                ) {
+                    self.batch
+                        .as_mut()
+                        .expect("batch is Some in this arm")
+                        .push(command.clone());
+                    Ok(Outcome::new(Value::Unit, SERIAL_RTT))
+                } else {
+                    Err(DeviceFault::InvalidState {
+                        reason: format!("command {ct} is not batchable"),
+                    })
+                }
+            }
+            _ => self.run_single(command),
+        }
+    }
+
+    fn reset(&mut self) {
+        *self = Tecan {
+            id: self.id,
+            ..Tecan::new()
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (Tecan, LabState, ChaCha8Rng) {
+        let mut pump = Tecan::new();
+        let mut lab = LabState::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        pump.execute(
+            &Command::nullary(CommandType::InitTecan),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        pump.execute(
+            &Command::nullary(CommandType::TecanSetHomePosition),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        // Drain the homing busy polls.
+        loop {
+            let s = pump
+                .execute(
+                    &Command::nullary(CommandType::TecanGetStatus),
+                    &mut lab,
+                    &mut rng,
+                )
+                .unwrap();
+            if s.return_value == Value::Str("idle".into()) {
+                break;
+            }
+        }
+        (pump, lab, rng)
+    }
+
+    fn cmd(ct: CommandType, v: i64) -> Command {
+        Command::new(ct, vec![Value::Int(v)])
+    }
+
+    #[test]
+    fn plunger_moves_take_time_proportional_to_travel() {
+        let (mut pump, mut lab, mut rng) = setup();
+        pump.execute(
+            &cmd(CommandType::TecanSetVelocity, 1000),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        let o = pump
+            .execute(
+                &cmd(CommandType::TecanSetPosition, 3000),
+                &mut lab,
+                &mut rng,
+            )
+            .unwrap();
+        assert!((o.busy_for.as_secs_f64() - 3.0).abs() < 1e-6);
+        assert_eq!(pump.plunger_position(), 3000);
+    }
+
+    #[test]
+    fn status_polls_report_busy_then_idle() {
+        let (mut pump, mut lab, mut rng) = setup();
+        pump.execute(
+            &cmd(CommandType::TecanSetPosition, 2000),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        let q = Command::nullary(CommandType::TecanGetStatus);
+        let mut busy_count = 0;
+        loop {
+            let s = pump.execute(&q, &mut lab, &mut rng).unwrap();
+            if s.return_value == Value::Str("busy".into()) {
+                busy_count += 1;
+            } else {
+                break;
+            }
+        }
+        assert!(
+            busy_count >= 2,
+            "a ~1.4s move keeps several Q polls busy, saw {busy_count}"
+        );
+    }
+
+    #[test]
+    fn relative_move_cannot_overtravel() {
+        let (mut pump, mut lab, mut rng) = setup();
+        pump.execute(
+            &cmd(CommandType::TecanSetPosition, 5500),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        let err = pump
+            .execute(
+                &cmd(CommandType::TecanSetDistance, 1000),
+                &mut lab,
+                &mut rng,
+            )
+            .unwrap_err();
+        assert!(matches!(err, DeviceFault::InvalidArgument { .. }));
+        assert_eq!(
+            pump.plunger_position(),
+            5500,
+            "failed move leaves position unchanged"
+        );
+    }
+
+    #[test]
+    fn motion_requires_homing() {
+        let mut pump = Tecan::new();
+        let mut lab = LabState::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        pump.execute(
+            &Command::nullary(CommandType::InitTecan),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        let err = pump
+            .execute(&cmd(CommandType::TecanSetPosition, 100), &mut lab, &mut rng)
+            .unwrap_err();
+        assert!(err.to_string().contains("send Z first"));
+    }
+
+    #[test]
+    fn valve_port_validation() {
+        let (mut pump, mut lab, mut rng) = setup();
+        pump.execute(
+            &cmd(CommandType::TecanSetValvePosition, 3),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(pump.valve_position(), 3);
+        assert!(pump
+            .execute(
+                &cmd(CommandType::TecanSetValvePosition, 9),
+                &mut lab,
+                &mut rng
+            )
+            .is_err());
+        assert!(pump
+            .execute(
+                &cmd(CommandType::TecanSetValvePosition, 0),
+                &mut lab,
+                &mut rng
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn batch_queues_then_executes_on_stop() {
+        let (mut pump, mut lab, mut rng) = setup();
+        pump.execute(
+            &Command::nullary(CommandType::TecanStartBatch),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        pump.execute(
+            &cmd(CommandType::TecanSetValvePosition, 2),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        pump.execute(
+            &cmd(CommandType::TecanSetPosition, 1400),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        // Nothing executed yet.
+        assert_eq!(pump.plunger_position(), 0);
+        assert_eq!(pump.valve_position(), 1);
+        let o = pump
+            .execute(
+                &Command::nullary(CommandType::TecanStopBatch),
+                &mut lab,
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(o.return_value, Value::Int(2));
+        assert_eq!(pump.plunger_position(), 1400);
+        assert_eq!(pump.valve_position(), 2);
+        assert!(
+            o.busy_for.as_secs_f64() >= 1.0,
+            "batch duration covers the queued moves"
+        );
+    }
+
+    #[test]
+    fn stop_batch_without_start_fails() {
+        let (mut pump, mut lab, mut rng) = setup();
+        let err = pump
+            .execute(
+                &Command::nullary(CommandType::TecanStopBatch),
+                &mut lab,
+                &mut rng,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("without a matching"));
+    }
+
+    #[test]
+    fn nested_batch_recording_fails() {
+        let (mut pump, mut lab, mut rng) = setup();
+        pump.execute(
+            &Command::nullary(CommandType::TecanStartBatch),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(pump
+            .execute(
+                &Command::nullary(CommandType::TecanStartBatch),
+                &mut lab,
+                &mut rng
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn config_commands_validate_ranges() {
+        let (mut pump, mut lab, mut rng) = setup();
+        assert!(pump
+            .execute(&cmd(CommandType::TecanSetVelocity, 2), &mut lab, &mut rng)
+            .is_err());
+        assert!(pump
+            .execute(
+                &cmd(CommandType::TecanSetVelocity, 9000),
+                &mut lab,
+                &mut rng
+            )
+            .is_err());
+        assert!(pump
+            .execute(
+                &cmd(CommandType::TecanSetDeadVolume, 500),
+                &mut lab,
+                &mut rng
+            )
+            .is_err());
+        assert!(pump
+            .execute(&cmd(CommandType::TecanSetSlopeCode, 0), &mut lab, &mut rng)
+            .is_err());
+        assert!(pump
+            .execute(&cmd(CommandType::TecanSetSlopeCode, 14), &mut lab, &mut rng)
+            .is_ok());
+    }
+
+    #[test]
+    fn reset_forgets_homing() {
+        let (mut pump, mut lab, mut rng) = setup();
+        pump.reset();
+        assert!(!pump.is_homed());
+        assert!(pump
+            .execute(&cmd(CommandType::TecanSetPosition, 100), &mut lab, &mut rng)
+            .is_err());
+    }
+}

@@ -1,0 +1,447 @@
+//! The Universal Robots UR3e six-axis arm.
+//!
+//! The Hein Lab drives the UR3e through the `urx` Python package; the
+//! traced API surface is six methods (Fig. 5(a)): `move_joints`,
+//! `move_to_location`, `move_circular`, `open_gripper`, `close_gripper`,
+//! and the constructor. The simulator implements those with a simplified
+//! forward-kinematic model (full dynamics live in `rad-power`), linear
+//! and joint-space timing, and collision checks against the shared deck
+//! geometry.
+
+use rad_core::{Command, CommandType, DeviceFault, DeviceId, DeviceKind, SimDuration, Value};
+use rand::RngCore;
+
+use crate::geometry::{LabState, Location};
+use crate::{check_routing, Device, Outcome};
+
+/// UR3e base position on the deck (mm).
+const BASE: Location = Location::new(900.0, 0.0, 0.0);
+/// Shoulder height above the deck (mm).
+const SHOULDER_HEIGHT: f64 = 152.0;
+/// Upper-arm length (mm).
+const UPPER_ARM: f64 = 244.0;
+/// Forearm length (mm).
+const FOREARM: f64 = 213.0;
+/// Default tool linear velocity (mm/s) for Cartesian moves.
+const DEFAULT_LINEAR_VELOCITY: f64 = 250.0;
+/// Maximum accepted tool velocity (mm/s). The UR3e tops out at 1 m/s.
+const MAX_LINEAR_VELOCITY: f64 = 1000.0;
+/// Joint speed used for `move_joints` timing (rad/s).
+const JOINT_SPEED: f64 = 1.05;
+
+/// Simulated UR3e arm.
+///
+/// # Examples
+///
+/// ```
+/// use rad_core::{Command, CommandType, Value};
+/// use rad_devices::{Device, LabState, Ur3eDevice};
+/// use rand::SeedableRng;
+///
+/// let mut arm = Ur3eDevice::new();
+/// let mut lab = LabState::new();
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// arm.execute(&Command::nullary(CommandType::InitUr3Arm), &mut lab, &mut rng)?;
+/// let move_cmd = Command::new(
+///     CommandType::MoveToLocation,
+///     vec![Value::Location { x: 700.0, y: 100.0, z: 200.0 }],
+/// );
+/// let outcome = arm.execute(&move_cmd, &mut lab, &mut rng)?;
+/// assert!(outcome.busy_for.as_secs_f64() > 0.5);
+/// # Ok::<(), rad_core::DeviceFault>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ur3eDevice {
+    id: DeviceId,
+    initialized: bool,
+    joints: [f64; 6],
+    gripper_open: bool,
+    payload_g: f64,
+}
+
+impl Ur3eDevice {
+    /// A powered-on but unconnected UR3e.
+    pub fn new() -> Self {
+        Ur3eDevice {
+            id: DeviceId::primary(DeviceKind::Ur3e),
+            initialized: false,
+            joints: [0.0, -1.57, 1.57, -1.57, -1.57, 0.0],
+            gripper_open: true,
+            payload_g: 0.0,
+        }
+    }
+
+    /// Current joint vector (radians, base to wrist-3).
+    pub fn joints(&self) -> [f64; 6] {
+        self.joints
+    }
+
+    /// Whether the gripper is open.
+    pub fn gripper_open(&self) -> bool {
+        self.gripper_open
+    }
+
+    /// Mass currently held by the gripper, in grams. Set by the
+    /// workloads when the arm picks up vials or calibration weights;
+    /// used by the power model.
+    pub fn payload_g(&self) -> f64 {
+        self.payload_g
+    }
+
+    /// Sets the simulated payload mass in grams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grams` is negative or not finite.
+    pub fn set_payload_g(&mut self, grams: f64) {
+        assert!(
+            grams.is_finite() && grams >= 0.0,
+            "payload must be finite and non-negative"
+        );
+        self.payload_g = grams;
+    }
+
+    /// Simplified forward kinematics: tool position for a joint vector.
+    ///
+    /// Uses the shoulder-pan / shoulder-lift / elbow joints of a planar
+    /// 2-link chain rotated about the base; wrist joints only orient the
+    /// tool, so they are ignored for position. Good enough for deck
+    /// collision checks; the dynamics crate has the torque-level model.
+    pub fn forward_kinematics(joints: &[f64; 6]) -> Location {
+        let (q0, q1, q2) = (joints[0], joints[1], joints[2]);
+        // q1 = 0 points the upper arm horizontally outward; negative lifts it.
+        let reach = UPPER_ARM * q1.cos() + FOREARM * (q1 + q2).cos();
+        let height = SHOULDER_HEIGHT - UPPER_ARM * q1.sin() - FOREARM * (q1 + q2).sin();
+        Location::new(
+            BASE.x + reach * q0.cos(),
+            BASE.y + reach * q0.sin(),
+            BASE.z + height,
+        )
+    }
+
+    fn require_init(&self) -> Result<(), DeviceFault> {
+        if self.initialized {
+            Ok(())
+        } else {
+            Err(DeviceFault::InvalidState {
+                reason: "ur3e not connected".into(),
+            })
+        }
+    }
+
+    fn linear_move(
+        &mut self,
+        lab: &mut LabState,
+        target: Location,
+        velocity: f64,
+    ) -> Result<SimDuration, DeviceFault> {
+        if !(1.0..=MAX_LINEAR_VELOCITY).contains(&velocity) {
+            return Err(DeviceFault::InvalidArgument {
+                reason: format!("velocity {velocity} outside 1..={MAX_LINEAR_VELOCITY} mm/s"),
+            });
+        }
+        if let Some(obstacle) = lab.collision_on_path(lab.ur3e_position, target) {
+            lab.ur3e_position = lab.ur3e_position.lerp(target, 0.5);
+            return Err(DeviceFault::Collision {
+                obstacle: obstacle.to_owned(),
+            });
+        }
+        let distance = lab.ur3e_position.distance_to(target);
+        lab.ur3e_position = target;
+        Ok(SimDuration::from_secs_f64(distance / velocity))
+    }
+
+    fn velocity_arg(command: &Command, index: usize) -> Result<f64, DeviceFault> {
+        match command.args().get(index) {
+            None => Ok(DEFAULT_LINEAR_VELOCITY),
+            Some(v) => v.as_float().ok_or_else(|| DeviceFault::InvalidArgument {
+                reason: format!("velocity argument must be numeric, got {v}"),
+            }),
+        }
+    }
+
+    fn location_arg(command: &Command, index: usize) -> Result<Location, DeviceFault> {
+        match command.args().get(index) {
+            Some(Value::Location { x, y, z }) => {
+                crate::geometry::validate_workspace(Location::new(*x, *y, *z))
+            }
+            other => Err(DeviceFault::InvalidArgument {
+                reason: format!("expected location argument at index {index}, got {other:?}"),
+            }),
+        }
+    }
+}
+
+impl Default for Ur3eDevice {
+    fn default() -> Self {
+        Ur3eDevice::new()
+    }
+}
+
+impl Device for Ur3eDevice {
+    fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    fn execute(
+        &mut self,
+        command: &Command,
+        lab: &mut LabState,
+        _rng: &mut dyn RngCore,
+    ) -> Result<Outcome, DeviceFault> {
+        check_routing(self.id, command)?;
+        match command.command_type() {
+            CommandType::InitUr3Arm => {
+                self.initialized = true;
+                lab.ur3e_position = Self::forward_kinematics(&self.joints);
+                Ok(Outcome::new(Value::Unit, SimDuration::from_millis(800)))
+            }
+            CommandType::MoveJoints => {
+                self.require_init()?;
+                let target = match command.args().first() {
+                    Some(Value::Joints(q)) => *q,
+                    other => {
+                        return Err(DeviceFault::InvalidArgument {
+                            reason: format!("move_joints needs a joint vector, got {other:?}"),
+                        })
+                    }
+                };
+                if target
+                    .iter()
+                    .any(|q| !q.is_finite() || q.abs() > 2.0 * std::f64::consts::TAU)
+                {
+                    return Err(DeviceFault::InvalidArgument {
+                        reason: format!("joint target out of range: {target:?}"),
+                    });
+                }
+                let tool_target = Self::forward_kinematics(&target);
+                if let Some(obstacle) = lab.collision_on_path(lab.ur3e_position, tool_target) {
+                    lab.ur3e_position = lab.ur3e_position.lerp(tool_target, 0.5);
+                    return Err(DeviceFault::Collision {
+                        obstacle: obstacle.to_owned(),
+                    });
+                }
+                let max_delta = self
+                    .joints
+                    .iter()
+                    .zip(&target)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max);
+                self.joints = target;
+                lab.ur3e_position = tool_target;
+                Ok(Outcome::new(
+                    Value::Unit,
+                    SimDuration::from_secs_f64(max_delta / JOINT_SPEED),
+                ))
+            }
+            CommandType::MoveToLocation => {
+                self.require_init()?;
+                let target = Self::location_arg(command, 0)?;
+                let velocity = Self::velocity_arg(command, 1)?;
+                let duration = self.linear_move(lab, target, velocity)?;
+                Ok(Outcome::new(Value::Unit, duration))
+            }
+            CommandType::MoveCircular => {
+                self.require_init()?;
+                let via = Self::location_arg(command, 0)?;
+                let target = Self::location_arg(command, 1)?;
+                let velocity = Self::velocity_arg(command, 2)?;
+                let first = self.linear_move(lab, via, velocity)?;
+                let second = self.linear_move(lab, target, velocity)?;
+                Ok(Outcome::new(Value::Unit, first + second))
+            }
+            CommandType::OpenGripper => {
+                self.require_init()?;
+                self.gripper_open = true;
+                self.payload_g = 0.0;
+                Ok(Outcome::new(Value::Unit, SimDuration::from_millis(500)))
+            }
+            CommandType::CloseGripper => {
+                self.require_init()?;
+                self.gripper_open = false;
+                Ok(Outcome::new(Value::Unit, SimDuration::from_millis(500)))
+            }
+            other => Err(DeviceFault::InvalidState {
+                reason: format!("unroutable command {other} reached ur3e"),
+            }),
+        }
+    }
+
+    fn reset(&mut self) {
+        *self = Ur3eDevice {
+            id: self.id,
+            ..Ur3eDevice::new()
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (Ur3eDevice, LabState, ChaCha8Rng) {
+        let mut arm = Ur3eDevice::new();
+        let mut lab = LabState::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        arm.execute(
+            &Command::nullary(CommandType::InitUr3Arm),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        (arm, lab, rng)
+    }
+
+    #[test]
+    fn init_places_tool_at_fk_of_home_joints() {
+        let (arm, lab, _) = setup();
+        assert_eq!(
+            lab.ur3e_position,
+            Ur3eDevice::forward_kinematics(&arm.joints())
+        );
+    }
+
+    #[test]
+    fn fk_straight_up_configuration() {
+        // q1 = -90°: upper arm points straight up; q2 = 0 keeps the
+        // forearm aligned with it.
+        let q = [0.0, -std::f64::consts::FRAC_PI_2, 0.0, 0.0, 0.0, 0.0];
+        let tool = Ur3eDevice::forward_kinematics(&q);
+        assert!((tool.x - BASE.x).abs() < 1e-9);
+        assert!((tool.z - (SHOULDER_HEIGHT + UPPER_ARM + FOREARM)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fk_base_rotation_swings_tool_in_xy() {
+        let mut q = [0.0, -0.8, 1.2, 0.0, 0.0, 0.0];
+        let a = Ur3eDevice::forward_kinematics(&q);
+        q[0] = std::f64::consts::FRAC_PI_2;
+        let b = Ur3eDevice::forward_kinematics(&q);
+        assert!((a.z - b.z).abs() < 1e-9, "base rotation keeps height");
+        assert!((a.distance_to(BASE) - b.distance_to(BASE)).abs() < 1.0);
+    }
+
+    #[test]
+    fn linear_move_duration_matches_velocity() {
+        let (mut arm, mut lab, mut rng) = setup();
+        let start = lab.ur3e_position;
+        let target = Location::new(start.x, start.y + 200.0, start.z);
+        let cmd = Command::new(
+            CommandType::MoveToLocation,
+            vec![Value::from(target), Value::Float(100.0)],
+        );
+        let o = arm.execute(&cmd, &mut lab, &mut rng).unwrap();
+        assert!((o.busy_for.as_secs_f64() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn move_requires_connection() {
+        let mut arm = Ur3eDevice::new();
+        let mut lab = LabState::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let cmd = Command::new(
+            CommandType::MoveToLocation,
+            vec![Value::Location {
+                x: 700.0,
+                y: 0.0,
+                z: 200.0,
+            }],
+        );
+        assert!(arm.execute(&cmd, &mut lab, &mut rng).is_err());
+    }
+
+    #[test]
+    fn velocity_out_of_range_is_rejected() {
+        let (mut arm, mut lab, mut rng) = setup();
+        let cmd = Command::new(
+            CommandType::MoveToLocation,
+            vec![
+                Value::Location {
+                    x: 700.0,
+                    y: 0.0,
+                    z: 200.0,
+                },
+                Value::Float(5000.0),
+            ],
+        );
+        let err = arm.execute(&cmd, &mut lab, &mut rng).unwrap_err();
+        assert!(matches!(err, DeviceFault::InvalidArgument { .. }));
+    }
+
+    #[test]
+    fn move_joints_times_by_largest_joint_delta() {
+        let (mut arm, mut lab, mut rng) = setup();
+        let mut target = arm.joints();
+        target[0] += 1.05; // exactly one second at JOINT_SPEED
+        let cmd = Command::new(CommandType::MoveJoints, vec![Value::Joints(target)]);
+        let o = arm.execute(&cmd, &mut lab, &mut rng).unwrap();
+        assert!((o.busy_for.as_secs_f64() - 1.0).abs() < 1e-6);
+        assert_eq!(arm.joints(), target);
+    }
+
+    #[test]
+    fn open_gripper_drops_payload() {
+        let (mut arm, mut lab, mut rng) = setup();
+        arm.execute(
+            &Command::nullary(CommandType::CloseGripper),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        arm.set_payload_g(500.0);
+        assert_eq!(arm.payload_g(), 500.0);
+        arm.execute(
+            &Command::nullary(CommandType::OpenGripper),
+            &mut lab,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(arm.payload_g(), 0.0);
+        assert!(arm.gripper_open());
+    }
+
+    #[test]
+    fn pass_by_open_quantos_door_collides() {
+        let (mut arm, mut lab, mut rng) = setup();
+        lab.quantos_door_open = true;
+        // Start on the far side of the door sweep, drive through it to a
+        // point that is not inside the Quantos.
+        lab.ur3e_position = Location::new(800.0, 230.0, 100.0);
+        let cmd = Command::new(
+            CommandType::MoveToLocation,
+            vec![Value::Location {
+                x: 500.0,
+                y: 230.0,
+                z: 100.0,
+            }],
+        );
+        let err = arm.execute(&cmd, &mut lab, &mut rng).unwrap_err();
+        assert!(matches!(err, DeviceFault::Collision { .. }), "{err}");
+    }
+
+    #[test]
+    fn move_circular_sums_both_legs() {
+        let (mut arm, mut lab, mut rng) = setup();
+        let start = lab.ur3e_position;
+        let via = Location::new(start.x, start.y + 100.0, start.z);
+        let end = Location::new(start.x, start.y + 100.0, start.z + 100.0);
+        let cmd = Command::new(
+            CommandType::MoveCircular,
+            vec![Value::from(via), Value::from(end), Value::Float(100.0)],
+        );
+        let o = arm.execute(&cmd, &mut lab, &mut rng).unwrap();
+        assert!((o.busy_for.as_secs_f64() - 2.0).abs() < 1e-6);
+        assert_eq!(lab.ur3e_position, end);
+    }
+
+    #[test]
+    fn foreign_command_is_rejected() {
+        let (mut arm, mut lab, mut rng) = setup();
+        let err = arm
+            .execute(&Command::nullary(CommandType::Home), &mut lab, &mut rng)
+            .unwrap_err();
+        assert!(err.to_string().contains("C9"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Fuzz-style property tests: the device simulators must be total —
+//! no input sequence may panic them, and their state invariants must
+//! survive arbitrary traffic.
+
+use proptest::prelude::*;
+use rad_core::{Command, CommandType, Value};
+use rad_devices::LabRig;
+
+fn arb_command_type() -> impl Strategy<Value = CommandType> {
+    (0..CommandType::all().len()).prop_map(|i| CommandType::from_token_id(i).unwrap())
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Unit),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        proptest::num::f64::ANY.prop_map(Value::Float),
+        "[ -~]{0,16}".prop_map(Value::Str),
+        (
+            proptest::num::f64::ANY,
+            proptest::num::f64::ANY,
+            proptest::num::f64::ANY
+        )
+            .prop_map(|(x, y, z)| Value::Location { x, y, z }),
+        proptest::array::uniform6(proptest::num::f64::ANY).prop_map(Value::Joints),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No command sequence, however hostile its arguments (NaN,
+    /// infinities, huge ints), panics the rig.
+    #[test]
+    fn rig_survives_hostile_arguments(
+        script in proptest::collection::vec(
+            (arb_command_type(), proptest::collection::vec(arb_value(), 0..4)),
+            1..80,
+        ),
+        seed in 0u64..256,
+    ) {
+        let mut rig = LabRig::new(seed);
+        for (ct, args) in script {
+            let _ = rig.execute(&Command::new(ct, args));
+        }
+    }
+
+    /// Tecan invariant: the plunger position stays within the stroke
+    /// whatever traffic arrives.
+    #[test]
+    fn tecan_plunger_stays_in_stroke(
+        positions in proptest::collection::vec(any::<i64>(), 1..40),
+        seed in 0u64..64,
+    ) {
+        let mut rig = LabRig::new(seed);
+        let _ = rig.execute(&Command::nullary(CommandType::InitTecan));
+        let _ = rig.execute(&Command::nullary(CommandType::TecanSetHomePosition));
+        for p in positions {
+            let _ = rig.execute(&Command::new(
+                CommandType::TecanSetPosition,
+                vec![Value::Int(p)],
+            ));
+            let pos = rig.tecan().plunger_position();
+            prop_assert!((0..=6000).contains(&pos), "plunger at {pos}");
+        }
+    }
+
+    /// IKA invariant: the hotplate temperature stays physical
+    /// (between ambient-ish and the setpoint ceiling) under any poll
+    /// pattern.
+    #[test]
+    fn ika_temperature_stays_physical(
+        script in proptest::collection::vec(0u8..5, 1..100),
+        setpoint in 0.0f64..340.0,
+        seed in 0u64..64,
+    ) {
+        let mut rig = LabRig::new(seed);
+        let _ = rig.execute(&Command::nullary(CommandType::InitIka));
+        let _ = rig.execute(&Command::new(
+            CommandType::IkaSetTemperature,
+            vec![Value::Float(setpoint)],
+        ));
+        for step in script {
+            let cmd = match step {
+                0 => Command::nullary(CommandType::IkaStartHeater),
+                1 => Command::nullary(CommandType::IkaStopHeater),
+                2 => Command::nullary(CommandType::IkaReadHotplateSensor),
+                3 => Command::nullary(CommandType::IkaReadExternalSensor),
+                _ => Command::nullary(CommandType::IkaReadStirringSpeed),
+            };
+            let _ = rig.execute(&cmd);
+            let t = rig.ika().plate_temp_c();
+            prop_assert!(t > 0.0 && t < 360.0, "plate at {t} C");
+        }
+    }
+
+    /// C9 invariant: MVNG eventually reports idle after any motion —
+    /// poll loops cannot hang forever.
+    #[test]
+    fn mvng_always_drains(
+        x in -100.0f64..400.0,
+        y in -100.0f64..300.0,
+        seed in 0u64..64,
+    ) {
+        let mut rig = LabRig::new(seed);
+        rig.execute(&Command::nullary(CommandType::InitC9)).unwrap();
+        rig.execute(&Command::nullary(CommandType::Home)).unwrap();
+        let _ = rig.execute(&Command::new(
+            CommandType::Arm,
+            vec![Value::Location { x, y, z: 200.0 }],
+        ));
+        let mut drained = false;
+        for _ in 0..64 {
+            if rig.execute(&Command::nullary(CommandType::Mvng)).unwrap().return_value
+                == Value::Bool(false)
+            {
+                drained = true;
+                break;
+            }
+        }
+        prop_assert!(drained, "MVNG never went idle");
+    }
+
+    /// Reset restores a rig to a state equivalent to a fresh one for
+    /// any prior traffic: the same probe script then behaves
+    /// identically modulo RNG noise.
+    #[test]
+    fn reset_restores_initial_behaviour(
+        script in proptest::collection::vec(arb_command_type(), 0..40),
+        seed in 0u64..64,
+    ) {
+        let mut rig = LabRig::new(seed);
+        for ct in &script {
+            let _ = rig.execute(&Command::nullary(*ct));
+        }
+        rig.reset();
+        // After reset, uninitialized-device probes fail exactly like on
+        // a fresh rig.
+        for probe in [
+            CommandType::Mvng,
+            CommandType::IkaReadDeviceName,
+            CommandType::TecanGetStatus,
+            CommandType::HomeZStage,
+        ] {
+            prop_assert!(rig.execute(&Command::nullary(probe)).is_err(), "{probe}");
+        }
+    }
+}

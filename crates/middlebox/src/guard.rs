@@ -1,0 +1,531 @@
+//! Middlebox safeguards: the "last level of defense" of §I.
+//!
+//! The paper's motivation for the middlebox is that it can host
+//! safeguards — "alerts, anomaly detection, rule-based IDS, more
+//! complex behavioral-based IDS" — that understand the language in
+//! which the lab computer talks to the automation tools. This module
+//! implements that policy layer:
+//!
+//! - [`GuardPolicy`] — a composable rule set evaluated *before* a
+//!   command reaches a device: per-device allowlists, argument range
+//!   rules, rate limits, and cross-device interlocks (e.g. never open
+//!   the Quantos door while an arm is parked in its sweep — the exact
+//!   rule that would have prevented the crashes of runs 16 and 17).
+//! - [`GuardedMiddlebox`] — a [`Middlebox`] wrapper that consults the
+//!   policy on every issue, rejects violating commands (still tracing
+//!   them, with the rejection as the logged exception), and raises
+//!   [`Alert`]s.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rad_core::{
+    Command, CommandCategory, CommandType, DeviceKind, RadError, SimDuration, SimInstant, Value,
+};
+use rad_devices::geometry::deck;
+
+use crate::middlebox::{IssueOutcome, Middlebox};
+
+/// Why the guard rejected a command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// The command type is not on the device's allowlist.
+    NotAllowlisted {
+        /// The rejected command type.
+        command: CommandType,
+    },
+    /// A numeric argument fell outside its configured range.
+    ArgumentOutOfPolicy {
+        /// The rejected command type.
+        command: CommandType,
+        /// Human-readable description of the violated bound.
+        bound: String,
+    },
+    /// The device exceeded its command-rate budget.
+    RateLimited {
+        /// The throttled device.
+        device: DeviceKind,
+        /// Commands observed in the current window.
+        observed: u32,
+        /// The configured budget.
+        budget: u32,
+    },
+    /// A cross-device interlock fired.
+    Interlock {
+        /// Which interlock fired.
+        rule: &'static str,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::NotAllowlisted { command } => {
+                write!(f, "command {command} is not allowlisted")
+            }
+            Violation::ArgumentOutOfPolicy { command, bound } => {
+                write!(f, "argument of {command} violates policy: {bound}")
+            }
+            Violation::RateLimited {
+                device,
+                observed,
+                budget,
+            } => {
+                write!(
+                    f,
+                    "{device} exceeded rate budget ({observed} > {budget} per window)"
+                )
+            }
+            Violation::Interlock { rule } => write!(f, "interlock fired: {rule}"),
+        }
+    }
+}
+
+/// An alert raised by the guard (delivered to the operator in the real
+/// deployment; accumulated for inspection here).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// When the violating command arrived.
+    pub at: SimInstant,
+    /// The violating command.
+    pub command: Command,
+    /// Why it was rejected.
+    pub violation: Violation,
+}
+
+/// A numeric bound on one positional argument of a command type.
+#[derive(Debug, Clone, PartialEq)]
+struct ArgBound {
+    index: usize,
+    min: f64,
+    max: f64,
+}
+
+/// A composable middlebox policy.
+///
+/// # Examples
+///
+/// ```
+/// use rad_core::{Command, CommandType, Value};
+/// use rad_middlebox::guard::GuardPolicy;
+///
+/// let policy = GuardPolicy::new()
+///     .allow_all()
+///     .bound_argument(CommandType::Sped, 0, 1.0, 200.0);
+/// let ok = Command::new(CommandType::Sped, vec![Value::Float(150.0)]);
+/// let bad = Command::new(CommandType::Sped, vec![Value::Float(450.0)]);
+/// assert!(policy.check(&ok, None).is_ok());
+/// assert!(policy.check(&bad, None).is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GuardPolicy {
+    allow_all: bool,
+    allowlist: BTreeMap<DeviceKind, Vec<CommandType>>,
+    bounds: Vec<(CommandType, ArgBound)>,
+    rate_budgets: BTreeMap<DeviceKind, (u32, SimDuration)>,
+    door_interlock: bool,
+    motion_envelope: Option<(f64, f64)>,
+}
+
+impl GuardPolicy {
+    /// An empty policy that rejects everything (deny by default).
+    pub fn new() -> Self {
+        GuardPolicy::default()
+    }
+
+    /// The paper-flavoured default deployment: everything allowlisted,
+    /// the Quantos door interlock armed, and N9 speed capped at the
+    /// value the Hein Lab uses for attended operation.
+    pub fn recommended() -> Self {
+        GuardPolicy::new()
+            .allow_all()
+            .with_door_interlock()
+            .bound_argument(CommandType::Sped, 0, 1.0, 250.0)
+            .bound_argument(CommandType::TargetMass, 0, 0.1, 1000.0)
+            .bound_argument(CommandType::IkaSetTemperature, 0, 0.0, 150.0)
+    }
+
+    /// Accept every command type (range rules and interlocks still
+    /// apply).
+    #[must_use]
+    pub fn allow_all(mut self) -> Self {
+        self.allow_all = true;
+        self
+    }
+
+    /// Allowlist one command type on its device.
+    #[must_use]
+    pub fn allow(mut self, command: CommandType) -> Self {
+        self.allowlist
+            .entry(command.device())
+            .or_default()
+            .push(command);
+        self
+    }
+
+    /// Allowlist every non-motion command of a device (a conservative
+    /// stance while a new device is commissioned in DIRECT mode).
+    #[must_use]
+    pub fn allow_queries(mut self, device: DeviceKind) -> Self {
+        for ct in CommandType::for_device(device) {
+            if matches!(
+                ct.category(),
+                CommandCategory::Query | CommandCategory::Init
+            ) {
+                self.allowlist.entry(device).or_default().push(ct);
+            }
+        }
+        self
+    }
+
+    /// Bound positional argument `index` of `command` to
+    /// `[min, max]` (as a float; integer arguments are widened).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    #[must_use]
+    pub fn bound_argument(
+        mut self,
+        command: CommandType,
+        index: usize,
+        min: f64,
+        max: f64,
+    ) -> Self {
+        assert!(min <= max, "bound must be ordered");
+        self.bounds.push((command, ArgBound { index, min, max }));
+        self
+    }
+
+    /// Budget a device to `commands` per `window` of simulated time
+    /// (the defense against the joystick-replay flooding attack).
+    #[must_use]
+    pub fn rate_limit(mut self, device: DeviceKind, commands: u32, window: SimDuration) -> Self {
+        self.rate_budgets.insert(device, (commands, window));
+        self
+    }
+
+    /// Arm the Quantos door interlock: `front_door_position("open")`
+    /// is rejected while either arm is inside the door sweep.
+    #[must_use]
+    pub fn with_door_interlock(mut self) -> Self {
+        self.door_interlock = true;
+        self
+    }
+
+    /// Restrict arm motion targets to `x <= max_x`, `y <= max_y`
+    /// (a crude workspace envelope).
+    #[must_use]
+    pub fn with_motion_envelope(mut self, max_x: f64, max_y: f64) -> Self {
+        self.motion_envelope = Some((max_x, max_y));
+        self
+    }
+
+    /// Checks a command against the static rules (allowlist, argument
+    /// bounds, envelope) and, when `lab` is provided, the dynamic
+    /// interlocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Violation`] found.
+    pub fn check(
+        &self,
+        command: &Command,
+        lab: Option<&rad_devices::LabState>,
+    ) -> Result<(), Violation> {
+        let ct = command.command_type();
+        if !self.allow_all {
+            let allowed = self
+                .allowlist
+                .get(&ct.device())
+                .is_some_and(|list| list.contains(&ct));
+            if !allowed {
+                return Err(Violation::NotAllowlisted { command: ct });
+            }
+        }
+        for (bound_ct, bound) in &self.bounds {
+            if *bound_ct != ct {
+                continue;
+            }
+            if let Some(v) = command.args().get(bound.index).and_then(Value::as_float) {
+                if v < bound.min || v > bound.max {
+                    return Err(Violation::ArgumentOutOfPolicy {
+                        command: ct,
+                        bound: format!(
+                            "arg {} = {v} outside [{}, {}]",
+                            bound.index, bound.min, bound.max
+                        ),
+                    });
+                }
+            }
+        }
+        if let Some((max_x, max_y)) = self.motion_envelope {
+            if ct.category() == CommandCategory::Motion {
+                for arg in command.args() {
+                    if let Value::Location { x, y, .. } = arg {
+                        if *x > max_x || *y > max_y {
+                            return Err(Violation::ArgumentOutOfPolicy {
+                                command: ct,
+                                bound: format!(
+                                    "target ({x}, {y}) outside envelope ({max_x}, {max_y})"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if self.door_interlock && ct == CommandType::FrontDoorPosition {
+            let opening = matches!(
+                command.args().first(),
+                Some(Value::Str(s)) if s == "open"
+            ) || matches!(command.args().first(), Some(Value::Bool(true)));
+            if opening {
+                if let Some(lab) = lab {
+                    let sweep = deck::quantos_door_sweep();
+                    if sweep.contains(lab.n9_position) || sweep.contains(lab.ur3e_position) {
+                        return Err(Violation::Interlock {
+                            rule: "quantos door must not open while an arm is in its sweep",
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-device sliding rate-limit state.
+#[derive(Debug, Default)]
+struct RateState {
+    window_start: SimInstant,
+    count: u32,
+}
+
+/// A [`Middlebox`] with the guard policy in front of the devices.
+#[derive(Debug)]
+pub struct GuardedMiddlebox {
+    inner: Middlebox,
+    policy: GuardPolicy,
+    alerts: Vec<Alert>,
+    rate_state: BTreeMap<DeviceKind, RateState>,
+}
+
+impl GuardedMiddlebox {
+    /// Wraps a middlebox with a policy.
+    pub fn new(inner: Middlebox, policy: GuardPolicy) -> Self {
+        GuardedMiddlebox {
+            inner,
+            policy,
+            alerts: Vec::new(),
+            rate_state: BTreeMap::new(),
+        }
+    }
+
+    /// The wrapped middlebox.
+    pub fn middlebox(&self) -> &Middlebox {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped middlebox.
+    pub fn middlebox_mut(&mut self) -> &mut Middlebox {
+        &mut self.inner
+    }
+
+    /// Alerts raised so far.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Finishes the session, yielding the command dataset (rejected
+    /// commands included, with their rejection text as the exception).
+    pub fn into_dataset(self) -> rad_store::CommandDataset {
+        self.inner.into_dataset()
+    }
+
+    /// Issues a command through the guard.
+    ///
+    /// # Errors
+    ///
+    /// - [`RadError::Rpc`] with the violation text when the policy
+    ///   rejects the command (the rejection is traced as an exception,
+    ///   like any other middlebox-observed failure).
+    /// - [`RadError::Device`] when the policy passes but the device
+    ///   faults.
+    pub fn issue(&mut self, command: &Command) -> Result<IssueOutcome, RadError> {
+        let device = command.device();
+        // Rate limiting happens before the static rules so a flood of
+        // disallowed commands is also visible as a flood.
+        if let Some((budget, window)) = self.policy.rate_budgets.get(&device).copied() {
+            let now = self.inner.now();
+            let state = self.rate_state.entry(device).or_default();
+            if now.saturating_duration_since(state.window_start) > window {
+                state.window_start = now;
+                state.count = 0;
+            }
+            state.count += 1;
+            if state.count > budget {
+                let violation = Violation::RateLimited {
+                    device,
+                    observed: state.count,
+                    budget,
+                };
+                return self.reject(command, violation);
+            }
+        }
+        let lab = self.inner.rig().lab().clone();
+        if let Err(violation) = self.policy.check(command, Some(&lab)) {
+            return self.reject(command, violation);
+        }
+        self.inner.issue(command)
+    }
+
+    fn reject(
+        &mut self,
+        command: &Command,
+        violation: Violation,
+    ) -> Result<IssueOutcome, RadError> {
+        let message = format!("guard rejected: {violation}");
+        // Trace the rejected access: the dataset must show attacks that
+        // the guard stopped (that is what makes it a tracing IDS, not a
+        // silent firewall). We reuse the middlebox's tracer through a
+        // zero-latency record by issuing nothing to the device.
+        self.inner.record_rejection(command, &message);
+        self.alerts.push(Alert {
+            at: self.inner.now(),
+            command: command.clone(),
+            violation,
+        });
+        Err(RadError::Rpc(message))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rad_core::Label;
+    use rad_core::ProcedureKind;
+    use rad_core::RunId;
+
+    fn guarded() -> GuardedMiddlebox {
+        GuardedMiddlebox::new(Middlebox::new(0), GuardPolicy::recommended())
+    }
+
+    #[test]
+    fn recommended_policy_passes_a_normal_workflow() {
+        let mut mb = guarded();
+        mb.issue(&Command::nullary(CommandType::InitC9)).unwrap();
+        mb.issue(&Command::nullary(CommandType::Home)).unwrap();
+        mb.issue(&Command::new(CommandType::Sped, vec![Value::Float(150.0)]))
+            .unwrap();
+        assert!(mb.alerts().is_empty());
+    }
+
+    #[test]
+    fn speed_cap_blocks_a_speed_attack() {
+        let mut mb = guarded();
+        mb.issue(&Command::nullary(CommandType::InitC9)).unwrap();
+        let err = mb
+            .issue(&Command::new(CommandType::Sped, vec![Value::Float(450.0)]))
+            .unwrap_err();
+        assert!(err.to_string().contains("violates policy"), "{err}");
+        assert_eq!(mb.alerts().len(), 1);
+        // The device never saw the command: its speed is unchanged.
+        assert_eq!(mb.middlebox().rig().c9().speed(), 150.0);
+    }
+
+    #[test]
+    fn door_interlock_prevents_the_run_17_crash() {
+        let mut mb = guarded();
+        mb.issue(&Command::nullary(CommandType::InitUr3Arm))
+            .unwrap();
+        mb.issue(&Command::nullary(CommandType::InitQuantos))
+            .unwrap();
+        // Park the UR3e in the door sweep (the run-17 geometry).
+        mb.issue(&Command::new(
+            CommandType::MoveToLocation,
+            vec![Value::Location {
+                x: 750.0,
+                y: 230.0,
+                z: 150.0,
+            }],
+        ))
+        .unwrap();
+        // Without the guard this is a collision; with it, a rejection.
+        let err = mb
+            .issue(&Command::new(
+                CommandType::FrontDoorPosition,
+                vec![Value::Str("open".into())],
+            ))
+            .unwrap_err();
+        assert!(err.to_string().contains("interlock"), "{err}");
+        assert!(
+            !mb.middlebox().rig().lab().quantos_door_open,
+            "the door never moved"
+        );
+    }
+
+    #[test]
+    fn deny_by_default_blocks_unlisted_commands() {
+        let policy = GuardPolicy::new().allow_queries(DeviceKind::Ika);
+        let mut mb = GuardedMiddlebox::new(Middlebox::new(0), policy);
+        mb.issue(&Command::nullary(CommandType::InitIka)).unwrap();
+        mb.issue(&Command::nullary(CommandType::IkaReadDeviceName))
+            .unwrap();
+        let err = mb
+            .issue(&Command::nullary(CommandType::IkaStartHeater))
+            .unwrap_err();
+        assert!(err.to_string().contains("not allowlisted"));
+    }
+
+    #[test]
+    fn rate_limit_throttles_floods() {
+        let policy =
+            GuardPolicy::recommended().rate_limit(DeviceKind::C9, 5, SimDuration::from_secs(1));
+        let mut mb = GuardedMiddlebox::new(Middlebox::new(0), policy);
+        mb.issue(&Command::nullary(CommandType::InitC9)).unwrap();
+        let mut rejected = 0;
+        for _ in 0..20 {
+            if mb.issue(&Command::nullary(CommandType::Mvng)).is_err() {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 0, "the flood must hit the budget");
+        // After the window passes, traffic flows again.
+        mb.middlebox_mut().advance(SimDuration::from_secs(2));
+        mb.issue(&Command::nullary(CommandType::Mvng)).unwrap();
+    }
+
+    #[test]
+    fn rejections_are_traced_with_exceptions() {
+        let mut mb = guarded();
+        mb.middlebox_mut()
+            .begin_run(RunId(0), ProcedureKind::Unknown, Label::Unknown);
+        mb.issue(&Command::nullary(CommandType::InitC9)).unwrap();
+        let _ = mb.issue(&Command::new(CommandType::Sped, vec![Value::Float(9999.0)]));
+        let dataset = mb.into_dataset();
+        assert_eq!(dataset.len(), 2);
+        assert!(dataset.traces()[1]
+            .exception()
+            .is_some_and(|e| e.contains("guard rejected")));
+    }
+
+    #[test]
+    fn motion_envelope_rejects_out_of_bounds_targets() {
+        let policy = GuardPolicy::recommended().with_motion_envelope(500.0, 500.0);
+        let mut mb = GuardedMiddlebox::new(Middlebox::new(0), policy);
+        mb.issue(&Command::nullary(CommandType::InitC9)).unwrap();
+        mb.issue(&Command::nullary(CommandType::Home)).unwrap();
+        let err = mb
+            .issue(&Command::new(
+                CommandType::Arm,
+                vec![Value::Location {
+                    x: 900.0,
+                    y: 100.0,
+                    z: 100.0,
+                }],
+            ))
+            .unwrap_err();
+        assert!(err.to_string().contains("envelope"));
+    }
+}

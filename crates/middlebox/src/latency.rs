@@ -1,0 +1,210 @@
+//! Transport latency models for the three deployment modes.
+//!
+//! Fig. 4 of the paper reports the response-time distributions of N9
+//! `ARM` commands: DIRECT mode sits under 10 ms, REMOTE adds ~2 ms with
+//! occasional spikes past 30 ms, and the Azure replay (footnote 1)
+//! averages ~60 ms. [`LatencyModel`] reproduces those distributions
+//! with a log-normal body plus a configurable heavy tail.
+
+use rad_core::{SimDuration, TraceMode};
+use rand::Rng;
+use rand::RngCore;
+
+/// A latency distribution for one transport hop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatencyModel {
+    /// A fixed latency; used by ablation benches and tests.
+    Constant(SimDuration),
+    /// Uniform between two bounds.
+    Uniform {
+        /// Lower bound.
+        low: SimDuration,
+        /// Upper bound (inclusive-ish; sampling is continuous).
+        high: SimDuration,
+    },
+    /// Log-normal body with an optional heavy tail: with probability
+    /// `tail_prob` the sample is multiplied by `tail_scale` (queueing
+    /// hiccups, Windows driver stalls).
+    LogNormal {
+        /// Median of the body, in milliseconds.
+        median_ms: f64,
+        /// Log-space standard deviation (shape).
+        sigma: f64,
+        /// Probability of a tail event.
+        tail_prob: f64,
+        /// Multiplier applied on tail events.
+        tail_scale: f64,
+    },
+}
+
+impl LatencyModel {
+    /// DIRECT mode: lab computer to device, with passive tracing.
+    /// Median ≈ 4 ms, essentially no tail.
+    pub fn direct() -> Self {
+        LatencyModel::LogNormal {
+            median_ms: 4.0,
+            sigma: 0.25,
+            tail_prob: 0.002,
+            tail_scale: 3.0,
+        }
+    }
+
+    /// REMOTE mode: one extra middlebox hop. Median ≈ 6 ms with an
+    /// occasional > 30 ms spike, matching Fig. 4's outliers.
+    pub fn remote() -> Self {
+        LatencyModel::LogNormal {
+            median_ms: 6.0,
+            sigma: 0.30,
+            tail_prob: 0.02,
+            tail_scale: 7.0,
+        }
+    }
+
+    /// CLOUD replay (footnote 1): WAN round trip to an Azure F16s v2.
+    /// Average ≈ 60 ms.
+    pub fn cloud() -> Self {
+        LatencyModel::LogNormal {
+            median_ms: 58.0,
+            sigma: 0.18,
+            tail_prob: 0.01,
+            tail_scale: 3.0,
+        }
+    }
+
+    /// The paper-calibrated model for a trace mode.
+    pub fn for_mode(mode: TraceMode) -> Self {
+        match mode {
+            TraceMode::Direct => LatencyModel::direct(),
+            TraceMode::Remote => LatencyModel::remote(),
+            TraceMode::Cloud => LatencyModel::cloud(),
+        }
+    }
+
+    /// Draws one latency sample.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> SimDuration {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform { low, high } => {
+                let lo = low.as_micros();
+                let hi = high.as_micros().max(lo + 1);
+                SimDuration::from_micros(rng.gen_range(lo..hi))
+            }
+            LatencyModel::LogNormal {
+                median_ms,
+                sigma,
+                tail_prob,
+                tail_scale,
+            } => {
+                // Box-Muller standard normal from two uniforms.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let mut ms = median_ms * (sigma * z).exp();
+                if rng.gen_bool((*tail_prob).clamp(0.0, 1.0)) {
+                    ms *= tail_scale;
+                }
+                SimDuration::from_secs_f64(ms / 1e3)
+            }
+        }
+    }
+
+    /// Mean of `n` samples, in milliseconds (handy for calibration
+    /// tests and the Fig. 4 harness).
+    pub fn mean_ms(&self, rng: &mut dyn RngCore, n: usize) -> f64 {
+        assert!(n > 0, "need at least one sample");
+        (0..n)
+            .map(|_| self.sample(rng).as_millis_f64())
+            .sum::<f64>()
+            / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn constant_model_is_constant() {
+        let m = LatencyModel::Constant(SimDuration::from_millis(5));
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut r), SimDuration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let m = LatencyModel::Uniform {
+            low: SimDuration::from_millis(1),
+            high: SimDuration::from_millis(3),
+        };
+        let mut r = rng();
+        for _ in 0..1000 {
+            let s = m.sample(&mut r);
+            assert!(s >= SimDuration::from_millis(1) && s <= SimDuration::from_millis(3));
+        }
+    }
+
+    #[test]
+    fn remote_adds_about_two_ms_over_direct() {
+        // §III: "REMOTE mode increases average response time by around
+        // 2 ms".
+        let mut r = rng();
+        let direct = LatencyModel::direct().mean_ms(&mut r, 20_000);
+        let remote = LatencyModel::remote().mean_ms(&mut r, 20_000);
+        let delta = remote - direct;
+        assert!(
+            (1.0..4.0).contains(&delta),
+            "remote-direct delta {delta} ms"
+        );
+    }
+
+    #[test]
+    fn both_local_modes_stay_under_10ms_on_average() {
+        let mut r = rng();
+        assert!(LatencyModel::direct().mean_ms(&mut r, 10_000) < 10.0);
+        assert!(LatencyModel::remote().mean_ms(&mut r, 10_000) < 10.0);
+    }
+
+    #[test]
+    fn remote_occasionally_exceeds_30ms() {
+        // Fig. 4 shows outliers beyond 30 ms in REMOTE mode.
+        let m = LatencyModel::remote();
+        let mut r = rng();
+        let spikes = (0..20_000)
+            .filter(|_| m.sample(&mut r) > SimDuration::from_millis(30))
+            .count();
+        assert!(spikes > 0, "expected at least one >30 ms spike");
+        assert!(spikes < 2_000, "spikes should be rare, got {spikes}");
+    }
+
+    #[test]
+    fn cloud_averages_an_order_of_magnitude_higher() {
+        // Footnote 1: ~60 ms cloud vs <10 ms local.
+        let mut r = rng();
+        let cloud = LatencyModel::cloud().mean_ms(&mut r, 20_000);
+        assert!((45.0..80.0).contains(&cloud), "cloud mean {cloud} ms");
+    }
+
+    #[test]
+    fn for_mode_maps_all_modes() {
+        assert_eq!(
+            LatencyModel::for_mode(TraceMode::Direct),
+            LatencyModel::direct()
+        );
+        assert_eq!(
+            LatencyModel::for_mode(TraceMode::Remote),
+            LatencyModel::remote()
+        );
+        assert_eq!(
+            LatencyModel::for_mode(TraceMode::Cloud),
+            LatencyModel::cloud()
+        );
+    }
+}

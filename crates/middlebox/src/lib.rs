@@ -1,0 +1,55 @@
+//! RATracer, reproduced: interception, the trusted middlebox, and the
+//! trace pipeline.
+//!
+//! The original RATracer virtualizes the Python classes on the data
+//! collection boundary (monkey patching), relays every device command
+//! through a trusted middlebox over gRPC, and logs every access. This
+//! crate reproduces that architecture in Rust:
+//!
+//! - [`LatencyModel`] — per-hop latency distributions calibrated to the
+//!   paper's Fig. 4 (DIRECT < 10 ms, REMOTE ≈ DIRECT + 2 ms with an
+//!   occasional > 30 ms tail, CLOUD ≈ 60 ms).
+//! - [`rpc`] — a genuinely threaded RPC substrate: length-prefixed
+//!   frames over in-process duplex transports, a server thread that
+//!   owns the device rig, and a blocking client with timeouts. This is
+//!   the gRPC substitute.
+//! - [`Middlebox`] — the deterministic simulation path used by the
+//!   dataset synthesizer: it routes commands per-device according to a
+//!   [`ModeConfig`] (DIRECT / REMOTE / CLOUD, hybrids allowed, exactly
+//!   as §III describes), samples transport latency, executes on the
+//!   simulated rig, and logs a [`rad_core::TraceObject`] for every
+//!   access — including faults, which surface as logged exceptions.
+//! - [`PowerMonitor`] — the 25 Hz UR3e power monitor of Fig. 3
+//!   (bottom).
+//!
+//! # Examples
+//!
+//! ```
+//! use rad_core::{Command, CommandType};
+//! use rad_middlebox::Middlebox;
+//!
+//! let mut mb = Middlebox::new(1);
+//! mb.issue(&Command::nullary(CommandType::InitC9))?;
+//! mb.issue(&Command::nullary(CommandType::Home))?;
+//! let dataset = mb.into_dataset();
+//! assert_eq!(dataset.len(), 2);
+//! # Ok::<(), rad_core::RadError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod guard;
+pub mod latency;
+pub mod middlebox;
+pub mod monitor;
+pub mod rpc;
+pub mod tracer;
+
+pub use cluster::{RpcCluster, ShardPlan};
+pub use guard::{Alert, GuardPolicy, GuardedMiddlebox, Violation};
+pub use latency::LatencyModel;
+pub use middlebox::{IssueOutcome, Middlebox, ModeConfig};
+pub use monitor::PowerMonitor;
+pub use tracer::Tracer;

@@ -1,0 +1,356 @@
+//! The deterministic middlebox: virtualization + routing + tracing.
+//!
+//! [`Middlebox`] is the simulation-facing face of RATracer. It plays
+//! both roles of Fig. 1 at once: the virtualized classes on the lab
+//! computer (every command is intercepted) and the trusted middlebox
+//! (commands are relayed to the devices and responses come back).
+//! Per-device modes reproduce §III's deployment story: DIRECT devices
+//! are only traced, REMOTE devices are relayed, hybrids mix both, and
+//! CLOUD reproduces the Azure replay of footnote 1.
+
+use std::collections::BTreeMap;
+
+use rad_core::{
+    Command, DeviceId, DeviceKind, Label, ProcedureKind, RadError, RunId, SimDuration, SimInstant,
+    TraceMode, Value,
+};
+use rad_devices::LabRig;
+use rad_store::CommandDataset;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::latency::LatencyModel;
+use crate::tracer::Tracer;
+
+/// Per-device trace-mode assignment.
+///
+/// # Examples
+///
+/// ```
+/// use rad_core::{DeviceKind, TraceMode};
+/// use rad_middlebox::ModeConfig;
+///
+/// // The hybrid §III describes: a newly-arrived device runs DIRECT
+/// // while IT sorts out its cabling, everything else runs REMOTE.
+/// let cfg = ModeConfig::all(TraceMode::Remote).with(DeviceKind::Quantos, TraceMode::Direct);
+/// assert_eq!(cfg.mode_for(DeviceKind::Quantos), TraceMode::Direct);
+/// assert_eq!(cfg.mode_for(DeviceKind::C9), TraceMode::Remote);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModeConfig {
+    default: TraceMode,
+    overrides: BTreeMap<DeviceKind, TraceMode>,
+}
+
+impl ModeConfig {
+    /// Every device in the same mode.
+    pub fn all(mode: TraceMode) -> Self {
+        ModeConfig {
+            default: mode,
+            overrides: BTreeMap::new(),
+        }
+    }
+
+    /// Overrides the mode of one device.
+    #[must_use]
+    pub fn with(mut self, device: DeviceKind, mode: TraceMode) -> Self {
+        self.overrides.insert(device, mode);
+        self
+    }
+
+    /// The mode a device runs in.
+    pub fn mode_for(&self, device: DeviceKind) -> TraceMode {
+        self.overrides.get(&device).copied().unwrap_or(self.default)
+    }
+}
+
+impl Default for ModeConfig {
+    fn default() -> Self {
+        ModeConfig::all(TraceMode::Remote)
+    }
+}
+
+/// What the lab computer observes for one issued command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IssueOutcome {
+    /// The device's return value.
+    pub value: Value,
+    /// End-to-end response time (transport + middlebox processing).
+    pub response_time: SimDuration,
+    /// How long the device stays busy executing (motions take seconds;
+    /// the ack comes back immediately, as on the real hardware).
+    pub busy_for: SimDuration,
+}
+
+/// The assembled tracing middlebox over a simulated lab rig.
+#[derive(Debug)]
+pub struct Middlebox {
+    rig: LabRig,
+    tracer: Tracer,
+    modes: ModeConfig,
+    latency_overrides: BTreeMap<DeviceKind, LatencyModel>,
+    rng: ChaCha8Rng,
+}
+
+impl Middlebox {
+    /// A middlebox over a fresh rig, all devices in REMOTE mode, with
+    /// noise derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Middlebox {
+            rig: LabRig::new(seed),
+            tracer: Tracer::new(),
+            modes: ModeConfig::default(),
+            latency_overrides: BTreeMap::new(),
+            rng: ChaCha8Rng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Replaces the per-device mode configuration.
+    #[must_use]
+    pub fn with_modes(mut self, modes: ModeConfig) -> Self {
+        self.modes = modes;
+        self
+    }
+
+    /// Overrides the latency model of one device (ablation benches).
+    #[must_use]
+    pub fn with_latency(mut self, device: DeviceKind, model: LatencyModel) -> Self {
+        self.latency_overrides.insert(device, model);
+        self
+    }
+
+    /// Replaces the tracer (e.g. one with a document-store mirror).
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The simulated rig (device state inspection).
+    pub fn rig(&self) -> &LabRig {
+        &self.rig
+    }
+
+    /// Mutable rig access (workloads stage payloads and anomaly
+    /// geometry through this).
+    pub fn rig_mut(&mut self) -> &mut LabRig {
+        &mut self.rig
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimInstant {
+        self.tracer.now()
+    }
+
+    /// Advances simulated time without issuing a command (device busy
+    /// waits, operator think time, overnight idle gaps).
+    pub fn advance(&mut self, delta: SimDuration) {
+        self.tracer.advance(delta);
+    }
+
+    /// Opens a labelled procedure run (see [`Tracer::begin_run`]).
+    pub fn begin_run(&mut self, run_id: RunId, procedure: ProcedureKind, label: Label) {
+        self.tracer.begin_run(run_id, procedure, label);
+    }
+
+    /// Attaches an operator note to the active run.
+    pub fn annotate_run(&mut self, note: &str) {
+        self.tracer.annotate_run(note);
+    }
+
+    /// Closes the active procedure run.
+    pub fn end_run(&mut self) {
+        self.tracer.end_run();
+    }
+
+    /// Number of trace objects captured so far.
+    pub fn trace_count(&self) -> usize {
+        self.tracer.len()
+    }
+
+    /// Read-only view of the traces captured so far (the campaign
+    /// synthesizer uses this to steer per-device trace counts).
+    pub fn traces(&self) -> &[rad_core::TraceObject] {
+        self.tracer.traces()
+    }
+
+    /// Issues one command through the interception boundary: samples
+    /// the transport latency for the device's mode, executes on the
+    /// rig, logs the trace object (faults included), and advances the
+    /// simulated clock by the response time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadError::Device`] when the device faults. The fault
+    /// is still traced, exactly like RATracer logging an exception.
+    pub fn issue(&mut self, command: &Command) -> Result<IssueOutcome, RadError> {
+        let device = DeviceId::primary(command.device());
+        let mode = self.modes.mode_for(device.kind());
+        let model = self
+            .latency_overrides
+            .get(&device.kind())
+            .cloned()
+            .unwrap_or_else(|| LatencyModel::for_mode(mode));
+        let transport = model.sample(&mut self.rng);
+        match self.rig.execute(command) {
+            Ok(outcome) => {
+                // Response time = transport + the controller's ack
+                // processing; device busy time runs concurrently.
+                let response_time = transport;
+                self.tracer.record(
+                    device,
+                    command,
+                    mode,
+                    outcome.return_value.clone(),
+                    None,
+                    response_time,
+                );
+                self.tracer.advance(response_time);
+                Ok(IssueOutcome {
+                    value: outcome.return_value,
+                    response_time,
+                    busy_for: outcome.busy_for,
+                })
+            }
+            Err(fault) => {
+                let message = fault.to_string();
+                self.tracer.record(
+                    device,
+                    command,
+                    mode,
+                    Value::Unit,
+                    Some(&message),
+                    transport,
+                );
+                self.tracer.advance(transport);
+                Err(RadError::Device(fault))
+            }
+        }
+    }
+
+    /// Issues a command and, if the device reports a busy period,
+    /// advances the clock past it — the blocking convenience used for
+    /// non-polled devices.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Middlebox::issue`].
+    pub fn issue_blocking(&mut self, command: &Command) -> Result<IssueOutcome, RadError> {
+        let outcome = self.issue(command)?;
+        self.tracer.advance(outcome.busy_for);
+        Ok(outcome)
+    }
+
+    /// Records a command that the guard rejected before it reached any
+    /// device: traced with the rejection text as the exception and
+    /// zero response time (the middlebox answered locally).
+    pub fn record_rejection(&mut self, command: &Command, message: &str) {
+        let device = DeviceId::primary(command.device());
+        let mode = self.modes.mode_for(device.kind());
+        self.tracer.record(
+            device,
+            command,
+            mode,
+            Value::Unit,
+            Some(message),
+            SimDuration::ZERO,
+        );
+    }
+
+    /// Finishes the session, yielding the curated command dataset.
+    pub fn into_dataset(self) -> CommandDataset {
+        self.tracer.into_dataset()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rad_core::CommandType;
+
+    #[test]
+    fn issue_traces_and_advances_time() {
+        let mut mb = Middlebox::new(0);
+        let before = mb.now();
+        mb.issue(&Command::nullary(CommandType::InitIka)).unwrap();
+        assert_eq!(mb.trace_count(), 1);
+        assert!(mb.now() > before);
+    }
+
+    #[test]
+    fn faults_are_traced_as_exceptions() {
+        let mut mb = Middlebox::new(0);
+        // Reading the IKA before init faults.
+        let err = mb
+            .issue(&Command::nullary(CommandType::IkaReadDeviceName))
+            .unwrap_err();
+        assert!(matches!(err, RadError::Device(_)));
+        let ds = mb.into_dataset();
+        assert_eq!(ds.len(), 1);
+        assert!(ds.traces()[0].exception().unwrap().contains("not opened"));
+    }
+
+    #[test]
+    fn hybrid_modes_stamp_traces_per_device() {
+        let cfg = ModeConfig::all(TraceMode::Remote).with(DeviceKind::Ika, TraceMode::Direct);
+        let mut mb = Middlebox::new(0).with_modes(cfg);
+        mb.issue(&Command::nullary(CommandType::InitIka)).unwrap();
+        mb.issue(&Command::nullary(CommandType::InitC9)).unwrap();
+        let ds = mb.into_dataset();
+        assert_eq!(ds.traces()[0].mode(), TraceMode::Direct);
+        assert_eq!(ds.traces()[1].mode(), TraceMode::Remote);
+    }
+
+    #[test]
+    fn blocking_issue_skips_past_device_busy_time() {
+        let mut mb = Middlebox::new(0);
+        mb.issue(&Command::nullary(CommandType::InitC9)).unwrap();
+        let before = mb.now();
+        let outcome = mb
+            .issue_blocking(&Command::nullary(CommandType::Home))
+            .unwrap();
+        assert!(outcome.busy_for >= SimDuration::from_secs(3));
+        assert!(mb.now().duration_since(before) >= outcome.busy_for);
+    }
+
+    #[test]
+    fn run_labels_propagate_through_issue() {
+        let mut mb = Middlebox::new(0);
+        mb.begin_run(RunId(4), ProcedureKind::JoystickMovements, Label::Benign);
+        mb.issue(&Command::nullary(CommandType::InitC9)).unwrap();
+        mb.end_run();
+        let ds = mb.into_dataset();
+        assert_eq!(ds.traces()[0].run_id(), Some(RunId(4)));
+        assert_eq!(ds.supervised_runs().len(), 1);
+    }
+
+    #[test]
+    fn constant_latency_override_is_exact() {
+        let mut mb = Middlebox::new(0).with_latency(
+            DeviceKind::Ika,
+            LatencyModel::Constant(SimDuration::from_millis(9)),
+        );
+        mb.issue(&Command::nullary(CommandType::InitIka)).unwrap();
+        let ds = mb.into_dataset();
+        assert_eq!(ds.traces()[0].response_time(), SimDuration::from_millis(9));
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_response_times() {
+        let run = |seed| {
+            let mut mb = Middlebox::new(seed);
+            mb.issue(&Command::nullary(CommandType::InitC9)).unwrap();
+            let mut rts = Vec::new();
+            for _ in 0..20 {
+                rts.push(
+                    mb.issue(&Command::nullary(CommandType::Mvng))
+                        .unwrap()
+                        .response_time,
+                );
+            }
+            rts
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

@@ -1,0 +1,179 @@
+//! The 25 Hz UR3e power monitor (Fig. 3, bottom).
+//!
+//! The original RATracer runs a small Python loop that polls the
+//! UR3e's RTDE interface at 25 Hz and appends each sample to the power
+//! log. [`PowerMonitor`] is the simulated counterpart: workloads tell
+//! it which trajectory the arm executed (and with what payload), and
+//! it synthesizes the telemetry via [`rad_power`] and accumulates the
+//! power dataset, applying the quiescent-storage policy of §IV.
+
+use rad_core::{ProcedureKind, RunId};
+use rad_power::{CurrentProfile, TrajectorySegment, Ur3e};
+use rad_store::{PowerDataset, PowerRecording};
+
+/// Accumulates UR3e telemetry recordings into a [`PowerDataset`].
+#[derive(Debug)]
+pub struct PowerMonitor {
+    arm: Ur3e,
+    dataset: PowerDataset,
+    seed: u64,
+    store_quiescent: bool,
+    recordings: u32,
+}
+
+impl PowerMonitor {
+    /// A monitor over the default arm model; quiescent ticks are
+    /// stored (the "days with some activity" policy).
+    pub fn new(seed: u64) -> Self {
+        PowerMonitor {
+            arm: Ur3e::new(),
+            dataset: PowerDataset::new(),
+            seed,
+            store_quiescent: true,
+            recordings: 0,
+        }
+    }
+
+    /// A monitor with a custom arm model (ablations).
+    pub fn with_arm(mut self, arm: Ur3e) -> Self {
+        self.arm = arm;
+        self
+    }
+
+    /// Configures whether quiescent ticks are stored.
+    #[must_use]
+    pub fn store_quiescent(mut self, keep: bool) -> Self {
+        self.store_quiescent = keep;
+        self
+    }
+
+    /// The arm model in use.
+    pub fn arm(&self) -> &Ur3e {
+        &self.arm
+    }
+
+    /// Records the telemetry of one executed trajectory.
+    ///
+    /// Returns the profile for immediate analysis; the same profile is
+    /// appended to the dataset.
+    pub fn record_motion(
+        &mut self,
+        procedure: ProcedureKind,
+        run_id: RunId,
+        description: &str,
+        segments: &[TrajectorySegment],
+        payload_kg: f64,
+    ) -> CurrentProfile {
+        let seed = self.seed.wrapping_add(u64::from(self.recordings));
+        self.recordings += 1;
+        let profile = self.arm.current_profile(segments, payload_kg, seed);
+        let stored = if self.store_quiescent {
+            profile.clone()
+        } else {
+            CurrentProfile::from_samples(
+                profile
+                    .samples()
+                    .iter()
+                    .filter(|s| !s.is_quiescent())
+                    .cloned()
+                    .collect(),
+            )
+        };
+        self.dataset.push(PowerRecording {
+            procedure,
+            run_id,
+            description: description.to_owned(),
+            profile: stored,
+        });
+        profile
+    }
+
+    /// Records a quiescent stretch (the arm parked), honouring the
+    /// storage policy.
+    pub fn record_idle(
+        &mut self,
+        procedure: ProcedureKind,
+        run_id: RunId,
+        pose: [f64; rad_power::JOINTS],
+        ticks: usize,
+    ) {
+        if !self.store_quiescent {
+            return;
+        }
+        let seed = self.seed.wrapping_add(u64::from(self.recordings));
+        self.recordings += 1;
+        let profile = self.arm.quiescent_profile(pose, ticks, seed);
+        self.dataset.push(PowerRecording {
+            procedure,
+            run_id,
+            description: "quiescent".to_owned(),
+            profile,
+        });
+    }
+
+    /// Number of recordings captured.
+    pub fn len(&self) -> usize {
+        self.dataset.recordings().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.dataset.recordings().is_empty()
+    }
+
+    /// Finishes monitoring, yielding the power dataset.
+    pub fn into_dataset(self) -> PowerDataset {
+        self.dataset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg() -> TrajectorySegment {
+        TrajectorySegment::joint_move(Ur3e::named_pose(0), Ur3e::named_pose(1), 1.0)
+    }
+
+    #[test]
+    fn record_motion_appends_to_dataset() {
+        let mut mon = PowerMonitor::new(0);
+        let profile = mon.record_motion(
+            ProcedureKind::VelocitySweep,
+            RunId(0),
+            "v=1.0rad/s",
+            &[seg()],
+            0.0,
+        );
+        assert!(!profile.is_empty());
+        let ds = mon.into_dataset();
+        assert_eq!(ds.recordings().len(), 1);
+        assert_eq!(ds.recordings()[0].description, "v=1.0rad/s");
+        assert_eq!(ds.recordings()[0].profile.len(), profile.len());
+    }
+
+    #[test]
+    fn quiescent_policy_drops_idle_ticks() {
+        let mut mon = PowerMonitor::new(0).store_quiescent(false);
+        mon.record_idle(ProcedureKind::Unknown, RunId(0), Ur3e::named_pose(0), 100);
+        assert!(
+            mon.is_empty(),
+            "idle stretches are not stored under the strict policy"
+        );
+        let kept = mon.record_motion(ProcedureKind::Unknown, RunId(0), "move", &[seg()], 0.0);
+        let ds = mon.into_dataset();
+        assert!(ds.recordings()[0].profile.len() <= kept.len());
+    }
+
+    #[test]
+    fn successive_recordings_use_fresh_noise() {
+        let mut mon = PowerMonitor::new(7);
+        let a = mon.record_motion(ProcedureKind::VelocitySweep, RunId(0), "a", &[seg()], 0.0);
+        let b = mon.record_motion(ProcedureKind::VelocitySweep, RunId(1), "b", &[seg()], 0.0);
+        assert_ne!(
+            a.joint_current(1),
+            b.joint_current(1),
+            "noise differs across recordings"
+        );
+    }
+}

@@ -1,0 +1,426 @@
+//! The RPC substrate: the gRPC substitute between lab computer and
+//! middlebox.
+//!
+//! RATracer tunnels each intercepted call through gRPC. This module
+//! reproduces the moving parts that matter for a middlebox deployment:
+//!
+//! - a length-prefixed [`FrameCodec`] that reassembles frames from an
+//!   arbitrarily-chunked byte stream,
+//! - [`Duplex`] in-process byte transports (the socket substitute),
+//! - a [`RpcServer`] thread that owns the device rig and executes one
+//!   request at a time — the single RPC server loop of the real
+//!   deployment, and
+//! - a blocking [`RpcClient`] with per-call timeouts.
+//!
+//! # Examples
+//!
+//! ```
+//! use rad_core::{Command, CommandType};
+//! use rad_devices::LabRig;
+//! use rad_middlebox::rpc::{Duplex, RpcClient, RpcServer};
+//! use std::time::Duration;
+//!
+//! let (client_side, server_side) = Duplex::pair();
+//! let server = RpcServer::spawn(LabRig::new(0), server_side);
+//! let mut client = RpcClient::new(client_side);
+//! let value = client.call(&Command::nullary(CommandType::InitIka), Duration::from_secs(1))?;
+//! assert_eq!(value, rad_core::Value::Unit);
+//! drop(client); // closing the transport stops the server loop
+//! server.join().expect("server thread exits cleanly");
+//! # Ok::<(), rad_core::RadError>(())
+//! ```
+
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use rad_core::{Command, RadError, Value};
+use rad_devices::LabRig;
+use serde::{Deserialize, Serialize};
+
+/// Maximum accepted frame size (defensive bound against corrupt length
+/// prefixes).
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// A request frame: one command invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RpcRequest {
+    /// Client-assigned correlation id.
+    pub id: u64,
+    /// The command to execute on the rig.
+    pub command: Command,
+}
+
+/// A response frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RpcResponse {
+    /// Echoed correlation id.
+    pub id: u64,
+    /// The return value, or the device fault rendered as a string (the
+    /// exception text RATracer logs).
+    pub result: Result<Value, String>,
+}
+
+/// Length-prefixed frame assembler: 4-byte big-endian length followed
+/// by the payload.
+///
+/// # Examples
+///
+/// ```
+/// use rad_middlebox::rpc::FrameCodec;
+///
+/// let frame = FrameCodec::encode(b"hello");
+/// let mut codec = FrameCodec::new();
+/// // Feed the frame one byte at a time: it still reassembles.
+/// for b in frame.iter() {
+///     codec.push(&[*b]);
+/// }
+/// assert_eq!(codec.next_frame().unwrap().unwrap().as_ref(), b"hello");
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameCodec {
+    buf: BytesMut,
+}
+
+impl FrameCodec {
+    /// An empty codec.
+    pub fn new() -> Self {
+        FrameCodec::default()
+    }
+
+    /// Encodes one payload as a framed byte string.
+    pub fn encode(payload: &[u8]) -> Bytes {
+        let mut out = BytesMut::with_capacity(payload.len() + 4);
+        out.put_u32(payload.len() as u32);
+        out.put_slice(payload);
+        out.freeze()
+    }
+
+    /// Appends raw bytes received from the transport.
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.buf.put_slice(chunk);
+    }
+
+    /// Extracts the next complete frame, if one has fully arrived.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadError::Rpc`] when the length prefix exceeds
+    /// [`MAX_FRAME_BYTES`] — the stream is unrecoverable at that point.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, RadError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(RadError::Rpc(format!("frame length {len} exceeds maximum")));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        Ok(Some(self.buf.split_to(len).freeze()))
+    }
+}
+
+/// One side of an in-process byte-stream transport.
+///
+/// Stands in for a TCP socket between lab computer and middlebox: each
+/// side can send byte chunks and receive the peer's chunks. Dropping a
+/// side disconnects the stream.
+#[derive(Debug)]
+pub struct Duplex {
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+}
+
+impl Duplex {
+    /// Creates a connected pair of transport endpoints.
+    pub fn pair() -> (Duplex, Duplex) {
+        let (a_tx, a_rx) = unbounded();
+        let (b_tx, b_rx) = unbounded();
+        (Duplex { tx: a_tx, rx: b_rx }, Duplex { tx: b_tx, rx: a_rx })
+    }
+
+    /// Sends one chunk to the peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadError::Rpc`] if the peer has disconnected.
+    pub fn send(&self, chunk: Bytes) -> Result<(), RadError> {
+        self.tx
+            .send(chunk)
+            .map_err(|_| RadError::Rpc("peer disconnected".into()))
+    }
+
+    /// Receives the next chunk, waiting up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadError::Rpc`] on timeout or disconnect; the message
+    /// distinguishes the two.
+    pub fn recv(&self, timeout: Duration) -> Result<Bytes, RadError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => RadError::Rpc("receive timed out".into()),
+            RecvTimeoutError::Disconnected => RadError::Rpc("peer disconnected".into()),
+        })
+    }
+
+    /// Receives the next chunk, blocking until the peer sends or
+    /// disconnects. Returns `None` on disconnect.
+    pub fn recv_blocking(&self) -> Option<Bytes> {
+        self.rx.recv().ok()
+    }
+}
+
+/// The middlebox's RPC server loop.
+///
+/// Owns the [`LabRig`]; executes one request at a time in arrival
+/// order, exactly like the single gRPC service thread of the original
+/// deployment.
+#[derive(Debug)]
+pub struct RpcServer;
+
+impl RpcServer {
+    /// Spawns the server thread. The loop exits when the client side
+    /// disconnects. The returned handle yields the rig back so tests
+    /// can inspect final device state.
+    pub fn spawn(mut rig: LabRig, transport: Duplex) -> JoinHandle<LabRig> {
+        std::thread::spawn(move || {
+            let mut codec = FrameCodec::new();
+            'outer: while let Some(chunk) = transport.recv_blocking() {
+                codec.push(&chunk);
+                loop {
+                    let frame = match codec.next_frame() {
+                        Ok(Some(f)) => f,
+                        Ok(None) => break,
+                        Err(_) => break 'outer, // unrecoverable stream
+                    };
+                    let Ok(request) = serde_json::from_slice::<RpcRequest>(&frame) else {
+                        // Malformed request: drop the connection, the
+                        // client will observe a disconnect.
+                        break 'outer;
+                    };
+                    let result = rig
+                        .execute(&request.command)
+                        .map(|outcome| outcome.return_value)
+                        .map_err(|fault| fault.to_string());
+                    let response = RpcResponse {
+                        id: request.id,
+                        result,
+                    };
+                    let payload =
+                        serde_json::to_vec(&response).expect("responses always serialize");
+                    if transport.send(FrameCodec::encode(&payload)).is_err() {
+                        break 'outer;
+                    }
+                }
+            }
+            rig
+        })
+    }
+}
+
+/// Blocking RPC client used by the (simulated) lab computer.
+#[derive(Debug)]
+pub struct RpcClient {
+    transport: Duplex,
+    codec: FrameCodec,
+    next_id: u64,
+}
+
+impl RpcClient {
+    /// Wraps a transport endpoint.
+    pub fn new(transport: Duplex) -> Self {
+        RpcClient {
+            transport,
+            codec: FrameCodec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Sends `command` and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// - [`RadError::Rpc`] on timeout, disconnect, or protocol errors.
+    /// - [`RadError::Device`]-shaped failures come back as
+    ///   [`RadError::Rpc`] with the fault text, since the fault crossed
+    ///   the wire as a string — mirroring how RATracer logs remote
+    ///   exceptions.
+    pub fn call(&mut self, command: &Command, timeout: Duration) -> Result<Value, RadError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = RpcRequest {
+            id,
+            command: command.clone(),
+        };
+        let payload = serde_json::to_vec(&request)
+            .map_err(|e| RadError::Rpc(format!("encode failure: {e}")))?;
+        self.transport.send(FrameCodec::encode(&payload))?;
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(frame) = self.codec.next_frame()? {
+                let response: RpcResponse = serde_json::from_slice(&frame)
+                    .map_err(|e| RadError::Rpc(format!("decode failure: {e}")))?;
+                if response.id != id {
+                    // A stale response from a timed-out earlier call:
+                    // skip it and keep waiting for ours.
+                    continue;
+                }
+                return response.result.map_err(RadError::Rpc);
+            }
+            let remaining = deadline
+                .checked_duration_since(std::time::Instant::now())
+                .ok_or_else(|| RadError::Rpc("receive timed out".into()))?;
+            let chunk = self.transport.recv(remaining)?;
+            self.codec.push(&chunk);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rad_core::CommandType;
+
+    const T: Duration = Duration::from_secs(2);
+
+    #[test]
+    fn frame_codec_round_trips_chunked_input() {
+        let payloads: [&[u8]; 3] = [b"a", b"hello world", &[0u8; 1000]];
+        let mut stream = BytesMut::new();
+        for p in payloads {
+            stream.put_slice(&FrameCodec::encode(p));
+        }
+        // Feed in 7-byte chunks.
+        let mut codec = FrameCodec::new();
+        let mut decoded = Vec::new();
+        for chunk in stream.chunks(7) {
+            codec.push(chunk);
+            while let Some(frame) = codec.next_frame().unwrap() {
+                decoded.push(frame);
+            }
+        }
+        assert_eq!(decoded.len(), 3);
+        assert_eq!(decoded[1].as_ref(), b"hello world");
+        assert_eq!(decoded[2].len(), 1000);
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut codec = FrameCodec::new();
+        codec.push(&(MAX_FRAME_BYTES as u32 + 1).to_be_bytes());
+        assert!(codec.next_frame().is_err());
+    }
+
+    #[test]
+    fn empty_frame_round_trips() {
+        let mut codec = FrameCodec::new();
+        codec.push(&FrameCodec::encode(b""));
+        assert_eq!(codec.next_frame().unwrap().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn call_executes_on_the_remote_rig() {
+        let (client_side, server_side) = Duplex::pair();
+        let server = RpcServer::spawn(LabRig::new(0), server_side);
+        let mut client = RpcClient::new(client_side);
+        client
+            .call(&Command::nullary(CommandType::InitC9), T)
+            .unwrap();
+        client
+            .call(&Command::nullary(CommandType::Home), T)
+            .unwrap();
+        drop(client);
+        let rig = server.join().unwrap();
+        assert!(
+            rig.c9().is_homed(),
+            "state changes happened on the server's rig"
+        );
+    }
+
+    #[test]
+    fn device_faults_cross_the_wire_as_exceptions() {
+        let (client_side, server_side) = Duplex::pair();
+        let _server = RpcServer::spawn(LabRig::new(0), server_side);
+        let mut client = RpcClient::new(client_side);
+        // Motion before homing raises InvalidState on the device.
+        client
+            .call(&Command::nullary(CommandType::InitC9), T)
+            .unwrap();
+        let err = client
+            .call(
+                &Command::new(
+                    CommandType::Arm,
+                    vec![Value::Location {
+                        x: 10.0,
+                        y: 0.0,
+                        z: 200.0,
+                    }],
+                ),
+                T,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("not homed"), "{err}");
+    }
+
+    #[test]
+    fn sequential_calls_preserve_order() {
+        let (client_side, server_side) = Duplex::pair();
+        let _server = RpcServer::spawn(LabRig::new(0), server_side);
+        let mut client = RpcClient::new(client_side);
+        client
+            .call(&Command::nullary(CommandType::InitTecan), T)
+            .unwrap();
+        client
+            .call(&Command::nullary(CommandType::TecanSetHomePosition), T)
+            .unwrap();
+        // The homing move keeps Q busy for a few polls, then idle.
+        let mut saw_idle = false;
+        for _ in 0..32 {
+            let v = client
+                .call(&Command::nullary(CommandType::TecanGetStatus), T)
+                .unwrap();
+            if v == Value::Str("idle".into()) {
+                saw_idle = true;
+                break;
+            }
+        }
+        assert!(saw_idle);
+    }
+
+    #[test]
+    fn client_times_out_when_server_is_gone() {
+        let (client_side, server_side) = Duplex::pair();
+        drop(server_side);
+        let mut client = RpcClient::new(client_side);
+        let err = client
+            .call(
+                &Command::nullary(CommandType::InitIka),
+                Duration::from_millis(50),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("disconnected") || err.to_string().contains("timed out"));
+    }
+
+    #[test]
+    fn server_returns_rig_on_disconnect() {
+        let (client_side, server_side) = Duplex::pair();
+        let server = RpcServer::spawn(LabRig::new(3), server_side);
+        drop(client_side);
+        // Joining must not hang.
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_request_drops_the_connection() {
+        let (client_side, server_side) = Duplex::pair();
+        let server = RpcServer::spawn(LabRig::new(0), server_side);
+        client_side.send(FrameCodec::encode(b"not json")).unwrap();
+        server.join().unwrap();
+        // Subsequent receives observe the disconnect.
+        assert!(client_side.recv(Duration::from_millis(200)).is_err());
+    }
+}

@@ -1,0 +1,243 @@
+//! The trace pipeline: timestamps, ids, labels, and sinks.
+//!
+//! For every intercepted access RATracer logs "timestamp, function,
+//! arguments, return values, exceptions" (Fig. 3). [`Tracer`] owns the
+//! simulated clock and the trace-id counter, stamps each access, tags
+//! it with the active procedure run (if any), and fans the record out
+//! to an in-memory log and, optionally, a [`DocumentStore`] mirror.
+
+use std::sync::Arc;
+
+use rad_core::{
+    Command, DeviceId, Label, ProcedureKind, RunId, RunMetadata, SimClock, SimDuration, SimInstant,
+    TraceId, TraceMode, TraceObject, Value,
+};
+use rad_store::{CommandDataset, DocumentStore};
+use serde_json::json;
+
+/// The active procedure-run context applied to new traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RunContext {
+    procedure: ProcedureKind,
+    run_id: RunId,
+    label: Label,
+}
+
+/// Stamps, labels, and stores trace objects.
+#[derive(Debug)]
+pub struct Tracer {
+    clock: SimClock,
+    next_id: u64,
+    run: Option<RunContext>,
+    traces: Vec<TraceObject>,
+    runs: Vec<RunMetadata>,
+    mirror: Option<Arc<DocumentStore>>,
+}
+
+impl Tracer {
+    /// A tracer starting at the campaign epoch.
+    pub fn new() -> Self {
+        Tracer {
+            clock: SimClock::new(),
+            next_id: 0,
+            run: None,
+            traces: Vec::new(),
+            runs: Vec::new(),
+            mirror: None,
+        }
+    }
+
+    /// Mirrors every record into `store` (collection `"traces"`), like
+    /// RATracer's MongoDB sink.
+    #[must_use]
+    pub fn with_mirror(mut self, store: Arc<DocumentStore>) -> Self {
+        self.mirror = Some(store);
+        self
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimInstant {
+        self.clock.now()
+    }
+
+    /// Advances the simulated clock (transport latency, device busy
+    /// time, operator think time).
+    pub fn advance(&mut self, delta: SimDuration) {
+        self.clock.advance(delta);
+    }
+
+    /// Opens a procedure run: subsequent records are tagged with it.
+    /// Also registers the run's metadata.
+    pub fn begin_run(&mut self, run_id: RunId, procedure: ProcedureKind, label: Label) {
+        self.run = Some(RunContext {
+            procedure,
+            run_id,
+            label,
+        });
+        self.runs
+            .push(RunMetadata::new(run_id, procedure, self.clock.now()).with_label(label));
+    }
+
+    /// Attaches an operator note to the most recently opened run.
+    pub fn annotate_run(&mut self, note: &str) {
+        if let Some(last) = self.runs.pop() {
+            self.runs.push(last.with_note(note));
+        }
+    }
+
+    /// Closes the active run; subsequent records are unlabelled.
+    pub fn end_run(&mut self) {
+        self.run = None;
+    }
+
+    /// Records one intercepted access and returns its id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        device: DeviceId,
+        command: &Command,
+        mode: TraceMode,
+        return_value: Value,
+        exception: Option<&str>,
+        response_time: SimDuration,
+    ) -> TraceId {
+        let id = TraceId(self.next_id);
+        self.next_id += 1;
+        let mut builder = TraceObject::builder(id, self.clock.now(), device, command.clone())
+            .mode(mode)
+            .return_value(return_value)
+            .response_time(response_time);
+        if let Some(ctx) = self.run {
+            builder = builder.run(ctx.procedure, ctx.run_id, ctx.label);
+        }
+        if let Some(msg) = exception {
+            builder = builder.exception(msg);
+        }
+        let trace = builder.build();
+        if let Some(store) = &self.mirror {
+            let doc = json!({
+                "trace_id": trace.id().0,
+                "timestamp_us": trace.timestamp().as_micros(),
+                "device": trace.device().kind().to_string(),
+                "command": trace.command_type().mnemonic(),
+                "mode": trace.mode().to_string(),
+                "exception": trace.exception(),
+                "response_time_us": trace.response_time().as_micros(),
+            });
+            // A full mirror failing must not lose the in-memory record;
+            // the store only rejects non-objects, which cannot happen
+            // here, so ignore the result defensively.
+            let _ = store.insert("traces", doc);
+        }
+        self.traces.push(trace);
+        id
+    }
+
+    /// Number of records captured so far.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether no records have been captured.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// A read-only view of the captured records.
+    pub fn traces(&self) -> &[TraceObject] {
+        &self.traces
+    }
+
+    /// Consumes the tracer into the curated command dataset.
+    pub fn into_dataset(self) -> CommandDataset {
+        CommandDataset::from_parts(self.traces, self.runs)
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rad_core::{CommandType, DeviceKind};
+
+    fn record_one(tracer: &mut Tracer, ct: CommandType) -> TraceId {
+        tracer.record(
+            DeviceId::primary(ct.device()),
+            &Command::nullary(ct),
+            TraceMode::Remote,
+            Value::Unit,
+            None,
+            SimDuration::from_millis(5),
+        )
+    }
+
+    #[test]
+    fn ids_and_timestamps_are_monotone() {
+        let mut tracer = Tracer::new();
+        let a = record_one(&mut tracer, CommandType::Arm);
+        tracer.advance(SimDuration::from_millis(100));
+        let b = record_one(&mut tracer, CommandType::Mvng);
+        assert!(b > a);
+        let traces = tracer.traces();
+        assert!(traces[1].timestamp() > traces[0].timestamp());
+    }
+
+    #[test]
+    fn run_context_labels_traces() {
+        let mut tracer = Tracer::new();
+        record_one(&mut tracer, CommandType::Arm);
+        tracer.begin_run(RunId(3), ProcedureKind::CrystalSolubility, Label::Benign);
+        record_one(&mut tracer, CommandType::TecanGetStatus);
+        tracer.end_run();
+        record_one(&mut tracer, CommandType::Arm);
+        let ds = tracer.into_dataset();
+        assert_eq!(ds.traces()[0].run_id(), None);
+        assert_eq!(ds.traces()[1].run_id(), Some(RunId(3)));
+        assert_eq!(ds.traces()[1].procedure(), ProcedureKind::CrystalSolubility);
+        assert_eq!(ds.traces()[2].run_id(), None);
+        assert_eq!(ds.runs().len(), 1);
+    }
+
+    #[test]
+    fn annotate_attaches_note_to_latest_run() {
+        let mut tracer = Tracer::new();
+        tracer.begin_run(RunId(0), ProcedureKind::JoystickMovements, Label::Benign);
+        tracer.annotate_run("operator wiggled the joystick");
+        let ds = tracer.into_dataset();
+        assert_eq!(
+            ds.runs()[0].operator_note(),
+            Some("operator wiggled the joystick")
+        );
+    }
+
+    #[test]
+    fn mirror_receives_every_record() {
+        let store = Arc::new(DocumentStore::new());
+        let mut tracer = Tracer::new().with_mirror(Arc::clone(&store));
+        record_one(&mut tracer, CommandType::Arm);
+        record_one(&mut tracer, CommandType::TecanGetStatus);
+        assert_eq!(store.count("traces", &rad_store::Filter::all()), 2);
+    }
+
+    #[test]
+    fn exceptions_are_recorded() {
+        let mut tracer = Tracer::new();
+        tracer.record(
+            DeviceId::primary(DeviceKind::Quantos),
+            &Command::nullary(CommandType::StartDosing),
+            TraceMode::Direct,
+            Value::Unit,
+            Some("collision with ur3e arm"),
+            SimDuration::from_millis(4),
+        );
+        assert_eq!(
+            tracer.traces()[0].exception(),
+            Some("collision with ur3e arm")
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests on the RPC framing layer: any payload stream,
+//! chunked any way, reassembles losslessly.
+
+use bytes::{BufMut, BytesMut};
+use proptest::prelude::*;
+use rad_middlebox::rpc::FrameCodec;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary payloads survive framing + arbitrary re-chunking.
+    #[test]
+    fn frames_reassemble_under_any_chunking(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..200),
+            1..10,
+        ),
+        chunk in 1usize..37,
+    ) {
+        let mut stream = BytesMut::new();
+        for p in &payloads {
+            stream.put_slice(&FrameCodec::encode(p));
+        }
+        let mut codec = FrameCodec::new();
+        let mut decoded: Vec<Vec<u8>> = Vec::new();
+        for piece in stream.chunks(chunk) {
+            codec.push(piece);
+            while let Some(frame) = codec.next_frame().unwrap() {
+                decoded.push(frame.to_vec());
+            }
+        }
+        prop_assert_eq!(decoded, payloads);
+    }
+
+    /// A truncated stream never yields a phantom frame.
+    #[test]
+    fn truncation_yields_nothing_not_garbage(
+        payload in proptest::collection::vec(any::<u8>(), 1..200),
+        keep_fraction in 0.0f64..1.0,
+    ) {
+        let framed = FrameCodec::encode(&payload);
+        let keep = ((framed.len() as f64) * keep_fraction) as usize;
+        prop_assume!(keep < framed.len());
+        let mut codec = FrameCodec::new();
+        codec.push(&framed[..keep]);
+        prop_assert_eq!(codec.next_frame().unwrap(), None);
+    }
+
+    /// Latency models never produce negative or absurd samples.
+    #[test]
+    fn latency_samples_are_sane(seed in 0u64..500) {
+        use rad_core::TraceMode;
+        use rad_middlebox::LatencyModel;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        for mode in [TraceMode::Direct, TraceMode::Remote, TraceMode::Cloud] {
+            let model = LatencyModel::for_mode(mode);
+            for _ in 0..50 {
+                let s = model.sample(&mut rng);
+                prop_assert!(s.as_millis_f64() < 10_000.0, "{mode}: {s}");
+            }
+        }
+    }
+}

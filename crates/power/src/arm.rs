@@ -1,0 +1,355 @@
+//! The assembled UR3e power model: trajectories → telemetry.
+//!
+//! [`Ur3e`] drives the trapezoidal [`TrajectorySegment`] planner through
+//! the [`Ur3eDynamics`] torque/current model and emits 25 Hz
+//! [`PowerSample`] streams — the simulated counterpart of RATracer's
+//! power monitor (Fig. 3, bottom).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::dynamics::Ur3eDynamics;
+use crate::sample::PowerSample;
+use crate::trajectory::TrajectorySegment;
+use crate::{JOINTS, TICK_SECONDS};
+
+/// Measurement noise applied to actual currents (A, uniform half-width).
+const CURRENT_NOISE_A: f64 = 0.03;
+/// Joint-position encoder noise (rad, uniform half-width).
+const POSITION_NOISE_RAD: f64 = 2e-4;
+
+/// The simulated UR3e power plant.
+///
+/// # Examples
+///
+/// ```
+/// use rad_power::{Ur3e, TrajectorySegment};
+///
+/// let arm = Ur3e::new();
+/// let seg = TrajectorySegment::joint_move(
+///     Ur3e::named_pose(0),
+///     Ur3e::named_pose(1),
+///     0.8,
+/// );
+/// let profile = arm.current_profile(&[seg], 0.5, 1);
+/// // Same seed, same trajectory: bitwise-identical telemetry.
+/// let again = arm.current_profile(&[TrajectorySegment::joint_move(
+///     Ur3e::named_pose(0),
+///     Ur3e::named_pose(1),
+///     0.8,
+/// )], 0.5, 1);
+/// assert_eq!(profile.joint_current(1), again.joint_current(1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Ur3e {
+    dynamics: Ur3eDynamics,
+}
+
+impl Ur3e {
+    /// A UR3e with the default dynamics parameters.
+    pub fn new() -> Self {
+        Ur3e {
+            dynamics: Ur3eDynamics::new(),
+        }
+    }
+
+    /// A UR3e with custom dynamics (used by the ablation benches).
+    pub fn with_dynamics(dynamics: Ur3eDynamics) -> Self {
+        Ur3e { dynamics }
+    }
+
+    /// The dynamics parameters in use.
+    pub fn dynamics(&self) -> &Ur3eDynamics {
+        &self.dynamics
+    }
+
+    /// The six named deck poses L0–L5 used by the P2 solubility
+    /// procedure (Fig. 7a moves the arm L0→L1→…→L5). Each pose is a
+    /// distinct joint vector, so each leg has a distinct current
+    /// signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 5`.
+    pub fn named_pose(index: usize) -> [f64; JOINTS] {
+        const POSES: [[f64; JOINTS]; 6] = [
+            // L0: home above the storage rack
+            [0.00, -1.30, 1.10, -1.37, -1.57, 0.00],
+            // L1: deep reach down into the rack, elbow folded
+            [0.15, -0.55, 1.85, -2.07, -1.57, 0.15],
+            // L2: high lift toward the Quantos, elbow extended
+            [1.10, -1.60, 0.60, -1.37, -1.57, 1.10],
+            // L3: into the Quantos doorway
+            [1.35, -0.70, 1.15, -2.00, -1.57, 1.35],
+            // L4: tucked clear of the door
+            [0.90, -2.00, 2.10, -0.92, -1.57, 0.90],
+            // L5: back toward home, arm outstretched
+            [0.40, -1.10, 0.45, -1.37, -1.57, 0.40],
+        ];
+        POSES[index]
+    }
+
+    /// Simulates the telemetry stream for a sequence of moves executed
+    /// back-to-back while carrying `payload_kg`, with measurement noise
+    /// derived from `seed`.
+    #[allow(clippy::needless_range_loop)] // parallel per-joint arrays
+    pub fn current_profile(
+        &self,
+        segments: &[TrajectorySegment],
+        payload_kg: f64,
+        seed: u64,
+    ) -> CurrentProfile {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut samples = Vec::new();
+        let mut t_offset = 0.0;
+        for segment in segments {
+            let points = segment.sample_at(TICK_SECONDS);
+            for point in &points {
+                let ideal = self.dynamics.currents(point, payload_kg);
+                let torques = self.dynamics.torques(point, payload_kg).0;
+                let mut sample = PowerSample::quiescent(t_offset + point.t, point.q);
+                sample.q_target = point.q;
+                sample.qd_target = point.qd;
+                sample.qd_actual = point.qd;
+                sample.qdd_target = point.qdd;
+                sample.qdd_actual = point.qdd;
+                sample.current_target = ideal;
+                sample.moment_actual = torques;
+                sample.payload_mass = payload_kg;
+                for j in 0..JOINTS {
+                    sample.q_actual[j] =
+                        point.q[j] + rng.gen_range(-POSITION_NOISE_RAD..POSITION_NOISE_RAD);
+                    sample.current_actual[j] =
+                        ideal[j] + rng.gen_range(-CURRENT_NOISE_A..CURRENT_NOISE_A);
+                }
+                samples.push(sample);
+            }
+            t_offset += segment.duration();
+        }
+        CurrentProfile { samples }
+    }
+
+    /// Simulates `ticks` of quiescent telemetry with the arm parked at
+    /// `pose` (used to model the paper's quiescent-period storage
+    /// policy).
+    pub fn quiescent_profile(
+        &self,
+        pose: [f64; JOINTS],
+        ticks: usize,
+        seed: u64,
+    ) -> CurrentProfile {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let samples = (0..ticks)
+            .map(|i| {
+                let mut s = PowerSample::quiescent(i as f64 * TICK_SECONDS, pose);
+                for j in 0..JOINTS {
+                    s.current_actual[j] = self.dynamics.idle_current[j]
+                        + rng.gen_range(-CURRENT_NOISE_A..CURRENT_NOISE_A);
+                }
+                s
+            })
+            .collect();
+        CurrentProfile { samples }
+    }
+}
+
+/// A recorded 25 Hz telemetry stream.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CurrentProfile {
+    samples: Vec<PowerSample>,
+}
+
+impl CurrentProfile {
+    /// Wraps an existing sample stream.
+    pub fn from_samples(samples: Vec<PowerSample>) -> Self {
+        CurrentProfile { samples }
+    }
+
+    /// The underlying samples.
+    pub fn samples(&self) -> &[PowerSample] {
+        &self.samples
+    }
+
+    /// Consumes the profile, returning its samples.
+    pub fn into_samples(self) -> Vec<PowerSample> {
+        self.samples
+    }
+
+    /// Number of 40 ms ticks recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the profile is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total recorded duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.samples.len() as f64 * TICK_SECONDS
+    }
+
+    /// The actual-current time series of one joint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joint >= 6`.
+    pub fn joint_current(&self, joint: usize) -> Vec<f64> {
+        assert!(joint < JOINTS, "joint index {joint} out of range");
+        self.samples
+            .iter()
+            .map(|s| s.current_actual[joint])
+            .collect()
+    }
+
+    /// Appends another profile, shifting its timestamps to follow this
+    /// one.
+    pub fn extend(&mut self, other: &CurrentProfile) {
+        let offset = self.duration();
+        for s in other.samples() {
+            let mut s = s.clone();
+            s.timestamp += offset;
+            self.samples.push(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal;
+
+    fn leg(from: usize, to: usize, v: f64) -> TrajectorySegment {
+        TrajectorySegment::joint_move(Ur3e::named_pose(from), Ur3e::named_pose(to), v)
+    }
+
+    #[test]
+    fn profile_ticks_match_duration() {
+        let arm = Ur3e::new();
+        let seg = leg(0, 1, 1.0);
+        let expected_ticks = (seg.duration() / TICK_SECONDS).ceil() as usize + 1;
+        let profile = arm.current_profile(&[seg], 0.0, 0);
+        assert_eq!(profile.len(), expected_ticks);
+    }
+
+    #[test]
+    fn same_seed_is_reproducible_different_seed_is_not() {
+        let arm = Ur3e::new();
+        let a = arm
+            .current_profile(&[leg(0, 1, 1.0)], 0.0, 5)
+            .joint_current(1);
+        let b = arm
+            .current_profile(&[leg(0, 1, 1.0)], 0.0, 5)
+            .joint_current(1);
+        let c = arm
+            .current_profile(&[leg(0, 1, 1.0)], 0.0, 6)
+            .joint_current(1);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn legs_are_identifiable_by_their_signatures() {
+        // Fig. 7a: each L_i -> L_{i+1} move has its own current shape,
+        // identical across iterations. The operational claim is that a
+        // rerun of a leg matches itself better than it matches any
+        // other leg.
+        let arm = Ur3e::new();
+        let reference: Vec<Vec<f64>> = (0..5)
+            .map(|i| {
+                arm.current_profile(&[leg(i, i + 1, 1.0)], 0.0, 9)
+                    .joint_current(1)
+            })
+            .collect();
+        let rerun: Vec<Vec<f64>> = (0..5)
+            .map(|i| {
+                arm.current_profile(&[leg(i, i + 1, 1.0)], 0.0, 77)
+                    .joint_current(1)
+            })
+            .collect();
+        for (i, run) in rerun.iter().enumerate() {
+            let own = signal::shape_correlation(run, &reference[i]).unwrap();
+            for (j, other) in reference.iter().enumerate() {
+                if i != j {
+                    let cross = signal::shape_correlation(run, other).unwrap();
+                    assert!(
+                        own > cross,
+                        "leg {i}: self-correlation {own} not above cross-correlation {cross} with leg {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_leg_is_repeatable_across_noise_seeds() {
+        // Fig. 7b: the same trajectory correlates > 0.97 across runs.
+        let arm = Ur3e::new();
+        let a = arm
+            .current_profile(&[leg(2, 3, 1.0)], 0.0, 1)
+            .joint_current(1);
+        let b = arm
+            .current_profile(&[leg(2, 3, 1.0)], 0.0, 2)
+            .joint_current(1);
+        let r = signal::pearson(&a, &b).unwrap();
+        assert!(r > 0.97, "repeatability correlation {r}");
+    }
+
+    #[test]
+    fn heavier_payload_draws_more_current() {
+        // Fig. 7d.
+        let arm = Ur3e::new();
+        let light = arm
+            .current_profile(&[leg(0, 2, 0.8)], 0.020, 3)
+            .joint_current(1);
+        let heavy = arm
+            .current_profile(&[leg(0, 2, 0.8)], 1.000, 3)
+            .joint_current(1);
+        assert!(signal::mean_abs(&heavy) > signal::mean_abs(&light));
+    }
+
+    #[test]
+    fn faster_moves_are_shorter_with_larger_swings() {
+        // Fig. 7c: amplitude grows with velocity, duration shrinks; the
+        // base joint (no gravity) shows the friction/inertia scaling.
+        let arm = Ur3e::new();
+        let slow = arm.current_profile(&[leg(0, 2, 0.4)], 0.0, 4);
+        let fast = arm.current_profile(&[leg(0, 2, 1.0)], 0.0, 4);
+        assert!(fast.len() < slow.len());
+        let slow_amp = signal::peak_to_peak(&slow.joint_current(0));
+        let fast_amp = signal::peak_to_peak(&fast.joint_current(0));
+        assert!(fast_amp > slow_amp, "fast {fast_amp} vs slow {slow_amp}");
+    }
+
+    #[test]
+    fn quiescent_profile_is_quiescent() {
+        let arm = Ur3e::new();
+        let p = arm.quiescent_profile(Ur3e::named_pose(0), 100, 0);
+        assert_eq!(p.len(), 100);
+        assert!(p.samples().iter().all(PowerSample::is_quiescent));
+    }
+
+    #[test]
+    fn extend_shifts_timestamps() {
+        let arm = Ur3e::new();
+        let mut a = arm.quiescent_profile(Ur3e::named_pose(0), 10, 0);
+        let b = arm.quiescent_profile(Ur3e::named_pose(0), 10, 1);
+        a.extend(&b);
+        assert_eq!(a.len(), 20);
+        let ts: Vec<f64> = a.samples().iter().map(|s| s.timestamp).collect();
+        for w in ts.windows(2) {
+            assert!(w[1] > w[0], "timestamps strictly increase");
+        }
+    }
+
+    #[test]
+    fn multi_segment_profile_concatenates() {
+        let arm = Ur3e::new();
+        let two = arm.current_profile(&[leg(0, 1, 1.0), leg(1, 2, 1.0)], 0.0, 7);
+        let one = arm.current_profile(&[leg(0, 1, 1.0)], 0.0, 7);
+        assert!(two.len() > one.len());
+        assert!(two.duration() > one.duration());
+    }
+}

@@ -1,0 +1,256 @@
+//! First-order UR3e joint dynamics: torques and motor currents.
+//!
+//! The model keeps exactly the terms that generate the phenomena of
+//! Fig. 7 and drops the rest:
+//!
+//! - **Gravity**: a planar two-link (upper arm + forearm) gravity model
+//!   loads the shoulder-lift and elbow joints as a function of posture,
+//!   plus the payload carried at the tool. This is why each trajectory
+//!   has its own current *shape* and why payload shifts the level.
+//! - **Inertia**: constant effective inertia per joint (plus payload at
+//!   the tool radius) times commanded acceleration. This produces the
+//!   accel/decel peaks whose amplitude grows with commanded velocity.
+//! - **Friction**: viscous plus Coulomb terms proportional to joint
+//!   velocity and its sign.
+//!
+//! Torque maps to current through per-joint torque constants; wrist
+//! joints see mostly friction and their own small gravity load, which
+//! matches the paper's observation that all six joints show correlated
+//! but scaled profiles.
+
+use crate::trajectory::TrajectoryPoint;
+use crate::JOINTS;
+
+/// Standard gravity (m/s²).
+const G: f64 = 9.81;
+
+/// Joint torques at one trajectory point, N·m.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JointTorques(pub [f64; JOINTS]);
+
+/// Parameters of the UR3e dynamics model.
+///
+/// Defaults approximate the published UR3e mass/link data; they are
+/// tunable so the ablation benches can switch individual terms off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ur3eDynamics {
+    /// Upper-arm length (m).
+    pub upper_arm_m: f64,
+    /// Forearm length (m).
+    pub forearm_m: f64,
+    /// Upper-arm mass (kg).
+    pub upper_arm_kg: f64,
+    /// Forearm mass (kg).
+    pub forearm_kg: f64,
+    /// Wrist assembly mass (kg), carried at the forearm tip.
+    pub wrist_kg: f64,
+    /// Effective rotor+link inertia per joint (kg·m²).
+    pub inertia: [f64; JOINTS],
+    /// Viscous friction coefficients (N·m·s/rad).
+    pub viscous: [f64; JOINTS],
+    /// Coulomb friction magnitudes (N·m).
+    pub coulomb: [f64; JOINTS],
+    /// Torque constants (N·m/A) per joint: shoulder joints have larger
+    /// gearing than the wrists.
+    pub torque_constant: [f64; JOINTS],
+    /// Controller idle (electronics) current per joint (A).
+    pub idle_current: [f64; JOINTS],
+    /// Include the inertial term (ablation switch).
+    pub inertial_term: bool,
+    /// Include the friction terms (ablation switch).
+    pub friction_term: bool,
+}
+
+impl Ur3eDynamics {
+    /// The default UR3e-flavoured parameter set.
+    pub fn new() -> Self {
+        Ur3eDynamics {
+            upper_arm_m: 0.244,
+            forearm_m: 0.213,
+            upper_arm_kg: 3.42,
+            forearm_kg: 1.26,
+            wrist_kg: 1.67,
+            inertia: [0.030, 0.026, 0.018, 0.006, 0.006, 0.004],
+            viscous: [0.18, 0.16, 0.12, 0.05, 0.05, 0.04],
+            coulomb: [0.12, 0.10, 0.08, 0.03, 0.03, 0.02],
+            torque_constant: [1.10, 1.10, 0.95, 0.45, 0.45, 0.40],
+            idle_current: [0.12, 0.10, 0.08, 0.05, 0.05, 0.04],
+            inertial_term: true,
+            friction_term: true,
+        }
+    }
+
+    /// Gravity torque vector at posture `q`, carrying `payload_kg` at
+    /// the tool.
+    pub fn gravity_torques(&self, q: &[f64; JOINTS], payload_kg: f64) -> JointTorques {
+        let q1 = q[1]; // shoulder lift
+        let q12 = q[1] + q[2]; // elbow absolute angle
+        let l1 = self.upper_arm_m;
+        let l2 = self.forearm_m;
+        // Centres of mass at mid-link; wrist + payload at the forearm tip.
+        let tip_mass = self.wrist_kg + payload_kg;
+        let shoulder = G
+            * (self.upper_arm_kg * (l1 / 2.0) * q1.cos()
+                + self.forearm_kg * (l1 * q1.cos() + (l2 / 2.0) * q12.cos())
+                + tip_mass * (l1 * q1.cos() + l2 * q12.cos()));
+        let elbow = G * (self.forearm_kg * (l2 / 2.0) * q12.cos() + tip_mass * l2 * q12.cos());
+        // Wrist-1 carries the tool pitch: a small posture-dependent load.
+        let wrist1 = G * payload_kg * 0.05 * (q12 + q[3]).cos();
+        JointTorques([0.0, shoulder, elbow, wrist1, 0.0, 0.0])
+    }
+
+    /// Full torque vector at a trajectory point.
+    #[allow(clippy::needless_range_loop)] // parallel per-joint arrays
+    pub fn torques(&self, point: &TrajectoryPoint, payload_kg: f64) -> JointTorques {
+        let mut tau = self.gravity_torques(&point.q, payload_kg).0;
+        let tool_radius = self.upper_arm_m + self.forearm_m;
+        for i in 0..JOINTS {
+            if self.inertial_term {
+                let payload_inertia = if i < 3 {
+                    payload_kg * tool_radius * tool_radius
+                } else {
+                    0.0
+                };
+                tau[i] += (self.inertia[i] + payload_inertia) * point.qdd[i];
+            }
+            if self.friction_term {
+                tau[i] +=
+                    self.viscous[i] * point.qd[i] + self.coulomb[i] * signum_dead(point.qd[i]);
+            }
+        }
+        JointTorques(tau)
+    }
+
+    /// Motor currents (A) at a trajectory point. Noise-free; callers add
+    /// measurement noise.
+    pub fn currents(&self, point: &TrajectoryPoint, payload_kg: f64) -> [f64; JOINTS] {
+        let tau = self.torques(point, payload_kg).0;
+        let mut out = [0.0; JOINTS];
+        for i in 0..JOINTS {
+            out[i] = tau[i] / self.torque_constant[i] + self.idle_current[i];
+        }
+        out
+    }
+}
+
+impl Default for Ur3eDynamics {
+    fn default() -> Self {
+        Ur3eDynamics::new()
+    }
+}
+
+/// `signum` with a small dead band so resting joints draw no Coulomb
+/// current.
+fn signum_dead(v: f64) -> f64 {
+    if v > 1e-6 {
+        1.0
+    } else if v < -1e-6 {
+        -1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resting_point(q: [f64; JOINTS]) -> TrajectoryPoint {
+        TrajectoryPoint {
+            t: 0.0,
+            q,
+            qd: [0.0; JOINTS],
+            qdd: [0.0; JOINTS],
+        }
+    }
+
+    #[test]
+    fn horizontal_arm_maximizes_shoulder_gravity() {
+        let dyn_ = Ur3eDynamics::new();
+        let horizontal = dyn_.gravity_torques(&[0.0; JOINTS], 0.0).0[1];
+        let vertical = dyn_
+            .gravity_torques(
+                &[0.0, -std::f64::consts::FRAC_PI_2, 0.0, 0.0, 0.0, 0.0],
+                0.0,
+            )
+            .0[1];
+        assert!(horizontal.abs() > vertical.abs() * 5.0);
+    }
+
+    #[test]
+    fn payload_increases_shoulder_and_elbow_torque() {
+        let dyn_ = Ur3eDynamics::new();
+        let q = [0.0, -0.6, 0.8, -1.0, 0.0, 0.0];
+        let empty = dyn_.gravity_torques(&q, 0.0).0;
+        let loaded = dyn_.gravity_torques(&q, 1.0).0;
+        assert!(loaded[1].abs() > empty[1].abs());
+        assert!(loaded[2].abs() > empty[2].abs());
+    }
+
+    #[test]
+    fn resting_current_is_gravity_plus_idle() {
+        let dyn_ = Ur3eDynamics::new();
+        let p = resting_point([0.0, -1.2, 0.9, -1.0, -1.5, 0.0]);
+        let i = dyn_.currents(&p, 0.0);
+        // Base and wrist-2/3 carry no gravity at rest: idle only.
+        assert!((i[0] - dyn_.idle_current[0]).abs() < 1e-9);
+        assert!((i[4] - dyn_.idle_current[4]).abs() < 1e-9);
+        // Shoulder carries the arm.
+        assert!(i[1].abs() > 0.5);
+    }
+
+    #[test]
+    fn acceleration_adds_inertial_current() {
+        let dyn_ = Ur3eDynamics::new();
+        let q = [0.0, -1.2, 0.9, -1.0, -1.5, 0.0];
+        let rest = dyn_.currents(&resting_point(q), 0.0);
+        let mut accel = resting_point(q);
+        accel.qdd[0] = 2.0;
+        let moving = dyn_.currents(&accel, 0.0);
+        assert!(moving[0] > rest[0]);
+    }
+
+    #[test]
+    fn friction_current_flips_with_direction() {
+        let dyn_ = Ur3eDynamics::new();
+        let q = [0.0; JOINTS];
+        let mut fwd = resting_point(q);
+        fwd.qd[0] = 1.0;
+        let mut back = resting_point(q);
+        back.qd[0] = -1.0;
+        let i_fwd = dyn_.currents(&fwd, 0.0)[0];
+        let i_back = dyn_.currents(&back, 0.0)[0];
+        let idle = dyn_.idle_current[0];
+        assert!(i_fwd > idle);
+        assert!(i_back < idle);
+        assert!(
+            (i_fwd - idle + (i_back - idle)).abs() < 1e-9,
+            "symmetric about idle"
+        );
+    }
+
+    #[test]
+    fn ablation_switches_remove_terms() {
+        let mut dyn_ = Ur3eDynamics::new();
+        let q = [0.0; JOINTS];
+        let mut p = resting_point(q);
+        p.qd[0] = 1.0;
+        p.qdd[0] = 1.0;
+        let full = dyn_.currents(&p, 0.0)[0];
+        dyn_.inertial_term = false;
+        let no_inertia = dyn_.currents(&p, 0.0)[0];
+        dyn_.friction_term = false;
+        let neither = dyn_.currents(&p, 0.0)[0];
+        assert!(full > no_inertia);
+        assert!(no_inertia > neither);
+        assert!((neither - dyn_.idle_current[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dead_band_suppresses_coulomb_at_rest() {
+        assert_eq!(signum_dead(0.0), 0.0);
+        assert_eq!(signum_dead(1e-9), 0.0);
+        assert_eq!(signum_dead(0.1), 1.0);
+        assert_eq!(signum_dead(-0.1), -1.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Planar-chain kinematics for the UR3e: forward and inverse.
+//!
+//! The deck-level model used across the workspace treats the UR3e as a
+//! base-pan joint plus a two-link planar chain (upper arm + forearm);
+//! the wrist joints orient the tool without moving it. This module
+//! provides that model's forward map and its closed-form inverse, so
+//! Cartesian commands (`move_to_location`) can be converted into joint
+//! trajectories and power-profiled exactly like `move_joints`.
+
+use crate::JOINTS;
+
+/// Kinematic parameters of the simulated UR3e.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ur3eKinematics {
+    /// Base position on the deck, millimetres.
+    pub base: [f64; 3],
+    /// Shoulder height above the base plane, millimetres.
+    pub shoulder_height: f64,
+    /// Upper-arm length, millimetres.
+    pub upper_arm: f64,
+    /// Forearm length, millimetres.
+    pub forearm: f64,
+}
+
+/// Elbow configuration selected by the inverse solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Elbow {
+    /// Elbow above the shoulder-wrist chord.
+    Up,
+    /// Elbow below the chord.
+    Down,
+}
+
+impl Default for Ur3eKinematics {
+    fn default() -> Self {
+        // Matches the deck model in `rad-devices` (UR3e base at
+        // x = 900 mm; UR3e link lengths).
+        Ur3eKinematics {
+            base: [900.0, 0.0, 0.0],
+            shoulder_height: 152.0,
+            upper_arm: 244.0,
+            forearm: 213.0,
+        }
+    }
+}
+
+impl Ur3eKinematics {
+    /// Tool position (mm) for a joint vector; wrist joints ignored.
+    pub fn forward(&self, q: &[f64; JOINTS]) -> [f64; 3] {
+        let (q0, q1, q2) = (q[0], q[1], q[2]);
+        let reach = self.upper_arm * q1.cos() + self.forearm * (q1 + q2).cos();
+        let height =
+            self.shoulder_height - self.upper_arm * q1.sin() - self.forearm * (q1 + q2).sin();
+        [
+            self.base[0] + reach * q0.cos(),
+            self.base[1] + reach * q0.sin(),
+            self.base[2] + height,
+        ]
+    }
+
+    /// Whether a Cartesian target is inside the reachable annulus.
+    pub fn reachable(&self, target: [f64; 3]) -> bool {
+        self.ik_planar(target).is_some()
+    }
+
+    /// Closed-form inverse kinematics: a joint vector whose
+    /// [`Ur3eKinematics::forward`] image is `target`, with the chosen
+    /// elbow configuration. Wrist joints are set to the home values.
+    /// Returns `None` for unreachable targets.
+    pub fn inverse(&self, target: [f64; 3], elbow: Elbow) -> Option<[f64; JOINTS]> {
+        let (q0, a1, a2) = self.ik_planar(target)?;
+        let (q1, q2) = match elbow {
+            Elbow::Up => (a1, a2),
+            Elbow::Down => {
+                // Mirror solution: flip the elbow angle and re-aim the
+                // shoulder.
+                let (r, u) = self.planar_target(target);
+                let a2m = -a2;
+                let a1m = f64::atan2(u, r)
+                    - f64::atan2(
+                        self.forearm * a2m.sin(),
+                        self.upper_arm + self.forearm * a2m.cos(),
+                    );
+                (a1m, a2m)
+            }
+        };
+        // Convert from the planar (lift-positive-up) frame to the
+        // joint convention where negative shoulder lifts the arm.
+        Some([q0, -q1, -q2, -1.57, -1.57, 0.0])
+    }
+
+    /// Planar coordinates of a target: in-plane radius and height
+    /// relative to the shoulder.
+    fn planar_target(&self, target: [f64; 3]) -> (f64, f64) {
+        let dx = target[0] - self.base[0];
+        let dy = target[1] - self.base[1];
+        let r = (dx * dx + dy * dy).sqrt();
+        let u = target[2] - self.base[2] - self.shoulder_height;
+        (r, u)
+    }
+
+    /// Solves the planar two-link problem in the lift-positive-up
+    /// frame: returns `(q0, a1, a2)` with elbow-up convention.
+    fn ik_planar(&self, target: [f64; 3]) -> Option<(f64, f64, f64)> {
+        let dx = target[0] - self.base[0];
+        let dy = target[1] - self.base[1];
+        let q0 = f64::atan2(dy, dx);
+        let (r, u) = self.planar_target(target);
+        let (l1, l2) = (self.upper_arm, self.forearm);
+        let d = (r * r + u * u - l1 * l1 - l2 * l2) / (2.0 * l1 * l2);
+        if !(-1.0..=1.0).contains(&d) {
+            return None;
+        }
+        let a2 = d.acos(); // elbow-up branch
+        let a1 = f64::atan2(u, r) - f64::atan2(l2 * a2.sin(), l1 + l2 * a2.cos());
+        Some((q0, a1, a2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kin() -> Ur3eKinematics {
+        Ur3eKinematics::default()
+    }
+
+    fn dist(a: [f64; 3], b: [f64; 3]) -> f64 {
+        ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt()
+    }
+
+    #[test]
+    fn forward_of_straight_up_pose() {
+        let k = kin();
+        let q = [0.0, -std::f64::consts::FRAC_PI_2, 0.0, 0.0, 0.0, 0.0];
+        let tool = k.forward(&q);
+        assert!((tool[0] - 900.0).abs() < 1e-9);
+        assert!((tool[2] - (152.0 + 244.0 + 213.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_round_trips_through_forward() {
+        let k = kin();
+        for target in [
+            [1100.0, 50.0, 300.0],
+            [950.0, -120.0, 200.0],
+            [800.0, 200.0, 400.0],
+            [1050.0, 0.0, 152.0],
+        ] {
+            for elbow in [Elbow::Up, Elbow::Down] {
+                let q = k
+                    .inverse(target, elbow)
+                    .unwrap_or_else(|| panic!("{target:?}"));
+                let image = k.forward(&q);
+                assert!(
+                    dist(image, target) < 1e-6,
+                    "{target:?} {elbow:?} -> {image:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn elbow_branches_differ_but_agree_on_the_tool() {
+        let k = kin();
+        let target = [1000.0, 100.0, 250.0];
+        let up = k.inverse(target, Elbow::Up).unwrap();
+        let down = k.inverse(target, Elbow::Down).unwrap();
+        assert!((up[2] - down[2]).abs() > 1e-3, "distinct elbow angles");
+        assert!(dist(k.forward(&up), k.forward(&down)) < 1e-6);
+    }
+
+    #[test]
+    fn unreachable_targets_return_none() {
+        let k = kin();
+        // Farther than the fully-stretched arm.
+        assert!(k.inverse([2000.0, 0.0, 200.0], Elbow::Up).is_none());
+        // Inside the annulus hole (closer than |l1 - l2| from the
+        // shoulder).
+        assert!(k.inverse([900.0, 0.0, 152.0 + 10.0], Elbow::Up).is_none());
+        assert!(!k.reachable([9999.0, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn inverse_matches_forward_of_named_poses() {
+        // Every named deck pose must invert back to a pose with the
+        // same tool position (not necessarily the same joints: the
+        // named poses vary the wrist).
+        let k = kin();
+        for i in 0..6 {
+            let pose = crate::Ur3e::named_pose(i);
+            let tool = k.forward(&pose);
+            let q = k
+                .inverse(tool, Elbow::Up)
+                .or_else(|| k.inverse(tool, Elbow::Down))
+                .unwrap_or_else(|| panic!("pose L{i} tool {tool:?} not invertible"));
+            assert!(dist(k.forward(&q), tool) < 1e-6, "pose L{i}");
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! The 122-property telemetry record of the UR3e real-time API.
+//!
+//! §IV: "The power dataset contains 122 physical properties that are
+//! collected every 40 ms, using the UR3e's real-time monitoring API."
+//! [`PowerSample`] reproduces that record shape: per-joint kinematic,
+//! electrical, and thermal state plus tool-centre-point (TCP) and
+//! robot-level scalars. [`PowerSample::FIELD_COUNT`] is pinned to 122
+//! by a unit test.
+
+use serde::{Deserialize, Serialize};
+
+use crate::JOINTS;
+
+/// One 40 ms telemetry tick from the (simulated) UR3e RTDE interface.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerSample {
+    /// Seconds since the start of the recording.
+    pub timestamp: f64,
+    /// Target joint positions (rad).
+    pub q_target: [f64; JOINTS],
+    /// Actual joint positions (rad).
+    pub q_actual: [f64; JOINTS],
+    /// Target joint velocities (rad/s).
+    pub qd_target: [f64; JOINTS],
+    /// Actual joint velocities (rad/s).
+    pub qd_actual: [f64; JOINTS],
+    /// Target joint accelerations (rad/s²).
+    pub qdd_target: [f64; JOINTS],
+    /// Actual joint accelerations (rad/s²), estimated by the controller.
+    pub qdd_actual: [f64; JOINTS],
+    /// Target joint currents (A).
+    pub current_target: [f64; JOINTS],
+    /// Actual joint currents (A) — the signal analysed in §VI.
+    pub current_actual: [f64; JOINTS],
+    /// Joint moments (torques), N·m.
+    pub moment_actual: [f64; JOINTS],
+    /// Joint temperatures (°C).
+    pub joint_temperature: [f64; JOINTS],
+    /// Joint bus voltages (V).
+    pub joint_voltage: [f64; JOINTS],
+    /// Joint control modes (vendor enum, 255 = normal).
+    pub joint_mode: [f64; JOINTS],
+    /// Target TCP pose (x, y, z, rx, ry, rz) in metres/radians.
+    pub tcp_pose_target: [f64; 6],
+    /// Actual TCP pose.
+    pub tcp_pose_actual: [f64; 6],
+    /// Target TCP speed (m/s, rad/s).
+    pub tcp_speed_target: [f64; 6],
+    /// Actual TCP speed.
+    pub tcp_speed_actual: [f64; 6],
+    /// Generalized TCP force (N, N·m).
+    pub tcp_force: [f64; 6],
+    /// Tool accelerometer reading (m/s²).
+    pub tool_accelerometer: [f64; 3],
+    /// Elbow position in the base frame (m).
+    pub elbow_position: [f64; 3],
+    /// Elbow velocity in the base frame (m/s).
+    pub elbow_velocity: [f64; 3],
+    /// Main robot supply voltage (V).
+    pub robot_voltage: f64,
+    /// Total robot supply current (A).
+    pub robot_current: f64,
+    /// Configured payload mass (kg).
+    pub payload_mass: f64,
+    /// Speed-scaling slider (0–1).
+    pub speed_scaling: f64,
+    /// Digital input bits.
+    pub digital_inputs: f64,
+    /// Digital output bits.
+    pub digital_outputs: f64,
+    /// Safety status (vendor enum).
+    pub safety_status: f64,
+    /// Runtime state (vendor enum).
+    pub runtime_state: f64,
+    /// Robot mode (vendor enum).
+    pub robot_mode: f64,
+    /// Tool output voltage (V).
+    pub tool_output_voltage: f64,
+}
+
+impl PowerSample {
+    /// Number of scalar physical properties carried by each record.
+    ///
+    /// Matches the paper's "122 physical properties": 1 timestamp +
+    /// 12 six-joint vectors (72) + 5 six-element TCP vectors (30) +
+    /// 3 three-element vectors (9) + 10 scalars = 122. The unit test
+    /// derives the count from the struct itself.
+    pub const FIELD_COUNT: usize = 122;
+
+    /// A quiescent sample at `timestamp` with the arm parked at `q`.
+    pub fn quiescent(timestamp: f64, q: [f64; JOINTS]) -> Self {
+        PowerSample {
+            timestamp,
+            q_target: q,
+            q_actual: q,
+            qd_target: [0.0; JOINTS],
+            qd_actual: [0.0; JOINTS],
+            qdd_target: [0.0; JOINTS],
+            qdd_actual: [0.0; JOINTS],
+            current_target: [0.0; JOINTS],
+            current_actual: [0.0; JOINTS],
+            moment_actual: [0.0; JOINTS],
+            joint_temperature: [28.0; JOINTS],
+            joint_voltage: [48.0; JOINTS],
+            joint_mode: [255.0; JOINTS],
+            tcp_pose_target: [0.0; 6],
+            tcp_pose_actual: [0.0; 6],
+            tcp_speed_target: [0.0; 6],
+            tcp_speed_actual: [0.0; 6],
+            tcp_force: [0.0; 6],
+            tool_accelerometer: [0.0, 0.0, -9.81],
+            elbow_position: [0.0; 3],
+            elbow_velocity: [0.0; 3],
+            robot_voltage: 48.0,
+            robot_current: 0.5,
+            payload_mass: 0.0,
+            speed_scaling: 1.0,
+            digital_inputs: 0.0,
+            digital_outputs: 0.0,
+            safety_status: 1.0,
+            runtime_state: 1.0,
+            robot_mode: 7.0,
+            tool_output_voltage: 0.0,
+        }
+    }
+
+    /// Flattens the record into its 122 scalar properties, in
+    /// declaration order. This is the row format of the CSV export.
+    pub fn to_row(&self) -> Vec<f64> {
+        let mut row = Vec::with_capacity(Self::FIELD_COUNT);
+        row.push(self.timestamp);
+        for arr in [
+            &self.q_target,
+            &self.q_actual,
+            &self.qd_target,
+            &self.qd_actual,
+            &self.qdd_target,
+            &self.qdd_actual,
+            &self.current_target,
+            &self.current_actual,
+            &self.moment_actual,
+            &self.joint_temperature,
+            &self.joint_voltage,
+            &self.joint_mode,
+        ] {
+            row.extend_from_slice(&arr[..]);
+        }
+        for arr in [
+            &self.tcp_pose_target,
+            &self.tcp_pose_actual,
+            &self.tcp_speed_target,
+            &self.tcp_speed_actual,
+            &self.tcp_force,
+        ] {
+            row.extend_from_slice(&arr[..]);
+        }
+        for arr in [
+            &self.tool_accelerometer,
+            &self.elbow_position,
+            &self.elbow_velocity,
+        ] {
+            row.extend_from_slice(&arr[..]);
+        }
+        row.extend_from_slice(&[
+            self.robot_voltage,
+            self.robot_current,
+            self.payload_mass,
+            self.speed_scaling,
+            self.digital_inputs,
+            self.digital_outputs,
+            self.safety_status,
+            self.runtime_state,
+            self.robot_mode,
+            self.tool_output_voltage,
+        ]);
+        row
+    }
+
+    /// Column names matching [`PowerSample::to_row`].
+    pub fn column_names() -> Vec<String> {
+        let mut names = vec!["timestamp".to_owned()];
+        let joint_vectors = [
+            "q_target",
+            "q_actual",
+            "qd_target",
+            "qd_actual",
+            "qdd_target",
+            "qdd_actual",
+            "current_target",
+            "current_actual",
+            "moment_actual",
+            "joint_temperature",
+            "joint_voltage",
+            "joint_mode",
+        ];
+        for v in joint_vectors {
+            for j in 0..JOINTS {
+                names.push(format!("{v}_{j}"));
+            }
+        }
+        for v in [
+            "tcp_pose_target",
+            "tcp_pose_actual",
+            "tcp_speed_target",
+            "tcp_speed_actual",
+            "tcp_force",
+        ] {
+            for j in 0..6 {
+                names.push(format!("{v}_{j}"));
+            }
+        }
+        for v in ["tool_accelerometer", "elbow_position", "elbow_velocity"] {
+            for j in 0..3 {
+                names.push(format!("{v}_{j}"));
+            }
+        }
+        for v in [
+            "robot_voltage",
+            "robot_current",
+            "payload_mass",
+            "speed_scaling",
+            "digital_inputs",
+            "digital_outputs",
+            "safety_status",
+            "runtime_state",
+            "robot_mode",
+            "tool_output_voltage",
+        ] {
+            names.push(v.to_owned());
+        }
+        names
+    }
+
+    /// Whether this tick belongs to a quiescent period (no joint moving,
+    /// negligible current above idle). §IV: RAD stores only a fraction
+    /// of quiescent entries.
+    pub fn is_quiescent(&self) -> bool {
+        self.qd_actual.iter().all(|v| v.abs() < 1e-3)
+            && self.current_actual.iter().all(|c| c.abs() < 0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_carries_exactly_122_properties() {
+        let s = PowerSample::quiescent(0.0, [0.0; JOINTS]);
+        assert_eq!(s.to_row().len(), PowerSample::FIELD_COUNT);
+        assert_eq!(PowerSample::column_names().len(), PowerSample::FIELD_COUNT);
+        assert_eq!(PowerSample::FIELD_COUNT, 122);
+    }
+
+    #[test]
+    fn column_names_are_unique() {
+        let names = PowerSample::column_names();
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+    }
+
+    #[test]
+    fn quiescent_sample_is_quiescent() {
+        let s = PowerSample::quiescent(1.0, [0.3; JOINTS]);
+        assert!(s.is_quiescent());
+    }
+
+    #[test]
+    fn moving_sample_is_not_quiescent() {
+        let mut s = PowerSample::quiescent(1.0, [0.3; JOINTS]);
+        s.qd_actual[2] = 0.5;
+        assert!(!s.is_quiescent());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = PowerSample::quiescent(2.5, [0.1; JOINTS]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: PowerSample = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn row_starts_with_timestamp() {
+        let s = PowerSample::quiescent(3.25, [0.0; JOINTS]);
+        assert_eq!(s.to_row()[0], 3.25);
+    }
+}

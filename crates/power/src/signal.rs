@@ -1,0 +1,220 @@
+//! Signal-analysis utilities for current profiles.
+//!
+//! §VI compares current traces by shape: Pearson correlation between
+//! runs with different solids (> 0.97), peak counts and amplitudes
+//! across velocities, and level shifts across payloads. These are the
+//! primitives behind those comparisons.
+
+/// Pearson correlation coefficient between two equal-length series.
+///
+/// # Errors
+///
+/// Returns an error message when the series differ in length, are
+/// shorter than two points, or have zero variance.
+///
+/// # Examples
+///
+/// ```
+/// use rad_power::signal::pearson;
+///
+/// let a = [1.0, 2.0, 3.0, 4.0];
+/// let b = [2.0, 4.0, 6.0, 8.0];
+/// assert!((pearson(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(a: &[f64], b: &[f64]) -> Result<f64, String> {
+    if a.len() != b.len() {
+        return Err(format!("length mismatch: {} vs {}", a.len(), b.len()));
+    }
+    if a.len() < 2 {
+        return Err("need at least two points".to_owned());
+    }
+    let n = a.len() as f64;
+    let mean_a = a.iter().sum::<f64>() / n;
+    let mean_b = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let dx = x - mean_a;
+        let dy = y - mean_b;
+        cov += dx * dy;
+        var_a += dx * dx;
+        var_b += dy * dy;
+    }
+    if var_a == 0.0 || var_b == 0.0 {
+        return Err("zero variance".to_owned());
+    }
+    Ok(cov / (var_a.sqrt() * var_b.sqrt()))
+}
+
+/// Linearly resamples `series` to `target_len` points (used to compare
+/// traces of different velocities, which have different durations —
+/// the "stretched" curve of Fig. 7c).
+///
+/// # Panics
+///
+/// Panics if `series` is empty or `target_len` is zero.
+pub fn resample(series: &[f64], target_len: usize) -> Vec<f64> {
+    assert!(!series.is_empty(), "cannot resample an empty series");
+    assert!(target_len > 0, "target length must be positive");
+    if series.len() == 1 {
+        return vec![series[0]; target_len];
+    }
+    if target_len == 1 {
+        return vec![series[0]];
+    }
+    (0..target_len)
+        .map(|i| {
+            let pos = i as f64 * (series.len() - 1) as f64 / (target_len - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = (lo + 1).min(series.len() - 1);
+            let frac = pos - lo as f64;
+            series[lo] * (1.0 - frac) + series[hi] * frac
+        })
+        .collect()
+}
+
+/// Counts local extrema (peaks and troughs) whose prominence exceeds
+/// `min_prominence`. Fig. 7c observes that traces at different
+/// velocities share the same number of peaks.
+pub fn extrema_count(series: &[f64], min_prominence: f64) -> usize {
+    if series.len() < 3 {
+        return 0;
+    }
+    // Collect local extrema as derivative sign changes, then keep only
+    // those that move at least `min_prominence` away from the previous
+    // kept extremum — small ripples collapse onto their carrier.
+    let mut count = 0;
+    let mut last_kept = series[0];
+    for i in 1..series.len() - 1 {
+        let rising = series[i] - series[i - 1];
+        let falling = series[i + 1] - series[i];
+        if rising * falling < 0.0 && (series[i] - last_kept).abs() > min_prominence {
+            count += 1;
+            last_kept = series[i];
+        }
+    }
+    count
+}
+
+/// Peak-to-peak amplitude of a series. Zero for series shorter than two
+/// points.
+pub fn peak_to_peak(series: &[f64]) -> f64 {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in series {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if hi >= lo {
+        hi - lo
+    } else {
+        0.0
+    }
+}
+
+/// Mean of the absolute values — the "how much current overall" summary
+/// used for the payload comparison (Fig. 7d).
+pub fn mean_abs(series: &[f64]) -> f64 {
+    if series.is_empty() {
+        return 0.0;
+    }
+    series.iter().map(|v| v.abs()).sum::<f64>() / series.len() as f64
+}
+
+/// Root-mean-square of a series.
+pub fn rms(series: &[f64]) -> f64 {
+    if series.is_empty() {
+        return 0.0;
+    }
+    (series.iter().map(|v| v * v).sum::<f64>() / series.len() as f64).sqrt()
+}
+
+/// Pearson correlation after resampling both series to the length of
+/// the shorter one — the shape comparison used for the velocity sweep.
+///
+/// # Errors
+///
+/// Propagates [`pearson`]'s errors.
+pub fn shape_correlation(a: &[f64], b: &[f64]) -> Result<f64, String> {
+    if a.is_empty() || b.is_empty() {
+        return Err("empty series".to_owned());
+    }
+    let len = a.len().min(b.len());
+    let ra = resample(a, len);
+    let rb = resample(b, len);
+    pearson(&ra, &rb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_of_anticorrelated_series_is_minus_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 2.0, 1.0];
+        assert!((pearson(&a, &b).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_rejects_degenerate_inputs() {
+        assert!(pearson(&[1.0], &[1.0]).is_err());
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn resample_preserves_endpoints() {
+        let s = [0.0, 1.0, 4.0, 9.0];
+        let r = resample(&s, 7);
+        assert_eq!(r.len(), 7);
+        assert_eq!(r[0], 0.0);
+        assert_eq!(*r.last().unwrap(), 9.0);
+    }
+
+    #[test]
+    fn resample_identity_when_lengths_match() {
+        let s = [1.0, 5.0, 2.0];
+        assert_eq!(resample(&s, 3), s.to_vec());
+    }
+
+    #[test]
+    fn stretched_series_correlates_with_original() {
+        // A sine sampled at two different rates has identical shape.
+        let fine: Vec<f64> = (0..200).map(|i| (i as f64 * 0.05).sin()).collect();
+        let coarse: Vec<f64> = (0..50).map(|i| (i as f64 * 0.2).sin()).collect();
+        let r = shape_correlation(&fine, &coarse).unwrap();
+        assert!(r > 0.99, "shape correlation {r}");
+    }
+
+    #[test]
+    fn extrema_count_finds_sine_peaks() {
+        // Two full periods: 2 peaks + 2 troughs.
+        let s: Vec<f64> = (0..400)
+            .map(|i| (i as f64 / 400.0 * 4.0 * std::f64::consts::PI).sin())
+            .collect();
+        assert_eq!(extrema_count(&s, 0.001), 4);
+    }
+
+    #[test]
+    fn extrema_count_ignores_small_ripples() {
+        let s: Vec<f64> = (0..100)
+            .map(|i| {
+                let t = i as f64 / 100.0;
+                t + 0.001 * (t * 300.0).sin() // tiny ripple on a ramp
+            })
+            .collect();
+        assert_eq!(extrema_count(&s, 0.05), 0);
+    }
+
+    #[test]
+    fn amplitude_helpers() {
+        let s = [-2.0, 0.0, 3.0];
+        assert_eq!(peak_to_peak(&s), 5.0);
+        assert!((mean_abs(&s) - 5.0 / 3.0).abs() < 1e-12);
+        assert!((rms(&s) - (13.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(peak_to_peak(&[]), 0.0);
+        assert_eq!(mean_abs(&[]), 0.0);
+        assert_eq!(rms(&[]), 0.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Trapezoidal joint-space trajectory generation.
+//!
+//! UR controllers execute `movej` with a trapezoidal velocity profile:
+//! constant acceleration to the cruise velocity, cruise, constant
+//! deceleration. For short moves the profile degenerates to a triangle.
+//! All six joints are synchronized to the *lead joint* (largest angular
+//! distance); the others scale proportionally so every joint starts and
+//! stops together, which is what the real controller does.
+
+use crate::JOINTS;
+
+/// One planned joint-space move.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectorySegment {
+    start: [f64; JOINTS],
+    end: [f64; JOINTS],
+    cruise_velocity: f64,
+    acceleration: f64,
+}
+
+impl TrajectorySegment {
+    /// Default joint acceleration (rad/s²), matching the UR default of
+    /// 1.4 for `movej`.
+    pub const DEFAULT_ACCELERATION: f64 = 1.4;
+
+    /// Plans a synchronized joint move from `start` to `end` with the
+    /// lead joint cruising at `cruise_velocity` (rad/s) and the default
+    /// acceleration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cruise_velocity` is not strictly positive and finite.
+    pub fn joint_move(start: [f64; JOINTS], end: [f64; JOINTS], cruise_velocity: f64) -> Self {
+        Self::joint_move_with_acceleration(start, end, cruise_velocity, Self::DEFAULT_ACCELERATION)
+    }
+
+    /// Plans a synchronized joint move with an explicit acceleration
+    /// limit (rad/s²).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cruise_velocity` or `acceleration` is not strictly
+    /// positive and finite.
+    pub fn joint_move_with_acceleration(
+        start: [f64; JOINTS],
+        end: [f64; JOINTS],
+        cruise_velocity: f64,
+        acceleration: f64,
+    ) -> Self {
+        assert!(
+            cruise_velocity.is_finite() && cruise_velocity > 0.0,
+            "cruise velocity must be positive and finite"
+        );
+        assert!(
+            acceleration.is_finite() && acceleration > 0.0,
+            "acceleration must be positive and finite"
+        );
+        TrajectorySegment {
+            start,
+            end,
+            cruise_velocity,
+            acceleration,
+        }
+    }
+
+    /// Start joint vector.
+    pub fn start(&self) -> [f64; JOINTS] {
+        self.start
+    }
+
+    /// End joint vector.
+    pub fn end(&self) -> [f64; JOINTS] {
+        self.end
+    }
+
+    /// Lead-joint cruise velocity (rad/s).
+    pub fn cruise_velocity(&self) -> f64 {
+        self.cruise_velocity
+    }
+
+    /// Angular distance of the lead joint (radians).
+    pub fn lead_distance(&self) -> f64 {
+        self.start
+            .iter()
+            .zip(&self.end)
+            .map(|(a, b)| (b - a).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Total move duration in seconds (trapezoidal or triangular).
+    pub fn duration(&self) -> f64 {
+        let d = self.lead_distance();
+        if d == 0.0 {
+            return 0.0;
+        }
+        let v = self.cruise_velocity;
+        let a = self.acceleration;
+        let d_ramp = v * v / a; // distance covered by accel + decel at full cruise
+        if d >= d_ramp {
+            // Trapezoid: two ramps of v/a seconds plus cruise.
+            2.0 * v / a + (d - d_ramp) / v
+        } else {
+            // Triangle: peak velocity sqrt(a d).
+            2.0 * (d / a).sqrt()
+        }
+    }
+
+    /// Lead-joint progress (position along `[0, lead_distance]`),
+    /// velocity and acceleration at time `t` seconds into the move.
+    fn lead_state(&self, t: f64) -> (f64, f64, f64) {
+        let d = self.lead_distance();
+        if d == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let a = self.acceleration;
+        let v = self.cruise_velocity.min((a * d).sqrt());
+        let t_ramp = v / a;
+        let t_total = self.duration();
+        if t <= 0.0 {
+            (0.0, 0.0, 0.0)
+        } else if t < t_ramp {
+            (0.5 * a * t * t, a * t, a)
+        } else if t < t_total - t_ramp {
+            let p_ramp = 0.5 * a * t_ramp * t_ramp;
+            (p_ramp + v * (t - t_ramp), v, 0.0)
+        } else if t < t_total {
+            let remaining = t_total - t;
+            (d - 0.5 * a * remaining * remaining, a * remaining, -a)
+        } else {
+            (d, 0.0, 0.0)
+        }
+    }
+
+    /// Samples the full joint state at time `t` seconds into the move.
+    #[allow(clippy::needless_range_loop)] // parallel per-joint arrays
+    pub fn sample(&self, t: f64) -> TrajectoryPoint {
+        let d = self.lead_distance();
+        let (lead_pos, lead_vel, lead_acc) = self.lead_state(t);
+        let fraction = if d == 0.0 { 1.0 } else { lead_pos / d };
+        let mut q = [0.0; JOINTS];
+        let mut qd = [0.0; JOINTS];
+        let mut qdd = [0.0; JOINTS];
+        for i in 0..JOINTS {
+            let delta = self.end[i] - self.start[i];
+            let scale = if d == 0.0 { 0.0 } else { delta / d };
+            q[i] = self.start[i] + delta * fraction;
+            qd[i] = lead_vel * scale;
+            qdd[i] = lead_acc * scale;
+        }
+        TrajectoryPoint { t, q, qd, qdd }
+    }
+
+    /// Samples the whole move at fixed `dt` intervals, inclusive of the
+    /// final resting state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive and finite.
+    pub fn sample_at(&self, dt: f64) -> Vec<TrajectoryPoint> {
+        assert!(
+            dt.is_finite() && dt > 0.0,
+            "sample period must be positive and finite"
+        );
+        let total = self.duration();
+        let steps = (total / dt).ceil() as usize;
+        (0..=steps).map(|i| self.sample(i as f64 * dt)).collect()
+    }
+}
+
+/// Joint positions, velocities, and accelerations at one instant of a
+/// planned move.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectoryPoint {
+    /// Seconds since the start of the segment.
+    pub t: f64,
+    /// Joint positions (rad).
+    pub q: [f64; JOINTS],
+    /// Joint velocities (rad/s).
+    pub qd: [f64; JOINTS],
+    /// Joint accelerations (rad/s²).
+    pub qdd: [f64; JOINTS],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple(distance: f64, v: f64) -> TrajectorySegment {
+        let start = [0.0; JOINTS];
+        let mut end = [0.0; JOINTS];
+        end[0] = distance;
+        TrajectorySegment::joint_move(start, end, v)
+    }
+
+    #[test]
+    fn long_move_is_trapezoidal() {
+        // 2 rad at 1 rad/s, a = 1.4: ramps take 1/1.4 s each and cover
+        // 1/1.4 rad total, leaving cruise time.
+        let seg = simple(2.0, 1.0);
+        let expected = 2.0 / 1.4 + (2.0 - 1.0 / 1.4) / 1.0;
+        assert!((seg.duration() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_move_is_triangular() {
+        let seg = simple(0.1, 2.0);
+        let expected = 2.0 * (0.1f64 / 1.4).sqrt();
+        assert!((seg.duration() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_cruise_shortens_the_move() {
+        let slow = simple(2.0, 0.5).duration();
+        let fast = simple(2.0, 1.5).duration();
+        assert!(fast < slow);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn endpoints_are_exact() {
+        let start = [0.1, -1.0, 0.5, 0.0, 0.3, -0.2];
+        let end = [0.9, -0.2, 1.0, -0.5, 0.3, 0.4];
+        let seg = TrajectorySegment::joint_move(start, end, 1.0);
+        let first = seg.sample(0.0);
+        let last = seg.sample(seg.duration() + 1.0);
+        assert_eq!(first.q, start);
+        for i in 0..JOINTS {
+            assert!((last.q[i] - end[i]).abs() < 1e-9);
+            assert_eq!(last.qd[i], 0.0);
+        }
+    }
+
+    #[test]
+    fn velocity_peaks_at_cruise() {
+        let seg = simple(2.0, 1.0);
+        let peak = seg
+            .sample_at(0.01)
+            .iter()
+            .map(|p| p.qd[0].abs())
+            .fold(0.0, f64::max);
+        assert!((peak - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn joints_stay_synchronized() {
+        let start = [0.0; JOINTS];
+        let mut end = [0.0; JOINTS];
+        end[0] = 1.0; // lead
+        end[3] = 0.5; // follower at half scale
+        let seg = TrajectorySegment::joint_move(start, end, 1.0);
+        for p in seg.sample_at(0.05) {
+            assert!((p.q[3] - p.q[0] * 0.5).abs() < 1e-9);
+            assert!((p.qd[3] - p.qd[0] * 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn negative_direction_moves_have_negative_velocity() {
+        let start = [1.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let end = [0.0; JOINTS];
+        let seg = TrajectorySegment::joint_move(start, end, 1.0);
+        let mid = seg.sample(seg.duration() / 2.0);
+        assert!(mid.qd[0] < 0.0);
+    }
+
+    #[test]
+    fn zero_length_move_has_zero_duration() {
+        let seg = simple(0.0, 1.0);
+        assert_eq!(seg.duration(), 0.0);
+        let p = seg.sample(0.5);
+        assert_eq!(p.q, [0.0; JOINTS]);
+    }
+
+    #[test]
+    fn sample_at_covers_duration_inclusively() {
+        let seg = simple(1.0, 1.0);
+        let pts = seg.sample_at(0.04);
+        assert!(pts.last().unwrap().t >= seg.duration());
+        assert_eq!(pts.first().unwrap().t, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_velocity_is_rejected() {
+        let _ = simple(1.0, 0.0);
+    }
+}

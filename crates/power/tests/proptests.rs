@@ -1,0 +1,138 @@
+//! Property tests on trajectories, dynamics, and signal analysis.
+
+#![allow(clippy::needless_range_loop)] // matrix checks read best indexed
+
+use proptest::prelude::*;
+use rad_power::{signal, TrajectorySegment, Ur3e, Ur3eDynamics, JOINTS};
+
+fn arb_pose() -> impl Strategy<Value = [f64; JOINTS]> {
+    proptest::array::uniform6(-3.0f64..3.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every planned move ends exactly at its target with zero
+    /// velocity, whatever the endpoints and cruise speed.
+    #[test]
+    fn trajectories_reach_their_targets(
+        start in arb_pose(),
+        end in arb_pose(),
+        v in 0.05f64..3.0,
+    ) {
+        let seg = TrajectorySegment::joint_move(start, end, v);
+        let last = seg.sample(seg.duration() + 0.001);
+        for j in 0..JOINTS {
+            prop_assert!((last.q[j] - end[j]).abs() < 1e-9);
+            prop_assert_eq!(last.qd[j], 0.0);
+        }
+    }
+
+    /// Joint velocity never exceeds the commanded cruise velocity.
+    #[test]
+    fn velocity_respects_the_cruise_limit(
+        start in arb_pose(),
+        end in arb_pose(),
+        v in 0.05f64..3.0,
+    ) {
+        let seg = TrajectorySegment::joint_move(start, end, v);
+        for p in seg.sample_at(0.01) {
+            for j in 0..JOINTS {
+                prop_assert!(p.qd[j].abs() <= v + 1e-9);
+            }
+        }
+    }
+
+    /// Faster cruise never lengthens a move.
+    #[test]
+    fn duration_is_monotone_in_velocity(
+        start in arb_pose(),
+        end in arb_pose(),
+        v in 0.05f64..1.0,
+    ) {
+        let slow = TrajectorySegment::joint_move(start, end, v).duration();
+        let fast = TrajectorySegment::joint_move(start, end, v * 2.0).duration();
+        prop_assert!(fast <= slow + 1e-9);
+    }
+
+    /// Gravity torque vanishes only through posture, never payload:
+    /// adding payload never reduces the shoulder's absolute torque
+    /// when the arm is extended forward.
+    #[test]
+    fn payload_never_reduces_extended_shoulder_torque(
+        payload in 0.0f64..2.0,
+        q1 in -1.4f64..-0.1,
+        q2 in 0.1f64..1.4,
+    ) {
+        let dynamics = Ur3eDynamics::new();
+        let q = [0.0, q1, q2, 0.0, 0.0, 0.0];
+        prop_assume!((q1 + q2).cos() > 0.0 && q1.cos() > 0.0);
+        let empty = dynamics.gravity_torques(&q, 0.0).0[1];
+        let loaded = dynamics.gravity_torques(&q, payload).0[1];
+        prop_assert!(loaded >= empty - 1e-12);
+    }
+
+    /// Pearson correlation is symmetric and bounded.
+    #[test]
+    fn pearson_is_symmetric_and_bounded(
+        a in proptest::collection::vec(-100.0f64..100.0, 3..50),
+        b in proptest::collection::vec(-100.0f64..100.0, 3..50),
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        if let (Ok(r1), Ok(r2)) = (signal::pearson(a, b), signal::pearson(b, a)) {
+            prop_assert!((r1 - r2).abs() < 1e-12);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r1));
+        }
+    }
+
+    /// A series correlates perfectly with any positive affine image of
+    /// itself.
+    #[test]
+    fn pearson_affine_invariance(
+        a in proptest::collection::vec(-100.0f64..100.0, 3..40),
+        scale in 0.1f64..10.0,
+        shift in -50.0f64..50.0,
+    ) {
+        let b: Vec<f64> = a.iter().map(|v| v * scale + shift).collect();
+        if let Ok(r) = signal::pearson(&a, &b) {
+            prop_assert!((r - 1.0).abs() < 1e-6, "r = {r}");
+        }
+    }
+
+    /// Resampling to the same length is the identity; resampling
+    /// preserves endpoints.
+    #[test]
+    fn resample_identity_and_endpoints(
+        series in proptest::collection::vec(-10.0f64..10.0, 2..60),
+        target in 2usize..80,
+    ) {
+        let same = signal::resample(&series, series.len());
+        prop_assert_eq!(&same, &series);
+        let re = signal::resample(&series, target);
+        prop_assert_eq!(re.len(), target);
+        prop_assert!((re[0] - series[0]).abs() < 1e-12);
+        prop_assert!((re[target - 1] - series[series.len() - 1]).abs() < 1e-12);
+    }
+
+    /// Profiles are exactly reproducible per seed, whatever the pose
+    /// pair and payload.
+    #[test]
+    fn profiles_are_deterministic(
+        from in 0usize..6,
+        to in 0usize..6,
+        payload in 0.0f64..1.0,
+        seed in 0u64..50,
+    ) {
+        prop_assume!(from != to);
+        let arm = Ur3e::new();
+        let seg = TrajectorySegment::joint_move(
+            Ur3e::named_pose(from),
+            Ur3e::named_pose(to),
+            0.9,
+        );
+        let a = arm.current_profile(std::slice::from_ref(&seg), payload, seed);
+        let b = arm.current_profile(std::slice::from_ref(&seg), payload, seed);
+        prop_assert_eq!(a, b);
+    }
+}

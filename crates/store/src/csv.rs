@@ -1,0 +1,297 @@
+//! A small CSV codec and the RAD export formats.
+//!
+//! RATracer's fallback sink is a `.csv` file; RAD itself is published
+//! as CSV tables. This module implements RFC-4180-style quoting and
+//! the two export schemas: trace objects (command dataset) and power
+//! samples (power dataset).
+
+use rad_core::{
+    Command, CommandType, DeviceId, DeviceKind, Label, ProcedureKind, RadError, RunId, SimDuration,
+    SimInstant, TraceId, TraceMode, TraceObject, Value,
+};
+use rad_power::PowerSample;
+
+/// Encodes one CSV field, quoting when needed.
+fn encode_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Encodes one row.
+pub fn encode_row<S: AsRef<str>>(fields: &[S]) -> String {
+    fields
+        .iter()
+        .map(|f| encode_field(f.as_ref()))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Splits one CSV line into fields, honouring quotes.
+///
+/// # Errors
+///
+/// Returns [`RadError::Store`] on unterminated quotes.
+pub fn decode_row(line: &str) -> Result<Vec<String>, RadError> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        current.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => current.push(other),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => fields.push(std::mem::take(&mut current)),
+                other => current.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(RadError::Store(format!(
+            "unterminated quote in csv line: {line}"
+        )));
+    }
+    fields.push(current);
+    Ok(fields)
+}
+
+/// Column headers of the command-dataset export.
+pub const TRACE_HEADERS: [&str; 11] = [
+    "trace_id",
+    "timestamp_us",
+    "device",
+    "command",
+    "args",
+    "mode",
+    "return_value",
+    "exception",
+    "response_time_us",
+    "procedure",
+    "run_id",
+];
+
+/// Serializes trace objects to a CSV document (with header row).
+pub fn traces_to_csv(traces: &[TraceObject]) -> String {
+    let mut out = String::new();
+    out.push_str(&encode_row(&TRACE_HEADERS));
+    out.push('\n');
+    for t in traces {
+        let args = serde_json::to_string(t.command().args()).expect("values serialize");
+        let ret = serde_json::to_string(t.return_value()).expect("values serialize");
+        let row = [
+            t.id().0.to_string(),
+            t.timestamp().as_micros().to_string(),
+            t.device().kind().to_string(),
+            t.command_type().mnemonic().to_owned(),
+            args,
+            t.mode().to_string(),
+            ret,
+            t.exception().unwrap_or_default().to_owned(),
+            t.response_time().as_micros().to_string(),
+            t.procedure().paper_id().to_owned(),
+            t.run_id().map(|r| r.0.to_string()).unwrap_or_default(),
+        ];
+        out.push_str(&encode_row(&row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a command-dataset CSV document produced by [`traces_to_csv`].
+///
+/// Labels are not stored per-row in the export (they live in the run
+/// metadata table), so parsed traces carry [`Label::Unknown`] unless a
+/// run id maps them back.
+///
+/// # Errors
+///
+/// Returns [`RadError::Store`] on malformed rows and propagates parse
+/// failures of devices, commands, and numbers.
+pub fn traces_from_csv(text: &str) -> Result<Vec<TraceObject>, RadError> {
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| RadError::Store("empty csv".into()))?;
+    let header_fields = decode_row(header)?;
+    if header_fields != TRACE_HEADERS {
+        return Err(RadError::Store(format!("unexpected csv header: {header}")));
+    }
+    let mut traces = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let fields = decode_row(line)?;
+        if fields.len() != TRACE_HEADERS.len() {
+            return Err(RadError::Store(format!(
+                "row {} has {} fields, expected {}",
+                lineno + 2,
+                fields.len(),
+                TRACE_HEADERS.len()
+            )));
+        }
+        let parse_u64 = |s: &str, what: &str| -> Result<u64, RadError> {
+            s.parse()
+                .map_err(|_| RadError::Store(format!("bad {what}: {s}")))
+        };
+        let device: DeviceKind = fields[2].parse()?;
+        let command_type: CommandType = fields[3].parse()?;
+        let args: Vec<Value> = serde_json::from_str(&fields[4])
+            .map_err(|e| RadError::Store(format!("bad args json: {e}")))?;
+        let ret: Value = serde_json::from_str(&fields[6])
+            .map_err(|e| RadError::Store(format!("bad return json: {e}")))?;
+        let mode = match fields[5].as_str() {
+            "DIRECT" => TraceMode::Direct,
+            "REMOTE" => TraceMode::Remote,
+            "CLOUD" => TraceMode::Cloud,
+            other => return Err(RadError::Store(format!("bad mode: {other}"))),
+        };
+        let procedure: ProcedureKind = fields[9].parse()?;
+        let mut builder = TraceObject::builder(
+            TraceId(parse_u64(&fields[0], "trace id")?),
+            SimInstant::from_micros(parse_u64(&fields[1], "timestamp")?),
+            DeviceId::primary(device),
+            Command::new(command_type, args),
+        )
+        .mode(mode)
+        .return_value(ret)
+        .response_time(SimDuration::from_micros(parse_u64(
+            &fields[8],
+            "response time",
+        )?));
+        if !fields[7].is_empty() {
+            builder = builder.exception(fields[7].clone());
+        }
+        if !fields[10].is_empty() {
+            let run_id = RunId(
+                fields[10]
+                    .parse()
+                    .map_err(|_| RadError::Store(format!("bad run id: {}", fields[10])))?,
+            );
+            builder = builder.run(procedure, run_id, Label::Unknown);
+        }
+        traces.push(builder.build());
+    }
+    Ok(traces)
+}
+
+/// Serializes power samples to a 122-column CSV document.
+pub fn power_to_csv(samples: &[PowerSample]) -> String {
+    let mut out = String::new();
+    out.push_str(&PowerSample::column_names().join(","));
+    out.push('\n');
+    for s in samples {
+        let row: Vec<String> = s.to_row().iter().map(|v| format!("{v}")).collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rad_core::SimInstant;
+
+    fn sample_trace(id: u64, ct: CommandType) -> TraceObject {
+        TraceObject::builder(
+            TraceId(id),
+            SimInstant::from_micros(1_000 * id),
+            DeviceId::primary(ct.device()),
+            Command::new(ct, vec![Value::Int(3), Value::Str("a,b \"q\"".into())]),
+        )
+        .mode(TraceMode::Remote)
+        .return_value(Value::Bool(true))
+        .response_time(SimDuration::from_millis(6))
+        .run(ProcedureKind::JoystickMovements, RunId(2), Label::Benign)
+        .build()
+    }
+
+    #[test]
+    fn field_quoting_round_trips() {
+        let nasty = ["plain", "with,comma", "with\"quote", "with\nnewline", ""];
+        let row = encode_row(&nasty);
+        let back = decode_row(&row).unwrap();
+        assert_eq!(back, nasty);
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        assert!(decode_row("\"oops").is_err());
+    }
+
+    #[test]
+    fn traces_round_trip_through_csv() {
+        let traces = vec![
+            sample_trace(0, CommandType::Arm),
+            sample_trace(1, CommandType::TecanGetStatus),
+        ];
+        let csv = traces_to_csv(&traces);
+        let back = traces_from_csv(&csv).unwrap();
+        assert_eq!(back.len(), 2);
+        for (a, b) in traces.iter().zip(&back) {
+            assert_eq!(a.id(), b.id());
+            assert_eq!(a.timestamp(), b.timestamp());
+            assert_eq!(a.command(), b.command());
+            assert_eq!(a.mode(), b.mode());
+            assert_eq!(a.return_value(), b.return_value());
+            assert_eq!(a.response_time(), b.response_time());
+            assert_eq!(a.procedure(), b.procedure());
+            assert_eq!(a.run_id(), b.run_id());
+        }
+    }
+
+    #[test]
+    fn exceptions_survive_round_trip() {
+        let t = TraceObject::builder(
+            TraceId(9),
+            SimInstant::EPOCH,
+            DeviceId::primary(DeviceKind::Quantos),
+            Command::nullary(CommandType::StartDosing),
+        )
+        .exception("collision with ur3e arm")
+        .build();
+        let back = traces_from_csv(&traces_to_csv(&[t])).unwrap();
+        assert_eq!(back[0].exception(), Some("collision with ur3e arm"));
+    }
+
+    #[test]
+    fn header_mismatch_is_rejected() {
+        assert!(traces_from_csv("a,b,c\n1,2,3\n").is_err());
+        assert!(traces_from_csv("").is_err());
+    }
+
+    #[test]
+    fn truncated_row_is_rejected() {
+        let csv = traces_to_csv(&[sample_trace(0, CommandType::Arm)]);
+        let mut lines: Vec<&str> = csv.lines().collect();
+        let short = lines[1].rsplit_once(',').unwrap().0.to_owned();
+        lines[1] = &short;
+        assert!(traces_from_csv(&lines.join("\n")).is_err());
+    }
+
+    #[test]
+    fn power_csv_has_122_columns_per_row() {
+        let s = PowerSample::quiescent(0.0, [0.0; 6]);
+        let csv = power_to_csv(&[s]);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        let row = lines.next().unwrap();
+        assert_eq!(header.split(',').count(), PowerSample::FIELD_COUNT);
+        assert_eq!(row.split(',').count(), PowerSample::FIELD_COUNT);
+    }
+}

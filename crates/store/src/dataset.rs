@@ -1,0 +1,418 @@
+//! The curated RAD containers: command dataset and power dataset.
+//!
+//! §IV splits RAD into the *command dataset* (trace objects plus the
+//! run-level supervision labels) and the *power dataset* (25 Hz
+//! telemetry recordings). These containers are what the analyses
+//! consume and what the campaign synthesizer produces.
+
+use std::collections::BTreeMap;
+
+use rad_core::{CommandType, DeviceKind, Label, ProcedureKind, RunId, RunMetadata, TraceObject};
+use rad_power::CurrentProfile;
+use serde_json::json;
+
+use crate::document::DocumentStore;
+
+use rad_core::RadError as Error;
+
+/// The command half of RAD: trace objects plus run metadata.
+///
+/// # Examples
+///
+/// ```
+/// use rad_store::CommandDataset;
+///
+/// let ds = CommandDataset::new();
+/// assert!(ds.is_empty());
+/// assert_eq!(ds.supervised_runs().len(), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CommandDataset {
+    traces: Vec<TraceObject>,
+    runs: Vec<RunMetadata>,
+}
+
+impl CommandDataset {
+    /// An empty dataset.
+    pub fn new() -> Self {
+        CommandDataset::default()
+    }
+
+    /// Builds a dataset from parts.
+    pub fn from_parts(traces: Vec<TraceObject>, runs: Vec<RunMetadata>) -> Self {
+        CommandDataset { traces, runs }
+    }
+
+    /// Appends a trace object.
+    pub fn push_trace(&mut self, trace: TraceObject) {
+        self.traces.push(trace);
+    }
+
+    /// Registers a procedure run's metadata.
+    pub fn add_run(&mut self, run: RunMetadata) {
+        self.runs.push(run);
+    }
+
+    /// All trace objects, in capture order.
+    pub fn traces(&self) -> &[TraceObject] {
+        &self.traces
+    }
+
+    /// All registered run metadata.
+    pub fn runs(&self) -> &[RunMetadata] {
+        &self.runs
+    }
+
+    /// Number of trace objects.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether the dataset has no traces.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Metadata of the supervised runs (label not `Unknown`), sorted by
+    /// run id — the paper's 25-run set.
+    pub fn supervised_runs(&self) -> Vec<&RunMetadata> {
+        let mut runs: Vec<&RunMetadata> = self
+            .runs
+            .iter()
+            .filter(|r| r.label() != Label::Unknown)
+            .collect();
+        runs.sort_by_key(|r| r.run_id());
+        runs
+    }
+
+    /// Metadata for one run, if registered.
+    pub fn run(&self, run_id: RunId) -> Option<&RunMetadata> {
+        self.runs.iter().find(|r| r.run_id() == run_id)
+    }
+
+    /// The command-type sequence of one run, in timestamp order.
+    pub fn run_sequence(&self, run_id: RunId) -> Vec<CommandType> {
+        let mut traces: Vec<&TraceObject> = self
+            .traces
+            .iter()
+            .filter(|t| t.run_id() == Some(run_id))
+            .collect();
+        traces.sort_by_key(|t| t.timestamp());
+        traces.iter().map(|t| t.command_type()).collect()
+    }
+
+    /// `(metadata, command sequence)` for every supervised run, in run
+    /// id order — the input of the TF-IDF and perplexity analyses.
+    pub fn supervised_sequences(&self) -> Vec<(RunMetadata, Vec<CommandType>)> {
+        self.supervised_runs()
+            .into_iter()
+            .map(|meta| (meta.clone(), self.run_sequence(meta.run_id())))
+            .collect()
+    }
+
+    /// Count of trace objects per command type (Fig. 5a).
+    pub fn command_histogram(&self) -> BTreeMap<CommandType, u64> {
+        let mut hist = BTreeMap::new();
+        for t in &self.traces {
+            *hist.entry(t.command_type()).or_insert(0) += 1;
+        }
+        hist
+    }
+
+    /// Count of trace objects per device (Fig. 5a legend).
+    pub fn device_histogram(&self) -> BTreeMap<DeviceKind, u64> {
+        let mut hist = BTreeMap::new();
+        for t in &self.traces {
+            *hist.entry(t.device().kind()).or_insert(0) += 1;
+        }
+        hist
+    }
+
+    /// All trace objects of one procedure type.
+    pub fn traces_for(&self, procedure: ProcedureKind) -> Vec<&TraceObject> {
+        self.traces
+            .iter()
+            .filter(|t| t.procedure() == procedure)
+            .collect()
+    }
+
+    /// The full dataset as one flat command-type stream in timestamp
+    /// order — the corpus for the n-gram study of Fig. 5(b).
+    pub fn corpus(&self) -> Vec<CommandType> {
+        let mut traces: Vec<&TraceObject> = self.traces.iter().collect();
+        traces.sort_by_key(|t| t.timestamp());
+        traces.iter().map(|t| t.command_type()).collect()
+    }
+
+    /// Exports the command dataset as CSV (see [`crate::csv`]).
+    pub fn to_csv(&self) -> String {
+        crate::csv::traces_to_csv(&self.traces)
+    }
+
+    /// Inserts every trace as a document into `store` under the
+    /// `"traces"` collection and every run under `"runs"`, mirroring
+    /// RATracer's MongoDB sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`rad_core::RadError::Store`] from the store.
+    pub fn store_into(&self, store: &DocumentStore) -> Result<(), Error> {
+        for t in &self.traces {
+            let doc = json!({
+                "trace_id": t.id().0,
+                "timestamp_us": t.timestamp().as_micros(),
+                "device": t.device().kind().to_string(),
+                "command": t.command_type().mnemonic(),
+                "mode": t.mode().to_string(),
+                "exception": t.exception(),
+                "response_time_us": t.response_time().as_micros(),
+                "procedure": t.procedure().paper_id(),
+                "run_id": t.run_id().map(|r| r.0),
+            });
+            store.insert("traces", doc)?;
+        }
+        for r in &self.runs {
+            let doc = json!({
+                "run_id": r.run_id().0,
+                "procedure": r.kind().paper_id(),
+                "label": r.label().to_string(),
+                "note": r.operator_note(),
+            });
+            store.insert("runs", doc)?;
+        }
+        Ok(())
+    }
+
+    /// Merges another dataset into this one.
+    pub fn merge(&mut self, other: CommandDataset) {
+        self.traces.extend(other.traces);
+        self.runs.extend(other.runs);
+    }
+}
+
+/// One labelled telemetry recording in the power dataset.
+#[derive(Debug, Clone)]
+pub struct PowerRecording {
+    /// Procedure that produced the recording (P2, P5, or P6 in RAD).
+    pub procedure: ProcedureKind,
+    /// Run identifier within the power dataset.
+    pub run_id: RunId,
+    /// Free-form description (e.g. `"velocity=200mm/s"`, `"solid=CSTI"`).
+    pub description: String,
+    /// The 25 Hz telemetry stream.
+    pub profile: CurrentProfile,
+}
+
+/// The power half of RAD.
+#[derive(Debug, Clone, Default)]
+pub struct PowerDataset {
+    recordings: Vec<PowerRecording>,
+}
+
+impl PowerDataset {
+    /// An empty power dataset.
+    pub fn new() -> Self {
+        PowerDataset::default()
+    }
+
+    /// Adds a recording.
+    pub fn push(&mut self, recording: PowerRecording) {
+        self.recordings.push(recording);
+    }
+
+    /// All recordings.
+    pub fn recordings(&self) -> &[PowerRecording] {
+        &self.recordings
+    }
+
+    /// Recordings of one procedure type.
+    pub fn for_procedure(&self, procedure: ProcedureKind) -> Vec<&PowerRecording> {
+        self.recordings
+            .iter()
+            .filter(|r| r.procedure == procedure)
+            .collect()
+    }
+
+    /// Total number of telemetry entries across recordings.
+    pub fn total_entries(&self) -> usize {
+        self.recordings.iter().map(|r| r.profile.len()).sum()
+    }
+
+    /// Applies the paper's storage policy: quiescent ticks are dropped
+    /// unless `keep_quiescent` (days with activity keep them). Returns
+    /// a new dataset.
+    pub fn compacted(&self, keep_quiescent: bool) -> PowerDataset {
+        if keep_quiescent {
+            return self.clone();
+        }
+        let recordings = self
+            .recordings
+            .iter()
+            .map(|r| PowerRecording {
+                procedure: r.procedure,
+                run_id: r.run_id,
+                description: r.description.clone(),
+                profile: CurrentProfile::from_samples(
+                    r.profile
+                        .samples()
+                        .iter()
+                        .filter(|s| !s.is_quiescent())
+                        .cloned()
+                        .collect(),
+                ),
+            })
+            .collect();
+        PowerDataset { recordings }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rad_core::{Command, DeviceId, Label, SimDuration, SimInstant, TraceId, TraceMode};
+    use rad_power::{PowerSample, Ur3e};
+
+    fn trace(
+        id: u64,
+        t_us: u64,
+        ct: CommandType,
+        run: Option<(ProcedureKind, RunId, Label)>,
+    ) -> TraceObject {
+        let mut b = TraceObject::builder(
+            TraceId(id),
+            SimInstant::from_micros(t_us),
+            DeviceId::primary(ct.device()),
+            Command::nullary(ct),
+        )
+        .mode(TraceMode::Remote)
+        .response_time(SimDuration::from_millis(3));
+        if let Some((p, r, l)) = run {
+            b = b.run(p, r, l);
+        }
+        b.build()
+    }
+
+    fn labelled_dataset() -> CommandDataset {
+        let mut ds = CommandDataset::new();
+        let p4 = (ProcedureKind::JoystickMovements, RunId(0), Label::Benign);
+        ds.add_run(
+            RunMetadata::new(
+                RunId(0),
+                ProcedureKind::JoystickMovements,
+                SimInstant::EPOCH,
+            )
+            .with_label(Label::Benign),
+        );
+        // Out-of-order insertion to exercise the timestamp sort.
+        ds.push_trace(trace(1, 2_000, CommandType::Mvng, Some(p4)));
+        ds.push_trace(trace(0, 1_000, CommandType::Arm, Some(p4)));
+        ds.push_trace(trace(2, 3_000, CommandType::Arm, Some(p4)));
+        ds.push_trace(trace(3, 4_000, CommandType::TecanGetStatus, None));
+        ds
+    }
+
+    #[test]
+    fn run_sequence_is_timestamp_ordered() {
+        let ds = labelled_dataset();
+        assert_eq!(
+            ds.run_sequence(RunId(0)),
+            vec![CommandType::Arm, CommandType::Mvng, CommandType::Arm]
+        );
+    }
+
+    #[test]
+    fn histograms_count_commands_and_devices() {
+        let ds = labelled_dataset();
+        let cmds = ds.command_histogram();
+        assert_eq!(cmds[&CommandType::Arm], 2);
+        assert_eq!(cmds[&CommandType::Mvng], 1);
+        let devs = ds.device_histogram();
+        assert_eq!(devs[&DeviceKind::C9], 3);
+        assert_eq!(devs[&DeviceKind::Tecan], 1);
+    }
+
+    #[test]
+    fn supervised_runs_exclude_unknown() {
+        let mut ds = labelled_dataset();
+        ds.add_run(RunMetadata::new(
+            RunId(5),
+            ProcedureKind::Unknown,
+            SimInstant::EPOCH,
+        ));
+        let supervised = ds.supervised_runs();
+        assert_eq!(supervised.len(), 1);
+        assert_eq!(supervised[0].run_id(), RunId(0));
+    }
+
+    #[test]
+    fn corpus_interleaves_all_traces_by_time() {
+        let ds = labelled_dataset();
+        assert_eq!(ds.corpus().len(), 4);
+        assert_eq!(ds.corpus()[3], CommandType::TecanGetStatus);
+    }
+
+    #[test]
+    fn store_into_creates_both_collections() {
+        let ds = labelled_dataset();
+        let store = DocumentStore::new();
+        ds.store_into(&store).unwrap();
+        assert_eq!(
+            store.collection_names(),
+            vec!["runs".to_owned(), "traces".to_owned()]
+        );
+        assert_eq!(
+            store.count("traces", &crate::Filter::eq("device", json!("C9"))),
+            3
+        );
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = labelled_dataset();
+        let b = labelled_dataset();
+        let n = a.len();
+        a.merge(b);
+        assert_eq!(a.len(), 2 * n);
+        assert_eq!(a.runs().len(), 2);
+    }
+
+    #[test]
+    fn power_dataset_compaction_drops_quiescence() {
+        let arm = Ur3e::new();
+        let mut quiet = arm.quiescent_profile(Ur3e::named_pose(0), 50, 0);
+        let seg =
+            rad_power::TrajectorySegment::joint_move(Ur3e::named_pose(0), Ur3e::named_pose(1), 1.0);
+        quiet.extend(&arm.current_profile(&[seg], 0.0, 1));
+        let mut ds = PowerDataset::new();
+        ds.push(PowerRecording {
+            procedure: ProcedureKind::VelocitySweep,
+            run_id: RunId(0),
+            description: "test".into(),
+            profile: quiet,
+        });
+        let total = ds.total_entries();
+        let compact = ds.compacted(false);
+        assert!(compact.total_entries() < total);
+        assert!(compact.total_entries() > 0);
+        assert_eq!(ds.compacted(true).total_entries(), total);
+    }
+
+    #[test]
+    fn for_procedure_filters() {
+        let mut ds = PowerDataset::new();
+        ds.push(PowerRecording {
+            procedure: ProcedureKind::VelocitySweep,
+            run_id: RunId(0),
+            description: "v=100".into(),
+            profile: CurrentProfile::from_samples(vec![PowerSample::quiescent(0.0, [0.0; 6])]),
+        });
+        ds.push(PowerRecording {
+            procedure: ProcedureKind::PayloadSweep,
+            run_id: RunId(1),
+            description: "w=500".into(),
+            profile: CurrentProfile::from_samples(vec![]),
+        });
+        assert_eq!(ds.for_procedure(ProcedureKind::VelocitySweep).len(), 1);
+        assert_eq!(ds.for_procedure(ProcedureKind::CrystalSolubility).len(), 0);
+    }
+}

@@ -1,0 +1,365 @@
+//! An embedded document store — the MongoDB substitute.
+//!
+//! RATracer's tracing backend writes each intercepted access as a
+//! document. The store reproduces the slice of MongoDB the pipeline
+//! uses: named collections, insertion with auto-assigned ids, filtered
+//! scans, counting, and deletion. It is thread-safe ([`parking_lot`]
+//! `RwLock` per store) because the middlebox server thread inserts
+//! while analysis code reads.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use parking_lot::RwLock;
+use rad_core::RadError;
+use serde_json::Value as Json;
+
+/// Identifier assigned to each inserted document, unique per store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DocumentId(pub u64);
+
+impl fmt::Display for DocumentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "doc-{}", self.0)
+    }
+}
+
+/// A query filter over documents.
+///
+/// Filters compose conjunctively via [`Filter::and`]. Field paths use
+/// dots for nesting (`"command.type"`).
+///
+/// # Examples
+///
+/// ```
+/// use rad_store::Filter;
+/// use serde_json::json;
+///
+/// let f = Filter::eq("device", json!("C9")).and(Filter::gte("latency_ms", 5.0));
+/// assert!(f.matches(&json!({"device": "C9", "latency_ms": 7.0})));
+/// assert!(!f.matches(&json!({"device": "C9", "latency_ms": 3.0})));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Filter {
+    clauses: Vec<Clause>,
+}
+
+#[derive(Debug, Clone)]
+enum Clause {
+    Eq(String, Json),
+    Gte(String, f64),
+    Lte(String, f64),
+    Exists(String),
+}
+
+impl Filter {
+    /// The empty filter: matches every document.
+    pub fn all() -> Self {
+        Filter {
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Field equals a JSON value.
+    pub fn eq(path: impl Into<String>, value: Json) -> Self {
+        Filter {
+            clauses: vec![Clause::Eq(path.into(), value)],
+        }
+    }
+
+    /// Numeric field is `>= bound`.
+    pub fn gte(path: impl Into<String>, bound: f64) -> Self {
+        Filter {
+            clauses: vec![Clause::Gte(path.into(), bound)],
+        }
+    }
+
+    /// Numeric field is `<= bound`.
+    pub fn lte(path: impl Into<String>, bound: f64) -> Self {
+        Filter {
+            clauses: vec![Clause::Lte(path.into(), bound)],
+        }
+    }
+
+    /// Field exists (at any value, including `null`).
+    pub fn exists(path: impl Into<String>) -> Self {
+        Filter {
+            clauses: vec![Clause::Exists(path.into())],
+        }
+    }
+
+    /// Conjunction of two filters.
+    #[must_use]
+    pub fn and(mut self, other: Filter) -> Self {
+        self.clauses.extend(other.clauses);
+        self
+    }
+
+    /// Whether `doc` satisfies every clause.
+    pub fn matches(&self, doc: &Json) -> bool {
+        self.clauses.iter().all(|c| c.matches(doc))
+    }
+}
+
+impl Clause {
+    fn matches(&self, doc: &Json) -> bool {
+        match self {
+            Clause::Eq(path, value) => lookup(doc, path) == Some(value),
+            Clause::Gte(path, bound) => lookup(doc, path)
+                .and_then(Json::as_f64)
+                .is_some_and(|v| v >= *bound),
+            Clause::Lte(path, bound) => lookup(doc, path)
+                .and_then(Json::as_f64)
+                .is_some_and(|v| v <= *bound),
+            Clause::Exists(path) => lookup(doc, path).is_some(),
+        }
+    }
+}
+
+/// Resolves a dotted path inside a JSON document.
+fn lookup<'a>(doc: &'a Json, path: &str) -> Option<&'a Json> {
+    let mut current = doc;
+    for part in path.split('.') {
+        current = current.get(part)?;
+    }
+    Some(current)
+}
+
+#[derive(Default)]
+struct Collection {
+    docs: BTreeMap<u64, Json>,
+}
+
+/// The embedded document store.
+///
+/// Cloning is not provided; share a store behind an `Arc` as the
+/// middlebox does.
+#[derive(Default)]
+pub struct DocumentStore {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    collections: BTreeMap<String, Collection>,
+    next_id: u64,
+}
+
+impl DocumentStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        DocumentStore::default()
+    }
+
+    /// Inserts `doc` into `collection` (created on first use) and
+    /// returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadError::Store`] if `doc` is not a JSON object —
+    /// documents must be objects so filters can address fields.
+    pub fn insert(&self, collection: &str, doc: Json) -> Result<DocumentId, RadError> {
+        if !doc.is_object() {
+            return Err(RadError::Store(format!(
+                "documents must be JSON objects, got {doc}"
+            )));
+        }
+        let mut inner = self.inner.write();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner
+            .collections
+            .entry(collection.to_owned())
+            .or_default()
+            .docs
+            .insert(id, doc);
+        Ok(DocumentId(id))
+    }
+
+    /// Fetches a document by id.
+    pub fn get(&self, collection: &str, id: DocumentId) -> Option<Json> {
+        self.inner
+            .read()
+            .collections
+            .get(collection)?
+            .docs
+            .get(&id.0)
+            .cloned()
+    }
+
+    /// All documents in `collection` matching `filter`, in insertion
+    /// order.
+    pub fn find(&self, collection: &str, filter: &Filter) -> Vec<Json> {
+        self.inner
+            .read()
+            .collections
+            .get(collection)
+            .map(|c| {
+                c.docs
+                    .values()
+                    .filter(|d| filter.matches(d))
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Number of matching documents.
+    pub fn count(&self, collection: &str, filter: &Filter) -> usize {
+        self.inner
+            .read()
+            .collections
+            .get(collection)
+            .map(|c| c.docs.values().filter(|d| filter.matches(d)).count())
+            .unwrap_or(0)
+    }
+
+    /// Deletes matching documents, returning how many were removed.
+    pub fn delete(&self, collection: &str, filter: &Filter) -> usize {
+        let mut inner = self.inner.write();
+        let Some(c) = inner.collections.get_mut(collection) else {
+            return 0;
+        };
+        let victims: Vec<u64> = c
+            .docs
+            .iter()
+            .filter(|(_, d)| filter.matches(d))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &victims {
+            c.docs.remove(id);
+        }
+        victims.len()
+    }
+
+    /// Names of all collections, sorted.
+    pub fn collection_names(&self) -> Vec<String> {
+        self.inner.read().collections.keys().cloned().collect()
+    }
+
+    /// Total number of documents across all collections.
+    pub fn len(&self) -> usize {
+        self.inner
+            .read()
+            .collections
+            .values()
+            .map(|c| c.docs.len())
+            .sum()
+    }
+
+    /// Whether the store holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for DocumentStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.read();
+        f.debug_struct("DocumentStore")
+            .field("collections", &inner.collections.len())
+            .field(
+                "documents",
+                &inner
+                    .collections
+                    .values()
+                    .map(|c| c.docs.len())
+                    .sum::<usize>(),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn insert_assigns_increasing_ids() {
+        let store = DocumentStore::new();
+        let a = store.insert("c", json!({"x": 1})).unwrap();
+        let b = store.insert("c", json!({"x": 2})).unwrap();
+        assert!(b.0 > a.0);
+        assert_eq!(store.get("c", a), Some(json!({"x": 1})));
+    }
+
+    #[test]
+    fn non_object_documents_are_rejected() {
+        let store = DocumentStore::new();
+        assert!(store.insert("c", json!(42)).is_err());
+        assert!(store.insert("c", json!([1, 2])).is_err());
+    }
+
+    #[test]
+    fn find_filters_by_nested_path() {
+        let store = DocumentStore::new();
+        store
+            .insert("t", json!({"cmd": {"type": "ARM"}, "ms": 5.0}))
+            .unwrap();
+        store
+            .insert("t", json!({"cmd": {"type": "MVNG"}, "ms": 1.0}))
+            .unwrap();
+        let hits = store.find("t", &Filter::eq("cmd.type", json!("ARM")));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0]["ms"], json!(5.0));
+    }
+
+    #[test]
+    fn range_filters_compose() {
+        let store = DocumentStore::new();
+        for ms in [1.0, 5.0, 9.0, 40.0] {
+            store.insert("t", json!({ "ms": ms })).unwrap();
+        }
+        let mid = Filter::gte("ms", 2.0).and(Filter::lte("ms", 10.0));
+        assert_eq!(store.count("t", &mid), 2);
+    }
+
+    #[test]
+    fn exists_filter() {
+        let store = DocumentStore::new();
+        store
+            .insert("t", json!({"exception": "Collision"}))
+            .unwrap();
+        store.insert("t", json!({"ok": true})).unwrap();
+        assert_eq!(store.count("t", &Filter::exists("exception")), 1);
+    }
+
+    #[test]
+    fn delete_removes_only_matches() {
+        let store = DocumentStore::new();
+        store.insert("t", json!({"device": "C9"})).unwrap();
+        store.insert("t", json!({"device": "IKA"})).unwrap();
+        let removed = store.delete("t", &Filter::eq("device", json!("C9")));
+        assert_eq!(removed, 1);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn missing_collection_behaves_as_empty() {
+        let store = DocumentStore::new();
+        assert!(store.find("nope", &Filter::all()).is_empty());
+        assert_eq!(store.count("nope", &Filter::all()), 0);
+        assert_eq!(store.delete("nope", &Filter::all()), 0);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn concurrent_inserts_are_all_stored() {
+        use std::sync::Arc;
+        let store = Arc::new(DocumentStore::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    store.insert("t", json!({"thread": t, "i": i})).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 800);
+    }
+}

@@ -1,0 +1,302 @@
+//! On-disk export of the RAD bundle — the "open-source the dataset"
+//! deliverable.
+//!
+//! [`export_rad`] writes a directory shaped like the published
+//! artifact: `commands.csv` (the command dataset), `runs.csv` (the
+//! supervised-run metadata with labels and operator notes),
+//! `power/<run>-<n>.csv` (one 122-column telemetry table per
+//! recording), and a `MANIFEST.json` describing the bundle.
+//! [`import_commands`] reads the command half back.
+//!
+//! The document store also persists: [`DocumentStore::save`] /
+//! [`DocumentStore::load`] snapshot all collections to one JSON file.
+
+use std::fs;
+use std::path::Path;
+
+use rad_core::RadError;
+use serde_json::json;
+
+use crate::csv;
+use crate::dataset::{CommandDataset, PowerDataset};
+use crate::document::DocumentStore;
+
+fn io_err(context: &str, e: std::io::Error) -> RadError {
+    RadError::Store(format!("{context}: {e}"))
+}
+
+/// Writes the full RAD bundle under `dir` (created if missing).
+/// Returns the number of files written.
+///
+/// # Errors
+///
+/// Returns [`RadError::Store`] on any filesystem failure.
+pub fn export_rad(
+    commands: &CommandDataset,
+    power: &PowerDataset,
+    dir: &Path,
+) -> Result<usize, RadError> {
+    fs::create_dir_all(dir).map_err(|e| io_err("creating bundle dir", e))?;
+    let mut files = 0;
+
+    fs::write(dir.join("commands.csv"), commands.to_csv())
+        .map_err(|e| io_err("writing commands.csv", e))?;
+    files += 1;
+
+    let mut runs_csv = String::from("run_id,procedure,label,note\n");
+    for run in commands.runs() {
+        runs_csv.push_str(&csv::encode_row(&[
+            run.run_id().0.to_string(),
+            run.kind().paper_id().to_owned(),
+            run.label().to_string(),
+            run.operator_note().unwrap_or_default().to_owned(),
+        ]));
+        runs_csv.push('\n');
+    }
+    fs::write(dir.join("runs.csv"), runs_csv).map_err(|e| io_err("writing runs.csv", e))?;
+    files += 1;
+
+    let power_dir = dir.join("power");
+    fs::create_dir_all(&power_dir).map_err(|e| io_err("creating power dir", e))?;
+    for (i, recording) in power.recordings().iter().enumerate() {
+        let name = format!(
+            "{}-{:04}-{}.csv",
+            recording.procedure.paper_id(),
+            i,
+            recording.run_id.0
+        );
+        fs::write(
+            power_dir.join(name),
+            csv::power_to_csv(recording.profile.samples()),
+        )
+        .map_err(|e| io_err("writing power csv", e))?;
+        files += 1;
+    }
+
+    let manifest = json!({
+        "dataset": "RAD (simulated reproduction)",
+        "trace_objects": commands.len(),
+        "runs": commands.runs().len(),
+        "supervised_runs": commands.supervised_runs().len(),
+        "power_recordings": power.recordings().len(),
+        "power_entries": power.total_entries(),
+        "files": files + 1,
+    });
+    fs::write(
+        dir.join("MANIFEST.json"),
+        serde_json::to_string_pretty(&manifest).expect("manifest serializes"),
+    )
+    .map_err(|e| io_err("writing manifest", e))?;
+    Ok(files + 1)
+}
+
+/// Reads the command half of a bundle back from `dir`, joining the
+/// run metadata from `runs.csv` when present.
+///
+/// # Errors
+///
+/// Returns [`RadError::Store`] on filesystem or parse failures.
+pub fn import_commands(dir: &Path) -> Result<CommandDataset, RadError> {
+    let text = fs::read_to_string(dir.join("commands.csv"))
+        .map_err(|e| io_err("reading commands.csv", e))?;
+    let traces = csv::traces_from_csv(&text)?;
+    let runs = match fs::read_to_string(dir.join("runs.csv")) {
+        Ok(runs_text) => parse_runs_csv(&runs_text)?,
+        Err(_) => Vec::new(), // bundles without the metadata table
+    };
+    Ok(CommandDataset::from_parts(traces, runs))
+}
+
+/// Parses the `runs.csv` table written by [`export_rad`].
+///
+/// # Errors
+///
+/// Returns [`RadError::Store`] on malformed rows.
+pub fn parse_runs_csv(text: &str) -> Result<Vec<rad_core::RunMetadata>, RadError> {
+    use rad_core::{Label, ProcedureKind, RunId, RunMetadata, SimInstant};
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if i == 0 || line.is_empty() {
+            continue; // header
+        }
+        let fields = csv::decode_row(line)?;
+        if fields.len() != 4 {
+            return Err(RadError::Store(format!(
+                "runs.csv row {i} has {} fields",
+                fields.len()
+            )));
+        }
+        let run_id = RunId(
+            fields[0]
+                .parse()
+                .map_err(|_| RadError::Store(format!("bad run id {}", fields[0])))?,
+        );
+        let kind: ProcedureKind = fields[1].parse()?;
+        let label: Label = fields[2].parse()?;
+        let mut meta = RunMetadata::new(run_id, kind, SimInstant::EPOCH).with_label(label);
+        if !fields[3].is_empty() {
+            meta = meta.with_note(fields[3].clone());
+        }
+        out.push(meta);
+    }
+    Ok(out)
+}
+
+impl DocumentStore {
+    /// Snapshots every collection to one JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadError::Store`] on filesystem failures.
+    pub fn save(&self, path: &Path) -> Result<(), RadError> {
+        let mut collections = serde_json::Map::new();
+        for name in self.collection_names() {
+            let docs = self.find(&name, &crate::Filter::all());
+            collections.insert(name, serde_json::Value::Array(docs));
+        }
+        let blob = serde_json::Value::Object(collections);
+        fs::write(
+            path,
+            serde_json::to_string(&blob).expect("documents serialize"),
+        )
+        .map_err(|e| io_err("saving document store", e))
+    }
+
+    /// Loads a snapshot produced by [`DocumentStore::save`] into a new
+    /// store. Document ids are reassigned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadError::Store`] on filesystem or parse failures.
+    pub fn load(path: &Path) -> Result<DocumentStore, RadError> {
+        let text = fs::read_to_string(path).map_err(|e| io_err("loading document store", e))?;
+        let blob: serde_json::Value = serde_json::from_str(&text)
+            .map_err(|e| RadError::Store(format!("parsing snapshot: {e}")))?;
+        let store = DocumentStore::new();
+        let Some(collections) = blob.as_object() else {
+            return Err(RadError::Store("snapshot root must be an object".into()));
+        };
+        for (name, docs) in collections {
+            let Some(docs) = docs.as_array() else {
+                return Err(RadError::Store(format!(
+                    "collection {name} must be an array"
+                )));
+            };
+            for doc in docs {
+                store.insert(name, doc.clone())?;
+            }
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rad_core::{
+        Command, CommandType, DeviceId, Label, ProcedureKind, RunId, RunMetadata, SimInstant,
+        TraceId, TraceObject,
+    };
+    use serde_json::json;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rad-export-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_dataset() -> CommandDataset {
+        let mut ds = CommandDataset::new();
+        ds.add_run(
+            RunMetadata::new(
+                RunId(0),
+                ProcedureKind::JoystickMovements,
+                SimInstant::EPOCH,
+            )
+            .with_label(Label::Benign)
+            .with_note("note, with comma"),
+        );
+        for i in 0..5 {
+            ds.push_trace(
+                TraceObject::builder(
+                    TraceId(i),
+                    SimInstant::from_micros(i * 1000),
+                    DeviceId::primary(rad_core::DeviceKind::C9),
+                    Command::nullary(CommandType::Mvng),
+                )
+                .run(ProcedureKind::JoystickMovements, RunId(0), Label::Benign)
+                .build(),
+            );
+        }
+        ds
+    }
+
+    #[test]
+    fn bundle_round_trips_the_command_half() {
+        let dir = tmpdir("bundle");
+        let ds = small_dataset();
+        let files = export_rad(&ds, &PowerDataset::new(), &dir).unwrap();
+        assert!(files >= 3, "commands, runs, manifest");
+        assert!(dir.join("MANIFEST.json").exists());
+        let back = import_commands(&dir).unwrap();
+        assert_eq!(back.len(), ds.len());
+        assert_eq!(back.traces()[3].command_type(), CommandType::Mvng);
+        // Run metadata (including the quoted note) survives the trip.
+        assert_eq!(back.runs().len(), 1);
+        assert_eq!(back.runs()[0].operator_note(), Some("note, with comma"));
+        assert_eq!(back.runs()[0].label(), Label::Benign);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_counts_match() {
+        let dir = tmpdir("manifest");
+        let ds = small_dataset();
+        export_rad(&ds, &PowerDataset::new(), &dir).unwrap();
+        let manifest: serde_json::Value =
+            serde_json::from_str(&fs::read_to_string(dir.join("MANIFEST.json")).unwrap()).unwrap();
+        assert_eq!(manifest["trace_objects"], json!(5));
+        assert_eq!(manifest["supervised_runs"], json!(1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn document_store_snapshot_round_trips() {
+        let dir = tmpdir("snapshot");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        let store = DocumentStore::new();
+        store
+            .insert("traces", json!({"command": "ARM", "ms": 5.0}))
+            .unwrap();
+        store.insert("traces", json!({"command": "Q"})).unwrap();
+        store.insert("runs", json!({"run_id": 0})).unwrap();
+        store.save(&path).unwrap();
+        let loaded = DocumentStore::load(&path).unwrap();
+        assert_eq!(loaded.len(), 3);
+        assert_eq!(
+            loaded.count("traces", &crate::Filter::eq("command", json!("ARM"))),
+            1
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn loading_garbage_fails_cleanly() {
+        let dir = tmpdir("garbage");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        fs::write(&path, "not json").unwrap();
+        assert!(DocumentStore::load(&path).is_err());
+        fs::write(&path, "[1,2,3]").unwrap();
+        assert!(DocumentStore::load(&path).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn import_from_missing_dir_fails_cleanly() {
+        let err = import_commands(Path::new("/nonexistent/rad")).unwrap_err();
+        assert!(err.to_string().contains("commands.csv"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Trace storage for the RAD reproduction.
+//!
+//! The original RATracer logs every intercepted access "to a MongoDB
+//! instance or a .csv file" (Fig. 3). This crate provides both halves
+//! without external services:
+//!
+//! - [`DocumentStore`] — an embedded, thread-safe document store with
+//!   collections, auto-assigned ids, and filtered queries, standing in
+//!   for MongoDB.
+//! - [`csv`] — a small CSV codec with round-trip encoders for trace
+//!   objects and power samples.
+//! - [`CommandDataset`] / [`PowerDataset`] — the curated dataset
+//!   containers that the analyses in `rad-analysis` consume, mirroring
+//!   the two halves of RAD described in §IV.
+//!
+//! # Examples
+//!
+//! ```
+//! use rad_store::DocumentStore;
+//! use serde_json::json;
+//!
+//! let store = DocumentStore::new();
+//! store.insert("traces", json!({"command": "ARM", "device": "C9"}))?;
+//! store.insert("traces", json!({"command": "Q", "device": "Tecan"}))?;
+//! let hits = store.find("traces", &rad_store::Filter::eq("device", json!("C9")));
+//! assert_eq!(hits.len(), 1);
+//! # Ok::<(), rad_core::RadError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod dataset;
+pub mod document;
+pub mod export;
+
+pub use dataset::{CommandDataset, PowerDataset, PowerRecording};
+pub use document::{DocumentId, DocumentStore, Filter};
+pub use export::{export_rad, import_commands};

@@ -1,0 +1,583 @@
+//! The three-month campaign synthesizer.
+//!
+//! §IV: RAD was collected over three months of real lab activity — 25
+//! supervised procedure runs plus a long tail of prototyping scripts
+//! and unsupervised experiments, 128,785 trace objects in total with
+//! the per-device mix of Fig. 5(a). [`CampaignBuilder`] reproduces
+//! that: it executes the 25 supervised runs in Fig. 6's id order (P4
+//! first, then P1, P2, P3, with the narrated anomalies planted at runs
+//! 16, 17, and 22), optionally runs the P5/P6 power experiments, and
+//! then synthesizes unsupervised filler activity until each device's
+//! trace count matches its Fig. 5(a) share.
+
+use rad_core::{
+    AnomalyCause, Command, CommandType, DeviceKind, Label, ProcedureKind, RunId, RunMetadata,
+    SimDuration, Value,
+};
+use rad_store::{CommandDataset, PowerDataset};
+
+use crate::procedures::{self, P1Variant, P2Variant, P3Variant, SOLIDS};
+use crate::session::{RunEnd, Session};
+
+/// Description of one supervised run executed by the campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcedureRun {
+    /// Fig. 6 run id (0–24).
+    pub run_id: RunId,
+    /// Procedure type.
+    pub kind: ProcedureKind,
+    /// Ground-truth label.
+    pub label: Label,
+    /// How the run ended.
+    pub end: RunEnd,
+}
+
+/// The synthesized RAD: both halves plus the supervised-run journal.
+#[derive(Debug)]
+pub struct CampaignDataset {
+    command: CommandDataset,
+    power: PowerDataset,
+    journal: Vec<ProcedureRun>,
+}
+
+impl CampaignDataset {
+    /// The command dataset (trace objects + run metadata).
+    pub fn command(&self) -> &CommandDataset {
+        &self.command
+    }
+
+    /// The power dataset (25 Hz UR3e telemetry).
+    pub fn power(&self) -> &PowerDataset {
+        &self.power
+    }
+
+    /// The journal of supervised runs in execution (= Fig. 6 id)
+    /// order.
+    pub fn journal(&self) -> &[ProcedureRun] {
+        &self.journal
+    }
+
+    /// Metadata of the supervised runs (delegates to the command
+    /// dataset).
+    pub fn supervised_runs(&self) -> Vec<&RunMetadata> {
+        self.command.supervised_runs()
+    }
+
+    /// Consumes the campaign into its parts.
+    pub fn into_parts(self) -> (CommandDataset, PowerDataset, Vec<ProcedureRun>) {
+        (self.command, self.power, self.journal)
+    }
+}
+
+/// Builds RAD-shaped campaigns.
+///
+/// # Examples
+///
+/// ```
+/// use rad_workloads::CampaignBuilder;
+///
+/// // A miniature campaign: the 25 supervised runs only.
+/// let dataset = CampaignBuilder::new(7).supervised_only().build();
+/// assert_eq!(dataset.supervised_runs().len(), 25);
+/// let anomalies = dataset
+///     .journal()
+///     .iter()
+///     .filter(|r| r.label.is_anomalous())
+///     .count();
+/// assert_eq!(anomalies, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CampaignBuilder {
+    seed: u64,
+    scale: f64,
+    fillers: bool,
+    power_experiments: bool,
+}
+
+impl CampaignBuilder {
+    /// A full-scale campaign (≈128,785 traces) with power experiments.
+    pub fn new(seed: u64) -> Self {
+        CampaignBuilder {
+            seed,
+            scale: 1.0,
+            fillers: true,
+            power_experiments: true,
+        }
+    }
+
+    /// Keep only the 25 supervised runs: no filler, no P5/P6. The
+    /// cheapest configuration, used by tests and the Fig. 6 / Table I
+    /// benches.
+    #[must_use]
+    pub fn supervised_only(mut self) -> Self {
+        self.fillers = false;
+        self.power_experiments = false;
+        self
+    }
+
+    /// Scales the unsupervised filler: per-device targets become
+    /// `round(paper_count * scale)`. `scale(1.0)` reproduces the full
+    /// 128,785-trace corpus; smaller values make faster corpora with
+    /// the same mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite or not positive.
+    #[must_use]
+    pub fn scale(mut self, scale: f64) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+        self.scale = scale;
+        self
+    }
+
+    /// Enables/disables the P5/P6 power experiments.
+    #[must_use]
+    pub fn power_experiments(mut self, on: bool) -> Self {
+        self.power_experiments = on;
+        self
+    }
+
+    /// Runs the campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a staged supervised run deviates from its script
+    /// (which would indicate a bug in the simulators, not bad input).
+    pub fn build(&self) -> CampaignDataset {
+        let mut session = Session::new(self.seed);
+        let mut journal = Vec::new();
+
+        // ---- The 25 supervised runs, Fig. 6 id order. ----
+        let mut next_id = 0u32;
+        for i in 0..12 {
+            journal.push(run_p4(&mut session, RunId(next_id), 8 + (i % 4) * 3));
+            next_id += 1;
+        }
+        let p1_variants = [
+            P1Variant::JoystickStart, // run 12
+            P1Variant::Normal,        // 13
+            P1Variant::Normal,        // 14
+            P1Variant::Normal,        // 15
+            P1Variant::DoorCrash,     // 16
+        ];
+        for (i, variant) in p1_variants.into_iter().enumerate() {
+            journal.push(run_p1(
+                &mut session,
+                RunId(next_id),
+                variant,
+                SOLIDS[i % SOLIDS.len()],
+            ));
+            next_id += 1;
+        }
+        let p2_variants = [
+            P2Variant::DoorCrashEarly,   // 17
+            P2Variant::WrongGripperStop, // 18
+            P2Variant::Normal,           // 19
+            P2Variant::Normal,           // 20
+        ];
+        for (i, variant) in p2_variants.into_iter().enumerate() {
+            journal.push(run_p2(
+                &mut session,
+                RunId(next_id),
+                variant,
+                SOLIDS[i % SOLIDS.len()],
+            ));
+            next_id += 1;
+        }
+        let p3_variants = [
+            P3Variant::Normal,
+            P3Variant::TecanCrash,
+            P3Variant::Normal,
+            P3Variant::Normal,
+        ];
+        for variant in p3_variants {
+            journal.push(run_p3(&mut session, RunId(next_id), variant));
+            next_id += 1;
+        }
+
+        // ---- P5/P6 power experiments (not part of the 25). ----
+        if self.power_experiments {
+            for velocity in [100.0, 200.0, 250.0] {
+                session.begin_run(RunId(next_id), ProcedureKind::VelocitySweep, Label::Benign);
+                procedures::p5_velocity_run(&mut session, velocity)
+                    .expect("velocity sweep runs clean");
+                session.annotate(&format!("velocity={velocity}mm/s"));
+                session.end_run();
+                reset_between_runs(&mut session);
+                next_id += 1;
+            }
+            for payload in [20.0, 500.0, 1000.0] {
+                session.begin_run(RunId(next_id), ProcedureKind::PayloadSweep, Label::Benign);
+                procedures::p6_payload_run(&mut session, payload)
+                    .expect("payload sweep runs clean");
+                session.annotate(&format!("payload={payload}g"));
+                session.end_run();
+                reset_between_runs(&mut session);
+                next_id += 1;
+            }
+        }
+
+        // ---- Unsupervised filler to the Fig. 5(a) mix. ----
+        if self.fillers {
+            self.fill_to_targets(&mut session);
+        }
+
+        let (command, power) = session.finish();
+        CampaignDataset {
+            command,
+            power,
+            journal,
+        }
+    }
+
+    /// Per-device trace-count targets.
+    fn targets(&self) -> Vec<(DeviceKind, u64)> {
+        DeviceKind::all()
+            .iter()
+            .map(|&d| {
+                (
+                    d,
+                    (d.paper_trace_count() as f64 * self.scale).round() as u64,
+                )
+            })
+            .collect()
+    }
+
+    fn fill_to_targets(&self, session: &mut Session) {
+        let targets = self.targets();
+        let count_for = |session: &Session, device: DeviceKind| -> u64 {
+            session
+                .middlebox()
+                .traces()
+                .iter()
+                .filter(|t| t.device().kind() == device)
+                .count() as u64
+        };
+
+        // Bulk phase: realistic single-device prototyping scripts. Each
+        // device's margin is an upper bound on its script's trace count
+        // so the bulk phase never overshoots the target.
+        for &(device, target) in &targets {
+            let margin = match device {
+                DeviceKind::C9 => 400,
+                DeviceKind::Ika => 120,
+                DeviceKind::Tecan => 80,
+                DeviceKind::Quantos => 25,
+                DeviceKind::Ur3e => 30,
+            };
+            loop {
+                let current = count_for(session, device);
+                if current + margin >= target {
+                    break;
+                }
+                match device {
+                    DeviceKind::C9 => {
+                        procedures::joystick_session(session, 24)
+                            .expect("joystick filler runs clean");
+                    }
+                    DeviceKind::Ika => ika_polling_script(session),
+                    DeviceKind::Tecan => tecan_flush_script(session),
+                    DeviceKind::Quantos => quantos_prototype_script(session),
+                    DeviceKind::Ur3e => ur3e_prototype_script(session),
+                }
+                reset_between_runs(session);
+            }
+        }
+
+        // Top-up phase: single safe commands to land exactly on target.
+        for &(device, target) in &targets {
+            let mut current = count_for(session, device);
+            if current >= target {
+                continue;
+            }
+            let (init, query) = match device {
+                DeviceKind::C9 => (CommandType::InitC9, CommandType::Mvng),
+                DeviceKind::Ika => (CommandType::InitIka, CommandType::IkaReadStirringSpeed),
+                DeviceKind::Tecan => (CommandType::InitTecan, CommandType::TecanGetStatus),
+                DeviceKind::Quantos => (CommandType::InitQuantos, CommandType::ZeroBalance),
+                DeviceKind::Ur3e => (CommandType::InitUr3Arm, CommandType::OpenGripper),
+            };
+            session
+                .issue(Command::nullary(init))
+                .expect("init is always accepted");
+            current += 1;
+            while current < target {
+                session
+                    .issue(Command::nullary(query))
+                    .expect("top-up query is always accepted");
+                session.wait(SimDuration::from_millis(500));
+                current += 1;
+            }
+        }
+    }
+}
+
+fn reset_between_runs(session: &mut Session) {
+    session.middlebox_mut().rig_mut().reset();
+    // Hours pass between lab activities.
+    let gap = 1.0 + session.jitter(0.0, 6.0);
+    session.wait(SimDuration::from_secs_f64(gap * 3600.0));
+}
+
+fn run_p4(session: &mut Session, run_id: RunId, bursts: usize) -> ProcedureRun {
+    session.begin_run(run_id, ProcedureKind::JoystickMovements, Label::Benign);
+    procedures::joystick_session(session, bursts).expect("joystick runs clean");
+    session.end_run();
+    reset_between_runs(session);
+    ProcedureRun {
+        run_id,
+        kind: ProcedureKind::JoystickMovements,
+        label: Label::Benign,
+        end: RunEnd::Completed,
+    }
+}
+
+fn run_p1(session: &mut Session, run_id: RunId, variant: P1Variant, solid: &str) -> ProcedureRun {
+    let label = match variant {
+        P1Variant::DoorCrash => Label::Anomalous(AnomalyCause::QuantosDoorVsN9),
+        _ => Label::Benign,
+    };
+    session.begin_run(run_id, ProcedureKind::AutomatedSolubilityN9, label);
+    if variant == P1Variant::JoystickStart {
+        session.annotate("joystick used to position N9; stopped midway: solid shortage");
+    }
+    let end = procedures::p1_automated_solubility(session, variant, solid)
+        .expect("p1 script handles its own staged faults");
+    session.end_run();
+    reset_between_runs(session);
+    ProcedureRun {
+        run_id,
+        kind: ProcedureKind::AutomatedSolubilityN9,
+        label,
+        end,
+    }
+}
+
+fn run_p2(session: &mut Session, run_id: RunId, variant: P2Variant, solid: &str) -> ProcedureRun {
+    let label = match variant {
+        P2Variant::DoorCrashEarly => Label::Anomalous(AnomalyCause::QuantosDoorVsUr3e),
+        _ => Label::Benign,
+    };
+    session.begin_run(run_id, ProcedureKind::AutomatedSolubilityN9Ur3e, label);
+    if variant == P2Variant::WrongGripperStop {
+        session.annotate("wrong gripper configuration; operator stopped the run");
+    }
+    let end = procedures::p2_solubility_with_ur3e(session, variant, solid)
+        .expect("p2 script handles its own staged faults");
+    session.end_run();
+    reset_between_runs(session);
+    ProcedureRun {
+        run_id,
+        kind: ProcedureKind::AutomatedSolubilityN9Ur3e,
+        label,
+        end,
+    }
+}
+
+fn run_p3(session: &mut Session, run_id: RunId, variant: P3Variant) -> ProcedureRun {
+    let label = match variant {
+        P3Variant::TecanCrash => Label::Anomalous(AnomalyCause::ArmVsTecan),
+        P3Variant::Normal => Label::Benign,
+    };
+    session.begin_run(run_id, ProcedureKind::CrystalSolubility, label);
+    let end = procedures::p3_crystal_solubility(session, variant)
+        .expect("p3 script handles its own staged faults");
+    session.end_run();
+    reset_between_runs(session);
+    ProcedureRun {
+        run_id,
+        kind: ProcedureKind::CrystalSolubility,
+        label,
+        end,
+    }
+}
+
+/// An IKA prototyping script: a researcher poking at the stirrer API.
+fn ika_polling_script(session: &mut Session) {
+    procedures::init_ika(session).expect("ika init runs clean");
+    session
+        .issue(Command::new(
+            CommandType::IkaSetSpeed,
+            vec![Value::Float(300.0)],
+        ))
+        .expect("valid setpoint");
+    session
+        .issue(Command::nullary(CommandType::IkaStartMotor))
+        .expect("speed was set");
+    for _ in 0..40 {
+        session
+            .issue(Command::nullary(CommandType::IkaReadStirringSpeed))
+            .expect("reads run clean");
+        session
+            .issue(Command::nullary(CommandType::IkaReadHotplateSensor))
+            .expect("reads run clean");
+        session.wait(SimDuration::from_secs(2));
+    }
+    session
+        .issue(Command::nullary(CommandType::IkaStopMotor))
+        .expect("stop runs clean");
+    session
+        .issue(Command::nullary(CommandType::IkaReadRatedSpeed))
+        .expect("reads run clean");
+    session
+        .issue(Command::nullary(CommandType::IkaReadRatedTemp))
+        .expect("reads run clean");
+}
+
+/// A Tecan maintenance flush: valve cycling with heavy Q polling.
+fn tecan_flush_script(session: &mut Session) {
+    procedures::init_tecan(session).expect("tecan init runs clean");
+    for port in 1..=3 {
+        session
+            .issue(Command::new(
+                CommandType::TecanSetValvePosition,
+                vec![Value::Int(port)],
+            ))
+            .expect("valid port");
+        let vol = session.jitter_int(500, 2500);
+        session
+            .tecan_and_poll(Command::new(
+                CommandType::TecanSetPosition,
+                vec![Value::Int(vol)],
+            ))
+            .expect("valid stroke");
+        session
+            .tecan_and_poll(Command::new(
+                CommandType::TecanSetPosition,
+                vec![Value::Int(0)],
+            ))
+            .expect("valid stroke");
+    }
+}
+
+/// A Quantos dosing-head prototype session.
+fn quantos_prototype_script(session: &mut Session) {
+    procedures::init_quantos(session).expect("quantos init runs clean");
+    session
+        .issue(Command::new(
+            CommandType::TargetMass,
+            vec![Value::Float(25.0)],
+        ))
+        .expect("valid mass");
+    session
+        .issue_blocking(Command::nullary(CommandType::StartDosing))
+        .expect("dosing preconditions met");
+    session
+        .issue(Command::new(CommandType::MoveZStage, vec![Value::Int(500)]))
+        .expect("z stage homed");
+    session
+        .issue(Command::new(CommandType::MoveZStage, vec![Value::Int(0)]))
+        .expect("z stage homed");
+    session
+        .issue(Command::nullary(CommandType::UnlockDosingPin))
+        .expect("pin toggles");
+    session
+        .issue(Command::nullary(CommandType::LockDosingPin))
+        .expect("pin toggles");
+}
+
+/// A UR3e teach-pendant prototyping session.
+fn ur3e_prototype_script(session: &mut Session) {
+    session
+        .issue(Command::nullary(CommandType::InitUr3Arm))
+        .expect("ur3e connects");
+    for i in 0..3 {
+        let pose = rad_power::Ur3e::named_pose(i + 1);
+        session
+            .ur3e_move_joints(pose, 0.9, 0.0, "prototype-move")
+            .expect("named poses are reachable");
+        session
+            .issue(Command::nullary(CommandType::CloseGripper))
+            .expect("gripper works");
+        session
+            .issue(Command::nullary(CommandType::OpenGripper))
+            .expect("gripper works");
+    }
+    session
+        .ur3e_move_joints(rad_power::Ur3e::named_pose(0), 0.9, 0.0, "prototype-home")
+        .expect("named poses are reachable");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supervised_only_campaign_matches_the_paper_structure() {
+        let campaign = CampaignBuilder::new(7).supervised_only().build();
+        let journal = campaign.journal();
+        assert_eq!(journal.len(), 25);
+        // Block structure: 0-11 P4, 12-16 P1, 17-20 P2, 21-24 P3.
+        assert!(journal[..12]
+            .iter()
+            .all(|r| r.kind == ProcedureKind::JoystickMovements));
+        assert!(journal[12..17]
+            .iter()
+            .all(|r| r.kind == ProcedureKind::AutomatedSolubilityN9));
+        assert!(journal[17..21]
+            .iter()
+            .all(|r| r.kind == ProcedureKind::AutomatedSolubilityN9Ur3e));
+        assert!(journal[21..25]
+            .iter()
+            .all(|r| r.kind == ProcedureKind::CrystalSolubility));
+        // Exactly the three narrated anomalies at runs 16, 17, 22.
+        let anomalous: Vec<u32> = journal
+            .iter()
+            .filter(|r| r.label.is_anomalous())
+            .map(|r| r.run_id.0)
+            .collect();
+        assert_eq!(anomalous, vec![16, 17, 22]);
+    }
+
+    #[test]
+    fn supervised_sequences_are_nonempty_and_labelled() {
+        let campaign = CampaignBuilder::new(3).supervised_only().build();
+        let sequences = campaign.command().supervised_sequences();
+        assert_eq!(sequences.len(), 25);
+        for (meta, seq) in &sequences {
+            assert!(
+                seq.len() >= 10,
+                "{} has only {} commands",
+                meta.run_id(),
+                seq.len()
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_filler_hits_the_device_mix_exactly() {
+        let campaign = CampaignBuilder::new(1)
+            .scale(0.05)
+            .power_experiments(false)
+            .build();
+        let hist = campaign.command().device_histogram();
+        for device in DeviceKind::all() {
+            let target = (device.paper_trace_count() as f64 * 0.05).round() as u64;
+            let got = hist.get(&device).copied().unwrap_or(0);
+            assert_eq!(got, target, "{device}: {got} vs target {target}");
+        }
+    }
+
+    #[test]
+    fn power_experiments_record_velocity_and_payload_sweeps() {
+        let campaign = CampaignBuilder::new(5)
+            .supervised_only()
+            .power_experiments(true)
+            .build();
+        let power = campaign.power();
+        let velocities = power.for_procedure(ProcedureKind::VelocitySweep);
+        let payloads = power.for_procedure(ProcedureKind::PayloadSweep);
+        assert!(velocities.len() >= 3);
+        assert!(payloads.len() >= 3);
+    }
+
+    #[test]
+    fn campaigns_are_reproducible_by_seed() {
+        let a = CampaignBuilder::new(9).supervised_only().build();
+        let b = CampaignBuilder::new(9).supervised_only().build();
+        assert_eq!(a.command().len(), b.command().len());
+        let seq_a: Vec<_> = a.command().corpus();
+        let seq_b: Vec<_> = b.command().corpus();
+        assert_eq!(seq_a, seq_b);
+    }
+}

@@ -1,0 +1,67 @@
+//! The middlebox as the last level of defense (§I): a guard policy
+//! that would have prevented the crashes RAD recorded, demonstrated by
+//! replaying the run-17 crash geometry with and without the guard.
+//!
+//! ```sh
+//! cargo run --example middlebox_guard
+//! ```
+
+use rad::prelude::*;
+use rad_middlebox::{GuardPolicy, GuardedMiddlebox};
+
+fn stage_run_17(issue: &mut dyn FnMut(Command) -> Result<(), RadError>) -> Result<(), RadError> {
+    issue(Command::nullary(CommandType::InitUr3Arm))?;
+    issue(Command::nullary(CommandType::InitQuantos))?;
+    // The UR3e parks at the Quantos hand-off point...
+    issue(Command::new(
+        CommandType::MoveToLocation,
+        vec![Value::Location {
+            x: 750.0,
+            y: 230.0,
+            z: 150.0,
+        }],
+    ))?;
+    // ...and the workflow opens the front door into it.
+    issue(Command::new(
+        CommandType::FrontDoorPosition,
+        vec![Value::Str("open".into())],
+    ))?;
+    Ok(())
+}
+
+fn main() {
+    // Without the guard: the door motor stalls against the arm — the
+    // crash that made run 17 anomalous.
+    let mut bare = Middlebox::new(17);
+    let mut issue = |c: Command| bare.issue(&c).map(|_| ());
+    let crash = stage_run_17(&mut issue).expect_err("the unguarded replay crashes");
+    println!("without guard: {crash}");
+    assert!(crash.to_string().contains("collision"));
+
+    // With the recommended policy: the door command is rejected before
+    // it reaches the Quantos; the arm is untouched and an alert fires.
+    let mut guarded = GuardedMiddlebox::new(Middlebox::new(17), GuardPolicy::recommended());
+    let mut issue = |c: Command| guarded.issue(&c).map(|_| ());
+    let rejection = stage_run_17(&mut issue).expect_err("the guard rejects the door command");
+    println!("with guard:    {rejection}");
+    assert!(rejection.to_string().contains("interlock"));
+    assert!(
+        !guarded.middlebox().rig().lab().quantos_door_open,
+        "door never moved"
+    );
+
+    println!("\nalerts raised:");
+    for alert in guarded.alerts() {
+        println!("  [{}] {} -> {}", alert.at, alert.command, alert.violation);
+    }
+
+    // The rejected command is still in the trace — the guard is an IDS
+    // with prevention, not a silent firewall.
+    let dataset = guarded.into_dataset();
+    let rejected = dataset
+        .traces()
+        .iter()
+        .filter(|t| t.exception().is_some_and(|e| e.contains("guard rejected")))
+        .count();
+    println!("\n{rejected} rejected command(s) recorded in the trace for later analysis");
+}

@@ -1,0 +1,86 @@
+//! A hand-driven solubility experiment through the tracing middlebox,
+//! ending with both RATracer sinks: CSV export and the embedded
+//! document store.
+//!
+//! This is the §III workflow in miniature: the "lab computer" issues
+//! high-level commands; every access is intercepted, relayed in
+//! REMOTE mode (except the Quantos, which runs in DIRECT mode while
+//! "IT sorts out its cabling" — the hybrid configuration the paper
+//! describes), and logged with timestamps, arguments, return values,
+//! and response times.
+//!
+//! ```sh
+//! cargo run --example solubility_campaign
+//! ```
+
+use std::sync::Arc;
+
+use rad::prelude::*;
+use rad_middlebox::Tracer;
+
+fn main() -> Result<(), RadError> {
+    // A middlebox with a hybrid mode configuration and a document-store
+    // mirror, exactly like Fig. 3's MongoDB sink.
+    let store = Arc::new(DocumentStore::new());
+    let modes = ModeConfig::all(TraceMode::Remote).with(DeviceKind::Quantos, TraceMode::Direct);
+    let middlebox = Middlebox::new(99)
+        .with_modes(modes)
+        .with_tracer(Tracer::new().with_mirror(Arc::clone(&store)));
+    let mut session = rad_workloads::Session::with_middlebox(middlebox, 99);
+
+    // Run one labelled P1 screen and one labelled P3 screen.
+    session.begin_run(
+        RunId(0),
+        ProcedureKind::AutomatedSolubilityN9,
+        Label::Benign,
+    );
+    let end = rad_workloads::procedures::p1_automated_solubility(
+        &mut session,
+        rad_workloads::P1Variant::Normal,
+        "NABH4",
+    )?;
+    session.end_run();
+    println!("P1 run finished: {end:?}");
+
+    session.middlebox_mut().rig_mut().reset();
+    session.begin_run(RunId(1), ProcedureKind::CrystalSolubility, Label::Benign);
+    let end = rad_workloads::procedures::p3_crystal_solubility(
+        &mut session,
+        rad_workloads::P3Variant::Normal,
+    )?;
+    session.end_run();
+    println!("P3 run finished: {end:?}");
+
+    let (dataset, _power) = session.finish();
+
+    // Dataset anatomy.
+    println!("\ncaptured {} trace objects:", dataset.len());
+    for (device, count) in dataset.device_histogram() {
+        println!("  {device:<8} {count}");
+    }
+    let exceptions = dataset
+        .traces()
+        .iter()
+        .filter(|t| t.exception().is_some())
+        .count();
+    println!("  exceptions logged: {exceptions}");
+
+    // Sink 1: the CSV export (the first lines of it).
+    let csv = dataset.to_csv();
+    println!("\nCSV export ({} bytes); first three rows:", csv.len());
+    for line in csv.lines().take(4) {
+        println!("  {line}");
+    }
+    let parsed = rad_store::csv::traces_from_csv(&csv)?;
+    assert_eq!(parsed.len(), dataset.len(), "the export round-trips");
+
+    // Sink 2: the document store, queried like the paper's MongoDB.
+    println!("\ndocument store: {} documents", store.len());
+    let slow = store.count(
+        "traces",
+        &Filter::eq("device", serde_json::json!("C9"))
+            .and(Filter::gte("response_time_us", 8_000.0)),
+    );
+    println!("C9 commands slower than 8 ms: {slow}");
+    Ok(())
+}

@@ -1,0 +1,128 @@
+//! Integration tests pinning the §VI power-analysis findings — the
+//! Fig. 7 claims as executable assertions.
+
+use rad::prelude::*;
+use rad_power::signal;
+
+fn leg(i: usize, speed: f64) -> TrajectorySegment {
+    TrajectorySegment::joint_move(Ur3e::named_pose(i), Ur3e::named_pose(i + 1), speed)
+}
+
+#[test]
+fn fig7a_trajectories_are_identifiable_and_repeatable() {
+    let arm = Ur3e::new();
+    let reference: Vec<Vec<f64>> = (0..5)
+        .map(|i| arm.current_profile(&[leg(i, 1.0)], 0.0, 1).joint_current(1))
+        .collect();
+    for truth in 0..5 {
+        let rerun = arm
+            .current_profile(&[leg(truth, 1.0)], 0.0, 2)
+            .joint_current(1);
+        let own = signal::shape_correlation(&rerun, &reference[truth]).unwrap();
+        assert!(own > 0.97, "leg {truth} self-correlation {own}");
+        for (other, other_ref) in reference.iter().enumerate() {
+            if other != truth {
+                let cross = signal::shape_correlation(&rerun, other_ref).unwrap();
+                assert!(own > cross, "leg {truth} confused with {other}");
+            }
+        }
+    }
+}
+
+#[test]
+fn fig7b_solids_do_not_change_the_profile() {
+    let arm = Ur3e::new();
+    let segs: Vec<TrajectorySegment> = (0..5).map(|i| leg(i, 1.0)).collect();
+    // Three "solids": different seeds, nearly identical vial masses.
+    let runs: Vec<Vec<f64>> = [0.0251, 0.0249, 0.0252]
+        .iter()
+        .enumerate()
+        .map(|(i, payload)| {
+            arm.current_profile(&segs, *payload, 10 + i as u64)
+                .joint_current(1)
+        })
+        .collect();
+    for i in 0..runs.len() {
+        for j in i + 1..runs.len() {
+            let r = signal::pearson(&runs[i], &runs[j]).unwrap();
+            assert!(r > 0.97, "solids {i} and {j}: r = {r}");
+        }
+    }
+}
+
+#[test]
+fn fig7c_velocity_stretches_and_scales() {
+    let arm = Ur3e::new();
+    let profile = |v: f64| arm.current_profile(&[leg(0, v)], 0.0, 5);
+    let slow = profile(0.42);
+    let fast = profile(1.04);
+    assert!(slow.len() > fast.len(), "low velocity stretches the trace");
+    // Same shape after stretch-normalization.
+    let r = signal::shape_correlation(&slow.joint_current(1), &fast.joint_current(1)).unwrap();
+    assert!(r > 0.9, "stretched shapes correlate: {r}");
+}
+
+#[test]
+fn fig7d_payload_orders_mean_current() {
+    let arm = Ur3e::new();
+    let mean_for = |grams: f64| {
+        signal::mean_abs(
+            &arm.current_profile(&[leg(1, 0.8)], grams / 1000.0, 6)
+                .joint_current(1),
+        )
+    };
+    let m20 = mean_for(20.0);
+    let m500 = mean_for(500.0);
+    let m1000 = mean_for(1000.0);
+    assert!(m20 < m500 && m500 < m1000, "{m20} {m500} {m1000}");
+}
+
+#[test]
+fn power_monitor_output_matches_direct_synthesis_shape() {
+    // The campaign's power dataset and a directly synthesized profile
+    // should describe the same physics.
+    let campaign = CampaignBuilder::new(8)
+        .supervised_only()
+        .power_experiments(true)
+        .build();
+    let sweeps = campaign.power().for_procedure(ProcedureKind::VelocitySweep);
+    // Same trajectory at higher commanded velocity => shorter profile.
+    let slow = sweeps
+        .iter()
+        .find(|r| r.description.contains("velocity=100"))
+        .expect("100 mm/s recording");
+    let fast = sweeps
+        .iter()
+        .find(|r| r.description.contains("velocity=250"))
+        .expect("250 mm/s recording");
+    assert!(slow.profile.len() > fast.profile.len());
+}
+
+#[test]
+fn every_recorded_sample_carries_122_properties() {
+    let campaign = CampaignBuilder::new(9)
+        .supervised_only()
+        .power_experiments(true)
+        .build();
+    for recording in campaign.power().recordings() {
+        for sample in recording.profile.samples().iter().take(3) {
+            assert_eq!(sample.to_row().len(), PowerSample::FIELD_COUNT);
+        }
+    }
+}
+
+#[test]
+fn quiescent_period_policy_reduces_storage() {
+    let arm = Ur3e::new();
+    let mut profile = arm.quiescent_profile(Ur3e::named_pose(0), 200, 0);
+    profile.extend(&arm.current_profile(&[leg(0, 1.0)], 0.0, 1));
+    let mut ds = PowerDataset::new();
+    ds.push(rad_store::PowerRecording {
+        procedure: ProcedureKind::Unknown,
+        run_id: RunId(0),
+        description: "mixed".into(),
+        profile,
+    });
+    let strict = ds.compacted(false);
+    assert!(strict.total_entries() < ds.total_entries() / 2);
+}

@@ -1,0 +1,185 @@
+//! Cross-crate property-based tests (proptest) on the invariants the
+//! analyses and the storage layer rely on.
+
+#![allow(clippy::needless_range_loop)] // matrix checks read best indexed
+
+use proptest::prelude::*;
+use rad::prelude::*;
+use rad_analysis::{jenks_two_class, CommandLm, Smoothing, TfIdf};
+
+fn arb_command_type() -> impl Strategy<Value = CommandType> {
+    (0..CommandType::all().len())
+        .prop_map(|i| CommandType::from_token_id(i).expect("index in range"))
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Unit),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1e6f64..1e6).prop_map(Value::Float),
+        "[a-zA-Z0-9 ,\"']{0,20}".prop_map(Value::Str),
+        ((-1e3f64..1e3), (-1e3f64..1e3), (-1e3f64..1e3)).prop_map(|(x, y, z)| Value::Location {
+            x,
+            y,
+            z
+        }),
+    ]
+}
+
+fn arb_trace(id: u64) -> impl Strategy<Value = TraceObject> {
+    (
+        arb_command_type(),
+        proptest::collection::vec(arb_value(), 0..4),
+        0u64..1_000_000_000,
+        0u64..100_000,
+        proptest::option::of("[a-z ]{1,30}"),
+    )
+        .prop_map(move |(ct, args, ts, rt, exc)| {
+            let mut b = TraceObject::builder(
+                TraceId(id),
+                SimInstant::from_micros(ts),
+                DeviceId::primary(ct.device()),
+                Command::new(ct, args),
+            )
+            .mode(TraceMode::Remote)
+            .response_time(SimDuration::from_micros(rt));
+            if let Some(e) = exc {
+                b = b.exception(e);
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any batch of trace objects survives the CSV round trip.
+    #[test]
+    fn csv_round_trip_is_lossless(traces in proptest::collection::vec(arb_trace(0), 1..20)) {
+        let traces: Vec<TraceObject> = traces
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                // Re-id so ids are unique (builder strategy reuses 0).
+                TraceObject::builder(
+                    TraceId(i as u64),
+                    t.timestamp(),
+                    t.device(),
+                    t.command().clone(),
+                )
+                .mode(t.mode())
+                .response_time(t.response_time())
+                .build()
+            })
+            .collect();
+        let csv = rad_store::csv::traces_to_csv(&traces);
+        let parsed = rad_store::csv::traces_from_csv(&csv).unwrap();
+        prop_assert_eq!(parsed.len(), traces.len());
+        for (a, b) in traces.iter().zip(&parsed) {
+            prop_assert_eq!(a.command(), b.command());
+            prop_assert_eq!(a.timestamp(), b.timestamp());
+            prop_assert_eq!(a.response_time(), b.response_time());
+        }
+    }
+
+    /// Add-k smoothed conditional distributions sum to one over the
+    /// training vocabulary, for any training corpus.
+    #[test]
+    fn lm_distributions_normalize(
+        corpus in proptest::collection::vec(
+            proptest::collection::vec(0u8..6, 2..30),
+            1..8,
+        ),
+        context in 0u8..6,
+    ) {
+        let corpus: Vec<Vec<u8>> = corpus;
+        prop_assume!(corpus.iter().any(|s| s.len() >= 2));
+        let lm = CommandLm::fit(2, &corpus, Smoothing::AddK(0.5)).unwrap();
+        let vocab: std::collections::BTreeSet<u8> =
+            corpus.iter().flatten().copied().collect();
+        prop_assume!(vocab.contains(&context));
+        let total: f64 = vocab.iter().map(|t| lm.probability(&[context], t)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "sums to {total}");
+    }
+
+    /// Perplexity is always >= 1 for epsilon-floor models scoring
+    /// training-covered sequences, and always positive in general.
+    #[test]
+    fn perplexity_is_positive(
+        seq in proptest::collection::vec(0u8..5, 3..40),
+    ) {
+        let lm = CommandLm::fit(2, std::slice::from_ref(&seq), Smoothing::default()).unwrap();
+        let p = lm.perplexity(&seq).unwrap();
+        prop_assert!(p >= 1.0 - 1e-12, "self-perplexity {p} < 1");
+    }
+
+    /// The Jenks two-class threshold always separates the input into
+    /// two non-degenerate sides when the input has spread.
+    #[test]
+    fn jenks_threshold_lies_within_range(values in proptest::collection::vec(-1e4f64..1e4, 2..60)) {
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let t = jenks_two_class(&values).unwrap();
+        prop_assert!(t >= lo - 1e-9 && t <= hi + 1e-9, "threshold {t} outside [{lo}, {hi}]");
+        if hi > lo {
+            // At least one value sits at or below the threshold; the
+            // high class may be empty only in the degenerate case.
+            prop_assert!(values.iter().any(|v| *v <= t));
+        }
+    }
+
+    /// TF-IDF cosine similarities stay in [0, 1] with unit diagonal for
+    /// any corpus of non-empty documents.
+    #[test]
+    fn tfidf_matrix_is_well_formed(
+        docs in proptest::collection::vec(
+            proptest::collection::vec("[a-d]", 1..15),
+            1..8,
+        ),
+    ) {
+        let model = TfIdf::fit(&docs).unwrap();
+        let m = model.similarity_matrix();
+        for i in 0..m.len() {
+            prop_assert!((m[i][i] - 1.0).abs() < 1e-9);
+            for j in 0..m.len() {
+                prop_assert!(m[i][j] > -1e-9 && m[i][j] < 1.0 + 1e-9);
+                prop_assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// The device rig never panics, whatever command and arguments are
+    /// thrown at it — faults must come back as typed errors.
+    #[test]
+    fn rig_is_panic_free_under_fuzzing(
+        commands in proptest::collection::vec(
+            (arb_command_type(), proptest::collection::vec(arb_value(), 0..3)),
+            1..60,
+        ),
+        seed in 0u64..1000,
+    ) {
+        let mut rig = rad_devices::LabRig::new(seed);
+        for (ct, args) in commands {
+            let _ = rig.execute(&Command::new(ct, args));
+        }
+    }
+
+    /// The middlebox traces every issued command exactly once,
+    /// including faulting ones.
+    #[test]
+    fn middlebox_traces_every_access(
+        commands in proptest::collection::vec(arb_command_type(), 1..40),
+        seed in 0u64..100,
+    ) {
+        let mut mb = Middlebox::new(seed);
+        for ct in &commands {
+            let _ = mb.issue(&Command::nullary(*ct));
+        }
+        let dataset = mb.into_dataset();
+        prop_assert_eq!(dataset.len(), commands.len());
+        for (trace, ct) in dataset.traces().iter().zip(&commands) {
+            prop_assert_eq!(trace.command_type(), *ct);
+        }
+    }
+}

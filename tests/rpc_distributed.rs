@@ -1,0 +1,161 @@
+//! Integration tests of the distributed substrate: a lab-computer
+//! client driving the device rig through the threaded RPC middlebox,
+//! including failure injection (middlebox death and restart).
+
+use std::time::Duration;
+
+use rad::prelude::*;
+use rad_middlebox::rpc::{Duplex, RpcClient, RpcServer};
+
+const T: Duration = Duration::from_secs(5);
+
+fn cmd(ct: CommandType) -> Command {
+    Command::nullary(ct)
+}
+
+#[test]
+fn a_dosing_workflow_runs_over_the_wire() {
+    let (client_side, server_side) = Duplex::pair();
+    let server = RpcServer::spawn(rad_devices::LabRig::new(1), server_side);
+    let mut client = RpcClient::new(client_side);
+
+    client.call(&cmd(CommandType::InitQuantos), T).unwrap();
+    client
+        .call(
+            &Command::new(CommandType::SetHomeDirection, vec![Value::Str("up".into())]),
+            T,
+        )
+        .unwrap();
+    client.call(&cmd(CommandType::HomeZStage), T).unwrap();
+    client.call(&cmd(CommandType::LockDosingPin), T).unwrap();
+    client
+        .call(
+            &Command::new(CommandType::TargetMass, vec![Value::Float(120.0)]),
+            T,
+        )
+        .unwrap();
+    let dosed = client.call(&cmd(CommandType::StartDosing), T).unwrap();
+    let mg = dosed.as_float().expect("dosing returns the dispensed mass");
+    assert!((mg - 120.0).abs() < 5.0, "dosed {mg} mg");
+
+    drop(client);
+    let rig = server.join().unwrap();
+    assert!(rig.quantos().z_homed());
+    assert_eq!(rig.quantos().target_mass_mg(), Some(120.0));
+}
+
+#[test]
+fn remote_faults_surface_as_rpc_exceptions_without_killing_the_session() {
+    let (client_side, server_side) = Duplex::pair();
+    let _server = RpcServer::spawn(rad_devices::LabRig::new(2), server_side);
+    let mut client = RpcClient::new(client_side);
+
+    client.call(&cmd(CommandType::InitTecan), T).unwrap();
+    // Motion before homing: a remote device fault.
+    let err = client
+        .call(
+            &Command::new(CommandType::TecanSetPosition, vec![Value::Int(100)]),
+            T,
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("send Z first"), "{err}");
+    // The session survives and subsequent calls work.
+    client
+        .call(&cmd(CommandType::TecanSetHomePosition), T)
+        .unwrap();
+    let mut idle = false;
+    for _ in 0..32 {
+        if client.call(&cmd(CommandType::TecanGetStatus), T).unwrap() == Value::Str("idle".into()) {
+            idle = true;
+            break;
+        }
+    }
+    assert!(idle);
+}
+
+#[test]
+fn middlebox_death_is_observed_and_a_restart_recovers() {
+    // Phase 1: a healthy session.
+    let (client_side, server_side) = Duplex::pair();
+    let server = RpcServer::spawn(rad_devices::LabRig::new(3), server_side);
+    let mut client = RpcClient::new(client_side);
+    client.call(&cmd(CommandType::InitC9), T).unwrap();
+    client.call(&cmd(CommandType::Home), T).unwrap();
+
+    // Phase 2: the middlebox dies (server side dropped). The client
+    // observes a disconnect, not a hang.
+    drop(client);
+    let rig = server.join().unwrap();
+    let (orphan_side, dead_side) = Duplex::pair();
+    drop(dead_side);
+    let mut orphan = RpcClient::new(orphan_side);
+    let err = orphan
+        .call(&cmd(CommandType::Mvng), Duration::from_millis(100))
+        .unwrap_err();
+    assert!(matches!(err, RadError::Rpc(_)), "{err}");
+
+    // Phase 3: restart the middlebox over the *same rig state* (the
+    // devices did not power-cycle, only the middlebox did).
+    let (client_side, server_side) = Duplex::pair();
+    let _server = RpcServer::spawn(rig, server_side);
+    let mut client = RpcClient::new(client_side);
+    // The arm is still homed from phase 1: motion works immediately.
+    client
+        .call(
+            &Command::new(
+                CommandType::Arm,
+                vec![Value::Location {
+                    x: 250.0,
+                    y: 150.0,
+                    z: 60.0,
+                }],
+            ),
+            T,
+        )
+        .unwrap();
+}
+
+#[test]
+fn two_rigs_behind_two_middleboxes_stay_isolated() {
+    // The paper's future-work scaling story: multiple middleboxes in
+    // smaller form factors. State must not leak between them.
+    let (ca, sa) = Duplex::pair();
+    let (cb, sb) = Duplex::pair();
+    let server_a = RpcServer::spawn(rad_devices::LabRig::new(10), sa);
+    let server_b = RpcServer::spawn(rad_devices::LabRig::new(11), sb);
+    let mut client_a = RpcClient::new(ca);
+    let mut client_b = RpcClient::new(cb);
+
+    client_a.call(&cmd(CommandType::InitIka), T).unwrap();
+    client_a
+        .call(
+            &Command::new(CommandType::IkaSetSpeed, vec![Value::Float(700.0)]),
+            T,
+        )
+        .unwrap();
+    client_a.call(&cmd(CommandType::IkaStartMotor), T).unwrap();
+
+    // Rig B's IKA was never initialized: the same query fails there.
+    let err = client_b
+        .call(&cmd(CommandType::IkaReadStirringSpeed), T)
+        .unwrap_err();
+    assert!(err.to_string().contains("not opened"));
+
+    drop(client_a);
+    drop(client_b);
+    assert!(server_a.join().unwrap().ika().motor_on());
+    assert!(!server_b.join().unwrap().ika().motor_on());
+}
+
+#[test]
+fn sustained_polling_over_rpc_is_lossless() {
+    let (client_side, server_side) = Duplex::pair();
+    let _server = RpcServer::spawn(rad_devices::LabRig::new(4), server_side);
+    let mut client = RpcClient::new(client_side);
+    client.call(&cmd(CommandType::InitC9), T).unwrap();
+    // A thousand sequential polls: every one gets exactly one reply.
+    for i in 0..1000 {
+        let v = client.call(&cmd(CommandType::Mvng), T);
+        assert!(v.is_ok(), "poll {i} failed: {v:?}");
+    }
+}
