@@ -7,12 +7,13 @@
 //! frequency detector, and a run-length heuristic — each evaluated
 //! under the same cross-validation protocol as the perplexity models.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::HashSet;
 use std::hash::Hash;
 
 use rad_core::RadError;
 
 use crate::crossval::CrossValidation;
+use crate::intern::{FxBuildHasher, TokenId, Vocab};
 use crate::metrics::ConfusionMatrix;
 
 /// A detector that trains on sequences and classifies whole runs.
@@ -30,16 +31,25 @@ pub trait RunClassifier<T> {
 /// Rule-based IDS: alarm on any transition (bigram) never seen in
 /// training. This is the "collection of rules" §I says is hard to
 /// curate by hand — here the rules are mined from the training set.
+///
+/// Transitions are stored as interned id pairs: fitting clones each
+/// distinct token once into the [`Vocab`] instead of cloning every
+/// window, and lookups hash two `u32`s instead of two tokens. A token
+/// the allowlist never saw has no id, so any transition touching it
+/// misses the set and alarms — same semantics as the token-keyed
+/// original.
 #[derive(Debug, Clone, Default)]
 pub struct TransitionAllowlist<T> {
-    allowed: BTreeSet<(T, T)>,
+    vocab: Vocab<T>,
+    allowed: HashSet<(TokenId, TokenId), FxBuildHasher>,
 }
 
 impl<T: Clone + Ord> TransitionAllowlist<T> {
     /// An empty allowlist (alarms on everything until fitted).
     pub fn new() -> Self {
         TransitionAllowlist {
-            allowed: BTreeSet::new(),
+            vocab: Vocab::new(),
+            allowed: HashSet::default(),
         }
     }
 
@@ -56,17 +66,21 @@ impl<T: Clone + Ord> TransitionAllowlist<T> {
 
 impl<T: Clone + Ord + Hash> RunClassifier<T> for TransitionAllowlist<T> {
     fn fit(&mut self, training: &[Vec<T>]) {
+        self.vocab = Vocab::new();
         self.allowed.clear();
         for seq in training {
             for w in seq.windows(2) {
-                self.allowed.insert((w[0].clone(), w[1].clone()));
+                let pair = (self.vocab.intern(&w[0]), self.vocab.intern(&w[1]));
+                self.allowed.insert(pair);
             }
         }
     }
 
     fn is_anomalous(&self, run: &[T]) -> bool {
-        run.windows(2)
-            .any(|w| !self.allowed.contains(&(w[0].clone(), w[1].clone())))
+        run.windows(2).any(|w| {
+            let pair = (self.vocab.get_or_pad(&w[0]), self.vocab.get_or_pad(&w[1]));
+            !self.allowed.contains(&pair)
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -77,10 +91,15 @@ impl<T: Clone + Ord + Hash> RunClassifier<T> for TransitionAllowlist<T> {
 /// Frequency baseline: alarm when a run's rarest command is rarer than
 /// `min_frequency` in the training corpus (unknown commands count as
 /// frequency zero).
+///
+/// Frequencies live in a dense `Vec<f64>` indexed by interned
+/// [`TokenId`], so scoring a run is an id lookup plus an array read
+/// per token.
 #[derive(Debug, Clone)]
 pub struct RareCommandDetector<T> {
     min_frequency: f64,
-    frequencies: BTreeMap<T, f64>,
+    vocab: Vocab<T>,
+    frequencies: Vec<f64>,
 }
 
 impl<T: Clone + Ord> RareCommandDetector<T> {
@@ -97,33 +116,46 @@ impl<T: Clone + Ord> RareCommandDetector<T> {
         );
         RareCommandDetector {
             min_frequency,
-            frequencies: BTreeMap::new(),
+            vocab: Vocab::new(),
+            frequencies: Vec::new(),
         }
     }
 }
 
 impl<T: Clone + Ord + Hash> RunClassifier<T> for RareCommandDetector<T> {
     fn fit(&mut self, training: &[Vec<T>]) {
+        self.vocab = Vocab::new();
         self.frequencies.clear();
-        let mut counts: BTreeMap<T, u64> = BTreeMap::new();
+        let mut counts: Vec<u64> = Vec::new();
         let mut total = 0u64;
         for seq in training {
             for t in seq {
-                *counts.entry(t.clone()).or_insert(0) += 1;
+                let idx = self.vocab.intern(t).index();
+                if idx >= counts.len() {
+                    counts.resize(idx + 1, 0);
+                }
+                counts[idx] += 1;
                 total += 1;
             }
         }
         if total == 0 {
             return;
         }
-        for (t, c) in counts {
-            self.frequencies.insert(t, c as f64 / total as f64);
-        }
+        self.frequencies = counts
+            .into_iter()
+            .map(|c| c as f64 / total as f64)
+            .collect();
     }
 
     fn is_anomalous(&self, run: &[T]) -> bool {
-        run.iter()
-            .any(|t| self.frequencies.get(t).copied().unwrap_or(0.0) < self.min_frequency)
+        run.iter().any(|t| {
+            let freq = self
+                .vocab
+                .get(t)
+                .map(|id| self.frequencies[id.index()])
+                .unwrap_or(0.0);
+            freq < self.min_frequency
+        })
     }
 
     fn name(&self) -> &'static str {

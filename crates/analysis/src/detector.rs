@@ -7,8 +7,9 @@ use std::hash::Hash;
 use rad_core::RadError;
 
 use crate::crossval::CrossValidation;
+use crate::intern::{TokenId, Vocab};
 use crate::jenks::jenks_two_class;
-use crate::lm::{CommandLm, Smoothing};
+use crate::lm::{CommandLm, InternedLm, Smoothing};
 use crate::metrics::ConfusionMatrix;
 
 /// Configuration of the perplexity detector: n-gram order + smoothing.
@@ -67,6 +68,11 @@ impl PerplexityDetector {
     /// the single largest outlier instead of the benign/anomalous gap.
     /// The reported threshold is mapped back to perplexity units.
     ///
+    /// The corpus is interned exactly once; each fold then fits an
+    /// [`InternedLm`] on borrowed id slices in its own scoped thread.
+    /// Fold results are merged back by item index, so the report is
+    /// bit-identical to the sequential protocol.
+    ///
     /// # Errors
     ///
     /// Returns [`RadError::Analysis`] when the fold arithmetic or any
@@ -78,12 +84,42 @@ impl PerplexityDetector {
         seed: u64,
     ) -> Result<EvaluationReport, RadError> {
         let cv = CrossValidation::new(labelled.len(), k, seed)?;
+        let mut vocab = Vocab::new();
+        let interned: Vec<Vec<TokenId>> = labelled
+            .iter()
+            .map(|(seq, _)| {
+                let mut ids = Vec::new();
+                vocab.intern_into(seq, &mut ids);
+                ids
+            })
+            .collect();
+        let folds: Vec<_> = cv.folds().collect();
+        let order = self.order;
+        let smoothing = self.smoothing;
+        let fold_scores: Vec<Result<Vec<(usize, f64)>, RadError>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = folds
+                .iter()
+                .map(|fold| {
+                    let interned = &interned;
+                    s.spawn(move || -> Result<Vec<(usize, f64)>, RadError> {
+                        let training: Vec<&[TokenId]> =
+                            fold.train.iter().map(|&i| interned[i].as_slice()).collect();
+                        let lm = InternedLm::fit(order, &training, smoothing)?;
+                        fold.test
+                            .iter()
+                            .map(|&i| Ok((i, lm.perplexity(&interned[i])?)))
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fold worker panicked"))
+                .collect()
+        });
         let mut scores: Vec<Option<(f64, bool)>> = vec![None; labelled.len()];
-        for fold in cv.folds() {
-            let training: Vec<Vec<T>> = fold.train.iter().map(|&i| labelled[i].0.clone()).collect();
-            let lm = CommandLm::fit(self.order, &training, self.smoothing)?;
-            for &i in &fold.test {
-                let ppl = lm.perplexity(&labelled[i].0)?;
+        for per_fold in fold_scores {
+            for (i, ppl) in per_fold? {
                 scores[i] = Some((ppl, labelled[i].1));
             }
         }

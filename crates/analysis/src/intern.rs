@@ -1,0 +1,485 @@
+//! Token interning: the allocation-free backbone of the analysis
+//! pipeline.
+//!
+//! Every analysis in this crate is generic over a token type `T`
+//! (command mnemonics, parameter-bucketed strings, ...). Hashing and
+//! cloning those tokens per n-gram window dominated the original
+//! profiles: counting n-grams over a `HashMap<Vec<T>, u64>` allocates
+//! a fresh `Vec<T>` for every window and re-hashes full token values
+//! on every probe.
+//!
+//! [`Vocab`] maps each distinct token to a dense [`TokenId`] exactly
+//! once per corpus. Downstream structures
+//! ([`InternedNgramCounter`], [`crate::lm::InternedLm`]) then key
+//! n-grams of order ≤ [`PACKED_ORDER`] as a packed fixed-size
+//! `[u32; 4]` — built on the stack, no per-window allocation — and
+//! hash it with a fast multiplicative hasher ([`FxHasher`]). Orders
+//! above [`PACKED_ORDER`] spill to a boxed id slice and keep working,
+//! just without the allocation-free guarantee.
+//!
+//! The public generic types ([`crate::NgramCounter`],
+//! [`crate::CommandLm`]) are thin wrappers over these internals: they
+//! own a `Vocab<T>` and translate at the API boundary, so callers see
+//! the same token-typed interface as before.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// Highest n-gram order stored as a packed stack key; higher orders
+/// spill to a heap-allocated id slice.
+pub const PACKED_ORDER: usize = 4;
+
+/// Sentinel id used (a) to pad unused slots of a packed key and (b) as
+/// the out-of-vocabulary id during read-only lookups. It is never
+/// assigned to a real token, so any key containing it in a data slot
+/// misses every stored entry — exactly the "count 0 for unseen"
+/// semantics the generic API had.
+const PAD: u32 = u32::MAX;
+
+/// A dense identifier for an interned token.
+///
+/// Ids are assigned in first-seen order, starting at zero, and are
+/// stable for the lifetime of the [`Vocab`] that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TokenId(u32);
+
+impl TokenId {
+    /// The id as a dense index (0-based, contiguous).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// An interner from tokens to dense [`TokenId`]s.
+///
+/// # Examples
+///
+/// ```
+/// use rad_analysis::intern::Vocab;
+///
+/// let mut vocab = Vocab::new();
+/// let arm = vocab.intern(&"ARM");
+/// let mvng = vocab.intern(&"MVNG");
+/// assert_ne!(arm, mvng);
+/// assert_eq!(vocab.intern(&"ARM"), arm, "interning is idempotent");
+/// assert_eq!(vocab.resolve(arm), &"ARM");
+/// assert_eq!(vocab.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Vocab<T> {
+    tokens: Vec<T>,
+    index: HashMap<T, TokenId, FxBuildHasher>,
+}
+
+impl<T> Default for Vocab<T> {
+    fn default() -> Self {
+        Vocab::new()
+    }
+}
+
+impl<T> Vocab<T> {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Vocab {
+            tokens: Vec::new(),
+            index: HashMap::default(),
+        }
+    }
+
+    /// Number of distinct tokens interned so far.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether no token has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// The token behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this vocabulary.
+    pub fn resolve(&self, id: TokenId) -> &T {
+        &self.tokens[id.index()]
+    }
+
+    /// All interned tokens, in id order.
+    pub fn tokens(&self) -> &[T] {
+        &self.tokens
+    }
+}
+
+impl<T: Clone + Eq + Hash> Vocab<T> {
+    /// The id for `token`, interning (and cloning) it on first sight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vocabulary exceeds `u32::MAX - 1` distinct tokens.
+    pub fn intern(&mut self, token: &T) -> TokenId {
+        if let Some(&id) = self.index.get(token) {
+            return id;
+        }
+        let raw = u32::try_from(self.tokens.len()).expect("vocabulary exceeds u32 ids");
+        assert!(raw != PAD, "vocabulary exhausted the id space");
+        let id = TokenId(raw);
+        self.tokens.push(token.clone());
+        self.index.insert(token.clone(), id);
+        id
+    }
+
+    /// Interns every token of `sequence`, appending the ids to `out`
+    /// (which is cleared first). Reusing `out` across calls makes the
+    /// corpus pass allocation-free after warmup.
+    pub fn intern_into(&mut self, sequence: &[T], out: &mut Vec<TokenId>) {
+        out.clear();
+        out.reserve(sequence.len());
+        for token in sequence {
+            out.push(self.intern(token));
+        }
+    }
+
+    /// The id of an already-interned token, if any.
+    pub fn get(&self, token: &T) -> Option<TokenId> {
+        self.index.get(token).copied()
+    }
+
+    /// The id of `token`, or the reserved out-of-vocabulary sentinel.
+    /// Keys built with the sentinel miss every stored entry, which
+    /// yields the zero counts the scoring paths expect for unseen
+    /// tokens.
+    pub(crate) fn get_or_pad(&self, token: &T) -> TokenId {
+        self.index.get(token).copied().unwrap_or(TokenId(PAD))
+    }
+}
+
+/// A fast, non-cryptographic hasher for small fixed-size keys
+/// (the FxHash construction used throughout rustc). N-gram keys are a
+/// handful of machine words; SipHash's per-hash setup cost dominates
+/// them, while a multiply-rotate mix does not.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]-keyed maps.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub(crate) type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// An n-gram key over interned token ids: packed on the stack for
+/// orders ≤ [`PACKED_ORDER`], spilled to the heap above that.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Key {
+    /// Up to four ids, trailing slots padded with the sentinel.
+    Packed([u32; 4]),
+    /// Five or more ids.
+    Spill(Box<[u32]>),
+}
+
+impl Hash for Key {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Key::Packed(ids) => {
+                state.write_u64(u64::from(ids[0]) << 32 | u64::from(ids[1]));
+                state.write_u64(u64::from(ids[2]) << 32 | u64::from(ids[3]));
+            }
+            Key::Spill(ids) => {
+                state.write_usize(ids.len());
+                for &id in ids.iter() {
+                    state.write_u32(id);
+                }
+            }
+        }
+    }
+}
+
+impl Key {
+    /// Builds the key for an id window. Allocation-free for windows of
+    /// length ≤ [`PACKED_ORDER`].
+    #[inline]
+    pub(crate) fn from_ids(ids: &[TokenId]) -> Key {
+        if ids.len() <= PACKED_ORDER {
+            let mut packed = [PAD; 4];
+            for (slot, id) in packed.iter_mut().zip(ids) {
+                *slot = id.raw();
+            }
+            Key::Packed(packed)
+        } else {
+            Key::Spill(ids.iter().map(|id| id.raw()).collect())
+        }
+    }
+
+    /// Builds the key for `context ++ [next]` without materializing the
+    /// concatenation. Allocation-free when the n-gram fits packed.
+    #[inline]
+    pub(crate) fn from_context_and_next(context: &[TokenId], next: TokenId) -> Key {
+        if context.len() < PACKED_ORDER {
+            let mut packed = [PAD; 4];
+            for (slot, id) in packed.iter_mut().zip(context) {
+                *slot = id.raw();
+            }
+            packed[context.len()] = next.raw();
+            Key::Packed(packed)
+        } else {
+            Key::Spill(
+                context
+                    .iter()
+                    .copied()
+                    .chain(std::iter::once(next))
+                    .map(TokenId::raw)
+                    .collect(),
+            )
+        }
+    }
+
+    /// The key for this key's first `len` ids — equal to
+    /// `Key::from_ids(&self.decode(...)[..len])` without the decode.
+    pub(crate) fn prefix(&self, len: usize) -> Key {
+        let ids: &[u32] = match self {
+            Key::Packed(ids) => &ids[..],
+            Key::Spill(ids) => ids,
+        };
+        if len <= PACKED_ORDER {
+            let mut packed = [PAD; 4];
+            packed[..len].copy_from_slice(&ids[..len]);
+            Key::Packed(packed)
+        } else {
+            Key::Spill(ids[..len].into())
+        }
+    }
+
+    /// Decodes the first `n` ids of the key.
+    pub(crate) fn decode(&self, n: usize) -> Vec<TokenId> {
+        match self {
+            Key::Packed(ids) => ids[..n].iter().map(|&id| TokenId(id)).collect(),
+            Key::Spill(ids) => ids[..n].iter().map(|&id| TokenId(id)).collect(),
+        }
+    }
+}
+
+/// Counts n-grams of a fixed order over interned id sequences.
+///
+/// This is the engine behind [`crate::NgramCounter`]; use it directly
+/// when the corpus is already interned (e.g. inside cross-validation
+/// loops, where interning once per corpus instead of once per fold is
+/// the whole point).
+#[derive(Debug, Clone)]
+pub struct InternedNgramCounter {
+    n: usize,
+    counts: FxHashMap<Key, u64>,
+    total: u64,
+}
+
+impl InternedNgramCounter {
+    /// A counter for n-grams of order `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "n-gram order must be at least 1");
+        InternedNgramCounter {
+            n,
+            counts: FxHashMap::default(),
+            total: 0,
+        }
+    }
+
+    /// The n-gram order.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Adds every n-gram of `ids` to the counts. Sequences shorter
+    /// than `n` contribute nothing; n-grams never straddle two
+    /// `observe` calls.
+    pub fn observe(&mut self, ids: &[TokenId]) {
+        if ids.len() < self.n {
+            return;
+        }
+        for window in ids.windows(self.n) {
+            *self.counts.entry(Key::from_ids(window)).or_insert(0) += 1;
+            self.total += 1;
+        }
+    }
+
+    /// Count of one specific id n-gram (zero for wrong-length queries,
+    /// matching the generic API's behaviour for absent keys).
+    pub fn count(&self, ids: &[TokenId]) -> u64 {
+        if ids.len() != self.n {
+            return 0;
+        }
+        self.counts.get(&Key::from_ids(ids)).copied().unwrap_or(0)
+    }
+
+    /// Total number of n-gram occurrences observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct n-grams observed.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Iterates over all `(ids, count)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Vec<TokenId>, u64)> + '_ {
+        self.counts.iter().map(|(key, &c)| (key.decode(self.n), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(vocab: &mut Vocab<&'static str>, tokens: &[&'static str]) -> Vec<TokenId> {
+        let mut out = Vec::new();
+        vocab.intern_into(tokens, &mut out);
+        out
+    }
+
+    #[test]
+    fn interning_assigns_dense_first_seen_ids() {
+        let mut vocab = Vocab::new();
+        let seq = ids(&mut vocab, &["c", "a", "c", "b"]);
+        assert_eq!(seq[0].index(), 0);
+        assert_eq!(seq[1].index(), 1);
+        assert_eq!(seq[2].index(), 0, "repeat hits the same id");
+        assert_eq!(seq[3].index(), 2);
+        assert_eq!(vocab.tokens(), &["c", "a", "b"]);
+        assert_eq!(vocab.get(&"a"), Some(seq[1]));
+        assert_eq!(vocab.get(&"zzz"), None);
+    }
+
+    #[test]
+    fn packed_keys_distinguish_orders_and_padding() {
+        let a = TokenId(0);
+        let b = TokenId(1);
+        // A 2-gram key and a 3-gram key over the same prefix differ:
+        // the pad sentinel fills the unused slot.
+        let two = Key::from_ids(&[a, b]);
+        let three = Key::from_ids(&[a, b, TokenId(2)]);
+        assert_ne!(two, three);
+        // from_context_and_next agrees with from_ids on the
+        // concatenation.
+        assert_eq!(Key::from_context_and_next(&[a], b), Key::from_ids(&[a, b]));
+        let ctx = [a, b, TokenId(2), TokenId(3)];
+        assert_eq!(
+            Key::from_context_and_next(&ctx, TokenId(4)),
+            Key::from_ids(&[a, b, TokenId(2), TokenId(3), TokenId(4)])
+        );
+    }
+
+    #[test]
+    fn spill_keys_cover_high_orders() {
+        let window: Vec<TokenId> = (0..6).map(TokenId).collect();
+        let key = Key::from_ids(&window);
+        assert!(matches!(key, Key::Spill(_)));
+        assert_eq!(key.decode(6), window);
+    }
+
+    #[test]
+    fn interned_counter_counts_windows() {
+        let mut vocab = Vocab::new();
+        let seq = ids(&mut vocab, &["Q", "Q", "Q", "A"]);
+        let mut counter = InternedNgramCounter::new(2);
+        counter.observe(&seq);
+        assert_eq!(counter.count(&[seq[0], seq[0]]), 2);
+        assert_eq!(counter.count(&[seq[0], seq[3]]), 1);
+        assert_eq!(counter.count(&[seq[3], seq[0]]), 0);
+        assert_eq!(counter.total(), 3);
+        assert_eq!(counter.distinct(), 2);
+    }
+
+    #[test]
+    fn wrong_length_queries_count_zero() {
+        let mut vocab = Vocab::new();
+        let seq = ids(&mut vocab, &["a", "b", "c"]);
+        let mut counter = InternedNgramCounter::new(3);
+        counter.observe(&seq);
+        assert_eq!(counter.count(&seq[..2]), 0);
+        assert_eq!(counter.count(&seq), 1);
+    }
+
+    #[test]
+    fn pad_lookups_always_miss() {
+        let mut vocab = Vocab::new();
+        let seq = ids(&mut vocab, &["a", "b", "a", "b"]);
+        let mut counter = InternedNgramCounter::new(2);
+        counter.observe(&seq);
+        let oov = vocab.get_or_pad(&"never-seen");
+        assert_eq!(counter.count(&[seq[0], oov]), 0);
+        assert_eq!(counter.count(&[oov, oov]), 0);
+    }
+
+    #[test]
+    fn fx_hasher_separates_nearby_keys() {
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..64u32 {
+            for j in 0..64u32 {
+                let mut hasher = FxHasher::default();
+                Key::from_ids(&[TokenId(i), TokenId(j)]).hash(&mut hasher);
+                seen.insert(hasher.finish());
+            }
+        }
+        assert_eq!(seen.len(), 64 * 64, "no collisions on a dense grid");
+    }
+}

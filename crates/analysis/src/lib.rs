@@ -18,6 +18,13 @@
 //!   recall, F1 (Table I).
 //! - [`PerplexityDetector`] — the assembled anomaly detector, with a
 //!   streaming mode for the real-time use case the paper motivates.
+//!
+//! The counting and scoring hot paths run over interned token ids
+//! ([`intern::Vocab`] / [`intern::TokenId`]) with packed n-gram keys,
+//! so fitting and scoring allocate nothing per window; the original
+//! token-keyed algorithms survive in [`reference`] as the semantic
+//! oracle. Cross-validation folds evaluate in parallel over the
+//! once-interned corpus.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,10 +33,12 @@ pub mod baseline;
 pub mod crossval;
 pub mod detector;
 pub mod hmm;
+pub mod intern;
 pub mod jenks;
 pub mod lm;
 pub mod metrics;
 pub mod ngram;
+pub mod reference;
 pub mod specmine;
 pub mod tfidf;
 pub mod token;
@@ -40,10 +49,12 @@ pub use baseline::{
 pub use crossval::CrossValidation;
 pub use detector::PerplexityDetector;
 pub use hmm::{Hmm, HmmDetector};
+pub use intern::{InternedNgramCounter, TokenId, Vocab};
 pub use jenks::{jenks_breaks, jenks_two_class};
-pub use lm::{CommandLm, Smoothing};
+pub use lm::{CommandLm, InternedLm, Smoothing};
 pub use metrics::ConfusionMatrix;
 pub use ngram::NgramCounter;
+pub use reference::{ReferenceLm, ReferenceNgramCounter};
 pub use specmine::{synthesize, MinedSpec, SpecViolation};
 pub use tfidf::TfIdf;
 pub use token::{labelled_runs, CommandTokenizer, ParamTokenizer, Tokenizer};

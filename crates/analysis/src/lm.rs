@@ -9,11 +9,27 @@
 //! The paper leaves smoothing implicit (its corpus covers every n-gram
 //! it scores); a reproduction cannot, so [`Smoothing`] makes the choice
 //! explicit and the ablation bench compares the variants.
+//!
+//! Two layers: [`InternedLm`] works on dense [`TokenId`] sequences and
+//! packed keys (no per-call allocation for orders ≤
+//! [`crate::intern::PACKED_ORDER`]); [`CommandLm`] wraps it with a
+//! [`Vocab`] so callers keep the token-typed API. Scoring through the
+//! wrapper reuses a thread-local id buffer, so it is allocation-free
+//! after warmup.
 
-use std::collections::HashMap;
+use std::cell::RefCell;
 use std::hash::Hash;
 
 use rad_core::RadError;
+
+use crate::intern::{FxHashMap, Key, TokenId, Vocab};
+
+thread_local! {
+    /// Reusable id buffer for the token-typed scoring paths. Per
+    /// thread so `CommandLm` scoring stays `&self` and can run from
+    /// parallel cross-validation workers without locking.
+    static SCORE_SCRATCH: RefCell<Vec<TokenId>> = const { RefCell::new(Vec::new()) };
+}
 
 /// How unseen n-grams are assigned probability.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,6 +49,224 @@ impl Default for Smoothing {
     }
 }
 
+/// An n-gram language model over already-interned token ids.
+///
+/// This is the engine behind [`CommandLm`]. Use it directly when the
+/// corpus is interned once up front — e.g. cross-validation, where
+/// each fold trains on a subset of the same interned corpus and
+/// re-tokenizing per fold would dominate the run time.
+#[derive(Debug, Clone)]
+pub struct InternedLm {
+    n: usize,
+    ngram_counts: FxHashMap<Key, u64>,
+    context_counts: FxHashMap<Key, u64>,
+    vocabulary_size: usize,
+    smoothing: Smoothing,
+    /// Scoring fast path for [`Smoothing::EpsilonFloor`]: `ln(P)` of
+    /// every observed n-gram, precomputed at fit time from the same
+    /// `joint / ctx` division `probability` performs — so the sum in
+    /// `log_probability` is bit-identical, at one table probe per
+    /// window instead of two probes plus an `ln` call. `None` under
+    /// add-k smoothing (whose unseen-n-gram probability depends on the
+    /// context count, so misses cannot share one constant).
+    log_probs: Option<FxHashMap<Key, f64>>,
+    /// `ln(eps)`: the table-miss value for the fast path.
+    ln_floor: f64,
+}
+
+impl InternedLm {
+    /// Fits an order-`n` model on interned `training` sequences.
+    ///
+    /// The vocabulary size used by add-k smoothing is the number of
+    /// distinct ids in `training` (including sequences too short to
+    /// contribute n-grams), matching the token-typed behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadError::Analysis`] if `n < 2`, the training set is
+    /// empty, or no training sequence is at least `n` tokens long.
+    pub fn fit(n: usize, training: &[&[TokenId]], smoothing: Smoothing) -> Result<Self, RadError> {
+        if n < 2 {
+            return Err(RadError::Analysis(
+                "language model order must be >= 2".into(),
+            ));
+        }
+        if training.is_empty() {
+            return Err(RadError::Analysis("empty training set".into()));
+        }
+        let mut ngram_counts: FxHashMap<Key, u64> = FxHashMap::default();
+        let mut seen = Vec::new();
+        let mut vocabulary_size = 0usize;
+        let mut usable = false;
+        for seq in training {
+            for id in *seq {
+                let idx = id.index();
+                if idx >= seen.len() {
+                    seen.resize(idx + 1, false);
+                }
+                if !seen[idx] {
+                    seen[idx] = true;
+                    vocabulary_size += 1;
+                }
+            }
+            if seq.len() < n {
+                continue;
+            }
+            usable = true;
+            for window in seq.windows(n) {
+                *ngram_counts.entry(Key::from_ids(window)).or_insert(0) += 1;
+            }
+        }
+        if !usable {
+            return Err(RadError::Analysis(format!(
+                "no training sequence has at least {n} tokens"
+            )));
+        }
+        // A context's count is the sum of its continuations' counts,
+        // so it can be folded out of the (much smaller) distinct-n-gram
+        // table instead of costing a second map probe per window.
+        let mut context_counts: FxHashMap<Key, u64> = FxHashMap::default();
+        for (key, &joint) in &ngram_counts {
+            *context_counts.entry(key.prefix(n - 1)).or_insert(0) += joint;
+        }
+        let (log_probs, ln_floor) = match smoothing {
+            Smoothing::EpsilonFloor(eps) => {
+                let mut table = FxHashMap::default();
+                table.reserve(ngram_counts.len());
+                for (key, &joint) in &ngram_counts {
+                    // Every stored n-gram contributed to its context's
+                    // count, so the context lookup cannot miss.
+                    let ctx = context_counts[&key.prefix(n - 1)];
+                    table.insert(key.clone(), (joint as f64 / ctx as f64).ln());
+                }
+                (Some(table), eps.ln())
+            }
+            Smoothing::AddK(_) => (None, 0.0),
+        };
+        Ok(InternedLm {
+            n,
+            ngram_counts,
+            context_counts,
+            vocabulary_size,
+            smoothing,
+            log_probs,
+            ln_floor,
+        })
+    }
+
+    /// Model order (2 = bigram).
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Size of the training vocabulary.
+    pub fn vocabulary_size(&self) -> usize {
+        self.vocabulary_size
+    }
+
+    /// Number of times `context` was observed in training (zero for
+    /// unseen contexts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `context.len() != order - 1`.
+    pub fn context_count(&self, context: &[TokenId]) -> u64 {
+        assert_eq!(
+            context.len(),
+            self.n - 1,
+            "context length must be order - 1"
+        );
+        self.context_counts
+            .get(&Key::from_ids(context))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// `P(next | context)` under the fitted counts and smoothing.
+    ///
+    /// Builds both lookup keys on the stack for orders ≤
+    /// [`crate::intern::PACKED_ORDER`]: no allocation per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `context.len() != order - 1`.
+    pub fn probability(&self, context: &[TokenId], next: TokenId) -> f64 {
+        assert_eq!(
+            context.len(),
+            self.n - 1,
+            "context length must be order - 1"
+        );
+        let joint = self
+            .ngram_counts
+            .get(&Key::from_context_and_next(context, next))
+            .copied()
+            .unwrap_or(0) as f64;
+        let ctx = self
+            .context_counts
+            .get(&Key::from_ids(context))
+            .copied()
+            .unwrap_or(0) as f64;
+        match self.smoothing {
+            Smoothing::EpsilonFloor(eps) => {
+                if joint == 0.0 || ctx == 0.0 {
+                    eps
+                } else {
+                    joint / ctx
+                }
+            }
+            Smoothing::AddK(k) => {
+                let v = self.vocabulary_size as f64;
+                (joint + k) / (ctx + k * v)
+            }
+        }
+    }
+
+    /// Log-probability (natural log) of an id sequence under the
+    /// model: the sum over its `len - n + 1` transitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadError::Analysis`] if `sequence` is shorter than the
+    /// model order (no transition to score).
+    pub fn log_probability(&self, sequence: &[TokenId]) -> Result<f64, RadError> {
+        if sequence.len() < self.n {
+            return Err(RadError::Analysis(format!(
+                "sequence of {} tokens is shorter than model order {}",
+                sequence.len(),
+                self.n
+            )));
+        }
+        if let Some(table) = &self.log_probs {
+            return Ok(sequence
+                .windows(self.n)
+                .map(|w| {
+                    table
+                        .get(&Key::from_ids(w))
+                        .copied()
+                        .unwrap_or(self.ln_floor)
+                })
+                .sum());
+        }
+        Ok(sequence
+            .windows(self.n)
+            .map(|w| self.probability(&w[..self.n - 1], w[self.n - 1]).ln())
+            .sum())
+    }
+
+    /// Perplexity of an id sequence: `exp(-logP / transitions)`, the
+    /// normalized inverse probability of §V-B. Lower is more typical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`InternedLm::log_probability`]'s error on too-short
+    /// sequences.
+    pub fn perplexity(&self, sequence: &[TokenId]) -> Result<f64, RadError> {
+        let transitions = (sequence.len() + 1 - self.n) as f64;
+        let logp = self.log_probability(sequence)?;
+        Ok((-logp / transitions).exp())
+    }
+}
+
 /// A fitted n-gram language model over tokens of type `T`.
 ///
 /// # Examples
@@ -49,68 +283,54 @@ impl Default for Smoothing {
 /// ```
 #[derive(Debug, Clone)]
 pub struct CommandLm<T> {
-    n: usize,
-    ngram_counts: HashMap<Vec<T>, u64>,
-    context_counts: HashMap<Vec<T>, u64>,
-    vocabulary_size: usize,
-    smoothing: Smoothing,
+    vocab: Vocab<T>,
+    inner: InternedLm,
 }
 
 impl<T: Clone + Eq + Hash + Ord> CommandLm<T> {
-    /// Fits an order-`n` model on `training` sequences.
+    /// Fits an order-`n` model on `training` sequences. Accepts any
+    /// slice-of-sequences shape (`Vec<Vec<T>>`, `&[&[T]]`, ...); each
+    /// token is interned exactly once across the whole corpus.
     ///
     /// # Errors
     ///
     /// Returns [`RadError::Analysis`] if `n < 2`, the training set is
     /// empty, or no training sequence is at least `n` tokens long.
-    pub fn fit(n: usize, training: &[Vec<T>], smoothing: Smoothing) -> Result<Self, RadError> {
-        if n < 2 {
-            return Err(RadError::Analysis(
-                "language model order must be >= 2".into(),
-            ));
-        }
-        if training.is_empty() {
-            return Err(RadError::Analysis("empty training set".into()));
-        }
-        let mut ngram_counts: HashMap<Vec<T>, u64> = HashMap::new();
-        let mut context_counts: HashMap<Vec<T>, u64> = HashMap::new();
-        let mut vocabulary = std::collections::BTreeSet::new();
-        let mut usable = false;
+    pub fn fit<S: AsRef<[T]>>(
+        n: usize,
+        training: &[S],
+        smoothing: Smoothing,
+    ) -> Result<Self, RadError> {
+        let mut vocab = Vocab::new();
+        let mut interned: Vec<Vec<TokenId>> = Vec::with_capacity(training.len());
         for seq in training {
-            for t in seq {
-                vocabulary.insert(t.clone());
-            }
-            if seq.len() < n {
-                continue;
-            }
-            usable = true;
-            for window in seq.windows(n) {
-                *ngram_counts.entry(window.to_vec()).or_insert(0) += 1;
-                *context_counts.entry(window[..n - 1].to_vec()).or_insert(0) += 1;
-            }
+            let mut ids = Vec::new();
+            vocab.intern_into(seq.as_ref(), &mut ids);
+            interned.push(ids);
         }
-        if !usable {
-            return Err(RadError::Analysis(format!(
-                "no training sequence has at least {n} tokens"
-            )));
-        }
-        Ok(CommandLm {
-            n,
-            ngram_counts,
-            context_counts,
-            vocabulary_size: vocabulary.len(),
-            smoothing,
-        })
+        let refs: Vec<&[TokenId]> = interned.iter().map(Vec::as_slice).collect();
+        let inner = InternedLm::fit(n, &refs, smoothing)?;
+        Ok(CommandLm { vocab, inner })
     }
 
     /// Model order (2 = bigram).
     pub fn order(&self) -> usize {
-        self.n
+        self.inner.order()
     }
 
     /// Size of the training vocabulary.
     pub fn vocabulary_size(&self) -> usize {
-        self.vocabulary_size
+        self.inner.vocabulary_size()
+    }
+
+    /// The vocabulary the model interned its training tokens into.
+    pub fn vocab(&self) -> &Vocab<T> {
+        &self.vocab
+    }
+
+    /// The underlying id-level model.
+    pub fn interned(&self) -> &InternedLm {
+        &self.inner
     }
 
     /// Number of times `context` was observed in training (zero for
@@ -123,10 +343,15 @@ impl<T: Clone + Eq + Hash + Ord> CommandLm<T> {
     pub fn context_count(&self, context: &[T]) -> u64 {
         assert_eq!(
             context.len(),
-            self.n - 1,
+            self.inner.order() - 1,
             "context length must be order - 1"
         );
-        self.context_counts.get(context).copied().unwrap_or(0)
+        SCORE_SCRATCH.with(|cell| {
+            let mut ids = cell.borrow_mut();
+            ids.clear();
+            ids.extend(context.iter().map(|t| self.vocab.get_or_pad(t)));
+            self.inner.context_count(&ids)
+        })
     }
 
     /// `P(next | context)` under the fitted counts and smoothing.
@@ -137,26 +362,16 @@ impl<T: Clone + Eq + Hash + Ord> CommandLm<T> {
     pub fn probability(&self, context: &[T], next: &T) -> f64 {
         assert_eq!(
             context.len(),
-            self.n - 1,
+            self.inner.order() - 1,
             "context length must be order - 1"
         );
-        let mut ngram: Vec<T> = context.to_vec();
-        ngram.push(next.clone());
-        let joint = self.ngram_counts.get(&ngram).copied().unwrap_or(0) as f64;
-        let ctx = self.context_counts.get(context).copied().unwrap_or(0) as f64;
-        match self.smoothing {
-            Smoothing::EpsilonFloor(eps) => {
-                if joint == 0.0 || ctx == 0.0 {
-                    eps
-                } else {
-                    joint / ctx
-                }
-            }
-            Smoothing::AddK(k) => {
-                let v = self.vocabulary_size as f64;
-                (joint + k) / (ctx + k * v)
-            }
-        }
+        let next_id = self.vocab.get_or_pad(next);
+        SCORE_SCRATCH.with(|cell| {
+            let mut ids = cell.borrow_mut();
+            ids.clear();
+            ids.extend(context.iter().map(|t| self.vocab.get_or_pad(t)));
+            self.inner.probability(&ids, next_id)
+        })
     }
 
     /// Log-probability (natural log) of a sequence under the model:
@@ -167,17 +382,12 @@ impl<T: Clone + Eq + Hash + Ord> CommandLm<T> {
     /// Returns [`RadError::Analysis`] if `sequence` is shorter than the
     /// model order (no transition to score).
     pub fn log_probability(&self, sequence: &[T]) -> Result<f64, RadError> {
-        if sequence.len() < self.n {
-            return Err(RadError::Analysis(format!(
-                "sequence of {} tokens is shorter than model order {}",
-                sequence.len(),
-                self.n
-            )));
-        }
-        Ok(sequence
-            .windows(self.n)
-            .map(|w| self.probability(&w[..self.n - 1], &w[self.n - 1]).ln())
-            .sum())
+        SCORE_SCRATCH.with(|cell| {
+            let mut ids = cell.borrow_mut();
+            ids.clear();
+            ids.extend(sequence.iter().map(|t| self.vocab.get_or_pad(t)));
+            self.inner.log_probability(&ids)
+        })
     }
 
     /// Perplexity of a sequence: `exp(-logP / transitions)`, the
@@ -188,9 +398,12 @@ impl<T: Clone + Eq + Hash + Ord> CommandLm<T> {
     /// Propagates [`CommandLm::log_probability`]'s error on too-short
     /// sequences.
     pub fn perplexity(&self, sequence: &[T]) -> Result<f64, RadError> {
-        let transitions = (sequence.len() + 1 - self.n) as f64;
-        let logp = self.log_probability(sequence)?;
-        Ok((-logp / transitions).exp())
+        SCORE_SCRATCH.with(|cell| {
+            let mut ids = cell.borrow_mut();
+            ids.clear();
+            ids.extend(sequence.iter().map(|t| self.vocab.get_or_pad(t)));
+            self.inner.perplexity(&ids)
+        })
     }
 }
 
@@ -216,6 +429,15 @@ mod tests {
         // After "A": always "B" (5 of 5 transitions).
         assert!((lm.probability(&["A"], &"B") - 1.0).abs() < 1e-12);
         assert_eq!(lm.probability(&["A"], &"A"), 1e-9);
+    }
+
+    #[test]
+    fn unseen_tokens_hit_the_smoothing_floor() {
+        let lm = CommandLm::fit(2, &ab_training(), Smoothing::EpsilonFloor(1e-9)).unwrap();
+        // Neither "Z" as next nor "Z" as context was ever interned.
+        assert_eq!(lm.probability(&["A"], &"Z"), 1e-9);
+        assert_eq!(lm.probability(&["Z"], &"A"), 1e-9);
+        assert_eq!(lm.context_count(&["Z"]), 0);
     }
 
     #[test]
@@ -248,7 +470,8 @@ mod tests {
     #[test]
     fn fit_validates_inputs() {
         assert!(CommandLm::<&str>::fit(1, &ab_training(), Smoothing::default()).is_err());
-        assert!(CommandLm::<&str>::fit(2, &[], Smoothing::default()).is_err());
+        let empty: Vec<Vec<&str>> = Vec::new();
+        assert!(CommandLm::<&str>::fit(2, &empty, Smoothing::default()).is_err());
         assert!(CommandLm::fit(4, &[vec!["A", "B"]], Smoothing::default()).is_err());
     }
 
@@ -281,5 +504,19 @@ mod tests {
         // transitions: A->A (0.25), A->B (0.75); ppl = (0.25*0.75)^(-1/2)
         let expected2 = (0.25f64 * 0.75).powf(-0.5);
         assert!((lm.perplexity(&seq2).unwrap() - expected2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interned_lm_agrees_with_wrapper() {
+        let training = ab_training();
+        let lm = CommandLm::fit(2, &training, Smoothing::default()).unwrap();
+        let vocab = lm.vocab();
+        let ids: Vec<TokenId> = ["A", "B", "A", "B"]
+            .iter()
+            .map(|t| vocab.get(t).unwrap())
+            .collect();
+        let direct = lm.interned().perplexity(&ids).unwrap();
+        let wrapped = lm.perplexity(&["A", "B", "A", "B"]).unwrap();
+        assert_eq!(direct, wrapped, "same counts, same arithmetic");
     }
 }

@@ -4,9 +4,15 @@
 //! generic over the token type: the paper's analysis uses bare
 //! [`rad_core::CommandType`] tokens, while the parameter-aware ablation
 //! uses `(command, bucketed-args)` strings.
+//!
+//! Internally the counter interns tokens into a [`Vocab`] and counts
+//! packed id keys (see [`crate::intern`]); observing a window neither
+//! clones tokens nor allocates for orders up to
+//! [`crate::intern::PACKED_ORDER`].
 
-use std::collections::HashMap;
 use std::hash::Hash;
+
+use crate::intern::{InternedNgramCounter, TokenId, Vocab};
 
 /// Counts n-grams of a fixed order over one or more sequences.
 ///
@@ -23,9 +29,9 @@ use std::hash::Hash;
 /// ```
 #[derive(Debug, Clone)]
 pub struct NgramCounter<T> {
-    n: usize,
-    counts: HashMap<Vec<T>, u64>,
-    total: u64,
+    vocab: Vocab<T>,
+    inner: InternedNgramCounter,
+    scratch: Vec<TokenId>,
 }
 
 impl<T: Clone + Eq + Hash + Ord> NgramCounter<T> {
@@ -35,68 +41,95 @@ impl<T: Clone + Eq + Hash + Ord> NgramCounter<T> {
     ///
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
-        assert!(n > 0, "n-gram order must be at least 1");
         NgramCounter {
-            n,
-            counts: HashMap::new(),
-            total: 0,
+            vocab: Vocab::new(),
+            inner: InternedNgramCounter::new(n),
+            scratch: Vec::new(),
         }
     }
 
     /// The n-gram order.
     pub fn order(&self) -> usize {
-        self.n
+        self.inner.order()
     }
 
     /// Adds every n-gram of `sequence` to the counts. Sequences
     /// shorter than `n` contribute nothing; n-grams never straddle two
     /// `observe` calls (sentence boundaries are respected).
     pub fn observe(&mut self, sequence: &[T]) {
-        if sequence.len() < self.n {
-            return;
-        }
-        for window in sequence.windows(self.n) {
-            *self.counts.entry(window.to_vec()).or_insert(0) += 1;
-            self.total += 1;
-        }
+        self.vocab.intern_into(sequence, &mut self.scratch);
+        self.inner.observe(&self.scratch);
     }
 
     /// Count of one specific n-gram.
     pub fn count(&self, ngram: &[T]) -> u64 {
-        self.counts.get(ngram).copied().unwrap_or(0)
+        if ngram.len() != self.inner.order() {
+            return 0;
+        }
+        let ids: Vec<TokenId> = ngram.iter().map(|t| self.vocab.get_or_pad(t)).collect();
+        self.inner.count(&ids)
     }
 
     /// Total number of n-gram occurrences observed.
     pub fn total(&self) -> u64 {
-        self.total
+        self.inner.total()
     }
 
     /// Number of distinct n-grams observed.
     pub fn distinct(&self) -> usize {
-        self.counts.len()
+        self.inner.distinct()
     }
 
     /// The `k` most frequent n-grams with their counts, most frequent
     /// first; ties break lexicographically for determinism.
+    ///
+    /// Uses partial selection: only the winning `k` entries are fully
+    /// sorted, so asking for a top-10 of a large table does not pay for
+    /// sorting the whole table.
     pub fn top_k(&self, k: usize) -> Vec<(Vec<T>, u64)> {
-        let mut entries: Vec<(Vec<T>, u64)> =
-            self.counts.iter().map(|(g, c)| (g.clone(), *c)).collect();
-        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        entries.truncate(k);
+        if k == 0 {
+            return Vec::new();
+        }
+        let vocab = &self.vocab;
+        let compare = |a: &(Vec<TokenId>, u64), b: &(Vec<TokenId>, u64)| {
+            b.1.cmp(&a.1).then_with(|| {
+                a.0.iter()
+                    .map(|&id| vocab.resolve(id))
+                    .cmp(b.0.iter().map(|&id| vocab.resolve(id)))
+            })
+        };
+        let mut entries: Vec<(Vec<TokenId>, u64)> = self.inner.iter().collect();
+        if entries.len() > k {
+            entries.select_nth_unstable_by(k - 1, compare);
+            entries.truncate(k);
+        }
+        entries.sort_by(compare);
         entries
+            .into_iter()
+            .map(|(ids, c)| {
+                let tokens: Vec<T> = ids.iter().map(|&id| vocab.resolve(id).clone()).collect();
+                (tokens, c)
+            })
+            .collect()
     }
 
     /// Relative frequency of one n-gram among all observed n-grams.
     pub fn frequency(&self, ngram: &[T]) -> f64 {
-        if self.total == 0 {
+        if self.inner.total() == 0 {
             return 0.0;
         }
-        self.count(ngram) as f64 / self.total as f64
+        self.count(ngram) as f64 / self.inner.total() as f64
     }
 
     /// Iterates over all `(ngram, count)` pairs in unspecified order.
-    pub fn iter(&self) -> impl Iterator<Item = (&Vec<T>, u64)> {
-        self.counts.iter().map(|(g, c)| (g, *c))
+    pub fn iter(&self) -> impl Iterator<Item = (Vec<T>, u64)> + '_ {
+        self.inner.iter().map(move |(ids, c)| {
+            let tokens: Vec<T> = ids
+                .iter()
+                .map(|&id| self.vocab.resolve(id).clone())
+                .collect();
+            (tokens, c)
+        })
     }
 }
 
@@ -146,12 +179,41 @@ mod tests {
     }
 
     #[test]
+    fn top_k_handles_k_beyond_table_size() {
+        let mut c = NgramCounter::new(2);
+        c.observe(&["x", "y", "x"]);
+        let top = c.top_k(100);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0], (vec!["x", "y"], 1), "ties break lexicographically");
+        assert_eq!(top[1], (vec!["y", "x"], 1));
+        assert!(c.top_k(0).is_empty());
+    }
+
+    #[test]
     fn frequency_normalizes_by_total() {
         let mut c = NgramCounter::new(1);
         c.observe(&[7, 7, 8, 9]);
         assert!((c.frequency(&[7]) - 0.5).abs() < 1e-12);
         let empty: NgramCounter<i32> = NgramCounter::new(1);
         assert_eq!(empty.frequency(&[7]), 0.0);
+    }
+
+    #[test]
+    fn unseen_tokens_count_zero() {
+        let mut c = NgramCounter::new(2);
+        c.observe(&["a", "b"]);
+        assert_eq!(c.count(&["a", "zzz"]), 0);
+        assert_eq!(c.count(&["zzz", "zzz"]), 0);
+    }
+
+    #[test]
+    fn order_five_spills_but_still_counts() {
+        let mut c = NgramCounter::new(5);
+        c.observe(&[1, 2, 3, 4, 5, 1, 2, 3, 4, 5]);
+        assert_eq!(c.count(&[1, 2, 3, 4, 5]), 2);
+        assert_eq!(c.count(&[2, 3, 4, 5, 1]), 1);
+        assert_eq!(c.total(), 6);
+        assert_eq!(c.top_k(1)[0], (vec![1, 2, 3, 4, 5], 2));
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! Reference implementations of the n-gram counter and language model.
+//!
+//! These are the original, straightforward `HashMap<Vec<T>, u64>`
+//! algorithms the interned pipeline (see [`crate::intern`]) replaced.
+//! They are kept verbatim for two purposes:
+//!
+//! * **Oracle** — the property tests in `tests/model_props.rs` check
+//!   the optimized [`crate::NgramCounter`] / [`crate::CommandLm`]
+//!   against these on random corpora (identical counts and top-k,
+//!   perplexities within 1e-9).
+//! * **Baseline** — the `perf_report` bench bin measures the speedup
+//!   of the interned pipeline against these on the synthetic campaign
+//!   corpus.
+//!
+//! They are not deprecated stubs: they define the semantics. Do not
+//! "optimize" them.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use rad_core::RadError;
+
+use crate::Smoothing;
+
+/// The original clone-per-window n-gram counter.
+#[derive(Debug, Clone)]
+pub struct ReferenceNgramCounter<T> {
+    n: usize,
+    counts: HashMap<Vec<T>, u64>,
+    total: u64,
+}
+
+impl<T: Clone + Eq + Hash + Ord> ReferenceNgramCounter<T> {
+    /// A counter for n-grams of order `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "n-gram order must be at least 1");
+        ReferenceNgramCounter {
+            n,
+            counts: HashMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Adds every n-gram of `sequence` to the counts.
+    pub fn observe(&mut self, sequence: &[T]) {
+        if sequence.len() < self.n {
+            return;
+        }
+        for window in sequence.windows(self.n) {
+            *self.counts.entry(window.to_vec()).or_insert(0) += 1;
+            self.total += 1;
+        }
+    }
+
+    /// Count of one specific n-gram.
+    pub fn count(&self, ngram: &[T]) -> u64 {
+        self.counts.get(ngram).copied().unwrap_or(0)
+    }
+
+    /// Total number of n-gram occurrences observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct n-grams observed.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The `k` most frequent n-grams: clone everything, sort the whole
+    /// table, truncate. Same deterministic order as the optimized
+    /// partial-selection `top_k` (count descending, then
+    /// lexicographic).
+    pub fn top_k(&self, k: usize) -> Vec<(Vec<T>, u64)> {
+        let mut entries: Vec<(Vec<T>, u64)> =
+            self.counts.iter().map(|(g, c)| (g.clone(), *c)).collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        entries.truncate(k);
+        entries
+    }
+
+    /// Iterates over all `(ngram, count)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<T>, u64)> {
+        self.counts.iter().map(|(g, c)| (g, *c))
+    }
+}
+
+/// The original token-keyed language model, one `Vec<T>` allocation
+/// per scored transition.
+#[derive(Debug, Clone)]
+pub struct ReferenceLm<T> {
+    n: usize,
+    ngram_counts: HashMap<Vec<T>, u64>,
+    context_counts: HashMap<Vec<T>, u64>,
+    vocabulary_size: usize,
+    smoothing: Smoothing,
+}
+
+impl<T: Clone + Eq + Hash + Ord> ReferenceLm<T> {
+    /// Fits an order-`n` model on `training` sequences.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadError::Analysis`] if `n < 2`, the training set is
+    /// empty, or no training sequence is at least `n` tokens long.
+    pub fn fit(n: usize, training: &[Vec<T>], smoothing: Smoothing) -> Result<Self, RadError> {
+        if n < 2 {
+            return Err(RadError::Analysis(
+                "language model order must be >= 2".into(),
+            ));
+        }
+        if training.is_empty() {
+            return Err(RadError::Analysis("empty training set".into()));
+        }
+        let mut ngram_counts: HashMap<Vec<T>, u64> = HashMap::new();
+        let mut context_counts: HashMap<Vec<T>, u64> = HashMap::new();
+        let mut vocabulary = std::collections::BTreeSet::new();
+        let mut usable = false;
+        for seq in training {
+            for t in seq {
+                vocabulary.insert(t.clone());
+            }
+            if seq.len() < n {
+                continue;
+            }
+            usable = true;
+            for window in seq.windows(n) {
+                *ngram_counts.entry(window.to_vec()).or_insert(0) += 1;
+                *context_counts.entry(window[..n - 1].to_vec()).or_insert(0) += 1;
+            }
+        }
+        if !usable {
+            return Err(RadError::Analysis(format!(
+                "no training sequence has at least {n} tokens"
+            )));
+        }
+        Ok(ReferenceLm {
+            n,
+            ngram_counts,
+            context_counts,
+            vocabulary_size: vocabulary.len(),
+            smoothing,
+        })
+    }
+
+    /// `P(next | context)` under the fitted counts and smoothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `context.len() != order - 1`.
+    pub fn probability(&self, context: &[T], next: &T) -> f64 {
+        assert_eq!(
+            context.len(),
+            self.n - 1,
+            "context length must be order - 1"
+        );
+        let mut ngram: Vec<T> = context.to_vec();
+        ngram.push(next.clone());
+        let joint = self.ngram_counts.get(&ngram).copied().unwrap_or(0) as f64;
+        let ctx = self.context_counts.get(context).copied().unwrap_or(0) as f64;
+        match self.smoothing {
+            Smoothing::EpsilonFloor(eps) => {
+                if joint == 0.0 || ctx == 0.0 {
+                    eps
+                } else {
+                    joint / ctx
+                }
+            }
+            Smoothing::AddK(k) => {
+                let v = self.vocabulary_size as f64;
+                (joint + k) / (ctx + k * v)
+            }
+        }
+    }
+
+    /// Log-probability (natural log) of a sequence under the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadError::Analysis`] if `sequence` is shorter than the
+    /// model order.
+    pub fn log_probability(&self, sequence: &[T]) -> Result<f64, RadError> {
+        if sequence.len() < self.n {
+            return Err(RadError::Analysis(format!(
+                "sequence of {} tokens is shorter than model order {}",
+                sequence.len(),
+                self.n
+            )));
+        }
+        Ok(sequence
+            .windows(self.n)
+            .map(|w| self.probability(&w[..self.n - 1], &w[self.n - 1]).ln())
+            .sum())
+    }
+
+    /// Perplexity of a sequence: `exp(-logP / transitions)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ReferenceLm::log_probability`]'s error on too-short
+    /// sequences.
+    pub fn perplexity(&self, sequence: &[T]) -> Result<f64, RadError> {
+        let transitions = (sequence.len() + 1 - self.n) as f64;
+        let logp = self.log_probability(sequence)?;
+        Ok((-logp / transitions).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_counter_matches_original_semantics() {
+        let mut c = ReferenceNgramCounter::new(2);
+        c.observe(&["Q", "Q", "Q", "A"]);
+        assert_eq!(c.count(&["Q", "Q"]), 2);
+        assert_eq!(c.count(&["Q", "A"]), 1);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.top_k(1)[0], (vec!["Q", "Q"], 2));
+    }
+
+    #[test]
+    fn reference_lm_scores_like_the_optimized_model() {
+        let training = vec![vec!["A", "B", "A", "B", "A", "B"], vec!["B", "A", "B", "A"]];
+        let reference = ReferenceLm::fit(2, &training, Smoothing::default()).unwrap();
+        let optimized = crate::CommandLm::fit(2, &training, Smoothing::default()).unwrap();
+        for seq in [
+            vec!["A", "B", "A", "B"],
+            vec!["A", "A", "B", "B"],
+            vec!["B", "Z", "A"],
+        ] {
+            let lhs = reference.perplexity(&seq).unwrap();
+            let rhs = optimized.perplexity(&seq).unwrap();
+            assert!((lhs - rhs).abs() < 1e-9, "{seq:?}: {lhs} vs {rhs}");
+        }
+    }
+}

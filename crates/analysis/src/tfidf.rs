@@ -8,16 +8,19 @@
 //! normalization of each document vector (which makes the dot product
 //! the cosine similarity).
 
-use std::collections::HashMap;
 use std::hash::Hash;
 
 use rad_core::RadError;
 
+use crate::intern::Vocab;
+
 /// A fitted TF-IDF model over a corpus of token sequences.
+///
+/// The vocabulary is a [`Vocab`] interned in sorted token order, so a
+/// token's dense id doubles as its vector-component index.
 #[derive(Debug, Clone)]
 pub struct TfIdf<T> {
-    vocabulary: Vec<T>,
-    index: HashMap<T, usize>,
+    vocab: Vocab<T>,
     idf: Vec<f64>,
     vectors: Vec<Vec<f64>>,
 }
@@ -38,27 +41,21 @@ impl<T: Clone + Eq + Hash + Ord> TfIdf<T> {
         if let Some(i) = documents.iter().position(Vec::is_empty) {
             return Err(RadError::Analysis(format!("document {i} is empty")));
         }
-        // Stable vocabulary order for reproducibility.
-        let mut vocabulary: Vec<T> = documents
-            .iter()
-            .flat_map(|d| d.iter().cloned())
-            .collect::<std::collections::BTreeSet<T>>()
-            .into_iter()
-            .collect();
-        vocabulary.sort();
-        let index: HashMap<T, usize> = vocabulary
-            .iter()
-            .cloned()
-            .enumerate()
-            .map(|(i, t)| (t, i))
-            .collect();
+        // Interning in sorted order keeps the vector-component order
+        // stable for reproducibility (ids are lexicographic ranks).
+        let sorted: std::collections::BTreeSet<&T> =
+            documents.iter().flat_map(|d| d.iter()).collect();
+        let mut vocab = Vocab::new();
+        for token in sorted {
+            vocab.intern(token);
+        }
 
         let n_docs = documents.len() as f64;
-        let mut df = vec![0u64; vocabulary.len()];
+        let mut df = vec![0u64; vocab.len()];
         for doc in documents {
-            let mut seen = vec![false; vocabulary.len()];
+            let mut seen = vec![false; vocab.len()];
             for t in doc {
-                seen[index[t]] = true;
+                seen[vocab.get(t).expect("fit token is interned").index()] = true;
             }
             for (i, s) in seen.iter().enumerate() {
                 if *s {
@@ -74,9 +71,9 @@ impl<T: Clone + Eq + Hash + Ord> TfIdf<T> {
         let vectors = documents
             .iter()
             .map(|doc| {
-                let mut v = vec![0.0; vocabulary.len()];
+                let mut v = vec![0.0; vocab.len()];
                 for t in doc {
-                    v[index[t]] += 1.0;
+                    v[vocab.get(t).expect("fit token is interned").index()] += 1.0;
                 }
                 let total: f64 = doc.len() as f64;
                 for (i, x) in v.iter_mut().enumerate() {
@@ -88,8 +85,7 @@ impl<T: Clone + Eq + Hash + Ord> TfIdf<T> {
             .collect();
 
         Ok(TfIdf {
-            vocabulary,
-            index,
+            vocab,
             idf,
             vectors,
         })
@@ -97,7 +93,7 @@ impl<T: Clone + Eq + Hash + Ord> TfIdf<T> {
 
     /// The vocabulary, in vector-component order.
     pub fn vocabulary(&self) -> &[T] {
-        &self.vocabulary
+        self.vocab.tokens()
     }
 
     /// The fitted document vectors (unit length).
@@ -107,19 +103,19 @@ impl<T: Clone + Eq + Hash + Ord> TfIdf<T> {
 
     /// IDF weight of a token, if in vocabulary.
     pub fn idf(&self, token: &T) -> Option<f64> {
-        self.index.get(token).map(|&i| self.idf[i])
+        self.vocab.get(token).map(|id| self.idf[id.index()])
     }
 
     /// Vectorizes an unseen document with the fitted vocabulary/IDF.
     /// Out-of-vocabulary tokens are ignored.
     pub fn transform(&self, document: &[T]) -> Vec<f64> {
-        let mut v = vec![0.0; self.vocabulary.len()];
+        let mut v = vec![0.0; self.vocab.len()];
         if document.is_empty() {
             return v;
         }
         for t in document {
-            if let Some(&i) = self.index.get(t) {
-                v[i] += 1.0;
+            if let Some(id) = self.vocab.get(t) {
+                v[id.index()] += 1.0;
             }
         }
         let total = document.len() as f64;

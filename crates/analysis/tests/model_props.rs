@@ -2,8 +2,19 @@
 
 #![allow(clippy::needless_range_loop)] // matrix checks read best indexed
 
+use std::collections::HashMap;
+
 use proptest::prelude::*;
-use rad_analysis::{jenks_breaks, CommandLm, NgramCounter, Smoothing, TfIdf};
+use rad_analysis::{
+    jenks_breaks, CommandLm, NgramCounter, ReferenceLm, ReferenceNgramCounter, Smoothing, TfIdf,
+};
+
+/// A corpus of short sentences over a small alphabet: enough token
+/// reuse that n-grams repeat, enough variety that tables differ run
+/// to run.
+fn corpus_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(proptest::collection::vec(0u8..6, 0..25), 1..12)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -74,6 +85,84 @@ proptest! {
         poisoned.insert(at, 99); // token 99 never occurs in training
         let worse = lm.perplexity(&poisoned).unwrap();
         prop_assert!(worse > own, "poisoned {worse} not above own {own}");
+    }
+
+    /// The interned counter and the token-keyed reference agree on
+    /// every count: same totals, same distinct table, same count for
+    /// each stored n-gram, across random orders 1..=4.
+    #[test]
+    fn interned_counts_match_reference(
+        sentences in corpus_strategy(),
+        n in 1usize..5,
+    ) {
+        let mut interned = NgramCounter::new(n);
+        let mut reference = ReferenceNgramCounter::new(n);
+        for s in &sentences {
+            interned.observe(s);
+            reference.observe(s);
+        }
+        prop_assert_eq!(interned.total(), reference.total());
+        prop_assert_eq!(interned.distinct(), reference.distinct());
+        let table: HashMap<Vec<u8>, u64> = interned.iter().collect();
+        for (gram, count) in reference.iter() {
+            prop_assert_eq!(table.get(gram).copied(), Some(count));
+        }
+        // Spot-check the miss path too: a gram with a never-seen token.
+        prop_assert_eq!(interned.count(&vec![99u8; n]), reference.count(&vec![99u8; n]));
+    }
+
+    /// Partial-selection top_k returns the exact ordered list the
+    /// reference's full sort produces — same deterministic
+    /// count-descending, token-ascending tie-break — for every k.
+    #[test]
+    fn interned_top_k_matches_reference(
+        sentences in corpus_strategy(),
+        n in 1usize..5,
+        k in 0usize..30,
+    ) {
+        let mut interned = NgramCounter::new(n);
+        let mut reference = ReferenceNgramCounter::new(n);
+        for s in &sentences {
+            interned.observe(s);
+            reference.observe(s);
+        }
+        prop_assert_eq!(interned.top_k(k), reference.top_k(k));
+    }
+
+    /// The interned language model reproduces the reference's
+    /// perplexities to within 1e-9 for random orders 2..=4 under both
+    /// smoothing schemes, on scoring sequences that mix seen and
+    /// unseen tokens.
+    #[test]
+    fn interned_perplexity_matches_reference(
+        sentences in corpus_strategy(),
+        score in proptest::collection::vec(0u8..9, 4..30),
+        n in 2usize..5,
+        add_k in prop_oneof![Just(false), Just(true)],
+    ) {
+        prop_assume!(sentences.iter().any(|s| s.len() >= n));
+        let smoothing = if add_k {
+            Smoothing::AddK(0.5)
+        } else {
+            Smoothing::EpsilonFloor(1e-8)
+        };
+        let interned = CommandLm::fit(n, &sentences, smoothing).unwrap();
+        let reference = ReferenceLm::fit(n, &sentences, smoothing).unwrap();
+        if score.len() >= n {
+            let a = interned.perplexity(&score).unwrap();
+            let b = reference.perplexity(&score).unwrap();
+            prop_assert!(
+                (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                "interned {a} vs reference {b}"
+            );
+        }
+        // Per-transition probabilities agree too, not just aggregates.
+        for window in score.windows(n).take(8) {
+            let (ctx, next) = window.split_at(n - 1);
+            let a = interned.probability(ctx, &next[0]);
+            let b = reference.probability(ctx, &next[0]);
+            prop_assert!((a - b).abs() <= 1e-12, "p interned {a} vs reference {b}");
+        }
     }
 
     /// TF-IDF transform of a fitted document reproduces its fitted

@@ -1,0 +1,130 @@
+//! Hot-path benches for the interned analysis pipeline.
+//!
+//! Two questions, end to end:
+//!
+//! 1. How much does interning buy on the fit+score and count+top-k hot
+//!    paths? Each optimized stage runs next to its token-keyed
+//!    reference twin (see `rad_analysis::reference`) on the same
+//!    campaign corpus the Fig. 5(b) binary uses.
+//! 2. What does fanning cross-validation folds out over scoped threads
+//!    buy? The parallel `PerplexityDetector::evaluate` runs next to an
+//!    inline sequential re-implementation of the original fold loop.
+//!
+//! `perf_report` (a bin target) measures the same pairs with plain
+//! timers and writes the numbers to `BENCH_analysis.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rad_analysis::{
+    CommandLm, CrossValidation, NgramCounter, PerplexityDetector, ReferenceLm,
+    ReferenceNgramCounter, Smoothing,
+};
+use rad_bench::session_corpus;
+use rad_core::CommandType;
+use rad_workloads::CampaignBuilder;
+
+/// The Fig. 5(b) corpus at quarter scale: ~400 sessions, ~32k tokens.
+fn sessions() -> Vec<Vec<&'static str>> {
+    let campaign = CampaignBuilder::new(42).scale(0.25).build();
+    session_corpus(campaign.command())
+}
+
+fn labelled() -> Vec<(Vec<CommandType>, bool)> {
+    CampaignBuilder::new(42)
+        .supervised_only()
+        .build()
+        .command()
+        .supervised_sequences()
+        .into_iter()
+        .map(|(meta, seq)| (seq, meta.label().is_anomalous()))
+        .collect()
+}
+
+fn bench_fit_score(c: &mut Criterion) {
+    let corpus = sessions();
+    let scorable: Vec<&Vec<&'static str>> = corpus.iter().filter(|s| s.len() >= 3).collect();
+    let mut group = c.benchmark_group("fit_score_order3");
+    group.sample_size(20);
+    group.bench_function("interned", |b| {
+        b.iter(|| {
+            let lm = CommandLm::fit(3, &corpus, Smoothing::default()).unwrap();
+            scorable
+                .iter()
+                .map(|s| lm.perplexity(s).unwrap())
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("reference", |b| {
+        b.iter(|| {
+            let lm = ReferenceLm::fit(3, &corpus, Smoothing::default()).unwrap();
+            scorable
+                .iter()
+                .map(|s| lm.perplexity(s).unwrap())
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_count_topk(c: &mut Criterion) {
+    let corpus = sessions();
+    let mut group = c.benchmark_group("count_topk_order3");
+    group.sample_size(20);
+    group.bench_function("interned", |b| {
+        b.iter(|| {
+            let mut counter = NgramCounter::new(3);
+            for s in &corpus {
+                counter.observe(s);
+            }
+            counter.top_k(10)
+        })
+    });
+    group.bench_function("reference", |b| {
+        b.iter(|| {
+            let mut counter = ReferenceNgramCounter::new(3);
+            for s in &corpus {
+                counter.observe(s);
+            }
+            counter.top_k(10)
+        })
+    });
+    group.finish();
+}
+
+fn bench_cross_validation(c: &mut Criterion) {
+    let labelled = labelled();
+    let mut group = c.benchmark_group("cv_trigram_5fold");
+    group.sample_size(20);
+    group.bench_function("parallel", |b| {
+        b.iter(|| {
+            PerplexityDetector::new(3)
+                .evaluate(&labelled, 5, 0)
+                .unwrap()
+        })
+    });
+    // The original sequential protocol: clone each fold's training
+    // sequences, refit, score held-out runs one fold after another.
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let cv = CrossValidation::new(labelled.len(), 5, 0).unwrap();
+            let mut scores = vec![0.0f64; labelled.len()];
+            for fold in cv.folds() {
+                let training: Vec<Vec<CommandType>> =
+                    fold.train.iter().map(|&i| labelled[i].0.clone()).collect();
+                let lm = CommandLm::fit(3, &training, Smoothing::default()).unwrap();
+                for &i in &fold.test {
+                    scores[i] = lm.perplexity(&labelled[i].0).unwrap();
+                }
+            }
+            scores
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fit_score,
+    bench_count_topk,
+    bench_cross_validation
+);
+criterion_main!(benches);

@@ -7,6 +7,7 @@
 //! simulated workloads reproduce.
 
 use rad_analysis::NgramCounter;
+use rad_bench::session_corpus;
 use rad_workloads::CampaignBuilder;
 
 fn main() {
@@ -19,25 +20,7 @@ fn main() {
 
     // Per-run sentences: n-grams must not straddle two lab sessions.
     let command = campaign.command();
-    let mut sentences: Vec<Vec<&'static str>> = Vec::new();
-    let mut current: Vec<&'static str> = Vec::new();
-    let mut last_ts = None;
-    for trace in command.traces() {
-        // A gap of more than 30 simulated minutes starts a new session.
-        if let Some(prev) = last_ts {
-            if trace
-                .timestamp()
-                .saturating_duration_since(prev)
-                .as_secs_f64()
-                > 1800.0
-            {
-                sentences.push(std::mem::take(&mut current));
-            }
-        }
-        current.push(trace.command_type().mnemonic());
-        last_ts = Some(trace.timestamp());
-    }
-    sentences.push(current);
+    let sentences = session_corpus(command);
     println!(
         "{} sessions, {} commands total",
         sentences.len(),

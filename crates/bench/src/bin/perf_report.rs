@@ -1,0 +1,195 @@
+//! Performance report: interned pipeline vs the token-keyed reference.
+//!
+//! Measures, with plain wall-clock timers:
+//!
+//! * fit+score (order 3) and count+top-k over the Fig. 5(b) session
+//!   corpus — optimized [`rad_analysis`] types vs their
+//!   [`rad_analysis::reference`] twins;
+//! * the Table I trigram 5-fold cross-validation — parallel
+//!   `PerplexityDetector::evaluate` vs the sequential fold loop;
+//! * multi-seed campaign synthesis — `CampaignBuilder::build_many` vs
+//!   a sequential loop of `build()`.
+//!
+//! Results print as a table and are written to `BENCH_analysis.json`
+//! at the repository root (the file the EXPERIMENTS.md "Performance"
+//! section quotes).
+
+use std::time::Instant;
+
+use rad_analysis::{
+    CommandLm, CrossValidation, NgramCounter, PerplexityDetector, ReferenceLm,
+    ReferenceNgramCounter, Smoothing,
+};
+use rad_bench::session_corpus;
+use rad_core::CommandType;
+use rad_workloads::CampaignBuilder;
+
+/// Milliseconds for one repetition: the minimum over `reps` timed runs
+/// after one warmup run. The minimum is far more stable than the mean
+/// on a shared box — scheduler noise only ever adds time.
+fn time_ms<F: FnMut()>(reps: u32, mut f: F) -> f64 {
+    f(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+struct Entry {
+    name: &'static str,
+    baseline_ms: f64,
+    optimized_ms: f64,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        self.baseline_ms / self.optimized_ms
+    }
+}
+
+fn main() {
+    println!("perf_report: measuring interned pipeline vs reference...");
+    let campaign = CampaignBuilder::new(42).scale(0.25).build();
+    let corpus = session_corpus(campaign.command());
+    let tokens: usize = corpus.iter().map(Vec::len).sum();
+    println!("corpus: {} sessions, {tokens} commands", corpus.len());
+    let scorable: Vec<&Vec<&'static str>> = corpus.iter().filter(|s| s.len() >= 3).collect();
+
+    let labelled: Vec<(Vec<CommandType>, bool)> = CampaignBuilder::new(42)
+        .supervised_only()
+        .build()
+        .command()
+        .supervised_sequences()
+        .into_iter()
+        .map(|(meta, seq)| (seq, meta.label().is_anomalous()))
+        .collect();
+
+    let mut entries = Vec::new();
+
+    let reference_fit_score = time_ms(20, || {
+        let lm = ReferenceLm::fit(3, &corpus, Smoothing::default()).unwrap();
+        let total: f64 = scorable.iter().map(|s| lm.perplexity(s).unwrap()).sum();
+        assert!(total.is_finite());
+    });
+    let interned_fit_score = time_ms(20, || {
+        let lm = CommandLm::fit(3, &corpus, Smoothing::default()).unwrap();
+        let total: f64 = scorable.iter().map(|s| lm.perplexity(s).unwrap()).sum();
+        assert!(total.is_finite());
+    });
+    entries.push(Entry {
+        name: "fit_score_order3",
+        baseline_ms: reference_fit_score,
+        optimized_ms: interned_fit_score,
+    });
+
+    let reference_topk = time_ms(20, || {
+        let mut counter = ReferenceNgramCounter::new(3);
+        for s in &corpus {
+            counter.observe(s);
+        }
+        assert_eq!(counter.top_k(10).len(), 10);
+    });
+    let interned_topk = time_ms(20, || {
+        let mut counter = NgramCounter::new(3);
+        for s in &corpus {
+            counter.observe(s);
+        }
+        assert_eq!(counter.top_k(10).len(), 10);
+    });
+    entries.push(Entry {
+        name: "count_topk_order3",
+        baseline_ms: reference_topk,
+        optimized_ms: interned_topk,
+    });
+
+    let sequential_cv = time_ms(40, || {
+        let cv = CrossValidation::new(labelled.len(), 5, 0).unwrap();
+        let mut scores = vec![0.0f64; labelled.len()];
+        for fold in cv.folds() {
+            let training: Vec<Vec<CommandType>> =
+                fold.train.iter().map(|&i| labelled[i].0.clone()).collect();
+            let lm = CommandLm::fit(3, &training, Smoothing::default()).unwrap();
+            for &i in &fold.test {
+                scores[i] = lm.perplexity(&labelled[i].0).unwrap();
+            }
+        }
+    });
+    let parallel_cv = time_ms(40, || {
+        PerplexityDetector::new(3)
+            .evaluate(&labelled, 5, 0)
+            .unwrap();
+    });
+    entries.push(Entry {
+        name: "cv_trigram_5fold",
+        baseline_ms: sequential_cv,
+        optimized_ms: parallel_cv,
+    });
+
+    let seeds: Vec<u64> = (0..8).collect();
+    let builder = CampaignBuilder::new(0).supervised_only();
+    let sequential_campaigns = time_ms(3, || {
+        let campaigns: Vec<_> = seeds
+            .iter()
+            .map(|&seed| builder.clone().with_seed(seed).build())
+            .collect();
+        assert_eq!(campaigns.len(), seeds.len());
+    });
+    let parallel_campaigns = time_ms(3, || {
+        assert_eq!(builder.build_many(&seeds).len(), seeds.len());
+    });
+    entries.push(Entry {
+        name: "campaign_build_8_seeds",
+        baseline_ms: sequential_campaigns,
+        optimized_ms: parallel_campaigns,
+    });
+
+    println!();
+    println!(
+        "{:<24} {:>14} {:>14} {:>9}",
+        "stage", "baseline (ms)", "optimized (ms)", "speedup"
+    );
+    for e in &entries {
+        println!(
+            "{:<24} {:>14.3} {:>14.3} {:>8.2}x",
+            e.name,
+            e.baseline_ms,
+            e.optimized_ms,
+            e.speedup()
+        );
+    }
+
+    let json = render_json(&corpus.len(), tokens, &entries);
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let path = root.join("BENCH_analysis.json");
+    std::fs::write(&path, json).expect("write BENCH_analysis.json");
+    println!();
+    println!("wrote {}", path.display());
+}
+
+fn render_json(sessions: &usize, tokens: usize, entries: &[Entry]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"corpus\": {\n");
+    out.push_str(&format!("    \"sessions\": {sessions},\n"));
+    out.push_str(&format!("    \"commands\": {tokens},\n"));
+    out.push_str("    \"campaign\": \"seed 42, scale 0.25\"\n  },\n");
+    out.push_str("  \"measurements\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", e.name));
+        out.push_str(&format!("      \"baseline_ms\": {:.3},\n", e.baseline_ms));
+        out.push_str(&format!("      \"optimized_ms\": {:.3},\n", e.optimized_ms));
+        out.push_str(&format!("      \"speedup\": {:.2}\n", e.speedup()));
+        out.push_str(if i + 1 == entries.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

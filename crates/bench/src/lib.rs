@@ -97,6 +97,33 @@ pub fn sparkline(series: &[f64]) -> String {
         .collect()
 }
 
+/// Splits a command dataset into per-session sentences: a gap of more
+/// than 30 simulated minutes between consecutive traces starts a new
+/// session. N-grams must not straddle two lab sessions, so this is the
+/// tokenization step shared by the Fig. 5(b) binary and the
+/// performance benches.
+pub fn session_corpus(command: &rad_store::CommandDataset) -> Vec<Vec<&'static str>> {
+    let mut sentences: Vec<Vec<&'static str>> = Vec::new();
+    let mut current: Vec<&'static str> = Vec::new();
+    let mut last_ts = None;
+    for trace in command.traces() {
+        if let Some(prev) = last_ts {
+            if trace
+                .timestamp()
+                .saturating_duration_since(prev)
+                .as_secs_f64()
+                > 1800.0
+            {
+                sentences.push(std::mem::take(&mut current));
+            }
+        }
+        current.push(trace.command_type().mnemonic());
+        last_ts = Some(trace.timestamp());
+    }
+    sentences.push(current);
+    sentences
+}
+
 /// Downsamples a series to at most `max_len` points by striding (for
 /// printable sparklines).
 pub fn downsample(series: &[f64], max_len: usize) -> Vec<f64> {

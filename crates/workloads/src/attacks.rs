@@ -103,12 +103,27 @@ pub fn generate(kind: AttackKind, seed: u64) -> Result<AttackTrace, RadError> {
             procedures::joystick_session(&mut session, 10)?;
             session.end_run();
             let (ds, _) = session.finish();
-            let mut seq: Vec<CommandType> = ds.traces().iter().map(|t| t.command_type()).collect();
+            let seq: Vec<CommandType> = ds.traces().iter().map(|t| t.command_type()).collect();
             let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
             use rand::SeedableRng as _;
-            for chunk in seq.chunks_mut(8) {
+            // Permute the order of the windows themselves, then
+            // shuffle within each. A purely window-local shuffle of an
+            // Arm/Mvng-dominated stream can land on an in-grammar
+            // permutation; moving whole windows relocates the rare
+            // structural tokens (init/home prologue, teardown) so the
+            // stream reliably leaves the benign grammar.
+            let window = 4;
+            let mut windows: Vec<Vec<CommandType>> =
+                seq.chunks(window).map(<[CommandType]>::to_vec).collect();
+            windows.shuffle(&mut rng);
+            for chunk in &mut windows {
+                let before = chunk.clone();
                 chunk.shuffle(&mut rng);
+                if *chunk == before && chunk.len() > 1 {
+                    chunk.rotate_left(1);
+                }
             }
+            let seq: Vec<CommandType> = windows.concat();
             return Ok(AttackTrace {
                 kind,
                 sequence: seq,
@@ -300,8 +315,13 @@ mod tests {
     #[test]
     fn detector_catches_grammar_attacks_but_replay_can_evade() {
         let benign = benign_corpus();
-        let (train, calibrate) = benign.split_at(benign.len() - 6);
-        let detector = PerplexityDetector::new(3).fit(train, calibrate).unwrap();
+        // Interleave the split: a tail split leaves every run of the
+        // late procedures out of training, so those benign calibration
+        // runs score as out-of-model and inflate the Jenks threshold
+        // past what grammar attacks on short sessions reach.
+        let train: Vec<Vec<CommandType>> = benign.iter().step_by(2).cloned().collect();
+        let calibrate: Vec<Vec<CommandType>> = benign.iter().skip(1).step_by(2).cloned().collect();
+        let detector = PerplexityDetector::new(3).fit(&train, &calibrate).unwrap();
         // Grammar-breaking attacks must always trip the detector.
         for kind in [AttackKind::CommandInjection, AttackKind::Reorder] {
             for seed in 100..103 {
@@ -318,7 +338,7 @@ mod tests {
         // order-based IDS, which is exactly the paper's argument for
         // the power side channel (RQ3).
         let attacks = generate_batch(2, 100).unwrap();
-        let cm = benchmark_detector(&detector, calibrate, &attacks).unwrap();
+        let cm = benchmark_detector(&detector, &calibrate, &attacks).unwrap();
         assert!(cm.recall() >= 0.5, "overall attack recall too low: {cm}");
     }
 

@@ -137,6 +137,36 @@ impl CampaignBuilder {
         self
     }
 
+    /// Replaces the seed, keeping every other knob. Used by
+    /// [`CampaignBuilder::build_many`] to derive per-campaign builders.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds one campaign per seed, in parallel (one scoped thread
+    /// per seed). Each campaign is an independent simulation, so the
+    /// result at index `i` is identical to
+    /// `self.clone().with_seed(seeds[i]).build()` — only wall-clock
+    /// time changes. This is the fast path for multi-seed experiment
+    /// sweeps (ablations, robustness-over-seeds runs).
+    pub fn build_many(&self, seeds: &[u64]) -> Vec<CampaignDataset> {
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = seeds
+                .iter()
+                .map(|&seed| {
+                    let builder = self.clone().with_seed(seed);
+                    s.spawn(move || builder.build())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("campaign worker panicked"))
+                .collect()
+        })
+    }
+
     /// Runs the campaign.
     ///
     /// # Panics
@@ -579,5 +609,18 @@ mod tests {
         let seq_a: Vec<_> = a.command().corpus();
         let seq_b: Vec<_> = b.command().corpus();
         assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn build_many_matches_sequential_builds() {
+        let builder = CampaignBuilder::new(0).supervised_only();
+        let seeds = [3u64, 11, 42];
+        let parallel = builder.build_many(&seeds);
+        assert_eq!(parallel.len(), seeds.len());
+        for (campaign, &seed) in parallel.iter().zip(&seeds) {
+            let sequential = builder.clone().with_seed(seed).build();
+            assert_eq!(campaign.command().corpus(), sequential.command().corpus());
+            assert_eq!(campaign.journal(), sequential.journal());
+        }
     }
 }

@@ -1,0 +1,226 @@
+//! Minimal offline stand-in for the `bytes` crate.
+//!
+//! Provides `Bytes` (immutable, cheaply cloneable) and `BytesMut`
+//! (growable with an advancing read cursor) plus the `Buf`/`BufMut`
+//! trait subset the middlebox framing layer uses.
+
+use std::fmt;
+use std::ops::{Deref, Index};
+use std::sync::Arc;
+
+/// Immutable byte buffer, cheap to clone (shared allocation).
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: data.into() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+/// Growable byte buffer with an advancing read cursor.
+///
+/// `advance`/`split_to` move a head index instead of shifting data;
+/// the backing storage is compacted when fully consumed.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+    head: usize,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+            head: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits off the first `at` readable bytes into a new buffer.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let front = self.buf[self.head..self.head + at].to_vec();
+        self.head += at;
+        self.compact();
+        BytesMut {
+            buf: front,
+            head: 0,
+        }
+    }
+
+    /// Freezes the readable bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.buf[self.head..].into(),
+        }
+    }
+
+    fn compact(&mut self) {
+        if self.head == self.buf.len() {
+            self.buf.clear();
+            self.head = 0;
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf[self.head..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Index<usize> for BytesMut {
+    type Output = u8;
+    fn index(&self, i: usize) -> &u8 {
+        &self.buf[self.head + i]
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+/// Read-side cursor operations.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn advance(&mut self, cnt: usize);
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.head += cnt;
+        self.compact();
+    }
+}
+
+/// Write-side append operations.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framing_shape_round_trips() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u32(5);
+        b.put_slice(b"hello");
+        assert_eq!(b.len(), 9);
+        assert_eq!(u32::from_be_bytes([b[0], b[1], b[2], b[3]]), 5);
+        b.advance(4);
+        let frame = b.split_to(5).freeze();
+        assert_eq!(frame.as_ref(), b"hello");
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn bytes_clone_is_shared() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert_eq!(&a[..], &b[..]);
+        assert_eq!(a.len(), 3);
+    }
+}

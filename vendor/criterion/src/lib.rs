@@ -1,0 +1,251 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Measures wall-clock time per iteration: a short warm-up, then
+//! adaptive batching until the measurement window fills, reporting the
+//! median of per-batch means. Prints one line per benchmark in a
+//! stable format:
+//!
+//! ```text
+//! bench-name              time: 12_345 ns/iter (n samples)
+//! ```
+//!
+//! The `criterion_group!`/`criterion_main!` macros, `bench_function`,
+//! benchmark groups, `iter`, and `iter_batched` match the upstream
+//! call shapes used by this workspace.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost; the shim runs every batch
+/// with one setup per routine call, so the variants only document
+/// intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Collected timing for one benchmark.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    pub name: String,
+    pub ns_per_iter: f64,
+    pub samples: usize,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    results: Vec<Sample>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(80),
+            measurement: Duration::from_millis(400),
+            sample_size: 32,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        let sample = bencher.finish(name);
+        println!(
+            "{:<48} time: {:>12.0} ns/iter ({} samples)",
+            sample.name, sample.ns_per_iter, sample.samples
+        );
+        self.results.push(sample);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.to_owned(),
+        }
+    }
+
+    /// All samples measured so far (used by reporting code).
+    pub fn samples(&self) -> &[Sample] {
+        &self.results
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, name: impl ToString, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, name.to_string());
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement = t;
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; runs and times the routine.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    result: Option<(f64, usize)>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up while estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        // Batch so each sample takes measurement/sample_size.
+        let target_batch_ns = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let batch = ((target_batch_ns / per_iter.max(1.0)).ceil() as u64).max(1);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.result = Some((samples[samples.len() / 2], samples.len()));
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Time only the routine, not the setup.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut routine_ns: u128 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            routine_ns += start.elapsed().as_nanos();
+            warm_iters += 1;
+        }
+        let per_iter = (routine_ns as f64 / warm_iters.max(1) as f64).max(1.0);
+        let target_batch_ns = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let batch = ((target_batch_ns / per_iter).ceil() as u64).clamp(1, 10_000);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut elapsed: u128 = 0;
+            for _ in 0..batch {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                elapsed += start.elapsed().as_nanos();
+            }
+            samples.push(elapsed as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.result = Some((samples[samples.len() / 2], samples.len()));
+    }
+
+    fn finish(self, name: &str) -> Sample {
+        let (ns_per_iter, samples) = self
+            .result
+            .unwrap_or_else(|| panic!("benchmark {name} never called iter()"));
+        Sample {
+            name: name.to_owned(),
+            ns_per_iter,
+            samples,
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion {
+            warm_up: Duration::from_millis(2),
+            measurement: Duration::from_millis(10),
+            sample_size: 4,
+            results: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn iter_produces_a_sample() {
+        let mut c = quick();
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        assert_eq!(c.samples().len(), 1);
+        assert!(c.samples()[0].ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = quick();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(4);
+            g.bench_function("x", |b| {
+                b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+            });
+            g.finish();
+        }
+        assert_eq!(c.samples()[0].name, "g/x");
+    }
+}

@@ -1,0 +1,144 @@
+//! Minimal offline stand-in for `rand_chacha`.
+//!
+//! [`ChaCha8Rng`] runs the genuine ChaCha quarter-round schedule with
+//! 8 rounds over a 256-bit key and 64-bit block counter, emitting the
+//! keystream as `u32`/`u64` words. Every stream is fully determined by
+//! its seed, which is all the workspace relies on (reproducible
+//! figures/tables); the word stream is not bit-compatible with
+//! upstream `rand_chacha`.
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+macro_rules! define_chacha {
+    ($name:ident, $rounds:expr) => {
+        /// ChaCha keystream generator.
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            block: [u32; 16],
+            index: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                let mut state = [0u32; 16];
+                state[..4].copy_from_slice(&CONSTANTS);
+                state[4..12].copy_from_slice(&self.key);
+                state[12] = self.counter as u32;
+                state[13] = (self.counter >> 32) as u32;
+                state[14] = 0;
+                state[15] = 0;
+                let mut working = state;
+                for _ in 0..($rounds / 2) {
+                    // column rounds
+                    quarter_round(&mut working, 0, 4, 8, 12);
+                    quarter_round(&mut working, 1, 5, 9, 13);
+                    quarter_round(&mut working, 2, 6, 10, 14);
+                    quarter_round(&mut working, 3, 7, 11, 15);
+                    // diagonal rounds
+                    quarter_round(&mut working, 0, 5, 10, 15);
+                    quarter_round(&mut working, 1, 6, 11, 12);
+                    quarter_round(&mut working, 2, 7, 8, 13);
+                    quarter_round(&mut working, 3, 4, 9, 14);
+                }
+                for i in 0..16 {
+                    self.block[i] = working[i].wrapping_add(state[i]);
+                }
+                self.counter = self.counter.wrapping_add(1);
+                self.index = 0;
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: [u8; 32]) -> Self {
+                let mut key = [0u32; 8];
+                for (i, chunk) in seed.chunks_exact(4).enumerate() {
+                    key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+                }
+                let mut rng = $name {
+                    key,
+                    counter: 0,
+                    block: [0; 16],
+                    index: 16,
+                };
+                rng.refill();
+                rng
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= 16 {
+                    self.refill();
+                }
+                let word = self.block[self.index];
+                self.index += 1;
+                word
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                (hi << 32) | lo
+            }
+        }
+    };
+}
+
+define_chacha!(ChaCha8Rng, 8);
+define_chacha!(ChaCha12Rng, 12);
+define_chacha!(ChaCha20Rng, 20);
+
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn rfc8439_quarter_round_vector() {
+        // RFC 8439 §2.1.1 quarter-round test vector.
+        let mut s = [0u32; 16];
+        s[0] = 0x1111_1111;
+        s[1] = 0x0102_0304;
+        s[2] = 0x9b8d_6f43;
+        s[3] = 0x0123_4567;
+        quarter_round(&mut s, 0, 1, 2, 3);
+        assert_eq!(s[0], 0xea2a_92f4);
+        assert_eq!(s[1], 0xcb1c_f8ce);
+        assert_eq!(s[2], 0x4581_472e);
+        assert_eq!(s[3], 0x5881_c4bb);
+    }
+}

@@ -1,0 +1,452 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! Instead of the visitor-based `Serializer`/`Deserializer` pair,
+//! values convert to and from a single self-describing [`Content`]
+//! tree. `serde_json` (also shimmed) renders `Content` as JSON with
+//! the same externally tagged conventions real serde uses for the
+//! types this workspace derives: unit enum variants as strings,
+//! newtype variants as one-entry maps, struct variants as nested maps,
+//! newtype structs as their inner value.
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every value serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Field order is preserved — serialization is deterministic.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::Int(_) => "int",
+            Content::UInt(_) => "uint",
+            Content::Float(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    pub fn custom(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the [`Content`] data model.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+/// Conversion out of the [`Content`] data model.
+pub trait Deserialize: Sized {
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Looks up a struct field, yielding `Null` when absent so `Option`
+/// fields deserialize to `None` (mirrors serde's missing-field
+/// handling for options).
+pub fn content_field<'a>(map: &'a [(String, Content)], name: &str) -> &'a Content {
+    static NULL: Content = Content::Null;
+    map.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .unwrap_or(&NULL)
+}
+
+fn type_error<T>(expected: &str, got: &Content) -> Result<T, DeError> {
+    Err(DeError::custom(format!(
+        "expected {expected}, got {}",
+        got.kind()
+    )))
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => type_error("bool", other),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::Int(*self as i64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let wide: i128 = match content {
+                    Content::Int(v) => *v as i128,
+                    Content::UInt(v) => *v as i128,
+                    other => return type_error("integer", other),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::custom(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::UInt(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let wide: i128 = match content {
+                    Content::Int(v) => *v as i128,
+                    Content::UInt(v) => *v as i128,
+                    other => return type_error("integer", other),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::custom(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::Float(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::Float(v) => Ok(*v as $t),
+                    Content::Int(v) => Ok(*v as $t),
+                    Content::UInt(v) => Ok(*v as $t),
+                    other => type_error("number", other),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => type_error("string", other),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => type_error("single-character string", other),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => type_error("sequence", other),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let items = match content {
+            Content::Seq(items) => items,
+            other => return type_error("sequence", other),
+        };
+        if items.len() != N {
+            return Err(DeError::custom(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let values: Vec<T> = items.iter().map(T::from_content).collect::<Result<_, _>>()?;
+        values
+            .try_into()
+            .map_err(|_| DeError::custom("array length mismatch"))
+    }
+}
+
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn to_content(&self) -> Content {
+        match self {
+            Ok(v) => Content::Map(vec![("Ok".to_owned(), v.to_content())]),
+            Err(e) => Content::Map(vec![("Err".to_owned(), e.to_content())]),
+        }
+    }
+}
+
+impl<T: Deserialize, E: Deserialize> Deserialize for Result<T, E> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let entries = match content {
+            Content::Map(entries) if entries.len() == 1 => entries,
+            other => return type_error("single-entry map for Result", other),
+        };
+        let (tag, value) = &entries[0];
+        match tag.as_str() {
+            "Ok" => T::from_content(value).map(Ok),
+            "Err" => E::from_content(value).map(Err),
+            other => Err(DeError::custom(format!("unknown Result tag {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($idx:tt $name:ident),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let items = match content {
+                    Content::Seq(items) => items,
+                    other => return type_error("sequence", other),
+                };
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of length {expected}, got {}", items.len()
+                    )));
+                }
+                Ok(($($name::from_content(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(()),
+            other => type_error("null", other),
+        }
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i64::from_content(&42i64.to_content()).unwrap(), 42);
+        assert_eq!(u32::from_content(&7u32.to_content()).unwrap(), 7);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert_eq!(f64::from_content(&Content::Int(3)).unwrap(), 3.0);
+        assert_eq!(
+            String::from_content(&"hi".to_owned().to_content()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn option_uses_null() {
+        let none: Option<u64> = None;
+        assert_eq!(none.to_content(), Content::Null);
+        assert_eq!(Option::<u64>::from_content(&Content::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u64>::from_content(&Content::UInt(3)).unwrap(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn result_is_externally_tagged() {
+        let ok: Result<u64, String> = Ok(1);
+        let content = ok.to_content();
+        assert_eq!(
+            content,
+            Content::Map(vec![("Ok".to_owned(), Content::UInt(1))])
+        );
+        assert_eq!(
+            Result::<u64, String>::from_content(&content).unwrap(),
+            Ok(1)
+        );
+    }
+
+    #[test]
+    fn arrays_round_trip() {
+        let a = [1.0f64, 2.0, 3.0];
+        let back: [f64; 3] = Deserialize::from_content(&a.to_content()).unwrap();
+        assert_eq!(back, a);
+        assert!(<[f64; 2]>::from_content(&a.to_content()).is_err());
+    }
+
+    #[test]
+    fn missing_fields_read_as_null() {
+        let map = vec![("a".to_owned(), Content::UInt(1))];
+        assert_eq!(content_field(&map, "a"), &Content::UInt(1));
+        assert_eq!(content_field(&map, "b"), &Content::Null);
+    }
+}

@@ -1,0 +1,390 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! Parses the item token stream by hand (no `syn`/`quote`) and emits
+//! `impl serde::Serialize` / `impl serde::Deserialize` blocks as
+//! source strings. Supports exactly the shapes this workspace derives:
+//! non-generic structs (unit, tuple, named) and non-generic enums with
+//! unit, newtype, tuple, and struct variants. Generic items are
+//! rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    Struct { name: String, shape: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    shape: Fields,
+}
+
+enum Fields {
+    Unit,
+    /// Tuple fields; the count is all we need.
+    Tuple(usize),
+    /// Named field identifiers, in declaration order.
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match (&item, mode) {
+        (Item::Struct { name, shape }, Mode::Serialize) => gen_struct_ser(name, shape),
+        (Item::Struct { name, shape }, Mode::Deserialize) => gen_struct_de(name, shape),
+        (Item::Enum { name, variants }, Mode::Serialize) => gen_enum_ser(name, variants),
+        (Item::Enum { name, variants }, Mode::Deserialize) => gen_enum_de(name, variants),
+    };
+    code.parse().unwrap()
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+    let keyword = expect_ident(&tokens, &mut pos)?;
+    let name = expect_ident(&tokens, &mut pos)?;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let shape = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unexpected token after struct name: {other:?}")),
+            };
+            Ok(Item::Struct { name, shape })
+        }
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, got {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("expected struct or enum, got `{other}`")),
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> Result<String, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!("expected identifier, got {other:?}")),
+    }
+}
+
+/// Splits a field-list token stream on top-level commas, tracking both
+/// group nesting (automatic via `TokenTree::Group`) and angle-bracket
+/// depth (`<`/`>` are plain puncts in token streams).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut segments = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for token in stream {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    segments.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        segments.last_mut().unwrap().push(token);
+    }
+    segments.retain(|s| !s.is_empty());
+    segments
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for segment in split_top_level(stream) {
+        let mut pos = 0;
+        skip_attributes(&segment, &mut pos);
+        skip_visibility(&segment, &mut pos);
+        names.push(expect_ident(&segment, &mut pos)?);
+    }
+    Ok(names)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for segment in split_top_level(stream) {
+        let mut pos = 0;
+        skip_attributes(&segment, &mut pos);
+        let name = expect_ident(&segment, &mut pos)?;
+        let shape = match segment.get(pos) {
+            None => Fields::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            // Explicit discriminant (`= expr`) on a unit variant.
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => Fields::Unit,
+            other => return Err(format!("unexpected token in variant {name}: {other:?}")),
+        };
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn ser_impl(name: &str, body: String) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn de_impl(name: &str, body: String) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(__content: &::serde::Content) \
+              -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// `Content::Map(vec![("a", self.a.to_content()), ...])` for accessors.
+fn map_expr(entries: &[(String, String)]) -> String {
+    let items: Vec<String> = entries
+        .iter()
+        .map(|(key, access)| {
+            format!("({key:?}.to_owned(), ::serde::Serialize::to_content({access}))")
+        })
+        .collect();
+    format!("::serde::Content::Map(vec![{}])", items.join(", "))
+}
+
+fn gen_struct_ser(name: &str, shape: &Fields) -> String {
+    let body = match shape {
+        Fields::Unit => "::serde::Content::Null".to_owned(),
+        Fields::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_owned(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Fields::Named(fields) => {
+            let entries: Vec<(String, String)> = fields
+                .iter()
+                .map(|f| (f.clone(), format!("&self.{f}")))
+                .collect();
+            map_expr(&entries)
+        }
+    };
+    ser_impl(name, body)
+}
+
+fn gen_struct_de(name: &str, shape: &Fields) -> String {
+    let body = match shape {
+        Fields::Unit => format!("match __content {{ ::serde::Content::Null => Ok({name}), other => Err(::serde::DeError::custom(format!(\"expected null for unit struct {name}, got {{other:?}}\"))) }}"),
+        Fields::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_content(__content)?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __content.as_seq().ok_or_else(|| ::serde::DeError::custom(\"expected sequence for struct {name}\"))?;\n\
+                 if __items.len() != {n} {{ return Err(::serde::DeError::custom(\"wrong tuple length for struct {name}\")); }}\n\
+                 Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Fields::Named(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(::serde::content_field(__map, {f:?}))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __map = __content.as_map().ok_or_else(|| ::serde::DeError::custom(\"expected map for struct {name}\"))?;\n\
+                 Ok({name} {{ {items} }})",
+                items = items.join(", ")
+            )
+        }
+    };
+    de_impl(name, body)
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let mut arms = Vec::new();
+    for v in variants {
+        let vname = &v.name;
+        let arm = match &v.shape {
+            Fields::Unit => format!(
+                "{name}::{vname} => ::serde::Content::Str({vname:?}.to_owned()),"
+            ),
+            Fields::Tuple(1) => format!(
+                "{name}::{vname}(__f0) => ::serde::Content::Map(vec![({vname:?}.to_owned(), ::serde::Serialize::to_content(__f0))]),"
+            ),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_content({b})"))
+                    .collect();
+                format!(
+                    "{name}::{vname}({binds}) => ::serde::Content::Map(vec![({vname:?}.to_owned(), ::serde::Content::Seq(vec![{items}]))]),",
+                    binds = binds.join(", "),
+                    items = items.join(", ")
+                )
+            }
+            Fields::Named(fields) => {
+                let entries: Vec<(String, String)> =
+                    fields.iter().map(|f| (f.clone(), f.clone())).collect();
+                format!(
+                    "{name}::{vname} {{ {binds} }} => ::serde::Content::Map(vec![({vname:?}.to_owned(), {map})]),",
+                    binds = fields.join(", "),
+                    map = map_expr(&entries)
+                )
+            }
+        };
+        arms.push(arm);
+    }
+    ser_impl(name, format!("match self {{\n{}\n}}", arms.join("\n")))
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut tagged_arms = Vec::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.shape {
+            Fields::Unit => {
+                unit_arms.push(format!("{vname:?} => Ok({name}::{vname}),"));
+                // A unit variant may also arrive as `{"Name": null}`.
+                tagged_arms.push(format!(
+                    "{vname:?} => match __value {{ ::serde::Content::Null => Ok({name}::{vname}), _ => Err(::serde::DeError::custom(\"unit variant {vname} takes no payload\")) }},"
+                ));
+            }
+            Fields::Tuple(1) => tagged_arms.push(format!(
+                "{vname:?} => Ok({name}::{vname}(::serde::Deserialize::from_content(__value)?)),"
+            )),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_content(&__items[{i}])?"))
+                    .collect();
+                tagged_arms.push(format!(
+                    "{vname:?} => {{\n\
+                         let __items = __value.as_seq().ok_or_else(|| ::serde::DeError::custom(\"expected sequence for variant {vname}\"))?;\n\
+                         if __items.len() != {n} {{ return Err(::serde::DeError::custom(\"wrong tuple length for variant {vname}\")); }}\n\
+                         Ok({name}::{vname}({items}))\n\
+                     }}",
+                    items = items.join(", ")
+                ));
+            }
+            Fields::Named(fields) => {
+                let items: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_content(::serde::content_field(__map, {f:?}))?"
+                        )
+                    })
+                    .collect();
+                tagged_arms.push(format!(
+                    "{vname:?} => {{\n\
+                         let __map = __value.as_map().ok_or_else(|| ::serde::DeError::custom(\"expected map for variant {vname}\"))?;\n\
+                         Ok({name}::{vname} {{ {items} }})\n\
+                     }}",
+                    items = items.join(", ")
+                ));
+            }
+        }
+    }
+    let body = format!(
+        "match __content {{\n\
+             ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => Err(::serde::DeError::custom(format!(\"unknown variant {{other:?}} of enum {name}\"))),\n\
+             }},\n\
+             ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __value) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                     {tagged_arms}\n\
+                     other => Err(::serde::DeError::custom(format!(\"unknown variant {{other:?}} of enum {name}\"))),\n\
+                 }}\n\
+             }}\n\
+             other => Err(::serde::DeError::custom(format!(\"cannot deserialize enum {name} from {{other:?}}\"))),\n\
+         }}",
+        unit_arms = unit_arms.join("\n"),
+        tagged_arms = tagged_arms.join("\n"),
+    );
+    de_impl(name, body)
+}

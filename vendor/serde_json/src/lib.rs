@@ -1,0 +1,849 @@
+//! Minimal offline stand-in for `serde_json`.
+//!
+//! Implements the `Value`/`Map`/`Number` tree, a recursive-descent
+//! JSON parser, a writer with serde_json's float conventions (integral
+//! floats keep a trailing `.0`, non-finite floats render as `null`),
+//! and the usual entry points (`to_string`, `to_vec`, `from_str`,
+//! `from_slice`, `to_value`, `from_value`). Values interconvert with
+//! the vendored serde's `Content` data model. Object keys are stored
+//! sorted (`BTreeMap`), matching upstream's default feature set.
+
+// Let the `json!` proc macro's `::serde_json` paths resolve inside
+// this crate's own tests.
+extern crate self as serde_json;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Index;
+
+use serde::{Content, Deserialize, Serialize};
+
+pub use serde_json_macros::json;
+
+/// Error produced by (de)serialization or parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// A JSON number: positive integer, negative integer, or float.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    pub fn from_f64(v: f64) -> Option<Number> {
+        v.is_finite().then_some(Number::Float(v))
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Number::PosInt(v) => Some(*v as f64),
+            Number::NegInt(v) => Some(*v as f64),
+            Number::Float(v) => Some(*v),
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Number::PosInt(v) => i64::try_from(*v).ok(),
+            Number::NegInt(v) => Some(*v),
+            Number::Float(_) => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Number::PosInt(v) => Some(*v),
+            Number::NegInt(_) | Number::Float(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::PosInt(v) => write!(f, "{v}"),
+            Number::NegInt(v) => write!(f, "{v}"),
+            Number::Float(v) => {
+                if !v.is_finite() {
+                    write!(f, "null")
+                } else {
+                    let s = format!("{v}");
+                    if s.contains('.') || s.contains('e') || s.contains('E') {
+                        write!(f, "{s}")
+                    } else {
+                        write!(f, "{s}.0")
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A JSON object with sorted keys.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map<K = String, V = Value> {
+    entries: BTreeMap<K, V>,
+}
+
+impl Map<String, Value> {
+    pub fn new() -> Self {
+        Map {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        self.entries.insert(key, value)
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.get(key)
+    }
+
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries.get_mut(key)
+    }
+
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        self.entries.remove(key)
+    }
+
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> std::collections::btree_map::Iter<'_, String, Value> {
+        self.entries.iter()
+    }
+
+    pub fn keys(&self) -> std::collections::btree_map::Keys<'_, String, Value> {
+        self.entries.keys()
+    }
+
+    pub fn values(&self) -> std::collections::btree_map::Values<'_, String, Value> {
+        self.entries.values()
+    }
+}
+
+impl<'a> IntoIterator for &'a Map<String, Value> {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::collections::btree_map::Iter<'a, String, Value>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+impl IntoIterator for Map<String, Value> {
+    type Item = (String, Value);
+    type IntoIter = std::collections::btree_map::IntoIter<String, Value>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl FromIterator<(String, Value)> for Map<String, Value> {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        Map {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map<String, Value>),
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    pub fn as_object_mut(&mut self) -> Option<&mut Map<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Object field access; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+}
+
+static NULL_VALUE: Value = Value::Null;
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL_VALUE)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL_VALUE),
+            _ => &NULL_VALUE,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(self, &mut out, None, 0);
+        write!(f, "{out}")
+    }
+}
+
+macro_rules! impl_value_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                #[allow(unused_comparisons)]
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v as i64))
+                }
+            }
+        }
+    )*};
+}
+
+impl_value_from_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::Float(v as f64))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl From<Map<String, Value>> for Value {
+    fn from(v: Map<String, Value>) -> Value {
+        Value::Object(v)
+    }
+}
+
+// ------------------------------------------------- Content conversions
+
+fn content_to_value(content: &Content) -> Value {
+    match content {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(*b),
+        Content::Int(v) => {
+            if *v >= 0 {
+                Value::Number(Number::PosInt(*v as u64))
+            } else {
+                Value::Number(Number::NegInt(*v))
+            }
+        }
+        Content::UInt(v) => Value::Number(Number::PosInt(*v)),
+        Content::Float(v) => Value::Number(Number::Float(*v)),
+        Content::Str(s) => Value::String(s.clone()),
+        Content::Seq(items) => Value::Array(items.iter().map(content_to_value).collect()),
+        Content::Map(entries) => Value::Object(
+            entries
+                .iter()
+                .map(|(k, v)| (k.clone(), content_to_value(v)))
+                .collect(),
+        ),
+    }
+}
+
+fn value_to_content(value: &Value) -> Content {
+    match value {
+        Value::Null => Content::Null,
+        Value::Bool(b) => Content::Bool(*b),
+        Value::Number(Number::PosInt(v)) => Content::UInt(*v),
+        Value::Number(Number::NegInt(v)) => Content::Int(*v),
+        Value::Number(Number::Float(v)) => Content::Float(*v),
+        Value::String(s) => Content::Str(s.clone()),
+        Value::Array(items) => Content::Seq(items.iter().map(value_to_content).collect()),
+        Value::Object(map) => Content::Map(
+            map.iter()
+                .map(|(k, v)| (k.clone(), value_to_content(v)))
+                .collect(),
+        ),
+    }
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        value_to_content(self)
+    }
+}
+
+impl Deserialize for Value {
+    fn from_content(content: &Content) -> Result<Self, serde::DeError> {
+        Ok(content_to_value(content))
+    }
+}
+
+// ------------------------------------------------------------- writing
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(value: &Value, out: &mut String, pretty: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(indent) = pretty {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(indent * (depth + 1)));
+                }
+                write_value(item, out, pretty, depth + 1);
+            }
+            if let Some(indent) = pretty {
+                out.push('\n');
+                out.push_str(&" ".repeat(indent * depth));
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(indent) = pretty {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(indent * (depth + 1)));
+                }
+                escape_into(key, out);
+                out.push(':');
+                if pretty.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, pretty, depth + 1);
+            }
+            if let Some(indent) = pretty {
+                out.push('\n');
+                out.push_str(&" ".repeat(indent * depth));
+            }
+            out.push('}');
+        }
+    }
+}
+
+// ------------------------------------------------------------- parsing
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: &str) -> Error {
+        Error::new(format!("{message} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), Error> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", expected as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => {
+                self.eat_literal("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.eat_literal("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat_literal("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.error("unexpected character")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.error("unterminated string"))?;
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.error("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.error("bad \\u hex"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("bad \\u hex"))?;
+                            self.pos += 4;
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                // High surrogate: expect a low surrogate pair.
+                                self.eat_literal("\\u")?;
+                                let hex2 = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or_else(|| self.error("bad surrogate pair"))?;
+                                let hex2 = std::str::from_utf8(hex2)
+                                    .map_err(|_| self.error("bad surrogate hex"))?;
+                                let low = u32::from_str_radix(hex2, 16)
+                                    .map_err(|_| self.error("bad surrogate hex"))?;
+                                self.pos += 4;
+                                let combined =
+                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| self.error("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid \\u code point"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(v)));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::NegInt(v)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|v| Value::Number(Number::Float(v)))
+            .map_err(|_| self.error("invalid number"))
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+fn parse_document(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser::new(input);
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters"));
+    }
+    Ok(value)
+}
+
+// -------------------------------------------------------- entry points
+
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(content_to_value(&value.to_content()))
+}
+
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_content(&value_to_content(&value)).map_err(Into::into)
+}
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&content_to_value(&value.to_content()), &mut out, None, 0);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&content_to_value(&value.to_content()), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let value = parse_document(input)?;
+    T::from_content(&value_to_content(&value)).map_err(Into::into)
+}
+
+pub fn from_slice<T: Deserialize>(input: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(input).map_err(|_| Error::new("input is not utf-8"))?;
+    from_str(text)
+}
+
+pub mod value {
+    pub use super::{Map, Number, Value};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "42", "-7", "1.5", "\"hi\""] {
+            let v: Value = from_str(text).unwrap();
+            assert_eq!(v.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn float_keeps_decimal_point() {
+        let v = Value::from(5.0f64);
+        assert_eq!(v.to_string(), "5.0");
+        let back: Value = from_str("5.0").unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn nested_structure_round_trips() {
+        let text = r#"{"a":[1,2.5,{"b":null}],"c":"x\ny"}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(v["a"][1].as_f64(), Some(2.5));
+        assert_eq!(v["c"].as_str(), Some("x\ny"));
+        assert_eq!(v.to_string(), text);
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let count = 3usize;
+        let v = json!({
+            "device": "C9",
+            "latency_ms": 5.0,
+            "count": count,
+            "tags": ["a", "b"],
+            "nested": {"ok": true},
+            "missing": Option::<String>::None,
+        });
+        assert_eq!(v["device"].as_str(), Some("C9"));
+        assert_eq!(v["latency_ms"].as_f64(), Some(5.0));
+        assert_eq!(v["count"], json!(3));
+        assert_eq!(v["tags"][1].as_str(), Some("b"));
+        assert_eq!(v["nested"]["ok"].as_bool(), Some(true));
+        assert!(v["missing"].is_null());
+        assert!(v["absent"].is_null());
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v: Value = from_str(r#""A😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("A😀"));
+    }
+
+    #[test]
+    fn pretty_printing_indents() {
+        let v = json!({"a": 1});
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": 1\n}");
+    }
+}

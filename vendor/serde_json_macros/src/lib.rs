@@ -1,0 +1,122 @@
+//! The `json!` macro for the vendored `serde_json` shim.
+//!
+//! A proc macro (rather than `macro_rules!`) because object values are
+//! arbitrary multi-token Rust expressions (`trace.id().0`) that a
+//! `$val:tt` matcher cannot capture. The macro walks the token stream
+//! and emits an expression building a `serde_json::Value`: JSON
+//! `{...}`/`[...]` literals recurse, `null`/`true`/`false` map to
+//! their values, and anything else is converted through
+//! `serde_json::to_value`.
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+#[proc_macro]
+pub fn json(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    match value_expr(&tokens) {
+        Ok(code) => code.parse().unwrap(),
+        Err(msg) => format!("compile_error!({msg:?})").parse().unwrap(),
+    }
+}
+
+fn value_expr(tokens: &[TokenTree]) -> Result<String, String> {
+    if tokens.is_empty() {
+        return Err("json! needs a value".to_owned());
+    }
+    if tokens.len() == 1 {
+        match &tokens[0] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                return object_expr(g.stream());
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => {
+                return array_expr(g.stream());
+            }
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "null" => return Ok("::serde_json::Value::Null".to_owned()),
+                "true" => return Ok("::serde_json::Value::Bool(true)".to_owned()),
+                "false" => return Ok("::serde_json::Value::Bool(false)".to_owned()),
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    // Arbitrary Rust expression: convert through Serialize.
+    let expr: String = tokens.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ");
+    Ok(format!(
+        "::serde_json::to_value(&({expr})).expect(\"json! value failed to serialize\")"
+    ))
+}
+
+fn array_expr(stream: TokenStream) -> Result<String, String> {
+    let mut items = Vec::new();
+    for segment in split_commas(stream) {
+        items.push(value_expr(&segment)?);
+    }
+    Ok(format!(
+        "::serde_json::Value::Array(vec![{}])",
+        items.join(", ")
+    ))
+}
+
+fn object_expr(stream: TokenStream) -> Result<String, String> {
+    let mut inserts = Vec::new();
+    for segment in split_commas(stream) {
+        let (key_tokens, value_tokens) = split_key_value(&segment)?;
+        let key = key_code(&key_tokens)?;
+        let value = value_expr(&value_tokens)?;
+        inserts.push(format!("__map.insert({key}.to_string(), {value});"));
+    }
+    Ok(format!(
+        "{{ let mut __map = ::serde_json::Map::new(); {} ::serde_json::Value::Object(__map) }}",
+        inserts.join(" ")
+    ))
+}
+
+fn key_code(tokens: &[TokenTree]) -> Result<String, String> {
+    if tokens.len() == 1 {
+        match &tokens[0] {
+            TokenTree::Literal(lit) => return Ok(lit.to_string()),
+            TokenTree::Ident(id) => return Ok(format!("{:?}", id.to_string())),
+            _ => {}
+        }
+    }
+    Err(format!(
+        "json! object keys must be string literals or identifiers, got {tokens:?}"
+    ))
+}
+
+/// Splits on top-level commas (groups nest automatically; token-stream
+/// commas inside `(...)`/`[...]`/`{...}` are invisible here).
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut segments = vec![Vec::new()];
+    for token in stream {
+        if matches!(&token, TokenTree::Punct(p) if p.as_char() == ',') {
+            segments.push(Vec::new());
+        } else {
+            segments.last_mut().unwrap().push(token);
+        }
+    }
+    segments.retain(|s| !s.is_empty());
+    segments
+}
+
+/// Splits one `key: value` entry at the first lone `:` (a `::` path
+/// separator is two joint puncts and is skipped).
+fn split_key_value(segment: &[TokenTree]) -> Result<(Vec<TokenTree>, Vec<TokenTree>), String> {
+    let mut i = 0;
+    while i < segment.len() {
+        if let TokenTree::Punct(p) = &segment[i] {
+            if p.as_char() == ':' {
+                if p.spacing() == Spacing::Joint
+                    && matches!(segment.get(i + 1), Some(TokenTree::Punct(q)) if q.as_char() == ':')
+                {
+                    i += 2;
+                    continue;
+                }
+                return Ok((segment[..i].to_vec(), segment[i + 1..].to_vec()));
+            }
+        }
+        i += 1;
+    }
+    Err("json! object entry missing `:`".to_owned())
+}
