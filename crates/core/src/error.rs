@@ -35,13 +35,36 @@ pub enum RadError {
     },
     /// A device rejected or failed a command.
     Device(DeviceFault),
-    /// The RPC layer failed (connection closed, timeout, framing error).
+    /// The RPC layer failed (protocol violation, framing error, encode
+    /// or decode failure). Timeouts and disconnects have their own
+    /// variants — retry logic depends on telling them apart.
     Rpc(String),
+    /// An RPC wait elapsed without a response. The peer may still be
+    /// alive (the request or the response may simply have been lost),
+    /// so the call is safe to retry with the same idempotency token.
+    RpcTimeout(String),
+    /// The RPC peer disconnected. Retrying over the same transport
+    /// cannot succeed; the caller must reconnect or degrade.
+    RpcDisconnected(String),
     /// A dataset/store operation failed.
     Store(String),
     /// An analysis precondition was violated (empty corpus, mismatched
     /// lengths, ...).
     Analysis(String),
+}
+
+impl RadError {
+    /// Whether a failed RPC call may be safely re-attempted with the
+    /// same idempotency token.
+    ///
+    /// Only [`RadError::RpcTimeout`] is retryable: the request or its
+    /// response was lost in flight, and server-side deduplication
+    /// guarantees the retry cannot double-execute. Disconnects are
+    /// terminal for the transport and everything else is a caller or
+    /// protocol error.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, RadError::RpcTimeout(_))
+    }
 }
 
 impl fmt::Display for RadError {
@@ -59,6 +82,8 @@ impl fmt::Display for RadError {
             ),
             RadError::Device(fault) => write!(f, "device fault: {fault}"),
             RadError::Rpc(msg) => write!(f, "rpc failure: {msg}"),
+            RadError::RpcTimeout(msg) => write!(f, "rpc timed out: {msg}"),
+            RadError::RpcDisconnected(msg) => write!(f, "rpc peer disconnected: {msg}"),
             RadError::Store(msg) => write!(f, "store failure: {msg}"),
             RadError::Analysis(msg) => write!(f, "analysis precondition violated: {msg}"),
         }
@@ -152,6 +177,23 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<RadError>();
         assert_send_sync::<DeviceFault>();
+    }
+
+    #[test]
+    fn timeout_and_disconnect_are_distinct() {
+        let timeout = RadError::RpcTimeout("receive".into());
+        let gone = RadError::RpcDisconnected("peer".into());
+        assert_ne!(timeout, gone);
+        assert!(timeout.to_string().contains("timed out"));
+        assert!(gone.to_string().contains("disconnected"));
+    }
+
+    #[test]
+    fn only_timeouts_are_retryable() {
+        assert!(RadError::RpcTimeout("x".into()).is_retryable());
+        assert!(!RadError::RpcDisconnected("x".into()).is_retryable());
+        assert!(!RadError::Rpc("x".into()).is_retryable());
+        assert!(!RadError::Device(DeviceFault::Timeout).is_retryable());
     }
 
     #[test]

@@ -33,5 +33,5 @@ pub use device::{DeviceId, DeviceKind};
 pub use error::{DeviceFault, RadError};
 pub use procedure::{AnomalyCause, Label, ProcedureKind, RunId, RunMetadata};
 pub use time::{SimClock, SimDuration, SimInstant};
-pub use trace::{TraceId, TraceMode, TraceObject};
+pub use trace::{TraceGap, TraceId, TraceMode, TraceObject};
 pub use value::Value;

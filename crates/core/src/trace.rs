@@ -54,6 +54,78 @@ impl fmt::Display for TraceMode {
     }
 }
 
+/// An explicit marker for a command whose trace was lost to a
+/// middlebox outage.
+///
+/// The paper's availability argument for the trusted middlebox cuts
+/// both ways: when the middlebox is down, REMOTE-mode devices fall
+/// back to talking to the hardware directly so the experiment
+/// survives — but the interception point is gone and the trace object
+/// is lost. A `TraceGap` makes that loss explicit in the dataset
+/// instead of silently shrinking it: delivered traces plus gaps always
+/// equal the command count a fault-free run would have produced.
+///
+/// # Examples
+///
+/// ```
+/// use rad_core::{CommandType, DeviceId, DeviceKind, SimInstant, TraceGap, TraceMode};
+///
+/// let gap = TraceGap::new(
+///     SimInstant::EPOCH,
+///     DeviceId::primary(DeviceKind::C9),
+///     CommandType::Arm,
+///     TraceMode::Remote,
+///     "middlebox unavailable",
+/// );
+/// assert_eq!(gap.intended_mode, TraceMode::Remote);
+/// assert!(gap.run_id.is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceGap {
+    /// Simulated time at which the untraced command was issued.
+    pub timestamp: SimInstant,
+    /// The device the command went to (directly, bypassing the
+    /// middlebox).
+    pub device: DeviceId,
+    /// The command type that executed without being traced.
+    pub command: CommandType,
+    /// The mode the device was configured for when the outage hit.
+    pub intended_mode: TraceMode,
+    /// Why the trace was lost (e.g. `"middlebox unavailable"`).
+    pub reason: String,
+    /// Supervised run the command belonged to, if any — gaps inside a
+    /// labelled run tell the analyst exactly which sequences are
+    /// incomplete.
+    pub run_id: Option<RunId>,
+}
+
+impl TraceGap {
+    /// A gap marker with no run attribution.
+    pub fn new(
+        timestamp: SimInstant,
+        device: DeviceId,
+        command: CommandType,
+        intended_mode: TraceMode,
+        reason: impl Into<String>,
+    ) -> Self {
+        TraceGap {
+            timestamp,
+            device,
+            command,
+            intended_mode,
+            reason: reason.into(),
+            run_id: None,
+        }
+    }
+
+    /// Attributes the gap to a supervised run.
+    #[must_use]
+    pub fn with_run(mut self, run_id: RunId) -> Self {
+        self.run_id = Some(run_id);
+        self
+    }
+}
+
 /// One intercepted command instance, as logged by the middlebox.
 ///
 /// Construct with [`TraceObject::builder`].
@@ -299,6 +371,22 @@ mod tests {
         let json = serde_json::to_string(&t).unwrap();
         let back: TraceObject = serde_json::from_str(&json).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn trace_gap_serde_round_trip() {
+        let gap = TraceGap::new(
+            SimInstant::from_micros(77),
+            DeviceId::primary(DeviceKind::Tecan),
+            CommandType::TecanGetStatus,
+            TraceMode::Remote,
+            "middlebox unavailable",
+        )
+        .with_run(RunId(3));
+        let json = serde_json::to_string(&gap).unwrap();
+        let back: TraceGap = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, gap);
+        assert_eq!(back.run_id, Some(RunId(3)));
     }
 
     #[test]

@@ -10,6 +10,18 @@ use rad_core::{SimDuration, TraceMode};
 use rand::Rng;
 use rand::RngCore;
 
+/// Deterministic latency cost of one failed relay attempt: the client
+/// waits out its per-attempt response timeout, then backs off
+/// exponentially (2 ms, 4 ms, 8 ms, ...) before resending.
+///
+/// Mirrors the wall-clock [`RetryPolicy`](crate::rpc::RetryPolicy)
+/// defaults on the simulated clock, so fault-injected campaigns show
+/// the latency signature a real lossy deployment would.
+pub fn retry_penalty(attempt: u32) -> SimDuration {
+    let backoff_ms = 2u64 << attempt.min(8);
+    SimDuration::from_millis(250) + SimDuration::from_millis(backoff_ms)
+}
+
 /// A latency distribution for one transport hop.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LatencyModel {

@@ -19,6 +19,12 @@
 //!   as §III describes), samples transport latency, executes on the
 //!   simulated rig, and logs a [`rad_core::TraceObject`] for every
 //!   access — including faults, which surface as logged exceptions.
+//! - [`faults`] — seeded, deterministic fault injection for the relay
+//!   path: a [`FaultPlan`] schedules drop / duplicate / reorder /
+//!   corrupt / delay / disconnect events per chunk, a
+//!   [`FaultyDuplex`] applies them to a live transport, and the client,
+//!   server, and [`Middlebox`] recover via retries, idempotent replay,
+//!   and DIRECT-fallback with [`rad_core::TraceGap`] markers.
 //! - [`PowerMonitor`] — the 25 Hz UR3e power monitor of Fig. 3
 //!   (bottom).
 //!
@@ -40,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod faults;
 pub mod guard;
 pub mod latency;
 pub mod middlebox;
@@ -48,6 +55,9 @@ pub mod rpc;
 pub mod tracer;
 
 pub use cluster::{RpcCluster, ShardPlan};
+pub use faults::{
+    FaultPlan, FaultProfile, FaultStats, FaultStatsSnapshot, FaultyDuplex, Lane, WireFault,
+};
 pub use guard::{Alert, GuardPolicy, GuardedMiddlebox, Violation};
 pub use latency::LatencyModel;
 pub use middlebox::{IssueOutcome, Middlebox, ModeConfig};

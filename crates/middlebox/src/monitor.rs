@@ -19,6 +19,8 @@ pub struct PowerMonitor {
     seed: u64,
     store_quiescent: bool,
     recordings: u32,
+    suspended: bool,
+    missed: u32,
 }
 
 impl PowerMonitor {
@@ -31,7 +33,31 @@ impl PowerMonitor {
             seed,
             store_quiescent: true,
             recordings: 0,
+            suspended: false,
+            missed: 0,
         }
+    }
+
+    /// Suspends recording — the monitor loop runs on the middlebox, so
+    /// an outage silences it. Suspended recordings are counted as
+    /// missed, the power-log analogue of a trace gap.
+    pub fn suspend(&mut self) {
+        self.suspended = true;
+    }
+
+    /// Resumes recording after an outage.
+    pub fn resume(&mut self) {
+        self.suspended = false;
+    }
+
+    /// Whether the monitor is currently suspended.
+    pub fn is_suspended(&self) -> bool {
+        self.suspended
+    }
+
+    /// How many recordings were lost while suspended.
+    pub fn missed(&self) -> u32 {
+        self.missed
     }
 
     /// A monitor with a custom arm model (ablations).
@@ -67,6 +93,10 @@ impl PowerMonitor {
         let seed = self.seed.wrapping_add(u64::from(self.recordings));
         self.recordings += 1;
         let profile = self.arm.current_profile(segments, payload_kg, seed);
+        if self.suspended {
+            self.missed += 1;
+            return profile;
+        }
         let stored = if self.store_quiescent {
             profile.clone()
         } else {
@@ -98,6 +128,10 @@ impl PowerMonitor {
         ticks: usize,
     ) {
         if !self.store_quiescent {
+            return;
+        }
+        if self.suspended {
+            self.missed += 1;
             return;
         }
         let seed = self.seed.wrapping_add(u64::from(self.recordings));
@@ -163,6 +197,33 @@ mod tests {
         let kept = mon.record_motion(ProcedureKind::Unknown, RunId(0), "move", &[seg()], 0.0);
         let ds = mon.into_dataset();
         assert!(ds.recordings()[0].profile.len() <= kept.len());
+    }
+
+    #[test]
+    fn suspension_counts_missed_recordings() {
+        let mut mon = PowerMonitor::new(0);
+        mon.suspend();
+        assert!(mon.is_suspended());
+        mon.record_motion(
+            ProcedureKind::VelocitySweep,
+            RunId(0),
+            "lost",
+            &[seg()],
+            0.0,
+        );
+        mon.record_idle(ProcedureKind::Unknown, RunId(0), Ur3e::named_pose(0), 10);
+        assert!(mon.is_empty(), "suspended recordings are not stored");
+        assert_eq!(mon.missed(), 2);
+        mon.resume();
+        mon.record_motion(
+            ProcedureKind::VelocitySweep,
+            RunId(1),
+            "kept",
+            &[seg()],
+            0.0,
+        );
+        assert_eq!(mon.len(), 1);
+        assert_eq!(mon.missed(), 2);
     }
 
     #[test]

@@ -9,8 +9,8 @@
 use std::sync::Arc;
 
 use rad_core::{
-    Command, DeviceId, Label, ProcedureKind, RunId, RunMetadata, SimClock, SimDuration, SimInstant,
-    TraceId, TraceMode, TraceObject, Value,
+    Command, CommandType, DeviceId, Label, ProcedureKind, RunId, RunMetadata, SimClock,
+    SimDuration, SimInstant, TraceGap, TraceId, TraceMode, TraceObject, Value,
 };
 use rad_store::{CommandDataset, DocumentStore};
 use serde_json::json;
@@ -31,6 +31,7 @@ pub struct Tracer {
     run: Option<RunContext>,
     traces: Vec<TraceObject>,
     runs: Vec<RunMetadata>,
+    gaps: Vec<TraceGap>,
     mirror: Option<Arc<DocumentStore>>,
 }
 
@@ -43,6 +44,7 @@ impl Tracer {
             run: None,
             traces: Vec::new(),
             runs: Vec::new(),
+            gaps: Vec::new(),
             mirror: None,
         }
     }
@@ -133,6 +135,40 @@ impl Tracer {
         id
     }
 
+    /// Records a trace gap: a command that executed untraced because
+    /// the middlebox was unavailable. Tagged with the active run (if
+    /// any) and mirrored to the `"gaps"` collection, so the loss is as
+    /// visible as a trace would have been.
+    pub fn record_gap(
+        &mut self,
+        device: DeviceId,
+        command: CommandType,
+        intended_mode: TraceMode,
+        reason: &str,
+    ) {
+        let mut gap = TraceGap::new(self.clock.now(), device, command, intended_mode, reason);
+        if let Some(ctx) = self.run {
+            gap = gap.with_run(ctx.run_id);
+        }
+        if let Some(store) = &self.mirror {
+            let doc = json!({
+                "timestamp_us": gap.timestamp.as_micros(),
+                "device": gap.device.kind().to_string(),
+                "command": gap.command.mnemonic(),
+                "intended_mode": gap.intended_mode.to_string(),
+                "reason": gap.reason,
+                "run_id": gap.run_id.map(|r| r.0),
+            });
+            let _ = store.insert("gaps", doc);
+        }
+        self.gaps.push(gap);
+    }
+
+    /// The trace gaps recorded so far.
+    pub fn gaps(&self) -> &[TraceGap] {
+        &self.gaps
+    }
+
     /// Number of records captured so far.
     pub fn len(&self) -> usize {
         self.traces.len()
@@ -148,9 +184,10 @@ impl Tracer {
         &self.traces
     }
 
-    /// Consumes the tracer into the curated command dataset.
+    /// Consumes the tracer into the curated command dataset, trace
+    /// gaps included.
     pub fn into_dataset(self) -> CommandDataset {
-        CommandDataset::from_parts(self.traces, self.runs)
+        CommandDataset::from_parts(self.traces, self.runs).with_gaps(self.gaps)
     }
 }
 
@@ -222,6 +259,32 @@ mod tests {
         record_one(&mut tracer, CommandType::Arm);
         record_one(&mut tracer, CommandType::TecanGetStatus);
         assert_eq!(store.count("traces", &rad_store::Filter::all()), 2);
+    }
+
+    #[test]
+    fn gaps_inherit_run_context_and_reach_the_mirror() {
+        let store = Arc::new(DocumentStore::new());
+        let mut tracer = Tracer::new().with_mirror(Arc::clone(&store));
+        tracer.begin_run(RunId(7), ProcedureKind::JoystickMovements, Label::Benign);
+        tracer.record_gap(
+            DeviceId::primary(DeviceKind::C9),
+            CommandType::Arm,
+            TraceMode::Remote,
+            "middlebox unavailable",
+        );
+        tracer.end_run();
+        tracer.record_gap(
+            DeviceId::primary(DeviceKind::Ika),
+            CommandType::InitIka,
+            TraceMode::Remote,
+            "middlebox unavailable",
+        );
+        assert_eq!(tracer.gaps().len(), 2);
+        assert_eq!(tracer.gaps()[0].run_id, Some(RunId(7)));
+        assert_eq!(tracer.gaps()[1].run_id, None);
+        assert_eq!(store.count("gaps", &rad_store::Filter::all()), 2);
+        let ds = tracer.into_dataset();
+        assert_eq!(ds.gaps().len(), 2);
     }
 
     #[test]

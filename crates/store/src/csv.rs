@@ -7,7 +7,7 @@
 
 use rad_core::{
     Command, CommandType, DeviceId, DeviceKind, Label, ProcedureKind, RadError, RunId, SimDuration,
-    SimInstant, TraceId, TraceMode, TraceObject, Value,
+    SimInstant, TraceGap, TraceId, TraceMode, TraceObject, Value,
 };
 use rad_power::PowerSample;
 
@@ -189,6 +189,96 @@ pub fn traces_from_csv(text: &str) -> Result<Vec<TraceObject>, RadError> {
     Ok(traces)
 }
 
+/// Column headers of the trace-gap export.
+pub const GAP_HEADERS: [&str; 6] = [
+    "timestamp_us",
+    "device",
+    "command",
+    "intended_mode",
+    "reason",
+    "run_id",
+];
+
+fn parse_mode(s: &str) -> Result<TraceMode, RadError> {
+    match s {
+        "DIRECT" => Ok(TraceMode::Direct),
+        "REMOTE" => Ok(TraceMode::Remote),
+        "CLOUD" => Ok(TraceMode::Cloud),
+        other => Err(RadError::Store(format!("bad mode: {other}"))),
+    }
+}
+
+/// Serializes trace gaps to a CSV document (with header row).
+pub fn gaps_to_csv(gaps: &[TraceGap]) -> String {
+    let mut out = String::new();
+    out.push_str(&encode_row(&GAP_HEADERS));
+    out.push('\n');
+    for g in gaps {
+        let row = [
+            g.timestamp.as_micros().to_string(),
+            g.device.kind().to_string(),
+            g.command.mnemonic().to_owned(),
+            g.intended_mode.to_string(),
+            g.reason.clone(),
+            g.run_id.map(|r| r.0.to_string()).unwrap_or_default(),
+        ];
+        out.push_str(&encode_row(&row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a trace-gap CSV document produced by [`gaps_to_csv`].
+///
+/// # Errors
+///
+/// Returns [`RadError::Store`] on malformed rows and propagates parse
+/// failures of devices, commands, and numbers.
+pub fn gaps_from_csv(text: &str) -> Result<Vec<TraceGap>, RadError> {
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| RadError::Store("empty csv".into()))?;
+    if decode_row(header)? != GAP_HEADERS {
+        return Err(RadError::Store(format!("unexpected csv header: {header}")));
+    }
+    let mut gaps = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let fields = decode_row(line)?;
+        if fields.len() != GAP_HEADERS.len() {
+            return Err(RadError::Store(format!(
+                "row {} has {} fields, expected {}",
+                lineno + 2,
+                fields.len(),
+                GAP_HEADERS.len()
+            )));
+        }
+        let timestamp = fields[0]
+            .parse()
+            .map_err(|_| RadError::Store(format!("bad timestamp: {}", fields[0])))?;
+        let device: DeviceKind = fields[1].parse()?;
+        let command: CommandType = fields[2].parse()?;
+        let mut gap = TraceGap::new(
+            SimInstant::from_micros(timestamp),
+            DeviceId::primary(device),
+            command,
+            parse_mode(&fields[3])?,
+            fields[4].clone(),
+        );
+        if !fields[5].is_empty() {
+            let run_id = fields[5]
+                .parse()
+                .map_err(|_| RadError::Store(format!("bad run id: {}", fields[5])))?;
+            gap = gap.with_run(RunId(run_id));
+        }
+        gaps.push(gap);
+    }
+    Ok(gaps)
+}
+
 /// Serializes power samples to a 122-column CSV document.
 pub fn power_to_csv(samples: &[PowerSample]) -> String {
     let mut out = String::new();
@@ -282,6 +372,36 @@ mod tests {
         let short = lines[1].rsplit_once(',').unwrap().0.to_owned();
         lines[1] = &short;
         assert!(traces_from_csv(&lines.join("\n")).is_err());
+    }
+
+    #[test]
+    fn gaps_round_trip_through_csv() {
+        let gaps = vec![
+            TraceGap::new(
+                SimInstant::from_micros(5_000),
+                DeviceId::primary(DeviceKind::C9),
+                CommandType::Arm,
+                TraceMode::Remote,
+                "middlebox unavailable",
+            )
+            .with_run(RunId(4)),
+            TraceGap::new(
+                SimInstant::from_micros(6_000),
+                DeviceId::primary(DeviceKind::Ika),
+                CommandType::InitIka,
+                TraceMode::Cloud,
+                "rpc retries exhausted, reason \"deadline\"",
+            ),
+        ];
+        let csv = gaps_to_csv(&gaps);
+        let back = gaps_from_csv(&csv).unwrap();
+        assert_eq!(back, gaps);
+    }
+
+    #[test]
+    fn gap_header_mismatch_is_rejected() {
+        assert!(gaps_from_csv("a,b\n").is_err());
+        assert!(gaps_from_csv("").is_err());
     }
 
     #[test]

@@ -7,7 +7,9 @@
 
 use std::collections::BTreeMap;
 
-use rad_core::{CommandType, DeviceKind, Label, ProcedureKind, RunId, RunMetadata, TraceObject};
+use rad_core::{
+    CommandType, DeviceKind, Label, ProcedureKind, RunId, RunMetadata, TraceGap, TraceObject,
+};
 use rad_power::CurrentProfile;
 use serde_json::json;
 
@@ -30,6 +32,7 @@ use rad_core::RadError as Error;
 pub struct CommandDataset {
     traces: Vec<TraceObject>,
     runs: Vec<RunMetadata>,
+    gaps: Vec<TraceGap>,
 }
 
 impl CommandDataset {
@@ -40,7 +43,19 @@ impl CommandDataset {
 
     /// Builds a dataset from parts.
     pub fn from_parts(traces: Vec<TraceObject>, runs: Vec<RunMetadata>) -> Self {
-        CommandDataset { traces, runs }
+        CommandDataset {
+            traces,
+            runs,
+            gaps: Vec::new(),
+        }
+    }
+
+    /// Attaches the trace gaps recorded during collection (commands
+    /// that executed untraced because the middlebox was down).
+    #[must_use]
+    pub fn with_gaps(mut self, gaps: Vec<TraceGap>) -> Self {
+        self.gaps = gaps;
+        self
     }
 
     /// Appends a trace object.
@@ -51,6 +66,18 @@ impl CommandDataset {
     /// Registers a procedure run's metadata.
     pub fn add_run(&mut self, run: RunMetadata) {
         self.runs.push(run);
+    }
+
+    /// Records a trace gap.
+    pub fn push_gap(&mut self, gap: TraceGap) {
+        self.gaps.push(gap);
+    }
+
+    /// The trace gaps, in record order. Delivered traces plus gaps
+    /// account for every command issued — the no-silent-loss invariant
+    /// the fault-injection conformance suite asserts.
+    pub fn gaps(&self) -> &[TraceGap] {
+        &self.gaps
     }
 
     /// All trace objects, in capture order.
@@ -180,6 +207,17 @@ impl CommandDataset {
             });
             store.insert("runs", doc)?;
         }
+        for g in &self.gaps {
+            let doc = json!({
+                "timestamp_us": g.timestamp.as_micros(),
+                "device": g.device.kind().to_string(),
+                "command": g.command.mnemonic(),
+                "intended_mode": g.intended_mode.to_string(),
+                "reason": g.reason,
+                "run_id": g.run_id.map(|r| r.0),
+            });
+            store.insert("gaps", doc)?;
+        }
         Ok(())
     }
 
@@ -187,6 +225,7 @@ impl CommandDataset {
     pub fn merge(&mut self, other: CommandDataset) {
         self.traces.extend(other.traces);
         self.runs.extend(other.runs);
+        self.gaps.extend(other.gaps);
     }
 }
 
@@ -374,6 +413,25 @@ mod tests {
         a.merge(b);
         assert_eq!(a.len(), 2 * n);
         assert_eq!(a.runs().len(), 2);
+    }
+
+    #[test]
+    fn gaps_ride_along_through_merge_and_store() {
+        let gap = TraceGap::new(
+            SimInstant::from_micros(9),
+            DeviceId::primary(DeviceKind::C9),
+            CommandType::Arm,
+            TraceMode::Remote,
+            "middlebox unavailable",
+        );
+        let mut a = labelled_dataset().with_gaps(vec![gap.clone()]);
+        let mut b = labelled_dataset();
+        b.push_gap(gap);
+        a.merge(b);
+        assert_eq!(a.gaps().len(), 2);
+        let store = DocumentStore::new();
+        a.store_into(&store).unwrap();
+        assert_eq!(store.count("gaps", &crate::Filter::all()), 2);
     }
 
     #[test]

@@ -56,6 +56,14 @@ pub fn export_rad(
     fs::write(dir.join("runs.csv"), runs_csv).map_err(|e| io_err("writing runs.csv", e))?;
     files += 1;
 
+    // Trace gaps are part of the published record: a bundle collected
+    // through an outage says so explicitly instead of shrinking.
+    if !commands.gaps().is_empty() {
+        fs::write(dir.join("gaps.csv"), csv::gaps_to_csv(commands.gaps()))
+            .map_err(|e| io_err("writing gaps.csv", e))?;
+        files += 1;
+    }
+
     let power_dir = dir.join("power");
     fs::create_dir_all(&power_dir).map_err(|e| io_err("creating power dir", e))?;
     for (i, recording) in power.recordings().iter().enumerate() {
@@ -78,6 +86,7 @@ pub fn export_rad(
         "trace_objects": commands.len(),
         "runs": commands.runs().len(),
         "supervised_runs": commands.supervised_runs().len(),
+        "trace_gaps": commands.gaps().len(),
         "power_recordings": power.recordings().len(),
         "power_entries": power.total_entries(),
         "files": files + 1,
@@ -104,7 +113,11 @@ pub fn import_commands(dir: &Path) -> Result<CommandDataset, RadError> {
         Ok(runs_text) => parse_runs_csv(&runs_text)?,
         Err(_) => Vec::new(), // bundles without the metadata table
     };
-    Ok(CommandDataset::from_parts(traces, runs))
+    let gaps = match fs::read_to_string(dir.join("gaps.csv")) {
+        Ok(gaps_text) => csv::gaps_from_csv(&gaps_text)?,
+        Err(_) => Vec::new(), // fault-free bundles have no gap table
+    };
+    Ok(CommandDataset::from_parts(traces, runs).with_gaps(gaps))
 }
 
 /// Parses the `runs.csv` table written by [`export_rad`].
@@ -246,6 +259,37 @@ mod tests {
         assert_eq!(back.runs().len(), 1);
         assert_eq!(back.runs()[0].operator_note(), Some("note, with comma"));
         assert_eq!(back.runs()[0].label(), Label::Benign);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gaps_csv_round_trips_through_the_bundle() {
+        use rad_core::{DeviceKind, TraceGap, TraceMode};
+        let dir = tmpdir("gaps");
+        let ds = small_dataset().with_gaps(vec![TraceGap::new(
+            SimInstant::from_micros(123),
+            DeviceId::primary(DeviceKind::C9),
+            CommandType::Arm,
+            TraceMode::Remote,
+            "middlebox unavailable",
+        )
+        .with_run(RunId(0))]);
+        export_rad(&ds, &PowerDataset::new(), &dir).unwrap();
+        assert!(dir.join("gaps.csv").exists());
+        let manifest: serde_json::Value =
+            serde_json::from_str(&fs::read_to_string(dir.join("MANIFEST.json")).unwrap()).unwrap();
+        assert_eq!(manifest["trace_gaps"], json!(1));
+        let back = import_commands(&dir).unwrap();
+        assert_eq!(back.gaps(), ds.gaps());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_free_bundles_omit_the_gap_table() {
+        let dir = tmpdir("nogaps");
+        export_rad(&small_dataset(), &PowerDataset::new(), &dir).unwrap();
+        assert!(!dir.join("gaps.csv").exists());
+        assert!(import_commands(&dir).unwrap().gaps().is_empty());
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -14,6 +14,7 @@ use rad_core::{
     AnomalyCause, Command, CommandType, DeviceKind, Label, ProcedureKind, RunId, RunMetadata,
     SimDuration, Value,
 };
+use rad_middlebox::{FaultPlan, Middlebox};
 use rad_store::{CommandDataset, PowerDataset};
 
 use crate::procedures::{self, P1Variant, P2Variant, P3Variant, SOLIDS};
@@ -92,6 +93,7 @@ pub struct CampaignBuilder {
     scale: f64,
     fillers: bool,
     power_experiments: bool,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl CampaignBuilder {
@@ -102,6 +104,7 @@ impl CampaignBuilder {
             scale: 1.0,
             fillers: true,
             power_experiments: true,
+            fault_plan: None,
         }
     }
 
@@ -135,6 +138,28 @@ impl CampaignBuilder {
     pub fn power_experiments(mut self, on: bool) -> Self {
         self.power_experiments = on;
         self
+    }
+
+    /// Runs the campaign's relay traffic through a seeded
+    /// [`FaultPlan`]: REMOTE/CLOUD commands suffer the plan's drop /
+    /// corrupt / reorder / disconnect schedule, retries cost simulated
+    /// latency, and commands the middlebox never sees are degraded to
+    /// DIRECT with a [`rad_core::TraceGap`] marker in the dataset.
+    ///
+    /// The plan is part of the builder, so [`CampaignBuilder::build_many`]
+    /// replays the same fault campaign under every seed. Pair it with
+    /// [`CampaignBuilder::supervised_only`]: the unsupervised filler
+    /// steers by *delivered* trace counts, so a plan that converts
+    /// traces into gaps can keep the filler from converging.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The fault plan, if one is configured.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// Replaces the seed, keeping every other knob. Used by
@@ -174,7 +199,13 @@ impl CampaignBuilder {
     /// Panics if a staged supervised run deviates from its script
     /// (which would indicate a bug in the simulators, not bad input).
     pub fn build(&self) -> CampaignDataset {
-        let mut session = Session::new(self.seed);
+        let mut session = match &self.fault_plan {
+            Some(plan) => Session::with_middlebox(
+                Middlebox::new(self.seed).with_fault_plan(plan.clone()),
+                self.seed,
+            ),
+            None => Session::new(self.seed),
+        };
         let mut journal = Vec::new();
 
         // ---- The 25 supervised runs, Fig. 6 id order. ----
@@ -609,6 +640,37 @@ mod tests {
         let seq_a: Vec<_> = a.command().corpus();
         let seq_b: Vec<_> = b.command().corpus();
         assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn perfect_fault_plan_reproduces_the_baseline_campaign() {
+        use rad_middlebox::FaultProfile;
+        let baseline = CampaignBuilder::new(13).supervised_only().build();
+        let faulted = CampaignBuilder::new(13)
+            .supervised_only()
+            .with_fault_plan(FaultPlan::new(13, FaultProfile::none()))
+            .build();
+        assert!(faulted.command().gaps().is_empty());
+        assert_eq!(baseline.command().corpus(), faulted.command().corpus());
+        assert_eq!(baseline.journal(), faulted.journal());
+    }
+
+    #[test]
+    fn disconnected_campaign_accounts_for_every_command() {
+        use rad_middlebox::FaultProfile;
+        let baseline = CampaignBuilder::new(21).supervised_only().build();
+        let faulted = CampaignBuilder::new(21)
+            .supervised_only()
+            .with_fault_plan(FaultPlan::new(21, FaultProfile::disconnect_after(40)))
+            .build();
+        let traces = faulted.command().len();
+        let gaps = faulted.command().gaps().len();
+        assert!(gaps > 0, "the disconnect must actually bite");
+        assert_eq!(
+            traces + gaps,
+            baseline.command().len(),
+            "every command is either traced or gap-marked"
+        );
     }
 
     #[test]

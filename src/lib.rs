@@ -43,13 +43,13 @@ pub mod prelude {
     };
     pub use rad_core::{
         Command, CommandCategory, CommandType, DeviceId, DeviceKind, Label, ProcedureKind,
-        RadError, RunId, RunMetadata, SimClock, SimDuration, SimInstant, TraceId, TraceMode,
-        TraceObject, Value,
+        RadError, RunId, RunMetadata, SimClock, SimDuration, SimInstant, TraceGap, TraceId,
+        TraceMode, TraceObject, Value,
     };
     pub use rad_devices::{Device, LabRig};
     pub use rad_middlebox::{
-        GuardPolicy, GuardedMiddlebox, LatencyModel, Middlebox, ModeConfig, RpcCluster, ShardPlan,
-        Tracer,
+        FaultPlan, FaultProfile, FaultStats, FaultyDuplex, GuardPolicy, GuardedMiddlebox,
+        LatencyModel, Middlebox, ModeConfig, RpcCluster, ShardPlan, Tracer,
     };
     pub use rad_power::{
         CurrentProfile, Elbow, PowerSample, TrajectorySegment, Ur3e, Ur3eKinematics,

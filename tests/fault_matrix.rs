@@ -1,0 +1,180 @@
+//! The fault-injection conformance matrix (ISSUE tentpole): one seeded
+//! supervised campaign run under five wire-fault profiles — perfect
+//! channel, 5% drop, corruption, reordering, and a mid-run disconnect.
+//!
+//! Three invariants hold for every row:
+//!
+//! 1. **Accounting** — delivered traces + [`TraceGap`] markers equal
+//!    the no-fault trace count: no command vanishes silently.
+//! 2. **Fidelity** — wherever delivery succeeded, the traced command
+//!    stream is identical to the baseline (faults lose or gap-mark
+//!    traffic, they never invent or reorder commands).
+//! 3. **Exactly-once** — retries never double-execute: the relay's
+//!    execution count equals its delivered trace count.
+
+use rad::prelude::*;
+
+const SEED: u64 = 42;
+
+fn baseline() -> rad_workloads::CampaignDataset {
+    CampaignBuilder::new(SEED).supervised_only().build()
+}
+
+fn faulted(plan: FaultPlan) -> rad_workloads::CampaignDataset {
+    CampaignBuilder::new(SEED)
+        .supervised_only()
+        .with_fault_plan(plan)
+        .build()
+}
+
+/// The five-row profile matrix.
+fn matrix() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("none", FaultPlan::new(SEED, FaultProfile::none())),
+        ("drop5", FaultPlan::new(SEED, FaultProfile::drop(0.05))),
+        ("corrupt", FaultPlan::new(SEED, FaultProfile::corrupt(0.05))),
+        ("reorder", FaultPlan::new(SEED, FaultProfile::reorder(0.05))),
+        (
+            "disconnect",
+            FaultPlan::new(SEED, FaultProfile::disconnect_after(60)),
+        ),
+    ]
+}
+
+/// The full command stream — traces and gaps merged in time order —
+/// reduced to command types.
+fn merged_stream(ds: &CommandDataset) -> Vec<CommandType> {
+    let mut events: Vec<(SimInstant, CommandType)> = ds
+        .traces()
+        .iter()
+        .map(|t| (t.timestamp(), t.command_type()))
+        .chain(ds.gaps().iter().map(|g| (g.timestamp, g.command)))
+        .collect();
+    events.sort_by_key(|(at, _)| *at);
+    events.into_iter().map(|(_, c)| c).collect()
+}
+
+fn is_subsequence(needle: &[CommandType], haystack: &[CommandType]) -> bool {
+    let mut it = haystack.iter();
+    needle.iter().all(|c| it.any(|h| h == c))
+}
+
+#[test]
+fn every_profile_accounts_for_every_command() {
+    let base = baseline();
+    let base_len = base.command().len();
+    let base_corpus = base.command().corpus();
+    for (name, plan) in matrix() {
+        let run = faulted(plan);
+        let traces = run.command().len();
+        let gaps = run.command().gaps().len();
+        assert_eq!(
+            traces + gaps,
+            base_len,
+            "{name}: traces + gaps must equal the fault-free trace count"
+        );
+        assert_eq!(
+            merged_stream(run.command()),
+            base_corpus,
+            "{name}: the merged trace+gap stream is the baseline command stream"
+        );
+    }
+}
+
+#[test]
+fn delivery_is_faithful_where_it_succeeds() {
+    let base_corpus = baseline().command().corpus();
+    for (name, plan) in matrix() {
+        let run = faulted(plan);
+        let corpus = run.command().corpus();
+        assert!(
+            is_subsequence(&corpus, &base_corpus),
+            "{name}: delivered traces must be a subsequence of the baseline"
+        );
+        if name == "none" {
+            assert_eq!(corpus, base_corpus, "a perfect channel changes nothing");
+            assert!(run.command().gaps().is_empty());
+        }
+    }
+}
+
+#[test]
+fn disconnect_splits_the_campaign_into_prefix_and_gaps() {
+    let base = baseline();
+    let run = faulted(FaultPlan::new(SEED, FaultProfile::disconnect_after(60)));
+    let gaps = run.command().gaps();
+    assert!(!gaps.is_empty(), "the mid-run disconnect must bite");
+    // ISSUE acceptance criterion, verbatim: TraceGap count + delivered
+    // trace count == the no-fault trace count.
+    assert_eq!(run.command().len() + gaps.len(), base.command().len());
+    // The link never comes back, so the delivered traces are exactly
+    // the baseline prefix and every gap postdates every trace.
+    let corpus = run.command().corpus();
+    assert_eq!(corpus.as_slice(), &base.command().corpus()[..corpus.len()]);
+    let last_trace = run
+        .command()
+        .traces()
+        .iter()
+        .map(|t| t.timestamp())
+        .max()
+        .expect("some traces were delivered before the disconnect");
+    assert!(
+        gaps.iter().all(|g| g.timestamp > last_trace),
+        "after the link dies, everything is a gap"
+    );
+    // Gaps carry enough context to be useful: a reason and (inside
+    // supervised runs) the run attribution.
+    assert!(gaps.iter().all(|g| !g.reason.is_empty()));
+    assert!(gaps.iter().any(|g| g.run_id.is_some()));
+}
+
+#[test]
+fn fault_campaigns_are_deterministic_across_runs_and_threads() {
+    let builder = CampaignBuilder::new(SEED)
+        .supervised_only()
+        .with_fault_plan(FaultPlan::new(SEED, FaultProfile::drop(0.10)));
+    let sequential = builder.build();
+    // Same builder fanned out over scoped threads: byte-identical
+    // schedules, so byte-identical datasets.
+    let many = builder.build_many(&[SEED, SEED]);
+    for (i, parallel) in many.iter().enumerate() {
+        assert_eq!(
+            parallel.command().corpus(),
+            sequential.command().corpus(),
+            "thread {i}: corpus must not depend on interleaving"
+        );
+        assert_eq!(
+            parallel.command().gaps(),
+            sequential.command().gaps(),
+            "thread {i}: gap schedule must not depend on interleaving"
+        );
+        assert_eq!(parallel.journal(), sequential.journal());
+    }
+}
+
+#[test]
+fn relay_executes_exactly_once_per_delivered_trace() {
+    for (name, plan) in matrix() {
+        let mut mb = Middlebox::new(SEED).with_fault_plan(plan);
+        // 100 commands: far enough to cross the disconnect row's
+        // chunk-60 link death mid-sequence.
+        let total = 100u64;
+        for i in 0..total {
+            let command = if i == 0 {
+                Command::nullary(CommandType::InitC9)
+            } else {
+                Command::nullary(CommandType::Mvng)
+            };
+            mb.issue(&command)
+                .unwrap_or_else(|e| panic!("{name}: command {i} failed: {e}"));
+        }
+        let stats = mb.fault_stats().snapshot();
+        let traced = mb.traces().len() as u64;
+        let gapped = mb.gaps().len() as u64;
+        assert_eq!(traced + gapped, total, "{name}: accounting");
+        assert_eq!(
+            stats.executions, traced,
+            "{name}: one relay execution per delivered trace, no more"
+        );
+    }
+}

@@ -92,7 +92,10 @@ fn middlebox_death_is_observed_and_a_restart_recovers() {
     let err = orphan
         .call(&cmd(CommandType::Mvng), Duration::from_millis(100))
         .unwrap_err();
-    assert!(matches!(err, RadError::Rpc(_)), "{err}");
+    assert!(
+        matches!(err, RadError::RpcDisconnected(_)),
+        "a dead peer is a disconnect, not a timeout: {err}"
+    );
 
     // Phase 3: restart the middlebox over the *same rig state* (the
     // devices did not power-cycle, only the middlebox did).

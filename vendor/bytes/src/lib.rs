@@ -23,6 +23,12 @@ impl Bytes {
         Bytes { data: data.into() }
     }
 
+    /// Upstream `from_static` borrows for `'static`; the shim's shared
+    /// allocation makes a copy equivalent for callers.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+
     pub fn len(&self) -> usize {
         self.data.len()
     }
@@ -111,6 +117,12 @@ impl BytesMut {
         }
     }
 
+    /// Discards all readable bytes.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+
     /// Freezes the readable bytes into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes {
@@ -136,6 +148,15 @@ impl Deref for BytesMut {
 impl AsRef<[u8]> for BytesMut {
     fn as_ref(&self) -> &[u8] {
         self
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(v: &[u8]) -> Self {
+        BytesMut {
+            buf: v.to_vec(),
+            head: 0,
+        }
     }
 }
 

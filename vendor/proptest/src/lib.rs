@@ -61,6 +61,16 @@ pub mod test_runner {
         pub fn with_cases(cases: u32) -> Self {
             ProptestConfig { cases }
         }
+
+        /// The case count to run: `PROPTEST_CASES` overrides the
+        /// configured value (matching upstream proptest), so CI can
+        /// deepen coverage without touching the tests.
+        pub fn effective_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES") {
+                Ok(raw) => raw.trim().parse().unwrap_or(self.cases),
+                Err(_) => self.cases,
+            }
+        }
     }
 
     impl Default for ProptestConfig {
@@ -665,6 +675,7 @@ macro_rules! proptest {
         $(#[$meta])*
         fn $name() {
             let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __cases = __config.effective_cases();
             let mut __rng = $crate::test_runner::TestRng::deterministic(concat!(
                 module_path!(), "::", stringify!($name)
             ));
@@ -672,7 +683,7 @@ macro_rules! proptest {
             let __strategies = ($(&$arg,)+);
             let mut __executed: u32 = 0;
             let mut __attempts: u32 = 0;
-            while __executed < __config.cases && __attempts < __config.cases * 16 {
+            while __executed < __cases && __attempts < __cases * 16 {
                 __attempts += 1;
                 let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> = {
                     let ($($arg,)+) = __strategies;
