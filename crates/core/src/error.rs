@@ -48,6 +48,33 @@ pub enum RadError {
     RpcDisconnected(String),
     /// A dataset/store operation failed.
     Store(String),
+    /// A write-ahead-log frame failed its CRC or structural check —
+    /// either a bit flip at rest or garbage where a frame should be.
+    /// Recovery quarantines the segment; strict readers surface this.
+    WalCorrupt {
+        /// Segment file name the bad frame lives in.
+        segment: String,
+        /// Byte offset of the first invalid frame.
+        offset: u64,
+        /// What failed (crc mismatch, bogus length, ...).
+        reason: String,
+    },
+    /// A write-ahead-log segment ends mid-frame: the process died while
+    /// appending. Recovery truncates the tail at `offset` and carries
+    /// on — this variant only reaches callers in strict mode.
+    WalTornWrite {
+        /// Segment file name with the torn tail.
+        segment: String,
+        /// Byte offset at which the complete prefix ends.
+        offset: u64,
+    },
+    /// A checkpoint or resume target does not match the campaign that
+    /// is trying to resume from it (different seed, scale, or diverged
+    /// persisted records).
+    CheckpointMismatch {
+        /// What disagreed.
+        reason: String,
+    },
     /// An analysis precondition was violated (empty corpus, mismatched
     /// lengths, ...).
     Analysis(String),
@@ -85,6 +112,20 @@ impl fmt::Display for RadError {
             RadError::RpcTimeout(msg) => write!(f, "rpc timed out: {msg}"),
             RadError::RpcDisconnected(msg) => write!(f, "rpc peer disconnected: {msg}"),
             RadError::Store(msg) => write!(f, "store failure: {msg}"),
+            RadError::WalCorrupt {
+                segment,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "wal segment {segment} corrupt at byte {offset}: {reason}"
+            ),
+            RadError::WalTornWrite { segment, offset } => {
+                write!(f, "wal segment {segment} torn at byte {offset}")
+            }
+            RadError::CheckpointMismatch { reason } => {
+                write!(f, "checkpoint mismatch: {reason}")
+            }
             RadError::Analysis(msg) => write!(f, "analysis precondition violated: {msg}"),
         }
     }
@@ -194,6 +235,27 @@ mod tests {
         assert!(!RadError::RpcDisconnected("x".into()).is_retryable());
         assert!(!RadError::Rpc("x".into()).is_retryable());
         assert!(!RadError::Device(DeviceFault::Timeout).is_retryable());
+    }
+
+    #[test]
+    fn wal_errors_name_segment_and_offset() {
+        let corrupt = RadError::WalCorrupt {
+            segment: "wal-000003.log".into(),
+            offset: 128,
+            reason: "crc mismatch".into(),
+        };
+        let msg = corrupt.to_string();
+        assert!(msg.contains("wal-000003.log") && msg.contains("128") && msg.contains("crc"));
+        let torn = RadError::WalTornWrite {
+            segment: "wal-000001.log".into(),
+            offset: 64,
+        };
+        assert!(torn.to_string().contains("torn at byte 64"));
+        let mismatch = RadError::CheckpointMismatch {
+            reason: "seed 3 vs 7".into(),
+        };
+        assert!(mismatch.to_string().contains("seed 3 vs 7"));
+        assert!(!corrupt.is_retryable() && !torn.is_retryable());
     }
 
     #[test]

@@ -224,6 +224,12 @@ impl Middlebox {
         self.tracer.gaps()
     }
 
+    /// Read-only view of the run metadata registered so far (the
+    /// campaign checkpointer persists these incrementally).
+    pub fn runs(&self) -> &[rad_core::RunMetadata] {
+        self.tracer.runs()
+    }
+
     /// Issues one command through the interception boundary: samples
     /// the transport latency for the device's mode, executes on the
     /// rig, logs the trace object (faults included), and advances the

@@ -12,7 +12,7 @@ use rad_core::{
     Command, CommandType, DeviceId, Label, ProcedureKind, RunId, RunMetadata, SimClock,
     SimDuration, SimInstant, TraceGap, TraceId, TraceMode, TraceObject, Value,
 };
-use rad_store::{CommandDataset, DocumentStore};
+use rad_store::{CommandDataset, DocumentStore, DurableStore};
 use serde_json::json;
 
 /// The active procedure-run context applied to new traces.
@@ -33,6 +33,8 @@ pub struct Tracer {
     runs: Vec<RunMetadata>,
     gaps: Vec<TraceGap>,
     mirror: Option<Arc<DocumentStore>>,
+    durable: Option<Arc<DurableStore>>,
+    durable_errors: u64,
 }
 
 impl Tracer {
@@ -46,6 +48,8 @@ impl Tracer {
             runs: Vec::new(),
             gaps: Vec::new(),
             mirror: None,
+            durable: None,
+            durable_errors: 0,
         }
     }
 
@@ -54,6 +58,17 @@ impl Tracer {
     #[must_use]
     pub fn with_mirror(mut self, store: Arc<DocumentStore>) -> Self {
         self.mirror = Some(store);
+        self
+    }
+
+    /// Mirrors every record and gap through `store`'s write-ahead log,
+    /// so traces survive a process crash. Sink failures are counted
+    /// ([`Tracer::durable_errors`]) but never propagated — losing the
+    /// durable copy must not lose the in-memory record too, matching
+    /// the wire layer's graceful-degradation policy.
+    #[must_use]
+    pub fn with_durable_sink(mut self, store: Arc<DurableStore>) -> Self {
+        self.durable = Some(store);
         self
     }
 
@@ -116,7 +131,7 @@ impl Tracer {
             builder = builder.exception(msg);
         }
         let trace = builder.build();
-        if let Some(store) = &self.mirror {
+        if self.mirror.is_some() || self.durable.is_some() {
             let doc = json!({
                 "trace_id": trace.id().0,
                 "timestamp_us": trace.timestamp().as_micros(),
@@ -129,7 +144,14 @@ impl Tracer {
             // A full mirror failing must not lose the in-memory record;
             // the store only rejects non-objects, which cannot happen
             // here, so ignore the result defensively.
-            let _ = store.insert("traces", doc);
+            if let Some(store) = &self.mirror {
+                let _ = store.insert("traces", doc.clone());
+            }
+            if let Some(store) = &self.durable {
+                if store.insert("traces", doc).is_err() {
+                    self.durable_errors += 1;
+                }
+            }
         }
         self.traces.push(trace);
         id
@@ -150,7 +172,7 @@ impl Tracer {
         if let Some(ctx) = self.run {
             gap = gap.with_run(ctx.run_id);
         }
-        if let Some(store) = &self.mirror {
+        if self.mirror.is_some() || self.durable.is_some() {
             let doc = json!({
                 "timestamp_us": gap.timestamp.as_micros(),
                 "device": gap.device.kind().to_string(),
@@ -159,9 +181,35 @@ impl Tracer {
                 "reason": gap.reason,
                 "run_id": gap.run_id.map(|r| r.0),
             });
-            let _ = store.insert("gaps", doc);
+            if let Some(store) = &self.mirror {
+                let _ = store.insert("gaps", doc.clone());
+            }
+            if let Some(store) = &self.durable {
+                if store.insert("gaps", doc).is_err() {
+                    self.durable_errors += 1;
+                }
+            }
         }
         self.gaps.push(gap);
+    }
+
+    /// Flushes the durable sink's write-ahead log, making every record
+    /// so far crash-proof. A no-op without a durable sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rad_core::RadError::Store`] when the fsync fails.
+    pub fn sync_durable(&self) -> Result<(), rad_core::RadError> {
+        match &self.durable {
+            Some(store) => store.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// How many records failed to reach the durable sink (counted, not
+    /// propagated — mirroring the wire layer's degradation policy).
+    pub fn durable_errors(&self) -> u64 {
+        self.durable_errors
     }
 
     /// The trace gaps recorded so far.
@@ -182,6 +230,11 @@ impl Tracer {
     /// A read-only view of the captured records.
     pub fn traces(&self) -> &[TraceObject] {
         &self.traces
+    }
+
+    /// Metadata of the runs opened so far.
+    pub fn runs(&self) -> &[RunMetadata] {
+        &self.runs
     }
 
     /// Consumes the tracer into the curated command dataset, trace
@@ -285,6 +338,54 @@ mod tests {
         assert_eq!(store.count("gaps", &rad_store::Filter::all()), 2);
         let ds = tracer.into_dataset();
         assert_eq!(ds.gaps().len(), 2);
+    }
+
+    #[test]
+    fn durable_sink_survives_reopen() {
+        use rad_store::{DurableOptions, Filter};
+        let dir = std::env::temp_dir().join(format!("rad-tracer-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (durable, _) = DurableStore::open(&dir, DurableOptions::default()).unwrap();
+            let mut tracer = Tracer::new().with_durable_sink(Arc::new(durable));
+            record_one(&mut tracer, CommandType::Arm);
+            record_one(&mut tracer, CommandType::Mvng);
+            tracer.record_gap(
+                DeviceId::primary(DeviceKind::C9),
+                CommandType::Arm,
+                TraceMode::Remote,
+                "middlebox unavailable",
+            );
+            assert_eq!(tracer.durable_errors(), 0);
+            tracer.sync_durable().unwrap();
+        }
+        // A fresh process recovers every record from the log.
+        let (durable, report) = DurableStore::open(&dir, DurableOptions::default()).unwrap();
+        assert_eq!(report.records_replayed, 3);
+        assert_eq!(durable.count("traces", &Filter::all()), 2);
+        assert_eq!(durable.count("gaps", &Filter::all()), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_sink_failures_degrade_gracefully() {
+        use rad_store::{CrashPlan, CrashSite, DurableOptions};
+        let dir = std::env::temp_dir().join(format!("rad-tracer-degrade-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = DurableOptions {
+            crash_plan: Some(CrashPlan::at(CrashSite::MidRecord, 1)),
+            ..DurableOptions::default()
+        };
+        let (durable, _) = DurableStore::open(&dir, opts).unwrap();
+        let mut tracer = Tracer::new().with_durable_sink(Arc::new(durable));
+        for _ in 0..4 {
+            record_one(&mut tracer, CommandType::Mvng);
+        }
+        // The sink died on the second insert and stayed poisoned; the
+        // in-memory record kept every trace regardless.
+        assert_eq!(tracer.len(), 4);
+        assert_eq!(tracer.durable_errors(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

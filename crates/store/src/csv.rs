@@ -122,6 +122,27 @@ pub fn traces_to_csv(traces: &[TraceObject]) -> String {
 /// Returns [`RadError::Store`] on malformed rows and propagates parse
 /// failures of devices, commands, and numbers.
 pub fn traces_from_csv(text: &str) -> Result<Vec<TraceObject>, RadError> {
+    let (traces, issues) = traces_from_csv_report(text)?;
+    match issues.into_iter().next() {
+        None => Ok(traces),
+        Some((line, reason)) => Err(RadError::Store(format!("row {line}: {reason}"))),
+    }
+}
+
+/// Damaged CSV rows skipped by a lenient parse: `(1-based line number,
+/// reason)` pairs.
+pub type RowIssues = Vec<(usize, String)>;
+
+/// Lenient variant of [`traces_from_csv`]: damaged rows are skipped and
+/// reported as [`RowIssues`] instead of failing the whole document. A
+/// missing or wrong header is still fatal — that is a different file,
+/// not a damaged one.
+///
+/// # Errors
+///
+/// Returns [`RadError::Store`] only when the header row is absent or
+/// wrong.
+pub fn traces_from_csv_report(text: &str) -> Result<(Vec<TraceObject>, RowIssues), RadError> {
     let mut lines = text.lines();
     let header = lines
         .next()
@@ -131,62 +152,65 @@ pub fn traces_from_csv(text: &str) -> Result<Vec<TraceObject>, RadError> {
         return Err(RadError::Store(format!("unexpected csv header: {header}")));
     }
     let mut traces = Vec::new();
+    let mut issues = Vec::new();
     for (lineno, line) in lines.enumerate() {
         if line.is_empty() {
             continue;
         }
-        let fields = decode_row(line)?;
-        if fields.len() != TRACE_HEADERS.len() {
-            return Err(RadError::Store(format!(
-                "row {} has {} fields, expected {}",
-                lineno + 2,
-                fields.len(),
-                TRACE_HEADERS.len()
-            )));
+        match parse_trace_row(line) {
+            Ok(trace) => traces.push(trace),
+            Err(e) => issues.push((lineno + 2, e.to_string())),
         }
-        let parse_u64 = |s: &str, what: &str| -> Result<u64, RadError> {
-            s.parse()
-                .map_err(|_| RadError::Store(format!("bad {what}: {s}")))
-        };
-        let device: DeviceKind = fields[2].parse()?;
-        let command_type: CommandType = fields[3].parse()?;
-        let args: Vec<Value> = serde_json::from_str(&fields[4])
-            .map_err(|e| RadError::Store(format!("bad args json: {e}")))?;
-        let ret: Value = serde_json::from_str(&fields[6])
-            .map_err(|e| RadError::Store(format!("bad return json: {e}")))?;
-        let mode = match fields[5].as_str() {
-            "DIRECT" => TraceMode::Direct,
-            "REMOTE" => TraceMode::Remote,
-            "CLOUD" => TraceMode::Cloud,
-            other => return Err(RadError::Store(format!("bad mode: {other}"))),
-        };
-        let procedure: ProcedureKind = fields[9].parse()?;
-        let mut builder = TraceObject::builder(
-            TraceId(parse_u64(&fields[0], "trace id")?),
-            SimInstant::from_micros(parse_u64(&fields[1], "timestamp")?),
-            DeviceId::primary(device),
-            Command::new(command_type, args),
-        )
-        .mode(mode)
-        .return_value(ret)
-        .response_time(SimDuration::from_micros(parse_u64(
-            &fields[8],
-            "response time",
-        )?));
-        if !fields[7].is_empty() {
-            builder = builder.exception(fields[7].clone());
-        }
-        if !fields[10].is_empty() {
-            let run_id = RunId(
-                fields[10]
-                    .parse()
-                    .map_err(|_| RadError::Store(format!("bad run id: {}", fields[10])))?,
-            );
-            builder = builder.run(procedure, run_id, Label::Unknown);
-        }
-        traces.push(builder.build());
     }
-    Ok(traces)
+    Ok((traces, issues))
+}
+
+/// Parses one data row of a trace CSV.
+fn parse_trace_row(line: &str) -> Result<TraceObject, RadError> {
+    let fields = decode_row(line)?;
+    if fields.len() != TRACE_HEADERS.len() {
+        return Err(RadError::Store(format!(
+            "row has {} fields, expected {}",
+            fields.len(),
+            TRACE_HEADERS.len()
+        )));
+    }
+    let parse_u64 = |s: &str, what: &str| -> Result<u64, RadError> {
+        s.parse()
+            .map_err(|_| RadError::Store(format!("bad {what}: {s}")))
+    };
+    let device: DeviceKind = fields[2].parse()?;
+    let command_type: CommandType = fields[3].parse()?;
+    let args: Vec<Value> = serde_json::from_str(&fields[4])
+        .map_err(|e| RadError::Store(format!("bad args json: {e}")))?;
+    let ret: Value = serde_json::from_str(&fields[6])
+        .map_err(|e| RadError::Store(format!("bad return json: {e}")))?;
+    let mode = parse_mode(&fields[5])?;
+    let procedure: ProcedureKind = fields[9].parse()?;
+    let mut builder = TraceObject::builder(
+        TraceId(parse_u64(&fields[0], "trace id")?),
+        SimInstant::from_micros(parse_u64(&fields[1], "timestamp")?),
+        DeviceId::primary(device),
+        Command::new(command_type, args),
+    )
+    .mode(mode)
+    .return_value(ret)
+    .response_time(SimDuration::from_micros(parse_u64(
+        &fields[8],
+        "response time",
+    )?));
+    if !fields[7].is_empty() {
+        builder = builder.exception(fields[7].clone());
+    }
+    if !fields[10].is_empty() {
+        let run_id = RunId(
+            fields[10]
+                .parse()
+                .map_err(|_| RadError::Store(format!("bad run id: {}", fields[10])))?,
+        );
+        builder = builder.run(procedure, run_id, Label::Unknown);
+    }
+    Ok(builder.build())
 }
 
 /// Column headers of the trace-gap export.

@@ -14,6 +14,10 @@ use parking_lot::RwLock;
 use rad_core::RadError;
 use serde_json::Value as Json;
 
+/// One collection's `(id, document)` pairs in id order, as produced by
+/// a checkpoint snapshot.
+pub(crate) type CollectionDump = Vec<(u64, Json)>;
+
 /// Identifier assigned to each inserted document, unique per store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DocumentId(pub u64);
@@ -214,6 +218,75 @@ impl DocumentStore {
             .unwrap_or(0)
     }
 
+    /// Ids of all documents in `collection` matching `filter`, in
+    /// insertion order. The durable layer uses this to log which
+    /// documents a [`DocumentStore::delete`] removed.
+    pub fn find_ids(&self, collection: &str, filter: &Filter) -> Vec<DocumentId> {
+        self.inner
+            .read()
+            .collections
+            .get(collection)
+            .map(|c| {
+                c.docs
+                    .iter()
+                    .filter(|(_, d)| filter.matches(d))
+                    .map(|(id, _)| DocumentId(*id))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Removes one document by id, returning whether it existed.
+    pub fn remove(&self, collection: &str, id: DocumentId) -> bool {
+        self.inner
+            .write()
+            .collections
+            .get_mut(collection)
+            .is_some_and(|c| c.docs.remove(&id.0).is_some())
+    }
+
+    /// Inserts `doc` under an explicit id — WAL replay and checkpoint
+    /// loading must reproduce the exact ids of the original run.
+    pub(crate) fn insert_with_id(&self, collection: &str, id: DocumentId, doc: Json) {
+        let mut inner = self.inner.write();
+        inner.next_id = inner.next_id.max(id.0 + 1);
+        inner
+            .collections
+            .entry(collection.to_owned())
+            .or_default()
+            .docs
+            .insert(id.0, doc);
+    }
+
+    /// The id the next insert will receive.
+    pub(crate) fn next_id(&self) -> u64 {
+        self.inner.read().next_id
+    }
+
+    /// Forces the id counter — checkpoint restore must resume the
+    /// original sequence even after trailing deletes.
+    pub(crate) fn set_next_id(&self, next_id: u64) {
+        let mut inner = self.inner.write();
+        inner.next_id = inner.next_id.max(next_id);
+    }
+
+    /// A full snapshot: the id counter plus every collection's
+    /// `(id, document)` pairs in id order. Feeds checkpoint writes.
+    pub(crate) fn dump(&self) -> (u64, Vec<(String, CollectionDump)>) {
+        let inner = self.inner.read();
+        let collections = inner
+            .collections
+            .iter()
+            .map(|(name, c)| {
+                (
+                    name.clone(),
+                    c.docs.iter().map(|(id, d)| (*id, d.clone())).collect(),
+                )
+            })
+            .collect();
+        (inner.next_id, collections)
+    }
+
     /// Deletes matching documents, returning how many were removed.
     pub fn delete(&self, collection: &str, filter: &Filter) -> usize {
         let mut inner = self.inner.write();
@@ -342,6 +415,33 @@ mod tests {
         assert_eq!(store.count("nope", &Filter::all()), 0);
         assert_eq!(store.delete("nope", &Filter::all()), 0);
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn find_ids_and_remove_round_trip() {
+        let store = DocumentStore::new();
+        let a = store.insert("t", json!({"device": "C9"})).unwrap();
+        let b = store.insert("t", json!({"device": "IKA"})).unwrap();
+        assert_eq!(
+            store.find_ids("t", &Filter::eq("device", json!("C9"))),
+            vec![a]
+        );
+        assert!(store.remove("t", a));
+        assert!(!store.remove("t", a), "second remove is a no-op");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get("t", b), Some(json!({"device": "IKA"})));
+    }
+
+    #[test]
+    fn insert_with_id_preserves_id_sequence() {
+        let store = DocumentStore::new();
+        store.insert_with_id("t", DocumentId(7), json!({"x": 1}));
+        let next = store.insert("t", json!({"x": 2})).unwrap();
+        assert_eq!(next, DocumentId(8), "counter advances past explicit ids");
+        let (next_id, collections) = store.dump();
+        assert_eq!(next_id, 9);
+        assert_eq!(collections.len(), 1);
+        assert_eq!(collections[0].1.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,559 @@
+//! A crash-safe layer over [`DocumentStore`]: write-ahead logging,
+//! checkpoint snapshots, and recovery.
+//!
+//! Every mutation is appended to the [`Wal`] *before* it is applied to
+//! the in-memory store, under one lock, so the log is always a complete
+//! history of the applied state. [`DurableStore::open`] rebuilds the
+//! store from the newest checkpoint plus the WAL suffix; a process
+//! killed at any point recovers every synced record and nothing that
+//! was never written.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! dir/
+//! ├── checkpoint.json       # atomic snapshot: next_seq + next_id + docs
+//! ├── wal-000007.log        # segments past the checkpoint
+//! └── wal-000008.log
+//! ```
+//!
+//! A checkpoint is written with [`atomic_write_file`] (temp + fsync +
+//! rename), then the WAL rotates and retires its old segments. Replay
+//! filters WAL records below the checkpoint's `next_seq`, so a crash
+//! anywhere in that sequence double-applies nothing. A checkpoint that
+//! fails validation on open is renamed `checkpoint.json.quarantined`
+//! and recovery continues from the WAL alone — damage is reported, not
+//! fatal.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use rad_core::RadError;
+use serde_json::{json, Value as Json};
+
+use crate::document::{DocumentId, DocumentStore, Filter};
+use crate::wal::{atomic_write_file, CrashInjector, CrashPlan, RecoveryReport, Wal, WalOptions};
+
+const CHECKPOINT_FILE: &str = "checkpoint.json";
+
+/// Tuning knobs for a [`DurableStore`].
+#[derive(Debug, Clone, Default)]
+pub struct DurableOptions {
+    /// WAL segment size and fsync batching.
+    pub wal: WalOptions,
+    /// Write a checkpoint automatically after this many logged
+    /// operations (`None` = only on explicit [`DurableStore::checkpoint`]).
+    pub checkpoint_every_ops: Option<u64>,
+    /// Seeded crash schedule for the write path (testing only).
+    pub crash_plan: Option<CrashPlan>,
+}
+
+/// A [`DocumentStore`] whose every mutation survives a crash.
+///
+/// Thread-safe: reads go straight to the underlying store's `RwLock`;
+/// mutations serialize on an internal mutex so the WAL order always
+/// matches the applied order.
+///
+/// # Examples
+///
+/// ```no_run
+/// use rad_store::{DurableOptions, DurableStore};
+/// use serde_json::json;
+///
+/// let dir = std::path::Path::new("/tmp/rad-durable-doc");
+/// let (store, _report) = DurableStore::open(dir, DurableOptions::default())?;
+/// store.insert("traces", json!({"command": "ARM"}))?;
+/// store.sync()?;
+/// drop(store);
+/// // A reopen recovers the insert from the log.
+/// let (store, report) = DurableStore::open(dir, DurableOptions::default())?;
+/// assert_eq!(store.store().len(), 1);
+/// assert_eq!(report.records_replayed, 1);
+/// # Ok::<(), rad_core::RadError>(())
+/// ```
+#[derive(Debug)]
+pub struct DurableStore {
+    dir: PathBuf,
+    store: DocumentStore,
+    wal: Mutex<Wal>,
+    injector: Option<CrashInjector>,
+    checkpoint_every_ops: Option<u64>,
+    ops_since_checkpoint: AtomicU64,
+}
+
+impl DurableStore {
+    /// Opens (or creates) a durable store in `dir`, recovering the
+    /// newest checkpoint and replaying the WAL suffix over it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadError::Store`] on filesystem failures. Corrupt
+    /// checkpoints and damaged WAL segments are quarantined and
+    /// reported, never fatal.
+    pub fn open(dir: &Path, options: DurableOptions) -> Result<(Self, RecoveryReport), RadError> {
+        fs::create_dir_all(dir)
+            .map_err(|e| RadError::Store(format!("creating durable dir: {e}")))?;
+        let injector = options.crash_plan.map(CrashInjector::new);
+        let (wal, records, mut report) = Wal::open(dir, options.wal, injector.clone())?;
+
+        let mut wal = wal;
+        let store = DocumentStore::new();
+        let checkpoint_path = dir.join(CHECKPOINT_FILE);
+        if checkpoint_path.exists() {
+            match Self::load_checkpoint(&checkpoint_path, &store) {
+                Ok(next_seq) => {
+                    report.checkpoint_next_seq = next_seq;
+                    // The checkpoint absorbed (and retired) seqs below
+                    // next_seq; fresh appends must still sort after them.
+                    wal.ensure_next_seq(next_seq);
+                }
+                Err(reason) => {
+                    // Same policy as a damaged WAL segment: set it
+                    // aside, report it, recover from what remains.
+                    let quarantine = dir.join(format!("{CHECKPOINT_FILE}.quarantined"));
+                    fs::rename(&checkpoint_path, &quarantine)
+                        .map_err(|e| RadError::Store(format!("quarantining checkpoint: {e}")))?;
+                    report.checkpoint_quarantined = true;
+                    let _ = reason;
+                }
+            }
+        }
+
+        for record in &records {
+            if record.seq < report.checkpoint_next_seq {
+                continue; // already folded into the checkpoint
+            }
+            Self::apply_logged(&store, &record.payload)?;
+            report.records_replayed += 1;
+        }
+
+        Ok((
+            DurableStore {
+                dir: dir.to_path_buf(),
+                store,
+                wal: Mutex::new(wal),
+                injector,
+                checkpoint_every_ops: options.checkpoint_every_ops,
+                ops_since_checkpoint: AtomicU64::new(0),
+            },
+            report,
+        ))
+    }
+
+    /// Parses and applies a checkpoint file, returning its `next_seq`.
+    /// Any structural problem is a `String` reason for quarantine.
+    fn load_checkpoint(path: &Path, store: &DocumentStore) -> Result<u64, String> {
+        let bytes = fs::read(path).map_err(|e| format!("unreadable: {e}"))?;
+        let value: Json =
+            serde_json::from_slice(&bytes).map_err(|e| format!("invalid json: {e}"))?;
+        let next_seq = value
+            .get("next_seq")
+            .and_then(Json::as_u64)
+            .ok_or("missing next_seq")?;
+        let next_id = value
+            .get("next_id")
+            .and_then(Json::as_u64)
+            .ok_or("missing next_id")?;
+        let collections = value
+            .get("collections")
+            .and_then(Json::as_object)
+            .ok_or("missing collections")?;
+        for (name, docs) in collections {
+            let docs = docs.as_array().ok_or("collection is not an array")?;
+            for pair in docs {
+                let pair = pair
+                    .as_array()
+                    .filter(|p| p.len() == 2)
+                    .ok_or("bad doc pair")?;
+                let id = pair[0].as_u64().ok_or("bad doc id")?;
+                if !pair[1].is_object() {
+                    return Err("document is not an object".into());
+                }
+                store.insert_with_id(name, DocumentId(id), pair[1].clone());
+            }
+        }
+        store.set_next_id(next_id);
+        Ok(next_seq)
+    }
+
+    /// Applies one logged operation during replay.
+    fn apply_logged(store: &DocumentStore, payload: &[u8]) -> Result<(), RadError> {
+        let op: Json = serde_json::from_slice(payload)
+            .map_err(|e| RadError::Store(format!("wal payload is not valid json: {e}")))?;
+        let kind = op.get("op").and_then(Json::as_str).unwrap_or("");
+        let collection = op.get("c").and_then(Json::as_str).unwrap_or("");
+        match kind {
+            "insert" => {
+                let id = op
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| RadError::Store("logged insert missing id".into()))?;
+                let doc = op
+                    .get("doc")
+                    .cloned()
+                    .ok_or_else(|| RadError::Store("logged insert missing doc".into()))?;
+                store.insert_with_id(collection, DocumentId(id), doc);
+                Ok(())
+            }
+            "delete" => {
+                let ids = op
+                    .get("ids")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| RadError::Store("logged delete missing ids".into()))?;
+                for id in ids {
+                    let id = id.as_u64().ok_or_else(|| {
+                        RadError::Store("logged delete has non-integer id".into())
+                    })?;
+                    store.remove(collection, DocumentId(id));
+                }
+                Ok(())
+            }
+            other => Err(RadError::Store(format!(
+                "unknown logged operation `{other}`"
+            ))),
+        }
+    }
+
+    /// Inserts `doc` into `collection`, durably: the operation is in
+    /// the log before the store ever sees it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadError::Store`] if `doc` is not a JSON object, on
+    /// filesystem failure, or on an injected crash.
+    pub fn insert(&self, collection: &str, doc: Json) -> Result<DocumentId, RadError> {
+        if !doc.is_object() {
+            return Err(RadError::Store(format!(
+                "documents must be JSON objects, got {doc}"
+            )));
+        }
+        let mut wal = self.wal.lock();
+        let id = self.store.next_id();
+        let op = json!({"op": "insert", "c": collection, "id": id, "doc": doc});
+        wal.append(op.to_string().as_bytes())?;
+        self.store.insert_with_id(collection, DocumentId(id), doc);
+        self.store.set_next_id(id + 1);
+        drop(wal);
+        self.after_op()?;
+        Ok(DocumentId(id))
+    }
+
+    /// Deletes matching documents durably, returning how many were
+    /// removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadError::Store`] on filesystem failure or an
+    /// injected crash.
+    pub fn delete(&self, collection: &str, filter: &Filter) -> Result<usize, RadError> {
+        let mut wal = self.wal.lock();
+        let victims = self.store.find_ids(collection, filter);
+        if victims.is_empty() {
+            return Ok(0);
+        }
+        let ids: Vec<u64> = victims.iter().map(|d| d.0).collect();
+        let op = json!({"op": "delete", "c": collection, "ids": ids});
+        wal.append(op.to_string().as_bytes())?;
+        for id in &victims {
+            self.store.remove(collection, *id);
+        }
+        drop(wal);
+        self.after_op()?;
+        Ok(victims.len())
+    }
+
+    fn after_op(&self) -> Result<(), RadError> {
+        if let Some(every) = self.checkpoint_every_ops {
+            let n = self.ops_since_checkpoint.fetch_add(1, Ordering::Relaxed) + 1;
+            if n >= every {
+                self.checkpoint()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes every buffered WAL append to disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadError::Store`] on fsync failure or a poisoned log.
+    pub fn sync(&self) -> Result<(), RadError> {
+        self.wal.lock().sync()
+    }
+
+    /// Compacts the log: snapshots the full store into
+    /// `checkpoint.json` atomically, then rotates the WAL and retires
+    /// the segments the snapshot covers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadError::Store`] on filesystem failure or an
+    /// injected crash ([`CrashSite::MidCompaction`] /
+    /// [`CrashSite::MidRename`] fire here).
+    ///
+    /// [`CrashSite::MidCompaction`]: crate::wal::CrashSite::MidCompaction
+    /// [`CrashSite::MidRename`]: crate::wal::CrashSite::MidRename
+    pub fn checkpoint(&self) -> Result<(), RadError> {
+        let mut wal = self.wal.lock();
+        wal.sync()?;
+        let (next_id, collections) = self.store.dump();
+        let mut doc = serde_json::Map::new();
+        doc.insert("next_seq".into(), json!(wal.next_seq()));
+        doc.insert("next_id".into(), json!(next_id));
+        let mut cols = serde_json::Map::new();
+        for (name, docs) in collections {
+            let pairs: Vec<Json> = docs.into_iter().map(|(id, d)| json!([id, d])).collect();
+            cols.insert(name, Json::Array(pairs));
+        }
+        doc.insert("collections".into(), Json::Object(cols));
+        let bytes = Json::Object(doc).to_string().into_bytes();
+        atomic_write_file(
+            &self.dir.join(CHECKPOINT_FILE),
+            &bytes,
+            self.injector.as_ref(),
+        )?;
+        wal.reset_after_checkpoint()?;
+        self.ops_since_checkpoint.store(0, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Read access to the underlying in-memory store. Mutating it
+    /// directly bypasses the log; use [`DurableStore::insert`] /
+    /// [`DurableStore::delete`] instead.
+    pub fn store(&self) -> &DocumentStore {
+        &self.store
+    }
+
+    /// All documents in `collection` matching `filter`.
+    pub fn find(&self, collection: &str, filter: &Filter) -> Vec<Json> {
+        self.store.find(collection, filter)
+    }
+
+    /// Number of matching documents.
+    pub fn count(&self, collection: &str, filter: &Filter) -> usize {
+        self.store.count(collection, filter)
+    }
+
+    /// The crash injector, when a [`CrashPlan`] was configured.
+    pub fn injector(&self) -> Option<&CrashInjector> {
+        self.injector.as_ref()
+    }
+
+    /// The directory holding the log and checkpoint.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::CrashSite;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rad-durable-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn options() -> DurableOptions {
+        DurableOptions {
+            wal: WalOptions {
+                segment_bytes: 4096,
+                sync_every: 1,
+            },
+            ..DurableOptions::default()
+        }
+    }
+
+    #[test]
+    fn inserts_survive_reopen() {
+        let dir = tmpdir("reopen");
+        {
+            let (store, report) = DurableStore::open(&dir, options()).unwrap();
+            assert!(report.is_clean());
+            for i in 0..20 {
+                store.insert("traces", json!({"i": i})).unwrap();
+            }
+            store.sync().unwrap();
+        }
+        let (store, report) = DurableStore::open(&dir, options()).unwrap();
+        assert_eq!(store.store().len(), 20);
+        assert_eq!(report.records_replayed, 20);
+        assert_eq!(store.find("traces", &Filter::eq("i", json!(7))).len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deletes_replay_too() {
+        let dir = tmpdir("delete");
+        {
+            let (store, _) = DurableStore::open(&dir, options()).unwrap();
+            for i in 0..10 {
+                store.insert("t", json!({"i": i})).unwrap();
+            }
+            store.delete("t", &Filter::gte("i", 5.0)).unwrap();
+            store.sync().unwrap();
+        }
+        let (store, _) = DurableStore::open(&dir, options()).unwrap();
+        assert_eq!(store.store().len(), 5);
+        assert_eq!(store.count("t", &Filter::gte("i", 5.0)), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ids_are_stable_across_recovery() {
+        let dir = tmpdir("ids");
+        let direct = DocumentStore::new();
+        {
+            let (store, _) = DurableStore::open(&dir, options()).unwrap();
+            for i in 0..12 {
+                let a = store.insert("t", json!({"i": i})).unwrap();
+                let b = direct.insert("t", json!({"i": i})).unwrap();
+                assert_eq!(a, b, "durable ids match a plain store");
+            }
+            store.sync().unwrap();
+        }
+        let (store, _) = DurableStore::open(&dir, options()).unwrap();
+        let next = store.insert("t", json!({"i": 12})).unwrap();
+        assert_eq!(next, DocumentId(12), "the id sequence resumes exactly");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_preserves_state() {
+        let dir = tmpdir("checkpoint");
+        {
+            let (store, _) = DurableStore::open(&dir, options()).unwrap();
+            for i in 0..30 {
+                store.insert("t", json!({"i": i})).unwrap();
+            }
+            store.checkpoint().unwrap();
+            for i in 30..35 {
+                store.insert("t", json!({"i": i})).unwrap();
+            }
+            store.sync().unwrap();
+        }
+        assert!(dir.join(CHECKPOINT_FILE).exists());
+        let (store, report) = DurableStore::open(&dir, options()).unwrap();
+        assert_eq!(store.store().len(), 35);
+        assert_eq!(
+            report.records_replayed, 5,
+            "only the post-checkpoint suffix"
+        );
+        assert!(report.checkpoint_next_seq >= 30);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn auto_checkpoint_triggers_on_op_count() {
+        let dir = tmpdir("auto");
+        let opts = DurableOptions {
+            checkpoint_every_ops: Some(10),
+            ..options()
+        };
+        let (store, _) = DurableStore::open(&dir, opts).unwrap();
+        for i in 0..25 {
+            store.insert("t", json!({"i": i})).unwrap();
+        }
+        assert!(dir.join(CHECKPOINT_FILE).exists());
+        drop(store);
+        let (store, report) = DurableStore::open(&dir, options()).unwrap();
+        assert_eq!(store.store().len(), 25);
+        assert!(report.records_replayed < 25, "checkpoint absorbed a prefix");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_quarantined_not_fatal() {
+        let dir = tmpdir("badckpt");
+        {
+            let (store, _) = DurableStore::open(&dir, options()).unwrap();
+            for i in 0..8 {
+                store.insert("t", json!({"i": i})).unwrap();
+            }
+            store.checkpoint().unwrap();
+            store.insert("t", json!({"i": 8})).unwrap();
+            store.sync().unwrap();
+        }
+        fs::write(dir.join(CHECKPOINT_FILE), b"{ not json").unwrap();
+        let (store, report) = DurableStore::open(&dir, options()).unwrap();
+        assert!(report.checkpoint_quarantined);
+        assert!(dir.join(format!("{CHECKPOINT_FILE}.quarantined")).exists());
+        // The checkpointed prefix is gone with the checkpoint (its WAL
+        // segments were retired), but the suffix still replays and the
+        // store opens: damage is contained, not fatal.
+        assert_eq!(store.store().len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_mid_compaction_preserves_previous_checkpoint() {
+        let dir = tmpdir("midcompact");
+        {
+            let (store, _) = DurableStore::open(&dir, options()).unwrap();
+            for i in 0..10 {
+                store.insert("t", json!({"i": i})).unwrap();
+            }
+            store.checkpoint().unwrap();
+        }
+        let old_bytes = fs::read(dir.join(CHECKPOINT_FILE)).unwrap();
+        {
+            let opts = DurableOptions {
+                crash_plan: Some(CrashPlan::at(CrashSite::MidCompaction, 0)),
+                ..options()
+            };
+            let (store, _) = DurableStore::open(&dir, opts).unwrap();
+            for i in 10..15 {
+                store.insert("t", json!({"i": i})).unwrap();
+            }
+            let err = store.checkpoint().unwrap_err();
+            assert!(err.to_string().contains("injected crash"));
+        }
+        assert_eq!(
+            fs::read(dir.join(CHECKPOINT_FILE)).unwrap(),
+            old_bytes,
+            "the old checkpoint is untouched"
+        );
+        let (store, _) = DurableStore::open(&dir, options()).unwrap();
+        assert_eq!(store.store().len(), 15, "WAL suffix covers the new inserts");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_pre_fsync_loses_only_unsynced_tail() {
+        let dir = tmpdir("prefsync");
+        let opts = DurableOptions {
+            wal: WalOptions {
+                segment_bytes: 1 << 20,
+                sync_every: 4,
+            },
+            checkpoint_every_ops: None,
+            crash_plan: Some(CrashPlan::at(CrashSite::PreFsync, 9)),
+        };
+        let (store, _) = DurableStore::open(&dir, opts).unwrap();
+        let mut applied = 0;
+        for i in 0..20 {
+            match store.insert("t", json!({"i": i})) {
+                Ok(_) => applied += 1,
+                Err(e) => {
+                    assert!(e.to_string().contains("injected crash"));
+                    break;
+                }
+            }
+        }
+        assert_eq!(applied, 9);
+        assert!(
+            store.insert("t", json!({})).is_err(),
+            "poisoned after crash"
+        );
+        drop(store);
+        let (store, report) = DurableStore::open(&dir, options()).unwrap();
+        assert_eq!(store.store().len(), 8, "two batches of four were synced");
+        assert!(report.records_replayed <= applied, "nothing invented");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -11,6 +11,7 @@
 //! The document store also persists: [`DocumentStore::save`] /
 //! [`DocumentStore::load`] snapshot all collections to one JSON file.
 
+use std::fmt;
 use std::fs;
 use std::path::Path;
 
@@ -20,13 +21,67 @@ use serde_json::json;
 use crate::csv;
 use crate::dataset::{CommandDataset, PowerDataset};
 use crate::document::DocumentStore;
+use crate::wal::{atomic_write_file, CrashInjector};
 
 fn io_err(context: &str, e: std::io::Error) -> RadError {
     RadError::Store(format!("{context}: {e}"))
 }
 
+/// One quarantined record found while loading a bundle or snapshot
+/// leniently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadIssue {
+    /// Where the damage is: `"commands.csv line 17"`,
+    /// `"collection traces index 3"`, ...
+    pub location: String,
+    /// Why the record was rejected.
+    pub reason: String,
+}
+
+impl fmt::Display for LoadIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.location, self.reason)
+    }
+}
+
+/// Outcome of a lenient load: how much survived, what was set aside.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Records successfully loaded.
+    pub loaded: usize,
+    /// Records skipped, one issue each.
+    pub issues: Vec<LoadIssue>,
+}
+
+impl LoadReport {
+    /// Records skipped because of damage.
+    pub fn skipped(&self) -> usize {
+        self.issues.len()
+    }
+
+    /// Whether every record loaded cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+impl fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "loaded={} skipped={}", self.loaded, self.skipped())?;
+        for issue in &self.issues {
+            write!(f, "\n  {issue}")?;
+        }
+        Ok(())
+    }
+}
+
 /// Writes the full RAD bundle under `dir` (created if missing).
 /// Returns the number of files written.
+///
+/// Every file is written atomically (temp + fsync + rename) and the
+/// manifest is written last, so a crash at any point leaves either a
+/// complete bundle or one that is recognizably partial (no
+/// `MANIFEST.json`) — never a truncated file posing as a complete one.
 ///
 /// # Errors
 ///
@@ -36,11 +91,31 @@ pub fn export_rad(
     power: &PowerDataset,
     dir: &Path,
 ) -> Result<usize, RadError> {
+    export_rad_with(commands, power, dir, None)
+}
+
+/// [`export_rad`] with an optional crash injector threaded through the
+/// atomic writes — the crash matrix uses this to prove no partial
+/// bundle ever looks complete.
+///
+/// # Errors
+///
+/// Returns [`RadError::Store`] on filesystem failures or injected
+/// crashes.
+pub fn export_rad_with(
+    commands: &CommandDataset,
+    power: &PowerDataset,
+    dir: &Path,
+    injector: Option<&CrashInjector>,
+) -> Result<usize, RadError> {
     fs::create_dir_all(dir).map_err(|e| io_err("creating bundle dir", e))?;
     let mut files = 0;
 
-    fs::write(dir.join("commands.csv"), commands.to_csv())
-        .map_err(|e| io_err("writing commands.csv", e))?;
+    atomic_write_file(
+        &dir.join("commands.csv"),
+        commands.to_csv().as_bytes(),
+        injector,
+    )?;
     files += 1;
 
     let mut runs_csv = String::from("run_id,procedure,label,note\n");
@@ -53,14 +128,17 @@ pub fn export_rad(
         ]));
         runs_csv.push('\n');
     }
-    fs::write(dir.join("runs.csv"), runs_csv).map_err(|e| io_err("writing runs.csv", e))?;
+    atomic_write_file(&dir.join("runs.csv"), runs_csv.as_bytes(), injector)?;
     files += 1;
 
     // Trace gaps are part of the published record: a bundle collected
     // through an outage says so explicitly instead of shrinking.
     if !commands.gaps().is_empty() {
-        fs::write(dir.join("gaps.csv"), csv::gaps_to_csv(commands.gaps()))
-            .map_err(|e| io_err("writing gaps.csv", e))?;
+        atomic_write_file(
+            &dir.join("gaps.csv"),
+            csv::gaps_to_csv(commands.gaps()).as_bytes(),
+            injector,
+        )?;
         files += 1;
     }
 
@@ -73,14 +151,15 @@ pub fn export_rad(
             i,
             recording.run_id.0
         );
-        fs::write(
-            power_dir.join(name),
-            csv::power_to_csv(recording.profile.samples()),
-        )
-        .map_err(|e| io_err("writing power csv", e))?;
+        atomic_write_file(
+            &power_dir.join(name),
+            csv::power_to_csv(recording.profile.samples()).as_bytes(),
+            injector,
+        )?;
         files += 1;
     }
 
+    // Manifest last: its presence certifies the bundle is complete.
     let manifest = json!({
         "dataset": "RAD (simulated reproduction)",
         "trace_objects": commands.len(),
@@ -91,24 +170,66 @@ pub fn export_rad(
         "power_entries": power.total_entries(),
         "files": files + 1,
     });
-    fs::write(
-        dir.join("MANIFEST.json"),
-        serde_json::to_string_pretty(&manifest).expect("manifest serializes"),
-    )
-    .map_err(|e| io_err("writing manifest", e))?;
+    atomic_write_file(
+        &dir.join("MANIFEST.json"),
+        serde_json::to_string_pretty(&manifest)
+            .expect("manifest serializes")
+            .as_bytes(),
+        injector,
+    )?;
     Ok(files + 1)
 }
 
+/// Whether `dir` holds a complete bundle: [`export_rad`] writes the
+/// manifest last, so its absence marks an export that died partway.
+pub fn bundle_is_complete(dir: &Path) -> bool {
+    dir.join("MANIFEST.json").exists()
+}
+
 /// Reads the command half of a bundle back from `dir`, joining the
-/// run metadata from `runs.csv` when present.
+/// run metadata from `runs.csv` when present. Strict: the first
+/// damaged row fails the import.
 ///
 /// # Errors
 ///
 /// Returns [`RadError::Store`] on filesystem or parse failures.
 pub fn import_commands(dir: &Path) -> Result<CommandDataset, RadError> {
+    let (ds, report) = import_commands_with(dir, true)?;
+    debug_assert!(report.is_clean(), "strict import cannot report issues");
+    Ok(ds)
+}
+
+/// [`import_commands`] with a strictness switch. In lenient mode
+/// (`strict = false`) damaged trace rows are quarantined into the
+/// [`LoadReport`] — named by line and reason — and the rest of the
+/// bundle still loads.
+///
+/// # Errors
+///
+/// In strict mode, any damaged row. In lenient mode only structural
+/// failures: missing `commands.csv`, a wrong header, or damaged run
+/// metadata (`runs.csv` rows are join keys for labels; dropping one
+/// silently would mislabel traces).
+pub fn import_commands_with(
+    dir: &Path,
+    strict: bool,
+) -> Result<(CommandDataset, LoadReport), RadError> {
     let text = fs::read_to_string(dir.join("commands.csv"))
         .map_err(|e| io_err("reading commands.csv", e))?;
-    let traces = csv::traces_from_csv(&text)?;
+    let mut report = LoadReport::default();
+    let traces = if strict {
+        csv::traces_from_csv(&text)?
+    } else {
+        let (traces, issues) = csv::traces_from_csv_report(&text)?;
+        report
+            .issues
+            .extend(issues.into_iter().map(|(line, reason)| LoadIssue {
+                location: format!("commands.csv line {line}"),
+                reason,
+            }));
+        traces
+    };
+    report.loaded = traces.len();
     let runs = match fs::read_to_string(dir.join("runs.csv")) {
         Ok(runs_text) => parse_runs_csv(&runs_text)?,
         Err(_) => Vec::new(), // bundles without the metadata table
@@ -117,7 +238,10 @@ pub fn import_commands(dir: &Path) -> Result<CommandDataset, RadError> {
         Ok(gaps_text) => csv::gaps_from_csv(&gaps_text)?,
         Err(_) => Vec::new(), // fault-free bundles have no gap table
     };
-    Ok(CommandDataset::from_parts(traces, runs).with_gaps(gaps))
+    Ok((
+        CommandDataset::from_parts(traces, runs).with_gaps(gaps),
+        report,
+    ))
 }
 
 /// Parses the `runs.csv` table written by [`export_rad`].
@@ -156,7 +280,9 @@ pub fn parse_runs_csv(text: &str) -> Result<Vec<rad_core::RunMetadata>, RadError
 }
 
 impl DocumentStore {
-    /// Snapshots every collection to one JSON file.
+    /// Snapshots every collection to one JSON file, atomically: a
+    /// crash mid-save leaves the previous snapshot intact, never a
+    /// truncated file.
     ///
     /// # Errors
     ///
@@ -168,38 +294,71 @@ impl DocumentStore {
             collections.insert(name, serde_json::Value::Array(docs));
         }
         let blob = serde_json::Value::Object(collections);
-        fs::write(
+        atomic_write_file(
             path,
-            serde_json::to_string(&blob).expect("documents serialize"),
+            serde_json::to_string(&blob)
+                .expect("documents serialize")
+                .as_bytes(),
+            None,
         )
-        .map_err(|e| io_err("saving document store", e))
     }
 
     /// Loads a snapshot produced by [`DocumentStore::save`] into a new
-    /// store. Document ids are reassigned.
+    /// store. Document ids are reassigned. Strict: the first damaged
+    /// record fails the load.
     ///
     /// # Errors
     ///
     /// Returns [`RadError::Store`] on filesystem or parse failures.
     pub fn load(path: &Path) -> Result<DocumentStore, RadError> {
+        let (store, report) = DocumentStore::load_with(path, true)?;
+        debug_assert!(report.is_clean(), "strict load cannot report issues");
+        Ok(store)
+    }
+
+    /// [`DocumentStore::load`] with a strictness switch. In lenient
+    /// mode (`strict = false`) each damaged record is quarantined into
+    /// the [`LoadReport`] — named by collection and index — and every
+    /// healthy record still loads.
+    ///
+    /// # Errors
+    ///
+    /// In strict mode, any damaged record. In lenient mode only
+    /// structural failures: an unreadable file, non-JSON contents, or
+    /// a root that is not an object.
+    pub fn load_with(path: &Path, strict: bool) -> Result<(DocumentStore, LoadReport), RadError> {
         let text = fs::read_to_string(path).map_err(|e| io_err("loading document store", e))?;
         let blob: serde_json::Value = serde_json::from_str(&text)
             .map_err(|e| RadError::Store(format!("parsing snapshot: {e}")))?;
         let store = DocumentStore::new();
+        let mut report = LoadReport::default();
         let Some(collections) = blob.as_object() else {
             return Err(RadError::Store("snapshot root must be an object".into()));
         };
         for (name, docs) in collections {
             let Some(docs) = docs.as_array() else {
-                return Err(RadError::Store(format!(
-                    "collection {name} must be an array"
-                )));
+                let reason = format!("collection {name} must be an array");
+                if strict {
+                    return Err(RadError::Store(reason));
+                }
+                report.issues.push(LoadIssue {
+                    location: format!("collection {name}"),
+                    reason: "not an array".into(),
+                });
+                continue;
             };
-            for doc in docs {
-                store.insert(name, doc.clone())?;
+            for (index, doc) in docs.iter().enumerate() {
+                match store.insert(name, doc.clone()) {
+                    Ok(_) => report.loaded += 1,
+                    Err(e) if strict => return Err(e),
+                    Err(e) => report.issues.push(LoadIssue {
+                        location: format!("collection {name} index {index}"),
+                        reason: e.to_string(),
+                    }),
+                }
             }
         }
-        Ok(store)
+        Ok((store, report))
     }
 }
 
@@ -342,5 +501,99 @@ mod tests {
     fn import_from_missing_dir_fails_cleanly() {
         let err = import_commands(Path::new("/nonexistent/rad")).unwrap_err();
         assert!(err.to_string().contains("commands.csv"));
+    }
+
+    #[test]
+    fn lenient_load_quarantines_bad_records_and_names_them() {
+        let dir = tmpdir("lenient");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        // Two healthy documents, one scalar posing as a document.
+        fs::write(
+            &path,
+            r#"{"traces": [{"ok": 1}, 42, {"ok": 2}], "runs": [{"run_id": 0}]}"#,
+        )
+        .unwrap();
+        assert!(DocumentStore::load(&path).is_err(), "strict still fails");
+        let (store, report) = DocumentStore::load_with(&path, false).unwrap();
+        assert_eq!(report.loaded, 3);
+        assert_eq!(report.skipped(), 1);
+        assert!(report.issues[0].location.contains("traces index 1"));
+        assert!(report.to_string().contains("traces index 1"));
+        assert_eq!(store.len(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lenient_import_skips_damaged_rows_and_reports_lines() {
+        let dir = tmpdir("lenientcsv");
+        export_rad(&small_dataset(), &PowerDataset::new(), &dir).unwrap();
+        // Scribble over one data row of commands.csv.
+        let path = dir.join("commands.csv");
+        let mut lines: Vec<String> = fs::read_to_string(&path)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
+        lines[3] = "garbage,row".into();
+        fs::write(&path, lines.join("\n")).unwrap();
+
+        assert!(import_commands(&dir).is_err(), "strict import fails");
+        let (ds, report) = import_commands_with(&dir, false).unwrap();
+        assert_eq!(ds.len(), 4, "the four healthy rows load");
+        assert_eq!(report.skipped(), 1);
+        assert_eq!(report.issues[0].location, "commands.csv line 4");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crashed_export_never_looks_complete() {
+        use crate::wal::{CrashInjector, CrashPlan, CrashSite};
+        let ds = small_dataset();
+        // Kill the export at every write site in turn: whatever
+        // survives, the manifest-last ordering marks the bundle partial.
+        for occurrence in 0..3 {
+            for site in [CrashSite::MidCompaction, CrashSite::MidRename] {
+                let dir = tmpdir(&format!("atomic-{site}-{occurrence}"));
+                let injector = CrashInjector::new(CrashPlan::at(site, occurrence));
+                let err =
+                    export_rad_with(&ds, &PowerDataset::new(), &dir, Some(&injector)).unwrap_err();
+                assert!(err.to_string().contains("injected crash"), "{err}");
+                assert!(
+                    !super::bundle_is_complete(&dir),
+                    "{site}/{occurrence}: a crashed export must not look complete"
+                );
+                // Whatever files did land are complete, parseable files.
+                if dir.join("commands.csv").exists() {
+                    let text = fs::read_to_string(dir.join("commands.csv")).unwrap();
+                    assert_eq!(csv::traces_from_csv(&text).unwrap().len(), ds.len());
+                }
+                let _ = fs::remove_dir_all(&dir);
+            }
+        }
+        // Past the last write site the export completes untouched.
+        let dir = tmpdir("atomic-clean");
+        let injector = CrashInjector::new(CrashPlan::at(CrashSite::MidRename, 99));
+        export_rad_with(&ds, &PowerDataset::new(), &dir, Some(&injector)).unwrap();
+        assert!(super::bundle_is_complete(&dir));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_is_atomic_under_injected_crashes() {
+        use crate::wal::atomic_write_file;
+        use crate::wal::{CrashInjector, CrashPlan, CrashSite};
+        let dir = tmpdir("atomicsave");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        let store = DocumentStore::new();
+        store.insert("t", json!({"v": 1})).unwrap();
+        store.save(&path).unwrap();
+        let saved = fs::read(&path).unwrap();
+        // A crashed overwrite leaves the old snapshot byte-identical.
+        let injector = CrashInjector::new(CrashPlan::at(CrashSite::MidCompaction, 0));
+        assert!(atomic_write_file(&path, b"{}", Some(&injector)).is_err());
+        assert_eq!(fs::read(&path).unwrap(), saved);
+        let _ = fs::remove_dir_all(&dir);
     }
 }

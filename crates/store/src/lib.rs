@@ -33,8 +33,12 @@
 pub mod csv;
 pub mod dataset;
 pub mod document;
+pub mod durable;
 pub mod export;
+pub mod wal;
 
 pub use dataset::{CommandDataset, PowerDataset, PowerRecording};
 pub use document::{DocumentId, DocumentStore, Filter};
-pub use export::{export_rad, import_commands};
+pub use durable::{DurableOptions, DurableStore};
+pub use export::{export_rad, import_commands, LoadIssue, LoadReport};
+pub use wal::{atomic_write_file, CrashInjector, CrashPlan, CrashSite, RecoveryReport, WalOptions};

@@ -10,15 +10,21 @@
 //! then synthesizes unsupervised filler activity until each device's
 //! trace count matches its Fig. 5(a) share.
 
+use std::path::Path;
+
 use rad_core::{
-    AnomalyCause, Command, CommandType, DeviceKind, Label, ProcedureKind, RunId, RunMetadata,
-    SimDuration, Value,
+    AnomalyCause, Command, CommandType, DeviceKind, Label, ProcedureKind, RadError, RunId,
+    RunMetadata, SimDuration, Value,
 };
 use rad_middlebox::{FaultPlan, Middlebox};
-use rad_store::{CommandDataset, PowerDataset};
+use rad_store::{CommandDataset, CrashPlan, DurableOptions, DurableStore, Filter, PowerDataset};
+use serde_json::{json, Value as Json};
 
 use crate::procedures::{self, P1Variant, P2Variant, P3Variant, SOLIDS};
 use crate::session::{RunEnd, Session};
+
+/// Checkpoint the durable sink after this many supervised runs.
+const CHECKPOINT_EVERY_RUNS: u32 = 8;
 
 /// Description of one supervised run executed by the campaign.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,6 +100,8 @@ pub struct CampaignBuilder {
     fillers: bool,
     power_experiments: bool,
     fault_plan: Option<FaultPlan>,
+    crash_plan: Option<CrashPlan>,
+    durable_options: Option<DurableOptions>,
 }
 
 impl CampaignBuilder {
@@ -105,6 +113,8 @@ impl CampaignBuilder {
             fillers: true,
             power_experiments: true,
             fault_plan: None,
+            crash_plan: None,
+            durable_options: None,
         }
     }
 
@@ -162,6 +172,27 @@ impl CampaignBuilder {
         self.fault_plan.as_ref()
     }
 
+    /// Schedules a process crash inside [`CampaignBuilder::build_resumable`]'s
+    /// persistence path. Like the fault plan, the crash plan is pure in
+    /// `(seed, site, index)`, so the same build dies at the same write
+    /// in every run. [`CampaignBuilder::resume_from`] ignores it — a
+    /// recovery is a fresh, healthy process.
+    #[must_use]
+    pub fn with_crash_plan(mut self, plan: CrashPlan) -> Self {
+        self.crash_plan = Some(plan);
+        self
+    }
+
+    /// Overrides the durable store's WAL/checkpoint tuning used by
+    /// [`CampaignBuilder::build_resumable`] and
+    /// [`CampaignBuilder::resume_from`] (tests shrink `segment_bytes`
+    /// so rotation happens within a small campaign).
+    #[must_use]
+    pub fn with_durable_options(mut self, options: DurableOptions) -> Self {
+        self.durable_options = Some(options);
+        self
+    }
+
     /// Replaces the seed, keeping every other knob. Used by
     /// [`CampaignBuilder::build_many`] to derive per-campaign builders.
     #[must_use]
@@ -199,6 +230,125 @@ impl CampaignBuilder {
     /// Panics if a staged supervised run deviates from its script
     /// (which would indicate a bug in the simulators, not bad input).
     pub fn build(&self) -> CampaignDataset {
+        self.run(None)
+            .expect("a campaign without a durable sink cannot fail")
+    }
+
+    /// Runs the campaign while persisting every trace, gap, run, and
+    /// journal entry through a [`DurableStore`] in `dir`: after each
+    /// supervised run the delta is WAL-logged and fsynced, and every
+    /// [`CHECKPOINT_EVERY_RUNS`] runs the log compacts into a
+    /// checkpoint. A process killed at any point (for real, or via
+    /// [`CampaignBuilder::with_crash_plan`]) leaves a store that
+    /// [`CampaignBuilder::resume_from`] completes into a byte-identical
+    /// dataset.
+    ///
+    /// Calling it on a directory that already holds a partial build of
+    /// the *same* campaign continues persisting from where it stopped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadError::Store`] on filesystem failures or injected
+    /// crashes, and [`RadError::CheckpointMismatch`] when `dir` holds a
+    /// different campaign's data.
+    pub fn build_resumable(&self, dir: &Path) -> Result<CampaignDataset, RadError> {
+        let mut options = self.durable_options.clone().unwrap_or_default();
+        if options.crash_plan.is_none() {
+            options.crash_plan = self.crash_plan.clone();
+        }
+        let (durable, _report) = DurableStore::open(dir, options)?;
+        let mut sink = CampaignSink::attach(&durable, self.fingerprint())?;
+        let dataset = self.run(Some(&mut sink))?;
+        sink.finalize()?;
+        Ok(dataset)
+    }
+
+    /// Recovers a campaign from a (possibly crashed) durable store in
+    /// `dir`: replays the WAL, verifies the persisted prefix against a
+    /// deterministic re-simulation, persists whatever the crash cut
+    /// off, checkpoints, and returns the dataset **reconstructed from
+    /// the store** — byte-identical to an uninterrupted
+    /// [`CampaignBuilder::build`] of the same builder.
+    ///
+    /// The simulation is cheap and seeded; the durable store is the
+    /// crash-prone product. Resume therefore re-simulates instead of
+    /// snapshotting simulator state, and the prefix comparison turns
+    /// any divergence (foreign data, invented or corrupted records)
+    /// into a typed error instead of a silently wrong dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadError::CheckpointMismatch`] when the store's
+    /// contents do not match this builder's campaign, and
+    /// [`RadError::Store`] on filesystem failures.
+    pub fn resume_from(&self, dir: &Path) -> Result<CampaignDataset, RadError> {
+        // A recovery is a fresh, healthy process: no crash plan.
+        let mut options = self.durable_options.clone().unwrap_or_default();
+        options.crash_plan = None;
+        let (durable, _report) = DurableStore::open(dir, options)?;
+
+        let fingerprint = self.fingerprint();
+        if let Some(cursor) = durable.find("cursor", &Filter::all()).last() {
+            let persisted = cursor
+                .get("fingerprint")
+                .and_then(Json::as_str)
+                .unwrap_or("");
+            if persisted != fingerprint {
+                return Err(RadError::CheckpointMismatch {
+                    reason: format!(
+                        "store holds campaign `{persisted}`, builder is `{fingerprint}`"
+                    ),
+                });
+            }
+        }
+
+        // Deterministic re-simulation of the uninterrupted campaign.
+        let sim = self.run(None)?;
+
+        // Verify the persisted prefix record-for-record, then persist
+        // the suffix the crash cut off.
+        verify_and_complete(&durable, "traces", sim.command.traces(), item_doc)?;
+        verify_and_complete(&durable, "gaps", sim.command.gaps(), item_doc)?;
+        verify_and_complete(&durable, "runs", sim.command.runs(), item_doc)?;
+        verify_and_complete(&durable, "journal", &sim.journal, journal_doc)?;
+        durable.delete("cursor", &Filter::all())?;
+        durable.insert(
+            "cursor",
+            cursor_doc(
+                sim.command.traces().len(),
+                sim.command.gaps().len(),
+                sim.command.runs().len(),
+                sim.journal.len(),
+                &fingerprint,
+            ),
+        )?;
+        durable.checkpoint()?;
+
+        // Reconstruct the command half from the store — the dataset
+        // returned is what disk proves, not what memory remembers.
+        let traces = decode_items(&durable, "traces")?;
+        let gaps = decode_items(&durable, "gaps")?;
+        let runs = decode_items(&durable, "runs")?;
+        let journal = decode_journal(&durable)?;
+        Ok(CampaignDataset {
+            command: CommandDataset::from_parts(traces, runs).with_gaps(gaps),
+            power: sim.power,
+            journal,
+        })
+    }
+
+    /// Identity of this campaign's schedule: any two builders with the
+    /// same fingerprint simulate byte-identical campaigns. The crash
+    /// plan and durable tuning are deliberately excluded — they change
+    /// *when persistence dies*, never what the campaign contains.
+    fn fingerprint(&self) -> String {
+        format!(
+            "seed={} scale={} fillers={} power={} faults={:?}",
+            self.seed, self.scale, self.fillers, self.power_experiments, self.fault_plan
+        )
+    }
+
+    fn run(&self, mut sink: Option<&mut CampaignSink<'_>>) -> Result<CampaignDataset, RadError> {
         let mut session = match &self.fault_plan {
             Some(plan) => Session::with_middlebox(
                 Middlebox::new(self.seed).with_fault_plan(plan.clone()),
@@ -213,6 +363,7 @@ impl CampaignBuilder {
         for i in 0..12 {
             journal.push(run_p4(&mut session, RunId(next_id), 8 + (i % 4) * 3));
             next_id += 1;
+            flush_sink(&mut sink, &session, &journal)?;
         }
         let p1_variants = [
             P1Variant::JoystickStart, // run 12
@@ -229,6 +380,7 @@ impl CampaignBuilder {
                 SOLIDS[i % SOLIDS.len()],
             ));
             next_id += 1;
+            flush_sink(&mut sink, &session, &journal)?;
         }
         let p2_variants = [
             P2Variant::DoorCrashEarly,   // 17
@@ -244,6 +396,7 @@ impl CampaignBuilder {
                 SOLIDS[i % SOLIDS.len()],
             ));
             next_id += 1;
+            flush_sink(&mut sink, &session, &journal)?;
         }
         let p3_variants = [
             P3Variant::Normal,
@@ -254,6 +407,7 @@ impl CampaignBuilder {
         for variant in p3_variants {
             journal.push(run_p3(&mut session, RunId(next_id), variant));
             next_id += 1;
+            flush_sink(&mut sink, &session, &journal)?;
         }
 
         // ---- P5/P6 power experiments (not part of the 25). ----
@@ -266,6 +420,7 @@ impl CampaignBuilder {
                 session.end_run();
                 reset_between_runs(&mut session);
                 next_id += 1;
+                flush_sink(&mut sink, &session, &journal)?;
             }
             for payload in [20.0, 500.0, 1000.0] {
                 session.begin_run(RunId(next_id), ProcedureKind::PayloadSweep, Label::Benign);
@@ -275,6 +430,7 @@ impl CampaignBuilder {
                 session.end_run();
                 reset_between_runs(&mut session);
                 next_id += 1;
+                flush_sink(&mut sink, &session, &journal)?;
             }
         }
 
@@ -283,12 +439,13 @@ impl CampaignBuilder {
             self.fill_to_targets(&mut session);
         }
 
+        flush_sink(&mut sink, &session, &journal)?;
         let (command, power) = session.finish();
-        CampaignDataset {
+        Ok(CampaignDataset {
             command,
             power,
             journal,
-        }
+        })
     }
 
     /// Per-device trace-count targets.
@@ -371,6 +528,255 @@ impl CampaignBuilder {
             }
         }
     }
+}
+
+/// Incremental persistence for a resumable campaign: tracks how much
+/// of each stream (traces, gaps, run metadata, journal) has reached the
+/// durable store and writes only the delta at each flush, so a crash
+/// loses at most the work since the last supervised run.
+struct CampaignSink<'a> {
+    durable: &'a DurableStore,
+    fingerprint: String,
+    traces_done: usize,
+    gaps_done: usize,
+    runs_done: usize,
+    journal_done: usize,
+    runs_since_checkpoint: u32,
+}
+
+impl<'a> CampaignSink<'a> {
+    /// Binds to `durable`, continuing from whatever it already holds.
+    /// Records are appended strictly in order and never deleted, so the
+    /// per-collection counts *are* the resume cursors — correct even
+    /// after a crash between the record inserts and the cursor update.
+    fn attach(durable: &'a DurableStore, fingerprint: String) -> Result<Self, RadError> {
+        if let Some(cursor) = durable.find("cursor", &Filter::all()).last() {
+            let persisted = cursor
+                .get("fingerprint")
+                .and_then(Json::as_str)
+                .unwrap_or("");
+            if persisted != fingerprint {
+                return Err(RadError::CheckpointMismatch {
+                    reason: format!(
+                        "store holds campaign `{persisted}`, builder is `{fingerprint}`"
+                    ),
+                });
+            }
+        }
+        Ok(CampaignSink {
+            traces_done: durable.count("traces", &Filter::all()),
+            gaps_done: durable.count("gaps", &Filter::all()),
+            runs_done: durable.count("runs", &Filter::all()),
+            journal_done: durable.count("journal", &Filter::all()),
+            runs_since_checkpoint: 0,
+            durable,
+            fingerprint,
+        })
+    }
+
+    /// Logs everything new since the last flush, fsyncs, and compacts
+    /// into a checkpoint every [`CHECKPOINT_EVERY_RUNS`] supervised
+    /// runs.
+    fn flush(&mut self, session: &Session, journal: &[ProcedureRun]) -> Result<(), RadError> {
+        let mb = session.middlebox();
+        let traces = mb.traces();
+        for (idx, trace) in traces.iter().enumerate().skip(self.traces_done) {
+            self.durable.insert("traces", item_doc(idx, trace))?;
+        }
+        self.traces_done = traces.len();
+        let gaps = mb.gaps();
+        for (idx, gap) in gaps.iter().enumerate().skip(self.gaps_done) {
+            self.durable.insert("gaps", item_doc(idx, gap))?;
+        }
+        self.gaps_done = gaps.len();
+        let runs = mb.runs();
+        for (idx, run) in runs.iter().enumerate().skip(self.runs_done) {
+            self.durable.insert("runs", item_doc(idx, run))?;
+        }
+        self.runs_done = runs.len();
+        let new_runs = journal.len().saturating_sub(self.journal_done) as u32;
+        for (idx, run) in journal.iter().enumerate().skip(self.journal_done) {
+            self.durable.insert("journal", journal_doc(idx, run))?;
+        }
+        self.journal_done = journal.len();
+        self.durable.delete("cursor", &Filter::all())?;
+        self.durable.insert(
+            "cursor",
+            cursor_doc(
+                self.traces_done,
+                self.gaps_done,
+                self.runs_done,
+                self.journal_done,
+                &self.fingerprint,
+            ),
+        )?;
+        self.durable.sync()?;
+        self.runs_since_checkpoint += new_runs;
+        if self.runs_since_checkpoint >= CHECKPOINT_EVERY_RUNS {
+            self.durable.checkpoint()?;
+            self.runs_since_checkpoint = 0;
+        }
+        Ok(())
+    }
+
+    /// Final compaction once the campaign is complete.
+    fn finalize(&mut self) -> Result<(), RadError> {
+        self.durable.checkpoint()
+    }
+}
+
+fn flush_sink(
+    sink: &mut Option<&mut CampaignSink<'_>>,
+    session: &Session,
+    journal: &[ProcedureRun],
+) -> Result<(), RadError> {
+    match sink {
+        Some(s) => s.flush(session, journal),
+        None => Ok(()),
+    }
+}
+
+/// Wraps one stream item as a document: `{"i": position, "v": item}`.
+/// The position makes order explicit and prefix-comparison exact.
+fn item_doc<T: serde::Serialize>(idx: usize, item: &T) -> Json {
+    let value = serde_json::to_value(item).expect("campaign items serialize");
+    json!({
+        "i": idx,
+        "v": value,
+    })
+}
+
+fn journal_doc(idx: usize, run: &ProcedureRun) -> Json {
+    let label = serde_json::to_value(run.label).expect("labels serialize");
+    let end = run_end_str(&run.end);
+    json!({
+        "i": idx,
+        "run_id": run.run_id.0,
+        "kind": run.kind.paper_id(),
+        "label": label,
+        "end": end,
+    })
+}
+
+fn cursor_doc(traces: usize, gaps: usize, runs: usize, journal: usize, fingerprint: &str) -> Json {
+    json!({
+        "traces": traces,
+        "gaps": gaps,
+        "runs": runs,
+        "journal": journal,
+        "fingerprint": fingerprint,
+    })
+}
+
+fn run_end_str(end: &RunEnd) -> &'static str {
+    match end {
+        RunEnd::Completed => "completed",
+        RunEnd::OperatorStop => "operator-stop",
+        RunEnd::Crashed => "crashed",
+    }
+}
+
+fn run_end_from(s: &str) -> Result<RunEnd, RadError> {
+    match s {
+        "completed" => Ok(RunEnd::Completed),
+        "operator-stop" => Ok(RunEnd::OperatorStop),
+        "crashed" => Ok(RunEnd::Crashed),
+        other => Err(RadError::Store(format!("unknown run end `{other}`"))),
+    }
+}
+
+/// All documents of `collection`, ordered by their stream position.
+fn sorted_docs(durable: &DurableStore, collection: &str) -> Vec<Json> {
+    let mut docs = durable.find(collection, &Filter::all());
+    docs.sort_by_key(|d| d.get("i").and_then(Json::as_u64).unwrap_or(u64::MAX));
+    docs
+}
+
+/// Checks that everything persisted in `collection` is a record-exact
+/// prefix of the simulated stream `items`, then persists the missing
+/// suffix. Any divergence — extra records, corrupted records, a foreign
+/// campaign — is a [`RadError::CheckpointMismatch`], never a silently
+/// wrong dataset.
+fn verify_and_complete<T>(
+    durable: &DurableStore,
+    collection: &str,
+    items: &[T],
+    encode: fn(usize, &T) -> Json,
+) -> Result<(), RadError> {
+    let persisted = sorted_docs(durable, collection);
+    if persisted.len() > items.len() {
+        return Err(RadError::CheckpointMismatch {
+            reason: format!(
+                "{collection}: store holds {} records but the simulation produced {}",
+                persisted.len(),
+                items.len()
+            ),
+        });
+    }
+    for (idx, doc) in persisted.iter().enumerate() {
+        if *doc != encode(idx, &items[idx]) {
+            return Err(RadError::CheckpointMismatch {
+                reason: format!("{collection} record {idx} diverges from the simulated campaign"),
+            });
+        }
+    }
+    for (idx, item) in items.iter().enumerate().skip(persisted.len()) {
+        durable.insert(collection, encode(idx, item))?;
+    }
+    Ok(())
+}
+
+/// Decodes a persisted stream back into typed items — the proof that
+/// the store, not the simulation, carries the dataset.
+fn decode_items<T: serde::Deserialize>(
+    durable: &DurableStore,
+    collection: &str,
+) -> Result<Vec<T>, RadError> {
+    sorted_docs(durable, collection)
+        .into_iter()
+        .map(|doc| {
+            let value = doc
+                .get("v")
+                .cloned()
+                .ok_or_else(|| RadError::Store(format!("{collection} document missing `v`")))?;
+            serde_json::from_value(value)
+                .map_err(|e| RadError::Store(format!("decoding {collection}: {e}")))
+        })
+        .collect()
+}
+
+fn decode_journal(durable: &DurableStore) -> Result<Vec<ProcedureRun>, RadError> {
+    sorted_docs(durable, "journal")
+        .into_iter()
+        .map(|doc| {
+            let run_id = doc
+                .get("run_id")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| RadError::Store("journal document missing run_id".into()))?;
+            let kind: ProcedureKind = doc
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or_else(|| RadError::Store("journal document missing kind".into()))?
+                .parse()?;
+            let label: Label = serde_json::from_value(
+                doc.get("label")
+                    .cloned()
+                    .ok_or_else(|| RadError::Store("journal document missing label".into()))?,
+            )
+            .map_err(|e| RadError::Store(format!("decoding journal label: {e}")))?;
+            let end = run_end_from(
+                doc.get("end")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| RadError::Store("journal document missing end".into()))?,
+            )?;
+            Ok(ProcedureRun {
+                run_id: RunId(run_id as u32),
+                kind,
+                label,
+                end,
+            })
+        })
+        .collect()
 }
 
 fn reset_between_runs(session: &mut Session) {
@@ -671,6 +1077,71 @@ mod tests {
             baseline.command().len(),
             "every command is either traced or gap-marked"
         );
+    }
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rad-campaign-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn assert_same_dataset(a: &CampaignDataset, b: &CampaignDataset) {
+        assert_eq!(a.command().traces(), b.command().traces());
+        assert_eq!(a.command().gaps(), b.command().gaps());
+        assert_eq!(a.command().runs(), b.command().runs());
+        assert_eq!(a.journal(), b.journal());
+    }
+
+    #[test]
+    fn resumable_build_round_trips_through_the_store() {
+        let dir = tmpdir("round-trip");
+        let builder = CampaignBuilder::new(17).supervised_only();
+        let baseline = builder.build();
+        let resumable = builder.build_resumable(&dir).unwrap();
+        assert_same_dataset(&baseline, &resumable);
+        // A clean store resumes to the same dataset without re-persisting.
+        let resumed = builder.resume_from(&dir).unwrap();
+        assert_same_dataset(&baseline, &resumed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crashed_campaign_resumes_to_identical_dataset() {
+        use rad_store::CrashSite;
+        let dir = tmpdir("crash-resume");
+        let builder = CampaignBuilder::new(23).supervised_only();
+        let baseline = builder.build();
+        let err = builder
+            .clone()
+            .with_crash_plan(CrashPlan::at(CrashSite::MidRecord, 40))
+            .build_resumable(&dir)
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("injected crash"),
+            "unexpected error: {err}"
+        );
+        let resumed = builder.resume_from(&dir).unwrap();
+        assert_same_dataset(&baseline, &resumed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_refuses_a_foreign_campaign() {
+        let dir = tmpdir("foreign");
+        CampaignBuilder::new(5)
+            .supervised_only()
+            .build_resumable(&dir)
+            .unwrap();
+        let err = CampaignBuilder::new(6)
+            .supervised_only()
+            .resume_from(&dir)
+            .unwrap_err();
+        assert!(
+            matches!(err, RadError::CheckpointMismatch { .. }),
+            "unexpected error: {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! - [`middlebox`] — the RATracer reproduction: device
 //!   virtualization, the RPC middlebox (DIRECT/REMOTE/CLOUD modes), the
 //!   trace pipeline, and the 25 Hz power monitor.
-//! - [`store`] — embedded document store and CSV codec.
+//! - [`store`] — embedded document store, CSV codec, and the
+//!   WAL-backed crash-safe persistence layer.
 //! - [`power`] — UR3e dynamics and current-profile synthesis.
 //! - [`workloads`] — procedures P1–P6, joystick driver,
 //!   anomaly injection, and the three-month campaign synthesizer.
@@ -54,6 +55,9 @@ pub mod prelude {
     pub use rad_power::{
         CurrentProfile, Elbow, PowerSample, TrajectorySegment, Ur3e, Ur3eKinematics,
     };
-    pub use rad_store::{CommandDataset, DocumentStore, Filter, PowerDataset};
+    pub use rad_store::{
+        CommandDataset, CrashInjector, CrashPlan, CrashSite, DocumentStore, DurableOptions,
+        DurableStore, Filter, LoadIssue, LoadReport, PowerDataset, RecoveryReport, WalOptions,
+    };
     pub use rad_workloads::{AttackKind, CampaignBuilder, ProcedureRun};
 }
