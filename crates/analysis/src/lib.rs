@@ -22,7 +22,7 @@
 //! The counting and scoring hot paths run over interned token ids
 //! ([`intern::Vocab`] / [`intern::TokenId`]) with packed n-gram keys,
 //! so fitting and scoring allocate nothing per window; the original
-//! token-keyed algorithms survive in [`reference`] as the semantic
+//! token-keyed algorithms survive in [`mod@reference`] as the semantic
 //! oracle. Cross-validation folds evaluate in parallel over the
 //! once-interned corpus.
 

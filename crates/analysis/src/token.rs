@@ -10,7 +10,7 @@
 //! [`rad_core::Value::param_token`] for the bucketing rules that keep
 //! the vocabulary finite).
 
-use rad_core::TraceObject;
+use rad_core::{TraceObject, TraceRow};
 
 /// Maps trace objects to language-model tokens.
 pub trait Tokenizer {
@@ -19,6 +19,13 @@ pub trait Tokenizer {
 
     /// Tokenizes one trace object.
     fn token(&self, trace: &TraceObject) -> Self::Token;
+
+    /// Tokenizes one columnar row. The default materializes the row;
+    /// implementations override it to read the columns they need
+    /// directly (e.g. the dense command-token-id column).
+    fn token_row(&self, row: &TraceRow<'_>) -> Self::Token {
+        self.token(&row.to_object())
+    }
 
     /// Tokenizes a run (convenience).
     fn tokenize<'a, I>(&self, traces: I) -> Vec<Self::Token>
@@ -38,6 +45,13 @@ impl Tokenizer for CommandTokenizer {
 
     fn token(&self, trace: &TraceObject) -> Self::Token {
         trace.command_type()
+    }
+
+    fn token_row(&self, row: &TraceRow<'_>) -> Self::Token {
+        // The batch's dense token-id column *is* this tokenizer's
+        // vocabulary; decoding is a bounds-checked array index.
+        rad_core::CommandType::from_token_id(row.command_token_id() as usize)
+            .expect("token ids in a batch are valid by construction")
     }
 }
 
@@ -73,6 +87,11 @@ impl Tokenizer for ParamTokenizer {
             .collect();
         format!("{}({})", trace.command_type().mnemonic(), args.join(","))
     }
+
+    fn token_row(&self, row: &TraceRow<'_>) -> Self::Token {
+        let args: Vec<String> = row.args().iter().map(|v| v.param_token()).collect();
+        format!("{}({})", row.command_type().mnemonic(), args.join(","))
+    }
 }
 
 /// Tokenizes every supervised run of a dataset with `tokenizer`,
@@ -82,18 +101,27 @@ pub fn labelled_runs<T: Tokenizer>(
     dataset: &rad_store::CommandDataset,
     tokenizer: &T,
 ) -> Vec<(Vec<T::Token>, bool)> {
+    // One pass over the run-id column groups every row; the old path
+    // rescanned (and materialized) the whole trace log once per run.
+    let batch = dataset.batch();
+    let timestamps = batch.timestamps_us();
+    let mut by_run: std::collections::BTreeMap<rad_core::RunId, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for (i, run) in batch.run_ids().iter().enumerate() {
+        if let Some(r) = *run {
+            by_run.entry(r).or_default().push(i);
+        }
+    }
     dataset
         .supervised_runs()
         .iter()
         .map(|meta| {
-            let mut traces: Vec<&TraceObject> = dataset
-                .traces()
-                .iter()
-                .filter(|t| t.run_id() == Some(meta.run_id()))
-                .collect();
-            traces.sort_by_key(|t| t.timestamp());
+            let mut rows = by_run.remove(&meta.run_id()).unwrap_or_default();
+            rows.sort_by_key(|&i| timestamps[i]);
             (
-                traces.into_iter().map(|t| tokenizer.token(t)).collect(),
+                rows.into_iter()
+                    .map(|i| tokenizer.token_row(&batch.get(i)))
+                    .collect(),
                 meta.label().is_anomalous(),
             )
         })

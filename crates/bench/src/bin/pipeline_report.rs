@@ -1,0 +1,324 @@
+//! Trace data-plane report: the columnar/streaming pipeline against
+//! the row-oriented path it replaced, on the synthesize → store →
+//! tokenize workload (plus CSV export as an extra stage).
+//!
+//! Two implementations of the same pipeline run over the same
+//! synthetic trace log (plain wall-clock timers, minimum over reps,
+//! like `store_report`):
+//!
+//! * **rows** — the pre-refactor shape: storage clones owned
+//!   `TraceObject`s one call at a time, the per-run tokenization
+//!   rescans (and re-materializes) the whole log once per supervised
+//!   run, and every token goes through the stringify → re-intern
+//!   round trip (mnemonic `String` → vocabulary lookup);
+//! * **columnar** — the `TraceBatch` plane: chunked batches append
+//!   column-wise, runs group in one pass over the run-id column, and
+//!   token ids come straight off the dense command-token-id column.
+//!
+//! Both paths produce identical token streams (asserted). Peak
+//! working-set is reported as rows resident at a hand-off: the row
+//! path holds the whole log, the columnar path holds one chunk.
+//! Results print as a table and are written to `BENCH_pipeline.json`
+//! at the repository root (the file EXPERIMENTS.md quotes).
+//!
+//! Scale with `PIPELINE_TRACES` (default 1,000,000; CI smoke uses a
+//! smaller count).
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write;
+use std::time::Instant;
+
+use rad_core::{
+    Command, CommandType, DeviceId, Label, ProcedureKind, RunId, SimDuration, SimInstant,
+    SliceSource, TraceBatch, TraceId, TraceObject, TraceSource, Value,
+};
+use rad_store::csv::{traces_to_csv, write_traces_csv};
+use rad_store::CommandDataset;
+
+const CHUNK_ROWS: usize = 4096;
+/// Supervised runs in the synthetic campaign — the paper's 25.
+const RUNS: usize = 25;
+
+/// Milliseconds for one repetition: the minimum over `reps` timed runs
+/// after one warmup run.
+fn time_ms<F: FnMut()>(reps: u32, mut f: F) -> f64 {
+    f(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// A deterministic synthetic trace log exercising every column:
+/// all 52 command types, args, sparse exceptions, and `RUNS`
+/// supervised runs of equal size.
+fn synthesize(n: usize) -> Vec<TraceObject> {
+    let run_len = n.div_ceil(RUNS).max(1);
+    (0..n)
+        .map(|i| {
+            let ct = CommandType::from_token_id(i % 52).unwrap();
+            let mut b = TraceObject::builder(
+                TraceId(i as u64),
+                SimInstant::from_micros(i as u64 * 250),
+                DeviceId::primary(ct.device()),
+                Command::new(ct, vec![Value::Int(i as i64 % 1000)]),
+            )
+            .return_value(Value::Bool(true))
+            .response_time(SimDuration::from_micros(180 + (i as u64 % 40)));
+            if i % 997 == 0 {
+                b = b.exception("synthetic fault");
+            }
+            b = b.run(
+                ProcedureKind::JoystickMovements,
+                RunId((i / run_len) as u32),
+                Label::Benign,
+            );
+            b.build()
+        })
+        .collect()
+}
+
+/// The pre-refactor per-run tokenization: one full rescan and
+/// re-materialization of the log per supervised run, then the
+/// stringify → re-intern round trip for every token.
+fn tokenize_rows(traces: &[TraceObject], runs: usize) -> Vec<Vec<u32>> {
+    let mut vocab: HashMap<String, u32> = HashMap::new();
+    (0..runs)
+        .map(|run| {
+            let run = RunId(run as u32);
+            let mut matching: Vec<TraceObject> = traces
+                .iter()
+                .filter(|t| t.run_id() == Some(run))
+                .cloned()
+                .collect();
+            matching.sort_by_key(|t| t.timestamp());
+            matching
+                .iter()
+                .map(|t| {
+                    let token = t.command_type().mnemonic().to_string();
+                    let next = vocab.len() as u32;
+                    *vocab.entry(token).or_insert(next)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The columnar tokenization: group rows in one pass over the run-id
+/// column, then read token ids off the dense command-token column.
+/// The vocabulary map only reconciles dense ids with the row path's
+/// first-seen numbering so the outputs compare equal.
+fn tokenize_columnar(batch: &TraceBatch, runs: usize) -> Vec<Vec<u32>> {
+    let timestamps = batch.timestamps_us();
+    let tokens = batch.command_token_ids();
+    let mut by_run: Vec<Vec<usize>> = vec![Vec::new(); runs];
+    for (i, run) in batch.run_ids().iter().enumerate() {
+        if let Some(r) = *run {
+            by_run[r.0 as usize].push(i);
+        }
+    }
+    let mut dense_to_out = [u32::MAX; 52];
+    let mut next = 0u32;
+    by_run
+        .into_iter()
+        .map(|mut rows| {
+            rows.sort_by_key(|&i| timestamps[i]);
+            rows.into_iter()
+                .map(|i| {
+                    let slot = &mut dense_to_out[tokens[i] as usize];
+                    if *slot == u32::MAX {
+                        *slot = next;
+                        next += 1;
+                    }
+                    *slot
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Counts bytes without retaining them — the export stage's output is
+/// measured, not stored.
+struct CountingWrite {
+    bytes: u64,
+}
+
+impl Write for CountingWrite {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.bytes += buf.len() as u64;
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+struct Stage {
+    name: &'static str,
+    rows_ms: f64,
+    columnar_ms: f64,
+}
+
+impl Stage {
+    fn speedup(&self) -> f64 {
+        self.rows_ms / self.columnar_ms
+    }
+}
+
+fn main() {
+    let n: usize = std::env::var("PIPELINE_TRACES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    println!("pipeline_report: {n} traces, {RUNS} runs, chunk {CHUNK_ROWS} rows...");
+
+    let traces = synthesize(n);
+
+    // ---- store: log → dataset ----
+    // Rows: clone every object into the dataset one call at a time.
+    // Columnar: chunk the log into batches and append column-wise.
+    let rows_store = time_ms(3, || {
+        let mut ds = CommandDataset::new();
+        for t in &traces {
+            ds.push_trace(t.clone());
+        }
+        assert_eq!(ds.len(), n);
+    });
+    let columnar_store = time_ms(3, || {
+        let mut ds = CommandDataset::new();
+        let mut source = SliceSource::new(&traces, CHUNK_ROWS);
+        while let Some(batch) = source.next_batch().unwrap() {
+            ds.push_batch(&batch);
+        }
+        assert_eq!(ds.len(), n);
+    });
+
+    // The stored dataset the downstream stages read from.
+    let mut dataset = CommandDataset::new();
+    {
+        let mut source = SliceSource::new(&traces, CHUNK_ROWS);
+        while let Some(batch) = source.next_batch().unwrap() {
+            dataset.push_batch(&batch);
+        }
+    }
+
+    // ---- tokenize: dataset → per-run token-id sequences ----
+    let expected = tokenize_rows(&traces, RUNS);
+    let rows_tokenize = time_ms(3, || {
+        let got = tokenize_rows(&traces, RUNS);
+        assert_eq!(got.len(), RUNS);
+    });
+    let columnar_tokenize = time_ms(3, || {
+        let got = tokenize_columnar(dataset.batch(), RUNS);
+        assert_eq!(got, expected, "tokenize paths diverged");
+    });
+
+    // ---- export: dataset → CSV bytes (extra stage, not in the
+    // acceptance path) ----
+    let mut expected_bytes = 0u64;
+    let rows_export = time_ms(3, || {
+        let csv = traces_to_csv(&dataset.traces());
+        expected_bytes = csv.len() as u64;
+    });
+    let columnar_export = time_ms(3, || {
+        let mut out = CountingWrite { bytes: 0 };
+        write_traces_csv(&mut out, dataset.batch()).unwrap();
+        assert_eq!(out.bytes, expected_bytes, "export paths diverged");
+    });
+
+    let stages = [
+        Stage {
+            name: "store",
+            rows_ms: rows_store,
+            columnar_ms: columnar_store,
+        },
+        Stage {
+            name: "tokenize",
+            rows_ms: rows_tokenize,
+            columnar_ms: columnar_tokenize,
+        },
+        Stage {
+            name: "export_csv",
+            rows_ms: rows_export,
+            columnar_ms: columnar_export,
+        },
+    ];
+
+    // The acceptance path is synthesize → store → tokenize; export
+    // rides along as an informative extra.
+    let path_rows = rows_store + rows_tokenize;
+    let path_columnar = columnar_store + columnar_tokenize;
+
+    println!();
+    println!(
+        "{:<12} {:>12} {:>14} {:>9}",
+        "stage", "rows (ms)", "columnar (ms)", "speedup"
+    );
+    for s in &stages {
+        println!(
+            "{:<12} {:>12.1} {:>14.1} {:>8.2}x",
+            s.name,
+            s.rows_ms,
+            s.columnar_ms,
+            s.speedup()
+        );
+    }
+    println!(
+        "{:<12} {:>12.1} {:>14.1} {:>8.2}x",
+        "store+tok",
+        path_rows,
+        path_columnar,
+        path_rows / path_columnar
+    );
+    println!();
+    println!(
+        "peak hand-off working set: rows path {} rows, columnar path {} rows",
+        n,
+        CHUNK_ROWS.min(n)
+    );
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"workload\": {\n");
+    out.push_str(&format!("    \"traces\": {n},\n"));
+    out.push_str(&format!("    \"runs\": {RUNS},\n"));
+    out.push_str(&format!("    \"chunk_rows\": {CHUNK_ROWS},\n"));
+    out.push_str(&format!("    \"csv_bytes\": {expected_bytes}\n"));
+    out.push_str("  },\n");
+    out.push_str("  \"stages\": [\n");
+    for (i, s) in stages.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", s.name));
+        out.push_str(&format!("      \"rows_ms\": {:.3},\n", s.rows_ms));
+        out.push_str(&format!("      \"columnar_ms\": {:.3},\n", s.columnar_ms));
+        out.push_str(&format!("      \"speedup\": {:.2}\n", s.speedup()));
+        out.push_str(if i + 1 == stages.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"synthesize_store_tokenize\": {\n");
+    out.push_str(&format!("    \"rows_ms\": {path_rows:.3},\n"));
+    out.push_str(&format!("    \"columnar_ms\": {path_columnar:.3},\n"));
+    out.push_str(&format!(
+        "    \"speedup\": {:.2}\n",
+        path_rows / path_columnar
+    ));
+    out.push_str("  },\n");
+    out.push_str("  \"peak_handoff_rows\": {\n");
+    out.push_str(&format!("    \"rows_path\": {n},\n"));
+    out.push_str(&format!("    \"columnar_path\": {}\n", CHUNK_ROWS.min(n)));
+    out.push_str("  }\n}\n");
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let path = root.join("BENCH_pipeline.json");
+    fs::write(&path, out).expect("write BENCH_pipeline.json");
+    println!("wrote {}", path.display());
+}

@@ -200,11 +200,11 @@ impl CommandType {
 
     /// Stable index of this command type within [`CommandType::all`],
     /// usable as a dense token id by the language models.
-    pub fn token_id(self) -> usize {
-        CommandType::all()
-            .iter()
-            .position(|c| *c == self)
-            .expect("command type is in `all()` by construction")
+    ///
+    /// O(1): the enum declares its variants in `all()` order, so the
+    /// discriminant *is* the index.
+    pub const fn token_id(self) -> usize {
+        self as usize
     }
 
     /// Inverse of [`CommandType::token_id`].
@@ -227,10 +227,20 @@ impl FromStr for CommandType {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         // Mnemonics are unique per device but `set_speed`-style readable
         // names are not globally unique, so parsing goes via mnemonic only.
-        CommandType::all()
-            .iter()
+        // The table is built once; lookups on the tokenization hot path
+        // are a single hash probe instead of a linear scan.
+        static MNEMONICS: std::sync::OnceLock<
+            std::collections::HashMap<&'static str, CommandType>,
+        > = std::sync::OnceLock::new();
+        MNEMONICS
+            .get_or_init(|| {
+                CommandType::all()
+                    .iter()
+                    .map(|&c| (c.mnemonic(), c))
+                    .collect()
+            })
+            .get(s)
             .copied()
-            .find(|c| c.mnemonic() == s)
             .ok_or_else(|| RadError::UnknownCommand(s.to_owned()))
     }
 }
@@ -277,6 +287,11 @@ impl Command {
     /// The device this command is addressed to.
     pub fn device(&self) -> DeviceKind {
         self.command_type.device()
+    }
+
+    /// Deconstructs into the command type and its arguments.
+    pub fn into_parts(self) -> (CommandType, Vec<Value>) {
+        (self.command_type, self.args)
     }
 }
 

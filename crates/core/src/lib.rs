@@ -20,18 +20,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod command;
 pub mod device;
 pub mod error;
 pub mod procedure;
+pub mod sink;
 pub mod time;
 pub mod trace;
 pub mod value;
 
+pub use batch::{TraceBatch, TraceRow};
 pub use command::{Command, CommandCategory, CommandType};
 pub use device::{DeviceId, DeviceKind};
 pub use error::{DeviceFault, RadError};
 pub use procedure::{AnomalyCause, Label, ProcedureKind, RunId, RunMetadata};
+pub use sink::{
+    Chunked, CountingSink, Filtered, SliceSource, Tee, TraceSink, TraceSinkExt, TraceSource,
+};
 pub use time::{SimClock, SimDuration, SimInstant};
 pub use trace::{TraceGap, TraceId, TraceMode, TraceObject};
 pub use value::Value;

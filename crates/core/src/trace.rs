@@ -5,6 +5,7 @@
 //! value, and exception (Fig. 3 of the paper), and the curated dataset
 //! additionally carries the procedure-run labels of §IV.
 
+use std::borrow::Cow;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -92,7 +93,12 @@ pub struct TraceGap {
     /// The mode the device was configured for when the outage hit.
     pub intended_mode: TraceMode,
     /// Why the trace was lost (e.g. `"middlebox unavailable"`).
-    pub reason: String,
+    ///
+    /// The middlebox only ever emits a handful of fixed reasons, so
+    /// this is a `Cow`: known reasons borrow a `'static` string and
+    /// cost nothing per gap, while deserialized or ad-hoc reasons
+    /// allocate. Serde sees a plain string either way.
+    pub reason: Cow<'static, str>,
     /// Supervised run the command belonged to, if any — gaps inside a
     /// labelled run tell the analyst exactly which sequences are
     /// incomplete.
@@ -106,7 +112,7 @@ impl TraceGap {
         device: DeviceId,
         command: CommandType,
         intended_mode: TraceMode,
-        reason: impl Into<String>,
+        reason: impl Into<Cow<'static, str>>,
     ) -> Self {
         TraceGap {
             timestamp,
@@ -115,6 +121,18 @@ impl TraceGap {
             intended_mode,
             reason: reason.into(),
             run_id: None,
+        }
+    }
+
+    /// Interns `reason` against the fixed vocabulary the middlebox
+    /// emits, borrowing the `'static` string when it matches and
+    /// allocating otherwise. Use when the reason arrives as a
+    /// short-lived `&str`.
+    pub fn intern_reason(reason: &str) -> Cow<'static, str> {
+        const KNOWN: &[&str] = &["middlebox unavailable", "rpc retries exhausted"];
+        match KNOWN.iter().find(|k| **k == reason) {
+            Some(k) => Cow::Borrowed(k),
+            None => Cow::Owned(reason.to_owned()),
         }
     }
 
@@ -249,6 +267,72 @@ impl TraceObject {
     /// Ground-truth label inherited from the run.
     pub fn label(&self) -> Label {
         self.label
+    }
+
+    /// Deconstructs into raw columns for [`crate::batch::TraceBatch`].
+    /// Crate-internal so the batch can round-trip field combinations
+    /// the public builder cannot express (e.g. a procedure without a
+    /// run id).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_raw(
+        self,
+    ) -> (
+        TraceId,
+        SimInstant,
+        DeviceId,
+        Command,
+        TraceMode,
+        Value,
+        Option<String>,
+        SimDuration,
+        ProcedureKind,
+        Option<RunId>,
+        Label,
+    ) {
+        (
+            self.id,
+            self.timestamp,
+            self.device,
+            self.command,
+            self.mode,
+            self.return_value,
+            self.exception,
+            self.response_time,
+            self.procedure,
+            self.run_id,
+            self.label,
+        )
+    }
+
+    /// Rebuilds a trace object from raw columns. Inverse of
+    /// [`TraceObject::into_raw`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_raw(
+        id: TraceId,
+        timestamp: SimInstant,
+        device: DeviceId,
+        command: Command,
+        mode: TraceMode,
+        return_value: Value,
+        exception: Option<String>,
+        response_time: SimDuration,
+        procedure: ProcedureKind,
+        run_id: Option<RunId>,
+        label: Label,
+    ) -> TraceObject {
+        TraceObject {
+            id,
+            timestamp,
+            device,
+            command,
+            mode,
+            return_value,
+            exception,
+            response_time,
+            procedure,
+            run_id,
+            label,
+        }
     }
 }
 

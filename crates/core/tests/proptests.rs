@@ -1,7 +1,10 @@
 //! Property tests on the core vocabulary.
 
 use proptest::prelude::*;
-use rad_core::{CommandType, SimDuration, SimInstant, Value};
+use rad_core::{
+    AnomalyCause, Command, CommandType, DeviceId, Label, ProcedureKind, RunId, SimDuration,
+    SimInstant, TraceBatch, TraceId, TraceMode, TraceObject, Value,
+};
 
 fn arb_duration() -> impl Strategy<Value = SimDuration> {
     (0u64..1_000_000_000).prop_map(SimDuration::from_micros)
@@ -67,5 +70,123 @@ proptest! {
             let back: Value = serde_json::from_str(&json).unwrap();
             prop_assert_eq!(back, v);
         }
+    }
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Unit),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1e6f64..1e6).prop_map(Value::Float),
+        "[a-z]{0,8}".prop_map(Value::Str),
+    ]
+}
+
+fn arb_label() -> impl Strategy<Value = Label> {
+    prop_oneof![
+        Just(Label::Benign),
+        Just(Label::Unknown),
+        Just(Label::Anomalous(AnomalyCause::QuantosDoorVsN9)),
+        Just(Label::Anomalous(AnomalyCause::ArmVsTecan)),
+    ]
+}
+
+/// A trace object covering every column the batch stores: sparse
+/// exceptions, optional run attribution, varying arg arity, all three
+/// modes.
+fn arb_trace() -> impl Strategy<Value = TraceObject> {
+    let head = (
+        any::<u64>(),
+        0u64..1_000_000_000,
+        0usize..52,
+        proptest::collection::vec(arb_value(), 0..4),
+    );
+    let tail = (
+        prop_oneof![
+            Just(TraceMode::Direct),
+            Just(TraceMode::Remote),
+            Just(TraceMode::Cloud)
+        ],
+        arb_value(),
+        proptest::option::of("[a-z ]{1,16}"),
+        arb_duration(),
+        proptest::option::of((0u32..32, arb_label())),
+    );
+    (head, tail).prop_map(|((id, ts, token, args), (mode, ret, exception, rt, run))| {
+        let ct = CommandType::from_token_id(token).unwrap();
+        let mut b = TraceObject::builder(
+            TraceId(id),
+            SimInstant::from_micros(ts),
+            DeviceId::primary(ct.device()),
+            Command::new(ct, args),
+        )
+        .mode(mode)
+        .return_value(ret)
+        .response_time(rt);
+        if let Some(e) = exception {
+            b = b.exception(e);
+        }
+        if let Some((run_id, label)) = run {
+            b = b.run(ProcedureKind::JoystickMovements, RunId(run_id), label);
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    /// Columnar round trip: `from_traces` → `to_traces` reproduces the
+    /// row-oriented log exactly, field for field.
+    #[test]
+    fn batch_round_trips_traces(traces in proptest::collection::vec(arb_trace(), 0..40)) {
+        let batch = TraceBatch::from_traces(&traces);
+        prop_assert_eq!(batch.len(), traces.len());
+        prop_assert_eq!(batch.to_traces(), traces);
+    }
+
+    /// Row views agree with materialization: every accessor on
+    /// `TraceRow` matches the owned `TraceObject` at that index, and
+    /// `materialize` equals the original.
+    #[test]
+    fn batch_rows_view_the_same_data(traces in proptest::collection::vec(arb_trace(), 1..20)) {
+        let batch = TraceBatch::from_traces(&traces);
+        for (i, t) in traces.iter().enumerate() {
+            let row = batch.get(i);
+            prop_assert_eq!(row.id(), t.id());
+            prop_assert_eq!(row.timestamp(), t.timestamp());
+            prop_assert_eq!(row.device(), t.device());
+            prop_assert_eq!(row.command_type(), t.command_type());
+            prop_assert_eq!(row.command_token_id() as usize, t.command_type().token_id());
+            prop_assert_eq!(row.args(), t.command().args());
+            prop_assert_eq!(row.mode(), t.mode());
+            prop_assert_eq!(row.return_value(), t.return_value());
+            prop_assert_eq!(row.exception(), t.exception());
+            prop_assert_eq!(row.response_time(), t.response_time());
+            prop_assert_eq!(row.procedure(), t.procedure());
+            prop_assert_eq!(row.run_id(), t.run_id());
+            prop_assert_eq!(row.label(), t.label());
+            prop_assert_eq!(&batch.materialize(i), t);
+        }
+    }
+
+    /// Incremental pushes build the same batch as bulk conversion, and
+    /// `append` concatenates: batches compose like the vectors they
+    /// replace.
+    #[test]
+    fn batch_push_and_append_compose(
+        left in proptest::collection::vec(arb_trace(), 0..20),
+        right in proptest::collection::vec(arb_trace(), 0..20),
+    ) {
+        let mut pushed = TraceBatch::new();
+        for t in &left {
+            pushed.push(t);
+        }
+        prop_assert_eq!(pushed.to_traces(), left.clone());
+
+        let mut appended = TraceBatch::from_traces(&left);
+        appended.append(&TraceBatch::from_traces(&right));
+        let mut both = left;
+        both.extend(right);
+        prop_assert_eq!(appended.to_traces(), both);
     }
 }

@@ -52,6 +52,7 @@ pub mod latency;
 pub mod middlebox;
 pub mod monitor;
 pub mod rpc;
+pub mod sinks;
 pub mod tracer;
 
 pub use cluster::{RpcCluster, ShardPlan};
@@ -62,4 +63,5 @@ pub use guard::{Alert, GuardPolicy, GuardedMiddlebox, Violation};
 pub use latency::LatencyModel;
 pub use middlebox::{IssueOutcome, Middlebox, ModeConfig};
 pub use monitor::PowerMonitor;
+pub use sinks::{DurableSink, MirrorSink};
 pub use tracer::Tracer;

@@ -213,10 +213,28 @@ impl Middlebox {
         self.tracer.len()
     }
 
-    /// Read-only view of the traces captured so far (the campaign
-    /// synthesizer uses this to steer per-device trace counts).
-    pub fn traces(&self) -> &[rad_core::TraceObject] {
+    /// The traces captured so far, materialized as rows. Prefer
+    /// [`Middlebox::batch`] or [`Middlebox::device_count`] on hot
+    /// paths — this clones every row payload.
+    pub fn traces(&self) -> Vec<rad_core::TraceObject> {
         self.tracer.traces()
+    }
+
+    /// Columnar view of the traces buffered so far.
+    pub fn batch(&self) -> &rad_core::TraceBatch {
+        self.tracer.batch()
+    }
+
+    /// Lifetime trace count for one device — O(1) (the campaign
+    /// synthesizer uses this to steer per-device trace counts).
+    pub fn device_count(&self, kind: rad_core::DeviceKind) -> u64 {
+        self.tracer.device_count(kind)
+    }
+
+    /// Takes the buffered trace batch, leaving counters intact — the
+    /// streaming hand-off for bounded-memory campaigns.
+    pub fn drain_batch(&mut self) -> rad_core::TraceBatch {
+        self.tracer.drain_batch()
     }
 
     /// Read-only view of the trace gaps recorded so far.

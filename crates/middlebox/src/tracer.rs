@@ -3,17 +3,24 @@
 //! For every intercepted access RATracer logs "timestamp, function,
 //! arguments, return values, exceptions" (Fig. 3). [`Tracer`] owns the
 //! simulated clock and the trace-id counter, stamps each access, tags
-//! it with the active procedure run (if any), and fans the record out
-//! to an in-memory log and, optionally, a [`DocumentStore`] mirror.
+//! it with the active procedure run (if any), and emits the record
+//! into a columnar [`TraceBatch`] plus an arbitrary [`TraceSink`]
+//! stack. The legacy destinations — a [`DocumentStore`] mirror and a
+//! durable WAL — are just sinks now ([`crate::sinks`]), composed with
+//! `tee` instead of held as bespoke fields.
 
+use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::Arc;
 
 use rad_core::{
-    Command, CommandType, DeviceId, Label, ProcedureKind, RunId, RunMetadata, SimClock,
-    SimDuration, SimInstant, TraceGap, TraceId, TraceMode, TraceObject, Value,
+    Command, CommandType, DeviceId, DeviceKind, Label, ProcedureKind, RunId, RunMetadata, SimClock,
+    SimDuration, SimInstant, Tee, TraceBatch, TraceGap, TraceId, TraceMode, TraceObject, TraceSink,
+    Value,
 };
 use rad_store::{CommandDataset, DocumentStore, DurableStore};
-use serde_json::json;
+
+use crate::sinks::{DurableSink, MirrorSink};
 
 /// The active procedure-run context applied to new traces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,17 +31,33 @@ struct RunContext {
 }
 
 /// Stamps, labels, and stores trace objects.
-#[derive(Debug)]
 pub struct Tracer {
     clock: SimClock,
     next_id: u64,
     run: Option<RunContext>,
-    traces: Vec<TraceObject>,
+    batch: TraceBatch,
+    scratch: TraceBatch,
     runs: Vec<RunMetadata>,
     gaps: Vec<TraceGap>,
-    mirror: Option<Arc<DocumentStore>>,
-    durable: Option<Arc<DurableStore>>,
-    durable_errors: u64,
+    sink: Option<Box<dyn TraceSink>>,
+    sink_errors: u64,
+    total_recorded: u64,
+    device_counts: BTreeMap<DeviceKind, u64>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("now", &self.clock.now())
+            .field("next_id", &self.next_id)
+            .field("buffered", &self.batch.len())
+            .field("total_recorded", &self.total_recorded)
+            .field("runs", &self.runs.len())
+            .field("gaps", &self.gaps.len())
+            .field("has_sink", &self.sink.is_some())
+            .field("sink_errors", &self.sink_errors)
+            .finish()
+    }
 }
 
 impl Tracer {
@@ -44,32 +67,46 @@ impl Tracer {
             clock: SimClock::new(),
             next_id: 0,
             run: None,
-            traces: Vec::new(),
+            batch: TraceBatch::new(),
+            scratch: TraceBatch::with_capacity(1),
             runs: Vec::new(),
             gaps: Vec::new(),
-            mirror: None,
-            durable: None,
-            durable_errors: 0,
+            sink: None,
+            sink_errors: 0,
+            total_recorded: 0,
+            device_counts: BTreeMap::new(),
         }
     }
 
-    /// Mirrors every record into `store` (collection `"traces"`), like
-    /// RATracer's MongoDB sink.
+    /// Attaches `sink` to the emit path: every record (as a singleton
+    /// batch), gap, and completed run flows into it. A second call
+    /// tees the stacks — both sinks receive every payload.
     #[must_use]
-    pub fn with_mirror(mut self, store: Arc<DocumentStore>) -> Self {
-        self.mirror = Some(store);
+    pub fn with_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.sink = Some(match self.sink.take() {
+            None => sink,
+            Some(existing) => Box::new(Tee::new(existing, sink)),
+        });
         self
+    }
+
+    /// Mirrors every record into `store` (collection `"traces"`), like
+    /// RATracer's MongoDB sink. Sugar for
+    /// [`Tracer::with_sink`]`(MirrorSink::new(store))`.
+    #[must_use]
+    pub fn with_mirror(self, store: Arc<DocumentStore>) -> Self {
+        self.with_sink(Box::new(MirrorSink::new(store)))
     }
 
     /// Mirrors every record and gap through `store`'s write-ahead log,
     /// so traces survive a process crash. Sink failures are counted
     /// ([`Tracer::durable_errors`]) but never propagated — losing the
     /// durable copy must not lose the in-memory record too, matching
-    /// the wire layer's graceful-degradation policy.
+    /// the wire layer's graceful-degradation policy. Sugar for
+    /// [`Tracer::with_sink`]`(DurableSink::new(store))`.
     #[must_use]
-    pub fn with_durable_sink(mut self, store: Arc<DurableStore>) -> Self {
-        self.durable = Some(store);
-        self
+    pub fn with_durable_sink(self, store: Arc<DurableStore>) -> Self {
+        self.with_sink(Box::new(DurableSink::new(store)))
     }
 
     /// Current simulated time.
@@ -102,9 +139,19 @@ impl Tracer {
         }
     }
 
-    /// Closes the active run; subsequent records are unlabelled.
+    /// Closes the active run; subsequent records are unlabelled. The
+    /// completed run's metadata (notes included) is forwarded to the
+    /// sink stack.
     pub fn end_run(&mut self) {
-        self.run = None;
+        if let Some(ctx) = self.run.take() {
+            if let Some(sink) = &mut self.sink {
+                if let Some(meta) = self.runs.iter().rev().find(|r| r.run_id() == ctx.run_id) {
+                    if sink.accept_run(meta).is_err() {
+                        self.sink_errors += 1;
+                    }
+                }
+            }
+        }
     }
 
     /// Records one intercepted access and returns its id.
@@ -131,36 +178,27 @@ impl Tracer {
             builder = builder.exception(msg);
         }
         let trace = builder.build();
-        if self.mirror.is_some() || self.durable.is_some() {
-            let doc = json!({
-                "trace_id": trace.id().0,
-                "timestamp_us": trace.timestamp().as_micros(),
-                "device": trace.device().kind().to_string(),
-                "command": trace.command_type().mnemonic(),
-                "mode": trace.mode().to_string(),
-                "exception": trace.exception(),
-                "response_time_us": trace.response_time().as_micros(),
-            });
-            // A full mirror failing must not lose the in-memory record;
-            // the store only rejects non-objects, which cannot happen
-            // here, so ignore the result defensively.
-            if let Some(store) = &self.mirror {
-                let _ = store.insert("traces", doc.clone());
-            }
-            if let Some(store) = &self.durable {
-                if store.insert("traces", doc).is_err() {
-                    self.durable_errors += 1;
-                }
+        self.total_recorded += 1;
+        *self.device_counts.entry(device.kind()).or_insert(0) += 1;
+        if let Some(sink) = &mut self.sink {
+            // Per-record emission keeps the mirror visible immediately
+            // (tests and live inspection rely on it); the scratch batch
+            // is reused so the hot path never allocates columns.
+            self.scratch.clear();
+            self.scratch.push(&trace);
+            if sink.accept(&self.scratch).is_err() {
+                self.sink_errors += 1;
             }
         }
-        self.traces.push(trace);
+        self.batch.push_owned(trace);
         id
     }
 
     /// Records a trace gap: a command that executed untraced because
     /// the middlebox was unavailable. Tagged with the active run (if
-    /// any) and mirrored to the `"gaps"` collection, so the loss is as
-    /// visible as a trace would have been.
+    /// any) and forwarded to the sink stack (the mirror's `"gaps"`
+    /// collection), so the loss is as visible as a trace would have
+    /// been.
     pub fn record_gap(
         &mut self,
         device: DeviceId,
@@ -168,48 +206,41 @@ impl Tracer {
         intended_mode: TraceMode,
         reason: &str,
     ) {
-        let mut gap = TraceGap::new(self.clock.now(), device, command, intended_mode, reason);
+        let mut gap = TraceGap::new(
+            self.clock.now(),
+            device,
+            command,
+            intended_mode,
+            TraceGap::intern_reason(reason),
+        );
         if let Some(ctx) = self.run {
             gap = gap.with_run(ctx.run_id);
         }
-        if self.mirror.is_some() || self.durable.is_some() {
-            let doc = json!({
-                "timestamp_us": gap.timestamp.as_micros(),
-                "device": gap.device.kind().to_string(),
-                "command": gap.command.mnemonic(),
-                "intended_mode": gap.intended_mode.to_string(),
-                "reason": gap.reason,
-                "run_id": gap.run_id.map(|r| r.0),
-            });
-            if let Some(store) = &self.mirror {
-                let _ = store.insert("gaps", doc.clone());
-            }
-            if let Some(store) = &self.durable {
-                if store.insert("gaps", doc).is_err() {
-                    self.durable_errors += 1;
-                }
+        if let Some(sink) = &mut self.sink {
+            if sink.accept_gap(&gap).is_err() {
+                self.sink_errors += 1;
             }
         }
         self.gaps.push(gap);
     }
 
-    /// Flushes the durable sink's write-ahead log, making every record
-    /// so far crash-proof. A no-op without a durable sink.
+    /// Flushes the sink stack (durable WAL fsync, buffered chunks),
+    /// making every record so far crash-proof. A no-op without a sink.
     ///
     /// # Errors
     ///
-    /// Returns [`rad_core::RadError::Store`] when the fsync fails.
-    pub fn sync_durable(&self) -> Result<(), rad_core::RadError> {
-        match &self.durable {
-            Some(store) => store.sync(),
+    /// Returns [`rad_core::RadError::Store`] when the flush fails.
+    pub fn sync_durable(&mut self) -> Result<(), rad_core::RadError> {
+        match &mut self.sink {
+            Some(sink) => sink.flush(),
             None => Ok(()),
         }
     }
 
-    /// How many records failed to reach the durable sink (counted, not
+    /// How many payloads failed to reach the sink stack (counted, not
     /// propagated — mirroring the wire layer's degradation policy).
     pub fn durable_errors(&self) -> u64 {
-        self.durable_errors
+        self.sink_errors
     }
 
     /// The trace gaps recorded so far.
@@ -217,19 +248,38 @@ impl Tracer {
         &self.gaps
     }
 
-    /// Number of records captured so far.
+    /// Number of records currently buffered (equal to
+    /// [`Tracer::total_recorded`] unless [`Tracer::drain_batch`] has
+    /// been used).
     pub fn len(&self) -> usize {
-        self.traces.len()
+        self.batch.len()
     }
 
-    /// Whether no records have been captured.
+    /// Whether no records are buffered.
     pub fn is_empty(&self) -> bool {
-        self.traces.is_empty()
+        self.batch.is_empty()
     }
 
-    /// A read-only view of the captured records.
-    pub fn traces(&self) -> &[TraceObject] {
-        &self.traces
+    /// Total records captured over the tracer's lifetime, drained or
+    /// not.
+    pub fn total_recorded(&self) -> u64 {
+        self.total_recorded
+    }
+
+    /// Lifetime record count for one device — O(1), maintained on the
+    /// emit path so campaign fillers never rescan the trace log.
+    pub fn device_count(&self, kind: DeviceKind) -> u64 {
+        self.device_counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// The buffered records, materialized as rows.
+    pub fn traces(&self) -> Vec<TraceObject> {
+        self.batch.to_traces()
+    }
+
+    /// The buffered records, columnar.
+    pub fn batch(&self) -> &TraceBatch {
+        &self.batch
     }
 
     /// Metadata of the runs opened so far.
@@ -237,10 +287,17 @@ impl Tracer {
         &self.runs
     }
 
+    /// Takes the buffered batch, leaving the tracer empty but with
+    /// ids, counters, and run context intact — the streaming hand-off
+    /// for bounded-memory campaigns.
+    pub fn drain_batch(&mut self) -> TraceBatch {
+        std::mem::take(&mut self.batch)
+    }
+
     /// Consumes the tracer into the curated command dataset, trace
     /// gaps included.
     pub fn into_dataset(self) -> CommandDataset {
-        CommandDataset::from_parts(self.traces, self.runs).with_gaps(self.gaps)
+        CommandDataset::from_batch(self.batch, self.runs).with_gaps(self.gaps)
     }
 }
 
@@ -386,6 +443,39 @@ mod tests {
         assert_eq!(tracer.len(), 4);
         assert_eq!(tracer.durable_errors(), 3);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mirror_and_durable_tee_both_receive_records() {
+        use rad_store::{DurableOptions, Filter};
+        let dir = std::env::temp_dir().join(format!("rad-tracer-tee-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (durable, _) = DurableStore::open(&dir, DurableOptions::default()).unwrap();
+        let mirror = Arc::new(DocumentStore::new());
+        let durable = Arc::new(durable);
+        let mut tracer = Tracer::new()
+            .with_mirror(Arc::clone(&mirror))
+            .with_durable_sink(Arc::clone(&durable));
+        record_one(&mut tracer, CommandType::Arm);
+        record_one(&mut tracer, CommandType::Mvng);
+        assert_eq!(mirror.count("traces", &Filter::all()), 2);
+        assert_eq!(durable.count("traces", &Filter::all()), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drain_batch_preserves_ids_and_counters() {
+        let mut tracer = Tracer::new();
+        record_one(&mut tracer, CommandType::Arm);
+        record_one(&mut tracer, CommandType::TecanGetStatus);
+        let first = tracer.drain_batch();
+        assert_eq!(first.len(), 2);
+        assert!(tracer.is_empty());
+        assert_eq!(tracer.total_recorded(), 2);
+        let id = record_one(&mut tracer, CommandType::Mvng);
+        assert_eq!(id, TraceId(2), "ids keep counting across drains");
+        assert_eq!(tracer.device_count(DeviceKind::C9), 2);
+        assert_eq!(tracer.device_count(DeviceKind::Tecan), 1);
     }
 
     #[test]

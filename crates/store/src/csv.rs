@@ -5,9 +5,11 @@
 //! the two export schemas: trace objects (command dataset) and power
 //! samples (power dataset).
 
+use std::io::Write;
+
 use rad_core::{
     Command, CommandType, DeviceId, DeviceKind, Label, ProcedureKind, RadError, RunId, SimDuration,
-    SimInstant, TraceGap, TraceId, TraceMode, TraceObject, Value,
+    SimInstant, TraceBatch, TraceGap, TraceId, TraceMode, TraceObject, Value,
 };
 use rad_power::PowerSample;
 
@@ -109,6 +111,61 @@ pub fn traces_to_csv(traces: &[TraceObject]) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Streams the header row of the command-dataset export into `out`.
+/// Pair with [`write_traces_csv_rows`] to export batch-by-batch with
+/// bounded memory.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_traces_csv_header<W: Write + ?Sized>(out: &mut W) -> std::io::Result<()> {
+    out.write_all(encode_row(&TRACE_HEADERS).as_bytes())?;
+    out.write_all(b"\n")
+}
+
+/// Streams one batch's data rows (no header) into `out`. Byte-for-byte
+/// identical to the corresponding slice of [`traces_to_csv`], but reads
+/// the columns directly — no `TraceObject` materialization.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_traces_csv_rows<W: Write + ?Sized>(
+    out: &mut W,
+    batch: &TraceBatch,
+) -> std::io::Result<()> {
+    for t in batch.iter() {
+        let args = serde_json::to_string(t.args()).expect("values serialize");
+        let ret = serde_json::to_string(t.return_value()).expect("values serialize");
+        let row = [
+            t.id().0.to_string(),
+            t.timestamp().as_micros().to_string(),
+            t.device().kind().to_string(),
+            t.command_type().mnemonic().to_owned(),
+            args,
+            t.mode().to_string(),
+            ret,
+            t.exception().unwrap_or_default().to_owned(),
+            t.response_time().as_micros().to_string(),
+            t.procedure().paper_id().to_owned(),
+            t.run_id().map(|r| r.0.to_string()).unwrap_or_default(),
+        ];
+        out.write_all(encode_row(&row).as_bytes())?;
+        out.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Streams a whole batch as a CSV document (header + rows) into `out`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_traces_csv<W: Write + ?Sized>(out: &mut W, batch: &TraceBatch) -> std::io::Result<()> {
+    write_traces_csv_header(out)?;
+    write_traces_csv_rows(out, batch)
 }
 
 /// Parses a command-dataset CSV document produced by [`traces_to_csv`].
@@ -243,7 +300,7 @@ pub fn gaps_to_csv(gaps: &[TraceGap]) -> String {
             g.device.kind().to_string(),
             g.command.mnemonic().to_owned(),
             g.intended_mode.to_string(),
-            g.reason.clone(),
+            g.reason.to_string(),
             g.run_id.map(|r| r.0.to_string()).unwrap_or_default(),
         ];
         out.push_str(&encode_row(&row));
@@ -367,6 +424,18 @@ mod tests {
             assert_eq!(a.procedure(), b.procedure());
             assert_eq!(a.run_id(), b.run_id());
         }
+    }
+
+    #[test]
+    fn streaming_writer_matches_string_serializer() {
+        let traces = vec![
+            sample_trace(0, CommandType::Arm),
+            sample_trace(1, CommandType::TecanGetStatus),
+        ];
+        let batch = TraceBatch::from_traces(&traces);
+        let mut streamed = Vec::new();
+        write_traces_csv(&mut streamed, &batch).unwrap();
+        assert_eq!(String::from_utf8(streamed).unwrap(), traces_to_csv(&traces));
     }
 
     #[test]

@@ -4,11 +4,17 @@
 //! run-level supervision labels) and the *power dataset* (25 Hz
 //! telemetry recordings). These containers are what the analyses
 //! consume and what the campaign synthesizer produces.
+//!
+//! Since the data-plane refactor the command half is stored
+//! columnarly: a [`TraceBatch`] backs the dataset, the analyses read
+//! its dense columns, and [`TraceObject`] rows are materialized only
+//! at the edges ([`CommandDataset::traces`]).
 
 use std::collections::BTreeMap;
 
 use rad_core::{
-    CommandType, DeviceKind, Label, ProcedureKind, RunId, RunMetadata, TraceGap, TraceObject,
+    CommandType, DeviceKind, Label, ProcedureKind, RunId, RunMetadata, TraceBatch, TraceGap,
+    TraceObject, TraceSink,
 };
 use rad_power::CurrentProfile;
 use serde_json::json;
@@ -17,7 +23,8 @@ use crate::document::DocumentStore;
 
 use rad_core::RadError as Error;
 
-/// The command half of RAD: trace objects plus run metadata.
+/// The command half of RAD: trace objects plus run metadata, stored
+/// columnarly.
 ///
 /// # Examples
 ///
@@ -30,7 +37,7 @@ use rad_core::RadError as Error;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct CommandDataset {
-    traces: Vec<TraceObject>,
+    batch: TraceBatch,
     runs: Vec<RunMetadata>,
     gaps: Vec<TraceGap>,
 }
@@ -41,10 +48,20 @@ impl CommandDataset {
         CommandDataset::default()
     }
 
-    /// Builds a dataset from parts.
+    /// Builds a dataset from row-oriented parts.
     pub fn from_parts(traces: Vec<TraceObject>, runs: Vec<RunMetadata>) -> Self {
         CommandDataset {
-            traces,
+            batch: TraceBatch::from(traces),
+            runs,
+            gaps: Vec::new(),
+        }
+    }
+
+    /// Builds a dataset directly from a columnar batch — the native
+    /// hand-off from the batched pipeline.
+    pub fn from_batch(batch: TraceBatch, runs: Vec<RunMetadata>) -> Self {
+        CommandDataset {
+            batch,
             runs,
             gaps: Vec::new(),
         }
@@ -60,7 +77,12 @@ impl CommandDataset {
 
     /// Appends a trace object.
     pub fn push_trace(&mut self, trace: TraceObject) {
-        self.traces.push(trace);
+        self.batch.push_owned(trace);
+    }
+
+    /// Appends a whole batch of traces.
+    pub fn push_batch(&mut self, batch: &TraceBatch) {
+        self.batch.append(batch);
     }
 
     /// Registers a procedure run's metadata.
@@ -80,9 +102,16 @@ impl CommandDataset {
         &self.gaps
     }
 
-    /// All trace objects, in capture order.
-    pub fn traces(&self) -> &[TraceObject] {
-        &self.traces
+    /// All trace objects, materialized in capture order. This clones
+    /// row payloads; iterate [`CommandDataset::batch`] instead on hot
+    /// paths.
+    pub fn traces(&self) -> Vec<TraceObject> {
+        self.batch.to_traces()
+    }
+
+    /// The columnar backing store, in capture order.
+    pub fn batch(&self) -> &TraceBatch {
+        &self.batch
     }
 
     /// All registered run metadata.
@@ -92,12 +121,12 @@ impl CommandDataset {
 
     /// Number of trace objects.
     pub fn len(&self) -> usize {
-        self.traces.len()
+        self.batch.len()
     }
 
     /// Whether the dataset has no traces.
     pub fn is_empty(&self) -> bool {
-        self.traces.is_empty()
+        self.batch.is_empty()
     }
 
     /// Metadata of the supervised runs (label not `Unknown`), sorted by
@@ -117,15 +146,28 @@ impl CommandDataset {
         self.runs.iter().find(|r| r.run_id() == run_id)
     }
 
+    /// Row indices of one run, in timestamp order (stable: capture
+    /// order breaks ties, exactly as the row-oriented path did).
+    fn run_rows(&self, run_id: RunId) -> Vec<usize> {
+        let timestamps = self.batch.timestamps_us();
+        let mut rows: Vec<usize> = self
+            .batch
+            .run_ids()
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r == Some(run_id))
+            .map(|(i, _)| i)
+            .collect();
+        rows.sort_by_key(|&i| timestamps[i]);
+        rows
+    }
+
     /// The command-type sequence of one run, in timestamp order.
     pub fn run_sequence(&self, run_id: RunId) -> Vec<CommandType> {
-        let mut traces: Vec<&TraceObject> = self
-            .traces
-            .iter()
-            .filter(|t| t.run_id() == Some(run_id))
-            .collect();
-        traces.sort_by_key(|t| t.timestamp());
-        traces.iter().map(|t| t.command_type()).collect()
+        self.run_rows(run_id)
+            .into_iter()
+            .map(|i| self.batch.command_type(i))
+            .collect()
     }
 
     /// `(metadata, command sequence)` for every supervised run, in run
@@ -133,15 +175,23 @@ impl CommandDataset {
     pub fn supervised_sequences(&self) -> Vec<(RunMetadata, Vec<CommandType>)> {
         self.supervised_runs()
             .into_iter()
-            .map(|meta| (meta.clone(), self.run_sequence(meta.run_id())))
+            .cloned()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|meta| {
+                let seq = self.run_sequence(meta.run_id());
+                (meta, seq)
+            })
             .collect()
     }
 
     /// Count of trace objects per command type (Fig. 5a).
     pub fn command_histogram(&self) -> BTreeMap<CommandType, u64> {
         let mut hist = BTreeMap::new();
-        for t in &self.traces {
-            *hist.entry(t.command_type()).or_insert(0) += 1;
+        for &tok in self.batch.command_token_ids() {
+            let ct = CommandType::from_token_id(tok as usize)
+                .expect("token ids in a batch are valid by construction");
+            *hist.entry(ct).or_insert(0) += 1;
         }
         hist
     }
@@ -149,31 +199,40 @@ impl CommandDataset {
     /// Count of trace objects per device (Fig. 5a legend).
     pub fn device_histogram(&self) -> BTreeMap<DeviceKind, u64> {
         let mut hist = BTreeMap::new();
-        for t in &self.traces {
-            *hist.entry(t.device().kind()).or_insert(0) += 1;
+        for d in self.batch.devices() {
+            *hist.entry(d.kind()).or_insert(0) += 1;
         }
         hist
     }
 
-    /// All trace objects of one procedure type.
-    pub fn traces_for(&self, procedure: ProcedureKind) -> Vec<&TraceObject> {
-        self.traces
+    /// All trace objects of one procedure type, materialized in
+    /// capture order.
+    pub fn traces_for(&self, procedure: ProcedureKind) -> Vec<TraceObject> {
+        self.batch
+            .procedures()
             .iter()
-            .filter(|t| t.procedure() == procedure)
+            .enumerate()
+            .filter(|(_, p)| **p == procedure)
+            .map(|(i, _)| self.batch.materialize(i))
             .collect()
     }
 
     /// The full dataset as one flat command-type stream in timestamp
     /// order — the corpus for the n-gram study of Fig. 5(b).
     pub fn corpus(&self) -> Vec<CommandType> {
-        let mut traces: Vec<&TraceObject> = self.traces.iter().collect();
-        traces.sort_by_key(|t| t.timestamp());
-        traces.iter().map(|t| t.command_type()).collect()
+        let timestamps = self.batch.timestamps_us();
+        let mut rows: Vec<usize> = (0..self.batch.len()).collect();
+        rows.sort_by_key(|&i| timestamps[i]);
+        rows.into_iter()
+            .map(|i| self.batch.command_type(i))
+            .collect()
     }
 
     /// Exports the command dataset as CSV (see [`crate::csv`]).
     pub fn to_csv(&self) -> String {
-        crate::csv::traces_to_csv(&self.traces)
+        let mut out = Vec::new();
+        crate::csv::write_traces_csv(&mut out, &self.batch).expect("writing to memory cannot fail");
+        String::from_utf8(out).expect("csv output is utf-8")
     }
 
     /// Inserts every trace as a document into `store` under the
@@ -184,7 +243,7 @@ impl CommandDataset {
     ///
     /// Propagates [`rad_core::RadError::Store`] from the store.
     pub fn store_into(&self, store: &DocumentStore) -> Result<(), Error> {
-        for t in &self.traces {
+        for t in self.batch.iter() {
             let doc = json!({
                 "trace_id": t.id().0,
                 "timestamp_us": t.timestamp().as_micros(),
@@ -223,9 +282,29 @@ impl CommandDataset {
 
     /// Merges another dataset into this one.
     pub fn merge(&mut self, other: CommandDataset) {
-        self.traces.extend(other.traces);
+        self.batch.append(&other.batch);
         self.runs.extend(other.runs);
         self.gaps.extend(other.gaps);
+    }
+}
+
+/// A dataset is a sink: batches append to the columnar store, gaps
+/// and run metadata to their side tables. This is what lets a
+/// `tee(dataset, durable)` stack replace the bespoke dataset hand-off.
+impl TraceSink for CommandDataset {
+    fn accept(&mut self, batch: &TraceBatch) -> Result<(), Error> {
+        self.batch.append(batch);
+        Ok(())
+    }
+
+    fn accept_gap(&mut self, gap: &TraceGap) -> Result<(), Error> {
+        self.gaps.push(gap.clone());
+        Ok(())
+    }
+
+    fn accept_run(&mut self, run: &RunMetadata) -> Result<(), Error> {
+        self.runs.push(run.clone());
+        Ok(())
     }
 }
 
@@ -432,6 +511,37 @@ mod tests {
         let store = DocumentStore::new();
         a.store_into(&store).unwrap();
         assert_eq!(store.count("gaps", &crate::Filter::all()), 2);
+    }
+
+    #[test]
+    fn dataset_as_sink_accepts_batches_gaps_and_runs() {
+        let src = labelled_dataset();
+        let mut ds = CommandDataset::new();
+        ds.accept(src.batch()).unwrap();
+        for r in src.runs() {
+            ds.accept_run(r).unwrap();
+        }
+        let gap = TraceGap::new(
+            SimInstant::from_micros(9),
+            DeviceId::primary(DeviceKind::C9),
+            CommandType::Arm,
+            TraceMode::Remote,
+            "middlebox unavailable",
+        );
+        ds.accept_gap(&gap).unwrap();
+        assert_eq!(ds.len(), src.len());
+        assert_eq!(ds.runs(), src.runs());
+        assert_eq!(ds.gaps().len(), 1);
+        assert_eq!(ds.corpus(), src.corpus());
+    }
+
+    #[test]
+    fn batch_backed_dataset_round_trips_rows() {
+        let ds = labelled_dataset();
+        let rows = ds.traces();
+        let rebuilt = CommandDataset::from_parts(rows.clone(), ds.runs().to_vec());
+        assert_eq!(rebuilt.traces(), rows);
+        assert_eq!(rebuilt.to_csv(), ds.to_csv());
     }
 
     #[test]

@@ -21,7 +21,7 @@ use serde_json::json;
 use crate::csv;
 use crate::dataset::{CommandDataset, PowerDataset};
 use crate::document::DocumentStore;
-use crate::wal::{atomic_write_file, CrashInjector};
+use crate::wal::{atomic_write_file, atomic_write_stream, CrashInjector};
 
 fn io_err(context: &str, e: std::io::Error) -> RadError {
     RadError::Store(format!("{context}: {e}"))
@@ -111,11 +111,11 @@ pub fn export_rad_with(
     fs::create_dir_all(dir).map_err(|e| io_err("creating bundle dir", e))?;
     let mut files = 0;
 
-    atomic_write_file(
-        &dir.join("commands.csv"),
-        commands.to_csv().as_bytes(),
-        injector,
-    )?;
+    // Streamed straight from the columnar batch through a fixed-size
+    // buffer — the bundle never has to fit in memory twice.
+    atomic_write_stream(&dir.join("commands.csv"), injector, |w| {
+        csv::write_traces_csv(w, commands.batch())
+    })?;
     files += 1;
 
     let mut runs_csv = String::from("run_id,procedure,label,note\n");

@@ -41,4 +41,7 @@ pub use dataset::{CommandDataset, PowerDataset, PowerRecording};
 pub use document::{DocumentId, DocumentStore, Filter};
 pub use durable::{DurableOptions, DurableStore};
 pub use export::{export_rad, import_commands, LoadIssue, LoadReport};
-pub use wal::{atomic_write_file, CrashInjector, CrashPlan, CrashSite, RecoveryReport, WalOptions};
+pub use wal::{
+    atomic_write_file, atomic_write_stream, CrashInjector, CrashPlan, CrashSite, RecoveryReport,
+    WalOptions,
+};

@@ -3,7 +3,7 @@
 //! The paper's deliverable is the dataset itself: RATracer logs every
 //! intercepted command, and a record that is lost or silently corrupted
 //! invalidates the ground truth downstream IDS analyses depend on. The
-//! [`Wal`] is the durability primitive under [`DurableStore`]: every
+//! [`Wal`] is the durability primitive under [`DurableStore`](crate::DurableStore): every
 //! mutation is framed, CRC-checked, and fsynced to an append-only
 //! segment file *before* it is applied, so the store can always be
 //! rebuilt from disk after a crash.
@@ -820,6 +820,55 @@ pub fn atomic_write_file(
     if let Some(err) = injector.and_then(|i| i.trip(CrashSite::MidRename)) {
         // Temp file complete, rename never happened: the real path is
         // still the old version (or absent).
+        return Err(err);
+    }
+
+    fs::rename(&tmp, path).map_err(|e| io_err("renaming temp file into place", e))
+}
+
+/// Streaming variant of [`atomic_write_file`]: the caller writes into
+/// a buffered temp-file writer instead of materializing the whole
+/// payload in memory first. Same crash discipline — fsync then rename,
+/// with the same two injection windows — so a batched CSV export can
+/// stream gigabytes through a fixed-size buffer and still land
+/// atomically.
+///
+/// # Errors
+///
+/// Returns [`RadError::Store`] on filesystem failures, injected
+/// crashes, or errors surfaced by the `write` callback.
+pub fn atomic_write_stream<F>(
+    path: &Path,
+    injector: Option<&CrashInjector>,
+    write: F,
+) -> Result<(), RadError>
+where
+    F: FnOnce(&mut dyn Write) -> std::io::Result<()>,
+{
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .ok_or_else(|| RadError::Store(format!("atomic write needs a file name: {path:?}")))?;
+    let tmp = path.with_file_name(format!("{file_name}.tmp"));
+
+    if let Some(err) = injector.and_then(|i| i.trip(CrashSite::MidCompaction)) {
+        // A torn temp file; the real path is untouched. Recovery must
+        // ignore `*.tmp`.
+        let _ = fs::write(&tmp, b"");
+        return Err(err);
+    }
+
+    let file = File::create(&tmp).map_err(|e| io_err("creating temp file", e))?;
+    let mut buffered = std::io::BufWriter::new(file);
+    write(&mut buffered).map_err(|e| io_err("streaming temp file", e))?;
+    let file = buffered
+        .into_inner()
+        .map_err(|e| io_err("flushing temp file", e.into_error()))?;
+    file.sync_data()
+        .map_err(|e| io_err("syncing temp file", e))?;
+    drop(file);
+
+    if let Some(err) = injector.and_then(|i| i.trip(CrashSite::MidRename)) {
         return Err(err);
     }
 

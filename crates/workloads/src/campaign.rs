@@ -237,7 +237,7 @@ impl CampaignBuilder {
     /// Runs the campaign while persisting every trace, gap, run, and
     /// journal entry through a [`DurableStore`] in `dir`: after each
     /// supervised run the delta is WAL-logged and fsynced, and every
-    /// [`CHECKPOINT_EVERY_RUNS`] runs the log compacts into a
+    /// `CHECKPOINT_EVERY_RUNS` runs the log compacts into a
     /// checkpoint. A process killed at any point (for real, or via
     /// [`CampaignBuilder::with_crash_plan`]) leaves a store that
     /// [`CampaignBuilder::resume_from`] completes into a byte-identical
@@ -307,7 +307,8 @@ impl CampaignBuilder {
 
         // Verify the persisted prefix record-for-record, then persist
         // the suffix the crash cut off.
-        verify_and_complete(&durable, "traces", sim.command.traces(), item_doc)?;
+        let sim_traces = sim.command.traces();
+        verify_and_complete(&durable, "traces", &sim_traces, item_doc)?;
         verify_and_complete(&durable, "gaps", sim.command.gaps(), item_doc)?;
         verify_and_complete(&durable, "runs", sim.command.runs(), item_doc)?;
         verify_and_complete(&durable, "journal", &sim.journal, journal_doc)?;
@@ -315,7 +316,7 @@ impl CampaignBuilder {
         durable.insert(
             "cursor",
             cursor_doc(
-                sim.command.traces().len(),
+                sim_traces.len(),
                 sim.command.gaps().len(),
                 sim.command.runs().len(),
                 sim.journal.len(),
@@ -463,13 +464,11 @@ impl CampaignBuilder {
 
     fn fill_to_targets(&self, session: &mut Session) {
         let targets = self.targets();
+        // O(1): the tracer maintains per-device counts on the emit
+        // path, so steering no longer rescans the whole trace log per
+        // filler iteration.
         let count_for = |session: &Session, device: DeviceKind| -> u64 {
-            session
-                .middlebox()
-                .traces()
-                .iter()
-                .filter(|t| t.device().kind() == device)
-                .count() as u64
+            session.middlebox().device_count(device)
         };
 
         // Bulk phase: realistic single-device prototyping scripts. Each
@@ -574,31 +573,54 @@ impl<'a> CampaignSink<'a> {
         })
     }
 
-    /// Logs everything new since the last flush, fsyncs, and compacts
-    /// into a checkpoint every [`CHECKPOINT_EVERY_RUNS`] supervised
-    /// runs.
+    /// Logs everything new since the last flush — one WAL frame per
+    /// stream delta, not one per record — fsyncs, and compacts into a
+    /// checkpoint every [`CHECKPOINT_EVERY_RUNS`] supervised runs.
     fn flush(&mut self, session: &Session, journal: &[ProcedureRun]) -> Result<(), RadError> {
         let mb = session.middlebox();
-        let traces = mb.traces();
-        for (idx, trace) in traces.iter().enumerate().skip(self.traces_done) {
-            self.durable.insert("traces", item_doc(idx, trace))?;
+        let batch = mb.batch();
+        if batch.len() > self.traces_done {
+            // Each new row materializes once, straight out of the
+            // columnar store — no whole-log clone per flush.
+            let docs: Vec<Json> = (self.traces_done..batch.len())
+                .map(|idx| item_doc(idx, &batch.materialize(idx)))
+                .collect();
+            self.durable.insert_batch("traces", docs)?;
+            self.traces_done = batch.len();
         }
-        self.traces_done = traces.len();
         let gaps = mb.gaps();
-        for (idx, gap) in gaps.iter().enumerate().skip(self.gaps_done) {
-            self.durable.insert("gaps", item_doc(idx, gap))?;
+        if gaps.len() > self.gaps_done {
+            let docs: Vec<Json> = gaps
+                .iter()
+                .enumerate()
+                .skip(self.gaps_done)
+                .map(|(idx, gap)| item_doc(idx, gap))
+                .collect();
+            self.durable.insert_batch("gaps", docs)?;
+            self.gaps_done = gaps.len();
         }
-        self.gaps_done = gaps.len();
         let runs = mb.runs();
-        for (idx, run) in runs.iter().enumerate().skip(self.runs_done) {
-            self.durable.insert("runs", item_doc(idx, run))?;
+        if runs.len() > self.runs_done {
+            let docs: Vec<Json> = runs
+                .iter()
+                .enumerate()
+                .skip(self.runs_done)
+                .map(|(idx, run)| item_doc(idx, run))
+                .collect();
+            self.durable.insert_batch("runs", docs)?;
+            self.runs_done = runs.len();
         }
-        self.runs_done = runs.len();
         let new_runs = journal.len().saturating_sub(self.journal_done) as u32;
-        for (idx, run) in journal.iter().enumerate().skip(self.journal_done) {
-            self.durable.insert("journal", journal_doc(idx, run))?;
+        if journal.len() > self.journal_done {
+            let docs: Vec<Json> = journal
+                .iter()
+                .enumerate()
+                .skip(self.journal_done)
+                .map(|(idx, run)| journal_doc(idx, run))
+                .collect();
+            self.durable.insert_batch("journal", docs)?;
+            self.journal_done = journal.len();
         }
-        self.journal_done = journal.len();
         self.durable.delete("cursor", &Filter::all())?;
         self.durable.insert(
             "cursor",

@@ -719,14 +719,13 @@ mod tests {
             .iter()
             .position(|c| *c == CommandType::StartDosing)
             .unwrap();
-        let crash_trace = ds
-            .traces()
+        let traces = ds.traces();
+        let crash_trace = traces
             .iter()
             .find(|t| t.exception().is_some_and(|e| e.contains("collision")))
             .expect("a collision is traced");
         assert_eq!(crash_trace.command_type(), CommandType::FrontDoorPosition);
-        let crash_index = ds
-            .traces()
+        let crash_index = traces
             .iter()
             .position(|t| t.id() == crash_trace.id())
             .unwrap();

@@ -43,14 +43,16 @@ pub mod prelude {
         NgramCounter, ParamTokenizer, PerplexityDetector, Smoothing, TfIdf,
     };
     pub use rad_core::{
-        Command, CommandCategory, CommandType, DeviceId, DeviceKind, Label, ProcedureKind,
-        RadError, RunId, RunMetadata, SimClock, SimDuration, SimInstant, TraceGap, TraceId,
-        TraceMode, TraceObject, Value,
+        Chunked, Command, CommandCategory, CommandType, CountingSink, DeviceId, DeviceKind,
+        Filtered, Label, ProcedureKind, RadError, RunId, RunMetadata, SimClock, SimDuration,
+        SimInstant, SliceSource, Tee, TraceBatch, TraceGap, TraceId, TraceMode, TraceObject,
+        TraceRow, TraceSink, TraceSinkExt, TraceSource, Value,
     };
     pub use rad_devices::{Device, LabRig};
     pub use rad_middlebox::{
-        FaultPlan, FaultProfile, FaultStats, FaultyDuplex, GuardPolicy, GuardedMiddlebox,
-        LatencyModel, Middlebox, ModeConfig, RpcCluster, ShardPlan, Tracer,
+        DurableSink, FaultPlan, FaultProfile, FaultStats, FaultyDuplex, GuardPolicy,
+        GuardedMiddlebox, LatencyModel, Middlebox, MirrorSink, ModeConfig, RpcCluster, ShardPlan,
+        Tracer,
     };
     pub use rad_power::{
         CurrentProfile, Elbow, PowerSample, TrajectorySegment, Ur3e, Ur3eKinematics,

@@ -25,10 +25,13 @@ const SEED: u64 = 42;
 /// Every crash site with an occurrence at which it provably fires
 /// during the seeded supervised campaign (append-heavy sites get a
 /// mid-campaign index; checkpoint sites fire on the second compaction).
+/// The counts assume batch-wise persistence — one WAL frame per stream
+/// delta per flush, not one per record — so the campaign sees ~125
+/// appends and ~130 fsync batches total.
 fn matrix() -> Vec<(CrashSite, u64)> {
     vec![
-        (CrashSite::MidRecord, 150),
-        (CrashSite::PreFsync, 300),
+        (CrashSite::MidRecord, 80),
+        (CrashSite::PreFsync, 80),
         (CrashSite::MidRotation, 2),
         (CrashSite::MidCompaction, 1),
         (CrashSite::MidRename, 1),

@@ -132,8 +132,8 @@ fn guarded_traces_feed_the_ids_like_any_others() {
     mb.middlebox_mut().end_run();
     let ds = mb.into_dataset();
     assert_eq!(ds.len(), 4);
-    let rejected: Vec<_> = ds
-        .traces()
+    let traces = ds.traces();
+    let rejected: Vec<_> = traces
         .iter()
         .filter(|t| t.exception().is_some_and(|e| e.contains("guard rejected")))
         .collect();

@@ -1,0 +1,187 @@
+//! Golden equivalence for the trace data plane (ISSUE tentpole): the
+//! columnar/streaming pipeline must be byte-for-byte indistinguishable
+//! from the row-oriented path it replaced.
+//!
+//! Three claims, each on a real seeded campaign:
+//!
+//! 1. **Storage** — a [`CommandDataset`] fed through a sink stack
+//!    (source → re-chunking → dataset), at any chunk size, equals one
+//!    built row by row.
+//! 2. **Export** — the streaming CSV writer and the full `export_rad`
+//!    bundle produce byte-identical files either way.
+//! 3. **Analysis** — tokenizing straight off the dense token-id column
+//!    yields exactly the tokens of materializing every row first.
+
+use rad::analysis::token::{labelled_runs, CommandTokenizer, ParamTokenizer, Tokenizer};
+use rad::prelude::*;
+use rad::store::csv::{traces_to_csv, write_traces_csv};
+use rad::store::export_rad;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const SEED: u64 = 42;
+
+fn campaign() -> rad::workloads::CampaignDataset {
+    CampaignBuilder::new(SEED).scale(0.05).build()
+}
+
+/// The row-oriented rebuild of a dataset: materialize every trace,
+/// then construct from owned rows — exactly what every layer did
+/// before the columnar refactor.
+fn row_built(ds: &CommandDataset) -> CommandDataset {
+    CommandDataset::from_parts(ds.traces(), ds.runs().to_vec()).with_gaps(ds.gaps().to_vec())
+}
+
+/// The streaming rebuild: drain the same rows through a sink stack
+/// with re-chunking in the middle.
+fn sink_built(ds: &CommandDataset, chunk_rows: usize) -> CommandDataset {
+    let traces = ds.traces();
+    let mut out = CommandDataset::new();
+    {
+        let mut stack = Chunked::new(&mut out, chunk_rows);
+        let mut source = SliceSource::new(&traces, 17);
+        source.drain_into(&mut stack).unwrap();
+    }
+    for run in ds.runs() {
+        out.add_run(run.clone());
+    }
+    for gap in ds.gaps() {
+        out.push_gap(gap.clone());
+    }
+    out
+}
+
+fn assert_datasets_equal(a: &CommandDataset, b: &CommandDataset, tag: &str) {
+    assert_eq!(a.len(), b.len(), "{tag}: row count");
+    assert_eq!(a.traces(), b.traces(), "{tag}: materialized rows");
+    assert_eq!(a.corpus(), b.corpus(), "{tag}: corpus");
+    assert_eq!(
+        a.command_histogram(),
+        b.command_histogram(),
+        "{tag}: histogram"
+    );
+    assert_eq!(a.to_csv(), b.to_csv(), "{tag}: CSV bytes");
+}
+
+#[test]
+fn sink_stack_rebuild_is_identical_at_every_chunk_size() {
+    let campaign = campaign();
+    let baseline = row_built(campaign.command());
+    for chunk_rows in [1, 7, 256, usize::MAX] {
+        let streamed = sink_built(campaign.command(), chunk_rows);
+        assert_datasets_equal(&baseline, &streamed, &format!("chunk={chunk_rows}"));
+    }
+}
+
+#[test]
+fn streaming_csv_writer_matches_the_string_serializer() {
+    let campaign = campaign();
+    let ds = campaign.command();
+    let legacy = traces_to_csv(&ds.traces());
+    let mut streamed = Vec::new();
+    write_traces_csv(&mut streamed, ds.batch()).unwrap();
+    assert_eq!(legacy.into_bytes(), streamed);
+}
+
+/// Every file of an exported bundle, relative path → bytes.
+fn bundle_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    fn walk(root: &Path, at: &Path, out: &mut BTreeMap<String, Vec<u8>>) {
+        for entry in fs::read_dir(at).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                walk(root, &path, out);
+            } else {
+                let name = path
+                    .strip_prefix(root)
+                    .unwrap()
+                    .to_string_lossy()
+                    .into_owned();
+                out.insert(name, fs::read(&path).unwrap());
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    walk(dir, dir, &mut out);
+    out
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rad-pipeline-eq-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn exported_bundles_are_byte_identical_across_paths() {
+    let campaign = campaign();
+    let row = row_built(campaign.command());
+    let streamed = sink_built(campaign.command(), 64);
+    let dir_a = tmpdir("row");
+    let dir_b = tmpdir("stream");
+    export_rad(&row, campaign.power(), &dir_a).unwrap();
+    export_rad(&streamed, campaign.power(), &dir_b).unwrap();
+    let files_a = bundle_bytes(&dir_a);
+    let files_b = bundle_bytes(&dir_b);
+    assert_eq!(
+        files_a.keys().collect::<Vec<_>>(),
+        files_b.keys().collect::<Vec<_>>(),
+        "bundle file sets differ"
+    );
+    for (name, bytes) in &files_a {
+        assert_eq!(bytes, &files_b[name], "{name} differs between paths");
+    }
+    let _ = fs::remove_dir_all(&dir_a);
+    let _ = fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn columnar_tokenization_matches_materialized_tokenization() {
+    let campaign = campaign();
+    let ds = campaign.command();
+
+    // The legacy analysis path: materialize the whole log, rescan it
+    // per supervised run, stable-sort by timestamp, tokenize the owned
+    // trace objects.
+    fn legacy<T: Tokenizer>(ds: &CommandDataset, tok: &T) -> Vec<(Vec<T::Token>, bool)> {
+        let all = ds.traces();
+        ds.supervised_runs()
+            .iter()
+            .map(|meta| {
+                let mut traces: Vec<&TraceObject> = all
+                    .iter()
+                    .filter(|t| t.run_id() == Some(meta.run_id()))
+                    .collect();
+                traces.sort_by_key(|t| t.timestamp());
+                (tok.tokenize(traces), meta.label().is_anomalous())
+            })
+            .collect()
+    }
+
+    assert_eq!(
+        labelled_runs(ds, &CommandTokenizer),
+        legacy(ds, &CommandTokenizer),
+        "command tokens"
+    );
+    assert_eq!(
+        labelled_runs(ds, &ParamTokenizer),
+        legacy(ds, &ParamTokenizer),
+        "parameter tokens"
+    );
+}
+
+#[test]
+fn tee_duplicates_without_perturbing_either_branch() {
+    let campaign = campaign();
+    let traces = campaign.command().traces();
+    let mut left = CommandDataset::new();
+    let mut right = CommandDataset::new();
+    {
+        let mut stack = Tee::new(&mut left, &mut right);
+        SliceSource::new(&traces, 32)
+            .drain_into(&mut stack)
+            .unwrap();
+    }
+    assert_eq!(left.to_csv(), right.to_csv(), "tee branches diverged");
+    assert_eq!(left.traces(), traces, "tee perturbed the stream");
+}

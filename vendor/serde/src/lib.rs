@@ -207,6 +207,24 @@ impl Deserialize for String {
     }
 }
 
+impl<T: ?Sized + ToOwned> Serialize for std::borrow::Cow<'_, T>
+where
+    for<'a> &'a T: Serialize,
+{
+    fn to_content(&self) -> Content {
+        self.as_ref().to_content()
+    }
+}
+
+impl<T: ?Sized + ToOwned> Deserialize for std::borrow::Cow<'static, T>
+where
+    T::Owned: Deserialize,
+{
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::Owned::from_content(content).map(std::borrow::Cow::Owned)
+    }
+}
+
 impl Serialize for str {
     fn to_content(&self) -> Content {
         Content::Str(self.to_owned())
