@@ -12,6 +12,12 @@ use crate::jenks::jenks_two_class;
 use crate::lm::{CommandLm, InternedLm, Smoothing};
 use crate::metrics::ConfusionMatrix;
 
+/// Minimum training-token count per worker before cross-validation
+/// folds are scored on their own threads. Fitting and scoring a fold
+/// is a linear pass, so tiny corpora finish faster inline than the
+/// spawn/join round-trip costs.
+const MIN_TOKENS_PER_FOLD_THREAD: usize = 8192;
+
 /// Configuration of the perplexity detector: n-gram order + smoothing.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PerplexityDetector {
@@ -69,9 +75,11 @@ impl PerplexityDetector {
     /// The reported threshold is mapped back to perplexity units.
     ///
     /// The corpus is interned exactly once; each fold then fits an
-    /// [`InternedLm`] on borrowed id slices in its own scoped thread.
+    /// [`InternedLm`] on borrowed id slices — in its own scoped
+    /// thread when the corpus is large enough (and the machine
+    /// parallel enough) to amortize the spawns, inline otherwise.
     /// Fold results are merged back by item index, so the report is
-    /// bit-identical to the sequential protocol.
+    /// bit-identical to the sequential protocol either way.
     ///
     /// # Errors
     ///
@@ -96,27 +104,39 @@ impl PerplexityDetector {
         let folds: Vec<_> = cv.folds().collect();
         let order = self.order;
         let smoothing = self.smoothing;
-        let fold_scores: Vec<Result<Vec<(usize, f64)>, RadError>> = crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = folds
+        let score_fold = |fold: &crate::crossval::Fold| -> Result<Vec<(usize, f64)>, RadError> {
+            let training: Vec<&[TokenId]> =
+                fold.train.iter().map(|&i| interned[i].as_slice()).collect();
+            let lm = InternedLm::fit(order, &training, smoothing)?;
+            fold.test
                 .iter()
-                .map(|fold| {
-                    let interned = &interned;
-                    s.spawn(move || -> Result<Vec<(usize, f64)>, RadError> {
-                        let training: Vec<&[TokenId]> =
-                            fold.train.iter().map(|&i| interned[i].as_slice()).collect();
-                        let lm = InternedLm::fit(order, &training, smoothing)?;
-                        fold.test
-                            .iter()
-                            .map(|&i| Ok((i, lm.perplexity(&interned[i])?)))
-                            .collect()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("fold worker panicked"))
+                .map(|&i| Ok((i, lm.perplexity(&interned[i])?)))
                 .collect()
-        });
+        };
+        // Fitting a fold costs roughly one pass over its training
+        // tokens; below ~8k tokens per worker the thread spawn/join
+        // overhead outweighs the overlap (and on a single-core box
+        // there is no overlap at all), so score folds inline.
+        let total_tokens: usize = interned.iter().map(Vec::len).sum::<usize>() * folds.len();
+        let fold_scores: Vec<Result<Vec<(usize, f64)>, RadError>> =
+            if !rad_core::par::should_fan_out(folds.len(), total_tokens, MIN_TOKENS_PER_FOLD_THREAD)
+            {
+                folds.iter().map(score_fold).collect()
+            } else {
+                crossbeam::thread::scope(|s| {
+                    let handles: Vec<_> = folds
+                        .iter()
+                        .map(|fold| {
+                            let score_fold = &score_fold;
+                            s.spawn(move || score_fold(fold))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("fold worker panicked"))
+                        .collect()
+                })
+            };
         let mut scores: Vec<Option<(f64, bool)>> = vec![None; labelled.len()];
         for per_fold in fold_scores {
             for (i, ppl) in per_fold? {

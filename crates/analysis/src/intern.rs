@@ -136,11 +136,21 @@ impl<T: Clone + Eq + Hash> Vocab<T> {
     /// Interns every token of `sequence`, appending the ids to `out`
     /// (which is cleared first). Reusing `out` across calls makes the
     /// corpus pass allocation-free after warmup.
+    ///
+    /// Consecutive duplicates skip the index probe entirely — lab
+    /// sessions are dominated by status-polling runs of one command,
+    /// so roughly half the tokens resolve from the one-entry memo.
     pub fn intern_into(&mut self, sequence: &[T], out: &mut Vec<TokenId>) {
         out.clear();
         out.reserve(sequence.len());
+        let mut memo: Option<(&T, TokenId)> = None;
         for token in sequence {
-            out.push(self.intern(token));
+            let id = match memo {
+                Some((last, id)) if last == token => id,
+                _ => self.intern(token),
+            };
+            memo = Some((token, id));
+            out.push(id);
         }
     }
 

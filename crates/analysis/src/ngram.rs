@@ -83,9 +83,12 @@ impl<T: Clone + Eq + Hash + Ord> NgramCounter<T> {
     /// The `k` most frequent n-grams with their counts, most frequent
     /// first; ties break lexicographically for determinism.
     ///
-    /// Uses partial selection: only the winning `k` entries are fully
-    /// sorted, so asking for a top-10 of a large table does not pay for
-    /// sorting the whole table.
+    /// Uses two-stage partial selection: candidates are first selected
+    /// on the count alone (a `u64` compare — the lexicographic
+    /// tiebreak resolves interned tokens and is ~50x costlier), then
+    /// only the surviving `k` entries plus boundary ties pay for the
+    /// full comparator. Asking for a top-10 of a large table neither
+    /// sorts the whole table nor resolves tokens across it.
     pub fn top_k(&self, k: usize) -> Vec<(Vec<T>, u64)> {
         if k == 0 {
             return Vec::new();
@@ -100,10 +103,15 @@ impl<T: Clone + Eq + Hash + Ord> NgramCounter<T> {
         };
         let mut entries: Vec<(Vec<TokenId>, u64)> = self.inner.iter().collect();
         if entries.len() > k {
-            entries.select_nth_unstable_by(k - 1, compare);
-            entries.truncate(k);
+            entries.select_nth_unstable_by(k - 1, |a, b| b.1.cmp(&a.1));
+            let kth = entries[k - 1].1;
+            // Every entry counted at least `kth` could still win a
+            // boundary tie under the lexicographic order; nothing
+            // rarer can.
+            entries.retain(|e| e.1 >= kth);
         }
         entries.sort_by(compare);
+        entries.truncate(k);
         entries
             .into_iter()
             .map(|(ids, c)| {

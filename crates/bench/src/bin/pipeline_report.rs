@@ -192,7 +192,7 @@ fn main() {
         let mut ds = CommandDataset::new();
         let mut source = SliceSource::new(&traces, CHUNK_ROWS);
         while let Some(batch) = source.next_batch().unwrap() {
-            ds.push_batch(&batch);
+            ds.insert_batch(batch);
         }
         assert_eq!(ds.len(), n);
     });
@@ -202,7 +202,7 @@ fn main() {
     {
         let mut source = SliceSource::new(&traces, CHUNK_ROWS);
         while let Some(batch) = source.next_batch().unwrap() {
-            dataset.push_batch(&batch);
+            dataset.insert_batch(batch);
         }
     }
 

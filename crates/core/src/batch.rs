@@ -116,8 +116,31 @@ impl TraceBatch {
     /// Appends a row, cloning the trace's heap payloads (arguments,
     /// return value, exception). Prefer [`TraceBatch::push_owned`]
     /// when the caller is done with the row.
+    ///
+    /// Payloads clone straight into the lanes — arguments land in the
+    /// shared arena without an intermediate per-row `Vec`, so batching
+    /// a borrowed slice allocates nothing per trace beyond the lane
+    /// growth itself.
     pub fn push(&mut self, trace: &TraceObject) {
-        self.push_owned(trace.clone());
+        self.ensure_offsets();
+        self.ids.push(trace.id().0);
+        self.timestamps_us.push(trace.timestamp().as_micros());
+        self.devices.push(trace.device());
+        self.command_tokens
+            .push(trace.command_type().token_id() as u16);
+        self.args.extend_from_slice(trace.command().args());
+        self.arg_offsets.push(self.args.len() as u32);
+        self.modes.push(trace.mode());
+        self.return_values.push(trace.return_value().clone());
+        if let Some(msg) = trace.exception() {
+            self.exceptions
+                .push((self.ids.len() as u32 - 1, msg.to_string()));
+        }
+        self.response_times_us
+            .push(trace.response_time().as_micros());
+        self.procedures.push(trace.procedure());
+        self.run_ids.push(trace.run_id());
+        self.labels.push(trace.label());
     }
 
     /// Appends a row, consuming it — no clone of arguments or return
@@ -210,6 +233,35 @@ impl TraceBatch {
         self.procedures.extend_from_slice(&other.procedures);
         self.run_ids.extend_from_slice(&other.run_ids);
         self.labels.extend_from_slice(&other.labels);
+    }
+
+    /// Appends every row of `other`, consuming it — argument, return
+    /// value, and exception payloads move instead of cloning, so the
+    /// splice is a handful of `memcpy`s regardless of how much heap
+    /// the rows carry.
+    pub fn append_owned(&mut self, mut other: TraceBatch) {
+        self.ensure_offsets();
+        let base_args = self.args.len() as u32;
+        let base_rows = self.len() as u32;
+        self.ids.append(&mut other.ids);
+        self.timestamps_us.append(&mut other.timestamps_us);
+        self.devices.append(&mut other.devices);
+        self.command_tokens.append(&mut other.command_tokens);
+        self.arg_offsets
+            .extend(other.arg_offsets.iter().skip(1).map(|o| o + base_args));
+        self.args.append(&mut other.args);
+        self.modes.append(&mut other.modes);
+        self.return_values.append(&mut other.return_values);
+        self.exceptions.extend(
+            other
+                .exceptions
+                .into_iter()
+                .map(|(row, msg)| (row + base_rows, msg)),
+        );
+        self.response_times_us.append(&mut other.response_times_us);
+        self.procedures.append(&mut other.procedures);
+        self.run_ids.append(&mut other.run_ids);
+        self.labels.append(&mut other.labels);
     }
 
     /// Removes every row, retaining allocations — the natural reset
@@ -497,6 +549,17 @@ mod tests {
         let b = TraceBatch::from_traces(&traces[2..]);
         a.append(&b);
         assert_eq!(a.to_traces(), traces);
+    }
+
+    #[test]
+    fn owned_append_equals_borrowed_append() {
+        let traces = samples();
+        let mut borrowed = TraceBatch::from_traces(&traces[..2]);
+        borrowed.append(&TraceBatch::from_traces(&traces[2..]));
+        let mut owned = TraceBatch::from_traces(&traces[..2]);
+        owned.append_owned(TraceBatch::from_traces(&traces[2..]));
+        assert_eq!(owned, borrowed);
+        assert_eq!(owned.to_traces(), traces);
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod batch;
 pub mod command;
 pub mod device;
 pub mod error;
+pub mod par;
 pub mod procedure;
 pub mod sink;
 pub mod time;

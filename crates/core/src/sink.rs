@@ -231,9 +231,21 @@ impl<A, B> Tee<A, B> {
     pub fn into_inner(self) -> (A, B) {
         (self.a, self.b)
     }
+
+    /// Mutable access to both branches at once. Sibling data planes
+    /// (e.g. `rad_power`'s `PowerSink`) reuse this combinator by
+    /// implementing their own sink trait over the same struct, which
+    /// needs simultaneous `&mut` to both halves.
+    pub fn branches_mut(&mut self) -> (&mut A, &mut B) {
+        (&mut self.a, &mut self.b)
+    }
 }
 
-fn first_err(a: Result<(), RadError>, b: Result<(), RadError>) -> Result<(), RadError> {
+/// First-error-wins merge of two branch results: both branches have
+/// already been delivered to; the first error (in branch order) is the
+/// one reported. Shared by every `Tee`-shaped combinator in the
+/// workspace.
+pub fn first_error(a: Result<(), RadError>, b: Result<(), RadError>) -> Result<(), RadError> {
     match (a, b) {
         (Err(e), _) => Err(e),
         (Ok(()), r) => r,
@@ -242,19 +254,19 @@ fn first_err(a: Result<(), RadError>, b: Result<(), RadError>) -> Result<(), Rad
 
 impl<A: TraceSink, B: TraceSink> TraceSink for Tee<A, B> {
     fn accept(&mut self, batch: &TraceBatch) -> Result<(), RadError> {
-        first_err(self.a.accept(batch), self.b.accept(batch))
+        first_error(self.a.accept(batch), self.b.accept(batch))
     }
     fn accept_gap(&mut self, gap: &TraceGap) -> Result<(), RadError> {
-        first_err(self.a.accept_gap(gap), self.b.accept_gap(gap))
+        first_error(self.a.accept_gap(gap), self.b.accept_gap(gap))
     }
     fn accept_run(&mut self, run: &RunMetadata) -> Result<(), RadError> {
-        first_err(self.a.accept_run(run), self.b.accept_run(run))
+        first_error(self.a.accept_run(run), self.b.accept_run(run))
     }
     fn flush(&mut self) -> Result<(), RadError> {
-        first_err(self.a.flush(), self.b.flush())
+        first_error(self.a.flush(), self.b.flush())
     }
     fn finish(&mut self) -> Result<(), RadError> {
-        first_err(self.a.finish(), self.b.finish())
+        first_error(self.a.finish(), self.b.finish())
     }
 }
 

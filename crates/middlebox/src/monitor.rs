@@ -6,16 +6,51 @@
 //! it which trajectory the arm executed (and with what payload), and
 //! it synthesizes the telemetry via [`rad_power`] and accumulates the
 //! power dataset, applying the quiescent-storage policy of §IV.
+//!
+//! Recording is *deferred*: `record_motion`/`record_idle` only capture
+//! the trajectory and the noise seed (derived from the recording
+//! counter at call time, so the seed stream is identical to the old
+//! synthesize-on-record monitor). Synthesis happens once, at drain
+//! time, which lets independent motion recordings fan out across cores
+//! via [`Ur3e::current_profiles_par`] while staying bit-identical to
+//! sequential capture.
 
-use rad_core::{ProcedureKind, RunId};
-use rad_power::{CurrentProfile, TrajectorySegment, Ur3e};
-use rad_store::{PowerDataset, PowerRecording};
+use rad_core::{ProcedureKind, RadError, RunId};
+use rad_power::{
+    CurrentProfile, Filtered, PowerSink, PowerSource, ProfileRequest, RecordingMeta,
+    TrajectorySegment, Ur3e, DEFAULT_CHUNK_TICKS,
+};
+use rad_store::PowerDataset;
+
+/// What one pending recording captured — replayed into telemetry at
+/// drain time.
+#[derive(Debug, Clone)]
+enum Capture {
+    Motion {
+        segments: Vec<TrajectorySegment>,
+        payload_kg: f64,
+    },
+    Idle {
+        pose: [f64; rad_power::JOINTS],
+        ticks: usize,
+    },
+}
+
+/// A recording the monitor has accepted but not yet synthesized.
+#[derive(Debug, Clone)]
+struct Pending {
+    procedure: ProcedureKind,
+    run_id: RunId,
+    description: String,
+    seed: u64,
+    capture: Capture,
+}
 
 /// Accumulates UR3e telemetry recordings into a [`PowerDataset`].
 #[derive(Debug)]
 pub struct PowerMonitor {
     arm: Ur3e,
-    dataset: PowerDataset,
+    pending: Vec<Pending>,
     seed: u64,
     store_quiescent: bool,
     recordings: u32,
@@ -29,7 +64,7 @@ impl PowerMonitor {
     pub fn new(seed: u64) -> Self {
         PowerMonitor {
             arm: Ur3e::new(),
-            dataset: PowerDataset::new(),
+            pending: Vec::new(),
             seed,
             store_quiescent: true,
             recordings: 0,
@@ -80,8 +115,9 @@ impl PowerMonitor {
 
     /// Records the telemetry of one executed trajectory.
     ///
-    /// Returns the profile for immediate analysis; the same profile is
-    /// appended to the dataset.
+    /// The trajectory is captured (with a seed derived from the
+    /// recording counter, exactly as the eager monitor drew it) and
+    /// synthesized lazily when the monitor is drained.
     pub fn record_motion(
         &mut self,
         procedure: ProcedureKind,
@@ -89,33 +125,26 @@ impl PowerMonitor {
         description: &str,
         segments: &[TrajectorySegment],
         payload_kg: f64,
-    ) -> CurrentProfile {
+    ) {
+        // The counter advances even while suspended: the RTDE poller
+        // kept numbering recordings during an outage, so the noise
+        // seeds of the survivors must not shift.
         let seed = self.seed.wrapping_add(u64::from(self.recordings));
         self.recordings += 1;
-        let profile = self.arm.current_profile(segments, payload_kg, seed);
         if self.suspended {
             self.missed += 1;
-            return profile;
+            return;
         }
-        let stored = if self.store_quiescent {
-            profile.clone()
-        } else {
-            CurrentProfile::from_samples(
-                profile
-                    .samples()
-                    .iter()
-                    .filter(|s| !s.is_quiescent())
-                    .cloned()
-                    .collect(),
-            )
-        };
-        self.dataset.push(PowerRecording {
+        self.pending.push(Pending {
             procedure,
             run_id,
             description: description.to_owned(),
-            profile: stored,
+            seed,
+            capture: Capture::Motion {
+                segments: segments.to_vec(),
+                payload_kg,
+            },
         });
-        profile
     }
 
     /// Records a quiescent stretch (the arm parked), honouring the
@@ -136,34 +165,129 @@ impl PowerMonitor {
         }
         let seed = self.seed.wrapping_add(u64::from(self.recordings));
         self.recordings += 1;
-        let profile = self.arm.quiescent_profile(pose, ticks, seed);
-        self.dataset.push(PowerRecording {
+        self.pending.push(Pending {
             procedure,
             run_id,
             description: "quiescent".to_owned(),
-            profile,
+            seed,
+            capture: Capture::Idle { pose, ticks },
         });
     }
 
     /// Number of recordings captured.
     pub fn len(&self) -> usize {
-        self.dataset.recordings().len()
+        self.pending.len()
     }
 
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.dataset.recordings().is_empty()
+        self.pending.is_empty()
+    }
+
+    /// Synthesizes every pending recording, fanning independent motion
+    /// captures out across cores. Results are merged back in recording
+    /// order, so output is bit-identical regardless of worker count.
+    fn synthesize(&self) -> Vec<(RecordingMeta, CurrentProfile)> {
+        let requests: Vec<ProfileRequest> = self
+            .pending
+            .iter()
+            .filter_map(|p| match &p.capture {
+                Capture::Motion {
+                    segments,
+                    payload_kg,
+                } => Some(ProfileRequest {
+                    segments: segments.clone(),
+                    payload_kg: *payload_kg,
+                    seed: p.seed,
+                }),
+                Capture::Idle { .. } => None,
+            })
+            .collect();
+        let mut motions = self.arm.current_profiles_par(&requests).into_iter();
+        self.pending
+            .iter()
+            .map(|p| {
+                let profile = match &p.capture {
+                    Capture::Motion { .. } => {
+                        motions.next().expect("one synthesized profile per motion")
+                    }
+                    Capture::Idle { pose, ticks } => {
+                        self.arm.quiescent_profile(*pose, *ticks, p.seed)
+                    }
+                };
+                let meta = RecordingMeta {
+                    procedure: p.procedure,
+                    run_id: p.run_id,
+                    description: p.description.clone(),
+                };
+                (meta, profile)
+            })
+            .collect()
+    }
+
+    /// Synthesizes all pending recordings and streams them into `sink`
+    /// as bounded [`DEFAULT_CHUNK_TICKS`]-tick blocks, finishing the
+    /// sink at the end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first sink error.
+    pub fn drain_into<S: PowerSink>(self, sink: &mut S) -> Result<(), RadError> {
+        for (meta, profile) in self.synthesize() {
+            sink.begin_recording(&meta)?;
+            rad_power::BlockSource::new(profile.block(), DEFAULT_CHUNK_TICKS)
+                .drain_into(&mut SinkNoFinish(sink))?;
+        }
+        sink.finish()
     }
 
     /// Finishes monitoring, yielding the power dataset.
     pub fn into_dataset(self) -> PowerDataset {
-        self.dataset
+        let store_quiescent = self.store_quiescent;
+        let mut dataset = PowerDataset::new();
+        let result = if store_quiescent {
+            self.drain_into(&mut dataset)
+        } else {
+            // The strict policy drops quiescent ticks row-by-row.
+            // Filtering the whole stream matches the old per-motion
+            // filter because idle recordings never reach the queue
+            // under this policy.
+            let mut filtered = Filtered::new(&mut dataset, |r: &rad_power::PowerRow<'_>| {
+                !r.is_quiescent()
+            });
+            self.drain_into(&mut filtered)
+        };
+        result.expect("power dataset sinks are infallible");
+        dataset
+    }
+}
+
+/// Forwards accepts/flushes but swallows `finish`, so a per-recording
+/// source drain cannot finish the shared sink early.
+struct SinkNoFinish<'a, S>(&'a mut S);
+
+impl<S: PowerSink> PowerSink for SinkNoFinish<'_, S> {
+    fn accept(&mut self, block: &rad_power::PowerBlock) -> Result<(), RadError> {
+        self.0.accept(block)
+    }
+
+    fn begin_recording(&mut self, meta: &RecordingMeta) -> Result<(), RadError> {
+        self.0.begin_recording(meta)
+    }
+
+    fn flush(&mut self) -> Result<(), RadError> {
+        self.0.flush()
+    }
+
+    fn finish(&mut self) -> Result<(), RadError> {
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rad_power::CountingPowerSink;
 
     fn seg() -> TrajectorySegment {
         TrajectorySegment::joint_move(Ur3e::named_pose(0), Ur3e::named_pose(1), 1.0)
@@ -172,18 +296,19 @@ mod tests {
     #[test]
     fn record_motion_appends_to_dataset() {
         let mut mon = PowerMonitor::new(0);
-        let profile = mon.record_motion(
+        mon.record_motion(
             ProcedureKind::VelocitySweep,
             RunId(0),
             "v=1.0rad/s",
             &[seg()],
             0.0,
         );
-        assert!(!profile.is_empty());
+        assert_eq!(mon.len(), 1);
+        let expected = Ur3e::new().current_profile(&[seg()], 0.0, 0);
         let ds = mon.into_dataset();
         assert_eq!(ds.recordings().len(), 1);
         assert_eq!(ds.recordings()[0].description, "v=1.0rad/s");
-        assert_eq!(ds.recordings()[0].profile.len(), profile.len());
+        assert_eq!(ds.recordings()[0].profile, expected);
     }
 
     #[test]
@@ -194,9 +319,15 @@ mod tests {
             mon.is_empty(),
             "idle stretches are not stored under the strict policy"
         );
-        let kept = mon.record_motion(ProcedureKind::Unknown, RunId(0), "move", &[seg()], 0.0);
+        mon.record_motion(ProcedureKind::Unknown, RunId(0), "move", &[seg()], 0.0);
+        let full = Ur3e::new().current_profile(&[seg()], 0.0, 0);
         let ds = mon.into_dataset();
-        assert!(ds.recordings()[0].profile.len() <= kept.len());
+        assert!(ds.recordings()[0].profile.len() <= full.len());
+        assert!(ds.recordings()[0]
+            .profile
+            .block()
+            .iter()
+            .all(|r| !r.is_quiescent()));
     }
 
     #[test]
@@ -229,12 +360,66 @@ mod tests {
     #[test]
     fn successive_recordings_use_fresh_noise() {
         let mut mon = PowerMonitor::new(7);
-        let a = mon.record_motion(ProcedureKind::VelocitySweep, RunId(0), "a", &[seg()], 0.0);
-        let b = mon.record_motion(ProcedureKind::VelocitySweep, RunId(1), "b", &[seg()], 0.0);
+        mon.record_motion(ProcedureKind::VelocitySweep, RunId(0), "a", &[seg()], 0.0);
+        mon.record_motion(ProcedureKind::VelocitySweep, RunId(1), "b", &[seg()], 0.0);
+        let ds = mon.into_dataset();
         assert_ne!(
-            a.joint_current(1),
-            b.joint_current(1),
+            ds.recordings()[0].profile.joint_current(1),
+            ds.recordings()[1].profile.joint_current(1),
             "noise differs across recordings"
+        );
+    }
+
+    #[test]
+    fn suspension_preserves_survivor_seeds() {
+        // A monitor that misses its first recording must give the
+        // second the same noise as an eager monitor would have: the
+        // recording counter advances during the outage.
+        let mut dropped = PowerMonitor::new(3);
+        dropped.suspend();
+        dropped.record_motion(
+            ProcedureKind::VelocitySweep,
+            RunId(0),
+            "lost",
+            &[seg()],
+            0.0,
+        );
+        dropped.resume();
+        dropped.record_motion(
+            ProcedureKind::VelocitySweep,
+            RunId(1),
+            "kept",
+            &[seg()],
+            0.0,
+        );
+        let survivor = dropped.into_dataset();
+
+        let expected = Ur3e::new().current_profile(&[seg()], 0.0, 3u64.wrapping_add(1));
+        assert_eq!(survivor.recordings()[0].profile, expected);
+    }
+
+    #[test]
+    fn drain_streams_bounded_chunks() {
+        let mut mon = PowerMonitor::new(0);
+        for i in 0..3 {
+            mon.record_motion(
+                ProcedureKind::VelocitySweep,
+                RunId(i),
+                "move",
+                &[seg()],
+                0.0,
+            );
+        }
+        mon.record_idle(ProcedureKind::Unknown, RunId(3), Ur3e::named_pose(0), 50);
+        let total: usize = 3 * Ur3e::new().current_profile(&[seg()], 0.0, 0).len() + 50;
+
+        let mut counter = CountingPowerSink::new();
+        mon.drain_into(&mut counter).unwrap();
+        assert_eq!(counter.recordings, 4);
+        assert_eq!(counter.ticks, total);
+        assert!(
+            counter.max_block_ticks <= DEFAULT_CHUNK_TICKS,
+            "hand-off blocks stay bounded"
         );
     }
 }

@@ -1,14 +1,22 @@
 //! The assembled UR3e power model: trajectories → telemetry.
 //!
 //! [`Ur3e`] drives the trapezoidal [`TrajectorySegment`] planner through
-//! the [`Ur3eDynamics`] torque/current model and emits 25 Hz
-//! [`PowerSample`] streams — the simulated counterpart of RATracer's
-//! power monitor (Fig. 3, bottom).
+//! the [`Ur3eDynamics`] torque/current model and emits 25 Hz telemetry
+//! — the simulated counterpart of RATracer's power monitor (Fig. 3,
+//! bottom). Synthesis is columnar: each tick writes only the ~50
+//! [`PowerBlock`] lanes that vary during a motion (kinematics,
+//! torques, currents, noise), evaluates the dynamics once per tick
+//! (deriving both the torque and current lanes from the same torque
+//! vector), and bulk-fills the constant lanes afterwards. The
+//! row-oriented loop is kept as [`Ur3e::current_profile_rows`] — the
+//! bench baseline and golden oracle; the columnar path is bitwise
+//! identical to it.
 
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use crate::block::{lane, PowerBlock};
 use crate::dynamics::Ur3eDynamics;
 use crate::sample::PowerSample;
 use crate::trajectory::TrajectorySegment;
@@ -18,6 +26,12 @@ use crate::{JOINTS, TICK_SECONDS};
 const CURRENT_NOISE_A: f64 = 0.03;
 /// Joint-position encoder noise (rad, uniform half-width).
 const POSITION_NOISE_RAD: f64 = 2e-4;
+
+/// Minimum synthesis ticks per worker before
+/// [`Ur3e::current_profiles_par`] fans out. Columnar synthesis runs at
+/// roughly 100–200 ns/tick, so 8192 ticks is ~1–2 ms of work per
+/// thread — an order of magnitude above scoped-thread spawn/join cost.
+const MIN_SYNTH_TICKS_PER_THREAD: usize = 8192;
 
 /// The simulated UR3e power plant.
 ///
@@ -90,16 +104,83 @@ impl Ur3e {
         POSES[index]
     }
 
+    /// Ticks a profile for `segments` will contain (matches
+    /// `sample_at`'s `ceil + 1` per segment).
+    fn profile_ticks(segments: &[TrajectorySegment]) -> usize {
+        segments
+            .iter()
+            .map(|s| (s.duration() / TICK_SECONDS).ceil() as usize + 1)
+            .sum()
+    }
+
     /// Simulates the telemetry stream for a sequence of moves executed
     /// back-to-back while carrying `payload_kg`, with measurement noise
     /// derived from `seed`.
-    #[allow(clippy::needless_range_loop)] // parallel per-joint arrays
+    ///
+    /// Columnar synthesis: per tick, the dynamics are evaluated once
+    /// and scattered into the varying lanes; the ~70 lanes that
+    /// `PowerSample::quiescent` holds constant during a motion are
+    /// bulk-filled afterwards. Bitwise identical to
+    /// [`Ur3e::current_profile_rows`].
     pub fn current_profile(
         &self,
         segments: &[TrajectorySegment],
         payload_kg: f64,
         seed: u64,
     ) -> CurrentProfile {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut block = PowerBlock::with_capacity(Self::profile_ticks(segments));
+        let mut t_offset = 0.0;
+        for segment in segments {
+            let points = segment.sample_at(TICK_SECONDS);
+            // Tick-major pass for everything RNG- or dynamics-ordered:
+            // the dynamics are evaluated once per tick (the row loop
+            // evaluates them twice), and the noise draws interleave
+            // q/current per joint exactly like the row-oriented
+            // reference loop — the RNG stream must stay aligned for
+            // bit-identity. Torque, ideal-current, and noise values
+            // go straight into their final lanes (25 write streams);
+            // the purely kinematic lanes are filled lane-major below,
+            // where each is one sequential extend over the points.
+            let lanes = block.lanes_mut();
+            for point in &points {
+                let tau = self.dynamics.torques(point, payload_kg);
+                let ideal = self.dynamics.currents_from_torques(&tau);
+                lanes[lane::TIMESTAMP].push(t_offset + point.t);
+                for j in 0..JOINTS {
+                    lanes[lane::CURRENT_TARGET + j].push(ideal[j]);
+                    lanes[lane::MOMENT_ACTUAL + j].push(tau.0[j]);
+                }
+                for j in 0..JOINTS {
+                    lanes[lane::Q_ACTUAL + j]
+                        .push(point.q[j] + rng.gen_range(-POSITION_NOISE_RAD..POSITION_NOISE_RAD));
+                    lanes[lane::CURRENT_ACTUAL + j]
+                        .push(ideal[j] + rng.gen_range(-CURRENT_NOISE_A..CURRENT_NOISE_A));
+                }
+            }
+            for j in 0..JOINTS {
+                lanes[lane::Q_TARGET + j].extend(points.iter().map(|p| p.q[j]));
+                lanes[lane::QD_TARGET + j].extend(points.iter().map(|p| p.qd[j]));
+                lanes[lane::QD_ACTUAL + j].extend(points.iter().map(|p| p.qd[j]));
+                lanes[lane::QDD_TARGET + j].extend(points.iter().map(|p| p.qdd[j]));
+                lanes[lane::QDD_ACTUAL + j].extend(points.iter().map(|p| p.qdd[j]));
+            }
+            t_offset += segment.duration();
+        }
+        fill_constant_motion_lanes(&mut block, payload_kg);
+        CurrentProfile { block }
+    }
+
+    /// The original row-oriented synthesis loop, kept verbatim as the
+    /// bench baseline and the golden oracle for the columnar
+    /// [`Ur3e::current_profile`] (which must match it bitwise).
+    #[allow(clippy::needless_range_loop)] // parallel per-joint arrays
+    pub fn current_profile_rows(
+        &self,
+        segments: &[TrajectorySegment],
+        payload_kg: f64,
+        seed: u64,
+    ) -> Vec<PowerSample> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut samples = Vec::new();
         let mut t_offset = 0.0;
@@ -127,7 +208,7 @@ impl Ur3e {
             }
             t_offset += segment.duration();
         }
-        CurrentProfile { samples }
+        samples
     }
 
     /// Simulates `ticks` of quiescent telemetry with the arm parked at
@@ -140,7 +221,43 @@ impl Ur3e {
         seed: u64,
     ) -> CurrentProfile {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let samples = (0..ticks)
+        let mut block = PowerBlock::with_capacity(ticks);
+        {
+            let lanes = block.lanes_mut();
+            for i in 0..ticks {
+                lanes[lane::TIMESTAMP].push(i as f64 * TICK_SECONDS);
+                for j in 0..JOINTS {
+                    lanes[lane::CURRENT_ACTUAL + j].push(
+                        self.dynamics.idle_current[j]
+                            + rng.gen_range(-CURRENT_NOISE_A..CURRENT_NOISE_A),
+                    );
+                }
+            }
+            for j in 0..JOINTS {
+                lanes[lane::Q_TARGET + j].resize(ticks, pose[j]);
+                lanes[lane::Q_ACTUAL + j].resize(ticks, pose[j]);
+                lanes[lane::QD_TARGET + j].resize(ticks, 0.0);
+                lanes[lane::QD_ACTUAL + j].resize(ticks, 0.0);
+                lanes[lane::QDD_TARGET + j].resize(ticks, 0.0);
+                lanes[lane::QDD_ACTUAL + j].resize(ticks, 0.0);
+                lanes[lane::CURRENT_TARGET + j].resize(ticks, 0.0);
+                lanes[lane::MOMENT_ACTUAL + j].resize(ticks, 0.0);
+            }
+        }
+        fill_constant_motion_lanes(&mut block, 0.0);
+        CurrentProfile { block }
+    }
+
+    /// The original row-oriented quiescent loop, kept as the golden
+    /// oracle for the columnar [`Ur3e::quiescent_profile`].
+    pub fn quiescent_profile_rows(
+        &self,
+        pose: [f64; JOINTS],
+        ticks: usize,
+        seed: u64,
+    ) -> Vec<PowerSample> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..ticks)
             .map(|i| {
                 let mut s = PowerSample::quiescent(i as f64 * TICK_SECONDS, pose);
                 for j in 0..JOINTS {
@@ -149,69 +266,185 @@ impl Ur3e {
                 }
                 s
             })
-            .collect();
-        CurrentProfile { samples }
+            .collect()
+    }
+
+    /// Synthesizes many independent profiles, fanning out over scoped
+    /// threads when the per-worker tick count clears the measured
+    /// break-even threshold (sequential otherwise — see
+    /// `rad_core::par`).
+    ///
+    /// Each request carries its own noise seed, so every profile is a
+    /// pure function of its request; workers take contiguous request
+    /// chunks and results are joined in request order, making the
+    /// output bit-identical to the sequential loop regardless of
+    /// scheduling.
+    pub fn current_profiles_par(&self, requests: &[ProfileRequest]) -> Vec<CurrentProfile> {
+        let total_ticks: usize = requests
+            .iter()
+            .map(|r| Self::profile_ticks(&r.segments))
+            .sum();
+        if !rad_core::par::should_fan_out(requests.len(), total_ticks, MIN_SYNTH_TICKS_PER_THREAD) {
+            return requests
+                .iter()
+                .map(|r| self.current_profile(&r.segments, r.payload_kg, r.seed))
+                .collect();
+        }
+        let workers = rad_core::par::max_workers().min(requests.len());
+        let chunk = requests.len().div_ceil(workers);
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = requests
+                .chunks(chunk)
+                .map(|reqs| {
+                    s.spawn(move || {
+                        reqs.iter()
+                            .map(|r| self.current_profile(&r.segments, r.payload_kg, r.seed))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("synthesis worker panicked"))
+                .collect()
+        })
     }
 }
 
-/// A recorded 25 Hz telemetry stream.
+/// One synthesis request for [`Ur3e::current_profiles_par`].
+#[derive(Debug, Clone)]
+pub struct ProfileRequest {
+    /// Moves executed back-to-back.
+    pub segments: Vec<TrajectorySegment>,
+    /// Payload carried at the tool (kg).
+    pub payload_kg: f64,
+    /// Noise seed for this profile.
+    pub seed: u64,
+}
+
+/// Bulk-fills the lanes that [`PowerSample::quiescent`] holds constant
+/// during a motion, out to the block's tick count. Values mirror the
+/// `quiescent` constructor (the row path's starting point), so the
+/// columnar result stays bitwise identical to the row path.
+fn fill_constant_motion_lanes(block: &mut PowerBlock, payload_kg: f64) {
+    let ticks = block.len();
+    let lanes = block.lanes_mut();
+    let mut fill = |l: usize, v: f64| lanes[l].resize(ticks, v);
+    for j in 0..JOINTS {
+        fill(lane::JOINT_TEMPERATURE + j, 28.0);
+        fill(lane::JOINT_VOLTAGE + j, 48.0);
+        fill(lane::JOINT_MODE + j, 255.0);
+    }
+    // All five TCP vectors and both elbow vectors are zero.
+    for l in lane::TCP_POSE_TARGET..lane::TOOL_ACCELEROMETER {
+        fill(l, 0.0);
+    }
+    fill(lane::TOOL_ACCELEROMETER, 0.0);
+    fill(lane::TOOL_ACCELEROMETER + 1, 0.0);
+    fill(lane::TOOL_ACCELEROMETER + 2, -9.81);
+    for l in lane::ELBOW_POSITION..lane::ROBOT_VOLTAGE {
+        fill(l, 0.0);
+    }
+    fill(lane::ROBOT_VOLTAGE, 48.0);
+    fill(lane::ROBOT_CURRENT, 0.5);
+    fill(lane::PAYLOAD_MASS, payload_kg);
+    fill(lane::SPEED_SCALING, 1.0);
+    fill(lane::DIGITAL_INPUTS, 0.0);
+    fill(lane::DIGITAL_OUTPUTS, 0.0);
+    fill(lane::SAFETY_STATUS, 1.0);
+    fill(lane::RUNTIME_STATE, 1.0);
+    fill(lane::ROBOT_MODE, 7.0);
+    fill(lane::TOOL_OUTPUT_VOLTAGE, 0.0);
+}
+
+/// A recorded 25 Hz telemetry stream, stored columnar.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct CurrentProfile {
-    samples: Vec<PowerSample>,
+    block: PowerBlock,
 }
 
 impl CurrentProfile {
-    /// Wraps an existing sample stream.
+    /// Wraps an existing row-form sample stream.
     pub fn from_samples(samples: Vec<PowerSample>) -> Self {
-        CurrentProfile { samples }
+        CurrentProfile {
+            block: PowerBlock::from_samples(&samples),
+        }
     }
 
-    /// The underlying samples.
-    pub fn samples(&self) -> &[PowerSample] {
-        &self.samples
+    /// Wraps an existing columnar block.
+    pub fn from_block(block: PowerBlock) -> Self {
+        CurrentProfile { block }
     }
 
-    /// Consumes the profile, returning its samples.
+    /// The underlying columnar block.
+    pub fn block(&self) -> &PowerBlock {
+        &self.block
+    }
+
+    /// Consumes the profile, returning its block.
+    pub fn into_block(self) -> PowerBlock {
+        self.block
+    }
+
+    /// Appends raw ticks without timestamp shifting (sink-built
+    /// datasets accumulate chunks of one recording this way; contrast
+    /// [`CurrentProfile::extend`]).
+    pub fn append_block(&mut self, block: &PowerBlock) {
+        self.block.append(block);
+    }
+
+    /// Materializes every tick into row form.
+    pub fn to_samples(&self) -> Vec<PowerSample> {
+        self.block.to_samples()
+    }
+
+    /// Consumes the profile, materializing its samples.
     pub fn into_samples(self) -> Vec<PowerSample> {
-        self.samples
+        self.block.to_samples()
     }
 
     /// Number of 40 ms ticks recorded.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.block.len()
     }
 
     /// Whether the profile is empty.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.block.is_empty()
     }
 
     /// Total recorded duration in seconds.
     pub fn duration(&self) -> f64 {
-        self.samples.len() as f64 * TICK_SECONDS
+        self.block.len() as f64 * TICK_SECONDS
     }
 
-    /// The actual-current time series of one joint.
+    /// The actual-current lane of one joint, zero-copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joint >= 6`.
+    pub fn current_lane(&self, joint: usize) -> &[f64] {
+        self.block.current_lane(joint)
+    }
+
+    /// The actual-current time series of one joint (owned; see
+    /// [`CurrentProfile::current_lane`] for the zero-copy form).
     ///
     /// # Panics
     ///
     /// Panics if `joint >= 6`.
     pub fn joint_current(&self, joint: usize) -> Vec<f64> {
-        assert!(joint < JOINTS, "joint index {joint} out of range");
-        self.samples
-            .iter()
-            .map(|s| s.current_actual[joint])
-            .collect()
+        self.block.current_lane(joint).to_vec()
     }
 
     /// Appends another profile, shifting its timestamps to follow this
     /// one.
     pub fn extend(&mut self, other: &CurrentProfile) {
         let offset = self.duration();
-        for s in other.samples() {
-            let mut s = s.clone();
-            s.timestamp += offset;
-            self.samples.push(s);
+        let start = self.block.len();
+        self.block.append(&other.block);
+        for t in &mut self.block.lanes_mut()[lane::TIMESTAMP][start..] {
+            *t += offset;
         }
     }
 }
@@ -232,6 +465,43 @@ mod tests {
         let expected_ticks = (seg.duration() / TICK_SECONDS).ceil() as usize + 1;
         let profile = arm.current_profile(&[seg], 0.0, 0);
         assert_eq!(profile.len(), expected_ticks);
+    }
+
+    #[test]
+    fn columnar_synthesis_matches_row_oracle_bitwise() {
+        let arm = Ur3e::new();
+        for (payload, seed) in [(0.0, 0), (0.5, 7), (1.0, 42)] {
+            let segments = [leg(0, 1, 1.0), leg(1, 2, 0.6)];
+            let columnar = arm.current_profile(&segments, payload, seed);
+            let rows = arm.current_profile_rows(&segments, payload, seed);
+            assert_eq!(columnar.block(), &PowerBlock::from_samples(&rows));
+        }
+    }
+
+    #[test]
+    fn columnar_quiescent_matches_row_oracle_bitwise() {
+        let arm = Ur3e::new();
+        let columnar = arm.quiescent_profile(Ur3e::named_pose(3), 57, 11);
+        let rows = arm.quiescent_profile_rows(Ur3e::named_pose(3), 57, 11);
+        assert_eq!(columnar.block(), &PowerBlock::from_samples(&rows));
+    }
+
+    #[test]
+    fn parallel_synthesis_is_bit_identical_to_sequential() {
+        let arm = Ur3e::new();
+        let requests: Vec<ProfileRequest> = (0..6)
+            .map(|i| ProfileRequest {
+                segments: vec![leg(i % 5, i % 5 + 1, 0.8)],
+                payload_kg: 0.1 * i as f64,
+                seed: 1000 + i as u64,
+            })
+            .collect();
+        let sequential: Vec<CurrentProfile> = requests
+            .iter()
+            .map(|r| arm.current_profile(&r.segments, r.payload_kg, r.seed))
+            .collect();
+        let parallel = arm.current_profiles_par(&requests);
+        assert_eq!(parallel, sequential);
     }
 
     #[test]
@@ -328,7 +598,7 @@ mod tests {
         let arm = Ur3e::new();
         let p = arm.quiescent_profile(Ur3e::named_pose(0), 100, 0);
         assert_eq!(p.len(), 100);
-        assert!(p.samples().iter().all(PowerSample::is_quiescent));
+        assert!(p.block().iter().all(|r| r.is_quiescent()));
     }
 
     #[test]
@@ -338,7 +608,7 @@ mod tests {
         let b = arm.quiescent_profile(Ur3e::named_pose(0), 10, 1);
         a.extend(&b);
         assert_eq!(a.len(), 20);
-        let ts: Vec<f64> = a.samples().iter().map(|s| s.timestamp).collect();
+        let ts = a.block().lane(lane::TIMESTAMP);
         for w in ts.windows(2) {
             assert!(w[1] > w[0], "timestamps strictly increase");
         }

@@ -1,0 +1,508 @@
+//! Columnar (struct-of-arrays) storage for power telemetry.
+//!
+//! [`PowerBlock`] is the power-plane counterpart of `rad_core`'s
+//! `TraceBatch`: each of the 122 physical properties of a
+//! [`PowerSample`] becomes one contiguous `Vec<f64>` lane, tick-major.
+//! A correlation over a joint-current series then reads one dense lane
+//! instead of gathering a field out of 976-byte rows, and synthesis
+//! writes only the ~50 lanes that actually vary during a motion while
+//! bulk-filling the constant ones.
+//!
+//! Lane order is pinned to [`PowerSample::to_row`] (declaration order),
+//! so `block.lane(l)[i] == samples[i].to_row()[l]` — the CSV column
+//! layout and the lane layout are the same thing. [`PowerRow`] gives a
+//! zero-copy row view; [`PowerBlock::materialize`] and
+//! [`PowerBlock::from_samples`] round-trip to the row representation.
+
+use crate::sample::PowerSample;
+use crate::JOINTS;
+
+/// Base indices of each property group in the lane layout.
+///
+/// The layout is exactly [`PowerSample::to_row`] order: index `0` is
+/// the timestamp, followed by twelve six-joint vectors, five
+/// six-element TCP vectors, three three-element vectors, and ten
+/// robot-level scalars. Vector groups expose their *base* index; lane
+/// `base + j` holds component `j`.
+pub mod lane {
+    /// Seconds since the start of the recording.
+    pub const TIMESTAMP: usize = 0;
+    /// Target joint positions (rad), 6 lanes.
+    pub const Q_TARGET: usize = 1;
+    /// Actual joint positions (rad), 6 lanes.
+    pub const Q_ACTUAL: usize = 7;
+    /// Target joint velocities (rad/s), 6 lanes.
+    pub const QD_TARGET: usize = 13;
+    /// Actual joint velocities (rad/s), 6 lanes.
+    pub const QD_ACTUAL: usize = 19;
+    /// Target joint accelerations (rad/s²), 6 lanes.
+    pub const QDD_TARGET: usize = 25;
+    /// Actual joint accelerations (rad/s²), 6 lanes.
+    pub const QDD_ACTUAL: usize = 31;
+    /// Target joint currents (A), 6 lanes.
+    pub const CURRENT_TARGET: usize = 37;
+    /// Actual joint currents (A), 6 lanes — the §VI analysis signal.
+    pub const CURRENT_ACTUAL: usize = 43;
+    /// Joint moments (N·m), 6 lanes.
+    pub const MOMENT_ACTUAL: usize = 49;
+    /// Joint temperatures (°C), 6 lanes.
+    pub const JOINT_TEMPERATURE: usize = 55;
+    /// Joint bus voltages (V), 6 lanes.
+    pub const JOINT_VOLTAGE: usize = 61;
+    /// Joint control modes (vendor enum), 6 lanes.
+    pub const JOINT_MODE: usize = 67;
+    /// Target TCP pose, 6 lanes.
+    pub const TCP_POSE_TARGET: usize = 73;
+    /// Actual TCP pose, 6 lanes.
+    pub const TCP_POSE_ACTUAL: usize = 79;
+    /// Target TCP speed, 6 lanes.
+    pub const TCP_SPEED_TARGET: usize = 85;
+    /// Actual TCP speed, 6 lanes.
+    pub const TCP_SPEED_ACTUAL: usize = 91;
+    /// Generalized TCP force, 6 lanes.
+    pub const TCP_FORCE: usize = 97;
+    /// Tool accelerometer (m/s²), 3 lanes.
+    pub const TOOL_ACCELEROMETER: usize = 103;
+    /// Elbow position (m), 3 lanes.
+    pub const ELBOW_POSITION: usize = 106;
+    /// Elbow velocity (m/s), 3 lanes.
+    pub const ELBOW_VELOCITY: usize = 109;
+    /// Main robot supply voltage (V).
+    pub const ROBOT_VOLTAGE: usize = 112;
+    /// Total robot supply current (A).
+    pub const ROBOT_CURRENT: usize = 113;
+    /// Configured payload mass (kg).
+    pub const PAYLOAD_MASS: usize = 114;
+    /// Speed-scaling slider (0–1).
+    pub const SPEED_SCALING: usize = 115;
+    /// Digital input bits.
+    pub const DIGITAL_INPUTS: usize = 116;
+    /// Digital output bits.
+    pub const DIGITAL_OUTPUTS: usize = 117;
+    /// Safety status (vendor enum).
+    pub const SAFETY_STATUS: usize = 118;
+    /// Runtime state (vendor enum).
+    pub const RUNTIME_STATE: usize = 119;
+    /// Robot mode (vendor enum).
+    pub const ROBOT_MODE: usize = 120;
+    /// Tool output voltage (V).
+    pub const TOOL_OUTPUT_VOLTAGE: usize = 121;
+}
+
+/// A columnar block of power-telemetry ticks.
+///
+/// # Examples
+///
+/// ```
+/// use rad_power::{block::lane, PowerBlock, PowerSample};
+///
+/// let s = PowerSample::quiescent(0.25, [0.1; 6]);
+/// let block = PowerBlock::from_samples(std::slice::from_ref(&s));
+/// assert_eq!(block.len(), 1);
+/// assert_eq!(block.lane(lane::TIMESTAMP), &[0.25]);
+/// assert_eq!(block.materialize(0), s);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerBlock {
+    /// One lane per property, all the same length, tick-major.
+    lanes: Vec<Vec<f64>>,
+}
+
+impl Default for PowerBlock {
+    fn default() -> Self {
+        PowerBlock::new()
+    }
+}
+
+impl PowerBlock {
+    /// An empty block.
+    pub fn new() -> Self {
+        PowerBlock {
+            lanes: vec![Vec::new(); PowerSample::FIELD_COUNT],
+        }
+    }
+
+    /// An empty block with `ticks` of capacity pre-reserved per lane.
+    pub fn with_capacity(ticks: usize) -> Self {
+        PowerBlock {
+            lanes: (0..PowerSample::FIELD_COUNT)
+                .map(|_| Vec::with_capacity(ticks))
+                .collect(),
+        }
+    }
+
+    /// Number of ticks stored.
+    pub fn len(&self) -> usize {
+        self.lanes[lane::TIMESTAMP].len()
+    }
+
+    /// Whether the block holds no ticks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all ticks, keeping lane capacity.
+    pub fn clear(&mut self) {
+        for l in &mut self.lanes {
+            l.clear();
+        }
+    }
+
+    /// One property lane as a contiguous slice (zero-copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= PowerSample::FIELD_COUNT`.
+    pub fn lane(&self, index: usize) -> &[f64] {
+        &self.lanes[index]
+    }
+
+    /// The actual-current lane of one joint — the series analysed in
+    /// §VI (Fig. 7a–7d).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joint >= 6`.
+    pub fn current_lane(&self, joint: usize) -> &[f64] {
+        assert!(joint < JOINTS, "joint index {joint} out of range");
+        &self.lanes[lane::CURRENT_ACTUAL + joint]
+    }
+
+    /// Mutable lane access for in-crate columnar writers (synthesis
+    /// pushes straight into the varying lanes, then bulk-fills the
+    /// constant ones).
+    pub(crate) fn lanes_mut(&mut self) -> &mut [Vec<f64>] {
+        &mut self.lanes
+    }
+
+    /// Appends one row-form sample, scattering its fields into the
+    /// lanes.
+    pub fn push_sample(&mut self, s: &PowerSample) {
+        let mut it = self.lanes.iter_mut();
+        let mut push = |v: f64| it.next().expect("lane count").push(v);
+        push(s.timestamp);
+        for arr in [
+            &s.q_target,
+            &s.q_actual,
+            &s.qd_target,
+            &s.qd_actual,
+            &s.qdd_target,
+            &s.qdd_actual,
+            &s.current_target,
+            &s.current_actual,
+            &s.moment_actual,
+            &s.joint_temperature,
+            &s.joint_voltage,
+            &s.joint_mode,
+        ] {
+            for &v in arr {
+                push(v);
+            }
+        }
+        for arr in [
+            &s.tcp_pose_target,
+            &s.tcp_pose_actual,
+            &s.tcp_speed_target,
+            &s.tcp_speed_actual,
+            &s.tcp_force,
+        ] {
+            for &v in arr {
+                push(v);
+            }
+        }
+        for arr in [&s.tool_accelerometer, &s.elbow_position, &s.elbow_velocity] {
+            for &v in arr {
+                push(v);
+            }
+        }
+        for v in [
+            s.robot_voltage,
+            s.robot_current,
+            s.payload_mass,
+            s.speed_scaling,
+            s.digital_inputs,
+            s.digital_outputs,
+            s.safety_status,
+            s.runtime_state,
+            s.robot_mode,
+            s.tool_output_voltage,
+        ] {
+            push(v);
+        }
+    }
+
+    /// Appends one tick referenced by a [`PowerRow`] view.
+    pub fn push_row(&mut self, row: &PowerRow<'_>) {
+        for (dst, src) in self.lanes.iter_mut().zip(&row.block.lanes) {
+            dst.push(src[row.index]);
+        }
+    }
+
+    /// Appends all ticks of `other` (lane-wise `memcpy`).
+    pub fn append(&mut self, other: &PowerBlock) {
+        for (dst, src) in self.lanes.iter_mut().zip(&other.lanes) {
+            dst.extend_from_slice(src);
+        }
+    }
+
+    /// Appends the tick range `start..end` of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start..end` is out of bounds.
+    pub fn append_range(&mut self, other: &PowerBlock, start: usize, end: usize) {
+        for (dst, src) in self.lanes.iter_mut().zip(&other.lanes) {
+            dst.extend_from_slice(&src[start..end]);
+        }
+    }
+
+    /// Gathers tick `index` back into the row representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn materialize(&self, index: usize) -> PowerSample {
+        assert!(index < self.len(), "tick index {index} out of range");
+        let mut it = self.lanes.iter();
+        let mut next = || it.next().expect("lane count")[index];
+        let vec6 = |next: &mut dyn FnMut() -> f64| {
+            let mut out = [0.0; 6];
+            for v in &mut out {
+                *v = next();
+            }
+            out
+        };
+        let vec3 = |next: &mut dyn FnMut() -> f64| {
+            let mut out = [0.0; 3];
+            for v in &mut out {
+                *v = next();
+            }
+            out
+        };
+        PowerSample {
+            timestamp: next(),
+            q_target: vec6(&mut next),
+            q_actual: vec6(&mut next),
+            qd_target: vec6(&mut next),
+            qd_actual: vec6(&mut next),
+            qdd_target: vec6(&mut next),
+            qdd_actual: vec6(&mut next),
+            current_target: vec6(&mut next),
+            current_actual: vec6(&mut next),
+            moment_actual: vec6(&mut next),
+            joint_temperature: vec6(&mut next),
+            joint_voltage: vec6(&mut next),
+            joint_mode: vec6(&mut next),
+            tcp_pose_target: vec6(&mut next),
+            tcp_pose_actual: vec6(&mut next),
+            tcp_speed_target: vec6(&mut next),
+            tcp_speed_actual: vec6(&mut next),
+            tcp_force: vec6(&mut next),
+            tool_accelerometer: vec3(&mut next),
+            elbow_position: vec3(&mut next),
+            elbow_velocity: vec3(&mut next),
+            robot_voltage: next(),
+            robot_current: next(),
+            payload_mass: next(),
+            speed_scaling: next(),
+            digital_inputs: next(),
+            digital_outputs: next(),
+            safety_status: next(),
+            runtime_state: next(),
+            robot_mode: next(),
+            tool_output_voltage: next(),
+        }
+    }
+
+    /// Builds a block from row-form samples.
+    pub fn from_samples(samples: &[PowerSample]) -> Self {
+        let mut block = PowerBlock::with_capacity(samples.len());
+        for s in samples {
+            block.push_sample(s);
+        }
+        block
+    }
+
+    /// Materializes every tick back into row form.
+    pub fn to_samples(&self) -> Vec<PowerSample> {
+        (0..self.len()).map(|i| self.materialize(i)).collect()
+    }
+
+    /// Zero-copy view of tick `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn row(&self, index: usize) -> PowerRow<'_> {
+        assert!(index < self.len(), "tick index {index} out of range");
+        PowerRow { block: self, index }
+    }
+
+    /// Iterates over all ticks as zero-copy views.
+    pub fn iter(&self) -> impl Iterator<Item = PowerRow<'_>> {
+        (0..self.len()).map(move |index| PowerRow { block: self, index })
+    }
+
+    /// Approximate resident size in bytes (lane payloads only).
+    pub fn approx_bytes(&self) -> usize {
+        self.lanes.len() * self.len() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Zero-copy view of one tick of a [`PowerBlock`].
+#[derive(Debug, Clone, Copy)]
+pub struct PowerRow<'a> {
+    block: &'a PowerBlock,
+    index: usize,
+}
+
+impl<'a> PowerRow<'a> {
+    /// One scalar property of this tick, by lane index.
+    pub fn value(&self, lane: usize) -> f64 {
+        self.block.lanes[lane][self.index]
+    }
+
+    /// Seconds since the start of the recording.
+    pub fn timestamp(&self) -> f64 {
+        self.value(lane::TIMESTAMP)
+    }
+
+    /// Actual current of one joint (A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joint >= 6`.
+    pub fn current_actual(&self, joint: usize) -> f64 {
+        assert!(joint < JOINTS, "joint index {joint} out of range");
+        self.value(lane::CURRENT_ACTUAL + joint)
+    }
+
+    /// Actual velocity of one joint (rad/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joint >= 6`.
+    pub fn qd_actual(&self, joint: usize) -> f64 {
+        assert!(joint < JOINTS, "joint index {joint} out of range");
+        self.value(lane::QD_ACTUAL + joint)
+    }
+
+    /// Quiescence predicate, identical to
+    /// [`PowerSample::is_quiescent`] but reading lanes in place.
+    pub fn is_quiescent(&self) -> bool {
+        (0..JOINTS).all(|j| self.qd_actual(j).abs() < 1e-3)
+            && (0..JOINTS).all(|j| self.current_actual(j).abs() < 0.5)
+    }
+
+    /// Gathers this tick into an owned [`PowerSample`].
+    pub fn to_sample(&self) -> PowerSample {
+        self.block.materialize(self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn varied_sample(i: usize) -> PowerSample {
+        let mut s = PowerSample::quiescent(i as f64 * 0.040, [0.1 * i as f64; JOINTS]);
+        for j in 0..JOINTS {
+            s.qd_actual[j] = 0.01 * (i + j) as f64;
+            s.current_actual[j] = -1.5 + 0.25 * (i * JOINTS + j) as f64;
+            s.moment_actual[j] = (i as f64).sin() + j as f64;
+        }
+        s.payload_mass = 0.5;
+        s.tcp_force[3] = 7.25;
+        s
+    }
+
+    #[test]
+    fn lane_layout_matches_to_row() {
+        let s = varied_sample(3);
+        let block = PowerBlock::from_samples(std::slice::from_ref(&s));
+        let row = s.to_row();
+        assert_eq!(row.len(), PowerSample::FIELD_COUNT);
+        for (l, &v) in row.iter().enumerate() {
+            assert_eq!(block.lane(l)[0], v, "lane {l} disagrees with to_row");
+        }
+        // Spot-check the published base constants against named fields.
+        assert_eq!(block.lane(lane::TIMESTAMP)[0], s.timestamp);
+        assert_eq!(block.lane(lane::CURRENT_ACTUAL + 2)[0], s.current_actual[2]);
+        assert_eq!(block.lane(lane::MOMENT_ACTUAL + 5)[0], s.moment_actual[5]);
+        assert_eq!(block.lane(lane::TCP_FORCE + 3)[0], s.tcp_force[3]);
+        assert_eq!(block.lane(lane::PAYLOAD_MASS)[0], s.payload_mass);
+        assert_eq!(
+            block.lane(lane::TOOL_OUTPUT_VOLTAGE)[0],
+            s.tool_output_voltage
+        );
+    }
+
+    #[test]
+    fn round_trip_preserves_samples() {
+        let samples: Vec<PowerSample> = (0..17).map(varied_sample).collect();
+        let block = PowerBlock::from_samples(&samples);
+        assert_eq!(block.len(), samples.len());
+        assert_eq!(block.to_samples(), samples);
+        for (i, s) in samples.iter().enumerate() {
+            assert_eq!(&block.materialize(i), s);
+            assert_eq!(&block.row(i).to_sample(), s);
+        }
+    }
+
+    #[test]
+    fn row_view_agrees_with_sample_quiescence() {
+        let quiet = PowerSample::quiescent(0.0, [0.2; JOINTS]);
+        let busy = varied_sample(4);
+        let block = PowerBlock::from_samples(&[quiet.clone(), busy.clone()]);
+        assert_eq!(block.row(0).is_quiescent(), quiet.is_quiescent());
+        assert_eq!(block.row(1).is_quiescent(), busy.is_quiescent());
+        assert!(block.row(0).is_quiescent());
+        assert!(!block.row(1).is_quiescent());
+    }
+
+    #[test]
+    fn append_and_range_concatenate() {
+        let a: Vec<PowerSample> = (0..5).map(varied_sample).collect();
+        let b: Vec<PowerSample> = (5..9).map(varied_sample).collect();
+        let mut block = PowerBlock::from_samples(&a);
+        let tail = PowerBlock::from_samples(&b);
+        block.append(&tail);
+        let mut expected = a.clone();
+        expected.extend(b.iter().cloned());
+        assert_eq!(block.to_samples(), expected);
+
+        let mut mid = PowerBlock::new();
+        mid.append_range(&block, 2, 6);
+        assert_eq!(mid.to_samples(), expected[2..6].to_vec());
+    }
+
+    #[test]
+    fn push_row_copies_single_ticks() {
+        let samples: Vec<PowerSample> = (0..6).map(varied_sample).collect();
+        let block = PowerBlock::from_samples(&samples);
+        let mut picked = PowerBlock::new();
+        for row in block.iter().filter(|r| !r.is_quiescent()) {
+            picked.push_row(&row);
+        }
+        let expected: Vec<PowerSample> = samples
+            .iter()
+            .filter(|s| !s.is_quiescent())
+            .cloned()
+            .collect();
+        assert_eq!(picked.to_samples(), expected);
+    }
+
+    #[test]
+    fn capacity_and_bytes_track_ticks() {
+        let samples: Vec<PowerSample> = (0..8).map(varied_sample).collect();
+        let mut block = PowerBlock::with_capacity(8);
+        for s in &samples {
+            block.push_sample(s);
+        }
+        assert_eq!(block.len(), 8);
+        assert_eq!(block.approx_bytes(), 8 * PowerSample::FIELD_COUNT * 8);
+        block.clear();
+        assert!(block.is_empty());
+        assert_eq!(block.approx_bytes(), 0);
+    }
+}

@@ -124,10 +124,18 @@ impl Ur3eDynamics {
     /// Motor currents (A) at a trajectory point. Noise-free; callers add
     /// measurement noise.
     pub fn currents(&self, point: &TrajectoryPoint, payload_kg: f64) -> [f64; JOINTS] {
-        let tau = self.torques(point, payload_kg).0;
+        let tau = self.torques(point, payload_kg);
+        self.currents_from_torques(&tau)
+    }
+
+    /// Motor currents for an already-computed torque vector — the fused
+    /// form used by columnar synthesis, which evaluates [`Self::torques`]
+    /// once per tick and derives both the torque and current lanes from
+    /// it (bitwise identical to calling [`Self::currents`]).
+    pub fn currents_from_torques(&self, tau: &JointTorques) -> [f64; JOINTS] {
         let mut out = [0.0; JOINTS];
-        for i in 0..JOINTS {
-            out[i] = tau[i] / self.torque_constant[i] + self.idle_current[i];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = tau.0[i] / self.torque_constant[i] + self.idle_current[i];
         }
         out
     }

@@ -29,16 +29,23 @@
 #![warn(missing_docs)]
 
 pub mod arm;
+pub mod block;
 pub mod dynamics;
 pub mod kinematics;
 pub mod sample;
 pub mod signal;
+pub mod sink;
 pub mod trajectory;
 
-pub use arm::{CurrentProfile, Ur3e};
+pub use arm::{CurrentProfile, ProfileRequest, Ur3e};
+pub use block::{PowerBlock, PowerRow};
 pub use dynamics::{JointTorques, Ur3eDynamics};
 pub use kinematics::{Elbow, Ur3eKinematics};
 pub use sample::PowerSample;
+pub use sink::{
+    BlockSource, Chunked, CountingPowerSink, Filtered, PowerSink, PowerSinkExt, PowerSource,
+    RecordingMeta, DEFAULT_CHUNK_TICKS,
+};
 pub use trajectory::{TrajectoryPoint, TrajectorySegment};
 
 /// The monitoring period of the UR3e real-time API: 40 ms (25 Hz).

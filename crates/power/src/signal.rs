@@ -1,11 +1,51 @@
-//! Signal-analysis utilities for current profiles.
+//! Signal-analysis kernels for current profiles.
 //!
 //! §VI compares current traces by shape: Pearson correlation between
 //! runs with different solids (> 0.97), peak counts and amplitudes
 //! across velocities, and level shifts across payloads. These are the
 //! primitives behind those comparisons.
+//!
+//! The top-level kernels are the vectorized single-pass forms used by
+//! the columnar power plane: [`pearson`] fuses mean/variance/covariance
+//! into one Welford pass, [`pearson_matrix`] computes all-pairs run
+//! correlations while reusing each run's moments instead of recomputing
+//! them per pair, [`resample`] runs branch-free over a lane, and
+//! [`peak_stats`] extracts peak count, amplitude, level (mean-abs), and
+//! RMS in a single pass with no per-sample allocation. The original
+//! two-pass/scalar implementations live verbatim in [`mod@reference`] as
+//! the proptest oracle and bench baseline.
 
-/// Pearson correlation coefficient between two equal-length series.
+/// Running first and second moments of one series, computed in a
+/// single Welford pass by [`moments`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Moments {
+    /// Number of points.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sum of squared deviations from the mean (`n·variance`).
+    pub m2: f64,
+}
+
+/// One-pass Welford moments of a series.
+pub fn moments(series: &[f64]) -> Moments {
+    let mut mean = 0.0;
+    let mut m2 = 0.0;
+    for (i, &x) in series.iter().enumerate() {
+        let delta = x - mean;
+        mean += delta / (i + 1) as f64;
+        m2 += delta * (x - mean);
+    }
+    Moments {
+        n: series.len(),
+        mean,
+        m2,
+    }
+}
+
+/// Pearson correlation coefficient between two equal-length series,
+/// fused into one Welford mean/variance/covariance pass (the
+/// [`reference::pearson`] oracle makes three passes).
 ///
 /// # Errors
 ///
@@ -28,105 +68,198 @@ pub fn pearson(a: &[f64], b: &[f64]) -> Result<f64, String> {
     if a.len() < 2 {
         return Err("need at least two points".to_owned());
     }
-    let n = a.len() as f64;
-    let mean_a = a.iter().sum::<f64>() / n;
-    let mean_b = b.iter().sum::<f64>() / n;
-    let mut cov = 0.0;
-    let mut var_a = 0.0;
-    let mut var_b = 0.0;
-    for (x, y) in a.iter().zip(b) {
+    let mut mean_a = 0.0;
+    let mut mean_b = 0.0;
+    let mut m2a = 0.0;
+    let mut m2b = 0.0;
+    let mut cab = 0.0;
+    for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+        let k = (i + 1) as f64;
         let dx = x - mean_a;
         let dy = y - mean_b;
-        cov += dx * dy;
-        var_a += dx * dx;
-        var_b += dy * dy;
+        mean_a += dx / k;
+        mean_b += dy / k;
+        let dy2 = y - mean_b;
+        m2a += dx * (x - mean_a);
+        m2b += dy * dy2;
+        cab += dx * dy2;
     }
-    if var_a == 0.0 || var_b == 0.0 {
+    // A constant series keeps its running mean exactly equal to the
+    // constant, so m2 accumulates exact zeros and the degenerate case
+    // is detected exactly, like the two-pass reference.
+    if m2a == 0.0 || m2b == 0.0 {
         return Err("zero variance".to_owned());
     }
-    Ok(cov / (var_a.sqrt() * var_b.sqrt()))
+    Ok(cab / (m2a.sqrt() * m2b.sqrt()))
+}
+
+/// All-pairs Pearson correlation matrix over equal-length series.
+///
+/// Per-series moments are computed once and reused for every pair, so
+/// `k` runs cost `k` moment passes plus `k(k-1)/2` covariance passes —
+/// versus `3·k(k-1)/2` passes when calling [`pearson`] per pair. The
+/// diagonal is exactly `1.0`.
+///
+/// # Errors
+///
+/// Returns an error message when series lengths differ, any series is
+/// shorter than two points, or any series has zero variance.
+pub fn pearson_matrix(series: &[&[f64]]) -> Result<Vec<Vec<f64>>, String> {
+    let Some(first) = series.first() else {
+        return Ok(Vec::new());
+    };
+    for s in series {
+        if s.len() != first.len() {
+            return Err(format!("length mismatch: {} vs {}", first.len(), s.len()));
+        }
+    }
+    if first.len() < 2 {
+        return Err("need at least two points".to_owned());
+    }
+    let moments: Vec<Moments> = series.iter().map(|s| moments(s)).collect();
+    if moments.iter().any(|m| m.m2 == 0.0) {
+        return Err("zero variance".to_owned());
+    }
+    let k = series.len();
+    let mut out = vec![vec![1.0; k]; k];
+    for i in 0..k {
+        for j in i + 1..k {
+            let (ma, mb) = (moments[i].mean, moments[j].mean);
+            let mut cov = 0.0;
+            for (&x, &y) in series[i].iter().zip(series[j]) {
+                cov += (x - ma) * (y - mb);
+            }
+            let r = cov / (moments[i].m2.sqrt() * moments[j].m2.sqrt());
+            out[i][j] = r;
+            out[j][i] = r;
+        }
+    }
+    Ok(out)
 }
 
 /// Linearly resamples `series` to `target_len` points (used to compare
 /// traces of different velocities, which have different durations —
 /// the "stretched" curve of Fig. 7c).
 ///
+/// The inner loop is branch-free: the bracketing index is clamped
+/// arithmetically instead of testing the endpoint per point. Results
+/// are value-identical to [`reference::resample`].
+///
 /// # Panics
 ///
 /// Panics if `series` is empty or `target_len` is zero.
 pub fn resample(series: &[f64], target_len: usize) -> Vec<f64> {
+    let mut out = Vec::new();
+    resample_into(series, target_len, &mut out);
+    out
+}
+
+/// [`resample`] into a caller-provided buffer, clearing it first — the
+/// allocation-free form used when sweeping many lanes to a common
+/// length.
+///
+/// # Panics
+///
+/// Panics if `series` is empty or `target_len` is zero.
+pub fn resample_into(series: &[f64], target_len: usize, out: &mut Vec<f64>) {
     assert!(!series.is_empty(), "cannot resample an empty series");
     assert!(target_len > 0, "target length must be positive");
+    out.clear();
+    out.reserve(target_len);
     if series.len() == 1 {
-        return vec![series[0]; target_len];
+        out.resize(target_len, series[0]);
+        return;
     }
     if target_len == 1 {
-        return vec![series[0]];
+        out.push(series[0]);
+        return;
     }
-    (0..target_len)
-        .map(|i| {
-            let pos = i as f64 * (series.len() - 1) as f64 / (target_len - 1) as f64;
-            let lo = pos.floor() as usize;
-            let hi = (lo + 1).min(series.len() - 1);
-            let frac = pos - lo as f64;
-            series[lo] * (1.0 - frac) + series[hi] * frac
-        })
-        .collect()
+    let n = series.len();
+    for i in 0..target_len {
+        // Multiply-then-divide keeps the endpoint position exact
+        // (integer products are exact in f64 at these sizes), so the
+        // clamp below only ever fires at the final point.
+        let pos = i as f64 * (n - 1) as f64 / (target_len - 1) as f64;
+        let lo = (pos as usize).min(n - 2);
+        let frac = pos - lo as f64;
+        out.push(series[lo] * (1.0 - frac) + series[lo + 1] * frac);
+    }
+}
+
+/// Fused single-pass peak/level statistics of one series, as returned
+/// by [`peak_stats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeakStats {
+    /// Prominence-filtered local extrema count
+    /// (= [`reference::extrema_count`]).
+    pub extrema: usize,
+    /// Peak-to-peak amplitude (= [`reference::peak_to_peak`]).
+    pub peak_to_peak: f64,
+    /// Mean absolute value — the payload "level" of Fig. 7d
+    /// (= [`reference::mean_abs`]).
+    pub mean_abs: f64,
+    /// Root-mean-square (= [`reference::rms`]).
+    pub rms: f64,
+}
+
+/// Extracts peak count, amplitude, level, and RMS from a lane in one
+/// pass with no per-sample allocation. Each field matches its
+/// standalone reference kernel exactly (same accumulation order).
+pub fn peak_stats(series: &[f64], min_prominence: f64) -> PeakStats {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let mut sum_abs = 0.0;
+    let mut sum_sq = 0.0;
+    let mut extrema = 0;
+    let mut last_kept = series.first().copied().unwrap_or(0.0);
+    for (i, &v) in series.iter().enumerate() {
+        lo = lo.min(v);
+        hi = hi.max(v);
+        sum_abs += v.abs();
+        sum_sq += v * v;
+        if i >= 1 && i + 1 < series.len() {
+            let rising = v - series[i - 1];
+            let falling = series[i + 1] - v;
+            if rising * falling < 0.0 && (v - last_kept).abs() > min_prominence {
+                extrema += 1;
+                last_kept = v;
+            }
+        }
+    }
+    let n = series.len() as f64;
+    PeakStats {
+        extrema,
+        peak_to_peak: if hi >= lo { hi - lo } else { 0.0 },
+        mean_abs: if series.is_empty() { 0.0 } else { sum_abs / n },
+        rms: if series.is_empty() {
+            0.0
+        } else {
+            (sum_sq / n).sqrt()
+        },
+    }
 }
 
 /// Counts local extrema (peaks and troughs) whose prominence exceeds
 /// `min_prominence`. Fig. 7c observes that traces at different
 /// velocities share the same number of peaks.
 pub fn extrema_count(series: &[f64], min_prominence: f64) -> usize {
-    if series.len() < 3 {
-        return 0;
-    }
-    // Collect local extrema as derivative sign changes, then keep only
-    // those that move at least `min_prominence` away from the previous
-    // kept extremum — small ripples collapse onto their carrier.
-    let mut count = 0;
-    let mut last_kept = series[0];
-    for i in 1..series.len() - 1 {
-        let rising = series[i] - series[i - 1];
-        let falling = series[i + 1] - series[i];
-        if rising * falling < 0.0 && (series[i] - last_kept).abs() > min_prominence {
-            count += 1;
-            last_kept = series[i];
-        }
-    }
-    count
+    reference::extrema_count(series, min_prominence)
 }
 
 /// Peak-to-peak amplitude of a series. Zero for series shorter than two
 /// points.
 pub fn peak_to_peak(series: &[f64]) -> f64 {
-    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
-    for &v in series {
-        lo = lo.min(v);
-        hi = hi.max(v);
-    }
-    if hi >= lo {
-        hi - lo
-    } else {
-        0.0
-    }
+    reference::peak_to_peak(series)
 }
 
 /// Mean of the absolute values — the "how much current overall" summary
 /// used for the payload comparison (Fig. 7d).
 pub fn mean_abs(series: &[f64]) -> f64 {
-    if series.is_empty() {
-        return 0.0;
-    }
-    series.iter().map(|v| v.abs()).sum::<f64>() / series.len() as f64
+    reference::mean_abs(series)
 }
 
 /// Root-mean-square of a series.
 pub fn rms(series: &[f64]) -> f64 {
-    if series.is_empty() {
-        return 0.0;
-    }
-    (series.iter().map(|v| v * v).sum::<f64>() / series.len() as f64).sqrt()
+    reference::rms(series)
 }
 
 /// Pearson correlation after resampling both series to the length of
@@ -143,6 +276,138 @@ pub fn shape_correlation(a: &[f64], b: &[f64]) -> Result<f64, String> {
     let ra = resample(a, len);
     let rb = resample(b, len);
     pearson(&ra, &rb)
+}
+
+/// The original two-pass/scalar kernels, kept verbatim as the proptest
+/// oracle and row-path bench baseline for the fused top-level kernels.
+pub mod reference {
+    /// Two-pass Pearson correlation (mean pass, then
+    /// covariance/variance pass) — the pre-columnar implementation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message when the series differ in length, are
+    /// shorter than two points, or have zero variance.
+    pub fn pearson(a: &[f64], b: &[f64]) -> Result<f64, String> {
+        if a.len() != b.len() {
+            return Err(format!("length mismatch: {} vs {}", a.len(), b.len()));
+        }
+        if a.len() < 2 {
+            return Err("need at least two points".to_owned());
+        }
+        let n = a.len() as f64;
+        let mean_a = a.iter().sum::<f64>() / n;
+        let mean_b = b.iter().sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut var_a = 0.0;
+        let mut var_b = 0.0;
+        for (x, y) in a.iter().zip(b) {
+            let dx = x - mean_a;
+            let dy = y - mean_b;
+            cov += dx * dy;
+            var_a += dx * dx;
+            var_b += dy * dy;
+        }
+        if var_a == 0.0 || var_b == 0.0 {
+            return Err("zero variance".to_owned());
+        }
+        Ok(cov / (var_a.sqrt() * var_b.sqrt()))
+    }
+
+    /// Linear resampling with a per-point endpoint branch — the
+    /// pre-columnar implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `series` is empty or `target_len` is zero.
+    pub fn resample(series: &[f64], target_len: usize) -> Vec<f64> {
+        assert!(!series.is_empty(), "cannot resample an empty series");
+        assert!(target_len > 0, "target length must be positive");
+        if series.len() == 1 {
+            return vec![series[0]; target_len];
+        }
+        if target_len == 1 {
+            return vec![series[0]];
+        }
+        (0..target_len)
+            .map(|i| {
+                let pos = i as f64 * (series.len() - 1) as f64 / (target_len - 1) as f64;
+                let lo = pos.floor() as usize;
+                let hi = (lo + 1).min(series.len() - 1);
+                let frac = pos - lo as f64;
+                series[lo] * (1.0 - frac) + series[hi] * frac
+            })
+            .collect()
+    }
+
+    /// Prominence-filtered extrema count — the standalone scalar
+    /// kernel.
+    pub fn extrema_count(series: &[f64], min_prominence: f64) -> usize {
+        if series.len() < 3 {
+            return 0;
+        }
+        // Collect local extrema as derivative sign changes, then keep
+        // only those that move at least `min_prominence` away from the
+        // previous kept extremum — small ripples collapse onto their
+        // carrier.
+        let mut count = 0;
+        let mut last_kept = series[0];
+        for i in 1..series.len() - 1 {
+            let rising = series[i] - series[i - 1];
+            let falling = series[i + 1] - series[i];
+            if rising * falling < 0.0 && (series[i] - last_kept).abs() > min_prominence {
+                count += 1;
+                last_kept = series[i];
+            }
+        }
+        count
+    }
+
+    /// Peak-to-peak amplitude — the standalone scalar kernel.
+    pub fn peak_to_peak(series: &[f64]) -> f64 {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in series {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if hi >= lo {
+            hi - lo
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean absolute value — the standalone scalar kernel.
+    pub fn mean_abs(series: &[f64]) -> f64 {
+        if series.is_empty() {
+            return 0.0;
+        }
+        series.iter().map(|v| v.abs()).sum::<f64>() / series.len() as f64
+    }
+
+    /// Root-mean-square — the standalone scalar kernel.
+    pub fn rms(series: &[f64]) -> f64 {
+        if series.is_empty() {
+            return 0.0;
+        }
+        (series.iter().map(|v| v * v).sum::<f64>() / series.len() as f64).sqrt()
+    }
+
+    /// Shape correlation via the reference [`pearson`] and
+    /// [`resample`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`pearson`]'s errors.
+    pub fn shape_correlation(a: &[f64], b: &[f64]) -> Result<f64, String> {
+        if a.is_empty() || b.is_empty() {
+            return Err("empty series".to_owned());
+        }
+        let len = a.len().min(b.len());
+        let ra = resample(a, len);
+        let rb = resample(b, len);
+        pearson(&ra, &rb)
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +429,54 @@ mod tests {
     }
 
     #[test]
+    fn fused_pearson_matches_reference() {
+        let a: Vec<f64> = (0..500)
+            .map(|i| (i as f64 * 0.037).sin() * 2.5 + 0.4)
+            .collect();
+        let b: Vec<f64> = (0..500)
+            .map(|i| (i as f64 * 0.037 + 0.3).cos() - 1.2)
+            .collect();
+        let fused = pearson(&a, &b).unwrap();
+        let two_pass = reference::pearson(&a, &b).unwrap();
+        assert!((fused - two_pass).abs() < 1e-12, "{fused} vs {two_pass}");
+    }
+
+    #[test]
+    fn pearson_matrix_matches_pairwise() {
+        let runs: Vec<Vec<f64>> = (0..4)
+            .map(|r| {
+                (0..300)
+                    .map(|i| (i as f64 * 0.05 + r as f64 * 0.4).sin() + 0.01 * r as f64)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f64]> = runs.iter().map(Vec::as_slice).collect();
+        let matrix = pearson_matrix(&refs).unwrap();
+        for i in 0..runs.len() {
+            assert_eq!(matrix[i][i], 1.0);
+            for j in 0..runs.len() {
+                if i != j {
+                    let direct = pearson(&runs[i], &runs[j]).unwrap();
+                    assert!(
+                        (matrix[i][j] - direct).abs() < 1e-12,
+                        "({i},{j}): {} vs {direct}",
+                        matrix[i][j]
+                    );
+                    assert_eq!(matrix[i][j], matrix[j][i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pearson_matrix_rejects_degenerate_inputs() {
+        assert_eq!(pearson_matrix(&[]).unwrap(), Vec::<Vec<f64>>::new());
+        assert!(pearson_matrix(&[&[1.0, 2.0], &[1.0][..]]).is_err());
+        assert!(pearson_matrix(&[&[1.0][..]]).is_err());
+        assert!(pearson_matrix(&[&[1.0, 2.0][..], &[3.0, 3.0][..]]).is_err());
+    }
+
+    #[test]
     fn resample_preserves_endpoints() {
         let s = [0.0, 1.0, 4.0, 9.0];
         let r = resample(&s, 7);
@@ -176,6 +489,20 @@ mod tests {
     fn resample_identity_when_lengths_match() {
         let s = [1.0, 5.0, 2.0];
         assert_eq!(resample(&s, 3), s.to_vec());
+    }
+
+    #[test]
+    fn resample_matches_reference_exactly() {
+        let s: Vec<f64> = (0..97).map(|i| (i as f64 * 0.21).sin() * 3.0).collect();
+        for target in [1, 2, 17, 97, 256] {
+            assert_eq!(resample(&s, target), reference::resample(&s, target));
+        }
+        let mut buf = Vec::new();
+        resample_into(&s, 33, &mut buf);
+        assert_eq!(buf, reference::resample(&s, 33));
+        // Buffer reuse clears previous contents.
+        resample_into(&s, 8, &mut buf);
+        assert_eq!(buf, reference::resample(&s, 8));
     }
 
     #[test]
@@ -216,5 +543,33 @@ mod tests {
         assert_eq!(peak_to_peak(&[]), 0.0);
         assert_eq!(mean_abs(&[]), 0.0);
         assert_eq!(rms(&[]), 0.0);
+    }
+
+    #[test]
+    fn peak_stats_matches_standalone_kernels() {
+        let s: Vec<f64> = (0..400)
+            .map(|i| (i as f64 / 400.0 * 4.0 * std::f64::consts::PI).sin() * 1.7 - 0.2)
+            .collect();
+        let stats = peak_stats(&s, 0.001);
+        assert_eq!(stats.extrema, reference::extrema_count(&s, 0.001));
+        assert_eq!(stats.peak_to_peak, reference::peak_to_peak(&s));
+        assert_eq!(stats.mean_abs, reference::mean_abs(&s));
+        assert_eq!(stats.rms, reference::rms(&s));
+        let empty = peak_stats(&[], 0.1);
+        assert_eq!(empty.extrema, 0);
+        assert_eq!(empty.peak_to_peak, 0.0);
+        assert_eq!(empty.mean_abs, 0.0);
+        assert_eq!(empty.rms, 0.0);
+    }
+
+    #[test]
+    fn moments_match_naive_mean_and_variance() {
+        let s: Vec<f64> = (0..250).map(|i| (i as f64 * 0.11).cos() * 4.0).collect();
+        let m = moments(&s);
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        let m2 = s.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>();
+        assert_eq!(m.n, s.len());
+        assert!((m.mean - mean).abs() < 1e-12);
+        assert!((m.m2 - m2).abs() < 1e-9 * m2.max(1.0));
     }
 }

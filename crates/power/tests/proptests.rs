@@ -3,10 +3,25 @@
 #![allow(clippy::needless_range_loop)] // matrix checks read best indexed
 
 use proptest::prelude::*;
-use rad_power::{signal, TrajectorySegment, Ur3e, Ur3eDynamics, JOINTS};
+use rad_power::{signal, PowerBlock, PowerSample, TrajectorySegment, Ur3e, Ur3eDynamics, JOINTS};
 
 fn arb_pose() -> impl Strategy<Value = [f64; JOINTS]> {
     proptest::array::uniform6(-3.0f64..3.0)
+}
+
+fn arb_sample() -> impl Strategy<Value = PowerSample> {
+    (
+        0.0f64..1e3,
+        arb_pose(),
+        proptest::array::uniform6(-5.0f64..5.0),
+        proptest::array::uniform6(-2.0f64..2.0),
+    )
+        .prop_map(|(t, pose, current, qd)| {
+            let mut s = PowerSample::quiescent(t, pose);
+            s.current_actual = current;
+            s.qd_actual = qd;
+            s
+        })
 }
 
 proptest! {
@@ -134,5 +149,104 @@ proptest! {
         let a = arm.current_profile(std::slice::from_ref(&seg), payload, seed);
         let b = arm.current_profile(std::slice::from_ref(&seg), payload, seed);
         prop_assert_eq!(a, b);
+    }
+
+    /// The fused one-pass Pearson agrees with the retired two-pass
+    /// kernel on every input: same value within 1e-9, same error cases.
+    #[test]
+    fn fused_pearson_matches_reference(
+        a in proptest::collection::vec(-100.0f64..100.0, 2..60),
+        b in proptest::collection::vec(-100.0f64..100.0, 2..60),
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        match (signal::pearson(a, b), signal::reference::pearson(a, b)) {
+            (Ok(fused), Ok(two_pass)) => prop_assert!(
+                (fused - two_pass).abs() < 1e-9,
+                "fused {fused} vs reference {two_pass}"
+            ),
+            (Err(e1), Err(e2)) => prop_assert_eq!(e1, e2),
+            (f, r) => prop_assert!(false, "divergent outcomes: {f:?} vs {r:?}"),
+        }
+    }
+
+    /// The correlation matrix is exactly the pairwise fused kernel —
+    /// reusing per-series moments must not change any entry beyond
+    /// 1e-9 of the reference.
+    #[test]
+    fn pearson_matrix_matches_reference_pairs(
+        series in proptest::collection::vec(
+            proptest::collection::vec(-100.0f64..100.0, 4..30),
+            1..6,
+        ),
+        len in 4usize..30,
+    ) {
+        let trimmed: Vec<Vec<f64>> = series
+            .iter()
+            .map(|s| s.iter().copied().cycle().take(len).collect())
+            .collect();
+        let views: Vec<&[f64]> = trimmed.iter().map(Vec::as_slice).collect();
+        if let Ok(matrix) = signal::pearson_matrix(&views) {
+            for i in 0..views.len() {
+                prop_assert_eq!(matrix[i][i], 1.0);
+                for j in 0..views.len() {
+                    let r = signal::reference::pearson(views[i], views[j]).unwrap();
+                    prop_assert!(
+                        (matrix[i][j] - r).abs() < 1e-9,
+                        "entry ({i},{j}): {} vs {r}", matrix[i][j]
+                    );
+                }
+            }
+        }
+    }
+
+    /// The branch-free resampler is the reference resampler, sample
+    /// for sample.
+    #[test]
+    fn branch_free_resample_matches_reference(
+        series in proptest::collection::vec(-10.0f64..10.0, 2..60),
+        target in 2usize..80,
+    ) {
+        let fused = signal::resample(&series, target);
+        let reference = signal::reference::resample(&series, target);
+        prop_assert_eq!(fused, reference);
+    }
+
+    /// Scattering samples into lanes and gathering them back is the
+    /// identity, bit for bit, including through single-row views.
+    #[test]
+    fn power_block_round_trips_samples(
+        samples in proptest::collection::vec(arb_sample(), 0..40),
+    ) {
+        let block = PowerBlock::from_samples(&samples);
+        prop_assert_eq!(block.len(), samples.len());
+        prop_assert_eq!(&block.to_samples(), &samples);
+        for (row, sample) in block.iter().zip(&samples) {
+            prop_assert_eq!(&row.to_sample(), sample);
+        }
+    }
+
+    /// A block assembled from arbitrary chunk splits equals the block
+    /// built in one shot — chunked hand-off loses or reorders nothing.
+    #[test]
+    fn power_block_append_is_chunking_invariant(
+        samples in proptest::collection::vec(arb_sample(), 1..60),
+        cuts in proptest::collection::vec(1usize..8, 1..12),
+    ) {
+        let whole = PowerBlock::from_samples(&samples);
+        let mut chunked = PowerBlock::new();
+        let mut start = 0;
+        for &width in &cuts {
+            if start >= whole.len() {
+                break;
+            }
+            let end = (start + width).min(whole.len());
+            chunked.append_range(&whole, start, end);
+            start = end;
+        }
+        if start < whole.len() {
+            chunked.append_range(&whole, start, whole.len());
+        }
+        prop_assert_eq!(chunked, whole);
     }
 }

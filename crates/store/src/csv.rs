@@ -11,7 +11,7 @@ use rad_core::{
     Command, CommandType, DeviceId, DeviceKind, Label, ProcedureKind, RadError, RunId, SimDuration,
     SimInstant, TraceBatch, TraceGap, TraceId, TraceMode, TraceObject, Value,
 };
-use rad_power::PowerSample;
+use rad_power::{PowerBlock, PowerSample};
 
 /// Encodes one CSV field, quoting when needed.
 fn encode_field(field: &str) -> String {
@@ -361,6 +361,10 @@ pub fn gaps_from_csv(text: &str) -> Result<Vec<TraceGap>, RadError> {
 }
 
 /// Serializes power samples to a 122-column CSV document.
+///
+/// Row-oriented reference path (allocates one `to_row` vector plus one
+/// formatted string per field); exports stream
+/// [`write_power_csv`] instead, which is byte-identical.
 pub fn power_to_csv(samples: &[PowerSample]) -> String {
     let mut out = String::new();
     out.push_str(&PowerSample::column_names().join(","));
@@ -371,6 +375,32 @@ pub fn power_to_csv(samples: &[PowerSample]) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Streams a columnar power block to 122-column CSV, formatting each
+/// lane value straight into `out` — no per-sample materialization and
+/// no intermediate strings, so a multi-gigabyte recording exports in
+/// bounded memory. Byte-for-byte identical to [`power_to_csv`] over
+/// the same ticks (both use `f64`'s `Display` and bare-comma joins;
+/// power column names never need quoting).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_power_csv<W: Write + ?Sized>(out: &mut W, block: &PowerBlock) -> std::io::Result<()> {
+    let mut header = PowerSample::column_names().join(",");
+    header.push('\n');
+    out.write_all(header.as_bytes())?;
+    for i in 0..block.len() {
+        for l in 0..PowerSample::FIELD_COUNT {
+            if l > 0 {
+                out.write_all(b",")?;
+            }
+            write!(out, "{}", block.lane(l)[i])?;
+        }
+        out.write_all(b"\n")?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -506,5 +536,18 @@ mod tests {
         let row = lines.next().unwrap();
         assert_eq!(header.split(',').count(), PowerSample::FIELD_COUNT);
         assert_eq!(row.split(',').count(), PowerSample::FIELD_COUNT);
+    }
+
+    #[test]
+    fn streaming_power_csv_matches_row_serializer() {
+        let mut s = PowerSample::quiescent(0.25, [0.1, -0.2, 0.3, -0.4, 0.5, -0.6]);
+        s.current_actual = [1.5, -2.25, 0.125, 3.0, -0.0625, 17.375];
+        s.qd_actual = [0.01, -0.02, 0.03, 0.0, -0.04, 0.05];
+        let samples = vec![PowerSample::quiescent(0.0, [0.0; 6]), s];
+        let block = rad_power::PowerBlock::from_samples(&samples);
+
+        let mut streamed = Vec::new();
+        write_power_csv(&mut streamed, &block).unwrap();
+        assert_eq!(String::from_utf8(streamed).unwrap(), power_to_csv(&samples));
     }
 }

@@ -16,7 +16,7 @@ use rad_core::{
     CommandType, DeviceKind, Label, ProcedureKind, RunId, RunMetadata, TraceBatch, TraceGap,
     TraceObject, TraceSink,
 };
-use rad_power::CurrentProfile;
+use rad_power::{CurrentProfile, PowerBlock, PowerSink, RecordingMeta};
 use serde_json::json;
 
 use crate::document::DocumentStore;
@@ -83,6 +83,22 @@ impl CommandDataset {
     /// Appends a whole batch of traces.
     pub fn push_batch(&mut self, batch: &TraceBatch) {
         self.batch.append(batch);
+    }
+
+    /// Moves a whole batch of traces into the dataset.
+    ///
+    /// When the dataset is empty the batch's columns are adopted
+    /// wholesale (no copy at all) — the common case for pipeline
+    /// hand-offs, where each chunk lands in a fresh or just-drained
+    /// dataset. Non-empty datasets fall back to the same lane-wise
+    /// append as [`CommandDataset::push_batch`]; the ownership
+    /// transfer still saves the caller's clone.
+    pub fn insert_batch(&mut self, batch: TraceBatch) {
+        if self.batch.is_empty() {
+            self.batch = batch;
+        } else {
+            self.batch.append_owned(batch);
+        }
     }
 
     /// Registers a procedure run's metadata.
@@ -359,6 +375,9 @@ impl PowerDataset {
     /// Applies the paper's storage policy: quiescent ticks are dropped
     /// unless `keep_quiescent` (days with activity keep them). Returns
     /// a new dataset.
+    ///
+    /// Filtering is row-wise over the columnar block — no sample
+    /// materialization.
     pub fn compacted(&self, keep_quiescent: bool) -> PowerDataset {
         if keep_quiescent {
             return self.clone();
@@ -366,21 +385,49 @@ impl PowerDataset {
         let recordings = self
             .recordings
             .iter()
-            .map(|r| PowerRecording {
-                procedure: r.procedure,
-                run_id: r.run_id,
-                description: r.description.clone(),
-                profile: CurrentProfile::from_samples(
-                    r.profile
-                        .samples()
-                        .iter()
-                        .filter(|s| !s.is_quiescent())
-                        .cloned()
-                        .collect(),
-                ),
+            .map(|r| {
+                let mut block = PowerBlock::new();
+                for row in r.profile.block().iter() {
+                    if !row.is_quiescent() {
+                        block.push_row(&row);
+                    }
+                }
+                PowerRecording {
+                    procedure: r.procedure,
+                    run_id: r.run_id,
+                    description: r.description.clone(),
+                    profile: CurrentProfile::from_block(block),
+                }
             })
             .collect();
         PowerDataset { recordings }
+    }
+}
+
+/// A power dataset is a [`PowerSink`]: each
+/// [`PowerSink::begin_recording`] opens a new [`PowerRecording`] and
+/// subsequent blocks append to it, so a monitor can stream chunked
+/// telemetry straight into the dataset (optionally through
+/// filter/chunk/tee combinators).
+impl PowerSink for PowerDataset {
+    fn accept(&mut self, block: &PowerBlock) -> Result<(), Error> {
+        let Some(open) = self.recordings.last_mut() else {
+            return Err(Error::Store(
+                "power block received before begin_recording".to_owned(),
+            ));
+        };
+        open.profile.append_block(block);
+        Ok(())
+    }
+
+    fn begin_recording(&mut self, meta: &RecordingMeta) -> Result<(), Error> {
+        self.recordings.push(PowerRecording {
+            procedure: meta.procedure,
+            run_id: meta.run_id,
+            description: meta.description.clone(),
+            profile: CurrentProfile::default(),
+        });
+        Ok(())
     }
 }
 

@@ -151,11 +151,9 @@ pub fn export_rad_with(
             i,
             recording.run_id.0
         );
-        atomic_write_file(
-            &power_dir.join(name),
-            csv::power_to_csv(recording.profile.samples()).as_bytes(),
-            injector,
-        )?;
+        atomic_write_stream(&power_dir.join(name), injector, |w| {
+            csv::write_power_csv(w, recording.profile.block())
+        })?;
         files += 1;
     }
 

@@ -201,13 +201,22 @@ impl CampaignBuilder {
         self
     }
 
-    /// Builds one campaign per seed, in parallel (one scoped thread
-    /// per seed). Each campaign is an independent simulation, so the
-    /// result at index `i` is identical to
-    /// `self.clone().with_seed(seeds[i]).build()` — only wall-clock
-    /// time changes. This is the fast path for multi-seed experiment
-    /// sweeps (ablations, robustness-over-seeds runs).
+    /// Builds one campaign per seed, fanning out across cores when
+    /// the machine has them (one scoped thread per seed). Each
+    /// campaign is an independent simulation, so the result at index
+    /// `i` is identical to `self.clone().with_seed(seeds[i]).build()`
+    /// — only wall-clock time changes. This is the fast path for
+    /// multi-seed experiment sweeps (ablations, robustness-over-seeds
+    /// runs). On a single-core box (or for a single seed) it runs
+    /// sequentially: spawning threads that can never overlap only
+    /// adds stack allocation and scheduler churn.
     pub fn build_many(&self, seeds: &[u64]) -> Vec<CampaignDataset> {
+        if !rad_core::par::should_fan_out(seeds.len(), seeds.len(), 1) {
+            return seeds
+                .iter()
+                .map(|&seed| self.clone().with_seed(seed).build())
+                .collect();
+        }
         crossbeam::thread::scope(|s| {
             let handles: Vec<_> = seeds
                 .iter()

@@ -55,7 +55,8 @@ pub mod prelude {
         Tracer,
     };
     pub use rad_power::{
-        CurrentProfile, Elbow, PowerSample, TrajectorySegment, Ur3e, Ur3eKinematics,
+        CurrentProfile, Elbow, PowerBlock, PowerRow, PowerSample, PowerSink, PowerSinkExt,
+        PowerSource, ProfileRequest, TrajectorySegment, Ur3e, Ur3eKinematics,
     };
     pub use rad_store::{
         CommandDataset, CrashInjector, CrashPlan, CrashSite, DocumentStore, DurableOptions,

@@ -105,8 +105,8 @@ fn every_recorded_sample_carries_122_properties() {
         .power_experiments(true)
         .build();
     for recording in campaign.power().recordings() {
-        for sample in recording.profile.samples().iter().take(3) {
-            assert_eq!(sample.to_row().len(), PowerSample::FIELD_COUNT);
+        for row in recording.profile.block().iter().take(3) {
+            assert_eq!(row.to_sample().to_row().len(), PowerSample::FIELD_COUNT);
         }
     }
 }

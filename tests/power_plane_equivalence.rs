@@ -1,0 +1,245 @@
+//! Golden equivalence for the power data plane (ISSUE tentpole): the
+//! columnar `PowerBlock` pipeline must be byte-for-byte
+//! indistinguishable from the row-oriented path it replaced.
+//!
+//! Four claims, each on real synthesized telemetry:
+//!
+//! 1. **Synthesis** — the fused columnar writer and the parallel
+//!    multi-run fan-out both equal the retired per-sample loop, bit
+//!    for bit, noise included.
+//! 2. **Capture** — a [`PowerMonitor`] drained through a sink stack
+//!    (chunked hand-off, any chunk size) yields exactly the dataset
+//!    of the direct drain.
+//! 3. **Export** — the streaming power CSV writer matches the string
+//!    serializer byte for byte, and a full `export_rad` bundle keeps
+//!    the legacy power-file bytes.
+//! 4. **Policy** — the strict quiescent-storage policy filters rows
+//!    identically whether applied per recording or over the stream.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rad::middlebox::PowerMonitor;
+use rad::power::{
+    Chunked, CountingPowerSink, PowerBlock, PowerSinkExt, ProfileRequest, DEFAULT_CHUNK_TICKS,
+};
+use rad::prelude::*;
+use rad::store::csv::{power_to_csv, write_power_csv};
+use rad::store::export_rad;
+
+fn leg(from: usize, to: usize, v: f64) -> TrajectorySegment {
+    TrajectorySegment::joint_move(Ur3e::named_pose(from), Ur3e::named_pose(to), v)
+}
+
+fn requests() -> Vec<ProfileRequest> {
+    (0..6)
+        .map(|i| ProfileRequest {
+            segments: vec![leg(i % 6, (i + 1) % 6, 0.4 + 0.1 * i as f64)],
+            payload_kg: 0.25 * (i % 3) as f64,
+            seed: 1000 + i as u64,
+        })
+        .collect()
+}
+
+#[test]
+fn columnar_synthesis_equals_the_row_loop() {
+    let arm = Ur3e::new();
+    for req in requests() {
+        let columnar = arm.current_profile(&req.segments, req.payload_kg, req.seed);
+        let rows = arm.current_profile_rows(&req.segments, req.payload_kg, req.seed);
+        assert_eq!(columnar.block(), &PowerBlock::from_samples(&rows));
+    }
+}
+
+#[test]
+fn parallel_synthesis_equals_sequential() {
+    let arm = Ur3e::new();
+    let reqs = requests();
+    let parallel = arm.current_profiles_par(&reqs);
+    let sequential: Vec<CurrentProfile> = reqs
+        .iter()
+        .map(|r| arm.current_profile(&r.segments, r.payload_kg, r.seed))
+        .collect();
+    assert_eq!(parallel, sequential);
+}
+
+fn record_session(mut mon: PowerMonitor) -> PowerMonitor {
+    mon.record_motion(
+        ProcedureKind::VelocitySweep,
+        RunId(0),
+        "velocity=250mm/s",
+        &[leg(0, 1, 0.5)],
+        0.0,
+    );
+    mon.record_idle(ProcedureKind::Unknown, RunId(0), Ur3e::named_pose(1), 120);
+    mon.record_motion(
+        ProcedureKind::PayloadSweep,
+        RunId(1),
+        "payload=0.5kg",
+        &[leg(1, 2, 0.7), leg(2, 0, 0.7)],
+        0.5,
+    );
+    mon
+}
+
+fn assert_power_datasets_equal(a: &PowerDataset, b: &PowerDataset, tag: &str) {
+    assert_eq!(a.recordings().len(), b.recordings().len(), "{tag}: count");
+    for (x, y) in a.recordings().iter().zip(b.recordings()) {
+        assert_eq!(x.procedure, y.procedure, "{tag}: procedure");
+        assert_eq!(x.run_id, y.run_id, "{tag}: run id");
+        assert_eq!(x.description, y.description, "{tag}: description");
+        assert_eq!(x.profile, y.profile, "{tag}: profile bits");
+    }
+}
+
+#[test]
+fn monitor_drain_is_chunking_invariant() {
+    let direct = record_session(PowerMonitor::new(11)).into_dataset();
+    for chunk in [1, 7, 256, DEFAULT_CHUNK_TICKS] {
+        let mut rebuilt = PowerDataset::new();
+        let mut stack = Chunked::new(&mut rebuilt, chunk);
+        record_session(PowerMonitor::new(11))
+            .drain_into(&mut stack)
+            .unwrap();
+        drop(stack);
+        assert_power_datasets_equal(&direct, &rebuilt, &format!("chunk={chunk}"));
+    }
+}
+
+#[test]
+fn monitor_hand_off_blocks_stay_bounded() {
+    let mut probe = CountingPowerSink::new();
+    let mut sink = PowerDataset::new().tee(&mut probe);
+    record_session(PowerMonitor::new(11))
+        .drain_into(&mut sink)
+        .unwrap();
+    assert_eq!(probe.recordings, 3);
+    assert!(probe.max_block_ticks <= DEFAULT_CHUNK_TICKS);
+}
+
+#[test]
+fn strict_policy_equals_per_recording_filtering() {
+    let strict = record_session(PowerMonitor::new(11).store_quiescent(false)).into_dataset();
+    // Under the strict policy idle stretches are refused outright and
+    // consume no recording counter, so the reference stream is a
+    // permissive monitor fed only the motions; the policy then drops
+    // quiescent rows from each profile — the old monitor's
+    // per-recording filter.
+    let mut motions_only = PowerMonitor::new(11);
+    motions_only.record_motion(
+        ProcedureKind::VelocitySweep,
+        RunId(0),
+        "velocity=250mm/s",
+        &[leg(0, 1, 0.5)],
+        0.0,
+    );
+    motions_only.record_motion(
+        ProcedureKind::PayloadSweep,
+        RunId(1),
+        "payload=0.5kg",
+        &[leg(1, 2, 0.7), leg(2, 0, 0.7)],
+        0.5,
+    );
+    let expected: Vec<CurrentProfile> = motions_only
+        .into_dataset()
+        .recordings()
+        .iter()
+        .map(|r| {
+            CurrentProfile::from_samples(
+                r.profile
+                    .block()
+                    .iter()
+                    .filter(|row| !row.is_quiescent())
+                    .map(|row| row.to_sample())
+                    .collect(),
+            )
+        })
+        .collect();
+    assert_eq!(strict.recordings().len(), expected.len());
+    for (got, want) in strict.recordings().iter().zip(&expected) {
+        assert_eq!(&got.profile, want);
+    }
+}
+
+#[test]
+fn streaming_power_csv_matches_the_string_serializer() {
+    let ds = record_session(PowerMonitor::new(11)).into_dataset();
+    for recording in ds.recordings() {
+        let legacy = power_to_csv(&recording.profile.to_samples());
+        let mut streamed = Vec::new();
+        write_power_csv(&mut streamed, recording.profile.block()).unwrap();
+        assert_eq!(legacy.into_bytes(), streamed, "{}", recording.description);
+    }
+}
+
+/// Every file of an exported bundle, relative path → bytes.
+fn bundle_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    fn walk(root: &Path, at: &Path, out: &mut BTreeMap<String, Vec<u8>>) {
+        for entry in fs::read_dir(at).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                walk(root, &path, out);
+            } else {
+                let name = path
+                    .strip_prefix(root)
+                    .unwrap()
+                    .to_string_lossy()
+                    .into_owned();
+                out.insert(name, fs::read(&path).unwrap());
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    walk(dir, dir, &mut out);
+    out
+}
+
+#[test]
+fn exported_power_files_keep_the_legacy_bytes() {
+    let power = record_session(PowerMonitor::new(11)).into_dataset();
+    let commands = CommandDataset::new();
+    let dir = std::env::temp_dir().join(format!("rad-power-eq-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    export_rad(&commands, &power, &dir).unwrap();
+    let files = bundle_bytes(&dir);
+    let power_file_count = files.keys().filter(|n| n.starts_with("power")).count();
+    assert_eq!(power_file_count, power.recordings().len());
+    for (i, recording) in power.recordings().iter().enumerate() {
+        let name = format!(
+            "power/{}-{:04}-{}.csv",
+            recording.procedure.paper_id(),
+            i,
+            recording.run_id.0
+        );
+        let legacy = power_to_csv(&recording.profile.to_samples());
+        assert_eq!(&legacy.into_bytes(), &files[&name], "{name}");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn campaign_power_export_streams_and_matches() {
+    let campaign = CampaignBuilder::new(42)
+        .scale(0.05)
+        .supervised_only()
+        .power_experiments(true)
+        .build();
+    let dir_a: PathBuf =
+        std::env::temp_dir().join(format!("rad-power-camp-a-{}", std::process::id()));
+    let dir_b: PathBuf =
+        std::env::temp_dir().join(format!("rad-power-camp-b-{}", std::process::id()));
+    for d in [&dir_a, &dir_b] {
+        let _ = fs::remove_dir_all(d);
+    }
+    export_rad(campaign.command(), campaign.power(), &dir_a).unwrap();
+    export_rad(campaign.command(), campaign.power(), &dir_b).unwrap();
+    assert_eq!(
+        bundle_bytes(&dir_a),
+        bundle_bytes(&dir_b),
+        "export is deterministic"
+    );
+    for d in [&dir_a, &dir_b] {
+        let _ = fs::remove_dir_all(d);
+    }
+}
