@@ -57,4 +57,4 @@ pub use ngram::NgramCounter;
 pub use reference::{ReferenceLm, ReferenceNgramCounter};
 pub use specmine::{synthesize, MinedSpec, SpecViolation};
 pub use tfidf::TfIdf;
-pub use token::{labelled_runs, CommandTokenizer, ParamTokenizer, Tokenizer};
+pub use token::{corpus_from_segments, labelled_runs, CommandTokenizer, ParamTokenizer, Tokenizer};

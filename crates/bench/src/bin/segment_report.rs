@@ -1,0 +1,250 @@
+//! Segment-store report: sealed columnar segments against the
+//! document store they compact, on the seal → scan → query workload.
+//!
+//! A deterministic synthetic trace log is sealed into binary segments
+//! and the same log is loaded into a [`DocumentStore`] as JSON
+//! documents (the WAL/checkpoint representation). Plain wall-clock
+//! timers (minimum over reps, like `store_report`) then measure:
+//!
+//! * **seal** — encoding the whole log into segments, and the resulting
+//!   on-disk bytes against the serialized-JSON bytes of the same rows;
+//! * **full scan** — decoding every segment back into one
+//!   [`TraceBatch`];
+//! * **device query** — a device-filtered read: zone-map-pruned
+//!   segment scan vs [`DocumentStore::find`] over the JSON documents.
+//!
+//! The log is clustered so each device occupies contiguous stretches
+//! of capture time aligned with the segment size — the shape a real
+//! campaign produces (procedures drive one device at a time) and the
+//! shape zone maps exist to exploit. Both query paths must agree on
+//! the matching row count (asserted). Results print as a table and are
+//! written to `BENCH_segments.json` at the repository root (the file
+//! EXPERIMENTS.md quotes).
+//!
+//! Scale with `SEGMENT_TRACES` (default 1,000,000; CI smoke uses a
+//! smaller count).
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use rad_core::{
+    Command, CommandType, DeviceId, DeviceKind, Label, ProcedureKind, RunId, SimDuration,
+    SimInstant, TraceBatch, TraceId, TraceObject, Value,
+};
+use rad_store::{DocumentStore, Filter, SegmentOptions, SegmentSet, SegmentWriter, TraceQuery};
+
+/// Supervised runs in the synthetic campaign — the paper's 25.
+const RUNS: usize = 25;
+
+/// Milliseconds for one repetition: the minimum over `reps` timed runs
+/// after one warmup run.
+fn time_ms<F: FnMut()>(reps: u32, mut f: F) -> f64 {
+    f(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rad-segment-report-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A deterministic synthetic trace log exercising every column, with
+/// capture time clustered by device: each stretch of
+/// `rows_per_segment` rows stays on one device, like a campaign whose
+/// procedures drive one instrument at a time. Sealed with the default
+/// options, every segment is device-homogeneous, so zone maps carry
+/// real pruning power.
+fn synthesize(n: usize, rows_per_segment: usize) -> Vec<TraceObject> {
+    // Command types grouped by the device that owns them.
+    let by_device: Vec<Vec<CommandType>> = DeviceKind::all()
+        .iter()
+        .map(|&kind| {
+            (0..52)
+                .map(|t| CommandType::from_token_id(t).unwrap())
+                .filter(|ct| ct.device() == kind)
+                .collect()
+        })
+        .collect();
+    // Segment-aligned stretches at full scale; at smoke scale the
+    // stretch shrinks so every device still appears in the log.
+    let stretch = rows_per_segment.min(n.div_ceil(by_device.len())).max(1);
+    let run_len = n.div_ceil(RUNS).max(1);
+    (0..n)
+        .map(|i| {
+            let group = &by_device[(i / stretch) % by_device.len()];
+            let ct = group[i % group.len()];
+            let mut b = TraceObject::builder(
+                TraceId(i as u64),
+                SimInstant::from_micros(i as u64 * 250),
+                DeviceId::primary(ct.device()),
+                Command::new(ct, vec![Value::Int(i as i64 % 1000)]),
+            )
+            .return_value(Value::Bool(true))
+            .response_time(SimDuration::from_micros(180 + (i as u64 % 40)));
+            if i % 997 == 0 {
+                b = b.exception("synthetic fault");
+            }
+            b = b.run(
+                ProcedureKind::JoystickMovements,
+                RunId((i / run_len) as u32),
+                Label::Benign,
+            );
+            b.build()
+        })
+        .collect()
+}
+
+fn dir_bytes(dir: &PathBuf) -> u64 {
+    fs::read_dir(dir)
+        .expect("read segment dir")
+        .map(|e| e.expect("dir entry").metadata().expect("metadata").len())
+        .sum()
+}
+
+fn main() {
+    let n: usize = std::env::var("SEGMENT_TRACES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    let options = SegmentOptions::default();
+    println!(
+        "segment_report: {n} traces, {} rows/segment...",
+        options.rows_per_segment
+    );
+
+    let traces = synthesize(n, options.rows_per_segment);
+    let mut batch = TraceBatch::with_capacity(n);
+    for t in &traces {
+        batch.push_owned(t.clone());
+    }
+
+    // ---- seal: batch → segment files ----
+    let seal_dir = tmpdir("seal");
+    let seal_ms = time_ms(3, || {
+        let _ = fs::remove_dir_all(&seal_dir);
+        let mut writer = SegmentWriter::create(&seal_dir, options).expect("create writer");
+        writer.seal_traces(&batch).expect("seal");
+    });
+    let segment_bytes = dir_bytes(&seal_dir);
+    let set = SegmentSet::open(&seal_dir).expect("open segment set");
+    assert_eq!(set.trace_rows(), n as u64, "sealed rows");
+
+    // The JSON representation the document store persists (WAL frames
+    // and checkpoints serialize documents this way).
+    let docs: Vec<serde_json::Value> = traces
+        .iter()
+        .map(|t| serde_json::to_value(t).expect("traces serialize"))
+        .collect();
+    let json_bytes: u64 = docs
+        .iter()
+        .map(|d| serde_json::to_string(d).expect("docs serialize").len() as u64)
+        .sum();
+
+    let store = DocumentStore::new();
+    for doc in &docs {
+        store.insert("traces", doc.clone()).expect("insert doc");
+    }
+    drop(docs);
+
+    // ---- full scan: every segment → one batch ----
+    let full_scan_ms = time_ms(5, || {
+        let got = set.read_all().expect("scan").into_batch();
+        assert_eq!(got.len(), n, "full scan row count");
+    });
+
+    // ---- device query: pruned segment scan vs DocumentStore::find ----
+    let target = DeviceKind::Tecan;
+    let query = TraceQuery::new().device(target);
+    let expected = query.matching_rows(&batch).len();
+    assert!(expected > 0, "the clustered log covers every device");
+
+    let probe = set.query(&query).expect("device query");
+    let (scanned, pruned) = (probe.scanned(), probe.pruned());
+    let segment_query_ms = time_ms(5, || {
+        let scan = set.query(&query).expect("device query");
+        assert_eq!(scan.rows(), expected as u64, "segment query row count");
+    });
+
+    let filter = Filter::eq("device.kind", serde_json::json!(format!("{target:?}")));
+    let docstore_find_ms = time_ms(5, || {
+        let hits = store.find("traces", &filter);
+        assert_eq!(hits.len(), expected, "document query row count");
+    });
+
+    let size_reduction = json_bytes as f64 / segment_bytes as f64;
+    let query_speedup = docstore_find_ms / segment_query_ms;
+    let seal_rows_per_s = n as f64 / (seal_ms / 1e3);
+    let scan_rows_per_s = n as f64 / (full_scan_ms / 1e3);
+
+    println!();
+    println!("{:<22} {:>14} {:>16}", "stage", "ms", "rows/s");
+    println!("{:<22} {:>14.1} {:>16.0}", "seal", seal_ms, seal_rows_per_s);
+    println!(
+        "{:<22} {:>14.1} {:>16.0}",
+        "full_scan", full_scan_ms, scan_rows_per_s
+    );
+    println!();
+    println!(
+        "size: segments {} MiB vs JSON {} MiB ({size_reduction:.2}x smaller)",
+        segment_bytes / (1024 * 1024),
+        json_bytes / (1024 * 1024),
+    );
+    println!(
+        "device query ({target:?}, {expected} rows): segments {segment_query_ms:.1} ms \
+         ({scanned} scanned, {pruned} pruned) vs DocumentStore::find {docstore_find_ms:.1} ms \
+         = {query_speedup:.2}x"
+    );
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"workload\": {\n");
+    out.push_str(&format!("    \"traces\": {n},\n"));
+    out.push_str(&format!(
+        "    \"rows_per_segment\": {},\n",
+        options.rows_per_segment
+    ));
+    out.push_str(&format!("    \"segments\": {},\n", set.len()));
+    out.push_str(&format!("    \"segment_bytes\": {segment_bytes},\n"));
+    out.push_str(&format!("    \"json_bytes\": {json_bytes},\n"));
+    out.push_str(&format!("    \"size_reduction\": {size_reduction:.2}\n"));
+    out.push_str("  },\n");
+    out.push_str("  \"stages\": [\n");
+    out.push_str("    {\n");
+    out.push_str("      \"name\": \"seal\",\n");
+    out.push_str(&format!("      \"ms\": {seal_ms:.3},\n"));
+    out.push_str(&format!("      \"rows_per_s\": {seal_rows_per_s:.0}\n"));
+    out.push_str("    },\n");
+    out.push_str("    {\n");
+    out.push_str("      \"name\": \"full_scan\",\n");
+    out.push_str(&format!("      \"ms\": {full_scan_ms:.3},\n"));
+    out.push_str(&format!("      \"rows_per_s\": {scan_rows_per_s:.0}\n"));
+    out.push_str("    }\n");
+    out.push_str("  ],\n");
+    out.push_str("  \"device_query\": {\n");
+    out.push_str(&format!("    \"device\": \"{target:?}\",\n"));
+    out.push_str(&format!("    \"matching_rows\": {expected},\n"));
+    out.push_str(&format!("    \"segments_scanned\": {scanned},\n"));
+    out.push_str(&format!("    \"segments_pruned\": {pruned},\n"));
+    out.push_str(&format!("    \"segments_ms\": {segment_query_ms:.3},\n"));
+    out.push_str(&format!(
+        "    \"docstore_find_ms\": {docstore_find_ms:.3},\n"
+    ));
+    out.push_str(&format!("    \"speedup\": {query_speedup:.2}\n"));
+    out.push_str("  }\n}\n");
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let path = root.join("BENCH_segments.json");
+    fs::write(&path, out).expect("write BENCH_segments.json");
+    println!("wrote {}", path.display());
+
+    let _ = fs::remove_dir_all(&seal_dir);
+}

@@ -47,7 +47,7 @@ use crate::value::Value;
 /// [`TraceBatch::len`] entries except the argument arena, which is
 /// shared and addressed through a prefix-sum offset column, and the
 /// exception column, which is sparse (most traces raise nothing).
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceBatch {
     ids: Vec<u64>,
     timestamps_us: Vec<u64>,
@@ -68,6 +68,14 @@ pub struct TraceBatch {
     procedures: Vec<ProcedureKind>,
     run_ids: Vec<Option<RunId>>,
     labels: Vec<Label>,
+}
+
+// Canonical empty form: the offset column always carries its leading
+// sentinel, so empty batches from any constructor compare equal.
+impl Default for TraceBatch {
+    fn default() -> Self {
+        TraceBatch::with_capacity(0)
+    }
 }
 
 impl TraceBatch {
@@ -352,6 +360,195 @@ impl TraceBatch {
         let end = self.arg_offsets[row + 1] as usize;
         &self.args[start..end]
     }
+
+    /// The trace-id column.
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// The capture-mode column.
+    pub fn modes(&self) -> &[TraceMode] {
+        &self.modes
+    }
+
+    /// The return-value column.
+    pub fn return_values(&self) -> &[Value] {
+        &self.return_values
+    }
+
+    /// The response-time column, in microseconds.
+    pub fn response_times_us(&self) -> &[u64] {
+        &self.response_times_us
+    }
+
+    /// The argument-offset column: `arg_offsets()[i]..arg_offsets()[i+1]`
+    /// indexes row `i`'s arguments in [`TraceBatch::arg_values`]. Always
+    /// `len() + 1` entries (a lone `0` for an empty batch).
+    pub fn arg_offsets(&self) -> &[u32] {
+        if self.arg_offsets.is_empty() {
+            // A default-constructed batch has no offset sentinel yet.
+            &[0]
+        } else {
+            &self.arg_offsets
+        }
+    }
+
+    /// The shared argument arena addressed by
+    /// [`TraceBatch::arg_offsets`].
+    pub fn arg_values(&self) -> &[Value] {
+        &self.args
+    }
+
+    /// The sparse exception column: `(row, message)` pairs, ascending
+    /// by row.
+    pub fn exception_rows(&self) -> &[(u32, String)] {
+        &self.exceptions
+    }
+
+    /// Rebuilds a batch from raw columns — the decode half of a
+    /// columnar serializer. Inverse of reading the individual column
+    /// accessors on the encode side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::RadError::Store`] when the columns are not a
+    /// coherent batch: mismatched column lengths, a non-monotonic or
+    /// mis-sized offset column, out-of-range token ids, or exception
+    /// rows that are unsorted or out of bounds.
+    pub fn from_columns(columns: TraceColumns) -> Result<TraceBatch, crate::RadError> {
+        let TraceColumns {
+            ids,
+            timestamps_us,
+            devices,
+            command_tokens,
+            arg_offsets,
+            args,
+            modes,
+            return_values,
+            exceptions,
+            response_times_us,
+            procedures,
+            run_ids,
+            labels,
+        } = columns;
+        let rows = ids.len();
+        let fail = |reason: String| Err(crate::RadError::Store(reason));
+        let lanes = [
+            ("timestamps_us", timestamps_us.len()),
+            ("devices", devices.len()),
+            ("command_tokens", command_tokens.len()),
+            ("modes", modes.len()),
+            ("return_values", return_values.len()),
+            ("response_times_us", response_times_us.len()),
+            ("procedures", procedures.len()),
+            ("run_ids", run_ids.len()),
+            ("labels", labels.len()),
+        ];
+        for (name, len) in lanes {
+            if len != rows {
+                return fail(format!("column `{name}` has {len} rows, expected {rows}"));
+            }
+        }
+        if arg_offsets.len() != rows + 1 {
+            return fail(format!(
+                "arg_offsets has {} entries, expected {}",
+                arg_offsets.len(),
+                rows + 1
+            ));
+        }
+        if arg_offsets.first() != Some(&0) {
+            return fail("arg_offsets must start at 0".to_owned());
+        }
+        if arg_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return fail("arg_offsets must be non-decreasing".to_owned());
+        }
+        if *arg_offsets.last().expect("non-empty by construction") as usize != args.len() {
+            return fail(format!(
+                "arg_offsets end at {} but arena holds {} values",
+                arg_offsets.last().expect("non-empty by construction"),
+                args.len()
+            ));
+        }
+        if let Some(&tok) = command_tokens
+            .iter()
+            .find(|&&t| CommandType::from_token_id(t as usize).is_none())
+        {
+            return fail(format!("unknown command token id {tok}"));
+        }
+        if exceptions.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return fail("exception rows must be strictly ascending".to_owned());
+        }
+        if exceptions.last().is_some_and(|(r, _)| *r as usize >= rows) {
+            return fail("exception row out of bounds".to_owned());
+        }
+        Ok(TraceBatch {
+            ids,
+            timestamps_us,
+            devices,
+            command_tokens,
+            arg_offsets,
+            args,
+            modes,
+            return_values,
+            exceptions,
+            response_times_us,
+            procedures,
+            run_ids,
+            labels,
+        })
+    }
+
+    /// Gathers the given rows into a new batch, column-wise — no
+    /// per-row [`TraceObject`] materialization. Row indices may repeat
+    /// and appear in any order; output order follows `rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select(&self, rows: &[usize]) -> TraceBatch {
+        let mut out = TraceBatch::with_capacity(rows.len());
+        for &i in rows {
+            assert!(i < self.len(), "row {i} out of bounds (len {})", self.len());
+            out.ids.push(self.ids[i]);
+            out.timestamps_us.push(self.timestamps_us[i]);
+            out.devices.push(self.devices[i]);
+            out.command_tokens.push(self.command_tokens[i]);
+            out.args.extend_from_slice(self.args_of(i));
+            out.arg_offsets.push(out.args.len() as u32);
+            out.modes.push(self.modes[i]);
+            out.return_values.push(self.return_values[i].clone());
+            if let Some(msg) = self.exception_of(i) {
+                out.exceptions
+                    .push((out.ids.len() as u32 - 1, msg.to_owned()));
+            }
+            out.response_times_us.push(self.response_times_us[i]);
+            out.procedures.push(self.procedures[i]);
+            out.run_ids.push(self.run_ids[i]);
+            out.labels.push(self.labels[i]);
+        }
+        out
+    }
+}
+
+/// Raw columns for [`TraceBatch::from_columns`] — the decode-side
+/// counterpart of the batch's column accessors. Field semantics match
+/// the accessors of the same name.
+#[derive(Debug, Clone, Default)]
+#[allow(missing_docs)]
+pub struct TraceColumns {
+    pub ids: Vec<u64>,
+    pub timestamps_us: Vec<u64>,
+    pub devices: Vec<DeviceId>,
+    pub command_tokens: Vec<u16>,
+    pub arg_offsets: Vec<u32>,
+    pub args: Vec<Value>,
+    pub modes: Vec<TraceMode>,
+    pub return_values: Vec<Value>,
+    pub exceptions: Vec<(u32, String)>,
+    pub response_times_us: Vec<u64>,
+    pub procedures: Vec<ProcedureKind>,
+    pub run_ids: Vec<Option<RunId>>,
+    pub labels: Vec<Label>,
 }
 
 impl From<Vec<TraceObject>> for TraceBatch {

@@ -68,6 +68,18 @@ pub enum RadError {
         /// Byte offset at which the complete prefix ends.
         offset: u64,
     },
+    /// A sealed columnar segment failed its CRC or structural check —
+    /// a bit flip at rest, a truncated file, or garbage where a column
+    /// should be. Readers quarantine the segment and scans carry on
+    /// with the survivors.
+    SegmentCorrupt {
+        /// Segment file name the damage lives in.
+        segment: String,
+        /// Byte offset of the first invalid structure.
+        offset: u64,
+        /// What failed (crc mismatch, bogus column length, ...).
+        reason: String,
+    },
     /// A checkpoint or resume target does not match the campaign that
     /// is trying to resume from it (different seed, scale, or diverged
     /// persisted records).
@@ -123,6 +135,11 @@ impl fmt::Display for RadError {
             RadError::WalTornWrite { segment, offset } => {
                 write!(f, "wal segment {segment} torn at byte {offset}")
             }
+            RadError::SegmentCorrupt {
+                segment,
+                offset,
+                reason,
+            } => write!(f, "segment {segment} corrupt at byte {offset}: {reason}"),
             RadError::CheckpointMismatch { reason } => {
                 write!(f, "checkpoint mismatch: {reason}")
             }

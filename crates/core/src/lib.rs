@@ -31,7 +31,7 @@ pub mod time;
 pub mod trace;
 pub mod value;
 
-pub use batch::{TraceBatch, TraceRow};
+pub use batch::{TraceBatch, TraceColumns, TraceRow};
 pub use command::{Command, CommandCategory, CommandType};
 pub use device::{DeviceId, DeviceKind};
 pub use error::{DeviceFault, RadError};

@@ -175,6 +175,32 @@ impl PowerBlock {
         &mut self.lanes
     }
 
+    /// Rebuilds a block from raw lanes — the decode half of a columnar
+    /// serializer. Lane order matches [`PowerSample::to_row`] (the
+    /// [`lane`] constants).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rad_core::RadError::Store`] unless exactly
+    /// [`PowerSample::FIELD_COUNT`] lanes of equal length are given.
+    pub fn from_lanes(lanes: Vec<Vec<f64>>) -> Result<Self, rad_core::RadError> {
+        if lanes.len() != PowerSample::FIELD_COUNT {
+            return Err(rad_core::RadError::Store(format!(
+                "power block needs {} lanes, got {}",
+                PowerSample::FIELD_COUNT,
+                lanes.len()
+            )));
+        }
+        let ticks = lanes[0].len();
+        if let Some((i, l)) = lanes.iter().enumerate().find(|(_, l)| l.len() != ticks) {
+            return Err(rad_core::RadError::Store(format!(
+                "power lane {i} has {} ticks, expected {ticks}",
+                l.len()
+            )));
+        }
+        Ok(PowerBlock { lanes })
+    }
+
     /// Appends one row-form sample, scattering its fields into the
     /// lanes.
     pub fn push_sample(&mut self, s: &PowerSample) {

@@ -191,49 +191,53 @@ impl DocumentStore {
             .cloned()
     }
 
+    /// Visits every document in `collection` matching `filter`, in
+    /// insertion order, without cloning anything — candidates are
+    /// filtered and handed to `visit` by reference. [`DocumentStore::find`]
+    /// is this plus a clone per match; readers that only aggregate
+    /// (count, project one field, decode into an owned value anyway)
+    /// should use this directly.
+    ///
+    /// The collection lock is held for the duration of the walk, so
+    /// `visit` must not call back into this store.
+    pub fn for_each_matching(
+        &self,
+        collection: &str,
+        filter: &Filter,
+        mut visit: impl FnMut(DocumentId, &Json),
+    ) {
+        if let Some(c) = self.inner.read().collections.get(collection) {
+            for (id, doc) in &c.docs {
+                if filter.matches(doc) {
+                    visit(DocumentId(*id), doc);
+                }
+            }
+        }
+    }
+
     /// All documents in `collection` matching `filter`, in insertion
-    /// order.
+    /// order. Clones one [`Json`] per match (never per candidate);
+    /// [`DocumentStore::for_each_matching`] avoids even that.
     pub fn find(&self, collection: &str, filter: &Filter) -> Vec<Json> {
-        self.inner
-            .read()
-            .collections
-            .get(collection)
-            .map(|c| {
-                c.docs
-                    .values()
-                    .filter(|d| filter.matches(d))
-                    .cloned()
-                    .collect()
-            })
-            .unwrap_or_default()
+        let mut out = Vec::new();
+        self.for_each_matching(collection, filter, |_, doc| out.push(doc.clone()));
+        out
     }
 
     /// Number of matching documents.
     pub fn count(&self, collection: &str, filter: &Filter) -> usize {
-        self.inner
-            .read()
-            .collections
-            .get(collection)
-            .map(|c| c.docs.values().filter(|d| filter.matches(d)).count())
-            .unwrap_or(0)
+        let mut n = 0;
+        self.for_each_matching(collection, filter, |_, _| n += 1);
+        n
     }
 
     /// Ids of all documents in `collection` matching `filter`, in
     /// insertion order. The durable layer uses this to log which
     /// documents a [`DocumentStore::delete`] removed.
     pub fn find_ids(&self, collection: &str, filter: &Filter) -> Vec<DocumentId> {
-        self.inner
-            .read()
-            .collections
-            .get(collection)
-            .map(|c| {
-                c.docs
-                    .iter()
-                    .filter(|(_, d)| filter.matches(d))
-                    .map(|(id, _)| DocumentId(*id))
-                    .collect()
-            })
-            .unwrap_or_default()
+        let mut out = Vec::new();
+        self.for_each_matching(collection, filter, |id, _| out.push(id));
+        out
     }
 
     /// Removes one document by id, returning whether it existed.
@@ -461,5 +465,36 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(store.len(), 800);
+    }
+
+    #[test]
+    fn visitor_agrees_with_find_without_cloning() {
+        let store = DocumentStore::new();
+        for i in 0..20 {
+            store
+                .insert("t", json!({"i": i, "even": (i % 2 == 0)}))
+                .unwrap();
+        }
+        let filter = Filter::eq("even", json!(true));
+        let mut visited = Vec::new();
+        store.for_each_matching("t", &filter, |id, doc| {
+            visited.push((id, doc["i"].as_i64().unwrap()));
+        });
+        assert_eq!(visited.len(), 10);
+        let found = store.find("t", &filter);
+        assert_eq!(
+            found
+                .iter()
+                .map(|d| d["i"].as_i64().unwrap())
+                .collect::<Vec<_>>(),
+            visited.iter().map(|(_, i)| *i).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            store.find_ids("t", &filter),
+            visited.iter().map(|(id, _)| *id).collect::<Vec<_>>()
+        );
+        assert_eq!(store.count("t", &filter), 10);
+        // Missing collection: the visitor is simply never called.
+        store.for_each_matching("missing", &filter, |_, _| panic!("must not visit"));
     }
 }

@@ -34,9 +34,12 @@ use rad_core::RadError;
 use serde_json::{json, Value as Json};
 
 use crate::document::{DocumentId, DocumentStore, Filter};
+use crate::segment::{SegmentOptions, SegmentSet, SegmentWriter};
 use crate::wal::{atomic_write_file, CrashInjector, CrashPlan, RecoveryReport, Wal, WalOptions};
 
 const CHECKPOINT_FILE: &str = "checkpoint.json";
+const SEGMENTS_DIR: &str = "segments";
+const SEGMENTS_COLLECTION: &str = "segments";
 
 /// Tuning knobs for a [`DurableStore`].
 #[derive(Debug, Clone, Default)]
@@ -375,6 +378,127 @@ impl DurableStore {
         Ok(())
     }
 
+    /// Compacts a campaign trace collection — `{"i": pos, "v": trace}`
+    /// documents as written by the campaign sink — into sealed columnar
+    /// segments under `dir/segments/`, then checkpoints.
+    ///
+    /// The seal is crash-safe end to end: segment files go through the
+    /// same atomic temp-fsync-rename path as checkpoints (the store's
+    /// crash injector fires in the same windows), the manifest
+    /// recording which files hold the collection is a WAL-logged
+    /// insert into the `"segments"` collection, and the closing
+    /// [`DurableStore::checkpoint`] retires the WAL prefix. A crash at
+    /// any point leaves either the documents alone, or documents plus
+    /// complete sealed segments — never a half-sealed file a scan
+    /// could see.
+    ///
+    /// Compaction is incremental: manifests remember how many stream
+    /// positions are already sealed, and a later call seals only the
+    /// suffix — re-finalizing a resumed campaign never duplicates
+    /// rows. `prune` deletes the source documents after sealing (the
+    /// segments become the only copy); leave it `false` when a resumed
+    /// campaign still needs to prefix-verify the documents, and note
+    /// that pruning forfeits incrementality — positions restarting at
+    /// zero would be mistaken for already-sealed rows.
+    ///
+    /// Returns the paths sealed, in seal order. A collection with
+    /// nothing new seals nothing and writes no manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadError::Store`] when a document does not decode as
+    /// a trace item, on filesystem failure, or on an injected crash.
+    pub fn compact_traces_to_segments(
+        &self,
+        collection: &str,
+        options: SegmentOptions,
+        prune: bool,
+    ) -> Result<Vec<PathBuf>, RadError> {
+        // Stream positions below this are already in sealed segments.
+        let mut already_sealed = 0u64;
+        self.store.for_each_matching(
+            SEGMENTS_COLLECTION,
+            &Filter::eq("source", Json::String(collection.to_owned())),
+            |_, doc| {
+                already_sealed += doc.get("rows").and_then(Json::as_u64).unwrap_or(0);
+            },
+        );
+        // Decode in place via the zero-clone visitor: only the `"v"`
+        // payload of each document is cloned, to hand serde an owned
+        // value.
+        let mut decoded: Vec<(u64, rad_core::TraceObject)> = Vec::new();
+        let mut bad: Option<String> = None;
+        self.store
+            .for_each_matching(collection, &Filter::all(), |id, doc| {
+                if bad.is_some() {
+                    return;
+                }
+                let pos = doc.get("i").and_then(Json::as_u64);
+                match pos {
+                    Some(pos) if pos < already_sealed => return,
+                    _ => {}
+                }
+                let value = doc.get("v").cloned();
+                match (pos, value) {
+                    (Some(pos), Some(value)) => match serde_json::from_value(value) {
+                        Ok(trace) => decoded.push((pos, trace)),
+                        Err(e) => bad = Some(format!("{collection} {id}: {e}")),
+                    },
+                    _ => bad = Some(format!("{collection} {id}: missing `i` or `v`")),
+                }
+            });
+        if let Some(reason) = bad {
+            return Err(RadError::Store(format!(
+                "compacting non-trace document {reason}"
+            )));
+        }
+        if decoded.is_empty() {
+            return Ok(Vec::new());
+        }
+        decoded.sort_by_key(|(pos, _)| *pos);
+        let mut batch = rad_core::TraceBatch::with_capacity(decoded.len());
+        for (_, trace) in decoded {
+            batch.push_owned(trace);
+        }
+
+        let mut writer = SegmentWriter::create(&self.segments_dir(), options)?
+            .with_injector(self.injector.as_ref());
+        let paths = writer.seal_traces(&batch)?;
+        let files: Vec<Json> = paths
+            .iter()
+            .map(|p| Json::String(p.file_name().unwrap_or_default().to_string_lossy().into()))
+            .collect();
+        self.insert(
+            SEGMENTS_COLLECTION,
+            json!({
+                "source": collection,
+                "rows": batch.len(),
+                "first": already_sealed,
+                "files": files,
+            }),
+        )?;
+        if prune {
+            self.delete(collection, &Filter::all())?;
+        }
+        self.checkpoint()?;
+        Ok(paths)
+    }
+
+    /// The directory compaction seals segments into.
+    pub fn segments_dir(&self) -> PathBuf {
+        self.dir.join(SEGMENTS_DIR)
+    }
+
+    /// Opens the store's sealed segments as a queryable
+    /// [`SegmentSet`] (empty before the first compaction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadError::Store`] on directory I/O failure.
+    pub fn segments(&self) -> Result<SegmentSet, RadError> {
+        SegmentSet::open(&self.segments_dir())
+    }
+
     /// Read access to the underlying in-memory store. Mutating it
     /// directly bypasses the log; use [`DurableStore::insert`] /
     /// [`DurableStore::delete`] instead.
@@ -642,6 +766,159 @@ mod tests {
         let (store, report) = DurableStore::open(&dir, options()).unwrap();
         assert_eq!(store.store().len(), 8, "two batches of four were synced");
         assert!(report.records_replayed <= applied, "nothing invented");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn sample_traces(n: u64) -> Vec<rad_core::TraceObject> {
+        use rad_core::{Command, CommandType, DeviceId, SimInstant, TraceId, TraceObject};
+        (0..n)
+            .map(|i| {
+                let ct = CommandType::from_token_id(i as usize % CommandType::all().len()).unwrap();
+                TraceObject::builder(
+                    TraceId(i),
+                    SimInstant::from_micros(i * 100),
+                    DeviceId::primary(ct.device()),
+                    Command::new(ct, vec![]),
+                )
+                .build()
+            })
+            .collect()
+    }
+
+    fn trace_docs(traces: &[rad_core::TraceObject]) -> Vec<Json> {
+        traces
+            .iter()
+            .enumerate()
+            .map(|(i, t)| json!({"i": i, "v": (serde_json::to_value(t).unwrap())}))
+            .collect()
+    }
+
+    #[test]
+    fn compaction_seals_segments_and_survives_reopen() {
+        use crate::segment::SegmentOptions;
+        let dir = tmpdir("segcompact");
+        let traces = sample_traces(40);
+        {
+            let (store, _) = DurableStore::open(&dir, options()).unwrap();
+            store.insert_batch("traces", trace_docs(&traces)).unwrap();
+            let paths = store
+                .compact_traces_to_segments("traces", SegmentOptions::default(), false)
+                .unwrap();
+            assert_eq!(paths.len(), 1);
+            assert_eq!(store.count("segments", &Filter::all()), 1);
+            assert_eq!(
+                store.count("traces", &Filter::all()),
+                40,
+                "unpruned compaction keeps the documents"
+            );
+        }
+        let (store, report) = DurableStore::open(&dir, options()).unwrap();
+        assert_eq!(report.records_replayed, 0, "checkpoint absorbed everything");
+        let set = store.segments().unwrap();
+        assert_eq!(set.trace_rows(), 40);
+        assert_eq!(set.read_all().unwrap().into_batch().to_traces(), traces);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pruned_compaction_makes_segments_the_only_copy() {
+        use crate::segment::SegmentOptions;
+        let dir = tmpdir("segprune");
+        let traces = sample_traces(25);
+        let (store, _) = DurableStore::open(&dir, options()).unwrap();
+        store.insert_batch("traces", trace_docs(&traces)).unwrap();
+        store
+            .compact_traces_to_segments("traces", SegmentOptions::default(), true)
+            .unwrap();
+        assert_eq!(store.count("traces", &Filter::all()), 0);
+        let set = store.segments().unwrap();
+        assert_eq!(set.read_all().unwrap().into_batch().to_traces(), traces);
+        // Compacting the now-empty collection is a no-op.
+        assert!(store
+            .compact_traces_to_segments("traces", SegmentOptions::default(), true)
+            .unwrap()
+            .is_empty());
+        assert_eq!(store.count("segments", &Filter::all()), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crashed_compaction_leaves_documents_intact() {
+        use crate::segment::SegmentOptions;
+        let dir = tmpdir("segcrash");
+        let opts = DurableOptions {
+            crash_plan: Some(CrashPlan::at(CrashSite::MidRename, 0)),
+            ..options()
+        };
+        let (store, _) = DurableStore::open(&dir, opts).unwrap();
+        store
+            .insert_batch("traces", trace_docs(&sample_traces(30)))
+            .unwrap();
+        let err = store
+            .compact_traces_to_segments("traces", SegmentOptions::default(), true)
+            .unwrap_err();
+        assert!(err.to_string().contains("injected crash"));
+        assert_eq!(store.count("traces", &Filter::all()), 30, "prune never ran");
+        assert_eq!(store.count("segments", &Filter::all()), 0, "no manifest");
+        assert!(store.segments().unwrap().is_empty(), "no live segment");
+        drop(store);
+        // A clean reopen still has every document and can compact.
+        let (store, _) = DurableStore::open(&dir, options()).unwrap();
+        assert_eq!(store.count("traces", &Filter::all()), 30);
+        store
+            .compact_traces_to_segments("traces", SegmentOptions::default(), true)
+            .unwrap();
+        assert_eq!(store.segments().unwrap().trace_rows(), 30);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_trace_collection_fails_compaction_cleanly() {
+        use crate::segment::SegmentOptions;
+        let dir = tmpdir("segbad");
+        let (store, _) = DurableStore::open(&dir, options()).unwrap();
+        store
+            .insert("notes", json!({"i": 0, "v": {"free": "form"}}))
+            .unwrap();
+        assert!(store
+            .compact_traces_to_segments("notes", SegmentOptions::default(), false)
+            .is_err());
+        assert_eq!(store.count("notes", &Filter::all()), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recompaction_seals_only_the_new_suffix() {
+        use crate::segment::SegmentOptions;
+        let dir = tmpdir("segincr");
+        let traces = sample_traces(50);
+        let (store, _) = DurableStore::open(&dir, options()).unwrap();
+        store
+            .insert_batch("traces", trace_docs(&traces[..40]))
+            .unwrap();
+        store
+            .compact_traces_to_segments("traces", SegmentOptions::default(), false)
+            .unwrap();
+        // Re-finalizing with nothing new must not duplicate rows.
+        assert!(store
+            .compact_traces_to_segments("traces", SegmentOptions::default(), false)
+            .unwrap()
+            .is_empty());
+        assert_eq!(store.segments().unwrap().trace_rows(), 40);
+        // Ten more stream positions arrive; only they are sealed.
+        let suffix: Vec<Json> = traces[40..]
+            .iter()
+            .enumerate()
+            .map(|(i, t)| json!({"i": (i + 40), "v": (serde_json::to_value(t).unwrap())}))
+            .collect();
+        store.insert_batch("traces", suffix).unwrap();
+        store
+            .compact_traces_to_segments("traces", SegmentOptions::default(), false)
+            .unwrap();
+        let set = store.segments().unwrap();
+        assert_eq!(set.trace_rows(), 50);
+        assert_eq!(set.read_all().unwrap().into_batch().to_traces(), traces);
+        assert_eq!(store.count("segments", &Filter::all()), 2);
         let _ = fs::remove_dir_all(&dir);
     }
 }

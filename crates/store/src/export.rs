@@ -15,12 +15,13 @@ use std::fmt;
 use std::fs;
 use std::path::Path;
 
-use rad_core::RadError;
+use rad_core::{RadError, RunMetadata, TraceGap, TraceSource};
 use serde_json::json;
 
 use crate::csv;
 use crate::dataset::{CommandDataset, PowerDataset};
 use crate::document::DocumentStore;
+use crate::segment::SegmentSet;
 use crate::wal::{atomic_write_file, atomic_write_stream, CrashInjector};
 
 fn io_err(context: &str, e: std::io::Error) -> RadError {
@@ -118,17 +119,11 @@ pub fn export_rad_with(
     })?;
     files += 1;
 
-    let mut runs_csv = String::from("run_id,procedure,label,note\n");
-    for run in commands.runs() {
-        runs_csv.push_str(&csv::encode_row(&[
-            run.run_id().0.to_string(),
-            run.kind().paper_id().to_owned(),
-            run.label().to_string(),
-            run.operator_note().unwrap_or_default().to_owned(),
-        ]));
-        runs_csv.push('\n');
-    }
-    atomic_write_file(&dir.join("runs.csv"), runs_csv.as_bytes(), injector)?;
+    atomic_write_file(
+        &dir.join("runs.csv"),
+        runs_csv(commands.runs()).as_bytes(),
+        injector,
+    )?;
     files += 1;
 
     // Trace gaps are part of the published record: a bundle collected
@@ -176,6 +171,134 @@ pub fn export_rad_with(
         injector,
     )?;
     Ok(files + 1)
+}
+
+/// Encodes the `runs.csv` metadata table. Shared by both exporters so
+/// the segment-fed bundle is byte-identical to the in-memory one.
+fn runs_csv(runs: &[RunMetadata]) -> String {
+    let mut out = String::from("run_id,procedure,label,note\n");
+    for run in runs {
+        out.push_str(&csv::encode_row(&[
+            run.run_id().0.to_string(),
+            run.kind().paper_id().to_owned(),
+            run.label().to_string(),
+            run.operator_note().unwrap_or_default().to_owned(),
+        ]));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the full RAD bundle under `dir`, streaming the trace and
+/// power halves straight out of sealed columnar `segments` instead of
+/// an in-memory dataset — a store whose documents were pruned after
+/// compaction can still publish. Run metadata and trace gaps are not
+/// part of the segment format, so the caller supplies them.
+///
+/// Produces a bundle byte-identical to [`export_rad`] of the
+/// equivalent in-memory dataset, provided the segments were sealed in
+/// dataset order (the default, non-partitioned [`SegmentWriter`]
+/// options preserve it).
+///
+/// # Errors
+///
+/// Returns [`RadError::Store`] on filesystem failures or injected
+/// crashes, and [`RadError::SegmentCorrupt`] when any segment had to
+/// be quarantined — a published bundle must be complete, never
+/// silently short.
+///
+/// [`SegmentWriter`]: crate::segment::SegmentWriter
+pub fn export_rad_from_segments(
+    segments: &SegmentSet,
+    runs: &[RunMetadata],
+    gaps: &[TraceGap],
+    dir: &Path,
+    injector: Option<&CrashInjector>,
+) -> Result<usize, RadError> {
+    fs::create_dir_all(dir).map_err(|e| io_err("creating bundle dir", e))?;
+    let mut files = 0;
+
+    require_complete(segments.quarantined())?;
+    let mut scan = segments.read_all()?;
+    require_complete(scan.quarantined())?;
+    let trace_objects = scan.rows();
+    atomic_write_stream(&dir.join("commands.csv"), injector, |w| {
+        csv::write_traces_csv_header(w)?;
+        // SegmentScan::next_batch is infallible: decode already
+        // happened (and was CRC-checked) inside the query.
+        while let Ok(Some(batch)) = scan.next_batch() {
+            csv::write_traces_csv_rows(w, &batch)?;
+        }
+        Ok(())
+    })?;
+    files += 1;
+
+    atomic_write_file(&dir.join("runs.csv"), runs_csv(runs).as_bytes(), injector)?;
+    files += 1;
+
+    if !gaps.is_empty() {
+        atomic_write_file(
+            &dir.join("gaps.csv"),
+            csv::gaps_to_csv(gaps).as_bytes(),
+            injector,
+        )?;
+        files += 1;
+    }
+
+    let power_scan = segments.power_recordings()?;
+    require_complete(power_scan.quarantined())?;
+    let recordings = power_scan.into_recordings();
+    let power_entries: usize = recordings.iter().map(|(_, block)| block.len()).sum();
+    let power_dir = dir.join("power");
+    fs::create_dir_all(&power_dir).map_err(|e| io_err("creating power dir", e))?;
+    for (i, (meta, block)) in recordings.iter().enumerate() {
+        let name = format!(
+            "{}-{:04}-{}.csv",
+            meta.procedure.paper_id(),
+            i,
+            meta.run_id.0
+        );
+        atomic_write_stream(&power_dir.join(name), injector, |w| {
+            csv::write_power_csv(w, block)
+        })?;
+        files += 1;
+    }
+
+    let supervised = runs
+        .iter()
+        .filter(|r| r.label() != rad_core::Label::Unknown)
+        .count();
+    let manifest = json!({
+        "dataset": "RAD (simulated reproduction)",
+        "trace_objects": trace_objects,
+        "runs": (runs.len()),
+        "supervised_runs": supervised,
+        "trace_gaps": (gaps.len()),
+        "power_recordings": (recordings.len()),
+        "power_entries": power_entries,
+        "files": (files + 1),
+    });
+    atomic_write_file(
+        &dir.join("MANIFEST.json"),
+        serde_json::to_string_pretty(&manifest)
+            .expect("manifest serializes")
+            .as_bytes(),
+        injector,
+    )?;
+    Ok(files + 1)
+}
+
+/// An export fed from segments refuses to publish past quarantined
+/// data: the first casualty fails the bundle instead of shrinking it.
+fn require_complete(quarantined: &[crate::wal::QuarantinedSegment]) -> Result<(), RadError> {
+    match quarantined.first() {
+        None => Ok(()),
+        Some(q) => Err(RadError::SegmentCorrupt {
+            segment: q.segment.clone(),
+            offset: q.offset,
+            reason: format!("cannot export from a quarantined segment: {}", q.reason),
+        }),
+    }
 }
 
 /// Whether `dir` holds a complete bundle: [`export_rad`] writes the
@@ -542,6 +665,55 @@ mod tests {
         assert_eq!(report.skipped(), 1);
         assert_eq!(report.issues[0].location, "commands.csv line 4");
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segment_fed_export_matches_the_in_memory_bundle() {
+        use crate::segment::{SegmentOptions, SegmentSet, SegmentWriter};
+        let ds = small_dataset();
+
+        let mem_dir = tmpdir("seg-export-mem");
+        export_rad(&ds, &PowerDataset::new(), &mem_dir).unwrap();
+
+        let seg_dir = tmpdir("seg-export-segs");
+        fs::create_dir_all(&seg_dir).unwrap();
+        SegmentWriter::create(&seg_dir, SegmentOptions::default())
+            .unwrap()
+            .seal_traces(ds.batch())
+            .unwrap();
+        let set = SegmentSet::open(&seg_dir).unwrap();
+        let out_dir = tmpdir("seg-export-out");
+        let runs: Vec<_> = ds.runs().to_vec();
+        export_rad_from_segments(&set, &runs, ds.gaps(), &out_dir, None).unwrap();
+
+        // Every file of the bundle is byte-identical, manifest included.
+        for name in ["commands.csv", "runs.csv", "MANIFEST.json"] {
+            assert_eq!(
+                fs::read(mem_dir.join(name)).unwrap(),
+                fs::read(out_dir.join(name)).unwrap(),
+                "{name} must match the in-memory export"
+            );
+        }
+
+        // A quarantined segment refuses to publish a short bundle.
+        for entry in fs::read_dir(&seg_dir).unwrap() {
+            let path = entry.unwrap().path();
+            let mut bytes = fs::read(&path).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xFF;
+            fs::write(&path, bytes).unwrap();
+        }
+        let set = SegmentSet::open(&seg_dir).unwrap();
+        let short_dir = tmpdir("seg-export-short");
+        let err = export_rad_from_segments(&set, &runs, ds.gaps(), &short_dir, None).unwrap_err();
+        assert!(
+            matches!(err, RadError::SegmentCorrupt { .. }),
+            "expected corruption refusal, got {err}"
+        );
+
+        for dir in [mem_dir, seg_dir, out_dir, short_dir] {
+            let _ = fs::remove_dir_all(&dir);
+        }
     }
 
     #[test]

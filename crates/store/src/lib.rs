@@ -35,12 +35,17 @@ pub mod dataset;
 pub mod document;
 pub mod durable;
 pub mod export;
+pub mod segment;
 pub mod wal;
 
 pub use dataset::{CommandDataset, PowerDataset, PowerRecording};
 pub use document::{DocumentId, DocumentStore, Filter};
 pub use durable::{DurableOptions, DurableStore};
-pub use export::{export_rad, import_commands, LoadIssue, LoadReport};
+pub use export::{export_rad, export_rad_from_segments, import_commands, LoadIssue, LoadReport};
+pub use segment::{
+    PowerScan, SegmentKind, SegmentOptions, SegmentReader, SegmentScan, SegmentSet, SegmentWriter,
+    TraceQuery, ZoneMap,
+};
 pub use wal::{
     atomic_write_file, atomic_write_stream, CrashInjector, CrashPlan, CrashSite, RecoveryReport,
     WalOptions,

@@ -1,0 +1,482 @@
+//! The primitive codecs under the segment format: LEB128 varints,
+//! zigzag deltas, a dictionary coder for device ids, and the tagged
+//! binary [`Value`] codec.
+//!
+//! Everything here is a pure function over byte buffers so the
+//! equivalence suite can property-test each codec in isolation:
+//! encode → decode must round-trip for arbitrary inputs, and decode
+//! must reject truncated or oversized input with an error rather than
+//! panicking or reading out of bounds.
+
+use rad_core::{DeviceId, Value};
+
+use super::device_kind_index;
+
+/// Maximum [`Value::List`] nesting the decoder will follow. Corrupt
+/// bytes can claim arbitrarily deep lists; this bounds the recursion.
+const MAX_VALUE_DEPTH: usize = 32;
+
+/// A bounds-checked cursor over encoded bytes. Every read returns an
+/// error instead of panicking when the input is short — the segment
+/// reader turns those into [`rad_core::RadError::SegmentCorrupt`].
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A cursor at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    /// Current position, in bytes.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    /// Errors unless the input is fully consumed — decode must account
+    /// for every byte, or trailing garbage would go unnoticed.
+    pub fn expect_empty(&self) -> Result<(), String> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing bytes after payload",
+                self.bytes.len() - self.pos
+            ))
+        }
+    }
+
+    /// One byte.
+    pub fn u8(&mut self) -> Result<u8, String> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| format!("unexpected end of input at byte {}", self.pos))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Four little-endian bytes.
+    pub fn u32_le(&mut self) -> Result<u32, String> {
+        let raw = self.take(4)?;
+        Ok(u32::from_le_bytes(raw.try_into().expect("4 bytes")))
+    }
+
+    /// Eight little-endian bytes as an `f64`.
+    pub fn f64_le(&mut self) -> Result<f64, String> {
+        let raw = self.take(8)?;
+        Ok(f64::from_le_bytes(raw.try_into().expect("8 bytes")))
+    }
+
+    /// `len` raw bytes.
+    pub fn take(&mut self, len: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| {
+                format!(
+                    "need {len} bytes at {}, only {} remain",
+                    self.pos,
+                    self.bytes.len() - self.pos
+                )
+            })?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// One LEB128 varint (at most ten bytes for a `u64`).
+    pub fn varint(&mut self) -> Result<u64, String> {
+        let mut out = 0u64;
+        for shift in (0..64).step_by(7) {
+            let b = self.u8()?;
+            let payload = u64::from(b & 0x7F);
+            if shift == 63 && payload > 1 {
+                return Err("varint overflows u64".to_owned());
+            }
+            out |= payload << shift;
+            if b & 0x80 == 0 {
+                return Ok(out);
+            }
+        }
+        Err("varint longer than ten bytes".to_owned())
+    }
+
+    /// One zigzag-encoded signed varint.
+    pub fn zigzag(&mut self) -> Result<i64, String> {
+        let v = self.varint()?;
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+
+    /// One length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, String> {
+        let len = self.varint()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| "invalid utf-8 in string".to_owned())
+    }
+}
+
+/// Appends one LEB128 varint.
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends one zigzag-encoded signed varint.
+pub fn write_zigzag(out: &mut Vec<u8>, v: i64) {
+    write_varint(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+/// Appends one length-prefixed UTF-8 string.
+pub fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Delta-varint encodes a `u64` lane: the first value verbatim, then
+/// zigzag wrapping deltas. Wrapping arithmetic keeps the codec
+/// lossless for any values, while near-sorted lanes (timestamps, ids,
+/// prefix sums) collapse to one or two bytes per row.
+pub fn write_deltas(out: &mut Vec<u8>, values: &[u64]) {
+    let Some((&first, rest)) = values.split_first() else {
+        return;
+    };
+    write_varint(out, first);
+    let mut prev = first;
+    for &v in rest {
+        write_zigzag(out, v.wrapping_sub(prev) as i64);
+        prev = v;
+    }
+}
+
+/// Decodes `count` delta-varint values. Inverse of [`write_deltas`].
+///
+/// # Errors
+///
+/// Returns a message when the input is truncated or malformed.
+pub fn read_deltas(r: &mut ByteReader<'_>, count: usize) -> Result<Vec<u64>, String> {
+    let mut out = Vec::with_capacity(count);
+    if count == 0 {
+        r.expect_empty()?;
+        return Ok(out);
+    }
+    let mut prev = r.varint()?;
+    out.push(prev);
+    for _ in 1..count {
+        let delta = r.zigzag()?;
+        prev = prev.wrapping_add(delta as u64);
+        out.push(prev);
+    }
+    r.expect_empty()?;
+    Ok(out)
+}
+
+/// Dictionary-codes a device lane: distinct [`DeviceId`]s in first-
+/// appearance order, then one varint code per row. A single-device
+/// partition costs one byte per row.
+pub fn write_devices(out: &mut Vec<u8>, devices: &[DeviceId]) {
+    let mut dict: Vec<DeviceId> = Vec::new();
+    let codes: Vec<u64> = devices
+        .iter()
+        .map(|d| match dict.iter().position(|e| e == d) {
+            Some(i) => i as u64,
+            None => {
+                dict.push(*d);
+                (dict.len() - 1) as u64
+            }
+        })
+        .collect();
+    write_varint(out, dict.len() as u64);
+    for d in &dict {
+        out.push(device_kind_index(d.kind()));
+        write_varint(out, u64::from(d.index()));
+    }
+    for code in codes {
+        write_varint(out, code);
+    }
+}
+
+/// Decodes `count` dictionary-coded device ids. Inverse of
+/// [`write_devices`].
+///
+/// # Errors
+///
+/// Returns a message when the input is truncated, a dictionary entry
+/// is invalid, or a row references a missing entry.
+pub fn read_devices(r: &mut ByteReader<'_>, count: usize) -> Result<Vec<DeviceId>, String> {
+    let dict_len = r.varint()? as usize;
+    if dict_len > count.max(1) {
+        return Err(format!("device dictionary of {dict_len} for {count} rows"));
+    }
+    let mut dict = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        let kind = super::device_kind_from_index(r.u8()?)?;
+        let index = u16::try_from(r.varint()?).map_err(|_| "device index overflow")?;
+        dict.push(DeviceId::new(kind, index));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let code = r.varint()? as usize;
+        out.push(
+            *dict
+                .get(code)
+                .ok_or_else(|| format!("device code {code} out of dictionary"))?,
+        );
+    }
+    r.expect_empty()?;
+    Ok(out)
+}
+
+/// Value tags of the binary [`Value`] codec.
+mod tag {
+    pub const UNIT: u8 = 0;
+    pub const BOOL: u8 = 1;
+    pub const INT: u8 = 2;
+    pub const FLOAT: u8 = 3;
+    pub const STR: u8 = 4;
+    pub const LIST: u8 = 5;
+    pub const LOCATION: u8 = 6;
+    pub const JOINTS: u8 = 7;
+}
+
+/// Appends one tagged binary [`Value`]. Floats serialize as raw IEEE
+/// bits, so the round trip is exact (NaN payloads included).
+pub fn write_value(out: &mut Vec<u8>, value: &Value) {
+    match value {
+        Value::Unit => out.push(tag::UNIT),
+        Value::Bool(b) => {
+            out.push(tag::BOOL);
+            out.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            out.push(tag::INT);
+            write_zigzag(out, *i);
+        }
+        Value::Float(f) => {
+            out.push(tag::FLOAT);
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(tag::STR);
+            write_str(out, s);
+        }
+        Value::List(items) => {
+            out.push(tag::LIST);
+            write_varint(out, items.len() as u64);
+            for item in items {
+                write_value(out, item);
+            }
+        }
+        Value::Location { x, y, z } => {
+            out.push(tag::LOCATION);
+            for v in [x, y, z] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Value::Joints(joints) => {
+            out.push(tag::JOINTS);
+            for v in joints {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Decodes one tagged binary [`Value`]. Inverse of [`write_value`].
+///
+/// # Errors
+///
+/// Returns a message on an unknown tag, truncation, or lists nested
+/// deeper than the decoder's recursion bound.
+pub fn read_value(r: &mut ByteReader<'_>) -> Result<Value, String> {
+    read_value_depth(r, 0)
+}
+
+fn read_value_depth(r: &mut ByteReader<'_>, depth: usize) -> Result<Value, String> {
+    if depth > MAX_VALUE_DEPTH {
+        return Err(format!("value nesting exceeds {MAX_VALUE_DEPTH}"));
+    }
+    match r.u8()? {
+        tag::UNIT => Ok(Value::Unit),
+        tag::BOOL => match r.u8()? {
+            0 => Ok(Value::Bool(false)),
+            1 => Ok(Value::Bool(true)),
+            other => Err(format!("invalid bool byte {other}")),
+        },
+        tag::INT => Ok(Value::Int(r.zigzag()?)),
+        tag::FLOAT => Ok(Value::Float(r.f64_le()?)),
+        tag::STR => Ok(Value::Str(r.str()?)),
+        tag::LIST => {
+            let len = r.varint()? as usize;
+            if len > r.bytes.len() - r.pos {
+                return Err(format!("implausible list length {len}"));
+            }
+            let mut items = Vec::with_capacity(len);
+            for _ in 0..len {
+                items.push(read_value_depth(r, depth + 1)?);
+            }
+            Ok(Value::List(items))
+        }
+        tag::LOCATION => Ok(Value::Location {
+            x: r.f64_le()?,
+            y: r.f64_le()?,
+            z: r.f64_le()?,
+        }),
+        tag::JOINTS => {
+            let mut joints = [0.0f64; 6];
+            for j in &mut joints {
+                *j = r.f64_le()?;
+            }
+            Ok(Value::Joints(joints))
+        }
+        other => Err(format!("unknown value tag {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rad_core::DeviceKind;
+
+    #[test]
+    fn varint_round_trips_edges() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut r = ByteReader::new(&buf);
+            assert_eq!(r.varint().unwrap(), v);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips_signs() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -1234567, 1234567] {
+            let mut buf = Vec::new();
+            write_zigzag(&mut buf, v);
+            assert_eq!(ByteReader::new(&buf).zigzag().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn deltas_compress_sorted_lanes() {
+        let values: Vec<u64> = (0..1000).map(|i| 1_000_000 + i * 250).collect();
+        let mut buf = Vec::new();
+        write_deltas(&mut buf, &values);
+        // First value costs a few bytes; every delta (250, zigzagged)
+        // fits in two.
+        assert!(buf.len() <= 4 + 2 * 999, "got {} bytes", buf.len());
+        let back = read_deltas(&mut ByteReader::new(&buf), values.len()).unwrap();
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn deltas_survive_unsorted_and_extreme_values() {
+        let values = vec![u64::MAX, 0, 1, u64::MAX / 2, 3];
+        let mut buf = Vec::new();
+        write_deltas(&mut buf, &values);
+        let back = read_deltas(&mut ByteReader::new(&buf), values.len()).unwrap();
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn truncated_input_errors_instead_of_panicking() {
+        let mut buf = Vec::new();
+        write_deltas(&mut buf, &[5, 10, 15]);
+        buf.pop();
+        assert!(read_deltas(&mut ByteReader::new(&buf), 3).is_err());
+        assert!(ByteReader::new(&[0x80; 11]).varint().is_err());
+        assert!(read_value(&mut ByteReader::new(&[super::tag::STR, 200])).is_err());
+    }
+
+    #[test]
+    fn device_dictionary_round_trips() {
+        let devices = vec![
+            DeviceId::primary(DeviceKind::C9),
+            DeviceId::primary(DeviceKind::Tecan),
+            DeviceId::primary(DeviceKind::C9),
+            DeviceId::new(DeviceKind::Ur3e, 3),
+            DeviceId::primary(DeviceKind::C9),
+        ];
+        let mut buf = Vec::new();
+        write_devices(&mut buf, &devices);
+        let back = read_devices(&mut ByteReader::new(&buf), devices.len()).unwrap();
+        assert_eq!(back, devices);
+    }
+
+    #[test]
+    fn single_device_partition_costs_one_byte_per_row() {
+        let devices = vec![DeviceId::primary(DeviceKind::Ika); 100];
+        let mut buf = Vec::new();
+        write_devices(&mut buf, &devices);
+        // 1 dict count + 2 entry bytes + 100 codes.
+        assert_eq!(buf.len(), 103);
+    }
+
+    #[test]
+    fn values_round_trip_every_variant() {
+        let values = vec![
+            Value::Unit,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(-42),
+            Value::Int(i64::MAX),
+            Value::Float(-0.0),
+            Value::Float(f64::INFINITY),
+            Value::Str("solid=CSTI".into()),
+            Value::Str(String::new()),
+            Value::List(vec![Value::Int(1), Value::List(vec![Value::Unit])]),
+            Value::Location {
+                x: 1.5,
+                y: -2.5,
+                z: 0.25,
+            },
+            Value::Joints([0.1, 0.2, 0.3, 0.4, 0.5, 0.6]),
+        ];
+        for v in &values {
+            let mut buf = Vec::new();
+            write_value(&mut buf, v);
+            let mut r = ByteReader::new(&buf);
+            assert_eq!(&read_value(&mut r).unwrap(), v);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn nan_floats_round_trip_bitwise() {
+        let v = Value::Float(f64::NAN);
+        let mut buf = Vec::new();
+        write_value(&mut buf, &v);
+        match read_value(&mut ByteReader::new(&buf)).unwrap() {
+            Value::Float(f) => assert_eq!(f.to_bits(), f64::NAN.to_bits()),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deep_list_nesting_is_bounded() {
+        let mut buf = Vec::new();
+        for _ in 0..40 {
+            buf.push(super::tag::LIST);
+            buf.push(1);
+        }
+        buf.push(super::tag::UNIT);
+        assert!(read_value(&mut ByteReader::new(&buf)).is_err());
+    }
+}

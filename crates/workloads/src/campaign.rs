@@ -17,7 +17,9 @@ use rad_core::{
     RunMetadata, SimDuration, Value,
 };
 use rad_middlebox::{FaultPlan, Middlebox};
-use rad_store::{CommandDataset, CrashPlan, DurableOptions, DurableStore, Filter, PowerDataset};
+use rad_store::{
+    CommandDataset, CrashPlan, DurableOptions, DurableStore, Filter, PowerDataset, SegmentOptions,
+};
 use serde_json::{json, Value as Json};
 
 use crate::procedures::{self, P1Variant, P2Variant, P3Variant, SOLIDS};
@@ -332,7 +334,15 @@ impl CampaignBuilder {
                 &fingerprint,
             ),
         )?;
-        durable.checkpoint()?;
+        // Same end state as an uninterrupted build: the trace stream
+        // sealed into segments (only the unsealed suffix — the
+        // manifest remembers what a pre-crash finalize already wrote)
+        // and a checkpoint.
+        let sealed =
+            durable.compact_traces_to_segments("traces", SegmentOptions::default(), false)?;
+        if sealed.is_empty() {
+            durable.checkpoint()?;
+        }
 
         // Reconstruct the command half from the store — the dataset
         // returned is what disk proves, not what memory remembers.
@@ -650,9 +660,20 @@ impl<'a> CampaignSink<'a> {
         Ok(())
     }
 
-    /// Final compaction once the campaign is complete.
+    /// Final compaction once the campaign is complete: the trace
+    /// stream is sealed into immutable columnar segments (incremental,
+    /// so re-finalizing a resumed campaign seals only the new suffix)
+    /// and the store checkpoints. The documents stay in place — the
+    /// segments are the query-optimized copy, not a replacement.
     fn finalize(&mut self) -> Result<(), RadError> {
-        self.durable.checkpoint()
+        let sealed =
+            self.durable
+                .compact_traces_to_segments("traces", SegmentOptions::default(), false)?;
+        if sealed.is_empty() {
+            // Nothing new to seal; compaction skipped its checkpoint.
+            self.durable.checkpoint()?;
+        }
+        Ok(())
     }
 }
 
@@ -1134,6 +1155,32 @@ mod tests {
         // A clean store resumes to the same dataset without re-persisting.
         let resumed = builder.resume_from(&dir).unwrap();
         assert_same_dataset(&baseline, &resumed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn finalized_campaign_seals_its_traces_into_segments() {
+        let dir = tmpdir("sealed");
+        let builder = CampaignBuilder::new(29).supervised_only();
+        let dataset = builder.build_resumable(&dir).unwrap();
+
+        let (durable, _) = DurableStore::open(&dir, DurableOptions::default()).unwrap();
+        let segments = durable.segments().unwrap();
+        assert!(!segments.is_empty(), "finalize must seal segments");
+        assert_eq!(segments.trace_rows() as usize, dataset.command().len());
+        assert_eq!(
+            &segments.read_all().unwrap().into_batch(),
+            dataset.command().batch(),
+            "sealed segments hold the campaign's exact trace stream"
+        );
+
+        // Re-finalizing via resume seals nothing new — the manifest
+        // remembers the already-sealed prefix.
+        builder.resume_from(&dir).unwrap();
+        let (durable, _) = DurableStore::open(&dir, DurableOptions::default()).unwrap();
+        let again = durable.segments().unwrap();
+        assert_eq!(again.trace_rows(), segments.trace_rows());
+        assert_eq!(again.len(), segments.len(), "no duplicate segments");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
