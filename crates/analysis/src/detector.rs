@@ -207,6 +207,12 @@ impl<T: Clone + Eq + Hash + Ord> FittedDetector<T> {
         self.threshold
     }
 
+    /// The fitted language model. The streaming stages score through
+    /// its interned-id fast path instead of re-tokenizing per push.
+    pub fn lm(&self) -> &CommandLm<T> {
+        &self.lm
+    }
+
     /// Overrides the alarm threshold.
     pub fn set_threshold(&mut self, threshold: f64) {
         self.threshold = threshold;
@@ -260,16 +266,18 @@ impl<T: Clone + Eq + Hash + Ord> FittedDetector<T> {
     /// Starts a streaming scorer with a sliding window of `window`
     /// transitions — the real-time mode §V-B motivates.
     ///
-    /// # Panics
-    ///
-    /// Panics if `window == 0`.
+    /// The window counts *transitions*, not tokens, so it is
+    /// independent of the model order: `window = 1` scores only the
+    /// most recent transition even under a high-order model. A window
+    /// of `0` means unbounded — every transition stays in scope, and
+    /// the final windowed perplexity of a completed sequence equals
+    /// [`FittedDetector::score`] of that sequence exactly.
     pub fn stream(&self, window: usize) -> StreamScorer<'_, T> {
-        assert!(window > 0, "window must hold at least one transition");
         StreamScorer {
             detector: self,
             context: VecDeque::new(),
             log_probs: VecDeque::new(),
-            window,
+            window: if window == 0 { usize::MAX } else { window },
             log_sum: 0.0,
         }
     }
@@ -295,9 +303,9 @@ impl<T: Clone + Eq + Hash + Ord> StreamScorer<'_, T> {
             self.context.pop_front();
         }
         if self.context.len() == n {
-            let ctx: Vec<T> = self.context.iter().take(n - 1).cloned().collect();
-            let next = self.context.back().expect("non-empty by construction");
-            let logp = self.detector.lm.probability(&ctx, next).ln();
+            let window = self.context.make_contiguous();
+            let (ctx, next) = window.split_at(n - 1);
+            let logp = self.detector.lm.probability(ctx, &next[0]).ln();
             self.log_probs.push_back(logp);
             self.log_sum += logp;
             if self.log_probs.len() > self.window {
@@ -307,12 +315,28 @@ impl<T: Clone + Eq + Hash + Ord> StreamScorer<'_, T> {
         self.perplexity()
     }
 
-    /// Current windowed perplexity, if any transition has been scored.
+    /// Current windowed perplexity. `None` until the first transition
+    /// has been scored — an empty (or shorter-than-order) stream has
+    /// no perplexity, and [`StreamScorer::is_alarming`] stays `false`.
     pub fn perplexity(&self) -> Option<f64> {
         if self.log_probs.is_empty() {
             return None;
         }
         Some((-self.log_sum / self.log_probs.len() as f64).exp())
+    }
+
+    /// Number of transitions currently in the window.
+    pub fn transitions(&self) -> usize {
+        self.log_probs.len()
+    }
+
+    /// Forgets all context and scored transitions — the run-boundary
+    /// reset, so one scorer serves many runs without carrying a
+    /// cross-run transition over.
+    pub fn reset(&mut self) {
+        self.context.clear();
+        self.log_probs.clear();
+        self.log_sum = 0.0;
     }
 
     /// Whether the current window scores above the alarm threshold.
@@ -449,6 +473,103 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn order_one_is_rejected() {
         let _ = PerplexityDetector::new(1);
+    }
+
+    #[test]
+    fn stream_window_zero_is_unbounded_and_matches_batch_score() {
+        let benign: Vec<Vec<&str>> = labelled()
+            .into_iter()
+            .filter(|(_, a)| !a)
+            .map(|(s, _)| s)
+            .collect();
+        let det = PerplexityDetector::new(2).fit(&benign, &benign).unwrap();
+        let seq = ["A", "B", "A", "X", "B", "A", "B"];
+        let mut stream = det.stream(0);
+        for t in seq {
+            stream.push(t);
+        }
+        let streamed = stream.perplexity().unwrap();
+        let batch = det.score(&seq).unwrap();
+        assert_eq!(streamed, batch, "unbounded window == batch, bit for bit");
+        assert_eq!(stream.transitions(), seq.len() - 1);
+    }
+
+    #[test]
+    fn stream_window_one_tracks_the_latest_transition() {
+        let benign: Vec<Vec<&str>> = labelled()
+            .into_iter()
+            .filter(|(_, a)| !a)
+            .map(|(s, _)| s)
+            .collect();
+        let det = PerplexityDetector::new(2).fit(&benign, &benign).unwrap();
+        let mut stream = det.stream(1);
+        for t in ["A", "B", "A", "B"] {
+            stream.push(t);
+        }
+        assert_eq!(stream.transitions(), 1, "window 1 keeps one transition");
+        assert!(!stream.is_alarming());
+        stream.push("X");
+        // The only scored transition is B->X, far off-grammar.
+        assert!(stream.is_alarming());
+        stream.push("A");
+        stream.push("B");
+        // ...and one window later the spike is fully forgotten.
+        assert!(!stream.is_alarming());
+    }
+
+    #[test]
+    fn stream_window_shorter_than_order_still_scores() {
+        // The window counts transitions, not tokens: a trigram model
+        // with window 1 is well-defined (each transition consumes a
+        // three-token context internally).
+        let training = vec![vec!["X", "Y", "Z", "X", "Y", "Z", "X", "Y", "Z"]];
+        let det = PerplexityDetector::new(3)
+            .fit(&training, &training)
+            .unwrap();
+        let mut stream = det.stream(1);
+        assert_eq!(stream.push("X"), None);
+        assert_eq!(stream.push("Y"), None, "trigram context still filling");
+        let first = stream.push("Z").expect("first transition scored");
+        assert!(first < 1.5, "on-grammar transition scores low: {first}");
+        assert_eq!(stream.transitions(), 1);
+    }
+
+    #[test]
+    fn empty_stream_has_no_perplexity_and_never_alarms() {
+        let benign: Vec<Vec<&str>> = labelled()
+            .into_iter()
+            .filter(|(_, a)| !a)
+            .map(|(s, _)| s)
+            .collect();
+        let det = PerplexityDetector::new(2).fit(&benign, &benign).unwrap();
+        let stream = det.stream(4);
+        assert_eq!(stream.perplexity(), None);
+        assert!(!stream.is_alarming());
+        assert_eq!(stream.transitions(), 0);
+    }
+
+    #[test]
+    fn stream_reset_clears_context_across_runs() {
+        let benign: Vec<Vec<&str>> = labelled()
+            .into_iter()
+            .filter(|(_, a)| !a)
+            .map(|(s, _)| s)
+            .collect();
+        let det = PerplexityDetector::new(2).fit(&benign, &benign).unwrap();
+        let mut stream = det.stream(0);
+        for t in ["A", "B", "A", "B"] {
+            stream.push(t);
+        }
+        stream.reset();
+        assert_eq!(stream.perplexity(), None);
+        // After a reset the scorer behaves exactly like a fresh one:
+        // no phantom cross-run transition is scored.
+        for t in ["B", "A", "B"] {
+            stream.push(t);
+        }
+        let resumed = stream.perplexity().unwrap();
+        let fresh = det.score(&["B", "A", "B"]).unwrap();
+        assert_eq!(resumed, fresh);
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod metrics;
 pub mod ngram;
 pub mod reference;
 pub mod specmine;
+pub mod streaming;
 pub mod tfidf;
 pub mod token;
 
@@ -56,5 +57,9 @@ pub use metrics::ConfusionMatrix;
 pub use ngram::NgramCounter;
 pub use reference::{ReferenceLm, ReferenceNgramCounter};
 pub use specmine::{synthesize, MinedSpec, SpecViolation};
+pub use streaming::{
+    AlertPolicy, ProcedureFingerprints, RecordingStats, RunScore, StreamingFingerprint,
+    StreamingPerplexity, StreamingPowerStats, Threshold, WindowedJenks,
+};
 pub use tfidf::TfIdf;
 pub use token::{corpus_from_segments, labelled_runs, CommandTokenizer, ParamTokenizer, Tokenizer};

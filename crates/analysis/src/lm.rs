@@ -253,6 +253,31 @@ impl InternedLm {
             .sum())
     }
 
+    /// Log-probability (natural log) of a single transition, given as
+    /// one full order-`n` window of ids — the incremental unit the
+    /// streaming detectors accumulate.
+    ///
+    /// Uses the same precomputed table (and the same `ln` arithmetic)
+    /// as [`InternedLm::log_probability`], so summing this over a
+    /// sequence's windows left-to-right is **bit-identical** to the
+    /// batch score. That identity is what pins streaming == batch in
+    /// `tests/streaming_equivalence.rs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window.len() != order`.
+    pub fn window_log_prob(&self, window: &[TokenId]) -> f64 {
+        assert_eq!(window.len(), self.n, "window length must equal order");
+        if let Some(table) = &self.log_probs {
+            return table
+                .get(&Key::from_ids(window))
+                .copied()
+                .unwrap_or(self.ln_floor);
+        }
+        self.probability(&window[..self.n - 1], window[self.n - 1])
+            .ln()
+    }
+
     /// Perplexity of an id sequence: `exp(-logP / transitions)`, the
     /// normalized inverse probability of §V-B. Lower is more typical.
     ///
@@ -261,8 +286,11 @@ impl InternedLm {
     /// Propagates [`InternedLm::log_probability`]'s error on too-short
     /// sequences.
     pub fn perplexity(&self, sequence: &[TokenId]) -> Result<f64, RadError> {
-        let transitions = (sequence.len() + 1 - self.n) as f64;
+        // Score first: the length guard lives there, and the
+        // subtraction below would underflow on a sequence shorter
+        // than `order - 1` tokens.
         let logp = self.log_probability(sequence)?;
+        let transitions = (sequence.len() + 1 - self.n) as f64;
         Ok((-logp / transitions).exp())
     }
 }
@@ -484,6 +512,10 @@ mod tests {
         )
         .unwrap();
         assert!(lm.perplexity(&["A", "B"]).is_err());
+        // Shorter than order - 1: the error path again, never an
+        // underflow in the transition count (regression).
+        assert!(lm.perplexity(&["A"]).is_err());
+        assert!(lm.perplexity(&[]).is_err());
     }
 
     #[test]

@@ -204,8 +204,11 @@ impl<T: Clone + Eq + Hash + Ord> ReferenceLm<T> {
     /// Propagates [`ReferenceLm::log_probability`]'s error on too-short
     /// sequences.
     pub fn perplexity(&self, sequence: &[T]) -> Result<f64, RadError> {
-        let transitions = (sequence.len() + 1 - self.n) as f64;
+        // Score first: the length guard lives there, and the
+        // subtraction below would underflow on a sequence shorter
+        // than `order - 1` tokens.
         let logp = self.log_probability(sequence)?;
+        let transitions = (sequence.len() + 1 - self.n) as f64;
         Ok((-logp / transitions).exp())
     }
 }

@@ -126,6 +126,49 @@ impl<T: Clone + Eq + Hash + Ord> TfIdf<T> {
         v
     }
 
+    /// Starts an incremental document accumulator: tokens arrive one
+    /// at a time (e.g. from a live trace stream) and
+    /// [`TfIdfAccumulator::vector`] produces the fingerprint of
+    /// everything observed so far — **bit-identical** to
+    /// [`TfIdf::transform`] of the same tokens as one slice, because
+    /// integer counts below 2^53 are exact in `f64` and the
+    /// normalization arithmetic is shared. Memory is bounded by the
+    /// fitted vocabulary, not the document length.
+    pub fn accumulator(&self) -> TfIdfAccumulator<'_, T> {
+        TfIdfAccumulator {
+            model: self,
+            counts: vec![0u64; self.vocab.len()],
+            total: 0,
+        }
+    }
+
+    /// Vectorizes a raw count table (indexed by vocabulary id) with a
+    /// document length of `total` tokens — the arithmetic core shared
+    /// by [`TfIdf::transform`] and [`TfIdfAccumulator::vector`], so a
+    /// caller that accumulated counts itself (e.g. a streaming stage
+    /// keyed by run) gets the same bit-identical fingerprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len()` differs from the vocabulary size.
+    pub fn vectorize_counts(&self, counts: &[u64], total: u64) -> Vec<f64> {
+        assert_eq!(
+            counts.len(),
+            self.vocab.len(),
+            "counts must cover the vocabulary"
+        );
+        let mut v: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        if total == 0 {
+            return v;
+        }
+        let total = total as f64;
+        for (i, x) in v.iter_mut().enumerate() {
+            *x = (*x / total) * self.idf[i];
+        }
+        l2_normalize(&mut v);
+        v
+    }
+
     /// Cosine similarity between two fitted documents.
     ///
     /// # Panics
@@ -152,6 +195,52 @@ impl<T: Clone + Eq + Hash + Ord> TfIdf<T> {
     }
 }
 
+/// An online TF-IDF fingerprint: per-token counts against a fitted
+/// model's vocabulary, convertible to the normalized vector at any
+/// point in the stream.
+#[derive(Debug, Clone)]
+pub struct TfIdfAccumulator<'a, T> {
+    model: &'a TfIdf<T>,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl<T: Clone + Eq + Hash + Ord> TfIdfAccumulator<'_, T> {
+    /// Observes one token. Out-of-vocabulary tokens still count toward
+    /// the document length (exactly as [`TfIdf::transform`] divides by
+    /// the full slice length), they just contribute no component.
+    pub fn observe(&mut self, token: &T) {
+        if let Some(id) = self.model.vocab.get(token) {
+            self.counts[id.index()] += 1;
+        }
+        self.total += 1;
+    }
+
+    /// Tokens observed so far (including out-of-vocabulary ones).
+    pub fn len(&self) -> usize {
+        self.total as usize
+    }
+
+    /// Whether nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The fingerprint of everything observed so far: count-normalize,
+    /// IDF-scale, L2-normalize — the same arithmetic as
+    /// [`TfIdf::transform`], so the result is bit-identical to
+    /// transforming the full token slice.
+    pub fn vector(&self) -> Vec<f64> {
+        self.model.vectorize_counts(&self.counts, self.total)
+    }
+
+    /// Clears the accumulated counts (the run-boundary reset).
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+    }
+}
+
 /// Cosine similarity between two raw vectors (0 when either is zero).
 pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "vector lengths must match");
@@ -163,11 +252,11 @@ pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
     dot(a, b) / (na * nb)
 }
 
-fn dot(a: &[f64], b: &[f64]) -> f64 {
+pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
-fn l2_normalize(v: &mut [f64]) {
+pub(crate) fn l2_normalize(v: &mut [f64]) {
     let norm = dot(v, v).sqrt();
     if norm > 0.0 {
         for x in v {
@@ -244,6 +333,22 @@ mod tests {
     fn empty_corpus_and_empty_documents_error() {
         assert!(TfIdf::<&str>::fit(&[]).is_err());
         assert!(TfIdf::fit(&[vec!["A"], vec![]]).is_err());
+    }
+
+    #[test]
+    fn accumulator_matches_transform_bit_for_bit() {
+        let model = TfIdf::fit(&docs()).unwrap();
+        let doc = ["ARM", "MVNG", "UNSEEN", "Q", "Q", "ARM"];
+        let mut acc = model.accumulator();
+        for t in &doc {
+            acc.observe(t);
+        }
+        assert_eq!(acc.len(), doc.len());
+        assert_eq!(acc.vector(), model.transform(&doc));
+        // Reset returns to the empty-document fingerprint.
+        acc.reset();
+        assert!(acc.is_empty());
+        assert_eq!(acc.vector(), model.transform(&[]));
     }
 
     #[test]

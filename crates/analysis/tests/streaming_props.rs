@@ -1,0 +1,148 @@
+//! Property tests pinning the incremental streaming kernels to their
+//! retained batch oracles: the sliding-window scorer against a
+//! from-scratch rescore of the retained transitions, the windowed
+//! Jenks policy against a full re-fit on the ring's contents, and the
+//! online TF-IDF accumulator against `transform`.
+//!
+//! Case counts honour `PROPTEST_CASES` (the CI streaming-conformance
+//! job deepens them to 512).
+
+use proptest::prelude::*;
+use rad_analysis::streaming::WindowedJenks;
+use rad_analysis::{jenks_two_class, PerplexityDetector, TfIdf};
+
+/// A small fitted detector over a 6-letter alphabet. The training
+/// corpus is fixed; only the probed stream varies per case.
+fn detector(order: usize) -> rad_analysis::detector::FittedDetector<u8> {
+    let train: Vec<Vec<u8>> = (0..6u8)
+        .map(|i| (0..20).map(|j| (i + j) % 6).collect())
+        .collect();
+    PerplexityDetector::new(order)
+        .fit(&train, &train)
+        .expect("fixed corpus fits")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// With an unbounded window, a completed stream's perplexity is
+    /// bit-identical to the batch score of the whole sequence — the
+    /// push path never pops, so its log-sum is the batch fold.
+    #[test]
+    fn unbounded_stream_scorer_is_bit_identical_to_batch(
+        tokens in proptest::collection::vec(0u8..8, 0..60),
+        order in 2usize..4,
+    ) {
+        let det = detector(order);
+        let mut scorer = det.stream(0);
+        let mut last = None;
+        for &t in &tokens {
+            last = scorer.push(t);
+        }
+        match det.score(&tokens) {
+            Ok(batch) => {
+                let streamed = last.expect("scored sequence has perplexity");
+                prop_assert_eq!(streamed.to_bits(), batch.to_bits());
+            }
+            // Too short to score: the stream must agree there was
+            // nothing to judge.
+            Err(_) => prop_assert!(last.is_none()),
+        }
+    }
+
+    /// A bounded window holds exactly the last `window` transitions
+    /// (push/pop round-trip), and its perplexity at every step equals
+    /// a from-scratch rescore of those retained transitions.
+    #[test]
+    fn bounded_stream_scorer_matches_retained_rescore(
+        tokens in proptest::collection::vec(0u8..8, 0..60),
+        order in 2usize..4,
+        window in 1usize..10,
+    ) {
+        let det = detector(order);
+        let mut scorer = det.stream(window);
+        let mut history: Vec<u8> = Vec::new();
+        for &t in &tokens {
+            let streamed = scorer.push(t);
+            history.push(t);
+
+            // The retained transitions, recomputed from scratch.
+            let total = history.len().saturating_sub(order - 1);
+            let retained = total.min(window);
+            prop_assert_eq!(scorer.transitions(), retained);
+            if retained == 0 {
+                prop_assert!(streamed.is_none());
+                continue;
+            }
+            let logs: Vec<f64> = history
+                .windows(order)
+                .skip(total - retained)
+                .map(|w| det.lm().probability(&w[..order - 1], &w[order - 1]).ln())
+                .collect();
+            let oracle = (-logs.iter().sum::<f64>() / retained as f64).exp();
+            let streamed = streamed.expect("transitions retained");
+            // += / -= leaves rounding residue relative to a fresh
+            // fold; the drift must stay at noise level.
+            prop_assert!(
+                (streamed - oracle).abs() <= 1e-9 * oracle.abs().max(1.0),
+                "streamed {streamed} vs oracle {oracle}"
+            );
+        }
+    }
+
+    /// After every observation the windowed Jenks threshold equals a
+    /// from-scratch fit on exactly the scores the ring retains.
+    #[test]
+    fn windowed_jenks_equals_a_from_scratch_refit(
+        scores in proptest::collection::vec(0.01f64..500.0, 1..40),
+        capacity in 1usize..12,
+    ) {
+        let mut windowed = WindowedJenks::new(capacity, 1.0);
+        let mut oracle_scores: Vec<f64> = Vec::new();
+        let mut oracle_threshold = 1.0f64;
+        for &s in &scores {
+            windowed.observe(s);
+            oracle_scores.push(s);
+            if oracle_scores.len() > capacity {
+                oracle_scores.remove(0);
+            }
+            if oracle_scores.len() < 2 {
+                oracle_threshold = oracle_scores[0] * 3.0;
+            } else {
+                let logs: Vec<f64> = oracle_scores.iter().map(|x| x.ln()).collect();
+                if let Ok(t) = jenks_two_class(&logs) {
+                    oracle_threshold = t.exp();
+                }
+            }
+            prop_assert_eq!(
+                windowed.threshold().to_bits(),
+                oracle_threshold.to_bits(),
+                "threshold diverged from re-fit"
+            );
+            prop_assert_eq!(windowed.retained().collect::<Vec<f64>>(), oracle_scores.clone());
+        }
+    }
+
+    /// The online TF-IDF accumulator equals `transform` bit for bit on
+    /// arbitrary documents, out-of-vocabulary tokens included.
+    #[test]
+    fn tfidf_accumulator_equals_transform(
+        corpus in proptest::collection::vec(
+            proptest::collection::vec(0u8..6, 1..25),
+            2..10,
+        ),
+        probe in proptest::collection::vec(0u8..9, 0..40),
+    ) {
+        let model = TfIdf::fit(&corpus).expect("non-empty corpus fits");
+        let mut acc = model.accumulator();
+        for t in &probe {
+            acc.observe(t);
+        }
+        let streamed = acc.vector();
+        let batch = model.transform(&probe);
+        prop_assert_eq!(streamed.len(), batch.len());
+        for (s, b) in streamed.iter().zip(&batch) {
+            prop_assert_eq!(s.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alert;
 pub mod batch;
 pub mod command;
 pub mod device;
@@ -31,6 +32,7 @@ pub mod time;
 pub mod trace;
 pub mod value;
 
+pub use alert::{Alert, AlertSink, AlertTee, CountingAlertSink, SharedAlerts};
 pub use batch::{TraceBatch, TraceColumns, TraceRow};
 pub use command::{Command, CommandCategory, CommandType};
 pub use device::{DeviceId, DeviceKind};

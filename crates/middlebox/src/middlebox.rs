@@ -248,6 +248,16 @@ impl Middlebox {
         self.tracer.runs()
     }
 
+    /// Signals end-of-stream to the tracer's sink stack — live-teed
+    /// streaming detectors deliver their run-end verdicts here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's failure.
+    pub fn finish_sink(&mut self) -> Result<(), rad_core::RadError> {
+        self.tracer.finish_sink()
+    }
+
     /// Issues one command through the interception boundary: samples
     /// the transport latency for the device's mode, executes on the
     /// rig, logs the trace object (faults included), and advances the

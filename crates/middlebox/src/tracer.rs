@@ -237,6 +237,22 @@ impl Tracer {
         }
     }
 
+    /// Signals end-of-stream to the sink stack: streaming detector
+    /// stages deliver their run-end verdicts here, buffered chunks
+    /// flush, durable sinks seal. A no-op without a sink. The tracer
+    /// remains usable afterwards (a fresh sink can be attached, or
+    /// recording can continue unsinked).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's failure.
+    pub fn finish_sink(&mut self) -> Result<(), rad_core::RadError> {
+        match self.sink.take() {
+            Some(mut sink) => sink.finish(),
+            None => Ok(()),
+        }
+    }
+
     /// How many payloads failed to reach the sink stack (counted, not
     /// propagated — mirroring the wire layer's degradation policy).
     pub fn durable_errors(&self) -> u64 {
@@ -476,6 +492,74 @@ mod tests {
         assert_eq!(id, TraceId(2), "ids keep counting across drains");
         assert_eq!(tracer.device_count(DeviceKind::C9), 2);
         assert_eq!(tracer.device_count(DeviceKind::Tecan), 1);
+    }
+
+    #[test]
+    fn live_teed_streaming_detector_matches_replay_and_batch_verdicts() {
+        use rad_analysis::{AlertPolicy, PerplexityDetector, StreamingPerplexity};
+        use rad_core::sink::{SliceSource, TraceSource};
+        use rad_core::SharedAlerts;
+
+        // A tiny grammar: benign traffic alternates ARM/MVNG.
+        let benign: Vec<Vec<CommandType>> = (0..4)
+            .map(|i| {
+                (0..8 + 2 * i)
+                    .map(|j| {
+                        if j % 2 == 0 {
+                            CommandType::Arm
+                        } else {
+                            CommandType::Mvng
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let det = PerplexityDetector::new(2).fit(&benign, &benign).unwrap();
+        let runs: [Vec<CommandType>; 2] = [
+            benign[0].clone(),
+            vec![CommandType::TecanGetStatus; 12], // out-of-grammar
+        ];
+
+        // Live: every record tees into the stage as it is captured.
+        let live = SharedAlerts::new();
+        let stage = StreamingPerplexity::new(&det, AlertPolicy::RunEnd, live.clone());
+        let mut tracer = Tracer::new().with_sink(Box::new(stage));
+        for (i, run) in runs.iter().enumerate() {
+            tracer.begin_run(RunId(i as u32), ProcedureKind::Unknown, Label::Unknown);
+            for &ct in run {
+                record_one(&mut tracer, ct);
+                tracer.advance(SimDuration::from_millis(10));
+            }
+            tracer.end_run();
+        }
+        tracer.finish_sink().unwrap();
+        assert_eq!(tracer.durable_errors(), 0);
+
+        // Replay the captured dataset through a fresh stage, chunked
+        // differently on purpose.
+        let ds = tracer.into_dataset();
+        let traces = ds.traces();
+        let mut replayed = StreamingPerplexity::new(&det, AlertPolicy::RunEnd, Vec::new());
+        let mut source = SliceSource::new(&traces, 3);
+        while let Some(batch) = source.next_batch().unwrap() {
+            replayed.accept(&batch).unwrap();
+        }
+        replayed.finish().unwrap();
+
+        let live_alerts = live.snapshot();
+        assert_eq!(live_alerts, replayed.into_sink());
+
+        // And both agree with the batch detector's verdict per run.
+        for (i, run) in runs.iter().enumerate() {
+            let alarmed = live_alerts
+                .iter()
+                .any(|a| a.run_id == Some(RunId(i as u32)));
+            assert_eq!(alarmed, det.is_anomalous(run).unwrap(), "run {i}");
+        }
+        assert!(
+            live_alerts.iter().any(|a| a.run_id == Some(RunId(1))),
+            "the out-of-grammar run must alarm"
+        );
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub use block::{PowerBlock, PowerRow};
 pub use dynamics::{JointTorques, Ur3eDynamics};
 pub use kinematics::{Elbow, Ur3eKinematics};
 pub use sample::PowerSample;
+pub use signal::{Moments, PeakStats, StreamingMoments, StreamingPeaks};
 pub use sink::{
     BlockSource, Chunked, CountingPowerSink, Filtered, PowerSink, PowerSinkExt, PowerSource,
     RecordingMeta, DEFAULT_CHUNK_TICKS,

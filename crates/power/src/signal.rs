@@ -27,6 +27,194 @@ pub struct Moments {
     pub m2: f64,
 }
 
+/// Streaming Welford accumulator: feed samples (or whole chunks) as
+/// they arrive and read the moments at any point.
+///
+/// Pushing a series sample-by-sample — in any chunking — performs
+/// exactly the update sequence of the batch [`moments`] kernel, so
+/// [`StreamingMoments::finish`] is **bit-identical** to `moments` of
+/// the concatenated stream. State is three words regardless of stream
+/// length; that is the memory bound the streaming detection plane
+/// advertises.
+///
+/// [`StreamingMoments::merge`] combines two independently-accumulated
+/// halves (Chan's parallel formula); the merged result is numerically
+/// equal but not bitwise equal to sequential accumulation, so the
+/// conformance suites pin `push` chains exactly and `merge` within
+/// tolerance.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StreamingMoments {
+    n: usize,
+    mean: f64,
+    m2: f64,
+}
+
+impl StreamingMoments {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        StreamingMoments::default()
+    }
+
+    /// Feeds one sample — the exact loop body of [`moments`].
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        let delta = x - self.mean;
+        self.mean += delta / (self.n + 1) as f64;
+        self.m2 += delta * (x - self.mean);
+        self.n += 1;
+    }
+
+    /// Feeds a chunk of samples in order.
+    pub fn extend(&mut self, chunk: &[f64]) {
+        for &x in chunk {
+            self.push(x);
+        }
+    }
+
+    /// Samples accumulated so far.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether no sample has been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The moments of everything pushed so far.
+    pub fn finish(&self) -> Moments {
+        Moments {
+            n: self.n,
+            mean: self.mean,
+            m2: self.m2,
+        }
+    }
+
+    /// Combines two accumulators built over disjoint halves of a
+    /// stream (Chan et al.'s parallel update). Associative and exact
+    /// against empty halves; numerically (not bitwise) equal to
+    /// sequential accumulation otherwise.
+    pub fn merge(&self, other: &StreamingMoments) -> StreamingMoments {
+        if self.n == 0 {
+            return *other;
+        }
+        if other.n == 0 {
+            return *self;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let nb_over_n = other.n as f64 / n as f64;
+        StreamingMoments {
+            n,
+            mean: self.mean + delta * nb_over_n,
+            m2: self.m2 + other.m2 + delta * delta * self.n as f64 * nb_over_n,
+        }
+    }
+}
+
+/// Streaming peak/level kernel: the chunk-by-chunk form of
+/// [`peak_stats`].
+///
+/// Classifying a sample as a local extremum needs its successor, so
+/// the accumulator holds a two-sample reorder buffer and classifies
+/// each sample when the next one arrives — the final sample of a
+/// stream is never an interior point, exactly as in the batch kernel.
+/// All accumulations happen in arrival order, so
+/// [`StreamingPeaks::finish`] is **bit-identical** to `peak_stats` of
+/// the concatenated stream at any chunking.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamingPeaks {
+    min_prominence: f64,
+    n: usize,
+    lo: f64,
+    hi: f64,
+    sum_abs: f64,
+    sum_sq: f64,
+    extrema: usize,
+    last_kept: f64,
+    prev: Option<f64>,
+    cur: Option<f64>,
+}
+
+impl StreamingPeaks {
+    /// An empty accumulator with the given prominence filter.
+    pub fn new(min_prominence: f64) -> Self {
+        StreamingPeaks {
+            min_prominence,
+            n: 0,
+            lo: f64::INFINITY,
+            hi: f64::NEG_INFINITY,
+            sum_abs: 0.0,
+            sum_sq: 0.0,
+            extrema: 0,
+            last_kept: 0.0,
+            prev: None,
+            cur: None,
+        }
+    }
+
+    /// Feeds one sample.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        if self.n == 0 {
+            self.last_kept = x;
+        }
+        self.n += 1;
+        self.lo = self.lo.min(x);
+        self.hi = self.hi.max(x);
+        self.sum_abs += x.abs();
+        self.sum_sq += x * x;
+        if let (Some(p), Some(c)) = (self.prev, self.cur) {
+            // `c` is now an interior sample: its successor `x` just
+            // arrived. Same classification as the batch kernel.
+            let rising = c - p;
+            let falling = x - c;
+            if rising * falling < 0.0 && (c - self.last_kept).abs() > self.min_prominence {
+                self.extrema += 1;
+                self.last_kept = c;
+            }
+        }
+        self.prev = self.cur;
+        self.cur = Some(x);
+    }
+
+    /// Feeds a chunk of samples in order.
+    pub fn extend(&mut self, chunk: &[f64]) {
+        for &x in chunk {
+            self.push(x);
+        }
+    }
+
+    /// Samples accumulated so far.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether no sample has been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The peak statistics of everything pushed so far.
+    pub fn finish(&self) -> PeakStats {
+        let n = self.n as f64;
+        PeakStats {
+            extrema: self.extrema,
+            peak_to_peak: if self.hi >= self.lo {
+                self.hi - self.lo
+            } else {
+                0.0
+            },
+            mean_abs: if self.n == 0 { 0.0 } else { self.sum_abs / n },
+            rms: if self.n == 0 {
+                0.0
+            } else {
+                (self.sum_sq / n).sqrt()
+            },
+        }
+    }
+}
+
 /// One-pass Welford moments of a series.
 pub fn moments(series: &[f64]) -> Moments {
     let mut mean = 0.0;
@@ -571,5 +759,80 @@ mod tests {
         assert_eq!(m.n, s.len());
         assert!((m.mean - mean).abs() < 1e-12);
         assert!((m.m2 - m2).abs() < 1e-9 * m2.max(1.0));
+    }
+
+    fn wiggly(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.173).sin() * 2.1 + (i as f64 * 0.019).cos() - 0.4)
+            .collect()
+    }
+
+    #[test]
+    fn streaming_moments_are_bit_identical_to_batch_at_any_chunking() {
+        let s = wiggly(1003);
+        let batch = moments(&s);
+        for chunk in [1usize, 7, 256, s.len()] {
+            let mut acc = StreamingMoments::new();
+            for c in s.chunks(chunk) {
+                acc.extend(c);
+            }
+            assert_eq!(acc.finish(), batch, "chunk size {chunk}");
+        }
+        assert_eq!(StreamingMoments::new().finish(), moments(&[]));
+    }
+
+    #[test]
+    fn streaming_moments_merge_is_close_and_handles_empty() {
+        let s = wiggly(512);
+        let (a, b) = s.split_at(197);
+        let mut ma = StreamingMoments::new();
+        ma.extend(a);
+        let mut mb = StreamingMoments::new();
+        mb.extend(b);
+        let merged = ma.merge(&mb).finish();
+        let seq = moments(&s);
+        assert_eq!(merged.n, seq.n);
+        assert!((merged.mean - seq.mean).abs() < 1e-12);
+        assert!((merged.m2 - seq.m2).abs() < 1e-9 * seq.m2.max(1.0));
+        // Empty sides are exact identities.
+        let empty = StreamingMoments::new();
+        assert_eq!(empty.merge(&ma), ma);
+        assert_eq!(ma.merge(&empty), ma);
+    }
+
+    #[test]
+    fn streaming_peaks_are_bit_identical_to_batch_at_any_chunking() {
+        let s = wiggly(997);
+        for prominence in [0.0, 0.001, 0.5] {
+            let batch = peak_stats(&s, prominence);
+            for chunk in [1usize, 7, 256, s.len()] {
+                let mut acc = StreamingPeaks::new(prominence);
+                for c in s.chunks(chunk) {
+                    acc.extend(c);
+                }
+                let got = acc.finish();
+                assert_eq!(
+                    got.extrema, batch.extrema,
+                    "chunk {chunk} prom {prominence}"
+                );
+                assert_eq!(got.peak_to_peak, batch.peak_to_peak);
+                assert_eq!(got.mean_abs, batch.mean_abs);
+                assert_eq!(got.rms, batch.rms);
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_peaks_edge_cases_match_batch() {
+        for s in [vec![], vec![3.5], vec![1.0, 2.0]] {
+            let batch = peak_stats(&s, 0.1);
+            let mut acc = StreamingPeaks::new(0.1);
+            acc.extend(&s);
+            let got = acc.finish();
+            assert_eq!(got.extrema, batch.extrema, "len {}", s.len());
+            assert_eq!(got.peak_to_peak, batch.peak_to_peak);
+            assert_eq!(got.mean_abs, batch.mean_abs);
+            assert_eq!(got.rms, batch.rms);
+        }
     }
 }

@@ -249,4 +249,107 @@ proptest! {
         }
         prop_assert_eq!(chunked, whole);
     }
+
+    /// Streaming Welford over arbitrary chunk splits is bit-identical
+    /// to the batch kernel over the whole series — the push loop IS
+    /// the batch loop, so no partition may change a single bit.
+    #[test]
+    fn streaming_moments_are_chunking_invariant(
+        series in proptest::collection::vec(-1e3f64..1e3, 0..120),
+        cuts in proptest::collection::vec(1usize..9, 1..12),
+    ) {
+        let batch = signal::moments(&series);
+        let mut acc = signal::StreamingMoments::new();
+        let mut start = 0;
+        for &width in &cuts {
+            if start >= series.len() {
+                break;
+            }
+            let end = (start + width).min(series.len());
+            acc.extend(&series[start..end]);
+            start = end;
+        }
+        if start < series.len() {
+            acc.extend(&series[start..]);
+        }
+        let streamed = acc.finish();
+        prop_assert_eq!(streamed.n, batch.n);
+        prop_assert_eq!(streamed.mean.to_bits(), batch.mean.to_bits());
+        prop_assert_eq!(streamed.m2.to_bits(), batch.m2.to_bits());
+    }
+
+    /// Merging per-chunk Welford states (Chan's formula) agrees with
+    /// one sequential pass to fine tolerance, wherever the split falls
+    /// — including empty sides, which must be exact.
+    #[test]
+    fn streaming_moments_merge_matches_sequential(
+        series in proptest::collection::vec(-1e3f64..1e3, 0..120),
+        split in 0usize..120,
+    ) {
+        let split = split.min(series.len());
+        let mut left = signal::StreamingMoments::new();
+        left.extend(&series[..split]);
+        let mut right = signal::StreamingMoments::new();
+        right.extend(&series[split..]);
+        let merged = left.merge(&right).finish();
+        let sequential = signal::moments(&series);
+        prop_assert_eq!(merged.n, sequential.n);
+        if split == 0 || split == series.len() {
+            // One side empty: merge must be the identity, bit for bit.
+            prop_assert_eq!(merged.mean.to_bits(), sequential.mean.to_bits());
+            prop_assert_eq!(merged.m2.to_bits(), sequential.m2.to_bits());
+        } else {
+            let scale = sequential.m2.abs().max(1.0);
+            prop_assert!((merged.mean - sequential.mean).abs() <= 1e-9 * sequential.mean.abs().max(1.0));
+            prop_assert!((merged.m2 - sequential.m2).abs() <= 1e-6 * scale);
+        }
+    }
+
+    /// Merge is associative within tolerance: (a ⊕ b) ⊕ c ≈ a ⊕ (b ⊕ c).
+    #[test]
+    fn streaming_moments_merge_is_associative(
+        a in proptest::collection::vec(-1e3f64..1e3, 0..40),
+        b in proptest::collection::vec(-1e3f64..1e3, 0..40),
+        c in proptest::collection::vec(-1e3f64..1e3, 0..40),
+    ) {
+        let acc = |xs: &[f64]| {
+            let mut m = signal::StreamingMoments::new();
+            m.extend(xs);
+            m
+        };
+        let left = acc(&a).merge(&acc(&b)).merge(&acc(&c)).finish();
+        let right = acc(&a).merge(&acc(&b).merge(&acc(&c))).finish();
+        prop_assert_eq!(left.n, right.n);
+        prop_assert!((left.mean - right.mean).abs() <= 1e-9 * left.mean.abs().max(1.0));
+        prop_assert!((left.m2 - right.m2).abs() <= 1e-6 * left.m2.abs().max(1.0));
+    }
+
+    /// Streaming peak detection over arbitrary chunk splits is
+    /// bit-identical to the batch kernel over the whole series.
+    #[test]
+    fn streaming_peaks_are_chunking_invariant(
+        series in proptest::collection::vec(-10f64..10.0, 0..120),
+        cuts in proptest::collection::vec(1usize..9, 1..12),
+        prominence in 0.0f64..2.0,
+    ) {
+        let batch = signal::peak_stats(&series, prominence);
+        let mut acc = signal::StreamingPeaks::new(prominence);
+        let mut start = 0;
+        for &width in &cuts {
+            if start >= series.len() {
+                break;
+            }
+            let end = (start + width).min(series.len());
+            acc.extend(&series[start..end]);
+            start = end;
+        }
+        if start < series.len() {
+            acc.extend(&series[start..]);
+        }
+        let streamed = acc.finish();
+        prop_assert_eq!(streamed.extrema, batch.extrema);
+        prop_assert_eq!(streamed.peak_to_peak.to_bits(), batch.peak_to_peak.to_bits());
+        prop_assert_eq!(streamed.mean_abs.to_bits(), batch.mean_abs.to_bits());
+        prop_assert_eq!(streamed.rms.to_bits(), batch.rms.to_bits());
+    }
 }

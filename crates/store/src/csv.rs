@@ -8,8 +8,8 @@
 use std::io::Write;
 
 use rad_core::{
-    Command, CommandType, DeviceId, DeviceKind, Label, ProcedureKind, RadError, RunId, SimDuration,
-    SimInstant, TraceBatch, TraceGap, TraceId, TraceMode, TraceObject, Value,
+    Alert, Command, CommandType, DeviceId, DeviceKind, Label, ProcedureKind, RadError, RunId,
+    SimDuration, SimInstant, TraceBatch, TraceGap, TraceId, TraceMode, TraceObject, Value,
 };
 use rad_power::{PowerBlock, PowerSample};
 
@@ -360,6 +360,98 @@ pub fn gaps_from_csv(text: &str) -> Result<Vec<TraceGap>, RadError> {
     Ok(gaps)
 }
 
+/// Column headers of the detection-alert export.
+pub const ALERT_HEADERS: [&str; 7] = [
+    "detector",
+    "device",
+    "run_id",
+    "window_start_us",
+    "window_end_us",
+    "score",
+    "threshold",
+];
+
+/// Serializes detection alerts to a CSV document (with header row).
+///
+/// Scores and thresholds use `f64`'s `Display`, which prints the
+/// shortest digit string that parses back to the same bits — the
+/// round-trip through [`alerts_from_csv`] is exact.
+pub fn alerts_to_csv(alerts: &[Alert]) -> String {
+    let mut out = String::new();
+    out.push_str(&encode_row(&ALERT_HEADERS));
+    out.push('\n');
+    for a in alerts {
+        let row = [
+            a.detector.to_string(),
+            a.device.to_string(),
+            a.run_id.map(|r| r.0.to_string()).unwrap_or_default(),
+            a.window_start.as_micros().to_string(),
+            a.window_end.as_micros().to_string(),
+            a.score.to_string(),
+            a.threshold.to_string(),
+        ];
+        out.push_str(&encode_row(&row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a detection-alert CSV document produced by [`alerts_to_csv`].
+///
+/// # Errors
+///
+/// Returns [`RadError::Store`] on a wrong header or malformed rows.
+pub fn alerts_from_csv(text: &str) -> Result<Vec<Alert>, RadError> {
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| RadError::Store("empty csv".into()))?;
+    if decode_row(header)? != ALERT_HEADERS {
+        return Err(RadError::Store(format!("unexpected csv header: {header}")));
+    }
+    let mut alerts = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let fields = decode_row(line)?;
+        if fields.len() != ALERT_HEADERS.len() {
+            return Err(RadError::Store(format!(
+                "row {} has {} fields, expected {}",
+                lineno + 2,
+                fields.len(),
+                ALERT_HEADERS.len()
+            )));
+        }
+        let parse_u64 = |s: &str, what: &str| -> Result<u64, RadError> {
+            s.parse()
+                .map_err(|_| RadError::Store(format!("bad {what}: {s}")))
+        };
+        let parse_f64 = |s: &str, what: &str| -> Result<f64, RadError> {
+            s.parse()
+                .map_err(|_| RadError::Store(format!("bad {what}: {s}")))
+        };
+        let device: DeviceKind = fields[1].parse()?;
+        let run_id = if fields[2].is_empty() {
+            None
+        } else {
+            Some(RunId(fields[2].parse().map_err(|_| {
+                RadError::Store(format!("bad run id: {}", fields[2]))
+            })?))
+        };
+        alerts.push(Alert {
+            detector: fields[0].clone().into(),
+            device,
+            run_id,
+            window_start: SimInstant::from_micros(parse_u64(&fields[3], "window start")?),
+            window_end: SimInstant::from_micros(parse_u64(&fields[4], "window end")?),
+            score: parse_f64(&fields[5], "score")?,
+            threshold: parse_f64(&fields[6], "threshold")?,
+        });
+    }
+    Ok(alerts)
+}
+
 /// Serializes power samples to a 122-column CSV document.
 ///
 /// Row-oriented reference path (allocates one `to_row` vector plus one
@@ -525,6 +617,39 @@ mod tests {
     fn gap_header_mismatch_is_rejected() {
         assert!(gaps_from_csv("a,b\n").is_err());
         assert!(gaps_from_csv("").is_err());
+    }
+
+    #[test]
+    fn alerts_round_trip_through_csv_exactly() {
+        let alerts = vec![
+            Alert {
+                detector: "perplexity".into(),
+                device: DeviceKind::C9,
+                run_id: Some(RunId(17)),
+                window_start: SimInstant::from_micros(1_000),
+                window_end: SimInstant::from_micros(9_500),
+                score: 123.456789012345e3,
+                threshold: 0.1 + 0.2, // not representable exactly: Display round-trips the bits
+            },
+            Alert {
+                detector: "power.rms".into(),
+                device: DeviceKind::Ur3e,
+                run_id: None,
+                window_start: SimInstant::EPOCH,
+                window_end: SimInstant::from_micros(42),
+                score: f64::MIN_POSITIVE,
+                threshold: 3.0,
+            },
+        ];
+        let csv = alerts_to_csv(&alerts);
+        let back = alerts_from_csv(&csv).unwrap();
+        assert_eq!(back, alerts, "bit-exact round trip");
+    }
+
+    #[test]
+    fn alert_header_mismatch_is_rejected() {
+        assert!(alerts_from_csv("a,b\n").is_err());
+        assert!(alerts_from_csv("").is_err());
     }
 
     #[test]

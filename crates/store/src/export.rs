@@ -15,7 +15,7 @@ use std::fmt;
 use std::fs;
 use std::path::Path;
 
-use rad_core::{RadError, RunMetadata, TraceGap, TraceSource};
+use rad_core::{Alert, RadError, RunMetadata, TraceGap, TraceSource};
 use serde_json::json;
 
 use crate::csv;
@@ -109,6 +109,25 @@ pub fn export_rad_with(
     dir: &Path,
     injector: Option<&CrashInjector>,
 ) -> Result<usize, RadError> {
+    export_rad_alerted(commands, power, &[], dir, injector)
+}
+
+/// [`export_rad_with`] plus the campaign's detection alerts: a
+/// non-empty `alerts` slice lands as `alerts.csv` (the same
+/// present-only-when-non-empty policy as `gaps.csv`) and is counted in
+/// the manifest either way.
+///
+/// # Errors
+///
+/// Returns [`RadError::Store`] on filesystem failures or injected
+/// crashes.
+pub fn export_rad_alerted(
+    commands: &CommandDataset,
+    power: &PowerDataset,
+    alerts: &[Alert],
+    dir: &Path,
+    injector: Option<&CrashInjector>,
+) -> Result<usize, RadError> {
     fs::create_dir_all(dir).map_err(|e| io_err("creating bundle dir", e))?;
     let mut files = 0;
 
@@ -137,6 +156,15 @@ pub fn export_rad_with(
         files += 1;
     }
 
+    if !alerts.is_empty() {
+        atomic_write_file(
+            &dir.join("alerts.csv"),
+            csv::alerts_to_csv(alerts).as_bytes(),
+            injector,
+        )?;
+        files += 1;
+    }
+
     let power_dir = dir.join("power");
     fs::create_dir_all(&power_dir).map_err(|e| io_err("creating power dir", e))?;
     for (i, recording) in power.recordings().iter().enumerate() {
@@ -159,6 +187,7 @@ pub fn export_rad_with(
         "runs": commands.runs().len(),
         "supervised_runs": commands.supervised_runs().len(),
         "trace_gaps": commands.gaps().len(),
+        "alerts": alerts.len(),
         "power_recordings": power.recordings().len(),
         "power_entries": power.total_entries(),
         "files": files + 1,
@@ -215,6 +244,25 @@ pub fn export_rad_from_segments(
     dir: &Path,
     injector: Option<&CrashInjector>,
 ) -> Result<usize, RadError> {
+    export_rad_from_segments_alerted(segments, runs, gaps, &[], dir, injector)
+}
+
+/// [`export_rad_from_segments`] plus detection alerts, mirroring
+/// [`export_rad_alerted`]: replaying sealed segments through the
+/// streaming detectors and exporting with the resulting alerts must
+/// produce a bundle byte-identical to the live-teed in-memory export.
+///
+/// # Errors
+///
+/// As [`export_rad_from_segments`].
+pub fn export_rad_from_segments_alerted(
+    segments: &SegmentSet,
+    runs: &[RunMetadata],
+    gaps: &[TraceGap],
+    alerts: &[Alert],
+    dir: &Path,
+    injector: Option<&CrashInjector>,
+) -> Result<usize, RadError> {
     fs::create_dir_all(dir).map_err(|e| io_err("creating bundle dir", e))?;
     let mut files = 0;
 
@@ -240,6 +288,15 @@ pub fn export_rad_from_segments(
         atomic_write_file(
             &dir.join("gaps.csv"),
             csv::gaps_to_csv(gaps).as_bytes(),
+            injector,
+        )?;
+        files += 1;
+    }
+
+    if !alerts.is_empty() {
+        atomic_write_file(
+            &dir.join("alerts.csv"),
+            csv::alerts_to_csv(alerts).as_bytes(),
             injector,
         )?;
         files += 1;
@@ -274,6 +331,7 @@ pub fn export_rad_from_segments(
         "runs": (runs.len()),
         "supervised_runs": supervised,
         "trace_gaps": (gaps.len()),
+        "alerts": (alerts.len()),
         "power_recordings": (recordings.len()),
         "power_entries": power_entries,
         "files": (files + 1),
@@ -363,6 +421,21 @@ pub fn import_commands_with(
         CommandDataset::from_parts(traces, runs).with_gaps(gaps),
         report,
     ))
+}
+
+/// Reads the detection alerts of a bundle back from `dir`. A bundle
+/// whose campaign raised no alerts writes no `alerts.csv`, so a
+/// missing table reads back as the empty set, not an error.
+///
+/// # Errors
+///
+/// Returns [`RadError::Store`] when `alerts.csv` exists but is
+/// malformed.
+pub fn import_alerts(dir: &Path) -> Result<Vec<Alert>, RadError> {
+    match fs::read_to_string(dir.join("alerts.csv")) {
+        Ok(text) => csv::alerts_from_csv(&text),
+        Err(_) => Ok(Vec::new()),
+    }
 }
 
 /// Parses the `runs.csv` table written by [`export_rad`].
@@ -570,6 +643,51 @@ mod tests {
         export_rad(&small_dataset(), &PowerDataset::new(), &dir).unwrap();
         assert!(!dir.join("gaps.csv").exists());
         assert!(import_commands(&dir).unwrap().gaps().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn alerts_csv_round_trips_through_the_bundle() {
+        use rad_core::{Alert, DeviceKind};
+        let dir = tmpdir("alerts");
+        let alerts = vec![
+            Alert {
+                detector: "perplexity".into(),
+                device: DeviceKind::C9,
+                run_id: Some(RunId(0)),
+                window_start: SimInstant::from_micros(0),
+                window_end: SimInstant::from_micros(4000),
+                score: 17.25,
+                threshold: 0.1 + 0.2,
+            },
+            Alert {
+                detector: "power.rms".into(),
+                device: DeviceKind::Ur3e,
+                run_id: None,
+                window_start: SimInstant::from_micros(10),
+                window_end: SimInstant::from_micros(20),
+                score: f64::MIN_POSITIVE,
+                threshold: 3.0,
+            },
+        ];
+        export_rad_alerted(&small_dataset(), &PowerDataset::new(), &alerts, &dir, None).unwrap();
+        assert!(dir.join("alerts.csv").exists());
+        let manifest: serde_json::Value =
+            serde_json::from_str(&fs::read_to_string(dir.join("MANIFEST.json")).unwrap()).unwrap();
+        assert_eq!(manifest["alerts"], json!(2));
+        assert_eq!(import_alerts(&dir).unwrap(), alerts);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quiet_bundles_omit_the_alert_table() {
+        let dir = tmpdir("noalerts");
+        export_rad(&small_dataset(), &PowerDataset::new(), &dir).unwrap();
+        assert!(!dir.join("alerts.csv").exists());
+        let manifest: serde_json::Value =
+            serde_json::from_str(&fs::read_to_string(dir.join("MANIFEST.json")).unwrap()).unwrap();
+        assert_eq!(manifest["alerts"], json!(0));
+        assert!(import_alerts(&dir).unwrap().is_empty());
         let _ = fs::remove_dir_all(&dir);
     }
 

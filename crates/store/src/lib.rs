@@ -41,7 +41,10 @@ pub mod wal;
 pub use dataset::{CommandDataset, PowerDataset, PowerRecording};
 pub use document::{DocumentId, DocumentStore, Filter};
 pub use durable::{DurableOptions, DurableStore};
-pub use export::{export_rad, export_rad_from_segments, import_commands, LoadIssue, LoadReport};
+pub use export::{
+    export_rad, export_rad_alerted, export_rad_from_segments, export_rad_from_segments_alerted,
+    import_alerts, import_commands, LoadIssue, LoadReport,
+};
 pub use segment::{
     PowerScan, SegmentKind, SegmentOptions, SegmentReader, SegmentScan, SegmentSet, SegmentWriter,
     TraceQuery, ZoneMap,

@@ -80,7 +80,7 @@ use rad_core::{
     DeviceId, DeviceKind, Label, ProcedureKind, RadError, RunId, TraceBatch, TraceColumns,
     TraceMode, TraceSource,
 };
-use rad_power::{PowerBlock, PowerSample, PowerSource, RecordingMeta};
+use rad_power::{BlockSource, PowerBlock, PowerSample, PowerSink, PowerSource, RecordingMeta};
 
 use crate::wal::{atomic_write_stream, crc32, CrashInjector, QuarantinedSegment};
 
@@ -1680,6 +1680,33 @@ impl PowerScan {
     pub fn into_recordings(self) -> Vec<(RecordingMeta, PowerBlock)> {
         self.recordings.into()
     }
+
+    /// Replays every queued recording through `sink` with the same
+    /// boundary discipline the live monitor follows: each recording's
+    /// metadata is announced via `begin_recording` before its samples
+    /// arrive, chunked into at most `chunk`-tick blocks, and the sink
+    /// is finished once the scan is drained. The plain [`PowerSource`]
+    /// impl drops the metadata; streaming detectors need it to segment
+    /// their per-recording state, so sealed campaigns replay through
+    /// this path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first sink error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub fn replay_into<S: PowerSink>(self, sink: &mut S, chunk: usize) -> Result<(), RadError> {
+        for (meta, block) in self.recordings {
+            sink.begin_recording(&meta)?;
+            let mut source = BlockSource::new(&block, chunk);
+            while let Some(piece) = source.next_block()? {
+                sink.accept(&piece)?;
+            }
+        }
+        sink.finish()
+    }
 }
 
 impl PowerSource for PowerScan {
@@ -2110,6 +2137,57 @@ mod tests {
         assert_eq!(ts, block_a.lane(rad_power::block::lane::TIMESTAMP));
         assert!(reader.column_loaded(&lane_name(0)));
         assert!(!reader.column_loaded(&lane_name(1)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn power_replay_announces_metadata_and_chunks_every_sample() {
+        // A sink that journals the boundary discipline replay promises.
+        #[derive(Default)]
+        struct Journal {
+            metas: Vec<RecordingMeta>,
+            chunk_lens: Vec<usize>,
+            finished: bool,
+        }
+        impl PowerSink for Journal {
+            fn accept(&mut self, block: &PowerBlock) -> Result<(), RadError> {
+                self.chunk_lens.push(block.len());
+                Ok(())
+            }
+            fn begin_recording(&mut self, meta: &RecordingMeta) -> Result<(), RadError> {
+                self.metas.push(meta.clone());
+                Ok(())
+            }
+            fn finish(&mut self) -> Result<(), RadError> {
+                self.finished = true;
+                Ok(())
+            }
+        }
+
+        let dir = temp_dir("replay");
+        let meta_a = RecordingMeta {
+            procedure: ProcedureKind::VelocitySweep,
+            run_id: RunId(4),
+            description: "run 4".to_owned(),
+        };
+        let meta_b = RecordingMeta {
+            procedure: ProcedureKind::PayloadSweep,
+            run_id: RunId(9),
+            description: "run 9".to_owned(),
+        };
+        let mut writer = SegmentWriter::create(&dir, SegmentOptions::default()).unwrap();
+        writer.seal_power(&meta_a, &power_block(10, 1.0)).unwrap();
+        writer.seal_power(&meta_b, &power_block(4, -2.0)).unwrap();
+
+        let set = SegmentSet::open(&dir).unwrap();
+        let mut journal = Journal::default();
+        set.power_recordings()
+            .unwrap()
+            .replay_into(&mut journal, 3)
+            .unwrap();
+        assert_eq!(journal.metas, vec![meta_a, meta_b]);
+        assert_eq!(journal.chunk_lens, vec![3, 3, 3, 1, 3, 1]);
+        assert!(journal.finished);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -27,10 +27,15 @@
 
 pub mod attacks;
 pub mod campaign;
+pub mod detect;
 pub mod procedures;
 pub mod session;
 
 pub use attacks::{AttackKind, AttackTrace};
 pub use campaign::{CampaignBuilder, CampaignDataset, ProcedureRun};
+pub use detect::{
+    benchmark_streaming_detector, detect_campaign, detect_segments, export_detected, fit_detector,
+    DetectionOutcome, PowerAlertConfig,
+};
 pub use procedures::{P1Variant, P2Variant, P3Variant, SOLIDS};
 pub use session::{RunEnd, Session};

@@ -1,0 +1,81 @@
+//! Detection rates of the *streaming* perplexity stage over the
+//! synthetic attack corpus — the IDS-benchmarking claim of the
+//! streaming plane, with per-kind bounds. The measured rates are
+//! tabulated in `EXPERIMENTS.md` ("Streaming detection plane").
+//!
+//! Two claims:
+//!
+//! 1. Per [`AttackKind`], the streaming stage detects at least as many
+//!    attacks as the bound the batch experiments established —
+//!    grammar-breaking attacks (command injection, reorder) always
+//!    trip it; replay, which reuses legal grammar, is allowed to
+//!    evade.
+//! 2. The streaming confusion matrix over a benign/attack mix equals
+//!    the batch detector's exactly: recasting the detector as a sink
+//!    stage changes not one verdict.
+
+use rad_analysis::detector::FittedDetector;
+use rad_analysis::PerplexityDetector;
+use rad_core::CommandType;
+use rad_workloads::attacks::{benchmark_detector, generate_batch};
+use rad_workloads::{benchmark_streaming_detector, AttackKind, CampaignBuilder};
+
+/// The benign supervised runs of a small campaign, split interleaved
+/// (a tail split would leave whole procedures out of training).
+fn fitted() -> (FittedDetector<CommandType>, Vec<Vec<CommandType>>) {
+    let benign: Vec<Vec<CommandType>> = CampaignBuilder::new(5)
+        .supervised_only()
+        .build()
+        .command()
+        .supervised_sequences()
+        .into_iter()
+        .filter(|(meta, _)| !meta.label().is_anomalous())
+        .map(|(_, seq)| seq)
+        .collect();
+    let train: Vec<Vec<CommandType>> = benign.iter().step_by(2).cloned().collect();
+    let calibrate: Vec<Vec<CommandType>> = benign.iter().skip(1).step_by(2).cloned().collect();
+    let detector = PerplexityDetector::new(3).fit(&train, &calibrate).unwrap();
+    (detector, calibrate)
+}
+
+#[test]
+fn streaming_detection_rates_meet_per_kind_bounds() {
+    let (detector, _) = fitted();
+    const PER_KIND: usize = 6;
+    let attacks = generate_batch(PER_KIND, 77).unwrap();
+
+    for kind in AttackKind::all() {
+        let of_kind: Vec<_> = attacks.iter().filter(|a| a.kind == kind).cloned().collect();
+        assert_eq!(of_kind.len(), PER_KIND);
+        let cm = benchmark_streaming_detector(&detector, &[], &of_kind, 7).unwrap();
+        let detected = cm.true_positives() as usize;
+
+        // Grammar-breaking attacks must never slip through; attacks
+        // that stay inside legal grammar get slack — replay most of
+        // all, since it replays genuinely benign transitions.
+        let floor = match kind {
+            AttackKind::CommandInjection | AttackKind::Reorder => PER_KIND,
+            AttackKind::SpeedOverride | AttackKind::Sabotage => PER_KIND - 1,
+            AttackKind::Replay => PER_KIND - 2,
+        };
+        assert!(
+            detected >= floor,
+            "{kind:?}: streaming stage detected {detected}/{PER_KIND}, bound {floor}"
+        );
+    }
+}
+
+#[test]
+fn streaming_confusion_matrix_equals_batch_exactly() {
+    let (detector, calibrate) = fitted();
+    let attacks = generate_batch(4, 99).unwrap();
+    let streaming = benchmark_streaming_detector(&detector, &calibrate, &attacks, 7).unwrap();
+    let batch = benchmark_detector(&detector, &calibrate, &attacks).unwrap();
+    assert_eq!(
+        streaming, batch,
+        "sink-stage verdicts diverged from the batch detector"
+    );
+    // The mix is non-trivial in both directions.
+    assert!(streaming.true_positives() > 0);
+    assert!(streaming.true_positives() + streaming.false_negatives() == attacks.len() as u64);
+}
