@@ -1,0 +1,182 @@
+//! Lab-service report: the `radd` server plane under concurrent
+//! tenants, over real TCP.
+//!
+//! Three headline numbers, written to `BENCH_server.json` at the
+//! repository root:
+//!
+//! * **sessions/s** — short-lived sessions (connect, `Hello`, `Bye`)
+//!   against one tenant, back to back: the admission + handshake cost.
+//! * **p99 issue latency** — `SERVER_TENANTS` concurrent tenants each
+//!   issue `SERVER_CMDS` commands on their own rig; per-issue wire
+//!   round-trip latency is merged across tenants and summarized at
+//!   p50/p99.
+//! * **drain flush time** — the graceful drain (stop accepting, flush
+//!   and checkpoint every tenant's durable store) with all tenants'
+//!   rows still buffered.
+//!
+//! Scale with `SERVER_TENANTS` (default 4), `SERVER_CMDS` (default
+//! 200), and `SERVER_SESSIONS` (default 64; CI smoke uses less).
+
+use std::fs;
+use std::time::{Duration, Instant};
+
+use rad_core::{Command, CommandType};
+use rad_middlebox::rpc::RetryPolicy;
+use rad_middlebox::server::{LabService, ServerConfig, SocketTransport};
+use rad_workloads::RemoteSession;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A retry policy that will not time out a loaded debug-build server.
+fn policy() -> RetryPolicy {
+    RetryPolicy {
+        attempt_timeout: Duration::from_secs(10),
+        deadline: Duration::from_secs(30),
+        ..RetryPolicy::default()
+    }
+}
+
+fn command(i: usize) -> Command {
+    if i == 0 {
+        Command::nullary(CommandType::InitC9)
+    } else {
+        Command::nullary(CommandType::Mvng)
+    }
+}
+
+fn percentile_us(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let tenants = env_usize("SERVER_TENANTS", 4);
+    let cmds = env_usize("SERVER_CMDS", 200);
+    let sessions = env_usize("SERVER_SESSIONS", 64);
+
+    let data_dir = std::env::temp_dir().join(format!("rad-server-report-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let handle = LabService::new(ServerConfig {
+        max_sessions: tenants.max(1),
+        backlog: tenants.max(1),
+        seed: 42,
+        data_dir: Some(data_dir.clone()),
+        ..ServerConfig::default()
+    })
+    .serve_tcp("127.0.0.1:0")
+    .expect("serve");
+    let addr = handle.local_addr().expect("addr").to_string();
+
+    // ---- sessions/s: handshake-only sessions, back to back ----
+    let started = Instant::now();
+    for _ in 0..sessions {
+        let transport = SocketTransport::connect_tcp(&addr).expect("connect");
+        let session = RemoteSession::connect(transport, "handshake", policy()).expect("hello");
+        session.bye().expect("bye");
+    }
+    let sessions_per_s = sessions as f64 / started.elapsed().as_secs_f64();
+
+    // ---- p99 issue latency at N concurrent tenants ----
+    let started = Instant::now();
+    let legs: Vec<_> = (0..tenants)
+        .map(|t| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let transport = SocketTransport::connect_tcp(&addr).expect("connect");
+                let mut session =
+                    RemoteSession::connect(transport, &format!("tenant-{t}"), policy())
+                        .expect("hello");
+                let mut lat_us = Vec::with_capacity(cmds);
+                for i in 0..cmds {
+                    let cmd = command(i);
+                    let at = Instant::now();
+                    session.issue(&cmd).expect("issue").expect("no fault");
+                    lat_us.push(at.elapsed().as_micros() as u64);
+                }
+                session.bye().expect("bye");
+                lat_us
+            })
+        })
+        .collect();
+    let mut lat_us: Vec<u64> = legs
+        .into_iter()
+        .flat_map(|leg| leg.join().expect("tenant leg"))
+        .collect();
+    let issue_wall = started.elapsed();
+    lat_us.sort_unstable();
+    let issues_total = lat_us.len();
+    let p50 = percentile_us(&lat_us, 0.50);
+    let p99 = percentile_us(&lat_us, 0.99);
+    let mean = if lat_us.is_empty() {
+        0.0
+    } else {
+        lat_us.iter().sum::<u64>() as f64 / lat_us.len() as f64
+    };
+    let issues_per_s = issues_total as f64 / issue_wall.as_secs_f64();
+
+    // ---- graceful drain with every tenant's rows still buffered ----
+    let report = handle.drain().expect("drain");
+    let drain_ms = report.flush_time.as_secs_f64() * 1e3;
+    let rows_flushed: u64 = report.tenants.iter().map(|t| t.rows_flushed).sum();
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    println!(
+        "{:<32} {:>14}",
+        "sessions/s (hello+bye)",
+        format!("{sessions_per_s:.0}")
+    );
+    println!(
+        "{:<32} {:>14}",
+        format!("issues/s ({tenants} tenants)"),
+        format!("{issues_per_s:.0}")
+    );
+    println!("{:<32} {:>11} us", "issue latency p50", p50);
+    println!("{:<32} {:>11} us", "issue latency p99", p99);
+    println!("{:<32} {:>11.1} us", "issue latency mean", mean);
+    println!("{:<32} {:>11.1} ms", "drain flush", drain_ms);
+    println!(
+        "tenants drained: {} ({} rows durable); {}",
+        report.tenants.len(),
+        rows_flushed,
+        report.stats
+    );
+    assert_eq!(
+        report.stats.issues, issues_total as u64,
+        "every timed issue executed exactly once"
+    );
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"workload\": {\n");
+    out.push_str(&format!("    \"tenants\": {tenants},\n"));
+    out.push_str(&format!("    \"commands_per_tenant\": {cmds},\n"));
+    out.push_str(&format!("    \"handshake_sessions\": {sessions}\n"));
+    out.push_str("  },\n");
+    out.push_str(&format!("  \"sessions_per_s\": {sessions_per_s:.1},\n"));
+    out.push_str("  \"issue\": {\n");
+    out.push_str(&format!("    \"total\": {issues_total},\n"));
+    out.push_str(&format!("    \"per_s\": {issues_per_s:.0},\n"));
+    out.push_str(&format!("    \"p50_us\": {p50},\n"));
+    out.push_str(&format!("    \"p99_us\": {p99},\n"));
+    out.push_str(&format!("    \"mean_us\": {mean:.1}\n"));
+    out.push_str("  },\n");
+    out.push_str("  \"drain\": {\n");
+    out.push_str(&format!("    \"flush_ms\": {drain_ms:.3},\n"));
+    out.push_str(&format!("    \"tenants\": {},\n", report.tenants.len()));
+    out.push_str(&format!("    \"rows_flushed\": {rows_flushed}\n"));
+    out.push_str("  }\n}\n");
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let path = root.join("BENCH_server.json");
+    fs::write(&path, out).expect("write BENCH_server.json");
+    println!("wrote {}", path.display());
+}

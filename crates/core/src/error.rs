@@ -46,6 +46,22 @@ pub enum RadError {
     /// The RPC peer disconnected. Retrying over the same transport
     /// cannot succeed; the caller must reconnect or degrade.
     RpcDisconnected(String),
+    /// The server refused admission: the worker pool, accept backlog,
+    /// or per-tenant queue is full (or the tenant already has an
+    /// active session). The request was never executed, so the caller
+    /// may retry after backing off — jittered backoff, so rejected
+    /// clients don't stampede back in lockstep.
+    Overloaded(String),
+    /// A frame's length prefix exceeds the endpoint's configured
+    /// maximum. On a byte stream this means framing is lost for good:
+    /// servers quarantine the session rather than guess at a resync
+    /// point.
+    FrameTooLarge {
+        /// The advertised frame length.
+        len: usize,
+        /// The endpoint's configured maximum.
+        limit: usize,
+    },
     /// A dataset/store operation failed.
     Store(String),
     /// A write-ahead-log frame failed its CRC or structural check —
@@ -96,13 +112,15 @@ impl RadError {
     /// Whether a failed RPC call may be safely re-attempted with the
     /// same idempotency token.
     ///
-    /// Only [`RadError::RpcTimeout`] is retryable: the request or its
+    /// [`RadError::RpcTimeout`] is retryable: the request or its
     /// response was lost in flight, and server-side deduplication
-    /// guarantees the retry cannot double-execute. Disconnects are
-    /// terminal for the transport and everything else is a caller or
-    /// protocol error.
+    /// guarantees the retry cannot double-execute.
+    /// [`RadError::Overloaded`] is retryable too: admission control
+    /// rejects *before* execution, so backing off and re-attempting is
+    /// always safe. Disconnects are terminal for the transport and
+    /// everything else is a caller or protocol error.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, RadError::RpcTimeout(_))
+        matches!(self, RadError::RpcTimeout(_) | RadError::Overloaded(_))
     }
 }
 
@@ -123,6 +141,10 @@ impl fmt::Display for RadError {
             RadError::Rpc(msg) => write!(f, "rpc failure: {msg}"),
             RadError::RpcTimeout(msg) => write!(f, "rpc timed out: {msg}"),
             RadError::RpcDisconnected(msg) => write!(f, "rpc peer disconnected: {msg}"),
+            RadError::Overloaded(msg) => write!(f, "server overloaded: {msg}"),
+            RadError::FrameTooLarge { len, limit } => {
+                write!(f, "frame length {len} exceeds the {limit}-byte limit")
+            }
             RadError::Store(msg) => write!(f, "store failure: {msg}"),
             RadError::WalCorrupt {
                 segment,
@@ -247,11 +269,25 @@ mod tests {
     }
 
     #[test]
-    fn only_timeouts_are_retryable() {
+    fn only_timeouts_and_overloads_are_retryable() {
         assert!(RadError::RpcTimeout("x".into()).is_retryable());
+        assert!(RadError::Overloaded("pool full".into()).is_retryable());
         assert!(!RadError::RpcDisconnected("x".into()).is_retryable());
         assert!(!RadError::Rpc("x".into()).is_retryable());
         assert!(!RadError::Device(DeviceFault::Timeout).is_retryable());
+        assert!(!RadError::FrameTooLarge { len: 9, limit: 4 }.is_retryable());
+    }
+
+    #[test]
+    fn overload_and_frame_limit_render_their_context() {
+        let overload = RadError::Overloaded("worker pool full".into());
+        assert!(overload.to_string().contains("worker pool full"));
+        let oversize = RadError::FrameTooLarge {
+            len: 2048,
+            limit: 1024,
+        };
+        let msg = oversize.to_string();
+        assert!(msg.contains("2048") && msg.contains("1024"), "{msg}");
     }
 
     #[test]

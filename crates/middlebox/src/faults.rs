@@ -461,21 +461,30 @@ impl fmt::Display for FaultStatsSnapshot {
     }
 }
 
-/// A [`Duplex`] endpoint with a [`FaultPlan`] applied to its outgoing
-/// chunks.
+/// A [`Transport`] endpoint with a [`FaultPlan`] applied to its
+/// outgoing chunks.
 ///
-/// Wrap both endpoints with [`FaultyDuplex::wrap_pair`] to fault both
-/// lanes, or wrap one side to fault a single direction. Receiving is
-/// pass-through: every fault is injected at the sending edge, which
-/// keeps the decision index aligned with the sender's chunk count.
+/// Generic over the underlying transport, so the same seeded schedule
+/// interposes on an in-process [`Duplex`] or a live socket
+/// ([`SocketTransport`](crate::server::SocketTransport)) without the
+/// peers knowing — which is what lets the fault conformance matrix run
+/// unchanged against real TCP/Unix streams. Wrap a fresh in-process
+/// pair with [`FaultyDuplex::wrap_pair`] to fault both lanes, or wrap
+/// one side to fault a single direction. Receiving is pass-through:
+/// every fault is injected at the sending edge, which keeps the
+/// decision index aligned with the sender's chunk count.
 #[derive(Debug)]
-pub struct FaultyDuplex {
-    inner: Duplex,
+pub struct Faulty<T: Transport = Duplex> {
+    inner: T,
     plan: Arc<FaultPlan>,
     lane: Lane,
     stats: FaultStats,
     state: Mutex<LaneState>,
 }
+
+/// The in-process specialization of [`Faulty`] — the original name,
+/// kept for the conformance suites and docs that predate real sockets.
+pub type FaultyDuplex = Faulty<Duplex>;
 
 #[derive(Debug, Default)]
 struct LaneState {
@@ -488,17 +497,6 @@ struct LaneState {
 }
 
 impl FaultyDuplex {
-    /// Wraps one endpoint; faults apply to the chunks this side sends.
-    pub fn new(inner: Duplex, plan: Arc<FaultPlan>, lane: Lane, stats: FaultStats) -> Self {
-        FaultyDuplex {
-            inner,
-            plan,
-            lane,
-            stats,
-            state: Mutex::new(LaneState::default()),
-        }
-    }
-
     /// Wraps a fresh [`Duplex::pair`] so both lanes are faulted by the
     /// same plan: `(client_side, server_side)`.
     pub fn wrap_pair(plan: FaultPlan, stats: FaultStats) -> (FaultyDuplex, FaultyDuplex) {
@@ -508,6 +506,19 @@ impl FaultyDuplex {
             FaultyDuplex::new(client, Arc::clone(&plan), Lane::Request, stats.clone()),
             FaultyDuplex::new(server, plan, Lane::Response, stats),
         )
+    }
+}
+
+impl<T: Transport> Faulty<T> {
+    /// Wraps one endpoint; faults apply to the chunks this side sends.
+    pub fn new(inner: T, plan: Arc<FaultPlan>, lane: Lane, stats: FaultStats) -> Self {
+        Faulty {
+            inner,
+            plan,
+            lane,
+            stats,
+            state: Mutex::new(LaneState::default()),
+        }
     }
 
     /// Sends one chunk through the fault schedule.
@@ -607,17 +618,17 @@ impl FaultyDuplex {
     }
 }
 
-impl Transport for FaultyDuplex {
+impl<T: Transport> Transport for Faulty<T> {
     fn send(&self, chunk: Bytes) -> Result<(), RadError> {
-        FaultyDuplex::send(self, chunk)
+        Faulty::send(self, chunk)
     }
 
     fn recv(&self, timeout: Duration) -> Result<Bytes, RadError> {
-        FaultyDuplex::recv(self, timeout)
+        Faulty::recv(self, timeout)
     }
 
     fn recv_blocking(&self) -> Option<Bytes> {
-        FaultyDuplex::recv_blocking(self)
+        Faulty::recv_blocking(self)
     }
 }
 

@@ -25,6 +25,11 @@
 //!   [`FaultyDuplex`] applies them to a live transport, and the client,
 //!   server, and [`Middlebox`] recover via retries, idempotent replay,
 //!   and DIRECT-fallback with [`rad_core::TraceGap`] markers.
+//! - [`server`] — the lab service: the same framed protocol over real
+//!   TCP and Unix-domain sockets, with a bounded worker pool, typed
+//!   admission control, per-tenant durable sink stacks behind bounded
+//!   backpressure channels, deadline propagation, idle reaping,
+//!   quarantine, and graceful zero-loss drain.
 //! - [`PowerMonitor`] — the 25 Hz UR3e power monitor of Fig. 3
 //!   (bottom).
 //!
@@ -52,16 +57,22 @@ pub mod latency;
 pub mod middlebox;
 pub mod monitor;
 pub mod rpc;
+pub mod server;
 pub mod sinks;
 pub mod tracer;
 
 pub use cluster::{RpcCluster, ShardPlan};
 pub use faults::{
-    FaultPlan, FaultProfile, FaultStats, FaultStatsSnapshot, FaultyDuplex, Lane, WireFault,
+    FaultPlan, FaultProfile, FaultStats, FaultStatsSnapshot, Faulty, FaultyDuplex, Lane, WireFault,
 };
 pub use guard::{Alert, GuardPolicy, GuardedMiddlebox, Violation};
 pub use latency::LatencyModel;
 pub use middlebox::{IssueOutcome, Middlebox, ModeConfig};
 pub use monitor::PowerMonitor;
+pub use server::{
+    CollectingSink, DrainReport, LabService, ReplyFrame, ServerConfig, ServerHandle, ServerStats,
+    ServerStatsSnapshot, SinkFactory, SocketTransport, TenantDrain, TenantSinkStack, WireFrame,
+    WireReply, WireRequest,
+};
 pub use sinks::{DurableSink, MirrorSink};
 pub use tracer::Tracer;

@@ -105,13 +105,20 @@ pub struct RpcResponse {
 /// Length-prefixed frame assembler: 4-byte big-endian length followed
 /// by the payload.
 ///
+/// The accepted frame size is configurable per endpoint
+/// ([`FrameCodec::with_max_frame`]): trusted in-process endpoints use
+/// the defensive [`MAX_FRAME_BYTES`] default, while a server decoding
+/// untrusted client bytes caps frames much tighter.
+///
 /// Once [`FrameCodec::next_frame`] reports an error the codec is
 /// poisoned — the byte stream has lost framing and every subsequent
-/// call returns the same typed error instead of silently waiting
-/// forever on a corrupt length prefix. [`FrameCodec::reset`] discards
-/// the buffered bytes and clears the poison, which is sound whenever
-/// the transport delivers whole frames per chunk (as [`Duplex`] does):
-/// the next chunk starts at a frame boundary.
+/// call returns the same typed [`RadError::FrameTooLarge`] instead of
+/// silently waiting forever on a corrupt length prefix.
+/// [`FrameCodec::reset`] discards the buffered bytes and clears the
+/// poison, which is sound whenever the transport delivers whole frames
+/// per chunk (as [`Duplex`] does): the next chunk starts at a frame
+/// boundary. On a real socket no such boundary exists, which is why
+/// the lab service quarantines the session instead of resetting.
 ///
 /// # Examples
 ///
@@ -126,16 +133,39 @@ pub struct RpcResponse {
 /// }
 /// assert_eq!(codec.next_frame().unwrap().unwrap().as_ref(), b"hello");
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FrameCodec {
     buf: BytesMut,
-    poisoned: bool,
+    max_frame: usize,
+    poisoned: Option<RadError>,
+}
+
+impl Default for FrameCodec {
+    fn default() -> Self {
+        FrameCodec::new()
+    }
 }
 
 impl FrameCodec {
-    /// An empty codec.
+    /// An empty codec accepting frames up to [`MAX_FRAME_BYTES`].
     pub fn new() -> Self {
-        FrameCodec::default()
+        FrameCodec::with_max_frame(MAX_FRAME_BYTES)
+    }
+
+    /// An empty codec accepting frames up to `max_frame` bytes — the
+    /// per-endpoint cap (servers bound untrusted client frames tighter
+    /// than trusted in-process use).
+    pub fn with_max_frame(max_frame: usize) -> Self {
+        FrameCodec {
+            buf: BytesMut::new(),
+            max_frame,
+            poisoned: None,
+        }
+    }
+
+    /// The frame-size cap this endpoint enforces on decode.
+    pub fn max_frame(&self) -> usize {
+        self.max_frame
     }
 
     /// Encodes one payload as a framed byte string.
@@ -165,22 +195,25 @@ impl FrameCodec {
     ///
     /// # Errors
     ///
-    /// Returns [`RadError::Rpc`] when the length prefix exceeds
-    /// [`MAX_FRAME_BYTES`] — the stream has lost framing at that point
-    /// and the codec stays poisoned until [`FrameCodec::reset`].
+    /// Returns [`RadError::FrameTooLarge`] when the length prefix
+    /// exceeds this endpoint's cap — the stream has lost framing at
+    /// that point and the codec stays poisoned (repeating the same
+    /// error) until [`FrameCodec::reset`].
     pub fn next_frame(&mut self) -> Result<Option<Bytes>, RadError> {
-        if self.poisoned {
-            return Err(RadError::Rpc(
-                "codec poisoned by an earlier framing error".into(),
-            ));
+        if let Some(err) = &self.poisoned {
+            return Err(err.clone());
         }
         if self.buf.len() < 4 {
             return Ok(None);
         }
         let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
-        if len > MAX_FRAME_BYTES {
-            self.poisoned = true;
-            return Err(RadError::Rpc(format!("frame length {len} exceeds maximum")));
+        if len > self.max_frame {
+            let err = RadError::FrameTooLarge {
+                len,
+                limit: self.max_frame,
+            };
+            self.poisoned = Some(err.clone());
+            return Err(err);
         }
         if self.buf.len() < 4 + len {
             return Ok(None);
@@ -193,7 +226,7 @@ impl FrameCodec {
     /// resynchronizing at the next chunk boundary.
     pub fn reset(&mut self) {
         self.buf.clear();
-        self.poisoned = false;
+        self.poisoned = None;
     }
 }
 
@@ -363,12 +396,13 @@ impl RpcServer {
 /// Retry schedule for [`RpcClient::call_with_retry`].
 ///
 /// Attempts are spaced by exponential backoff
-/// (`initial_backoff * backoff_factor^(attempt-1)`), each attempt waits
-/// at most `attempt_timeout` for its response, and the whole call gives
-/// up at `deadline` regardless of attempts remaining. Only
-/// [retryable](RadError::is_retryable) failures (timeouts) re-attempt:
-/// the retried request reuses its idempotency token, so the server
-/// never double-executes.
+/// (`initial_backoff * backoff_factor^(attempt-1)`), optionally
+/// jittered ([`RetryPolicy::with_jitter`]), each attempt waits at most
+/// `attempt_timeout` for its response, and the whole call gives up at
+/// `deadline` regardless of attempts remaining. Only
+/// [retryable](RadError::is_retryable) failures (timeouts, overload
+/// rejects) re-attempt: the retried request reuses its idempotency
+/// token, so the server never double-executes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Maximum number of attempts (first try included). At least 1.
@@ -381,6 +415,14 @@ pub struct RetryPolicy {
     pub attempt_timeout: Duration,
     /// Overall budget for the call, backoff included.
     pub deadline: Duration,
+    /// Seed of the deterministic jitter stream. Two clients with
+    /// different seeds de-synchronize even when they fail in lockstep.
+    pub jitter_seed: u64,
+    /// How much of each backoff may be jittered away, in per-mille
+    /// (0 = pure exponential backoff, 500 = each wait is uniformly
+    /// shortened by up to half). Kept as an integer so the policy
+    /// stays `Eq`-comparable.
+    pub jitter_per_mille: u32,
 }
 
 impl Default for RetryPolicy {
@@ -391,6 +433,8 @@ impl Default for RetryPolicy {
             backoff_factor: 2,
             attempt_timeout: Duration::from_millis(250),
             deadline: Duration::from_secs(2),
+            jitter_seed: 0,
+            jitter_per_mille: 0,
         }
     }
 }
@@ -405,7 +449,63 @@ impl RetryPolicy {
             backoff_factor: 1,
             attempt_timeout: timeout,
             deadline: timeout,
+            jitter_seed: 0,
+            jitter_per_mille: 0,
         }
+    }
+
+    /// Adds seeded backoff jitter: each retry's wait is shortened by a
+    /// deterministic fraction of up to `per_mille`/1000, drawn from a
+    /// pure function of `(seed, attempt)`. Synchronized clients with
+    /// distinct seeds therefore retry at distinct times instead of
+    /// stampeding an overloaded server in lockstep — while any one
+    /// client's schedule stays byte-reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_mille` exceeds 1000.
+    #[must_use]
+    pub fn with_jitter(mut self, seed: u64, per_mille: u32) -> Self {
+        assert!(per_mille <= 1000, "jitter fraction {per_mille}‰ > 1000‰");
+        self.jitter_seed = seed;
+        self.jitter_per_mille = per_mille;
+        self
+    }
+
+    /// The wait before attempt `attempt` (1-based: the wait taken
+    /// after the `attempt`-th try failed) — a pure function of the
+    /// policy and the attempt number, so the whole schedule can be
+    /// precomputed and pinned by tests.
+    ///
+    /// Base is `initial_backoff * backoff_factor^(attempt-1)`; jitter
+    /// subtracts `base * u * jitter_per_mille / 1000` where
+    /// `u ∈ [0, 1)` is drawn from splitmix64 over
+    /// `(jitter_seed, attempt)`.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let factor = self.backoff_factor.max(1);
+        let mut base = self.initial_backoff;
+        for _ in 1..attempt {
+            base = base.saturating_mul(factor);
+        }
+        if self.jitter_per_mille == 0 {
+            return base;
+        }
+        // splitmix64 over (seed, attempt): cheap, seeded, stateless.
+        let mut z = self
+            .jitter_seed
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        // The per-mille actually subtracted: uniform in
+        // [0, jitter_per_mille).
+        let cut_pm = (z % 1000) * u64::from(self.jitter_per_mille) / 1000;
+        let nanos = base.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let cut = (u128::from(nanos) * u128::from(cut_pm) / 1000) as u64;
+        Duration::from_nanos(nanos - cut)
     }
 }
 
@@ -475,13 +575,11 @@ impl<T: Transport> RpcClient<T> {
             command: command.clone(),
         };
         let overall_deadline = Instant::now() + policy.deadline;
-        let mut backoff = policy.initial_backoff;
         let mut last_err = RadError::RpcTimeout("no response before deadline".into());
         for attempt in 0..policy.max_attempts.max(1) {
             if attempt > 0 {
                 self.stats.note_retry();
-                std::thread::sleep(backoff);
-                backoff = backoff.saturating_mul(policy.backoff_factor.max(1));
+                std::thread::sleep(policy.backoff_for(attempt));
             }
             let remaining = overall_deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
@@ -578,14 +676,95 @@ mod tests {
     fn oversized_frame_is_rejected_and_poisons() {
         let mut codec = FrameCodec::new();
         codec.push(&(MAX_FRAME_BYTES as u32 + 1).to_be_bytes());
-        assert!(codec.next_frame().is_err());
-        // Poisoned: more bytes don't resurrect the stream...
+        let err = codec.next_frame().unwrap_err();
+        assert!(
+            matches!(err, RadError::FrameTooLarge { len, limit }
+                if len == MAX_FRAME_BYTES + 1 && limit == MAX_FRAME_BYTES),
+            "{err:?}"
+        );
+        // Poisoned: more bytes don't resurrect the stream, and the
+        // error repeats verbatim...
         codec.push(&FrameCodec::encode(b"ok"));
-        assert!(codec.next_frame().is_err());
+        assert_eq!(codec.next_frame().unwrap_err(), err);
         // ...but an explicit reset does.
         codec.reset();
         codec.push(&FrameCodec::encode(b"ok"));
         assert_eq!(codec.next_frame().unwrap().unwrap().as_ref(), b"ok");
+    }
+
+    #[test]
+    fn per_endpoint_frame_cap_is_tighter_than_the_default() {
+        // A server capping client frames at 64 bytes rejects a frame
+        // the trusted in-process default would accept.
+        let frame = FrameCodec::encode(&[0u8; 100]);
+        let mut tight = FrameCodec::with_max_frame(64);
+        assert_eq!(tight.max_frame(), 64);
+        tight.push(&frame);
+        let err = tight.next_frame().unwrap_err();
+        assert_eq!(
+            err,
+            RadError::FrameTooLarge {
+                len: 100,
+                limit: 64
+            }
+        );
+        let mut default = FrameCodec::new();
+        default.push(&frame);
+        assert_eq!(default.next_frame().unwrap().unwrap().len(), 100);
+    }
+
+    #[test]
+    fn backoff_jitter_is_a_pure_function_of_seed_and_attempt() {
+        let policy = RetryPolicy::default().with_jitter(7, 500);
+        // Pure: the same (seed, attempt) always yields the same wait.
+        for attempt in 1..6 {
+            assert_eq!(policy.backoff_for(attempt), policy.backoff_for(attempt));
+        }
+        // Bounded: never longer than the un-jittered wait, never
+        // shorter than (1 - per_mille/1000) of it.
+        let plain = RetryPolicy::default();
+        for attempt in 1..6 {
+            let base = plain.backoff_for(attempt);
+            let jittered = policy.backoff_for(attempt);
+            assert!(jittered <= base, "attempt {attempt}");
+            assert!(jittered >= base / 2, "attempt {attempt}");
+        }
+        // Seeds de-synchronize: two clients failing in lockstep wait
+        // different amounts somewhere in the schedule.
+        let other = RetryPolicy::default().with_jitter(8, 500);
+        let schedule = |p: &RetryPolicy| (1..8).map(|a| p.backoff_for(a)).collect::<Vec<_>>();
+        assert_ne!(schedule(&policy), schedule(&other));
+    }
+
+    #[test]
+    fn backoff_without_jitter_is_exact_exponential() {
+        let policy = RetryPolicy {
+            initial_backoff: Duration::from_millis(3),
+            backoff_factor: 2,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(policy.backoff_for(0), Duration::ZERO);
+        assert_eq!(policy.backoff_for(1), Duration::from_millis(3));
+        assert_eq!(policy.backoff_for(2), Duration::from_millis(6));
+        assert_eq!(policy.backoff_for(3), Duration::from_millis(12));
+    }
+
+    #[test]
+    fn jitter_schedule_is_pinned() {
+        // Regression pin: the exact jittered waits for seed 42 at 250‰
+        // over a 10 ms base. If the splitmix64 mix ever changes, this
+        // fails loudly instead of silently reshuffling every client's
+        // retry schedule.
+        let policy = RetryPolicy {
+            initial_backoff: Duration::from_millis(10),
+            backoff_factor: 2,
+            ..RetryPolicy::default()
+        }
+        .with_jitter(42, 250);
+        let nanos: Vec<u64> = (1..4)
+            .map(|a| policy.backoff_for(a).as_nanos() as u64)
+            .collect();
+        assert_eq!(nanos, vec![8_970_000, 18_560_000, 31_440_000]);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub struct Tracer {
     scratch: TraceBatch,
     runs: Vec<RunMetadata>,
     gaps: Vec<TraceGap>,
-    sink: Option<Box<dyn TraceSink>>,
+    sink: Option<Box<dyn TraceSink + Send>>,
     sink_errors: u64,
     total_recorded: u64,
     device_counts: BTreeMap<DeviceKind, u64>,
@@ -82,7 +82,7 @@ impl Tracer {
     /// batch), gap, and completed run flows into it. A second call
     /// tees the stacks — both sinks receive every payload.
     #[must_use]
-    pub fn with_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+    pub fn with_sink(mut self, sink: Box<dyn TraceSink + Send>) -> Self {
         self.sink = Some(match self.sink.take() {
             None => sink,
             Some(existing) => Box::new(Tee::new(existing, sink)),

@@ -22,6 +22,7 @@ fn test_policy() -> RetryPolicy {
         backoff_factor: 2,
         attempt_timeout: Duration::from_millis(100),
         deadline: Duration::from_secs(3),
+        ..RetryPolicy::default()
     }
 }
 

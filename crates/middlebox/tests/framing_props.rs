@@ -61,7 +61,8 @@ proptest! {
                 match codec.next_frame() {
                     Ok(Some(frame)) => prop_assert!(frame.len() <= rad_middlebox::rpc::MAX_FRAME_BYTES),
                     Ok(None) => break,
-                    Err(rad_core::RadError::Rpc(_)) => break,
+                    Err(rad_core::RadError::Rpc(_))
+                    | Err(rad_core::RadError::FrameTooLarge { .. }) => break,
                     Err(other) => return Err(TestCaseError::fail(format!("untyped error: {other}"))),
                 }
             }
@@ -127,7 +128,8 @@ proptest! {
         for _ in 0..4 {
             match codec.next_frame() {
                 Ok(Some(_)) | Ok(None) => break,
-                Err(rad_core::RadError::Rpc(_)) => { codec.reset(); }
+                Err(rad_core::RadError::Rpc(_))
+                | Err(rad_core::RadError::FrameTooLarge { .. }) => { codec.reset(); }
                 Err(other) => return Err(TestCaseError::fail(format!("untyped error: {other}"))),
             }
         }

@@ -12,6 +12,10 @@
 //! - [`campaign`] — the synthesizer that reproduces the 25 supervised
 //!   runs plus the unsupervised long tail with Fig. 5(a)'s per-device
 //!   trace mix.
+//! - [`remote`] — the campaign-over-socket driver: replays a seeded
+//!   campaign script against a live lab service over any transport,
+//!   with jittered retries, kill-and-reconnect resume, and degraded
+//!   mode ([`rad_core::TraceGap`] per command) when the link dies.
 //!
 //! # Examples
 //!
@@ -29,6 +33,7 @@ pub mod attacks;
 pub mod campaign;
 pub mod detect;
 pub mod procedures;
+pub mod remote;
 pub mod session;
 
 pub use attacks::{AttackKind, AttackTrace};
@@ -38,4 +43,7 @@ pub use detect::{
     DetectionOutcome, PowerAlertConfig,
 };
 pub use procedures::{P1Variant, P2Variant, P3Variant, SOLIDS};
+pub use remote::{
+    CampaignScript, DisconnectPolicy, DriveReport, RemoteCampaign, RemoteSession, ScriptStep,
+};
 pub use session::{RunEnd, Session};

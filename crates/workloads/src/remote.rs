@@ -1,0 +1,762 @@
+//! Campaign-over-socket driver: replays a seeded campaign's command
+//! schedule against a live [`rad_middlebox::server`] lab service.
+//!
+//! The in-process campaign synthesizer owns its middlebox directly;
+//! this module is the client half of the deployment story — it speaks
+//! the framed wire protocol over any [`Transport`] (in-process duplex,
+//! TCP, Unix-domain socket), retries with the jittered [`RetryPolicy`]
+//! so lockstep clients don't stampede an overloaded server, and
+//! survives the two failures a real lab sees:
+//!
+//! - **Kill + reconnect** — every `Welcome` carries the tenant's
+//!   executed-issue cursor; [`RemoteCampaign::resume_from`] skips the
+//!   already-executed prefix (re-opening the interrupted run — the
+//!   server's idempotent `BeginRun` makes that safe) and continues
+//!   where the dead session stopped. No command is re-executed, no
+//!   command is lost.
+//! - **Degraded mode** — when the link dies for good and the policy is
+//!   [`DisconnectPolicy::Degrade`], remaining commands execute on the
+//!   local shadow rig (the lab computer falling back to DIRECT) and
+//!   each is recorded as a client-side [`TraceGap`], exactly like the
+//!   in-process middlebox's degradation path.
+
+use std::time::{Duration, Instant};
+
+use rad_core::{
+    Command, DeviceId, Label, ProcedureKind, RadError, RunId, TraceGap, TraceMode, Value,
+};
+use rad_devices::LabRig;
+use rad_middlebox::rpc::{FrameCodec, RetryPolicy, Transport};
+use rad_middlebox::server::{ReplyFrame, WireFrame, WireReply, WireRequest};
+
+use crate::campaign::CampaignBuilder;
+
+/// Why a client-side gap was recorded (mirrors the middlebox's fixed
+/// degradation reason, but names the remote service).
+const GAP_REASON: &str = "lab service unreachable";
+
+/// Simulated time the client clock advances per degraded command —
+/// keeps client-side gap timestamps deterministic and ordered.
+const DEGRADED_STEP_MICROS: u64 = 10_000;
+
+/// What to do when the server link dies mid-campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisconnectPolicy {
+    /// Fall back to direct execution on the local shadow rig and record
+    /// a [`TraceGap`] per remaining command — the experiment survives,
+    /// the interception point is lost.
+    Degrade,
+    /// Stop driving and surface the error — the caller reconnects and
+    /// resumes.
+    Fail,
+}
+
+/// One step of a replayable campaign schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScriptStep {
+    /// Open a labelled procedure run.
+    Begin {
+        /// Run identifier.
+        run: u32,
+        /// Procedure being run.
+        procedure: ProcedureKind,
+        /// Ground-truth label.
+        label: Label,
+    },
+    /// Issue one device command.
+    Command(Command),
+    /// Close the open run.
+    End,
+}
+
+/// A campaign's command schedule, flattened into replayable steps.
+///
+/// Extracted from a seeded in-process campaign: the same seed always
+/// yields the same script, so a remote replay is comparable
+/// command-for-command with the in-process dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignScript {
+    steps: Vec<ScriptStep>,
+}
+
+impl CampaignScript {
+    /// The supervised portion of the seeded campaign as a script:
+    /// every run boundary and every traced command, in time order.
+    pub fn supervised(seed: u64) -> Self {
+        let dataset = CampaignBuilder::new(seed).supervised_only().build();
+        let mut traces = dataset.command().traces();
+        traces.sort_by_key(|t| t.timestamp());
+        let runs = dataset.command().runs().to_vec();
+        let mut steps = Vec::with_capacity(traces.len() + runs.len() * 2);
+        let mut open: Option<RunId> = None;
+        for trace in &traces {
+            if trace.run_id() != open {
+                if open.is_some() {
+                    steps.push(ScriptStep::End);
+                }
+                open = trace.run_id();
+                if let Some(run) = trace.run_id() {
+                    steps.push(ScriptStep::Begin {
+                        run: run.0,
+                        procedure: trace.procedure(),
+                        label: trace.label(),
+                    });
+                }
+            }
+            steps.push(ScriptStep::Command(trace.command().clone()));
+        }
+        if open.is_some() {
+            steps.push(ScriptStep::End);
+        }
+        CampaignScript { steps }
+    }
+
+    /// A script from explicit steps (tests, hand-built workloads).
+    pub fn from_steps(steps: Vec<ScriptStep>) -> Self {
+        CampaignScript { steps }
+    }
+
+    /// Truncates the script to its first `max_commands` command steps
+    /// (run boundaries within the kept prefix survive; an interrupted
+    /// run stays open, like a kill mid-run would leave it).
+    #[must_use]
+    pub fn truncated(mut self, max_commands: usize) -> Self {
+        let mut commands = 0usize;
+        let mut keep = 0usize;
+        for (i, step) in self.steps.iter().enumerate() {
+            if matches!(step, ScriptStep::Command(_)) {
+                commands += 1;
+            }
+            keep = i + 1;
+            if commands == max_commands {
+                break;
+            }
+        }
+        self.steps.truncate(keep);
+        CampaignScript { steps: self.steps }
+    }
+
+    /// Total command steps in the script.
+    pub fn command_count(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, ScriptStep::Command(_)))
+            .count()
+    }
+
+    /// The steps, in replay order.
+    pub fn steps(&self) -> &[ScriptStep] {
+        &self.steps
+    }
+}
+
+/// One framed protocol session over any [`Transport`].
+///
+/// Handles correlation ids (doubling as idempotency tokens), the
+/// jittered retry schedule, and the typed reply mapping: `Rejected`
+/// surfaces as [`RadError::Overloaded`], `Expired` as
+/// [`RadError::RpcTimeout`], `Failed` as [`RadError::Rpc`].
+#[derive(Debug)]
+pub struct RemoteSession<T: Transport> {
+    transport: T,
+    codec: FrameCodec,
+    next_id: u64,
+    policy: RetryPolicy,
+    cursor: u64,
+}
+
+impl<T: Transport> RemoteSession<T> {
+    /// Opens a session for `tenant` over `transport`: sends `Hello`
+    /// (retrying through overload rejects per `policy`) and records
+    /// the server's resume cursor.
+    ///
+    /// # Errors
+    ///
+    /// [`RadError::Overloaded`] when admission keeps failing past the
+    /// policy's attempts; transport errors pass through.
+    pub fn connect(transport: T, tenant: &str, policy: RetryPolicy) -> Result<Self, RadError> {
+        let mut session = RemoteSession {
+            transport,
+            codec: FrameCodec::new(),
+            next_id: 0,
+            policy,
+            cursor: 0,
+        };
+        match session.request(WireRequest::Hello {
+            tenant: tenant.to_string(),
+        })? {
+            WireReply::Welcome { issues_done, .. } => {
+                session.cursor = issues_done;
+                Ok(session)
+            }
+            other => Err(RadError::Rpc(format!("expected Welcome, got {other:?}"))),
+        }
+    }
+
+    /// The tenant's executed-issue count at connect time — how many
+    /// commands a resumed campaign must skip.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Executes one command remotely. Device faults come back as the
+    /// logged exception string, like the in-process trace records them.
+    ///
+    /// # Errors
+    ///
+    /// Transport and protocol failures; the command itself failing is
+    /// the `Err` arm of the *inner* result.
+    pub fn issue(&mut self, command: &Command) -> Result<Result<Value, String>, RadError> {
+        let deadline_ms = u64::try_from(self.policy.attempt_timeout.as_millis()).unwrap_or(0);
+        match self.request(WireRequest::Issue {
+            deadline_ms,
+            command: command.clone(),
+        })? {
+            WireReply::Done {
+                value: Some(value),
+                fault: None,
+            } => Ok(Ok(value)),
+            WireReply::Done {
+                fault: Some(fault), ..
+            } => Ok(Err(fault)),
+            other => Err(RadError::Rpc(format!("expected Done, got {other:?}"))),
+        }
+    }
+
+    /// Opens (or idempotently re-opens) a labelled run.
+    ///
+    /// # Errors
+    ///
+    /// Transport and protocol failures.
+    pub fn begin_run(
+        &mut self,
+        run: u32,
+        procedure: ProcedureKind,
+        label: Label,
+    ) -> Result<(), RadError> {
+        self.expect_accepted(WireRequest::BeginRun {
+            run,
+            procedure,
+            label,
+        })
+    }
+
+    /// Closes the open run (no-op when none is open).
+    ///
+    /// # Errors
+    ///
+    /// Transport and protocol failures.
+    pub fn end_run(&mut self) -> Result<(), RadError> {
+        self.expect_accepted(WireRequest::EndRun)
+    }
+
+    /// Attaches an operator note to the open run.
+    ///
+    /// # Errors
+    ///
+    /// Transport and protocol failures.
+    pub fn annotate(&mut self, note: &str) -> Result<(), RadError> {
+        self.expect_accepted(WireRequest::Annotate { note: note.into() })
+    }
+
+    /// Advances the tenant's simulated clock.
+    ///
+    /// # Errors
+    ///
+    /// Transport and protocol failures.
+    pub fn advance(&mut self, micros: u64) -> Result<(), RadError> {
+        self.expect_accepted(WireRequest::Advance { micros })
+    }
+
+    /// Flushes the tenant's sink stack through to durable storage.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or the server reporting the flush failed.
+    pub fn sync(&mut self) -> Result<(), RadError> {
+        self.expect_accepted(WireRequest::Sync)
+    }
+
+    /// Ends the session cleanly; returns the tenant's lifetime
+    /// executed-issue count.
+    ///
+    /// # Errors
+    ///
+    /// Transport and protocol failures.
+    pub fn bye(mut self) -> Result<u64, RadError> {
+        match self.request(WireRequest::Bye)? {
+            WireReply::Goodbye { issues_done } => Ok(issues_done),
+            other => Err(RadError::Rpc(format!("expected Goodbye, got {other:?}"))),
+        }
+    }
+
+    fn expect_accepted(&mut self, body: WireRequest) -> Result<(), RadError> {
+        match self.request(body)? {
+            WireReply::Accepted => Ok(()),
+            WireReply::Failed { message } => Err(RadError::Rpc(message)),
+            other => Err(RadError::Rpc(format!("expected Accepted, got {other:?}"))),
+        }
+    }
+
+    /// One request under the retry policy: the id is the idempotency
+    /// token, so a retried request that actually executed the first
+    /// time replays the server's cached reply.
+    fn request(&mut self, body: WireRequest) -> Result<WireReply, RadError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let payload = serde_json::to_vec(&WireFrame { id, body })
+            .map_err(|e| RadError::Rpc(format!("encode failure: {e}")))?;
+        let framed = FrameCodec::encode(&payload);
+        let overall_deadline = Instant::now() + self.policy.deadline;
+        let mut last_err = RadError::RpcTimeout("no response before deadline".into());
+        for attempt in 0..self.policy.max_attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(self.policy.backoff_for(attempt));
+            }
+            let remaining = overall_deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            self.transport.send(framed.clone())?;
+            let wait = remaining.min(self.policy.attempt_timeout);
+            match self.await_reply(id, wait) {
+                Ok(reply) => return Ok(reply),
+                Err(e) if e.is_retryable() => last_err = e,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err)
+    }
+
+    fn await_reply(&mut self, id: u64, timeout: Duration) -> Result<WireReply, RadError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.codec.next_frame() {
+                Ok(Some(frame)) => {
+                    let Ok(reply) = serde_json::from_slice::<ReplyFrame>(&frame) else {
+                        // Corrupt reply: treated as lost; the retry
+                        // machinery re-requests under the same token.
+                        self.codec.reset();
+                        continue;
+                    };
+                    if reply.id != id && reply.id != 0 {
+                        // Stale reply from a timed-out earlier attempt.
+                        continue;
+                    }
+                    return match reply.body {
+                        WireReply::Rejected { reason } => Err(RadError::Overloaded(reason)),
+                        WireReply::Expired => {
+                            Err(RadError::RpcTimeout("server-side budget lapsed".into()))
+                        }
+                        WireReply::Failed { message } => Err(RadError::Rpc(message)),
+                        body => Ok(body),
+                    };
+                }
+                Ok(None) => {}
+                Err(_) => self.codec.reset(),
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(RadError::RpcTimeout("receive timed out".into()));
+            }
+            match self.transport.recv(remaining) {
+                Ok(chunk) => self.codec.push(&chunk),
+                Err(RadError::RpcTimeout(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// What one [`RemoteCampaign`] drive observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriveReport {
+    /// Commands executed remotely *by this session* (skipped prefix
+    /// excluded).
+    pub executed: u64,
+    /// The resume cursor the server reported at connect: commands
+    /// already executed by earlier sessions.
+    pub resumed_at: u64,
+    /// Client-side gaps recorded while degraded (empty unless the link
+    /// died under [`DisconnectPolicy::Degrade`]).
+    pub gaps: Vec<TraceGap>,
+    /// Whether the script ran to completion (remotely or degraded).
+    pub completed: bool,
+    /// The terminal transport error, when the drive stopped early
+    /// under [`DisconnectPolicy::Fail`].
+    pub error: Option<RadError>,
+}
+
+/// Replays a [`CampaignScript`] against a live lab service.
+#[derive(Debug, Clone)]
+pub struct RemoteCampaign {
+    script: CampaignScript,
+    tenant: String,
+    policy: RetryPolicy,
+    disconnect: DisconnectPolicy,
+}
+
+impl RemoteCampaign {
+    /// A campaign replaying `script` as `tenant`.
+    pub fn new(script: CampaignScript, tenant: &str) -> Self {
+        RemoteCampaign {
+            script,
+            tenant: tenant.to_string(),
+            policy: RetryPolicy::default(),
+            disconnect: DisconnectPolicy::Fail,
+        }
+    }
+
+    /// Replaces the per-request retry policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the link-death behavior.
+    #[must_use]
+    pub fn on_disconnect(mut self, policy: DisconnectPolicy) -> Self {
+        self.disconnect = policy;
+        self
+    }
+
+    /// Drives the script from the beginning of the *tenant's* history:
+    /// identical to [`RemoteCampaign::resume_from`] — the server's
+    /// cursor decides how much prefix to skip, which is zero for a
+    /// fresh tenant.
+    ///
+    /// # Errors
+    ///
+    /// Connect failures (admission kept rejecting, transport died
+    /// before `Welcome`); after connect, errors are folded into the
+    /// report per the disconnect policy.
+    pub fn drive<T: Transport>(&self, transport: T) -> Result<DriveReport, RadError> {
+        self.resume_from(transport)
+    }
+
+    /// Connects, reads the tenant's executed-command cursor from the
+    /// `Welcome`, skips the already-executed script prefix (re-opening
+    /// an interrupted run via the server's idempotent `BeginRun`), and
+    /// drives the remainder.
+    ///
+    /// # Errors
+    ///
+    /// Connect failures. Post-connect link death is folded into the
+    /// report: [`DisconnectPolicy::Degrade`] finishes the script on
+    /// the local shadow rig with client-side [`TraceGap`]s;
+    /// [`DisconnectPolicy::Fail`] stops with `report.error` set so the
+    /// caller can reconnect and resume.
+    pub fn resume_from<T: Transport>(&self, transport: T) -> Result<DriveReport, RadError> {
+        let mut session = RemoteSession::connect(transport, &self.tenant, self.policy.clone())?;
+        let cursor = session.cursor();
+        let mut report = DriveReport {
+            executed: 0,
+            resumed_at: cursor,
+            gaps: Vec::new(),
+            completed: false,
+            error: None,
+        };
+        // The local shadow rig mirrors every command so degraded mode
+        // picks up with consistent device state.
+        let mut shadow = LabRig::new(0);
+        let mut issued = 0u64;
+        let mut open_run: Option<(u32, ProcedureKind, Label)> = None;
+        let mut resumed_open_run = cursor == 0;
+        let mut degraded = false;
+        for step in self.script.steps() {
+            match step {
+                ScriptStep::Begin {
+                    run,
+                    procedure,
+                    label,
+                } => {
+                    open_run = Some((*run, *procedure, *label));
+                    if issued < cursor || degraded {
+                        continue;
+                    }
+                    resumed_open_run = true;
+                    if let Err(e) = session.begin_run(*run, *procedure, *label) {
+                        if self.fold_error(e, &mut report, &mut degraded) {
+                            continue;
+                        }
+                        return Ok(report);
+                    }
+                }
+                ScriptStep::End => {
+                    open_run = None;
+                    if issued < cursor || degraded {
+                        continue;
+                    }
+                    if let Err(e) = session.end_run() {
+                        if self.fold_error(e, &mut report, &mut degraded) {
+                            continue;
+                        }
+                        return Ok(report);
+                    }
+                }
+                ScriptStep::Command(command) => {
+                    // Every command replays on the shadow rig, even the
+                    // skipped prefix — device state must match where
+                    // the dead session left off.
+                    let _ = shadow.execute(command);
+                    if issued < cursor {
+                        issued += 1;
+                        continue;
+                    }
+                    if degraded {
+                        issued += 1;
+                        report
+                            .gaps
+                            .push(self.degraded_gap(command, issued, open_run));
+                        continue;
+                    }
+                    if !resumed_open_run {
+                        // Resuming mid-run: re-open it first. The
+                        // server's BeginRun is idempotent, so this is a
+                        // no-op when the run is still open from the
+                        // killed session.
+                        resumed_open_run = true;
+                        if let Some((run, procedure, label)) = open_run {
+                            if let Err(e) = session.begin_run(run, procedure, label) {
+                                if !self.fold_error(e, &mut report, &mut degraded) {
+                                    return Ok(report);
+                                }
+                            }
+                        }
+                    }
+                    if degraded {
+                        issued += 1;
+                        report
+                            .gaps
+                            .push(self.degraded_gap(command, issued, open_run));
+                        continue;
+                    }
+                    match session.issue(command) {
+                        Ok(_device_result) => {
+                            issued += 1;
+                            report.executed += 1;
+                        }
+                        Err(e) => {
+                            if self.fold_error(e, &mut report, &mut degraded) {
+                                issued += 1;
+                                report
+                                    .gaps
+                                    .push(self.degraded_gap(command, issued, open_run));
+                            } else {
+                                return Ok(report);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !degraded {
+            let _ = session.bye();
+        }
+        report.completed = true;
+        Ok(report)
+    }
+
+    /// Folds a drive error into the report. Returns `true` when the
+    /// campaign should continue in degraded mode.
+    fn fold_error(&self, e: RadError, report: &mut DriveReport, degraded: &mut bool) -> bool {
+        match self.disconnect {
+            DisconnectPolicy::Degrade => {
+                *degraded = true;
+                true
+            }
+            DisconnectPolicy::Fail => {
+                report.error = Some(e);
+                false
+            }
+        }
+    }
+
+    fn degraded_gap(
+        &self,
+        command: &Command,
+        issued: u64,
+        open_run: Option<(u32, ProcedureKind, Label)>,
+    ) -> TraceGap {
+        let at = rad_core::SimInstant::from_micros(issued * DEGRADED_STEP_MICROS);
+        let mut gap = TraceGap::new(
+            at,
+            DeviceId::primary(command.command_type().device()),
+            command.command_type(),
+            TraceMode::Remote,
+            TraceGap::intern_reason(GAP_REASON),
+        );
+        if let Some((run, _, _)) = open_run {
+            gap = gap.with_run(RunId(run));
+        }
+        gap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rad_core::CommandType;
+    use rad_middlebox::server::{LabService, ServerConfig};
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            initial_backoff: Duration::from_millis(1),
+            backoff_factor: 2,
+            attempt_timeout: Duration::from_millis(250),
+            deadline: Duration::from_secs(5),
+            ..RetryPolicy::default()
+        }
+        .with_jitter(7, 500)
+    }
+
+    fn tiny_script() -> CampaignScript {
+        CampaignScript::from_steps(vec![
+            ScriptStep::Begin {
+                run: 1,
+                procedure: ProcedureKind::JoystickMovements,
+                label: Label::Benign,
+            },
+            ScriptStep::Command(Command::nullary(CommandType::InitC9)),
+            ScriptStep::Command(Command::nullary(CommandType::Home)),
+            ScriptStep::Command(Command::nullary(CommandType::Mvng)),
+            ScriptStep::End,
+        ])
+    }
+
+    #[test]
+    fn script_extraction_is_deterministic_and_run_bracketed() {
+        let a = CampaignScript::supervised(11);
+        let b = CampaignScript::supervised(11);
+        assert_eq!(a, b, "same seed, same script");
+        assert!(a.command_count() > 100, "supervised campaign is nontrivial");
+        // Every Begin has a matching End and commands only appear
+        // between them or outside any run.
+        let mut depth = 0i32;
+        for step in a.steps() {
+            match step {
+                ScriptStep::Begin { .. } => {
+                    depth += 1;
+                    assert_eq!(depth, 1, "runs never nest");
+                }
+                ScriptStep::End => {
+                    depth -= 1;
+                    assert_eq!(depth, 0);
+                }
+                ScriptStep::Command(_) => {}
+            }
+        }
+        assert_eq!(depth, 0, "every run closes");
+    }
+
+    #[test]
+    fn truncation_counts_commands_not_steps() {
+        let script = tiny_script().truncated(2);
+        assert_eq!(script.command_count(), 2);
+        assert!(matches!(script.steps()[0], ScriptStep::Begin { .. }));
+        assert_eq!(script.steps().len(), 3, "Begin + 2 commands");
+    }
+
+    #[test]
+    fn drive_and_resume_split_the_script_without_overlap() {
+        let server = LabService::new(ServerConfig::default())
+            .serve_tcp("127.0.0.1:0")
+            .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let script = tiny_script();
+        // First session runs a 2-command prefix (simulating a kill
+        // right after).
+        let prefix =
+            RemoteCampaign::new(script.clone().truncated(2), "t").with_policy(fast_policy());
+        let transport = rad_middlebox::SocketTransport::connect_tcp(&addr).unwrap();
+        let first = prefix.drive(transport).unwrap();
+        assert_eq!(first.executed, 2);
+        assert_eq!(first.resumed_at, 0);
+        assert!(first.completed);
+        // Second session resumes the full script: skips 2, runs 1.
+        let full = RemoteCampaign::new(script, "t").with_policy(fast_policy());
+        let transport = rad_middlebox::SocketTransport::connect_tcp(&addr).unwrap();
+        let second = full.resume_from(transport).unwrap();
+        assert_eq!(second.resumed_at, 2);
+        assert_eq!(second.executed, 1, "only the unexecuted suffix runs");
+        assert!(second.completed);
+        let report = server.drain().unwrap();
+        assert_eq!(report.tenants[0].issues, 3, "no overlap, no loss");
+    }
+
+    #[test]
+    fn degrade_policy_records_client_side_gaps_with_run_attribution() {
+        use std::sync::Arc;
+
+        use rad_middlebox::{FaultPlan, FaultProfile, FaultStats, Faulty, Lane, SocketTransport};
+
+        let server = LabService::new(ServerConfig::default())
+            .serve_tcp("127.0.0.1:0")
+            .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        // The client-side link dies deterministically after 3 sent
+        // chunks: Hello, BeginRun, and the first Issue get through;
+        // the remaining two commands degrade into client-side gaps.
+        let plan = Arc::new(FaultPlan::new(1, FaultProfile::disconnect_after(3)));
+        let transport = Faulty::new(
+            SocketTransport::connect_tcp(&addr).unwrap(),
+            plan,
+            Lane::Request,
+            FaultStats::new(),
+        );
+        let report = RemoteCampaign::new(tiny_script(), "t")
+            .with_policy(fast_policy())
+            .on_disconnect(DisconnectPolicy::Degrade)
+            .drive(transport)
+            .unwrap();
+        assert!(report.completed, "degraded mode finishes the script");
+        assert_eq!(report.executed, 1, "one command made it out remotely");
+        assert_eq!(report.gaps.len(), 2, "the rest are gap-marked");
+        assert!(report.gaps.iter().all(|g| g.reason == GAP_REASON));
+        assert!(report.gaps.iter().all(|g| g.run_id == Some(RunId(1))));
+        assert!(
+            report.gaps[0].timestamp < report.gaps[1].timestamp,
+            "client-side gap clock is monotone"
+        );
+        // The server never saw the degraded commands: its tenant count
+        // stops at what was executed remotely.
+        let drained = server.drain().unwrap();
+        assert_eq!(drained.tenants[0].issues, 1);
+    }
+
+    #[test]
+    fn fail_policy_surfaces_the_error_and_resume_completes() {
+        use std::sync::Arc;
+
+        use rad_middlebox::{FaultPlan, FaultProfile, FaultStats, Faulty, Lane, SocketTransport};
+
+        let server = LabService::new(ServerConfig::default())
+            .serve_tcp("127.0.0.1:0")
+            .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let campaign = RemoteCampaign::new(tiny_script(), "t").with_policy(fast_policy());
+        // Kill the link after 3 chunks (mid-campaign, inside run 1).
+        let plan = Arc::new(FaultPlan::new(1, FaultProfile::disconnect_after(3)));
+        let dying = Faulty::new(
+            SocketTransport::connect_tcp(&addr).unwrap(),
+            plan,
+            Lane::Request,
+            FaultStats::new(),
+        );
+        let first = campaign.drive(dying).unwrap();
+        assert!(!first.completed);
+        assert!(first.error.is_some(), "Fail policy surfaces the error");
+        assert_eq!(first.executed, 1);
+        // Reconnect over a clean link: resume_from skips the executed
+        // prefix (server cursor = 1) and finishes the script.
+        let clean = SocketTransport::connect_tcp(&addr).unwrap();
+        let second = campaign.resume_from(clean).unwrap();
+        assert!(second.completed);
+        assert_eq!(second.resumed_at, 1);
+        assert_eq!(second.executed, 2);
+        let drained = server.drain().unwrap();
+        assert_eq!(drained.tenants[0].issues, 3, "no loss, no double execution");
+    }
+}

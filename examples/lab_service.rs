@@ -1,0 +1,90 @@
+//! The lab as a service (DESIGN.md §13): host a multi-tenant
+//! middlebox over a real TCP socket, drive a seeded campaign against
+//! it, kill the link mid-run, and resume with zero lost and zero
+//! invented work — all in one process.
+//!
+//! ```sh
+//! cargo run --example lab_service
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rad::prelude::*;
+use rad_middlebox::Lane;
+
+fn main() -> Result<(), RadError> {
+    // A lab service on an ephemeral TCP port: two tenants max, each
+    // with its own seeded rig and (here, in-memory) sink stack.
+    let service = LabService::new(ServerConfig {
+        max_sessions: 2,
+        seed: 42,
+        ..ServerConfig::default()
+    });
+    let handle = service.serve_tcp("127.0.0.1:0")?;
+    let addr = handle.local_addr().expect("tcp listener has an address");
+    println!("lab service on {addr}");
+
+    // A 30-command slice of the seed-42 supervised campaign, replayed
+    // remotely with jittered retries.
+    let script = CampaignScript::supervised(42).truncated(30);
+    let total = script.command_count() as u64;
+    let policy = RetryPolicy {
+        attempt_timeout: Duration::from_secs(5),
+        deadline: Duration::from_secs(20),
+        ..RetryPolicy::default()
+    }
+    .with_jitter(42, 500);
+    let campaign = RemoteCampaign::new(script, "alice").with_policy(policy);
+
+    // First leg: the client's link dies after a handful of frames —
+    // a laptop yanked off the lab network mid-campaign.
+    let dying_link = Faulty::new(
+        SocketTransport::connect_tcp(&addr.to_string())?,
+        Arc::new(FaultPlan::new(1, FaultProfile::disconnect_after(6))),
+        Lane::Request,
+        FaultStats::new(),
+    );
+    let first = campaign.drive(dying_link)?;
+    println!(
+        "first leg: {} of {total} commands, then: {}",
+        first.executed,
+        first.error.as_ref().expect("the link death surfaces typed"),
+    );
+
+    // Second leg: reconnect and resume. The server's Welcome carries
+    // the tenant's executed-issue cursor, so the replay skips exactly
+    // the prefix that already ran (retrying while the dead session's
+    // socket is still being torn down server-side).
+    let resumed = loop {
+        match campaign.resume_from(SocketTransport::connect_tcp(&addr.to_string())?) {
+            Ok(report) => break report,
+            Err(RadError::Overloaded(_)) => std::thread::sleep(Duration::from_millis(20)),
+            Err(e) => return Err(e),
+        }
+    };
+    println!(
+        "resume leg: skipped {}, executed {}, complete: {}",
+        resumed.resumed_at, resumed.executed, resumed.completed,
+    );
+    assert_eq!(resumed.resumed_at + resumed.executed, total);
+
+    // Graceful drain: stop accepting, flush every tenant, account.
+    let report = handle.drain()?;
+    for tenant in &report.tenants {
+        println!(
+            "tenant {}: issues={} rows_flushed={} gaps={} peak_queued_rows={}",
+            tenant.tenant,
+            tenant.issues,
+            tenant.rows_flushed,
+            tenant.gaps_flushed,
+            tenant.peak_queued_rows,
+        );
+    }
+    println!(
+        "drained in {:.1} ms ({})",
+        report.flush_time.as_secs_f64() * 1e3,
+        report.stats,
+    );
+    Ok(())
+}

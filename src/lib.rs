@@ -49,10 +49,14 @@ pub mod prelude {
         TraceRow, TraceSink, TraceSinkExt, TraceSource, Value,
     };
     pub use rad_devices::{Device, LabRig};
+    pub use rad_middlebox::rpc::{
+        Duplex, FrameCodec, RetryPolicy, RpcClient, RpcServer, Transport,
+    };
     pub use rad_middlebox::{
-        DurableSink, FaultPlan, FaultProfile, FaultStats, FaultyDuplex, GuardPolicy,
-        GuardedMiddlebox, LatencyModel, Middlebox, MirrorSink, ModeConfig, RpcCluster, ShardPlan,
-        Tracer,
+        CollectingSink, DrainReport, DurableSink, FaultPlan, FaultProfile, FaultStats, Faulty,
+        FaultyDuplex, GuardPolicy, GuardedMiddlebox, LabService, LatencyModel, Middlebox,
+        MirrorSink, ModeConfig, RpcCluster, ServerConfig, ServerHandle, ShardPlan, SocketTransport,
+        TenantSinkStack, Tracer,
     };
     pub use rad_power::{
         CurrentProfile, Elbow, PowerBlock, PowerRow, PowerSample, PowerSink, PowerSinkExt,
@@ -62,5 +66,8 @@ pub mod prelude {
         CommandDataset, CrashInjector, CrashPlan, CrashSite, DocumentStore, DurableOptions,
         DurableStore, Filter, LoadIssue, LoadReport, PowerDataset, RecoveryReport, WalOptions,
     };
-    pub use rad_workloads::{AttackKind, CampaignBuilder, ProcedureRun};
+    pub use rad_workloads::{
+        AttackKind, CampaignBuilder, CampaignScript, DisconnectPolicy, ProcedureRun,
+        RemoteCampaign, RemoteSession,
+    };
 }
