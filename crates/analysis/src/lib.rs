@@ -58,8 +58,9 @@ pub use ngram::NgramCounter;
 pub use reference::{ReferenceLm, ReferenceNgramCounter};
 pub use specmine::{synthesize, MinedSpec, SpecViolation};
 pub use streaming::{
-    AlertPolicy, ProcedureFingerprints, RecordingStats, RunScore, StreamingFingerprint,
-    StreamingPerplexity, StreamingPowerStats, Threshold, WindowedJenks,
+    AlertPolicy, PerplexitySpec, PowerStatsSpec, ProcedureFingerprints, RecordingStats, RunScore,
+    StreamingFingerprint, StreamingPerplexity, StreamingPowerStats, Threshold, ThresholdSpec,
+    WindowedJenks,
 };
 pub use tfidf::TfIdf;
 pub use token::{corpus_from_segments, labelled_runs, CommandTokenizer, ParamTokenizer, Tokenizer};

@@ -40,7 +40,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use rad_core::{
-    Alert, AlertSink, CommandType, DeviceKind, ProcedureKind, RadError, RunId, SimInstant,
+    spec, Alert, AlertSink, CommandType, DeviceKind, ProcedureKind, RadError, RunId, SimInstant,
     TraceBatch, TraceSink,
 };
 use rad_power::sink::{PowerSink, RecordingMeta};
@@ -776,4 +776,324 @@ impl<A: AlertSink> PowerSink for StreamingPowerStats<A> {
 
 fn secs_to_micros(secs: f64) -> u64 {
     (secs * 1_000_000.0).round().max(0.0) as u64
+}
+
+/// The declarative form of a [`StreamingPerplexity`] stage — the
+/// `detect.perplexity` section of a scenario document:
+///
+/// ```json
+/// {
+///   "order": 3,
+///   "policy": {"crossing": {"window": 64}},
+///   "threshold": {"fixed": 5.0}
+/// }
+/// ```
+///
+/// `policy` is `"run_end"` (the default) or
+/// `{"crossing": {"window": N}}`; `threshold` is `"calibrated"` (the
+/// default — the fitted detector's own Jenks threshold),
+/// `{"fixed": X}`, or `{"adaptive": {"capacity": N}}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerplexitySpec {
+    /// N-gram order the detector is fitted with.
+    pub order: usize,
+    /// When the stage raises alerts.
+    pub policy: AlertPolicy,
+    /// Threshold policy override.
+    pub threshold: ThresholdSpec,
+}
+
+/// The `threshold` field of a [`PerplexitySpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThresholdSpec {
+    /// Keep the fitted detector's calibrated Jenks threshold.
+    Calibrated,
+    /// Replace it with a deployment-tuned fixed bar.
+    Fixed(f64),
+    /// Replace it with a [`WindowedJenks`] adaptive policy retaining
+    /// this many recent scores.
+    Adaptive(usize),
+}
+
+impl PerplexitySpec {
+    const FIELDS: &'static [&'static str] = &["order", "policy", "threshold"];
+
+    /// Builds the stage this spec describes over a fitted detector and
+    /// alert sink. The detector must have been fitted with
+    /// [`PerplexitySpec::order`] for the spec to be faithful; this is
+    /// not checked here because [`FittedDetector`] does not expose its
+    /// order — the scenario runner owns that invariant.
+    pub fn build<A: AlertSink>(
+        &self,
+        detector: &FittedDetector<CommandType>,
+        sink: A,
+    ) -> StreamingPerplexity<A> {
+        let stage = StreamingPerplexity::new(detector, self.policy, sink);
+        match self.threshold {
+            ThresholdSpec::Calibrated => stage,
+            ThresholdSpec::Fixed(bar) => stage.with_fixed_threshold(bar),
+            ThresholdSpec::Adaptive(capacity) => stage.with_adaptive_threshold(capacity),
+        }
+    }
+
+    /// Parses the `perplexity` section of a scenario document. `ctx`
+    /// is the dotted path of `value` for error messages.
+    ///
+    /// # Errors
+    ///
+    /// [`RadError::Spec`] on unknown fields, ill-typed values, a zero
+    /// `order`, or a malformed policy/threshold variant.
+    pub fn from_json(value: &serde_json::Value, ctx: &str) -> Result<Self, RadError> {
+        let map = spec::obj(value, ctx)?;
+        spec::known_fields(map, ctx, Self::FIELDS)?;
+        let order = spec::req_u64(map, ctx, "order")?;
+        if order == 0 {
+            return Err(RadError::spec(
+                spec::path(ctx, "order"),
+                "must be at least 1",
+            ));
+        }
+        let order = usize::try_from(order)
+            .map_err(|_| RadError::spec(spec::path(ctx, "order"), "exceeds usize range"))?;
+        let policy = match map.get("policy") {
+            None | Some(serde_json::Value::Null) => AlertPolicy::RunEnd,
+            Some(v) => Self::policy_from_json(v, &spec::path(ctx, "policy"))?,
+        };
+        let threshold = match map.get("threshold") {
+            None | Some(serde_json::Value::Null) => ThresholdSpec::Calibrated,
+            Some(v) => Self::threshold_from_json(v, &spec::path(ctx, "threshold"))?,
+        };
+        Ok(PerplexitySpec {
+            order,
+            policy,
+            threshold,
+        })
+    }
+
+    fn policy_from_json(value: &serde_json::Value, ctx: &str) -> Result<AlertPolicy, RadError> {
+        if let Some(name) = value.as_str() {
+            return match name {
+                "run_end" => Ok(AlertPolicy::RunEnd),
+                other => Err(RadError::spec(
+                    ctx,
+                    format!("unknown policy `{other}` (accepted: run_end, {{\"crossing\": ...}})"),
+                )),
+            };
+        }
+        let map = spec::obj(value, ctx)?;
+        spec::known_fields(map, ctx, &["crossing"])?;
+        let crossing = spec::req(map, ctx, "crossing")?;
+        let cctx = spec::path(ctx, "crossing");
+        let cmap = spec::obj(crossing, &cctx)?;
+        spec::known_fields(cmap, &cctx, &["window"])?;
+        let window = spec::opt_u64(cmap, &cctx, "window")?.unwrap_or(0);
+        let window = usize::try_from(window)
+            .map_err(|_| RadError::spec(spec::path(&cctx, "window"), "exceeds usize range"))?;
+        Ok(AlertPolicy::Crossing { window })
+    }
+
+    fn threshold_from_json(
+        value: &serde_json::Value,
+        ctx: &str,
+    ) -> Result<ThresholdSpec, RadError> {
+        if let Some(name) = value.as_str() {
+            return match name {
+                "calibrated" => Ok(ThresholdSpec::Calibrated),
+                other => Err(RadError::spec(
+                    ctx,
+                    format!(
+                        "unknown threshold `{other}` (accepted: calibrated, \
+                         {{\"fixed\": ...}}, {{\"adaptive\": ...}})"
+                    ),
+                )),
+            };
+        }
+        let map = spec::obj(value, ctx)?;
+        spec::known_fields(map, ctx, &["fixed", "adaptive"])?;
+        let fixed = map.get("fixed").filter(|v| !v.is_null());
+        let adaptive = map.get("adaptive").filter(|v| !v.is_null());
+        match (fixed, adaptive) {
+            (Some(_), Some(_)) => Err(RadError::spec(
+                ctx,
+                "`fixed` and `adaptive` are mutually exclusive",
+            )),
+            (None, None) => Err(RadError::spec(
+                ctx,
+                "one of `fixed` or `adaptive` is required",
+            )),
+            (Some(v), None) => {
+                let at = spec::path(ctx, "fixed");
+                let bar = v
+                    .as_f64()
+                    .ok_or_else(|| RadError::spec(&at, format!("expected a number, got {v}")))?;
+                if !bar.is_finite() || bar < 0.0 {
+                    return Err(RadError::spec(
+                        at,
+                        format!("threshold {bar} must be finite and non-negative"),
+                    ));
+                }
+                Ok(ThresholdSpec::Fixed(bar))
+            }
+            (None, Some(v)) => {
+                let actx = spec::path(ctx, "adaptive");
+                let amap = spec::obj(v, &actx)?;
+                spec::known_fields(amap, &actx, &["capacity"])?;
+                let capacity = spec::req_u64(amap, &actx, "capacity")?;
+                if capacity == 0 {
+                    return Err(RadError::spec(
+                        spec::path(&actx, "capacity"),
+                        "must be at least 1",
+                    ));
+                }
+                let capacity = usize::try_from(capacity).map_err(|_| {
+                    RadError::spec(spec::path(&actx, "capacity"), "exceeds usize range")
+                })?;
+                Ok(ThresholdSpec::Adaptive(capacity))
+            }
+        }
+    }
+
+    /// Serializes the spec back to its JSON form, every field explicit.
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut map = serde_json::Map::new();
+        map.insert("order".into(), serde_json::Value::from(self.order as u64));
+        let policy = match self.policy {
+            AlertPolicy::RunEnd => serde_json::Value::from("run_end"),
+            AlertPolicy::Crossing { window } => {
+                let mut cmap = serde_json::Map::new();
+                cmap.insert("window".into(), serde_json::Value::from(window as u64));
+                let mut pmap = serde_json::Map::new();
+                pmap.insert("crossing".into(), serde_json::Value::Object(cmap));
+                serde_json::Value::Object(pmap)
+            }
+        };
+        map.insert("policy".into(), policy);
+        let threshold = match self.threshold {
+            ThresholdSpec::Calibrated => serde_json::Value::from("calibrated"),
+            ThresholdSpec::Fixed(bar) => {
+                let mut tmap = serde_json::Map::new();
+                tmap.insert("fixed".into(), serde_json::Value::from(bar));
+                serde_json::Value::Object(tmap)
+            }
+            ThresholdSpec::Adaptive(capacity) => {
+                let mut amap = serde_json::Map::new();
+                amap.insert("capacity".into(), serde_json::Value::from(capacity as u64));
+                let mut tmap = serde_json::Map::new();
+                tmap.insert("adaptive".into(), serde_json::Value::Object(amap));
+                serde_json::Value::Object(tmap)
+            }
+        };
+        map.insert("threshold".into(), threshold);
+        serde_json::Value::Object(map)
+    }
+}
+
+/// The declarative form of a [`StreamingPowerStats`] stage — the
+/// `detect.power` section of a scenario document:
+///
+/// ```json
+/// {"lane": "robot_current", "min_prominence": 0.05, "rms_threshold": 0.6}
+/// ```
+///
+/// `lane` is a snake-case name from [`lane::NAMES`] or a raw index;
+/// absent it defaults to `robot_current`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerStatsSpec {
+    /// Monitored lane index.
+    pub lane: usize,
+    /// Extremum prominence filter.
+    pub min_prominence: f64,
+    /// RMS alarm threshold.
+    pub rms_threshold: f64,
+}
+
+impl PowerStatsSpec {
+    const FIELDS: &'static [&'static str] = &["lane", "min_prominence", "rms_threshold"];
+
+    /// Builds the stage this spec describes over an alert sink.
+    pub fn build<A: AlertSink>(&self, sink: A) -> StreamingPowerStats<A> {
+        StreamingPowerStats::new(self.lane, self.min_prominence, self.rms_threshold, sink)
+    }
+
+    /// Parses the `power` section of a scenario document. `ctx` is the
+    /// dotted path of `value` for error messages.
+    ///
+    /// # Errors
+    ///
+    /// [`RadError::Spec`] on unknown fields, an unknown lane name, an
+    /// out-of-range lane index, or non-finite thresholds.
+    pub fn from_json(value: &serde_json::Value, ctx: &str) -> Result<Self, RadError> {
+        let map = spec::obj(value, ctx)?;
+        spec::known_fields(map, ctx, Self::FIELDS)?;
+        let lane_at = spec::path(ctx, "lane");
+        let lane = match map.get("lane") {
+            None | Some(serde_json::Value::Null) => lane::ROBOT_CURRENT,
+            Some(v) => {
+                if let Some(name) = v.as_str() {
+                    lane::by_name(name).ok_or_else(|| {
+                        RadError::spec(&lane_at, format!("unknown lane name `{name}`"))
+                    })?
+                } else {
+                    let idx = v.as_u64().ok_or_else(|| {
+                        RadError::spec(
+                            &lane_at,
+                            format!("expected a lane name or non-negative index, got {v}"),
+                        )
+                    })?;
+                    let idx = usize::try_from(idx)
+                        .map_err(|_| RadError::spec(&lane_at, "exceeds usize range"))?;
+                    if idx >= rad_power::PowerSample::FIELD_COUNT {
+                        return Err(RadError::spec(
+                            &lane_at,
+                            format!(
+                                "lane {idx} out of range (layout has {} lanes)",
+                                rad_power::PowerSample::FIELD_COUNT
+                            ),
+                        ));
+                    }
+                    idx
+                }
+            }
+        };
+        let min_prominence = spec::opt_f64(map, ctx, "min_prominence")?.unwrap_or(0.0);
+        let rms_threshold = spec::opt_f64(map, ctx, "rms_threshold")?.unwrap_or(f64::INFINITY);
+        if !min_prominence.is_finite() || min_prominence < 0.0 {
+            return Err(RadError::spec(
+                spec::path(ctx, "min_prominence"),
+                format!("{min_prominence} must be finite and non-negative"),
+            ));
+        }
+        if rms_threshold.is_nan() {
+            return Err(RadError::spec(
+                spec::path(ctx, "rms_threshold"),
+                "must not be NaN",
+            ));
+        }
+        Ok(PowerStatsSpec {
+            lane,
+            min_prominence,
+            rms_threshold,
+        })
+    }
+
+    /// Serializes the spec back to its JSON form. The lane serializes
+    /// as its name when one exists, else as its raw index.
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut map = serde_json::Map::new();
+        let lane_value = lane::NAMES
+            .iter()
+            .find(|&&(_, idx)| idx == self.lane)
+            .map(|&(name, _)| serde_json::Value::from(name))
+            .unwrap_or_else(|| serde_json::Value::from(self.lane as u64));
+        map.insert("lane".into(), lane_value);
+        map.insert(
+            "min_prominence".into(),
+            serde_json::Value::from(self.min_prominence),
+        );
+        map.insert(
+            "rms_threshold".into(),
+            serde_json::Value::from(self.rms_threshold),
+        );
+        serde_json::Value::Object(map)
+    }
 }

@@ -106,6 +106,16 @@ pub enum RadError {
     /// An analysis precondition was violated (empty corpus, mismatched
     /// lengths, ...).
     Analysis(String),
+    /// A scenario spec document failed validation: a missing or
+    /// ill-typed field, an unknown key, or a value outside its domain.
+    /// `field` is the dotted path of the offending location, so a
+    /// scenario author can fix the file without reading Rust.
+    Spec {
+        /// Dotted path of the offending field (e.g. `faults.profile.drop`).
+        field: String,
+        /// What is wrong with it.
+        reason: String,
+    },
 }
 
 impl RadError {
@@ -121,6 +131,15 @@ impl RadError {
     /// everything else is a caller or protocol error.
     pub fn is_retryable(&self) -> bool {
         matches!(self, RadError::RpcTimeout(_) | RadError::Overloaded(_))
+    }
+
+    /// A [`RadError::Spec`] at `field` — the uniform constructor every
+    /// spec parser uses.
+    pub fn spec(field: impl Into<String>, reason: impl fmt::Display) -> Self {
+        RadError::Spec {
+            field: field.into(),
+            reason: reason.to_string(),
+        }
     }
 }
 
@@ -166,6 +185,9 @@ impl fmt::Display for RadError {
                 write!(f, "checkpoint mismatch: {reason}")
             }
             RadError::Analysis(msg) => write!(f, "analysis precondition violated: {msg}"),
+            RadError::Spec { field, reason } => {
+                write!(f, "scenario spec `{field}`: {reason}")
+            }
         }
     }
 }

@@ -28,6 +28,7 @@ pub mod error;
 pub mod par;
 pub mod procedure;
 pub mod sink;
+pub mod spec;
 pub mod time;
 pub mod trace;
 pub mod value;

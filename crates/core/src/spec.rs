@@ -1,0 +1,252 @@
+//! JSON walking helpers for the declarative scenario plane.
+//!
+//! Every layer that exposes a spec form ([`FaultPlan`],
+//! [`CrashPlan`], [`RetryPolicy`], the streaming detector stages, the
+//! campaign itself) parses its section of a scenario document with
+//! these helpers, so the whole plane shares one set of rules:
+//!
+//! - **Unknown fields are rejected**, with the offending dotted path
+//!   named — a typo'd knob never silently no-ops.
+//! - **Types are strict**: a seed must be a non-negative integer JSON
+//!   number; `"42"`, `-1`, and `4.5` are all typed
+//!   [`RadError::Spec`] rejections, never coerced.
+//! - Every error carries the dotted field path (`faults.profile.drop`),
+//!   so a scenario author can fix the file without reading Rust.
+//!
+//! [`FaultPlan`]: https://docs.rs/rad-middlebox
+//! [`CrashPlan`]: https://docs.rs/rad-store
+//! [`RetryPolicy`]: https://docs.rs/rad-middlebox
+//!
+//! # Examples
+//!
+//! ```
+//! use rad_core::spec;
+//! use serde_json::json;
+//!
+//! let doc = json!({"seed": 7, "scale": 0.5});
+//! let obj = spec::obj(&doc, "campaign")?;
+//! spec::known_fields(obj, "campaign", &["seed", "scale"])?;
+//! assert_eq!(spec::req_u64(obj, "campaign", "seed")?, 7);
+//! assert_eq!(spec::opt_f64(obj, "campaign", "scale")?, Some(0.5));
+//! # Ok::<(), rad_core::RadError>(())
+//! ```
+
+use serde_json::{Map, Value as Json};
+
+use crate::RadError;
+
+/// Joins a parent context and a key into a dotted field path.
+/// An empty context names the document root.
+pub fn path(ctx: &str, key: &str) -> String {
+    if ctx.is_empty() {
+        key.to_string()
+    } else {
+        format!("{ctx}.{key}")
+    }
+}
+
+/// The value must be a JSON object.
+///
+/// # Errors
+///
+/// [`RadError::Spec`] naming `ctx` when it is anything else.
+pub fn obj<'a>(value: &'a Json, ctx: &str) -> Result<&'a Map<String, Json>, RadError> {
+    value
+        .as_object()
+        .ok_or_else(|| RadError::spec(ctx, format!("expected an object, got {value}")))
+}
+
+/// Rejects any key of `obj` not in `allowed` — the unknown-field
+/// firewall every spec section passes through.
+///
+/// # Errors
+///
+/// [`RadError::Spec`] naming the first unknown key's dotted path and
+/// listing the accepted keys.
+pub fn known_fields(obj: &Map<String, Json>, ctx: &str, allowed: &[&str]) -> Result<(), RadError> {
+    for key in obj.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(RadError::spec(
+                path(ctx, key),
+                format!("unknown field (accepted: {})", allowed.join(", ")),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The field must be present.
+///
+/// # Errors
+///
+/// [`RadError::Spec`] naming the missing field.
+pub fn req<'a>(obj: &'a Map<String, Json>, ctx: &str, key: &str) -> Result<&'a Json, RadError> {
+    obj.get(key)
+        .ok_or_else(|| RadError::spec(path(ctx, key), "required field is missing"))
+}
+
+fn u64_of(value: &Json, at: &str) -> Result<u64, RadError> {
+    value
+        .as_u64()
+        .ok_or_else(|| RadError::spec(at, format!("expected a non-negative integer, got {value}")))
+}
+
+fn f64_of(value: &Json, at: &str) -> Result<f64, RadError> {
+    value
+        .as_f64()
+        .ok_or_else(|| RadError::spec(at, format!("expected a number, got {value}")))
+}
+
+fn str_of<'a>(value: &'a Json, at: &str) -> Result<&'a str, RadError> {
+    value
+        .as_str()
+        .ok_or_else(|| RadError::spec(at, format!("expected a string, got {value}")))
+}
+
+fn bool_of(value: &Json, at: &str) -> Result<bool, RadError> {
+    value
+        .as_bool()
+        .ok_or_else(|| RadError::spec(at, format!("expected a boolean, got {value}")))
+}
+
+/// Required non-negative integer field. Strings, floats with a
+/// fractional part, and negative numbers are all typed rejections.
+///
+/// # Errors
+///
+/// [`RadError::Spec`] on a missing or ill-typed field.
+pub fn req_u64(obj: &Map<String, Json>, ctx: &str, key: &str) -> Result<u64, RadError> {
+    u64_of(req(obj, ctx, key)?, &path(ctx, key))
+}
+
+/// Optional non-negative integer field (`None` when absent or null).
+///
+/// # Errors
+///
+/// [`RadError::Spec`] when present but ill-typed.
+pub fn opt_u64(obj: &Map<String, Json>, ctx: &str, key: &str) -> Result<Option<u64>, RadError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => u64_of(v, &path(ctx, key)).map(Some),
+    }
+}
+
+/// Required finite number field.
+///
+/// # Errors
+///
+/// [`RadError::Spec`] on a missing or ill-typed field.
+pub fn req_f64(obj: &Map<String, Json>, ctx: &str, key: &str) -> Result<f64, RadError> {
+    f64_of(req(obj, ctx, key)?, &path(ctx, key))
+}
+
+/// Optional number field (`None` when absent or null).
+///
+/// # Errors
+///
+/// [`RadError::Spec`] when present but ill-typed.
+pub fn opt_f64(obj: &Map<String, Json>, ctx: &str, key: &str) -> Result<Option<f64>, RadError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => f64_of(v, &path(ctx, key)).map(Some),
+    }
+}
+
+/// Required string field.
+///
+/// # Errors
+///
+/// [`RadError::Spec`] on a missing or ill-typed field.
+pub fn req_str<'a>(obj: &'a Map<String, Json>, ctx: &str, key: &str) -> Result<&'a str, RadError> {
+    str_of(req(obj, ctx, key)?, &path(ctx, key))
+}
+
+/// Optional string field (`None` when absent or null).
+///
+/// # Errors
+///
+/// [`RadError::Spec`] when present but ill-typed.
+pub fn opt_str<'a>(
+    obj: &'a Map<String, Json>,
+    ctx: &str,
+    key: &str,
+) -> Result<Option<&'a str>, RadError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => str_of(v, &path(ctx, key)).map(Some),
+    }
+}
+
+/// Optional boolean field (`None` when absent or null).
+///
+/// # Errors
+///
+/// [`RadError::Spec`] when present but ill-typed.
+pub fn opt_bool(obj: &Map<String, Json>, ctx: &str, key: &str) -> Result<Option<bool>, RadError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => bool_of(v, &path(ctx, key)).map(Some),
+    }
+}
+
+/// A probability field: optional, defaulting to `0.0`, and rejected
+/// outside `[0, 1]`.
+///
+/// # Errors
+///
+/// [`RadError::Spec`] when ill-typed or out of range.
+pub fn opt_prob(obj: &Map<String, Json>, ctx: &str, key: &str) -> Result<f64, RadError> {
+    let p = opt_f64(obj, ctx, key)?.unwrap_or(0.0);
+    if !(0.0..=1.0).contains(&p) {
+        return Err(RadError::spec(
+            path(ctx, key),
+            format!("probability {p} outside [0, 1]"),
+        ));
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn unknown_fields_name_their_dotted_path() {
+        let doc = json!({"seed": 1, "sedd": 2});
+        let map = obj(&doc, "campaign").unwrap();
+        let err = known_fields(map, "campaign", &["seed"]).unwrap_err();
+        match err {
+            RadError::Spec { field, .. } => assert_eq!(field, "campaign.sedd"),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn bad_seeds_are_typed_rejections() {
+        for bad in [
+            json!({"seed": "42"}),
+            json!({"seed": -1}),
+            json!({"seed": 4.5}),
+        ] {
+            let map = obj(&bad, "").unwrap();
+            let err = req_u64(map, "", "seed").unwrap_err();
+            assert!(
+                matches!(err, RadError::Spec { ref field, .. } if field == "seed"),
+                "unexpected error {err}"
+            );
+        }
+        let good = json!({"seed": 42});
+        assert_eq!(req_u64(obj(&good, "").unwrap(), "", "seed").unwrap(), 42);
+    }
+
+    #[test]
+    fn probabilities_are_range_checked() {
+        let doc = json!({"drop": 1.5});
+        let map = obj(&doc, "profile").unwrap();
+        let err = opt_prob(map, "profile", "drop").unwrap_err();
+        assert!(err.to_string().contains("outside [0, 1]"), "{err}");
+        let missing = opt_prob(map, "profile", "corrupt").unwrap();
+        assert_eq!(missing, 0.0);
+    }
+}

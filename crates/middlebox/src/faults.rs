@@ -263,6 +263,11 @@ impl FaultPlan {
         &self.profile
     }
 
+    /// The declared sim-time outage windows, in declaration order.
+    pub fn outages(&self) -> &[(SimInstant, SimDuration)] {
+        &self.outages
+    }
+
     /// The fault decision for chunk `index` on `lane` — a pure
     /// function, safe to call from any thread in any order.
     pub fn action_for(&self, lane: Lane, index: u64) -> WireFault {
@@ -629,6 +634,160 @@ impl<T: Transport> Transport for Faulty<T> {
 
     fn recv_blocking(&self) -> Option<Bytes> {
         Faulty::recv_blocking(self)
+    }
+}
+
+/// Declarative form of a [`FaultPlan`] — the `faults` section of a
+/// scenario document. Probabilities default to `0.0`, the seed
+/// defaults to the scenario seed at composition time, and every field
+/// is validated on parse so [`FaultSpec::to_plan`] can never hit
+/// [`FaultPlan::new`]'s panics:
+///
+/// ```json
+/// {
+///   "seed": 21,
+///   "profile": {"drop": 0.1, "delay": 0.05, "delay_chunks": 3,
+///               "disconnect_after": 40},
+///   "outages": [{"start_us": 0, "duration_us": 1000000}]
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Seed of the plan's decision streams.
+    pub seed: u64,
+    /// Injection probabilities and the disconnect point.
+    pub profile: FaultProfile,
+    /// Sim-time outage windows as `(start_us, duration_us)` pairs.
+    pub outages: Vec<(u64, u64)>,
+}
+
+impl FaultSpec {
+    const FIELDS: &'static [&'static str] = &["seed", "profile", "outages"];
+    const PROFILE_FIELDS: &'static [&'static str] = &[
+        "drop",
+        "duplicate",
+        "corrupt",
+        "reorder",
+        "delay",
+        "delay_chunks",
+        "disconnect_after",
+    ];
+
+    /// The spec of an existing plan: `spec.to_plan()` rebuilds a plan
+    /// equal to the original.
+    pub fn from_plan(plan: &FaultPlan) -> Self {
+        FaultSpec {
+            seed: plan.seed(),
+            profile: plan.profile().clone(),
+            outages: plan
+                .outages()
+                .iter()
+                .map(|&(start, dur)| (start.as_micros(), dur.as_micros()))
+                .collect(),
+        }
+    }
+
+    /// Materializes the seeded [`FaultPlan`].
+    pub fn to_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::new(self.seed, self.profile.clone());
+        for &(start_us, duration_us) in &self.outages {
+            plan = plan.with_outage(
+                SimInstant::from_micros(start_us),
+                SimDuration::from_micros(duration_us),
+            );
+        }
+        plan
+    }
+
+    /// Parses the `faults` section rooted at `ctx`. `default_seed` is
+    /// used when the section does not pin its own seed.
+    ///
+    /// # Errors
+    ///
+    /// [`rad_core::RadError::Spec`] on unknown fields, ill-typed
+    /// values, out-of-range probabilities, or probabilities summing
+    /// past 1.
+    pub fn from_json(
+        value: &serde_json::Value,
+        ctx: &str,
+        default_seed: u64,
+    ) -> Result<Self, RadError> {
+        use rad_core::spec;
+        let map = spec::obj(value, ctx)?;
+        spec::known_fields(map, ctx, Self::FIELDS)?;
+        let seed = spec::opt_u64(map, ctx, "seed")?.unwrap_or(default_seed);
+        let mut profile = FaultProfile::none();
+        if let Some(p) = map.get("profile") {
+            let pctx = spec::path(ctx, "profile");
+            let pmap = spec::obj(p, &pctx)?;
+            spec::known_fields(pmap, &pctx, Self::PROFILE_FIELDS)?;
+            profile.drop_prob = spec::opt_prob(pmap, &pctx, "drop")?;
+            profile.duplicate_prob = spec::opt_prob(pmap, &pctx, "duplicate")?;
+            profile.corrupt_prob = spec::opt_prob(pmap, &pctx, "corrupt")?;
+            profile.reorder_prob = spec::opt_prob(pmap, &pctx, "reorder")?;
+            profile.delay_prob = spec::opt_prob(pmap, &pctx, "delay")?;
+            profile.delay_chunks = spec::opt_u64(pmap, &pctx, "delay_chunks")?.unwrap_or(0) as u32;
+            profile.disconnect_after = spec::opt_u64(pmap, &pctx, "disconnect_after")?;
+            if profile.total_prob() > 1.0 + 1e-9 {
+                return Err(RadError::spec(
+                    &pctx,
+                    format!("fault probabilities sum to {} (> 1)", profile.total_prob()),
+                ));
+            }
+        }
+        let mut outages = Vec::new();
+        if let Some(list) = map.get("outages") {
+            let octx = spec::path(ctx, "outages");
+            let items = list
+                .as_array()
+                .ok_or_else(|| RadError::spec(&octx, "expected an array of outage windows"))?;
+            for (i, item) in items.iter().enumerate() {
+                let ictx = format!("{octx}[{i}]");
+                let imap = spec::obj(item, &ictx)?;
+                spec::known_fields(imap, &ictx, &["start_us", "duration_us"])?;
+                outages.push((
+                    spec::req_u64(imap, &ictx, "start_us")?,
+                    spec::req_u64(imap, &ictx, "duration_us")?,
+                ));
+            }
+        }
+        Ok(FaultSpec {
+            seed,
+            profile,
+            outages,
+        })
+    }
+
+    /// The JSON form [`FaultSpec::from_json`] parses. Probabilities at
+    /// their defaults are still written, so a serialized spec is fully
+    /// explicit.
+    pub fn to_json(&self) -> serde_json::Value {
+        use serde_json::json;
+        let p = &self.profile;
+        let mut profile = json!({
+            "drop": p.drop_prob,
+            "duplicate": p.duplicate_prob,
+            "corrupt": p.corrupt_prob,
+            "reorder": p.reorder_prob,
+            "delay": p.delay_prob,
+            "delay_chunks": p.delay_chunks as u64,
+        });
+        if let Some(n) = p.disconnect_after {
+            profile
+                .as_object_mut()
+                .expect("profile is an object")
+                .insert("disconnect_after".into(), json!(n));
+        }
+        let outages: Vec<serde_json::Value> = self
+            .outages
+            .iter()
+            .map(|&(s, d)| json!({"start_us": s, "duration_us": d}))
+            .collect();
+        json!({
+            "seed": self.seed,
+            "profile": profile,
+            "outages": outages,
+        })
     }
 }
 

@@ -63,7 +63,8 @@ pub mod tracer;
 
 pub use cluster::{RpcCluster, ShardPlan};
 pub use faults::{
-    FaultPlan, FaultProfile, FaultStats, FaultStatsSnapshot, Faulty, FaultyDuplex, Lane, WireFault,
+    FaultPlan, FaultProfile, FaultSpec, FaultStats, FaultStatsSnapshot, Faulty, FaultyDuplex, Lane,
+    WireFault,
 };
 pub use guard::{Alert, GuardPolicy, GuardedMiddlebox, Violation};
 pub use latency::LatencyModel;

@@ -40,7 +40,7 @@ use std::time::{Duration, Instant};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use rad_core::{Command, RadError, Value};
+use rad_core::{spec, Command, RadError, Value};
 use rad_devices::LabRig;
 use serde::{Deserialize, Serialize};
 
@@ -641,6 +641,162 @@ impl<T: Transport> RpcClient<T> {
             let chunk = self.transport.recv(remaining)?;
             self.codec.push(&chunk);
         }
+    }
+}
+
+/// The declarative form of a [`RetryPolicy`] — the `retry` section of a
+/// scenario document.
+///
+/// Durations are integer milliseconds so the JSON stays exact and the
+/// round-trip `from_policy(to_policy(s)) == s` holds bit-for-bit.
+///
+/// ```json
+/// {
+///   "max_attempts": 4,
+///   "initial_backoff_ms": 2,
+///   "backoff_factor": 2,
+///   "attempt_timeout_ms": 250,
+///   "deadline_ms": 2000,
+///   "jitter_seed": 7,
+///   "jitter_per_mille": 500
+/// }
+/// ```
+///
+/// Every field is optional; absent fields take the
+/// [`RetryPolicy::default`] value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetrySpec {
+    /// Maximum number of attempts (first try included).
+    pub max_attempts: u32,
+    /// Wait before the first retry, in milliseconds.
+    pub initial_backoff_ms: u64,
+    /// Multiplier applied to the backoff after each retry.
+    pub backoff_factor: u32,
+    /// Response wait per attempt, in milliseconds.
+    pub attempt_timeout_ms: u64,
+    /// Overall budget for the call, in milliseconds.
+    pub deadline_ms: u64,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+    /// Jitter fraction in per-mille (0..=1000).
+    pub jitter_per_mille: u32,
+}
+
+impl RetrySpec {
+    const FIELDS: &'static [&'static str] = &[
+        "max_attempts",
+        "initial_backoff_ms",
+        "backoff_factor",
+        "attempt_timeout_ms",
+        "deadline_ms",
+        "jitter_seed",
+        "jitter_per_mille",
+    ];
+
+    /// Captures an existing hand-wired policy as a spec. Sub-millisecond
+    /// duration components are truncated.
+    pub fn from_policy(policy: &RetryPolicy) -> Self {
+        RetrySpec {
+            max_attempts: policy.max_attempts,
+            initial_backoff_ms: policy.initial_backoff.as_millis() as u64,
+            backoff_factor: policy.backoff_factor,
+            attempt_timeout_ms: policy.attempt_timeout.as_millis() as u64,
+            deadline_ms: policy.deadline.as_millis() as u64,
+            jitter_seed: policy.jitter_seed,
+            jitter_per_mille: policy.jitter_per_mille,
+        }
+    }
+
+    /// Builds the [`RetryPolicy`] this spec describes.
+    pub fn to_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: self.max_attempts,
+            initial_backoff: Duration::from_millis(self.initial_backoff_ms),
+            backoff_factor: self.backoff_factor,
+            attempt_timeout: Duration::from_millis(self.attempt_timeout_ms),
+            deadline: Duration::from_millis(self.deadline_ms),
+            jitter_seed: self.jitter_seed,
+            jitter_per_mille: self.jitter_per_mille,
+        }
+    }
+
+    /// Parses the `retry` section of a scenario document. `ctx` is the
+    /// dotted path of `value` for error messages.
+    ///
+    /// # Errors
+    ///
+    /// [`RadError::Spec`] on unknown fields, ill-typed values, a zero
+    /// `max_attempts`, or `jitter_per_mille > 1000`.
+    pub fn from_json(value: &serde_json::Value, ctx: &str) -> Result<Self, RadError> {
+        let map = spec::obj(value, ctx)?;
+        spec::known_fields(map, ctx, Self::FIELDS)?;
+        let defaults = RetrySpec::from_policy(&RetryPolicy::default());
+        let u32_field = |key: &str, default: u32| -> Result<u32, RadError> {
+            match spec::opt_u64(map, ctx, key)? {
+                None => Ok(default),
+                Some(v) => u32::try_from(v).map_err(|_| {
+                    RadError::spec(spec::path(ctx, key), format!("{v} exceeds u32 range"))
+                }),
+            }
+        };
+        let parsed = RetrySpec {
+            max_attempts: u32_field("max_attempts", defaults.max_attempts)?,
+            initial_backoff_ms: spec::opt_u64(map, ctx, "initial_backoff_ms")?
+                .unwrap_or(defaults.initial_backoff_ms),
+            backoff_factor: u32_field("backoff_factor", defaults.backoff_factor)?,
+            attempt_timeout_ms: spec::opt_u64(map, ctx, "attempt_timeout_ms")?
+                .unwrap_or(defaults.attempt_timeout_ms),
+            deadline_ms: spec::opt_u64(map, ctx, "deadline_ms")?.unwrap_or(defaults.deadline_ms),
+            jitter_seed: spec::opt_u64(map, ctx, "jitter_seed")?.unwrap_or(defaults.jitter_seed),
+            jitter_per_mille: u32_field("jitter_per_mille", defaults.jitter_per_mille)?,
+        };
+        if parsed.max_attempts == 0 {
+            return Err(RadError::spec(
+                spec::path(ctx, "max_attempts"),
+                "must be at least 1",
+            ));
+        }
+        if parsed.jitter_per_mille > 1000 {
+            return Err(RadError::spec(
+                spec::path(ctx, "jitter_per_mille"),
+                format!("{}‰ exceeds 1000‰", parsed.jitter_per_mille),
+            ));
+        }
+        Ok(parsed)
+    }
+
+    /// Serializes the spec back to its JSON form, every field explicit.
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut map = serde_json::Map::new();
+        map.insert(
+            "max_attempts".into(),
+            serde_json::Value::from(u64::from(self.max_attempts)),
+        );
+        map.insert(
+            "initial_backoff_ms".into(),
+            serde_json::Value::from(self.initial_backoff_ms),
+        );
+        map.insert(
+            "backoff_factor".into(),
+            serde_json::Value::from(u64::from(self.backoff_factor)),
+        );
+        map.insert(
+            "attempt_timeout_ms".into(),
+            serde_json::Value::from(self.attempt_timeout_ms),
+        );
+        map.insert(
+            "deadline_ms".into(),
+            serde_json::Value::from(self.deadline_ms),
+        );
+        map.insert(
+            "jitter_seed".into(),
+            serde_json::Value::from(self.jitter_seed),
+        );
+        map.insert(
+            "jitter_per_mille".into(),
+            serde_json::Value::from(u64::from(self.jitter_per_mille)),
+        );
+        serde_json::Value::Object(map)
     }
 }
 

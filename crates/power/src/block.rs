@@ -87,6 +87,49 @@ pub mod lane {
     pub const ROBOT_MODE: usize = 120;
     /// Tool output voltage (V).
     pub const TOOL_OUTPUT_VOLTAGE: usize = 121;
+
+    /// Named scalar lanes and vector-group bases, for declarative
+    /// configuration: `("robot_current", ROBOT_CURRENT)`, snake-case
+    /// names matching the constants above.
+    pub const NAMES: &[(&str, usize)] = &[
+        ("timestamp", TIMESTAMP),
+        ("q_target", Q_TARGET),
+        ("q_actual", Q_ACTUAL),
+        ("qd_target", QD_TARGET),
+        ("qd_actual", QD_ACTUAL),
+        ("qdd_target", QDD_TARGET),
+        ("qdd_actual", QDD_ACTUAL),
+        ("current_target", CURRENT_TARGET),
+        ("current_actual", CURRENT_ACTUAL),
+        ("moment_actual", MOMENT_ACTUAL),
+        ("joint_temperature", JOINT_TEMPERATURE),
+        ("joint_voltage", JOINT_VOLTAGE),
+        ("joint_mode", JOINT_MODE),
+        ("tcp_pose_target", TCP_POSE_TARGET),
+        ("tcp_pose_actual", TCP_POSE_ACTUAL),
+        ("tcp_speed_target", TCP_SPEED_TARGET),
+        ("tcp_speed_actual", TCP_SPEED_ACTUAL),
+        ("tcp_force", TCP_FORCE),
+        ("tool_accelerometer", TOOL_ACCELEROMETER),
+        ("elbow_position", ELBOW_POSITION),
+        ("elbow_velocity", ELBOW_VELOCITY),
+        ("robot_voltage", ROBOT_VOLTAGE),
+        ("robot_current", ROBOT_CURRENT),
+        ("payload_mass", PAYLOAD_MASS),
+        ("speed_scaling", SPEED_SCALING),
+        ("digital_inputs", DIGITAL_INPUTS),
+        ("digital_outputs", DIGITAL_OUTPUTS),
+        ("safety_status", SAFETY_STATUS),
+        ("runtime_state", RUNTIME_STATE),
+        ("robot_mode", ROBOT_MODE),
+        ("tool_output_voltage", TOOL_OUTPUT_VOLTAGE),
+    ];
+
+    /// Resolves a snake-case lane name to its index (vector groups
+    /// resolve to their base lane). `None` for unknown names.
+    pub fn by_name(name: &str) -> Option<usize> {
+        NAMES.iter().find(|(n, _)| *n == name).map(|&(_, idx)| idx)
+    }
 }
 
 /// A columnar block of power-telemetry ticks.

@@ -30,7 +30,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
-use rad_core::RadError;
+use rad_core::{spec, RadError};
 use serde_json::{json, Value as Json};
 
 use crate::document::{DocumentId, DocumentStore, Filter};
@@ -524,6 +524,115 @@ impl DurableStore {
     /// The directory holding the log and checkpoint.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+}
+
+/// The declarative form of [`DurableOptions`] — the `durable` section
+/// of a scenario document:
+///
+/// ```json
+/// {
+///   "segment_bytes": 262144,
+///   "sync_every": 64,
+///   "checkpoint_every_ops": 512,
+///   "crash": {"at": {"site": "pre-fsync", "occurrence": 3}}
+/// }
+/// ```
+///
+/// Every field is optional; absent sizing fields take the
+/// [`WalOptions::default`] values, and an absent `crash` section means
+/// no crash injection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurableSpec {
+    /// WAL segment rotation threshold in bytes.
+    pub segment_bytes: u64,
+    /// Fsync after this many appends.
+    pub sync_every: u64,
+    /// Automatic checkpoint cadence (`None` = explicit only).
+    pub checkpoint_every_ops: Option<u64>,
+    /// Seeded crash schedule, if any.
+    pub crash: Option<crate::wal::CrashSpec>,
+}
+
+impl DurableSpec {
+    const FIELDS: &'static [&'static str] = &[
+        "segment_bytes",
+        "sync_every",
+        "checkpoint_every_ops",
+        "crash",
+    ];
+
+    /// Captures existing hand-wired options as a spec.
+    pub fn from_options(options: &DurableOptions) -> Self {
+        DurableSpec {
+            segment_bytes: options.wal.segment_bytes,
+            sync_every: options.wal.sync_every,
+            checkpoint_every_ops: options.checkpoint_every_ops,
+            crash: options
+                .crash_plan
+                .as_ref()
+                .map(crate::wal::CrashSpec::from_plan),
+        }
+    }
+
+    /// Builds the [`DurableOptions`] this spec describes.
+    pub fn to_options(&self) -> DurableOptions {
+        DurableOptions {
+            wal: WalOptions {
+                segment_bytes: self.segment_bytes,
+                sync_every: self.sync_every,
+            },
+            checkpoint_every_ops: self.checkpoint_every_ops,
+            crash_plan: self.crash.as_ref().map(crate::wal::CrashSpec::to_plan),
+        }
+    }
+
+    /// Parses the `durable` section of a scenario document. `ctx` is
+    /// the dotted path of `value` for error messages.
+    ///
+    /// # Errors
+    ///
+    /// [`RadError::Spec`] on unknown fields, ill-typed values, or a
+    /// zero `sync_every`.
+    pub fn from_json(value: &Json, ctx: &str) -> Result<Self, RadError> {
+        let map = spec::obj(value, ctx)?;
+        spec::known_fields(map, ctx, Self::FIELDS)?;
+        let defaults = WalOptions::default();
+        let parsed = DurableSpec {
+            segment_bytes: spec::opt_u64(map, ctx, "segment_bytes")?
+                .unwrap_or(defaults.segment_bytes),
+            sync_every: spec::opt_u64(map, ctx, "sync_every")?.unwrap_or(defaults.sync_every),
+            checkpoint_every_ops: spec::opt_u64(map, ctx, "checkpoint_every_ops")?,
+            crash: match map.get("crash") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(crate::wal::CrashSpec::from_json(
+                    v,
+                    &spec::path(ctx, "crash"),
+                )?),
+            },
+        };
+        if parsed.sync_every == 0 {
+            return Err(RadError::spec(
+                spec::path(ctx, "sync_every"),
+                "must be at least 1",
+            ));
+        }
+        Ok(parsed)
+    }
+
+    /// Serializes the spec back to its JSON form. Optional sections are
+    /// omitted when absent.
+    pub fn to_json(&self) -> Json {
+        let mut map = serde_json::Map::new();
+        map.insert("segment_bytes".into(), Json::from(self.segment_bytes));
+        map.insert("sync_every".into(), Json::from(self.sync_every));
+        if let Some(every) = self.checkpoint_every_ops {
+            map.insert("checkpoint_every_ops".into(), Json::from(every));
+        }
+        if let Some(crash) = &self.crash {
+            map.insert("crash".into(), crash.to_json());
+        }
+        Json::Object(map)
     }
 }
 

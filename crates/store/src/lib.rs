@@ -40,7 +40,7 @@ pub mod wal;
 
 pub use dataset::{CommandDataset, PowerDataset, PowerRecording};
 pub use document::{DocumentId, DocumentStore, Filter};
-pub use durable::{DurableOptions, DurableStore};
+pub use durable::{DurableOptions, DurableSpec, DurableStore};
 pub use export::{
     export_rad, export_rad_alerted, export_rad_from_segments, export_rad_from_segments_alerted,
     import_alerts, import_commands, LoadIssue, LoadReport,
@@ -50,6 +50,6 @@ pub use segment::{
     TraceQuery, ZoneMap,
 };
 pub use wal::{
-    atomic_write_file, atomic_write_stream, CrashInjector, CrashPlan, CrashSite, RecoveryReport,
-    WalOptions,
+    atomic_write_file, atomic_write_stream, CrashInjector, CrashPlan, CrashSite, CrashSpec,
+    RecoveryReport, WalOptions,
 };

@@ -1441,6 +1441,19 @@ impl SegmentSet {
         self.query(&TraceQuery::new())
     }
 
+    /// Decodes only the rows whose start timestamp falls in
+    /// `[ts_min_us, ts_max_us]` (inclusive, microseconds) — the
+    /// time-window read scenario replay uses to target a slice of a
+    /// campaign instead of the whole log. Zone-map pruning skips
+    /// segments entirely outside the window without opening them.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SegmentSet::query`].
+    pub fn scan_time_range(&self, ts_min_us: u64, ts_max_us: u64) -> Result<SegmentScan, RadError> {
+        self.query(&TraceQuery::new().time_range(ts_min_us, ts_max_us))
+    }
+
     /// Runs `query`, optionally disabling zone-map pruning (every
     /// segment is then opened and filtered row-wise) — the reference
     /// the equivalence suite compares pruned scans against.

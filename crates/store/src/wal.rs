@@ -64,7 +64,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rad_core::RadError;
+use rad_core::{spec, RadError};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -873,6 +873,123 @@ where
     }
 
     fs::rename(&tmp, path).map_err(|e| io_err("renaming temp file into place", e))
+}
+
+impl CrashSite {
+    /// Parses the kebab-case site name used by scenario documents —
+    /// the same strings [`CrashSite`]'s `Display` prints.
+    pub fn from_name(name: &str) -> Option<CrashSite> {
+        CrashSite::ALL.into_iter().find(|s| s.to_string() == name)
+    }
+}
+
+/// The declarative form of a [`CrashPlan`] — the `crash` section of a
+/// scenario document. Exactly one of the two modes is present:
+///
+/// ```json
+/// {"at": {"site": "pre-fsync", "occurrence": 3}}
+/// ```
+///
+/// or
+///
+/// ```json
+/// {"seeded": {"seed": 7, "prob": 0.01}}
+/// ```
+///
+/// Site names are the kebab-case strings [`CrashSite`] displays:
+/// `mid-record`, `pre-fsync`, `mid-rotation`, `mid-compaction`,
+/// `mid-rename`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashSpec {
+    plan: CrashPlan,
+}
+
+impl CrashSpec {
+    /// Captures an existing hand-wired plan as a spec.
+    pub fn from_plan(plan: &CrashPlan) -> Self {
+        CrashSpec { plan: plan.clone() }
+    }
+
+    /// Builds the [`CrashPlan`] this spec describes.
+    pub fn to_plan(&self) -> CrashPlan {
+        self.plan.clone()
+    }
+
+    /// Parses the `crash` section of a scenario document. `ctx` is the
+    /// dotted path of `value` for error messages.
+    ///
+    /// # Errors
+    ///
+    /// [`RadError::Spec`] on unknown fields, an unknown site name, a
+    /// probability outside `[0, 1]`, or when the document names both
+    /// modes (or neither).
+    pub fn from_json(value: &serde_json::Value, ctx: &str) -> Result<Self, RadError> {
+        let map = spec::obj(value, ctx)?;
+        spec::known_fields(map, ctx, &["at", "seeded"])?;
+        let at = map.get("at").filter(|v| !v.is_null());
+        let seeded = map.get("seeded").filter(|v| !v.is_null());
+        match (at, seeded) {
+            (Some(_), Some(_)) => Err(RadError::spec(
+                ctx,
+                "`at` and `seeded` are mutually exclusive",
+            )),
+            (None, None) => Err(RadError::spec(ctx, "one of `at` or `seeded` is required")),
+            (Some(at), None) => {
+                let actx = spec::path(ctx, "at");
+                let amap = spec::obj(at, &actx)?;
+                spec::known_fields(amap, &actx, &["site", "occurrence"])?;
+                let name = spec::req_str(amap, &actx, "site")?;
+                let site = CrashSite::from_name(name).ok_or_else(|| {
+                    RadError::spec(
+                        spec::path(&actx, "site"),
+                        format!(
+                            "unknown crash site `{name}` (accepted: {})",
+                            CrashSite::ALL.map(|s| s.to_string()).join(", ")
+                        ),
+                    )
+                })?;
+                let occurrence = spec::req_u64(amap, &actx, "occurrence")?;
+                Ok(CrashSpec {
+                    plan: CrashPlan::at(site, occurrence),
+                })
+            }
+            (None, Some(seeded)) => {
+                let sctx = spec::path(ctx, "seeded");
+                let smap = spec::obj(seeded, &sctx)?;
+                spec::known_fields(smap, &sctx, &["seed", "prob"])?;
+                let seed = spec::req_u64(smap, &sctx, "seed")?;
+                let prob = spec::req_f64(smap, &sctx, "prob")?;
+                if !(0.0..=1.0).contains(&prob) {
+                    return Err(RadError::spec(
+                        spec::path(&sctx, "prob"),
+                        format!("probability {prob} outside [0, 1]"),
+                    ));
+                }
+                Ok(CrashSpec {
+                    plan: CrashPlan::seeded(seed, prob),
+                })
+            }
+        }
+    }
+
+    /// Serializes the spec back to its JSON form.
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut inner = serde_json::Map::new();
+        let mut outer = serde_json::Map::new();
+        match &self.plan.mode {
+            CrashMode::At { site, occurrence } => {
+                inner.insert("site".into(), serde_json::Value::from(site.to_string()));
+                inner.insert("occurrence".into(), serde_json::Value::from(*occurrence));
+                outer.insert("at".into(), serde_json::Value::Object(inner));
+            }
+            CrashMode::Seeded { prob } => {
+                inner.insert("seed".into(), serde_json::Value::from(self.plan.seed));
+                inner.insert("prob".into(), serde_json::Value::from(*prob));
+                outer.insert("seeded".into(), serde_json::Value::Object(inner));
+            }
+        }
+        serde_json::Value::Object(outer)
+    }
 }
 
 #[cfg(test)]

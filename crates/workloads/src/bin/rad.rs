@@ -1,0 +1,131 @@
+//! `rad` — the headless scenario runner.
+//!
+//! Executes a committed scenario document end to end and writes its
+//! artifacts, so an experiment is reproduced by naming a file, not by
+//! writing Rust:
+//!
+//! ```text
+//! rad run examples/scenarios/supervised_small.json \
+//!     --out /tmp/rad-out --bench /tmp/rad-bench.json
+//! ```
+//!
+//! `rad check FILE` parses and validates without running — the cheap
+//! CI gate for every committed scenario. Socket scenarios take their
+//! server address from the document or from `--tcp ADDR` / `--unix
+//! PATH` overrides:
+//!
+//! ```text
+//! radd serve --tcp 127.0.0.1:7171 &
+//! rad run examples/scenarios/remote_tcp.json --tcp 127.0.0.1:7171
+//! ```
+
+use std::path::PathBuf;
+
+use rad_workloads::cli::opt;
+use rad_workloads::scenario::{run_scenario, RunOptions, ScenarioSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("run") => run(&args[1..]),
+        Some("check") => check(&args[1..]),
+        _ => {
+            eprintln!("usage: rad <run|check> FILE [options]");
+            eprintln!("  rad run   FILE [--out DIR] [--bench FILE] [--tcp ADDR | --unix PATH]");
+            eprintln!("  rad check FILE");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn load(args: &[String]) -> Result<ScenarioSpec, i32> {
+    let Some(file) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("rad: a scenario FILE is required");
+        return Err(2);
+    };
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("rad: cannot read {file}: {e}");
+            return Err(1);
+        }
+    };
+    match ScenarioSpec::from_json_str(&text) {
+        Ok(spec) => Ok(spec),
+        Err(e) => {
+            eprintln!("rad: {file}: {e}");
+            Err(1)
+        }
+    }
+}
+
+fn check(args: &[String]) -> i32 {
+    match load(args) {
+        Ok(spec) => {
+            println!("rad: {} ok (seed {})", spec.name, spec.seed);
+            0
+        }
+        Err(code) => code,
+    }
+}
+
+fn run(args: &[String]) -> i32 {
+    let spec = match load(args) {
+        Ok(spec) => spec,
+        Err(code) => return code,
+    };
+    let addr_override = opt(args, "--tcp").or_else(|| opt(args, "--unix"));
+    let options = RunOptions {
+        out_dir: opt(args, "--out").map(PathBuf::from),
+        addr_override,
+    };
+    println!("rad: running scenario {} (seed {})", spec.name, spec.seed);
+    let report = match run_scenario(&spec, &options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rad: scenario {} failed: {e}", spec.name);
+            return 1;
+        }
+    };
+    if let Some(bench) = opt(args, "--bench") {
+        let json = serde_json::to_string_pretty(&report.to_json()).unwrap_or_default();
+        if let Err(e) = std::fs::write(&bench, json + "\n") {
+            eprintln!("rad: cannot write {bench}: {e}");
+            return 1;
+        }
+    }
+    if report.tenants.is_empty() {
+        println!(
+            "rad: {}: traces={} gaps={} supervised_runs={} alerts={}{}{}",
+            report.name,
+            report.traces,
+            report.gaps,
+            report.supervised_runs,
+            report.alerts,
+            if report.resumed_after_crash {
+                " (resumed after crash)"
+            } else {
+                ""
+            },
+            match report.window_rows {
+                Some(rows) => format!(" window_rows={rows}"),
+                None => String::new(),
+            },
+        );
+    } else {
+        for t in &report.tenants {
+            println!(
+                "rad: {}: tenant {}: executed={} resumed_at={} gaps={} completed={}",
+                report.name,
+                t.tenant,
+                t.report.executed,
+                t.report.resumed_at,
+                t.report.gaps.len(),
+                t.report.completed
+            );
+        }
+    }
+    println!("rad: done in {} ms", report.elapsed_ms);
+    0
+}

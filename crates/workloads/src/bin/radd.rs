@@ -32,6 +32,7 @@ use rad_middlebox::server::{
 };
 use rad_middlebox::DurableSink;
 use rad_store::{DurableOptions, DurableStore};
+use rad_workloads::cli::{has, opt, parse};
 use rad_workloads::{
     fit_detector, CampaignBuilder, CampaignScript, DisconnectPolicy, RemoteCampaign,
 };
@@ -54,34 +55,12 @@ fn main() {
     std::process::exit(code);
 }
 
-/// Pulls `--flag value` out of argv; `None` when absent.
-fn opt(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
-
-fn has(args: &[String], flag: &str) -> bool {
-    args.iter().any(|a| a == flag)
-}
-
-fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
-    match opt(args, flag) {
-        Some(v) => v.parse().unwrap_or_else(|_| {
-            eprintln!("radd: invalid value for {flag}: {v}");
-            std::process::exit(2);
-        }),
-        None => default,
-    }
-}
-
 fn serve(args: &[String]) -> i32 {
-    let seed: u64 = parse(args, "--seed", 0);
+    let seed: u64 = parse("radd", args, "--seed", 0);
     let config = ServerConfig {
-        max_sessions: parse(args, "--max-sessions", 4),
-        backlog: parse(args, "--backlog", 4),
-        idle_timeout: Duration::from_millis(parse(args, "--idle-timeout-ms", 30_000)),
+        max_sessions: parse("radd", args, "--max-sessions", 4),
+        backlog: parse("radd", args, "--backlog", 4),
+        idle_timeout: Duration::from_millis(parse("radd", args, "--idle-timeout-ms", 30_000)),
         seed,
         data_dir: opt(args, "--data-dir").map(PathBuf::from),
         ..ServerConfig::default()
@@ -196,7 +175,7 @@ fn campaign(args: &[String]) -> i32 {
         eprintln!("radd campaign: --tenant NAME is required");
         return 2;
     };
-    let seed: u64 = parse(args, "--seed", 42);
+    let seed: u64 = parse("radd", args, "--seed", 42);
     let mut script = CampaignScript::supervised(seed);
     if let Some(n) = opt(args, "--max-commands") {
         let n: usize = n.parse().unwrap_or_else(|_| {

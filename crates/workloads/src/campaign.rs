@@ -97,19 +97,41 @@ impl CampaignDataset {
 /// ```
 #[derive(Debug, Clone)]
 pub struct CampaignBuilder {
-    seed: u64,
-    scale: f64,
-    fillers: bool,
-    power_experiments: bool,
-    fault_plan: Option<FaultPlan>,
-    crash_plan: Option<CrashPlan>,
-    durable_options: Option<DurableOptions>,
+    spec: CampaignSpec,
 }
 
-impl CampaignBuilder {
-    /// A full-scale campaign (≈128,785 traces) with power experiments.
+/// The resolved configuration of a campaign — every knob
+/// [`CampaignBuilder`] exposes, as one plain value.
+///
+/// This is the canonical construction path: the builder stores a
+/// `CampaignSpec` and its setters are thin wrappers over these fields,
+/// so a hand-wired builder and [`CampaignBuilder::from_spec`] are the
+/// same code path by construction. The scenario plane
+/// ([`crate::scenario::ScenarioSpec`]) produces one of these from a
+/// JSON document.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Master seed of the campaign.
+    pub seed: u64,
+    /// Unsupervised-filler scale factor.
+    pub scale: f64,
+    /// Whether the unsupervised filler runs.
+    pub fillers: bool,
+    /// Whether the P5/P6 power experiments run.
+    pub power_experiments: bool,
+    /// Seeded wire-fault schedule, if any.
+    pub fault_plan: Option<FaultPlan>,
+    /// Seeded persistence-crash schedule, if any.
+    pub crash_plan: Option<CrashPlan>,
+    /// Durable-store tuning override, if any.
+    pub durable_options: Option<DurableOptions>,
+}
+
+impl CampaignSpec {
+    /// The default full-scale configuration under `seed` — what
+    /// [`CampaignBuilder::new`] starts from.
     pub fn new(seed: u64) -> Self {
-        CampaignBuilder {
+        CampaignSpec {
             seed,
             scale: 1.0,
             fillers: true,
@@ -119,14 +141,44 @@ impl CampaignBuilder {
             durable_options: None,
         }
     }
+}
+
+impl CampaignBuilder {
+    /// A full-scale campaign (≈128,785 traces) with power experiments.
+    pub fn new(seed: u64) -> Self {
+        CampaignBuilder {
+            spec: CampaignSpec::new(seed),
+        }
+    }
+
+    /// A builder over an already-resolved configuration — the
+    /// scenario plane's entry point. Equivalent to chaining the
+    /// hand-wired setters for every populated field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.scale` is not finite or not positive, matching
+    /// [`CampaignBuilder::scale`].
+    pub fn from_spec(spec: CampaignSpec) -> Self {
+        assert!(
+            spec.scale.is_finite() && spec.scale > 0.0,
+            "scale must be positive"
+        );
+        CampaignBuilder { spec }
+    }
+
+    /// The builder's resolved configuration.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
 
     /// Keep only the 25 supervised runs: no filler, no P5/P6. The
     /// cheapest configuration, used by tests and the Fig. 6 / Table I
     /// benches.
     #[must_use]
     pub fn supervised_only(mut self) -> Self {
-        self.fillers = false;
-        self.power_experiments = false;
+        self.spec.fillers = false;
+        self.spec.power_experiments = false;
         self
     }
 
@@ -141,14 +193,14 @@ impl CampaignBuilder {
     #[must_use]
     pub fn scale(mut self, scale: f64) -> Self {
         assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
-        self.scale = scale;
+        self.spec.scale = scale;
         self
     }
 
     /// Enables/disables the P5/P6 power experiments.
     #[must_use]
     pub fn power_experiments(mut self, on: bool) -> Self {
-        self.power_experiments = on;
+        self.spec.power_experiments = on;
         self
     }
 
@@ -165,13 +217,13 @@ impl CampaignBuilder {
     /// traces into gaps can keep the filler from converging.
     #[must_use]
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
-        self.fault_plan = Some(plan);
+        self.spec.fault_plan = Some(plan);
         self
     }
 
     /// The fault plan, if one is configured.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
-        self.fault_plan.as_ref()
+        self.spec.fault_plan.as_ref()
     }
 
     /// Schedules a process crash inside [`CampaignBuilder::build_resumable`]'s
@@ -181,7 +233,7 @@ impl CampaignBuilder {
     /// recovery is a fresh, healthy process.
     #[must_use]
     pub fn with_crash_plan(mut self, plan: CrashPlan) -> Self {
-        self.crash_plan = Some(plan);
+        self.spec.crash_plan = Some(plan);
         self
     }
 
@@ -191,7 +243,7 @@ impl CampaignBuilder {
     /// so rotation happens within a small campaign).
     #[must_use]
     pub fn with_durable_options(mut self, options: DurableOptions) -> Self {
-        self.durable_options = Some(options);
+        self.spec.durable_options = Some(options);
         self
     }
 
@@ -199,7 +251,7 @@ impl CampaignBuilder {
     /// [`CampaignBuilder::build_many`] to derive per-campaign builders.
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.spec.seed = seed;
         self
     }
 
@@ -263,9 +315,9 @@ impl CampaignBuilder {
     /// crashes, and [`RadError::CheckpointMismatch`] when `dir` holds a
     /// different campaign's data.
     pub fn build_resumable(&self, dir: &Path) -> Result<CampaignDataset, RadError> {
-        let mut options = self.durable_options.clone().unwrap_or_default();
+        let mut options = self.spec.durable_options.clone().unwrap_or_default();
         if options.crash_plan.is_none() {
-            options.crash_plan = self.crash_plan.clone();
+            options.crash_plan = self.spec.crash_plan.clone();
         }
         let (durable, _report) = DurableStore::open(dir, options)?;
         let mut sink = CampaignSink::attach(&durable, self.fingerprint())?;
@@ -294,7 +346,7 @@ impl CampaignBuilder {
     /// [`RadError::Store`] on filesystem failures.
     pub fn resume_from(&self, dir: &Path) -> Result<CampaignDataset, RadError> {
         // A recovery is a fresh, healthy process: no crash plan.
-        let mut options = self.durable_options.clone().unwrap_or_default();
+        let mut options = self.spec.durable_options.clone().unwrap_or_default();
         options.crash_plan = None;
         let (durable, _report) = DurableStore::open(dir, options)?;
 
@@ -364,17 +416,21 @@ impl CampaignBuilder {
     fn fingerprint(&self) -> String {
         format!(
             "seed={} scale={} fillers={} power={} faults={:?}",
-            self.seed, self.scale, self.fillers, self.power_experiments, self.fault_plan
+            self.spec.seed,
+            self.spec.scale,
+            self.spec.fillers,
+            self.spec.power_experiments,
+            self.spec.fault_plan
         )
     }
 
     fn run(&self, mut sink: Option<&mut CampaignSink<'_>>) -> Result<CampaignDataset, RadError> {
-        let mut session = match &self.fault_plan {
+        let mut session = match &self.spec.fault_plan {
             Some(plan) => Session::with_middlebox(
-                Middlebox::new(self.seed).with_fault_plan(plan.clone()),
-                self.seed,
+                Middlebox::new(self.spec.seed).with_fault_plan(plan.clone()),
+                self.spec.seed,
             ),
-            None => Session::new(self.seed),
+            None => Session::new(self.spec.seed),
         };
         let mut journal = Vec::new();
 
@@ -431,7 +487,7 @@ impl CampaignBuilder {
         }
 
         // ---- P5/P6 power experiments (not part of the 25). ----
-        if self.power_experiments {
+        if self.spec.power_experiments {
             for velocity in [100.0, 200.0, 250.0] {
                 session.begin_run(RunId(next_id), ProcedureKind::VelocitySweep, Label::Benign);
                 procedures::p5_velocity_run(&mut session, velocity)
@@ -455,7 +511,7 @@ impl CampaignBuilder {
         }
 
         // ---- Unsupervised filler to the Fig. 5(a) mix. ----
-        if self.fillers {
+        if self.spec.fillers {
             self.fill_to_targets(&mut session);
         }
 
@@ -475,7 +531,7 @@ impl CampaignBuilder {
             .map(|&d| {
                 (
                     d,
-                    (d.paper_trace_count() as f64 * self.scale).round() as u64,
+                    (d.paper_trace_count() as f64 * self.spec.scale).round() as u64,
                 )
             })
             .collect()

@@ -1,0 +1,64 @@
+//! Hand-rolled argv parsing shared by the `radd` and `rad` binaries.
+//!
+//! Deliberately minimal — `--flag value` pairs and boolean switches —
+//! so the binaries stay dependency-free. Parse failures print to
+//! stderr and exit 2, the conventional usage-error status both
+//! binaries use.
+
+/// Pulls `--flag value` out of argv; `None` when absent.
+pub fn opt(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Whether a boolean `--flag` switch is present.
+pub fn has(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Parses `--flag value` as a `T`, falling back to `default` when the
+/// flag is absent. An unparseable value prints a usage error naming
+/// `program` and exits 2.
+pub fn parse<T: std::str::FromStr>(program: &str, args: &[String], flag: &str, default: T) -> T {
+    match opt(args, flag) {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("{program}: invalid value for {flag}: {v}");
+            std::process::exit(2);
+        }),
+        None => default,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(words: &[&str]) -> Vec<String> {
+        words.iter().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn opt_finds_flag_values_and_tolerates_absence() {
+        let args = argv(&["--tcp", "127.0.0.1:7171", "--detect"]);
+        assert_eq!(opt(&args, "--tcp").as_deref(), Some("127.0.0.1:7171"));
+        assert_eq!(opt(&args, "--unix"), None);
+        // A trailing flag with no value is absent, not a panic.
+        assert_eq!(opt(&args, "--detect"), None);
+    }
+
+    #[test]
+    fn has_detects_switches() {
+        let args = argv(&["--degrade"]);
+        assert!(has(&args, "--degrade"));
+        assert!(!has(&args, "--detect"));
+    }
+
+    #[test]
+    fn parse_falls_back_to_the_default() {
+        let args = argv(&["--seed", "9"]);
+        assert_eq!(parse::<u64>("test", &args, "--seed", 0), 9);
+        assert_eq!(parse::<u64>("test", &args, "--scale", 3), 3);
+    }
+}

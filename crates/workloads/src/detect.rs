@@ -1,7 +1,8 @@
 //! Wiring the streaming detection plane to campaigns.
 //!
 //! The analysis crate provides the detector *stages*
-//! ([`StreamingPerplexity`], [`StreamingPowerStats`]); this module
+//! ([`StreamingPerplexity`],
+//! [`rad_analysis::streaming::StreamingPowerStats`]); this module
 //! plugs them into the campaign artifacts: fit a detector from a
 //! campaign's benign supervised runs, stream a finished campaign (or
 //! its sealed segments) through the stages, and publish the export
@@ -12,11 +13,12 @@
 
 use rad_analysis::detector::FittedDetector;
 use rad_analysis::{
-    AlertPolicy, RecordingStats, RunScore, StreamingPerplexity, StreamingPowerStats,
+    AlertPolicy, PerplexitySpec, PowerStatsSpec, RecordingStats, RunScore, StreamingPerplexity,
+    ThresholdSpec,
 };
 use rad_core::sink::SliceSource;
 use rad_core::{
-    Alert, Command, CommandType, DeviceId, DeviceKind, Label, ProcedureKind, RadError, RunId,
+    spec, Alert, Command, CommandType, DeviceId, DeviceKind, Label, ProcedureKind, RadError, RunId,
     SimInstant, TraceId, TraceObject, TraceSink, TraceSource,
 };
 use rad_power::{BlockSource, PowerSink, RecordingMeta};
@@ -44,6 +46,91 @@ impl Default for PowerAlertConfig {
             min_prominence: 0.05,
             rms_threshold: f64::INFINITY,
         }
+    }
+}
+
+/// The declarative form of one detection pass — the `detect` section
+/// of a scenario document:
+///
+/// ```json
+/// {
+///   "perplexity": {"order": 2},
+///   "power": {"lane": "robot_current", "rms_threshold": 0.6},
+///   "chunk": 256
+/// }
+/// ```
+///
+/// `perplexity` is required (its `order` is the fit-time knob for
+/// [`fit_detector`]); `power` defaults to the conventional
+/// robot-current watch with [`PowerAlertConfig::default`]'s
+/// prominence and an infinite (never-alarming) RMS threshold; `chunk`
+/// defaults to [`rad_power::DEFAULT_CHUNK_TICKS`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectSpec {
+    /// Trace-side perplexity stage configuration.
+    pub perplexity: PerplexitySpec,
+    /// Power-side statistics stage configuration.
+    pub power: PowerStatsSpec,
+    /// Rows/ticks per streamed batch.
+    pub chunk: usize,
+}
+
+impl DetectSpec {
+    const FIELDS: &'static [&'static str] = &["perplexity", "power", "chunk"];
+
+    /// The default power watch: robot supply current, default
+    /// prominence, alarm threshold disabled.
+    fn default_power() -> PowerStatsSpec {
+        let defaults = PowerAlertConfig::default();
+        PowerStatsSpec {
+            lane: rad_power::block::lane::ROBOT_CURRENT,
+            min_prominence: defaults.min_prominence,
+            rms_threshold: defaults.rms_threshold,
+        }
+    }
+
+    /// Parses the `detect` section of a scenario document. `ctx` is
+    /// the dotted path of `value` for error messages.
+    ///
+    /// # Errors
+    ///
+    /// [`RadError::Spec`] on unknown fields, ill-typed values, a
+    /// missing `perplexity` section, or a zero `chunk`.
+    pub fn from_json(value: &serde_json::Value, ctx: &str) -> Result<Self, RadError> {
+        let map = spec::obj(value, ctx)?;
+        spec::known_fields(map, ctx, Self::FIELDS)?;
+        let perplexity = PerplexitySpec::from_json(
+            spec::req(map, ctx, "perplexity")?,
+            &spec::path(ctx, "perplexity"),
+        )?;
+        let power = match map.get("power") {
+            None | Some(serde_json::Value::Null) => Self::default_power(),
+            Some(v) => PowerStatsSpec::from_json(v, &spec::path(ctx, "power"))?,
+        };
+        let chunk =
+            spec::opt_u64(map, ctx, "chunk")?.unwrap_or(rad_power::DEFAULT_CHUNK_TICKS as u64);
+        if chunk == 0 {
+            return Err(RadError::spec(
+                spec::path(ctx, "chunk"),
+                "must be at least 1",
+            ));
+        }
+        let chunk = usize::try_from(chunk)
+            .map_err(|_| RadError::spec(spec::path(ctx, "chunk"), "exceeds usize range"))?;
+        Ok(DetectSpec {
+            perplexity,
+            power,
+            chunk,
+        })
+    }
+
+    /// Serializes the spec back to its JSON form, every field explicit.
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut map = serde_json::Map::new();
+        map.insert("perplexity".into(), self.perplexity.to_json());
+        map.insert("power".into(), self.power.to_json());
+        map.insert("chunk".into(), serde_json::Value::from(self.chunk as u64));
+        serde_json::Value::Object(map)
     }
 }
 
@@ -86,7 +173,8 @@ pub fn fit_detector(
 /// Streams a finished campaign through the detection stages: every
 /// trace through [`StreamingPerplexity`] (run-end policy — the batch
 /// verdicts, bit for bit) and every power recording through
-/// [`StreamingPowerStats`], `chunk` rows/ticks at a time.
+/// [`rad_analysis::streaming::StreamingPowerStats`], `chunk` rows/ticks
+/// at a time.
 ///
 /// # Errors
 ///
@@ -101,9 +189,49 @@ pub fn detect_campaign(
     power: PowerAlertConfig,
     chunk: usize,
 ) -> Result<DetectionOutcome, RadError> {
-    let mut stage = StreamingPerplexity::new(detector, AlertPolicy::RunEnd, Vec::new());
+    detect_campaign_spec(dataset, detector, &hand_wired_spec(power, chunk))
+}
+
+/// Lifts the hand-wired `(PowerAlertConfig, chunk)` signature into the
+/// equivalent [`DetectSpec`]: run-end perplexity with the calibrated
+/// threshold over the conventional robot-current watch. The spec's
+/// `order` is irrelevant here — it only matters at [`fit_detector`]
+/// time and the detector is already fitted.
+fn hand_wired_spec(power: PowerAlertConfig, chunk: usize) -> DetectSpec {
+    DetectSpec {
+        perplexity: PerplexitySpec {
+            order: 2,
+            policy: AlertPolicy::RunEnd,
+            threshold: ThresholdSpec::Calibrated,
+        },
+        power: PowerStatsSpec {
+            lane: rad_power::block::lane::ROBOT_CURRENT,
+            min_prominence: power.min_prominence,
+            rms_threshold: power.rms_threshold,
+        },
+        chunk,
+    }
+}
+
+/// [`detect_campaign`] with the stages built from a [`DetectSpec`] —
+/// the scenario plane's detection path. The hand-wired entry points
+/// are thin wrappers over this.
+///
+/// # Errors
+///
+/// Propagates the first stage error.
+///
+/// # Panics
+///
+/// Panics if `spec.chunk` is zero.
+pub fn detect_campaign_spec(
+    dataset: &CampaignDataset,
+    detector: &FittedDetector<CommandType>,
+    spec: &DetectSpec,
+) -> Result<DetectionOutcome, RadError> {
+    let mut stage = spec.perplexity.build(detector, Vec::new());
     let traces = dataset.command().traces();
-    let mut source = SliceSource::new(&traces, chunk);
+    let mut source = SliceSource::new(&traces, spec.chunk);
     while let Some(batch) = source.next_batch()? {
         stage.accept(&batch)?;
     }
@@ -111,15 +239,14 @@ pub fn detect_campaign(
     let runs = stage.completed_runs().to_vec();
     let mut alerts = stage.into_sink();
 
-    let mut watt =
-        StreamingPowerStats::robot_current(power.min_prominence, power.rms_threshold, Vec::new());
+    let mut watt = spec.power.build(Vec::new());
     for recording in dataset.power().recordings() {
         watt.begin_recording(&RecordingMeta {
             procedure: recording.procedure,
             run_id: recording.run_id,
             description: recording.description.clone(),
         })?;
-        let mut blocks = BlockSource::new(recording.profile.block(), chunk);
+        let mut blocks = BlockSource::new(recording.profile.block(), spec.chunk);
         while let Some(piece) = rad_power::PowerSource::next_block(&mut blocks)? {
             watt.accept(&piece)?;
         }
@@ -155,7 +282,26 @@ pub fn detect_segments(
     power: PowerAlertConfig,
     chunk: usize,
 ) -> Result<DetectionOutcome, RadError> {
-    let mut stage = StreamingPerplexity::new(detector, AlertPolicy::RunEnd, Vec::new());
+    detect_segments_spec(segments, detector, &hand_wired_spec(power, chunk))
+}
+
+/// [`detect_segments`] with the stages built from a [`DetectSpec`] —
+/// the scenario plane's replay-side detection path.
+///
+/// # Errors
+///
+/// Propagates scan and stage errors, including
+/// [`RadError::SegmentCorrupt`] on quarantined segments.
+///
+/// # Panics
+///
+/// Panics if `spec.chunk` is zero.
+pub fn detect_segments_spec(
+    segments: &SegmentSet,
+    detector: &FittedDetector<CommandType>,
+    spec: &DetectSpec,
+) -> Result<DetectionOutcome, RadError> {
+    let mut stage = spec.perplexity.build(detector, Vec::new());
     let mut scan = segments.read_all()?;
     if let Some(q) = scan.quarantined().first() {
         return Err(RadError::SegmentCorrupt {
@@ -171,9 +317,10 @@ pub fn detect_segments(
     let runs = stage.completed_runs().to_vec();
     let mut alerts = stage.into_sink();
 
-    let mut watt =
-        StreamingPowerStats::robot_current(power.min_prominence, power.rms_threshold, Vec::new());
-    segments.power_recordings()?.replay_into(&mut watt, chunk)?;
+    let mut watt = spec.power.build(Vec::new());
+    segments
+        .power_recordings()?
+        .replay_into(&mut watt, spec.chunk)?;
     let recordings = watt.recordings().to_vec();
     alerts.extend(watt.into_sink());
 

@@ -16,6 +16,12 @@
 //!   campaign script against a live lab service over any transport,
 //!   with jittered retries, kill-and-reconnect resume, and degraded
 //!   mode ([`rad_core::TraceGap`] per command) when the link dies.
+//! - [`scenario`] — the declarative plane: whole campaigns as strict
+//!   JSON documents ([`ScenarioSpec`]), executed headless by
+//!   [`run_scenario`] and the `rad` binary, with golden parity pinning
+//!   spec-built campaigns byte-identical to hand-wired ones.
+//! - [`cli`] — the minimal argv parsing the `rad` and `radd` binaries
+//!   share.
 //!
 //! # Examples
 //!
@@ -31,19 +37,24 @@
 
 pub mod attacks;
 pub mod campaign;
+pub mod cli;
 pub mod detect;
 pub mod procedures;
 pub mod remote;
+pub mod scenario;
 pub mod session;
 
 pub use attacks::{AttackKind, AttackTrace};
-pub use campaign::{CampaignBuilder, CampaignDataset, ProcedureRun};
+pub use campaign::{CampaignBuilder, CampaignDataset, CampaignSpec, ProcedureRun};
 pub use detect::{
-    benchmark_streaming_detector, detect_campaign, detect_segments, export_detected, fit_detector,
-    DetectionOutcome, PowerAlertConfig,
+    benchmark_streaming_detector, detect_campaign, detect_campaign_spec, detect_segments,
+    detect_segments_spec, export_detected, fit_detector, DetectSpec, DetectionOutcome,
+    PowerAlertConfig,
 };
 pub use procedures::{P1Variant, P2Variant, P3Variant, SOLIDS};
 pub use remote::{
     CampaignScript, DisconnectPolicy, DriveReport, RemoteCampaign, RemoteSession, ScriptStep,
+    TenantSpec,
 };
+pub use scenario::{run_scenario, RunOptions, ScenarioReport, ScenarioSpec, TransportSpec};
 pub use session::{RunEnd, Session};

@@ -23,7 +23,7 @@
 use std::time::{Duration, Instant};
 
 use rad_core::{
-    Command, DeviceId, Label, ProcedureKind, RadError, RunId, TraceGap, TraceMode, Value,
+    spec, Command, DeviceId, Label, ProcedureKind, RadError, RunId, TraceGap, TraceMode, Value,
 };
 use rad_devices::LabRig;
 use rad_middlebox::rpc::{FrameCodec, RetryPolicy, Transport};
@@ -591,6 +591,126 @@ impl RemoteCampaign {
             gap = gap.with_run(RunId(run));
         }
         gap
+    }
+}
+
+/// The declarative form of a [`RemoteCampaign`] tenant — one entry of
+/// the `transport.tenants` array of a scenario document:
+///
+/// ```json
+/// {
+///   "tenant": "alice",
+///   "max_commands": 40,
+///   "on_disconnect": "degrade",
+///   "retry": {"max_attempts": 6, "deadline_ms": 5000}
+/// }
+/// ```
+///
+/// Only `tenant` is required. `max_commands` truncates the replayed
+/// script ([`CampaignScript::truncated`]); `on_disconnect` is
+/// `"fail"` (default) or `"degrade"`; `retry` is a
+/// [`RetrySpec`](rad_middlebox::rpc::RetrySpec) section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Tenant name the session connects as.
+    pub tenant: String,
+    /// Truncate the script to this many command steps, if set.
+    pub max_commands: Option<usize>,
+    /// Per-request retry policy override, if set.
+    pub retry: Option<rad_middlebox::rpc::RetrySpec>,
+    /// Link-death behavior.
+    pub on_disconnect: DisconnectPolicy,
+}
+
+impl TenantSpec {
+    const FIELDS: &'static [&'static str] = &["tenant", "max_commands", "retry", "on_disconnect"];
+
+    /// Builds the [`RemoteCampaign`] this spec describes over a
+    /// replayable script (truncating it first when `max_commands` is
+    /// set).
+    pub fn to_campaign(&self, script: CampaignScript) -> RemoteCampaign {
+        let script = match self.max_commands {
+            Some(max) => script.truncated(max),
+            None => script,
+        };
+        let mut campaign =
+            RemoteCampaign::new(script, &self.tenant).on_disconnect(self.on_disconnect);
+        if let Some(retry) = &self.retry {
+            campaign = campaign.with_policy(retry.to_policy());
+        }
+        campaign
+    }
+
+    /// Parses one tenant entry of a scenario document. `ctx` is the
+    /// dotted path of `value` for error messages.
+    ///
+    /// # Errors
+    ///
+    /// [`RadError::Spec`] on unknown fields, ill-typed values, an
+    /// empty tenant name, or an unknown disconnect policy.
+    pub fn from_json(value: &serde_json::Value, ctx: &str) -> Result<Self, RadError> {
+        let map = spec::obj(value, ctx)?;
+        spec::known_fields(map, ctx, Self::FIELDS)?;
+        let tenant = spec::req_str(map, ctx, "tenant")?;
+        if tenant.is_empty() {
+            return Err(RadError::spec(
+                spec::path(ctx, "tenant"),
+                "must not be empty",
+            ));
+        }
+        let max_commands = match spec::opt_u64(map, ctx, "max_commands")? {
+            None => None,
+            Some(n) => Some(usize::try_from(n).map_err(|_| {
+                RadError::spec(spec::path(ctx, "max_commands"), "exceeds usize range")
+            })?),
+        };
+        let retry = match map.get("retry") {
+            None | Some(serde_json::Value::Null) => None,
+            Some(v) => Some(rad_middlebox::rpc::RetrySpec::from_json(
+                v,
+                &spec::path(ctx, "retry"),
+            )?),
+        };
+        let on_disconnect = match spec::opt_str(map, ctx, "on_disconnect")? {
+            None | Some("fail") => DisconnectPolicy::Fail,
+            Some("degrade") => DisconnectPolicy::Degrade,
+            Some(other) => {
+                return Err(RadError::spec(
+                    spec::path(ctx, "on_disconnect"),
+                    format!("unknown policy `{other}` (accepted: fail, degrade)"),
+                ))
+            }
+        };
+        Ok(TenantSpec {
+            tenant: tenant.to_string(),
+            max_commands,
+            retry,
+            on_disconnect,
+        })
+    }
+
+    /// Serializes the spec back to its JSON form. Optional sections
+    /// are omitted when absent.
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut map = serde_json::Map::new();
+        map.insert(
+            "tenant".into(),
+            serde_json::Value::from(self.tenant.clone()),
+        );
+        if let Some(max) = self.max_commands {
+            map.insert("max_commands".into(), serde_json::Value::from(max as u64));
+        }
+        if let Some(retry) = &self.retry {
+            map.insert("retry".into(), retry.to_json());
+        }
+        map.insert(
+            "on_disconnect".into(),
+            serde_json::Value::from(match self.on_disconnect {
+                DisconnectPolicy::Fail => "fail",
+                DisconnectPolicy::Degrade => "degrade",
+            }),
+        );
+        serde_json::Value::Object(map)
     }
 }
 

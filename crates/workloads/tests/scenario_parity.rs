@@ -1,0 +1,210 @@
+//! Golden parity: a campaign built from a committed scenario document
+//! is **byte-identical** to its hand-wired equivalent.
+//!
+//! Each test loads one of the JSON files under `examples/scenarios/`,
+//! runs it through the scenario plane ([`run_scenario`] or
+//! [`CampaignBuilder::from_spec`]), wires the same campaign by hand
+//! through the pre-spec builder API, exports both to RAD bundles, and
+//! compares every exported file byte for byte. The suite covers the
+//! plain supervised campaign, a fault-plan scenario, the kill/resume
+//! scenario (whose scheduled crash fires and is recovered), and the
+//! streaming-detection scenario — so any drift between the
+//! declarative plane and the imperative API fails loudly at the
+//! committed seeds.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rad_middlebox::{FaultPlan, FaultProfile};
+use rad_store::export::export_rad_alerted;
+use rad_workloads::scenario::{run_scenario, RunOptions, ScenarioSpec};
+use rad_workloads::{
+    detect_campaign, fit_detector, CampaignBuilder, CampaignDataset, PowerAlertConfig,
+};
+
+fn scenario_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/scenarios")
+}
+
+fn load(name: &str) -> ScenarioSpec {
+    let path = scenario_dir().join(name);
+    let text =
+        fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    ScenarioSpec::from_json_str(&text).unwrap_or_else(|e| panic!("parsing {name}: {e}"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rad-parity-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Every exported file under `dir` (skipping the runner's `store/` and
+/// `segments/` working directories), keyed by bundle-relative path.
+fn bundle_files(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut files = BTreeMap::new();
+    collect(dir, dir, &mut files);
+    files
+}
+
+fn collect(root: &Path, dir: &Path, files: &mut BTreeMap<String, Vec<u8>>) {
+    for entry in fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if path.parent() == Some(root) && (name == "store" || name == "segments") {
+                continue;
+            }
+            collect(root, &path, files);
+        } else {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap()
+                .to_string_lossy()
+                .into_owned();
+            files.insert(rel, fs::read(&path).unwrap());
+        }
+    }
+}
+
+fn assert_bundles_identical(spec_dir: &Path, hand_dir: &Path) {
+    let spec_files = bundle_files(spec_dir);
+    let hand_files = bundle_files(hand_dir);
+    assert_eq!(
+        spec_files.keys().collect::<Vec<_>>(),
+        hand_files.keys().collect::<Vec<_>>(),
+        "bundles list different files"
+    );
+    for (rel, bytes) in &spec_files {
+        assert_eq!(
+            bytes, &hand_files[rel],
+            "bundle file {rel} differs between spec-built and hand-wired"
+        );
+    }
+    assert!(
+        spec_files.contains_key("MANIFEST.json"),
+        "bundle has no manifest — nothing was exported"
+    );
+}
+
+fn export_hand_wired(dataset: &CampaignDataset, alerts: &[rad_core::Alert], dir: &Path) {
+    export_rad_alerted(dataset.command(), dataset.power(), alerts, dir, None).unwrap();
+}
+
+#[test]
+fn supervised_scenario_matches_hand_wired_bundle() {
+    let spec = load("supervised_small.json");
+    let out = tmpdir("supervised-spec");
+    let report = run_scenario(
+        &spec,
+        &RunOptions {
+            out_dir: Some(out.clone()),
+            addr_override: None,
+        },
+    )
+    .unwrap();
+    assert_eq!(report.supervised_runs, 25);
+
+    let hand = tmpdir("supervised-hand");
+    let dataset = CampaignBuilder::new(42).supervised_only().build();
+    export_hand_wired(&dataset, &[], &hand);
+
+    assert_bundles_identical(&out, &hand);
+    let _ = fs::remove_dir_all(&out);
+    let _ = fs::remove_dir_all(&hand);
+}
+
+#[test]
+fn fault_plan_scenario_matches_hand_wired_bundle() {
+    let spec = load("fault_drop.json");
+    let out = tmpdir("fault-spec");
+    run_scenario(
+        &spec,
+        &RunOptions {
+            out_dir: Some(out.clone()),
+            addr_override: None,
+        },
+    )
+    .unwrap();
+
+    let hand = tmpdir("fault-hand");
+    let profile = FaultProfile {
+        drop_prob: 0.05,
+        delay_prob: 0.1,
+        delay_chunks: 3,
+        ..FaultProfile::none()
+    };
+    let dataset = CampaignBuilder::new(7)
+        .supervised_only()
+        .with_fault_plan(FaultPlan::new(7, profile))
+        .build();
+    export_hand_wired(&dataset, &[], &hand);
+
+    assert_bundles_identical(&out, &hand);
+    let _ = fs::remove_dir_all(&out);
+    let _ = fs::remove_dir_all(&hand);
+}
+
+#[test]
+fn kill_resume_scenario_recovers_byte_identical_bundle() {
+    let spec = load("kill_resume.json");
+    assert!(
+        spec.injects_crash(),
+        "committed scenario must schedule a crash"
+    );
+    let out = tmpdir("kill-spec");
+    let report = run_scenario(
+        &spec,
+        &RunOptions {
+            out_dir: Some(out.clone()),
+            addr_override: None,
+        },
+    )
+    .unwrap();
+    assert!(
+        report.resumed_after_crash,
+        "the scheduled crash must fire and be recovered"
+    );
+
+    // The hand-wired equivalent is the *uninterrupted* build: resume
+    // must hide the crash entirely.
+    let hand = tmpdir("kill-hand");
+    let dataset = CampaignBuilder::new(23).supervised_only().build();
+    export_hand_wired(&dataset, &[], &hand);
+
+    assert_bundles_identical(&out, &hand);
+    let _ = fs::remove_dir_all(&out);
+    let _ = fs::remove_dir_all(&hand);
+}
+
+#[test]
+fn detect_scenario_matches_hand_wired_alerted_bundle() {
+    let spec = load("detect_stream.json");
+    let out = tmpdir("detect-spec");
+    let report = run_scenario(
+        &spec,
+        &RunOptions {
+            out_dir: Some(out.clone()),
+            addr_override: None,
+        },
+    )
+    .unwrap();
+    assert!(report.alerts > 0, "committed seed must raise alerts");
+
+    let hand = tmpdir("detect-hand");
+    let dataset = CampaignBuilder::new(11).supervised_only().build();
+    let detector = fit_detector(&dataset, 2).unwrap();
+    let power = PowerAlertConfig {
+        min_prominence: 0.05,
+        ..PowerAlertConfig::default()
+    };
+    let outcome =
+        detect_campaign(&dataset, &detector, power, rad_power::DEFAULT_CHUNK_TICKS).unwrap();
+    assert_eq!(outcome.alerts.len() as u64, report.alerts);
+    export_hand_wired(&dataset, &outcome.alerts, &hand);
+
+    assert_bundles_identical(&out, &hand);
+    let _ = fs::remove_dir_all(&out);
+    let _ = fs::remove_dir_all(&hand);
+}

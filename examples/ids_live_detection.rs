@@ -16,7 +16,23 @@ use rad::prelude::*;
 
 fn main() -> Result<(), RadError> {
     // 1. Train on benign history: the supervised runs minus anomalies.
-    let campaign = CampaignBuilder::new(21).supervised_only().build();
+    //    The campaign seed and detector order come from the committed
+    //    scenario document — the same file `rad run
+    //    examples/scenarios/detect_stream.json` executes headless.
+    let text = std::fs::read_to_string("examples/scenarios/detect_stream.json")
+        .expect("run from the repo root: examples/scenarios/detect_stream.json");
+    let spec = ScenarioSpec::from_json_str(&text)?;
+    let order = spec
+        .detect
+        .as_ref()
+        .expect("scenario has a detect stack")
+        .perplexity
+        .order;
+    println!(
+        "scenario {}: seed {}, order-{order} detector",
+        spec.name, spec.seed
+    );
+    let campaign = CampaignBuilder::from_spec(spec.to_campaign_spec()).build();
     let sequences = campaign.command().supervised_sequences();
     let benign: Vec<Vec<CommandType>> = sequences
         .iter()
@@ -25,7 +41,7 @@ fn main() -> Result<(), RadError> {
         .collect();
     println!("training on {} benign runs", benign.len());
     let (train, calibrate) = benign.split_at(benign.len() - 6);
-    let detector = PerplexityDetector::new(2).fit(train, calibrate)?;
+    let detector = PerplexityDetector::new(order).fit(train, calibrate)?;
     println!("alarm threshold: perplexity > {:.2}", detector.threshold());
 
     // 2. Replay a benign joystick session through the stream scorer:

@@ -1,6 +1,10 @@
 //! Quickstart: synthesize a RAD-shaped dataset and run the paper's
 //! two headline analyses on it.
 //!
+//! The campaign comes from a committed scenario document — the same
+//! file `rad run examples/scenarios/fault_drop.json` executes — so the
+//! example and the CLI are pinned to identical data.
+//!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
@@ -11,7 +15,13 @@ fn main() -> Result<(), RadError> {
     // 1. Synthesize the 25 supervised procedure runs of §IV (P4
     //    joystick runs first, then the P1/P2/P3 solubility screens,
     //    with the three narrated crashes planted at runs 16, 17, 22).
-    let campaign = CampaignBuilder::new(7).supervised_only().build();
+    //    The wiring — seed, scale, fault plan — lives in the scenario
+    //    document, not in code.
+    let text = std::fs::read_to_string("examples/scenarios/fault_drop.json")
+        .expect("run from the repo root: examples/scenarios/fault_drop.json");
+    let spec = ScenarioSpec::from_json_str(&text)?;
+    println!("scenario {}: seed {}", spec.name, spec.seed);
+    let campaign = CampaignBuilder::from_spec(spec.to_campaign_spec()).build();
     let dataset = campaign.command();
     println!(
         "synthesized {} trace objects across {} supervised runs",

@@ -67,7 +67,7 @@ pub mod prelude {
         DurableStore, Filter, LoadIssue, LoadReport, PowerDataset, RecoveryReport, WalOptions,
     };
     pub use rad_workloads::{
-        AttackKind, CampaignBuilder, CampaignScript, DisconnectPolicy, ProcedureRun,
-        RemoteCampaign, RemoteSession,
+        run_scenario, AttackKind, CampaignBuilder, CampaignScript, DisconnectPolicy, ProcedureRun,
+        RemoteCampaign, RemoteSession, RunOptions, ScenarioReport, ScenarioSpec,
     };
 }
