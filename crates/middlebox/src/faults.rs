@@ -373,6 +373,7 @@ struct FaultStatsInner {
     timeouts: AtomicU64,
     executions: AtomicU64,
     dedup_hits: AtomicU64,
+    dedup_evictions: AtomicU64,
     gaps: AtomicU64,
 }
 
@@ -407,6 +408,7 @@ impl FaultStats {
         note_timeout / timeouts => timeouts,
         note_execution / executions => executions,
         note_dedup_hit / dedup_hits => dedup_hits,
+        note_dedup_eviction / dedup_evictions => dedup_evictions,
         note_gap / gaps => gaps,
     }
 
@@ -423,6 +425,7 @@ impl FaultStats {
             timeouts: self.timeouts(),
             executions: self.executions(),
             dedup_hits: self.dedup_hits(),
+            dedup_evictions: self.dedup_evictions(),
             gaps: self.gaps(),
         }
     }
@@ -442,6 +445,7 @@ pub struct FaultStatsSnapshot {
     pub timeouts: u64,
     pub executions: u64,
     pub dedup_hits: u64,
+    pub dedup_evictions: u64,
     pub gaps: u64,
 }
 
@@ -450,7 +454,8 @@ impl fmt::Display for FaultStatsSnapshot {
         write!(
             f,
             "delivered={} dropped={} duplicated={} corrupted={} held={} \
-             disconnects={} retries={} timeouts={} executions={} dedup_hits={} gaps={}",
+             disconnects={} retries={} timeouts={} executions={} dedup_hits={} \
+             dedup_evictions={} gaps={}",
             self.delivered,
             self.dropped,
             self.duplicated,
@@ -461,6 +466,7 @@ impl fmt::Display for FaultStatsSnapshot {
             self.timeouts,
             self.executions,
             self.dedup_hits,
+            self.dedup_evictions,
             self.gaps,
         )
     }
@@ -947,9 +953,12 @@ mod tests {
         let stats = FaultStats::new();
         stats.note_retry();
         stats.note_gap();
+        stats.note_dedup_eviction();
         let text = stats.snapshot().to_string();
         assert!(
-            text.contains("retries=1") && text.contains("gaps=1"),
+            text.contains("retries=1")
+                && text.contains("gaps=1")
+                && text.contains("dedup_evictions=1"),
             "{text}"
         );
     }

@@ -60,6 +60,7 @@ pub mod rpc;
 pub mod server;
 pub mod sinks;
 pub mod tracer;
+pub mod wire;
 
 pub use cluster::{RpcCluster, ShardPlan};
 pub use faults::{
@@ -77,3 +78,4 @@ pub use server::{
 };
 pub use sinks::{DurableSink, MirrorSink};
 pub use tracer::Tracer;
+pub use wire::WireCodecKind;

@@ -45,6 +45,7 @@ use rad_devices::LabRig;
 use serde::{Deserialize, Serialize};
 
 use crate::faults::FaultStats;
+use crate::wire::{self, WireCodecKind};
 
 /// Maximum accepted frame size (defensive bound against corrupt length
 /// prefixes).
@@ -53,6 +54,137 @@ pub const MAX_FRAME_BYTES: usize = 1 << 20;
 /// How many request/response pairs the server remembers for
 /// idempotent replay of retried requests.
 pub const DEDUP_CACHE_SIZE: usize = 1024;
+
+/// A bounded LRU of request id → framed reply — the idempotency cache
+/// behind both the [`RpcServer`] and the lab service's per-tenant
+/// sessions.
+///
+/// Retried requests replay their cached reply instead of re-executing,
+/// and recently *replayed* ids count as recently used, so the entries a
+/// flaky client still needs outlive a flood of fresh traffic. Recency
+/// is tracked with a monotonic tick per entry plus a queue of
+/// `(id, tick)` observations; stale observations are skipped on
+/// eviction and the queue is compacted once it doubles the capacity,
+/// keeping both memory and amortized cost O(capacity).
+///
+/// Cached replies are shared [`Bytes`], so replaying one is a
+/// reference-count bump, not a copy.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use rad_middlebox::rpc::DedupCache;
+///
+/// let mut cache = DedupCache::new(2);
+/// cache.insert(1, Bytes::from_static(b"a"));
+/// cache.insert(2, Bytes::from_static(b"b"));
+/// cache.get(1); // refreshes id 1
+/// let evicted = cache.insert(3, Bytes::from_static(b"c"));
+/// assert_eq!(evicted, 1); // id 2 was least recently used
+/// assert!(cache.get(1).is_some() && cache.get(2).is_none());
+/// ```
+#[derive(Debug)]
+pub struct DedupCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<u64, (Bytes, u64)>,
+    order: VecDeque<(u64, u64)>,
+}
+
+impl DedupCache {
+    /// An empty cache holding at most `capacity` replies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a server without any dedup
+    /// window would double-execute every retry.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "dedup capacity must be at least 1");
+        DedupCache {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many replies are currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every entry (a new session must not replay an old one's
+    /// replies).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+    }
+
+    /// The cached reply for `id`, refreshing its recency.
+    pub fn get(&mut self, id: u64) -> Option<Bytes> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (reply, entry_tick) = self.entries.get_mut(&id)?;
+        *entry_tick = tick;
+        let reply = reply.clone();
+        self.order.push_back((id, tick));
+        self.compact_if_bloated();
+        Some(reply)
+    }
+
+    /// Caches the reply for `id`, evicting least-recently-used entries
+    /// beyond capacity. Returns how many entries were evicted (0 or 1,
+    /// in steady state).
+    pub fn insert(&mut self, id: u64, reply: Bytes) -> u64 {
+        self.tick += 1;
+        self.entries.insert(id, (reply, self.tick));
+        self.order.push_back((id, self.tick));
+        let mut evicted = 0;
+        while self.entries.len() > self.capacity {
+            let Some((old_id, old_tick)) = self.order.pop_front() else {
+                break;
+            };
+            // Skip stale observations: the id was refreshed (or
+            // overwritten) after this queue entry was recorded.
+            if self
+                .entries
+                .get(&old_id)
+                .is_some_and(|(_, tick)| *tick == old_tick)
+            {
+                self.entries.remove(&old_id);
+                evicted += 1;
+            }
+        }
+        self.compact_if_bloated();
+        evicted
+    }
+
+    /// Rebuilds the recency queue from live entries once stale
+    /// observations dominate, bounding it at O(capacity).
+    fn compact_if_bloated(&mut self) {
+        if self.order.len() < self.capacity.saturating_mul(2).max(16) {
+            return;
+        }
+        let mut live: Vec<(u64, u64)> = self
+            .entries
+            .iter()
+            .map(|(&id, &(_, tick))| (id, tick))
+            .collect();
+        live.sort_unstable_by_key(|&(_, tick)| tick);
+        self.order = live.into();
+    }
+}
 
 /// A byte-chunk transport between lab computer and middlebox.
 ///
@@ -90,6 +222,30 @@ pub struct RpcRequest {
     pub id: u64,
     /// The command to execute on the rig.
     pub command: Command,
+}
+
+/// A borrowed [`RpcRequest`]: serializes byte-identically to the owned
+/// form without cloning the command — the wire path's per-issue
+/// `command.clone()` deleted.
+///
+/// Hand-implemented `Serialize` because the derive shim rejects
+/// lifetime parameters; the unit test
+/// `borrowed_request_serializes_identically` pins the equivalence.
+#[derive(Debug, Clone, Copy)]
+pub struct RpcRequestRef<'a> {
+    /// Client-assigned correlation / idempotency id.
+    pub id: u64,
+    /// The command to execute on the rig.
+    pub command: &'a Command,
+}
+
+impl Serialize for RpcRequestRef<'_> {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Map(vec![
+            ("id".to_owned(), self.id.to_content()),
+            ("command".to_owned(), self.command.to_content()),
+        ])
+    }
 }
 
 /// A response frame.
@@ -184,6 +340,46 @@ impl FrameCodec {
         out.put_u32(payload.len() as u32);
         out.put_slice(payload);
         out.freeze()
+    }
+
+    /// Appends one framed payload to a reusable buffer — the
+    /// pooled-buffer form of [`FrameCodec::encode`]. Batch senders
+    /// accumulate several frames in one scratch `Vec` and hand the
+    /// transport a single chunk.
+    ///
+    /// # Panics
+    ///
+    /// As [`FrameCodec::encode`], if `payload` exceeds
+    /// [`MAX_FRAME_BYTES`].
+    pub fn encode_into(payload: &[u8], out: &mut Vec<u8>) {
+        let start = FrameCodec::begin_frame(out);
+        out.extend_from_slice(payload);
+        FrameCodec::finish_frame(out, start);
+    }
+
+    /// Reserves a length prefix in `out` so a frame body can be
+    /// written in place (no intermediate payload buffer). Returns the
+    /// frame's start offset for [`FrameCodec::finish_frame`].
+    pub fn begin_frame(out: &mut Vec<u8>) -> usize {
+        let start = out.len();
+        out.extend_from_slice(&[0u8; 4]);
+        start
+    }
+
+    /// Backfills the length prefix reserved by
+    /// [`FrameCodec::begin_frame`] once the body is written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the body exceeds [`MAX_FRAME_BYTES`] — such a frame
+    /// could never be decoded by the peer.
+    pub fn finish_frame(out: &mut [u8], start: usize) {
+        let len = out.len() - start - 4;
+        assert!(
+            len <= MAX_FRAME_BYTES,
+            "payload of {len} bytes exceeds MAX_FRAME_BYTES"
+        );
+        out[start..start + 4].copy_from_slice(&(len as u32).to_be_bytes());
     }
 
     /// Appends raw bytes received from the transport.
@@ -323,20 +519,41 @@ impl RpcServer {
     /// Like [`RpcServer::spawn`], with a shared [`FaultStats`] handle
     /// counting executions and idempotent replays — the observability
     /// hook the conformance suite uses to prove no double execution.
-    pub fn spawn_with_stats<T>(
+    pub fn spawn_with_stats<T>(rig: LabRig, transport: T, stats: FaultStats) -> JoinHandle<LabRig>
+    where
+        T: Transport + Send + 'static,
+    {
+        RpcServer::spawn_with_capacity(rig, transport, stats, DEDUP_CACHE_SIZE)
+    }
+
+    /// Like [`RpcServer::spawn_with_stats`], with a configurable
+    /// [`DedupCache`] capacity. Evictions count as
+    /// `dedup_evictions` on the stats handle.
+    ///
+    /// Each received chunk may carry several frames (a pipelined
+    /// client coalesces its window into one write); the loop decodes
+    /// them all — binary or JSON, per frame — and answers with one
+    /// coalesced reply chunk, so a depth-N window costs two syscalls
+    /// instead of 2N.
+    pub fn spawn_with_capacity<T>(
         mut rig: LabRig,
         transport: T,
         stats: FaultStats,
+        dedup_capacity: usize,
     ) -> JoinHandle<LabRig>
     where
         T: Transport + Send + 'static,
     {
         std::thread::spawn(move || {
             let mut codec = FrameCodec::new();
-            let mut cache: HashMap<u64, Bytes> = HashMap::new();
-            let mut cache_order: VecDeque<u64> = VecDeque::new();
+            let mut cache = DedupCache::new(dedup_capacity);
+            // Reused across requests: the steady-state encode path
+            // allocates nothing beyond the shared reply `Bytes`.
+            let mut scratch: Vec<u8> = Vec::new();
+            let mut batch: Vec<u8> = Vec::new();
             while let Some(chunk) = transport.recv_blocking() {
                 codec.push(&chunk);
+                batch.clear();
                 loop {
                     let frame = match codec.next_frame() {
                         Ok(Some(f)) => f,
@@ -349,19 +566,17 @@ impl RpcServer {
                             break;
                         }
                     };
-                    let Ok(request) = serde_json::from_slice::<RpcRequest>(&frame) else {
+                    let Ok(request) = wire::decode_rpc_request(&frame) else {
                         // Corrupt or garbage request: discard it (and
                         // any desynced remainder). The caller times
                         // out and retries with the same token.
                         codec.reset();
                         break;
                     };
-                    if let Some(cached) = cache.get(&request.id) {
+                    if let Some(cached) = cache.get(request.id) {
                         // Idempotent replay: the command already ran.
                         stats.note_dedup_hit();
-                        if transport.send(cached.clone()).is_err() {
-                            return rig;
-                        }
+                        batch.extend_from_slice(&cached);
                         continue;
                     }
                     stats.note_execution();
@@ -369,23 +584,29 @@ impl RpcServer {
                         .execute(&request.command)
                         .map(|outcome| outcome.return_value)
                         .map_err(|fault| fault.to_string());
-                    let response = RpcResponse {
-                        id: request.id,
-                        result,
-                    };
-                    let payload =
-                        serde_json::to_vec(&response).expect("responses always serialize");
-                    let framed = FrameCodec::encode(&payload);
-                    cache.insert(request.id, framed.clone());
-                    cache_order.push_back(request.id);
-                    if cache_order.len() > DEDUP_CACHE_SIZE {
-                        if let Some(evicted) = cache_order.pop_front() {
-                            cache.remove(&evicted);
-                        }
+                    scratch.clear();
+                    let start = FrameCodec::begin_frame(&mut scratch);
+                    if wire::is_binary(&frame) {
+                        // Reply in the codec the request arrived in.
+                        wire::encode_rpc_response(&mut scratch, request.id, &result);
+                    } else {
+                        let response = RpcResponse {
+                            id: request.id,
+                            result,
+                        };
+                        let payload =
+                            serde_json::to_vec(&response).expect("responses always serialize");
+                        scratch.extend_from_slice(&payload);
                     }
-                    if transport.send(framed).is_err() {
-                        return rig;
+                    FrameCodec::finish_frame(&mut scratch, start);
+                    let framed = Bytes::copy_from_slice(&scratch);
+                    batch.extend_from_slice(&framed);
+                    for _ in 0..cache.insert(request.id, framed) {
+                        stats.note_dedup_eviction();
                     }
+                }
+                if !batch.is_empty() && transport.send(Bytes::copy_from_slice(&batch)).is_err() {
+                    return rig;
                 }
             }
             rig
@@ -519,6 +740,8 @@ pub struct RpcClient<T: Transport = Duplex> {
     codec: FrameCodec,
     next_id: u64,
     stats: FaultStats,
+    codec_kind: WireCodecKind,
+    scratch: Vec<u8>,
 }
 
 impl<T: Transport> RpcClient<T> {
@@ -529,6 +752,8 @@ impl<T: Transport> RpcClient<T> {
             codec: FrameCodec::new(),
             next_id: 0,
             stats: FaultStats::new(),
+            codec_kind: WireCodecKind::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -538,6 +763,20 @@ impl<T: Transport> RpcClient<T> {
     pub fn with_stats(mut self, stats: FaultStats) -> Self {
         self.stats = stats;
         self
+    }
+
+    /// Selects the wire codec for requests (default JSON). The server
+    /// detects the codec per frame and replies in kind, so no
+    /// handshake is needed — see [`crate::wire`].
+    #[must_use]
+    pub fn with_codec(mut self, codec: WireCodecKind) -> Self {
+        self.codec_kind = codec;
+        self
+    }
+
+    /// The wire codec this client sends.
+    pub fn codec_kind(&self) -> WireCodecKind {
+        self.codec_kind
     }
 
     /// Sends `command` and blocks for its response — a single attempt,
@@ -570,10 +809,6 @@ impl<T: Transport> RpcClient<T> {
     ) -> Result<Value, RadError> {
         let id = self.next_id;
         self.next_id += 1;
-        let request = RpcRequest {
-            id,
-            command: command.clone(),
-        };
         let overall_deadline = Instant::now() + policy.deadline;
         let mut last_err = RadError::RpcTimeout("no response before deadline".into());
         for attempt in 0..policy.max_attempts.max(1) {
@@ -586,10 +821,12 @@ impl<T: Transport> RpcClient<T> {
                 break;
             }
             // Send failures are terminal (disconnect).
-            self.send_request(&request)?;
+            self.scratch.clear();
+            self.encode_request(id, command)?;
+            self.flush_scratch()?;
             let wait = remaining.min(policy.attempt_timeout);
-            match self.await_response(id, wait) {
-                Ok(value) => return Ok(value),
+            match self.await_result(id, wait) {
+                Ok(result) => return result.map_err(RadError::Rpc),
                 Err(e) if e.is_retryable() => {
                     self.stats.note_timeout();
                     last_err = e;
@@ -600,21 +837,135 @@ impl<T: Transport> RpcClient<T> {
         Err(last_err)
     }
 
-    fn send_request(&mut self, request: &RpcRequest) -> Result<(), RadError> {
-        let payload = serde_json::to_vec(request)
-            .map_err(|e| RadError::Rpc(format!("encode failure: {e}")))?;
-        self.transport.send(FrameCodec::encode(&payload))
+    /// Issues a batch of commands with up to `depth` requests in
+    /// flight, coalescing each window into a single transport write.
+    ///
+    /// Every command gets its own idempotency id; replies arrive in
+    /// request order (the server executes sequentially), so results
+    /// line up with `commands` positionally. Per-command device faults
+    /// come back as the `Err(String)` arm of the inner result — they
+    /// do not abort the batch, mirroring what a lock-step caller would
+    /// observe one command at a time. On a retryable transport error
+    /// the whole in-flight window is re-sent in one chunk; the
+    /// server's [`DedupCache`] answers duplicates from memory, so no
+    /// command can double-execute.
+    ///
+    /// # Errors
+    ///
+    /// As [`RpcClient::call`] for transport-level failures, after the
+    /// policy's attempts are exhausted. The per-command deadline
+    /// budget renews whenever the head of the window completes.
+    pub fn call_pipelined(
+        &mut self,
+        commands: &[Command],
+        policy: &RetryPolicy,
+        depth: usize,
+    ) -> Result<Vec<Result<Value, String>>, RadError> {
+        let depth = depth.max(1);
+        let ids: Vec<u64> = commands
+            .iter()
+            .map(|_| {
+                let id = self.next_id;
+                self.next_id += 1;
+                id
+            })
+            .collect();
+        let mut results: Vec<Option<Result<Value, String>>> = vec![None; commands.len()];
+        let mut pending: VecDeque<usize> = VecDeque::new();
+        let mut next = 0usize;
+        let mut done = 0usize;
+        let mut attempt = 0u32;
+        let mut deadline = Instant::now() + policy.deadline;
+        while done < commands.len() {
+            // Top up the window, one coalesced write for all of it.
+            if pending.len() < depth && next < commands.len() {
+                self.scratch.clear();
+                while pending.len() < depth && next < commands.len() {
+                    self.encode_request(ids[next], &commands[next])?;
+                    pending.push_back(next);
+                    next += 1;
+                }
+                self.flush_scratch()?;
+            }
+            let head = *pending
+                .front()
+                .expect("incomplete batch has requests in flight");
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(RadError::RpcTimeout("no response before deadline".into()));
+            }
+            match self.await_result(ids[head], remaining.min(policy.attempt_timeout)) {
+                Ok(result) => {
+                    results[head] = Some(result);
+                    pending.pop_front();
+                    done += 1;
+                    attempt = 0;
+                    deadline = Instant::now() + policy.deadline;
+                }
+                Err(e) if e.is_retryable() => {
+                    self.stats.note_timeout();
+                    attempt += 1;
+                    if attempt >= policy.max_attempts.max(1) {
+                        return Err(e);
+                    }
+                    self.stats.note_retry();
+                    std::thread::sleep(policy.backoff_for(attempt));
+                    // Re-send everything unacknowledged in one chunk;
+                    // duplicates replay from the server's dedup cache.
+                    self.scratch.clear();
+                    for &i in &pending {
+                        self.encode_request(ids[i], &commands[i])?;
+                    }
+                    self.flush_scratch()?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every command completed"))
+            .collect())
+    }
+
+    /// Appends one framed request to the scratch buffer in the
+    /// session's codec — no allocation on the binary path, no command
+    /// clone on either.
+    fn encode_request(&mut self, id: u64, command: &Command) -> Result<(), RadError> {
+        let start = FrameCodec::begin_frame(&mut self.scratch);
+        match self.codec_kind {
+            WireCodecKind::Binary => wire::encode_rpc_request(&mut self.scratch, id, command),
+            WireCodecKind::Json => {
+                let payload = serde_json::to_vec(&RpcRequestRef { id, command })
+                    .map_err(|e| RadError::Rpc(format!("encode failure: {e}")))?;
+                self.scratch.extend_from_slice(&payload);
+            }
+        }
+        FrameCodec::finish_frame(&mut self.scratch, start);
+        Ok(())
+    }
+
+    /// Sends the accumulated scratch frames as one chunk.
+    fn flush_scratch(&mut self) -> Result<(), RadError> {
+        let chunk = Bytes::copy_from_slice(&self.scratch);
+        self.scratch.clear();
+        self.transport.send(chunk)
     }
 
     /// Waits up to `timeout` for the response to `id`, skipping stale
     /// or undecodable frames (a corrupt response is treated as lost —
     /// the attempt times out and the retry machinery takes over).
-    fn await_response(&mut self, id: u64, timeout: Duration) -> Result<Value, RadError> {
+    /// The outer result is transport-level; the inner is the remote
+    /// command's own outcome.
+    fn await_result(
+        &mut self,
+        id: u64,
+        timeout: Duration,
+    ) -> Result<Result<Value, String>, RadError> {
         let deadline = Instant::now() + timeout;
         loop {
             match self.codec.next_frame() {
                 Ok(Some(frame)) => {
-                    let Ok(response) = serde_json::from_slice::<RpcResponse>(&frame) else {
+                    let Ok(response) = wire::decode_rpc_response(&frame) else {
                         // Corrupt response: discard buffered bytes and
                         // resync at the next chunk boundary.
                         self.codec.reset();
@@ -625,7 +976,7 @@ impl<T: Transport> RpcClient<T> {
                         // attempt: skip it and keep waiting for ours.
                         continue;
                     }
-                    return response.result.map_err(RadError::Rpc);
+                    return Ok(response.result);
                 }
                 Ok(None) => {}
                 Err(_) => {
@@ -1072,5 +1423,153 @@ mod tests {
         let snap = stats.snapshot();
         assert_eq!(snap.executions, 1, "{snap}");
         assert_eq!(snap.dedup_hits, 1, "{snap}");
+    }
+
+    #[test]
+    fn borrowed_request_serializes_identically() {
+        let command = Command::new(
+            CommandType::Arm,
+            vec![Value::Location {
+                x: 1.0,
+                y: 2.0,
+                z: 3.0,
+            }],
+        );
+        let owned = RpcRequest {
+            id: 99,
+            command: command.clone(),
+        };
+        let borrowed = RpcRequestRef {
+            id: 99,
+            command: &command,
+        };
+        assert_eq!(
+            serde_json::to_vec(&owned).unwrap(),
+            serde_json::to_vec(&borrowed).unwrap()
+        );
+    }
+
+    #[test]
+    fn dedup_cache_evicts_least_recently_used() {
+        let mut cache = DedupCache::new(2);
+        assert_eq!(cache.capacity(), 2);
+        cache.insert(1, Bytes::from_static(b"a"));
+        cache.insert(2, Bytes::from_static(b"b"));
+        // Refresh 1, so 2 becomes the LRU entry.
+        assert_eq!(cache.get(1).unwrap().as_ref(), b"a");
+        assert_eq!(cache.insert(3, Bytes::from_static(b"c")), 1);
+        assert!(cache.get(2).is_none());
+        assert!(cache.get(1).is_some() && cache.get(3).is_some());
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn dedup_cache_recency_queue_stays_bounded() {
+        let mut cache = DedupCache::new(4);
+        for id in 0..4 {
+            cache.insert(id, Bytes::from_static(b"x"));
+        }
+        // Hammer one id: stale observations must compact away instead
+        // of growing the queue without bound.
+        for _ in 0..10_000 {
+            cache.get(2);
+        }
+        assert!(
+            cache.order.len() <= 16,
+            "queue grew to {}",
+            cache.order.len()
+        );
+        // And the cache still evicts correctly afterwards.
+        let evicted: u64 = (4..8)
+            .map(|id| cache.insert(id, Bytes::from_static(b"y")))
+            .sum();
+        assert_eq!(evicted, 4);
+        assert!(cache.get(2).is_none());
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        let mut pooled = Vec::new();
+        FrameCodec::encode_into(b"hello", &mut pooled);
+        FrameCodec::encode_into(b"", &mut pooled);
+        let mut reference = Vec::new();
+        reference.extend_from_slice(&FrameCodec::encode(b"hello"));
+        reference.extend_from_slice(&FrameCodec::encode(b""));
+        assert_eq!(pooled, reference);
+    }
+
+    #[test]
+    fn binary_codec_calls_execute_on_the_rig() {
+        let (client_side, server_side) = Duplex::pair();
+        let server = RpcServer::spawn(LabRig::new(0), server_side);
+        let mut client = RpcClient::new(client_side).with_codec(WireCodecKind::Binary);
+        client
+            .call(&Command::nullary(CommandType::InitC9), T)
+            .unwrap();
+        client
+            .call(&Command::nullary(CommandType::Home), T)
+            .unwrap();
+        drop(client);
+        let rig = server.join().unwrap();
+        assert!(rig.c9().is_homed());
+    }
+
+    #[test]
+    fn pipelined_batch_matches_lock_step_results() {
+        let run = |pipelined: bool| -> Vec<Result<Value, String>> {
+            let (client_side, server_side) = Duplex::pair();
+            let _server = RpcServer::spawn(LabRig::new(0), server_side);
+            let mut client = RpcClient::new(client_side).with_codec(WireCodecKind::Binary);
+            let commands = vec![
+                Command::nullary(CommandType::InitC9),
+                Command::nullary(CommandType::Home),
+                // Motion before homing would fault; after Home it works.
+                Command::nullary(CommandType::Mvng),
+                Command::nullary(CommandType::Temp),
+            ];
+            if pipelined {
+                client
+                    .call_pipelined(&commands, &RetryPolicy::default(), 3)
+                    .unwrap()
+            } else {
+                commands
+                    .iter()
+                    .map(|c| match client.call(c, T) {
+                        Ok(v) => Ok(v),
+                        Err(RadError::Rpc(m)) => Err(m),
+                        Err(other) => panic!("transport failure: {other}"),
+                    })
+                    .collect()
+            }
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn pipelined_device_faults_do_not_abort_the_batch() {
+        let (client_side, server_side) = Duplex::pair();
+        let _server = RpcServer::spawn(LabRig::new(0), server_side);
+        let mut client = RpcClient::new(client_side);
+        let commands = vec![
+            Command::nullary(CommandType::InitC9),
+            // Not homed yet: the device rejects the motion.
+            Command::new(
+                CommandType::Arm,
+                vec![Value::Location {
+                    x: 10.0,
+                    y: 0.0,
+                    z: 200.0,
+                }],
+            ),
+            Command::nullary(CommandType::Home),
+        ];
+        let results = client
+            .call_pipelined(&commands, &RetryPolicy::default(), 8)
+            .unwrap();
+        assert!(results[0].is_ok());
+        assert!(results[1].as_ref().unwrap_err().contains("not homed"));
+        assert!(results[2].is_ok());
     }
 }

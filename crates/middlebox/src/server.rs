@@ -40,7 +40,7 @@
 //!   (durable stores synced and checkpointed), and reports per-tenant
 //!   accounting. Zero buffered traces are lost.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -62,15 +62,17 @@ use serde::{Deserialize, Serialize};
 
 use crate::faults::FaultPlan;
 use crate::middlebox::Middlebox;
-use crate::rpc::{FrameCodec, Transport};
+use crate::rpc::{DedupCache, FrameCodec, Transport};
 use crate::sinks::DurableSink;
+use crate::wire;
 
 /// How often a parked session re-checks its idle clock and the drain
 /// flag. Bounds both reap latency and drain latency.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
 
-/// How many request ids a tenant remembers for idempotent replay —
-/// same role as [`crate::rpc::DEDUP_CACHE_SIZE`], scoped per session.
+/// Default bound on the per-tenant idempotent-replay cache — same role
+/// as [`crate::rpc::DEDUP_CACHE_SIZE`], scoped per session. Tune via
+/// [`ServerConfig::dedup_capacity`].
 const SESSION_DEDUP_SIZE: usize = 1024;
 
 // ---------------------------------------------------------------------------
@@ -355,6 +357,39 @@ fn encode_reply(id: u64, body: WireReply) -> Bytes {
     FrameCodec::encode(&payload)
 }
 
+/// Borrowed twin of [`ReplyFrame`]: serializes identically without
+/// taking the reply body by value, so the hot path encodes straight
+/// from the handler's stack frame.
+struct ReplyFrameRef<'a> {
+    id: u64,
+    body: &'a WireReply,
+}
+
+impl Serialize for ReplyFrameRef<'_> {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Map(vec![
+            ("id".to_owned(), self.id.to_content()),
+            ("body".to_owned(), self.body.to_content()),
+        ])
+    }
+}
+
+/// Appends one framed reply to `batch` in the requested codec, without
+/// intermediate allocation. Returns the offset where the frame starts,
+/// so callers can snapshot the framed bytes for the dedup cache.
+fn append_reply(batch: &mut Vec<u8>, id: u64, body: &WireReply, binary: bool) -> usize {
+    let start = FrameCodec::begin_frame(batch);
+    if binary {
+        wire::encode_reply_frame(batch, id, body);
+    } else {
+        let payload =
+            serde_json::to_vec(&ReplyFrameRef { id, body }).expect("replies always serialize");
+        batch.extend_from_slice(&payload);
+    }
+    FrameCodec::finish_frame(batch, start);
+    start
+}
+
 // ---------------------------------------------------------------------------
 // Configuration and stats
 // ---------------------------------------------------------------------------
@@ -387,6 +422,11 @@ pub struct ServerConfig {
     /// [`FaultPlan`] — the conformance matrix reruns its profiles
     /// behind a real wire with the exact same fault schedule.
     pub fault_plan: Option<FaultPlan>,
+    /// Bound on the per-tenant idempotent-replay cache (LRU). Retries
+    /// of the most recent `dedup_capacity` request ids replay their
+    /// cached reply; older entries are evicted (and counted) so a
+    /// week-long campaign cannot grow memory without bound.
+    pub dedup_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -401,6 +441,7 @@ impl Default for ServerConfig {
             seed: 0,
             data_dir: None,
             fault_plan: None,
+            dedup_capacity: SESSION_DEDUP_SIZE,
         }
     }
 }
@@ -450,6 +491,7 @@ struct ServerStatsInner {
     issues: AtomicU64,
     expired: AtomicU64,
     dedup_hits: AtomicU64,
+    dedup_evictions: AtomicU64,
 }
 
 impl ServerStats {
@@ -466,6 +508,7 @@ impl ServerStats {
         note_issue / issues => issues,
         note_expired / expired => expired,
         note_dedup_hit / dedup_hits => dedup_hits,
+        note_dedup_eviction / dedup_evictions => dedup_evictions,
     }
 
     /// A point-in-time copy of every counter.
@@ -478,6 +521,7 @@ impl ServerStats {
             issues: self.issues(),
             expired: self.expired(),
             dedup_hits: self.dedup_hits(),
+            dedup_evictions: self.dedup_evictions(),
         }
     }
 }
@@ -493,13 +537,15 @@ pub struct ServerStatsSnapshot {
     pub issues: u64,
     pub expired: u64,
     pub dedup_hits: u64,
+    pub dedup_evictions: u64,
 }
 
 impl std::fmt::Display for ServerStatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "admitted={} rejected={} quarantined={} reaped={} issues={} expired={} dedup_hits={}",
+            "admitted={} rejected={} quarantined={} reaped={} issues={} expired={} \
+             dedup_hits={} dedup_evictions={}",
             self.admitted,
             self.rejected,
             self.quarantined,
@@ -507,6 +553,7 @@ impl std::fmt::Display for ServerStatsSnapshot {
             self.issues,
             self.expired,
             self.dedup_hits,
+            self.dedup_evictions,
         )
     }
 }
@@ -589,8 +636,7 @@ struct TenantState {
     issues_done: u64,
     open_run: Option<u32>,
     gaps_forwarded: usize,
-    dedup: HashMap<u64, Bytes>,
-    dedup_order: VecDeque<u64>,
+    dedup: DedupCache,
 }
 
 /// One tenant: a seeded rig + tracer, a bounded sink channel, and the
@@ -627,8 +673,7 @@ impl Tenant {
                 issues_done: 0,
                 open_run: None,
                 gaps_forwarded: 0,
-                dedup: HashMap::new(),
-                dedup_order: VecDeque::new(),
+                dedup: DedupCache::new(config.dedup_capacity.max(1)),
             }),
             busy: AtomicBool::new(false),
             sink_tx: Mutex::new(Some(tx)),
@@ -990,6 +1035,10 @@ impl SessionContext {
         tenant: &mut Option<Arc<Tenant>>,
     ) -> SessionEnd {
         let mut last_activity = Instant::now();
+        // Replies to every frame of one received chunk coalesce into a
+        // single send: a pipelined client's whole window is answered
+        // with one syscall instead of one per request.
+        let mut batch: Vec<u8> = Vec::new();
         loop {
             if self.shutdown.load(Ordering::Relaxed) {
                 return SessionEnd::Draining;
@@ -998,13 +1047,18 @@ impl SessionContext {
                 Ok(chunk) => {
                     last_activity = Instant::now();
                     codec.push(&chunk);
+                    batch.clear();
+                    let mut close: Option<SessionEnd> = None;
                     loop {
                         match codec.next_frame() {
                             Ok(Some(frame)) => {
                                 let received = Instant::now();
-                                match self.handle_frame(&frame, received, transport, tenant) {
+                                match self.handle_frame(&frame, received, &mut batch, tenant) {
                                     FrameOutcome::Continue => {}
-                                    FrameOutcome::Close(end) => return end,
+                                    FrameOutcome::Close(end) => {
+                                        close = Some(end);
+                                        break;
+                                    }
                                 }
                             }
                             Ok(None) => break,
@@ -1013,15 +1067,24 @@ impl SessionContext {
                                 // past the cap): no trustworthy resync
                                 // point exists on a byte stream, so
                                 // quarantine the session.
-                                let _ = transport.send(encode_reply(
+                                append_reply(
+                                    &mut batch,
                                     0,
-                                    WireReply::Failed {
+                                    &WireReply::Failed {
                                         message: "framing lost; session quarantined".into(),
                                     },
-                                ));
-                                return SessionEnd::Quarantined;
+                                    false,
+                                );
+                                close = Some(SessionEnd::Quarantined);
+                                break;
                             }
                         }
+                    }
+                    if !batch.is_empty() {
+                        let _ = transport.send(Bytes::copy_from_slice(&batch));
+                    }
+                    if let Some(end) = close {
+                        return end;
                     }
                 }
                 Err(RadError::RpcTimeout(_)) => {
@@ -1038,10 +1101,14 @@ impl SessionContext {
         &self,
         frame: &Bytes,
         received: Instant,
-        transport: &SocketTransport,
+        batch: &mut Vec<u8>,
         tenant: &mut Option<Arc<Tenant>>,
     ) -> FrameOutcome {
-        let Ok(request) = serde_json::from_slice::<WireFrame>(frame) else {
+        // The first payload byte names the codec, so binary and JSON
+        // clients coexist per frame; every reply echoes the codec its
+        // request arrived in.
+        let binary = wire::is_binary(frame);
+        let Ok(request) = wire::decode_wire_frame(frame) else {
             // A well-framed but undecodable payload: the frame
             // boundary is still sound, so skip exactly this frame —
             // deterministically, independent of how the bytes were
@@ -1051,18 +1118,22 @@ impl SessionContext {
         };
         let id = request.id;
         match request.body {
-            WireRequest::Hello { tenant: name } => self.handle_hello(id, &name, transport, tenant),
+            WireRequest::Hello { tenant: name } => {
+                self.handle_hello(id, &name, binary, batch, tenant)
+            }
             body => {
                 let Some(tenant) = tenant.as_ref() else {
-                    let _ = transport.send(encode_reply(
+                    append_reply(
+                        batch,
                         id,
-                        WireReply::Failed {
+                        &WireReply::Failed {
                             message: "request before Hello".into(),
                         },
-                    ));
+                        binary,
+                    );
                     return FrameOutcome::Close(SessionEnd::Quarantined);
                 };
-                self.handle_bound(id, body, received, transport, tenant)
+                self.handle_bound(id, body, received, binary, batch, tenant)
             }
         }
     }
@@ -1071,7 +1142,8 @@ impl SessionContext {
         &self,
         id: u64,
         name: &str,
-        transport: &SocketTransport,
+        binary: bool,
+        batch: &mut Vec<u8>,
         tenant: &mut Option<Arc<Tenant>>,
     ) -> FrameOutcome {
         let existing = {
@@ -1089,12 +1161,14 @@ impl SessionContext {
                         tenants.entry(name.to_string()).or_insert(t).clone()
                     }
                     Err(e) => {
-                        let _ = transport.send(encode_reply(
+                        append_reply(
+                            batch,
                             id,
-                            WireReply::Failed {
+                            &WireReply::Failed {
                                 message: format!("tenant open failed: {e}"),
                             },
-                        ));
+                            binary,
+                        );
                         return FrameOutcome::Close(SessionEnd::Disconnected);
                     }
                 }
@@ -1106,12 +1180,14 @@ impl SessionContext {
             .is_err()
         {
             self.stats.note_rejected();
-            let _ = transport.send(encode_reply(
+            append_reply(
+                batch,
                 id,
-                WireReply::Rejected {
+                &WireReply::Rejected {
                     reason: format!("tenant `{name}` already has an active session"),
                 },
-            ));
+                binary,
+            );
             return FrameOutcome::Close(SessionEnd::Disconnected);
         }
         let session = self.session_ids.fetch_add(1, Ordering::Relaxed);
@@ -1121,17 +1197,18 @@ impl SessionContext {
             // Ids are per-session; a stale cache would replay the
             // previous session's replies for fresh requests.
             state.dedup.clear();
-            state.dedup_order.clear();
             state.issues_done
         };
         *tenant = Some(bound);
-        let _ = transport.send(encode_reply(
+        append_reply(
+            batch,
             id,
-            WireReply::Welcome {
+            &WireReply::Welcome {
                 session,
                 issues_done,
             },
-        ));
+            binary,
+        );
         FrameOutcome::Continue
     }
 
@@ -1140,13 +1217,16 @@ impl SessionContext {
         id: u64,
         body: WireRequest,
         received: Instant,
-        transport: &SocketTransport,
+        binary: bool,
+        batch: &mut Vec<u8>,
         tenant: &Arc<Tenant>,
     ) -> FrameOutcome {
         let mut state = tenant.state.lock();
-        if let Some(cached) = state.dedup.get(&id) {
+        if let Some(cached) = state.dedup.get(id) {
             self.stats.note_dedup_hit();
-            let _ = transport.send(cached.clone());
+            // Cached replies are shared `Bytes`, already framed in the
+            // codec of the original request.
+            batch.extend_from_slice(&cached);
             return FrameOutcome::Continue;
         }
         let (reply, outcome) = match body {
@@ -1247,18 +1327,13 @@ impl SessionContext {
         // Expired replies are not cached: the retry re-evaluates with
         // a fresh budget instead of being stuck with the stale verdict.
         let cacheable = !matches!(reply, WireReply::Expired);
-        let encoded = encode_reply(id, reply);
+        let start = append_reply(batch, id, &reply, binary);
         if cacheable {
-            state.dedup.insert(id, encoded.clone());
-            state.dedup_order.push_back(id);
-            if state.dedup_order.len() > SESSION_DEDUP_SIZE {
-                if let Some(evicted) = state.dedup_order.pop_front() {
-                    state.dedup.remove(&evicted);
-                }
+            let framed = Bytes::copy_from_slice(&batch[start..]);
+            for _ in 0..state.dedup.insert(id, framed) {
+                self.stats.note_dedup_eviction();
             }
         }
-        drop(state);
-        let _ = transport.send(encoded);
         outcome
     }
 }

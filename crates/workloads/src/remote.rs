@@ -20,14 +20,18 @@
 //!   each is recorded as a client-side [`TraceGap`], exactly like the
 //!   in-process middlebox's degradation path.
 
+use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
+use bytes::Bytes;
 use rad_core::{
     spec, Command, DeviceId, Label, ProcedureKind, RadError, RunId, TraceGap, TraceMode, Value,
 };
 use rad_devices::LabRig;
 use rad_middlebox::rpc::{FrameCodec, RetryPolicy, Transport};
-use rad_middlebox::server::{ReplyFrame, WireFrame, WireReply, WireRequest};
+use rad_middlebox::server::{WireFrame, WireReply, WireRequest};
+use rad_middlebox::wire::{self, WireCodecKind};
+use serde::Serialize;
 
 use crate::campaign::CampaignBuilder;
 
@@ -160,9 +164,11 @@ impl CampaignScript {
 pub struct RemoteSession<T: Transport> {
     transport: T,
     codec: FrameCodec,
+    codec_kind: WireCodecKind,
     next_id: u64,
     policy: RetryPolicy,
     cursor: u64,
+    scratch: Vec<u8>,
 }
 
 impl<T: Transport> RemoteSession<T> {
@@ -175,12 +181,31 @@ impl<T: Transport> RemoteSession<T> {
     /// [`RadError::Overloaded`] when admission keeps failing past the
     /// policy's attempts; transport errors pass through.
     pub fn connect(transport: T, tenant: &str, policy: RetryPolicy) -> Result<Self, RadError> {
+        Self::connect_with(transport, tenant, policy, WireCodecKind::Json)
+    }
+
+    /// [`RemoteSession::connect`] with an explicit data-plane codec.
+    /// The handshake and control frames always travel as JSON; `codec`
+    /// selects the encoding of the pipelined `Issue` hot path (every
+    /// frame is self-describing, so no negotiation round-trip exists).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RemoteSession::connect`].
+    pub fn connect_with(
+        transport: T,
+        tenant: &str,
+        policy: RetryPolicy,
+        codec_kind: WireCodecKind,
+    ) -> Result<Self, RadError> {
         let mut session = RemoteSession {
             transport,
             codec: FrameCodec::new(),
+            codec_kind,
             next_id: 0,
             policy,
             cursor: 0,
+            scratch: Vec::new(),
         };
         match session.request(WireRequest::Hello {
             tenant: tenant.to_string(),
@@ -221,6 +246,138 @@ impl<T: Transport> RemoteSession<T> {
             } => Ok(Err(fault)),
             other => Err(RadError::Rpc(format!("expected Done, got {other:?}"))),
         }
+    }
+
+    /// Executes a batch of commands with up to `depth` requests in
+    /// flight: the window is topped up with one coalesced write +
+    /// flush, replies are reconciled head-of-line against their
+    /// correlation ids, and a retryable failure re-sends *every*
+    /// pending request in one chunk — the ids double as idempotency
+    /// tokens, so the server replays cached replies instead of
+    /// re-executing. Device faults come back in-order as the inner
+    /// `Err` arm, exactly like [`RemoteSession::issue`].
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError`] carries the results completed before the
+    /// failure, so a resuming caller knows how far the batch got.
+    pub fn issue_pipelined(
+        &mut self,
+        commands: &[&Command],
+        depth: usize,
+    ) -> Result<Vec<Result<Value, String>>, PipelineError> {
+        let depth = depth.max(1);
+        let deadline_ms = u64::try_from(self.policy.attempt_timeout.as_millis()).unwrap_or(0);
+        let mut results: Vec<Result<Value, String>> = Vec::with_capacity(commands.len());
+        let mut pending: VecDeque<(u64, usize)> = VecDeque::new();
+        let mut next = 0usize;
+        let mut attempts = 0u32;
+        let mut head_deadline = Instant::now() + self.policy.deadline;
+        let fail = |results: Vec<Result<Value, String>>, error: RadError| PipelineError {
+            completed: results,
+            error,
+        };
+        while results.len() < commands.len() {
+            if pending.len() < depth && next < commands.len() {
+                self.scratch.clear();
+                while pending.len() < depth && next < commands.len() {
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    self.encode_issue(id, deadline_ms, commands[next]);
+                    pending.push_back((id, next));
+                    next += 1;
+                }
+                if let Err(e) = self.flush_scratch() {
+                    return Err(fail(results, e));
+                }
+            }
+            let (head, _) = *pending
+                .front()
+                .expect("incomplete batch has requests in flight");
+            let remaining = head_deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(fail(
+                    results,
+                    RadError::RpcTimeout("pipelined head passed its deadline".into()),
+                ));
+            }
+            let wait = remaining.min(self.policy.attempt_timeout);
+            match self.await_reply(head, wait) {
+                Ok(WireReply::Done {
+                    value: Some(value),
+                    fault: None,
+                }) => {
+                    results.push(Ok(value));
+                    pending.pop_front();
+                    attempts = 0;
+                    head_deadline = Instant::now() + self.policy.deadline;
+                }
+                Ok(WireReply::Done {
+                    fault: Some(fault), ..
+                }) => {
+                    results.push(Err(fault));
+                    pending.pop_front();
+                    attempts = 0;
+                    head_deadline = Instant::now() + self.policy.deadline;
+                }
+                Ok(other) => {
+                    return Err(fail(
+                        results,
+                        RadError::Rpc(format!("expected Done, got {other:?}")),
+                    ));
+                }
+                Err(e) if e.is_retryable() => {
+                    attempts += 1;
+                    if attempts >= self.policy.max_attempts.max(1) {
+                        return Err(fail(results, e));
+                    }
+                    std::thread::sleep(self.policy.backoff_for(attempts));
+                    // Re-send the whole in-flight window in one chunk;
+                    // anything that executed before the loss replays
+                    // from the server's dedup cache.
+                    self.scratch.clear();
+                    for &(id, index) in &pending {
+                        self.encode_issue(id, deadline_ms, commands[index]);
+                    }
+                    if let Err(e) = self.flush_scratch() {
+                        return Err(fail(results, e));
+                    }
+                }
+                Err(e) => return Err(fail(results, e)),
+            }
+        }
+        Ok(results)
+    }
+
+    /// Appends one framed `Issue` request to the scratch buffer in the
+    /// session's data-plane codec, borrowing the command — no
+    /// per-issue clone on either path.
+    fn encode_issue(&mut self, id: u64, deadline_ms: u64, command: &Command) {
+        let start = FrameCodec::begin_frame(&mut self.scratch);
+        match self.codec_kind {
+            WireCodecKind::Binary => {
+                wire::encode_issue_frame(&mut self.scratch, id, deadline_ms, command);
+            }
+            WireCodecKind::Json => {
+                let payload = serde_json::to_vec(&IssueFrameRef {
+                    id,
+                    deadline_ms,
+                    command,
+                })
+                .expect("issue frames always serialize");
+                self.scratch.extend_from_slice(&payload);
+            }
+        }
+        FrameCodec::finish_frame(&mut self.scratch, start);
+    }
+
+    /// Sends everything accumulated in the scratch buffer as one
+    /// write + flush.
+    fn flush_scratch(&mut self) -> Result<(), RadError> {
+        if self.scratch.is_empty() {
+            return Ok(());
+        }
+        self.transport.send(Bytes::copy_from_slice(&self.scratch))
     }
 
     /// Opens (or idempotently re-opens) a labelled run.
@@ -333,7 +490,9 @@ impl<T: Transport> RemoteSession<T> {
         loop {
             match self.codec.next_frame() {
                 Ok(Some(frame)) => {
-                    let Ok(reply) = serde_json::from_slice::<ReplyFrame>(&frame) else {
+                    // Self-describing payloads: binary replies carry
+                    // the codec tag, anything else decodes as JSON.
+                    let Ok(reply) = wire::decode_reply_frame(&frame) else {
                         // Corrupt reply: treated as lost; the retry
                         // machinery re-requests under the same token.
                         self.codec.reset();
@@ -368,6 +527,49 @@ impl<T: Transport> RemoteSession<T> {
     }
 }
 
+/// A pipelined batch that could not run to completion: everything
+/// reconciled before the failure, plus the error that stopped it.
+///
+/// `completed` holds in-order per-command results (device faults are
+/// the inner `Err` arm and do *not* stop a batch); the commands at
+/// `completed.len()..` never resolved.
+#[derive(Debug)]
+pub struct PipelineError {
+    /// In-order results for the commands that resolved.
+    pub completed: Vec<Result<Value, String>>,
+    /// The terminal transport/protocol error.
+    pub error: RadError,
+}
+
+/// Borrowed `Issue` frame serializing byte-identically to
+/// `WireFrame { id, body: WireRequest::Issue { deadline_ms, command } }`
+/// without cloning the command (the derive shim rejects lifetimes, so
+/// the externally-tagged shape is spelled out by hand; a test pins
+/// the equivalence).
+struct IssueFrameRef<'a> {
+    id: u64,
+    deadline_ms: u64,
+    command: &'a Command,
+}
+
+impl Serialize for IssueFrameRef<'_> {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Map(vec![
+            ("id".to_owned(), self.id.to_content()),
+            (
+                "body".to_owned(),
+                serde::Content::Map(vec![(
+                    "Issue".to_owned(),
+                    serde::Content::Map(vec![
+                        ("deadline_ms".to_owned(), self.deadline_ms.to_content()),
+                        ("command".to_owned(), self.command.to_content()),
+                    ]),
+                )]),
+            ),
+        ])
+    }
+}
+
 /// What one [`RemoteCampaign`] drive observed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DriveReport {
@@ -394,6 +596,8 @@ pub struct RemoteCampaign {
     tenant: String,
     policy: RetryPolicy,
     disconnect: DisconnectPolicy,
+    codec: WireCodecKind,
+    pipeline_depth: usize,
 }
 
 impl RemoteCampaign {
@@ -404,6 +608,8 @@ impl RemoteCampaign {
             tenant: tenant.to_string(),
             policy: RetryPolicy::default(),
             disconnect: DisconnectPolicy::Fail,
+            codec: WireCodecKind::Json,
+            pipeline_depth: 1,
         }
     }
 
@@ -418,6 +624,26 @@ impl RemoteCampaign {
     #[must_use]
     pub fn on_disconnect(mut self, policy: DisconnectPolicy) -> Self {
         self.disconnect = policy;
+        self
+    }
+
+    /// Selects the data-plane codec ([`WireCodecKind::Json`] by
+    /// default). Binary engages the pipelined issue path even at
+    /// depth 1.
+    #[must_use]
+    pub fn with_codec(mut self, codec: WireCodecKind) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Sets the pipelining window: how many `Issue` requests ride the
+    /// wire before the first reply is awaited. Depth 1 with the JSON
+    /// codec is the classic lock-step drive; anything else batches
+    /// consecutive script commands through
+    /// [`RemoteSession::issue_pipelined`].
+    #[must_use]
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth.max(1);
         self
     }
 
@@ -448,7 +674,20 @@ impl RemoteCampaign {
     /// [`DisconnectPolicy::Fail`] stops with `report.error` set so the
     /// caller can reconnect and resume.
     pub fn resume_from<T: Transport>(&self, transport: T) -> Result<DriveReport, RadError> {
-        let mut session = RemoteSession::connect(transport, &self.tenant, self.policy.clone())?;
+        let session =
+            RemoteSession::connect_with(transport, &self.tenant, self.policy.clone(), self.codec)?;
+        if self.pipeline_depth <= 1 && self.codec == WireCodecKind::Json {
+            self.drive_lock_step(session)
+        } else {
+            self.drive_pipelined(session)
+        }
+    }
+
+    /// The classic drive: one round-trip per script step.
+    fn drive_lock_step<T: Transport>(
+        &self,
+        mut session: RemoteSession<T>,
+    ) -> Result<DriveReport, RadError> {
         let cursor = session.cursor();
         let mut report = DriveReport {
             executed: 0,
@@ -556,6 +795,185 @@ impl RemoteCampaign {
         }
         report.completed = true;
         Ok(report)
+    }
+
+    /// The pipelined drive: consecutive command steps batch through
+    /// [`RemoteSession::issue_pipelined`]; run boundaries flush the
+    /// batch first, so the server observes the exact step order of the
+    /// lock-step drive — the golden suite pins the exports
+    /// byte-identical at every depth.
+    fn drive_pipelined<T: Transport>(
+        &self,
+        mut session: RemoteSession<T>,
+    ) -> Result<DriveReport, RadError> {
+        let cursor = session.cursor();
+        let mut report = DriveReport {
+            executed: 0,
+            resumed_at: cursor,
+            gaps: Vec::new(),
+            completed: false,
+            error: None,
+        };
+        let mut shadow = LabRig::new(0);
+        let mut issued = 0u64;
+        let mut open_run: Option<(u32, ProcedureKind, Label)> = None;
+        let mut resumed_open_run = cursor == 0;
+        let mut degraded = false;
+        let mut batch: Vec<&Command> = Vec::new();
+        for step in self.script.steps() {
+            match step {
+                ScriptStep::Begin {
+                    run,
+                    procedure,
+                    label,
+                } => {
+                    if !self.flush_batch(
+                        &mut session,
+                        &mut batch,
+                        open_run,
+                        &mut issued,
+                        &mut report,
+                        &mut degraded,
+                    ) {
+                        return Ok(report);
+                    }
+                    open_run = Some((*run, *procedure, *label));
+                    if issued < cursor || degraded {
+                        continue;
+                    }
+                    resumed_open_run = true;
+                    if let Err(e) = session.begin_run(*run, *procedure, *label) {
+                        if self.fold_error(e, &mut report, &mut degraded) {
+                            continue;
+                        }
+                        return Ok(report);
+                    }
+                }
+                ScriptStep::End => {
+                    if !self.flush_batch(
+                        &mut session,
+                        &mut batch,
+                        open_run,
+                        &mut issued,
+                        &mut report,
+                        &mut degraded,
+                    ) {
+                        return Ok(report);
+                    }
+                    open_run = None;
+                    if issued < cursor || degraded {
+                        continue;
+                    }
+                    if let Err(e) = session.end_run() {
+                        if self.fold_error(e, &mut report, &mut degraded) {
+                            continue;
+                        }
+                        return Ok(report);
+                    }
+                }
+                ScriptStep::Command(command) => {
+                    // Every command replays on the shadow rig, even the
+                    // skipped prefix — device state must match where
+                    // the dead session left off.
+                    let _ = shadow.execute(command);
+                    // The already-executed prefix and degraded-mode
+                    // commands never batch, so `issued` is exact here:
+                    // batched commands only settle inside flush_batch.
+                    if issued < cursor {
+                        issued += 1;
+                        continue;
+                    }
+                    if degraded {
+                        issued += 1;
+                        report
+                            .gaps
+                            .push(self.degraded_gap(command, issued, open_run));
+                        continue;
+                    }
+                    if !resumed_open_run {
+                        // Resuming mid-run: re-open it first. The
+                        // server's BeginRun is idempotent, so this is a
+                        // no-op when the run is still open from the
+                        // killed session.
+                        resumed_open_run = true;
+                        if let Some((run, procedure, label)) = open_run {
+                            if let Err(e) = session.begin_run(run, procedure, label) {
+                                if !self.fold_error(e, &mut report, &mut degraded) {
+                                    return Ok(report);
+                                }
+                            }
+                        }
+                    }
+                    if degraded {
+                        issued += 1;
+                        report
+                            .gaps
+                            .push(self.degraded_gap(command, issued, open_run));
+                        continue;
+                    }
+                    batch.push(command);
+                }
+            }
+        }
+        if !self.flush_batch(
+            &mut session,
+            &mut batch,
+            open_run,
+            &mut issued,
+            &mut report,
+            &mut degraded,
+        ) {
+            return Ok(report);
+        }
+        if !degraded {
+            let _ = session.bye();
+        }
+        report.completed = true;
+        Ok(report)
+    }
+
+    /// Drains the pending command batch through the pipelined window,
+    /// folding a mid-batch failure exactly like the lock-step drive:
+    /// completed commands count as executed, the remainder degrade
+    /// into gaps or stop the drive per the disconnect policy. Returns
+    /// `false` when the drive must stop.
+    fn flush_batch<T: Transport>(
+        &self,
+        session: &mut RemoteSession<T>,
+        batch: &mut Vec<&Command>,
+        open_run: Option<(u32, ProcedureKind, Label)>,
+        issued: &mut u64,
+        report: &mut DriveReport,
+        degraded: &mut bool,
+    ) -> bool {
+        if batch.is_empty() {
+            return true;
+        }
+        match session.issue_pipelined(batch, self.pipeline_depth) {
+            Ok(results) => {
+                *issued += results.len() as u64;
+                report.executed += results.len() as u64;
+                batch.clear();
+                true
+            }
+            Err(PipelineError { completed, error }) => {
+                *issued += completed.len() as u64;
+                report.executed += completed.len() as u64;
+                let unresolved: Vec<&Command> = batch.split_off(completed.len());
+                batch.clear();
+                if self.fold_error(error, report, degraded) {
+                    for command in unresolved {
+                        *issued += 1;
+                        report
+                            .gaps
+                            .push(self.degraded_gap(command, *issued, open_run));
+                    }
+                    true
+                } else {
+                    false
+                }
+            }
+        }
     }
 
     /// Folds a drive error into the report. Returns `true` when the
@@ -744,6 +1162,115 @@ mod tests {
             ScriptStep::Command(Command::nullary(CommandType::Mvng)),
             ScriptStep::End,
         ])
+    }
+
+    #[test]
+    fn borrowed_issue_frame_serializes_identically() {
+        let command = Command::new(
+            CommandType::Move,
+            vec![Value::Float(1.5), Value::Str("axis".into())],
+        );
+        let borrowed = serde_json::to_vec(&IssueFrameRef {
+            id: 7,
+            deadline_ms: 250,
+            command: &command,
+        })
+        .unwrap();
+        let owned = serde_json::to_vec(&WireFrame {
+            id: 7,
+            body: WireRequest::Issue {
+                deadline_ms: 250,
+                command: command.clone(),
+            },
+        })
+        .unwrap();
+        assert_eq!(borrowed, owned, "borrowed frame must match the derive");
+    }
+
+    #[test]
+    fn pipelined_binary_drive_matches_lock_step() {
+        let config = ServerConfig::default();
+        let server = LabService::new(config.clone())
+            .serve_tcp("127.0.0.1:0")
+            .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let lock_step = RemoteCampaign::new(tiny_script(), "json")
+            .with_policy(fast_policy())
+            .drive(rad_middlebox::SocketTransport::connect_tcp(&addr).unwrap())
+            .unwrap();
+        let pipelined = RemoteCampaign::new(tiny_script(), "binary")
+            .with_policy(fast_policy())
+            .with_codec(WireCodecKind::Binary)
+            .with_pipeline_depth(8)
+            .drive(rad_middlebox::SocketTransport::connect_tcp(&addr).unwrap())
+            .unwrap();
+        assert_eq!(pipelined.executed, lock_step.executed);
+        assert!(pipelined.completed && lock_step.completed);
+        let report = server.drain().unwrap();
+        let issues: Vec<u64> = report.tenants.iter().map(|t| t.issues).collect();
+        assert_eq!(issues, vec![3, 3], "both drives executed every command");
+    }
+
+    #[test]
+    fn pipelined_drive_resumes_from_the_cursor() {
+        let server = LabService::new(ServerConfig::default())
+            .serve_tcp("127.0.0.1:0")
+            .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let script = tiny_script();
+        let prefix = RemoteCampaign::new(script.clone().truncated(2), "t")
+            .with_policy(fast_policy())
+            .with_codec(WireCodecKind::Binary)
+            .with_pipeline_depth(4);
+        let first = prefix
+            .drive(rad_middlebox::SocketTransport::connect_tcp(&addr).unwrap())
+            .unwrap();
+        assert_eq!(first.executed, 2);
+        let full = RemoteCampaign::new(script, "t")
+            .with_policy(fast_policy())
+            .with_codec(WireCodecKind::Binary)
+            .with_pipeline_depth(4);
+        let second = full
+            .resume_from(rad_middlebox::SocketTransport::connect_tcp(&addr).unwrap())
+            .unwrap();
+        assert_eq!(second.resumed_at, 2);
+        assert_eq!(second.executed, 1, "only the unexecuted suffix runs");
+        let report = server.drain().unwrap();
+        assert_eq!(report.tenants[0].issues, 3, "no overlap, no loss");
+    }
+
+    #[test]
+    fn pipelined_degrade_records_gaps_for_the_unresolved_tail() {
+        use std::sync::Arc;
+
+        use rad_middlebox::{FaultPlan, FaultProfile, FaultStats, Faulty, Lane, SocketTransport};
+
+        let server = LabService::new(ServerConfig::default())
+            .serve_tcp("127.0.0.1:0")
+            .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        // The link dies after 2 sent chunks: Hello and BeginRun get
+        // through; the whole pipelined command batch is unresolved and
+        // degrades into client-side gaps.
+        let plan = Arc::new(FaultPlan::new(1, FaultProfile::disconnect_after(2)));
+        let transport = Faulty::new(
+            SocketTransport::connect_tcp(&addr).unwrap(),
+            plan,
+            Lane::Request,
+            FaultStats::new(),
+        );
+        let report = RemoteCampaign::new(tiny_script(), "t")
+            .with_policy(fast_policy())
+            .with_codec(WireCodecKind::Binary)
+            .with_pipeline_depth(8)
+            .on_disconnect(DisconnectPolicy::Degrade)
+            .drive(transport)
+            .unwrap();
+        assert!(report.completed, "degraded mode finishes the script");
+        assert_eq!(report.executed, 0, "no command resolved remotely");
+        assert_eq!(report.gaps.len(), 3, "every command is gap-marked");
+        assert!(report.gaps.iter().all(|g| g.reason == GAP_REASON));
+        assert!(report.gaps.iter().all(|g| g.run_id == Some(RunId(1))));
     }
 
     #[test]

@@ -20,7 +20,7 @@ use rad_analysis::streaming::AlertPolicy;
 use rad_analysis::{PerplexitySpec, PowerStatsSpec, ThresholdSpec};
 use rad_core::RadError;
 use rad_middlebox::rpc::RetrySpec;
-use rad_middlebox::{FaultProfile, FaultSpec};
+use rad_middlebox::{FaultProfile, FaultSpec, WireCodecKind};
 use rad_store::wal::{CrashPlan, CrashSite, CrashSpec};
 use rad_store::DurableSpec;
 use rad_workloads::remote::DisconnectPolicy;
@@ -173,12 +173,18 @@ fn transport() -> BoxedStrategy<TransportSpec> {
         prop_oneof![Just(TransportMode::Tcp), Just(TransportMode::Unix)],
         proptest::option::of("[a-z0-9:.]{1,16}"),
         proptest::collection::vec(tenant, 1..4),
+        prop_oneof![Just(WireCodecKind::Json), Just(WireCodecKind::Binary)],
+        proptest::option::of(1usize..256),
     )
-        .prop_map(|(mode, addr, tenants)| TransportSpec {
-            mode,
-            addr,
-            tenants,
-        })
+        .prop_map(
+            |(mode, addr, tenants, codec, pipeline_depth)| TransportSpec {
+                mode,
+                addr,
+                tenants,
+                codec,
+                pipeline_depth,
+            },
+        )
         .boxed()
 }
 
@@ -219,6 +225,8 @@ fn scenario() -> BoxedStrategy<ScenarioSpec> {
                     mode: TransportMode::InProcess,
                     addr: None,
                     tenants: Vec::new(),
+                    codec: WireCodecKind::Json,
+                    pipeline_depth: None,
                 },
                 replay: window.map(|(start_us, end_us)| rad_workloads::scenario::ReplaySpec {
                     start_us,
@@ -300,6 +308,56 @@ proptest! {
         };
         match ScenarioSpec::from_json(&value) {
             Ok(_) => return Err(TestCaseError::fail(format!("intruder {path} accepted"))),
+            Err(RadError::Spec { field, .. }) => prop_assert_eq!(field, path),
+            Err(other) => return Err(TestCaseError::fail(format!("untyped error: {other}"))),
+        }
+    }
+
+    /// The wire knobs parse strictly: a bad codec name, a zero or
+    /// ill-typed pipeline depth, or either knob on an in-process
+    /// scenario is rejected with the knob's dotted path.
+    #[test]
+    fn wire_knobs_are_rejected_with_their_dotted_path(
+        choice in 0usize..5,
+        depth in 1u64..1_000,
+    ) {
+        let mut transport = serde_json::Map::new();
+        let path = if choice < 3 {
+            let mut tenant = serde_json::Map::new();
+            tenant.insert("tenant".into(), Json::from("t"));
+            transport.insert("mode".into(), Json::from("tcp"));
+            transport.insert("tenants".into(), Json::Array(vec![Json::Object(tenant)]));
+            match choice {
+                0 => {
+                    transport.insert("codec".into(), Json::from("protobuf"));
+                    "transport.codec"
+                }
+                1 => {
+                    transport.insert("pipeline_depth".into(), Json::from(0u64));
+                    "transport.pipeline_depth"
+                }
+                _ => {
+                    transport.insert("pipeline_depth".into(), Json::from(depth as f64 + 0.5));
+                    "transport.pipeline_depth"
+                }
+            }
+        } else {
+            // In-process scenarios have no wire to configure.
+            transport.insert("mode".into(), Json::from("in_process"));
+            if choice == 3 {
+                transport.insert("codec".into(), Json::from("binary"));
+                "transport.codec"
+            } else {
+                transport.insert("pipeline_depth".into(), Json::from(depth));
+                "transport.pipeline_depth"
+            }
+        };
+        let mut root = serde_json::Map::new();
+        root.insert("name".into(), Json::from("wire_knobs"));
+        root.insert("seed".into(), Json::from(7u64));
+        root.insert("transport".into(), Json::Object(transport));
+        match ScenarioSpec::from_json(&Json::Object(root)) {
+            Ok(_) => return Err(TestCaseError::fail(format!("bad {path} accepted"))),
             Err(RadError::Spec { field, .. }) => prop_assert_eq!(field, path),
             Err(other) => return Err(TestCaseError::fail(format!("untyped error: {other}"))),
         }
